@@ -1,0 +1,75 @@
+//! Brute-force motif discovery — the `O(n²ℓ)` oracle every other algorithm
+//! is tested against.
+
+use valmod_data::error::Result;
+use valmod_mp::distance::zdist_naive;
+use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::motif::MotifPair;
+use valmod_mp::ProfiledSeries;
+
+/// Finds the exact motif pair of one length by comparing every non-trivial
+/// pair of subsequences.
+pub fn brute_force_motif(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+) -> Result<Option<MotifPair>> {
+    let ndp = ps.require_pairs(l)?;
+    let t = ps.centered();
+    let radius = policy.radius(l);
+    let mut best: Option<MotifPair> = None;
+    for i in 0..ndp {
+        for j in (i + radius)..ndp {
+            let d = zdist_naive(&t[i..i + l], &t[j..j + l]);
+            if best.as_ref().is_none_or(|b| d < b.dist) {
+                best = Some(MotifPair::new(i, j, l, d));
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Brute-force answer to Problem 1: the motif pair of every length in the
+/// range.
+pub fn brute_force_range(
+    ps: &ProfiledSeries,
+    l_min: usize,
+    l_max: usize,
+    policy: ExclusionPolicy,
+) -> Result<Vec<Option<MotifPair>>> {
+    (l_min..=l_max).map(|l| brute_force_motif(ps, l, policy)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::{plant_motif, random_walk};
+    use valmod_mp::stomp::stomp;
+
+    #[test]
+    fn agrees_with_stomp() {
+        let ps = ProfiledSeries::from_values(&random_walk(200, 3)).unwrap();
+        for l in [10usize, 16, 25] {
+            let brute = brute_force_motif(&ps, l, ExclusionPolicy::HALF).unwrap().unwrap();
+            let (_, _, d) = stomp(&ps, l, ExclusionPolicy::HALF).unwrap().motif_pair().unwrap();
+            assert!((brute.dist - d).abs() < 1e-6, "l={l}");
+        }
+    }
+
+    #[test]
+    fn finds_planted_pair() {
+        let (series, planted) = plant_motif(800, 32, 2, 0.001, 11);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let m = brute_force_motif(&ps, 32, ExclusionPolicy::HALF).unwrap().unwrap();
+        assert!(planted.offsets.iter().any(|&o| m.a.abs_diff(o) <= 2));
+        assert!(planted.offsets.iter().any(|&o| m.b.abs_diff(o) <= 2));
+    }
+
+    #[test]
+    fn range_returns_one_result_per_length() {
+        let ps = ProfiledSeries::from_values(&random_walk(120, 5)).unwrap();
+        let all = brute_force_range(&ps, 8, 12, ExclusionPolicy::HALF).unwrap();
+        assert_eq!(all.len(), 5);
+        assert!(all.iter().all(|m| m.is_some()));
+    }
+}

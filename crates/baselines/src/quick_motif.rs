@@ -1,0 +1,348 @@
+//! QuickMotif (Li, U, Yiu, Gong — ICDE 2015), the paper's fixed-length
+//! index-based comparator, reimplemented exactly:
+//!
+//! 1. every z-normalised subsequence becomes a `d`-dimensional PAA point
+//!    (computed in `O(n·d)` from prefix sums);
+//! 2. runs of `B` consecutive subsequences form MBRs, packed into a
+//!    bulk-loaded Hilbert R-tree (`valmod-index`);
+//! 3. node *pairs* are explored best-first by (scaled) `MINDIST`; leaf pairs
+//!    are refined with the PAA lower bound and early-abandoning exact
+//!    distances. The search stops when the frontier's `MINDIST` reaches the
+//!    best-so-far — which makes the result exact.
+//!
+//! Its performance hinges on how well PAA summarises the data at the chosen
+//! subsequence length — the sensitivity the paper's Figs. 8 and 13 show.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use valmod_data::error::Result;
+use valmod_index::paa::paa_dist;
+use valmod_index::rtree::{NodeId, RTree};
+use valmod_mp::distance::{is_flat, zdist_sq_early_abandon};
+use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::motif::MotifPair;
+use valmod_mp::ProfiledSeries;
+
+/// Tuning parameters for QuickMotif.
+#[derive(Debug, Clone, Copy)]
+pub struct QuickMotifConfig {
+    /// PAA dimensionality `d`.
+    pub paa_dims: usize,
+    /// Consecutive subsequences per leaf MBR (`B`).
+    pub group: usize,
+    /// R-tree fanout.
+    pub fanout: usize,
+}
+
+impl Default for QuickMotifConfig {
+    fn default() -> Self {
+        QuickMotifConfig { paa_dims: 8, group: 16, fanout: 8 }
+    }
+}
+
+/// A frontier element: a pair of tree nodes keyed by scaled MINDIST.
+struct PairEntry {
+    mindist: f64,
+    a: NodeId,
+    b: NodeId,
+}
+
+impl PartialEq for PairEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.mindist == other.mindist
+    }
+}
+impl Eq for PairEntry {}
+impl PartialOrd for PairEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PairEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want smallest MINDIST first.
+        other.mindist.partial_cmp(&self.mindist).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Exact motif-pair discovery at one length via the PAA/R-tree search.
+pub fn quick_motif(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    cfg: &QuickMotifConfig,
+) -> Result<Option<MotifPair>> {
+    let _ = ps.require_pairs(l)?;
+    let dims = cfg.paa_dims.min(l);
+    let points = paa_points(ps, l, dims);
+    let tree = RTree::bulk_load(&points, cfg.group, cfg.fanout);
+    let scale = (l as f64 / dims as f64).sqrt();
+    let radius = policy.radius(l);
+
+    // Seed the best-so-far with Hilbert-order neighbours: subsequences whose
+    // summaries are close on the curve are likely close in shape.
+    let mut best: Option<MotifPair> = None;
+    let mut bsf_sq = f64::INFINITY;
+    let order = hilbert_order(&points);
+    for w in order.windows(2) {
+        let (i, j) = (w[0], w[1]);
+        if i.abs_diff(j) < radius {
+            continue;
+        }
+        try_pair(ps, l, i, j, &mut best, &mut bsf_sq);
+    }
+
+    // Best-first search over node pairs.
+    let mut heap: BinaryHeap<PairEntry> = BinaryHeap::new();
+    let root = tree.root();
+    heap.push(PairEntry { mindist: 0.0, a: root, b: root });
+    while let Some(PairEntry { mindist, a, b }) = heap.pop() {
+        if mindist * mindist >= bsf_sq {
+            break; // every remaining pair is at least this far apart
+        }
+        let (na, nb) = (tree.node(a), tree.node(b));
+        match (na.is_leaf(), nb.is_leaf()) {
+            (true, true) => {
+                for i in na.items.clone() {
+                    for j in nb.items.clone() {
+                        // Within one leaf, deduplicate unordered pairs; across
+                        // two leaves every unordered pair appears exactly once
+                        // because the node pair itself is canonical.
+                        if (a == b && j <= i) || i.abs_diff(j) < radius {
+                            continue;
+                        }
+                        let lb = paa_dist(&points[i], &points[j], l);
+                        if lb * lb >= bsf_sq {
+                            continue;
+                        }
+                        try_pair(ps, l, i, j, &mut best, &mut bsf_sq);
+                    }
+                }
+            }
+            (false, _) => {
+                for &ca in &na.children {
+                    push_pair(&mut heap, &tree, scale, bsf_sq, ca, b);
+                }
+            }
+            (true, false) => {
+                for &cb in &nb.children {
+                    push_pair(&mut heap, &tree, scale, bsf_sq, a, cb);
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Exact motif pairs for every length in a range (the paper's adaptation of
+/// QuickMotif, §6.1: one independent run per length), with a wall-clock
+/// deadline mirroring the paper's timeout handling.
+pub fn quick_motif_range_with_deadline(
+    ps: &ProfiledSeries,
+    l_min: usize,
+    l_max: usize,
+    policy: ExclusionPolicy,
+    cfg: &QuickMotifConfig,
+    deadline: std::time::Duration,
+) -> Result<(Vec<Option<MotifPair>>, bool)> {
+    let start = std::time::Instant::now();
+    let mut out = Vec::with_capacity(l_max - l_min + 1);
+    for l in l_min..=l_max {
+        if start.elapsed() > deadline {
+            return Ok((out, true));
+        }
+        out.push(quick_motif(ps, l, policy, cfg)?);
+    }
+    Ok((out, false))
+}
+
+fn push_pair(
+    heap: &mut BinaryHeap<PairEntry>,
+    tree: &RTree,
+    scale: f64,
+    bsf_sq: f64,
+    a: NodeId,
+    b: NodeId,
+) {
+    // Canonical orientation avoids exploring (a, b) and (b, a) twice; the
+    // self-pair is kept (the motif can live inside one subtree).
+    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+    let mindist = tree.node(a).mbr.min_dist(&tree.node(b).mbr) * scale;
+    if mindist * mindist < bsf_sq {
+        heap.push(PairEntry { mindist, a, b });
+    }
+}
+
+fn try_pair(
+    ps: &ProfiledSeries,
+    l: usize,
+    i: usize,
+    j: usize,
+    best: &mut Option<MotifPair>,
+    bsf_sq: &mut f64,
+) {
+    let t = ps.centered();
+    if let Some(d_sq) = zdist_sq_early_abandon(
+        &t[i..i + l],
+        &t[j..j + l],
+        ps.mean_c(i, l),
+        ps.std(i, l),
+        ps.mean_c(j, l),
+        ps.std(j, l),
+        *bsf_sq,
+    ) {
+        if d_sq < *bsf_sq {
+            *bsf_sq = d_sq;
+            *best = Some(MotifPair::new(i, j, l, d_sq.sqrt()));
+        }
+    }
+}
+
+/// PAA summaries of every z-normalised subsequence, via prefix sums:
+/// PAA(znorm(x)) = (PAA(x) − μ)/σ by linearity, so each coordinate is a
+/// (fractionally weighted) windowed mean — `O(n·d)` total.
+fn paa_points(ps: &ProfiledSeries, l: usize, dims: usize) -> Vec<Vec<f64>> {
+    let ndp = ps.num_subsequences(l);
+    let t = ps.centered();
+    // Prefix sums with fractional evaluation.
+    let mut prefix = Vec::with_capacity(t.len() + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &v in t {
+        acc += v;
+        prefix.push(acc);
+    }
+    let frac_at = |x: f64| -> f64 {
+        let idx = x.floor() as usize;
+        let frac = x - idx as f64;
+        if idx >= t.len() {
+            prefix[t.len()]
+        } else {
+            prefix[idx] + frac * t[idx]
+        }
+    };
+    let seg = l as f64 / dims as f64;
+    (0..ndp)
+        .map(|i| {
+            let mu = ps.mean_c(i, l);
+            let sigma = ps.std(i, l);
+            if is_flat(sigma, mu + ps.offset()) {
+                return vec![0.0; dims];
+            }
+            let inv = 1.0 / sigma;
+            (0..dims)
+                .map(|k| {
+                    let a = i as f64 + k as f64 * seg;
+                    let b = i as f64 + (k + 1) as f64 * seg;
+                    let mean = (frac_at(b) - frac_at(a)) / seg;
+                    (mean - mu) * inv
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Item order along the Hilbert curve of the PAA space (bsf seeding).
+fn hilbert_order(points: &[Vec<f64>]) -> Vec<usize> {
+    use valmod_index::hilbert::{hilbert_index, quantize};
+    let dims = points[0].len();
+    let bits = (128 / dims.max(1)).clamp(1, 12) as u32;
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for p in points {
+        for k in 0..dims {
+            lo[k] = lo[k].min(p[k]);
+            hi[k] = hi[k].max(p[k]);
+        }
+    }
+    let mut keyed: Vec<(u128, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let coords: Vec<u32> =
+                (0..dims).map(|k| quantize(p[k], lo[k], hi[k], bits)).collect();
+            (hilbert_index(&coords, bits), i)
+        })
+        .collect();
+    keyed.sort_by_key(|&(k, _)| k);
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::{plant_motif, random_walk, sine_mixture};
+    use valmod_mp::stomp::stomp;
+
+    fn check(series: &[f64], l: usize, cfg: &QuickMotifConfig) {
+        let ps = ProfiledSeries::from_values(series).unwrap();
+        let qm = quick_motif(&ps, l, ExclusionPolicy::HALF, cfg).unwrap();
+        let st = stomp(&ps, l, ExclusionPolicy::HALF).unwrap().motif_pair();
+        match (qm, st) {
+            (Some(q), Some((_, _, d))) => {
+                assert!((q.dist - d).abs() < 1e-6, "l={l}: QuickMotif {} vs STOMP {d}", q.dist)
+            }
+            (None, None) => {}
+            other => panic!("presence mismatch: {:?}", other.0),
+        }
+    }
+
+    #[test]
+    fn exact_on_random_walks() {
+        let series = random_walk(600, 31);
+        for l in [16usize, 32, 64] {
+            check(&series, l, &QuickMotifConfig::default());
+        }
+    }
+
+    #[test]
+    fn exact_on_periodic_data() {
+        let series = sine_mixture(800, &[(0.01, 1.0), (0.047, 0.3)], 0.1, 5);
+        check(&series, 48, &QuickMotifConfig::default());
+    }
+
+    #[test]
+    fn exact_with_planted_motif() {
+        let (series, planted) = plant_motif(2000, 64, 2, 0.001, 3);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let m = quick_motif(&ps, 64, ExclusionPolicy::HALF, &QuickMotifConfig::default())
+            .unwrap()
+            .unwrap();
+        assert!(planted.offsets.iter().any(|&o| m.a.abs_diff(o) <= 2));
+        assert!(planted.offsets.iter().any(|&o| m.b.abs_diff(o) <= 2));
+    }
+
+    #[test]
+    fn exact_across_configurations() {
+        let series = random_walk(400, 37);
+        for cfg in [
+            QuickMotifConfig { paa_dims: 4, group: 8, fanout: 4 },
+            QuickMotifConfig { paa_dims: 16, group: 32, fanout: 16 },
+            QuickMotifConfig { paa_dims: 2, group: 4, fanout: 2 },
+        ] {
+            check(&series, 24, &cfg);
+        }
+    }
+
+    #[test]
+    fn paa_dims_larger_than_length_are_clamped() {
+        let series = random_walk(200, 39);
+        check(&series, 6, &QuickMotifConfig { paa_dims: 64, group: 8, fanout: 4 });
+    }
+
+    #[test]
+    fn range_deadline_truncates() {
+        let ps = ProfiledSeries::from_values(&random_walk(3000, 41)).unwrap();
+        let (out, truncated) = quick_motif_range_with_deadline(
+            &ps,
+            64,
+            256,
+            ExclusionPolicy::HALF,
+            &QuickMotifConfig::default(),
+            std::time::Duration::from_millis(1),
+        )
+        .unwrap();
+        assert!(truncated && out.len() < 193);
+    }
+}

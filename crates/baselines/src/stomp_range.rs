@@ -1,0 +1,85 @@
+//! STOMP adapted to a length range (the paper's §6.1 adaptation of the
+//! single-length state of the art): run the full `O(n²)` profile once per
+//! length. This is the comparator whose cost VALMOD's `ComputeSubMP`
+//! replaces with a linear pass.
+
+use valmod_data::error::Result;
+use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::motif::MotifPair;
+use valmod_mp::stomp::stomp;
+use valmod_mp::ProfiledSeries;
+
+/// The motif pair of every length in `[l_min, l_max]`, each obtained by an
+/// independent STOMP run.
+pub fn stomp_range(
+    ps: &ProfiledSeries,
+    l_min: usize,
+    l_max: usize,
+    policy: ExclusionPolicy,
+) -> Result<Vec<Option<MotifPair>>> {
+    (l_min..=l_max)
+        .map(|l| {
+            let profile = stomp(ps, l, policy)?;
+            Ok(profile.motif_pair().map(|(a, b, d)| MotifPair::new(a, b, l, d)))
+        })
+        .collect()
+}
+
+/// Like [`stomp_range`] but aborts once `deadline` has elapsed, returning
+/// what was computed so far and a truncation flag — the bench harness uses
+/// this to reproduce the paper's "failed to finish within a reasonable
+/// amount of time" entries without hanging the suite.
+pub fn stomp_range_with_deadline(
+    ps: &ProfiledSeries,
+    l_min: usize,
+    l_max: usize,
+    policy: ExclusionPolicy,
+    deadline: std::time::Duration,
+) -> Result<(Vec<Option<MotifPair>>, bool)> {
+    let start = std::time::Instant::now();
+    let mut out = Vec::with_capacity(l_max - l_min + 1);
+    for l in l_min..=l_max {
+        if start.elapsed() > deadline {
+            return Ok((out, true));
+        }
+        let profile = stomp(ps, l, policy)?;
+        out.push(profile.motif_pair().map(|(a, b, d)| MotifPair::new(a, b, l, d)));
+    }
+    Ok((out, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_range;
+    use valmod_data::generators::random_walk;
+
+    #[test]
+    fn matches_brute_force_over_a_range() {
+        let ps = ProfiledSeries::from_values(&random_walk(150, 7)).unwrap();
+        let fast = stomp_range(&ps, 8, 14, ExclusionPolicy::HALF).unwrap();
+        let slow = brute_force_range(&ps, 8, 14, ExclusionPolicy::HALF).unwrap();
+        for (f, s) in fast.iter().zip(&slow) {
+            match (f, s) {
+                (Some(f), Some(s)) => assert!((f.dist - s.dist).abs() < 1e-6),
+                (None, None) => {}
+                other => panic!("presence mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_truncates() {
+        let ps = ProfiledSeries::from_values(&random_walk(2000, 9)).unwrap();
+        let (out, truncated) = stomp_range_with_deadline(
+            &ps,
+            64,
+            256,
+            ExclusionPolicy::HALF,
+            std::time::Duration::from_millis(1),
+        )
+        .unwrap();
+        assert!(truncated);
+        assert!(out.len() < 193);
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation (DESIGN.md §5): VALMOD's per-profile σ-ratio bound vs the
+//! MOEN-style global σ-ratio bound.
+//!
+//! Both are exact; the difference is pure pruning power. The paper's §6.2
+//! attributes VALMOD's advantage precisely to this factor: the global ratio
+//! decays monotonically, the per-profile ratio can even grow.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valmod_baselines::moen::moen;
+use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_data::datasets::Dataset;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn bench_bound_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bound_family");
+    group.sample_size(10);
+    for ds in [Dataset::Ecg, Dataset::Astro] {
+        let ps = ProfiledSeries::new(&ds.generate(1_200, 1));
+        let (l_min, l_max) = (48usize, 60usize);
+        group.bench_with_input(
+            BenchmarkId::new("per_profile_sigma_ratio", ds.name()),
+            &ds,
+            |b, _| {
+                let cfg = ValmodConfig::new(l_min, l_max).with_p(20);
+                b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global_sigma_ratio_moen", ds.name()),
+            &ds,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        moen(&ps, l_min, l_max, ExclusionPolicy::HALF, std::time::Duration::MAX)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_families);
+criterion_main!(benches);

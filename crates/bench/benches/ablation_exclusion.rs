@@ -1,0 +1,31 @@
+//! Ablation (DESIGN.md §5): the exclusion-zone policy — the paper's `ℓ/2`
+//! vs the common STOMP default `ℓ/4`.
+//!
+//! A smaller zone admits more candidate pairs (slightly more work, and
+//! motifs may sit closer together); both remain exact. This bench shows the
+//! run-time effect is marginal, supporting the paper's choice as a
+//! semantics (not performance) decision.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_data::datasets::Dataset;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn bench_exclusion_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/exclusion_zone");
+    group.sample_size(10);
+    let ps = ProfiledSeries::new(&Dataset::Ecg.generate(1_500, 1));
+    for (name, policy) in [("half_l", ExclusionPolicy::HALF), ("quarter_l", ExclusionPolicy::QUARTER)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let cfg = ValmodConfig::new(48, 60).with_p(20).with_policy(policy);
+            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exclusion_policies);
+criterion_main!(benches);

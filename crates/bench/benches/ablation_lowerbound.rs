@@ -1,0 +1,43 @@
+//! Ablation (DESIGN.md §5): the Eq. 2 lower bound vs no lower bound.
+//!
+//! "No lower bound" means recomputing a fresh matrix profile per length —
+//! exactly the STOMP-per-length baseline. The ratio between the two is the
+//! paper's headline claim in microcosm.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valmod_baselines::stomp_range::stomp_range;
+use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_data::datasets::Dataset;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn bench_lb_vs_none(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/lowerbound");
+    group.sample_size(10);
+    for ds in [Dataset::Ecg, Dataset::Emg] {
+        let ps = ProfiledSeries::new(&ds.generate(1_500, 1));
+        let (l_min, l_max) = (48usize, 64usize);
+        group.bench_with_input(
+            BenchmarkId::new("valmod_with_eq2", ds.name()),
+            &ds,
+            |b, _| {
+                let cfg = ValmodConfig::new(l_min, l_max).with_p(20);
+                b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_bound_stomp_per_length", ds.name()),
+            &ds,
+            |b, _| {
+                b.iter(|| {
+                    black_box(stomp_range(&ps, l_min, l_max, ExclusionPolicy::HALF).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lb_vs_none);
+criterion_main!(benches);

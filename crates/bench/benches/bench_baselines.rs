@@ -1,0 +1,48 @@
+//! Microbench: single-length motif discovery across methods — STOMP vs
+//! QuickMotif vs STAMP (and PAA/R-tree construction on its own), the
+//! fixed-length backdrop of Figs. 8 and 13.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valmod_baselines::quick_motif::{quick_motif, QuickMotifConfig};
+use valmod_data::datasets::Dataset;
+use valmod_index::rtree::RTree;
+use valmod_mp::stomp::stomp;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn bench_single_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_length_motif");
+    group.sample_size(10);
+    for ds in [Dataset::Ecg, Dataset::Emg] {
+        let ps = ProfiledSeries::new(&ds.generate(2_000, 1));
+        group.bench_with_input(BenchmarkId::new("stomp", ds.name()), &ds, |b, _| {
+            b.iter(|| black_box(stomp(&ps, 64, ExclusionPolicy::HALF).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("quick_motif", ds.name()), &ds, |b, _| {
+            b.iter(|| {
+                black_box(
+                    quick_motif(&ps, 64, ExclusionPolicy::HALF, &QuickMotifConfig::default())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rtree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_bulk_load");
+    for n in [1_000usize, 10_000] {
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..8).map(|k| ((i * (k + 3)) as f64 * 0.01).sin()).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(RTree::bulk_load(&points, 16, 8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_length, bench_rtree_build);
+criterion_main!(benches);

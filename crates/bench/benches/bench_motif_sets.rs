@@ -1,0 +1,35 @@
+//! Microbench: the motif-set expansion (Algorithm 6) — the step Fig. 15
+//! shows to be orders of magnitude cheaper than building VALMP.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valmod_core::motif_sets::compute_var_length_motif_sets;
+use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_data::datasets::Dataset;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn bench_sets(c: &mut Criterion) {
+    let ps = ProfiledSeries::new(&Dataset::Gap.generate(2_000, 1));
+    let cfg = ValmodConfig::new(64, 80).with_p(20).with_pair_tracking(80);
+    let out = valmod_on(&ps, &cfg).unwrap();
+    let tracker = out.best_pairs.unwrap();
+
+    let mut group = c.benchmark_group("motif_sets");
+    for d in [2.0f64, 4.0, 6.0] {
+        group.bench_with_input(BenchmarkId::new("radius_factor", format!("{d}")), &d, |b, &d| {
+            b.iter(|| {
+                black_box(compute_var_length_motif_sets(
+                    &ps,
+                    &tracker,
+                    d,
+                    ExclusionPolicy::HALF,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sets);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbench: end-to-end VALMOD across ranges and p values (the Fig. 8/12/
+//! 14 shapes in Criterion form, at sub-second scale).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_data::datasets::Dataset;
+use valmod_mp::ProfiledSeries;
+
+fn bench_valmod_range(c: &mut Criterion) {
+    let ps = ProfiledSeries::new(&Dataset::Ecg.generate(2_000, 1));
+    let mut group = c.benchmark_group("valmod/range");
+    group.sample_size(10);
+    for range in [4usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(range), &range, |b, &range| {
+            let cfg = ValmodConfig::new(64, 64 + range).with_p(20);
+            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_valmod_p(c: &mut Criterion) {
+    let ps = ProfiledSeries::new(&Dataset::Gap.generate(2_000, 1));
+    let mut group = c.benchmark_group("valmod/p");
+    group.sample_size(10);
+    for p in [5usize, 50, 150] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let cfg = ValmodConfig::new(64, 80).with_p(p);
+            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_valmod_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valmod/dataset");
+    group.sample_size(10);
+    for ds in Dataset::ALL {
+        let ps = ProfiledSeries::new(&ds.generate(2_000, 1));
+        group.bench_with_input(BenchmarkId::from_parameter(ds.name()), &ds, |b, _| {
+            let cfg = ValmodConfig::new(64, 80).with_p(20);
+            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_valmod_range, bench_valmod_p, bench_valmod_datasets);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 8: scalability over the motif length ℓ_min.
+//!
+//! Expected shape (paper §6.2): VALMOD is stable across lengths; QuickMotif
+//! is erratic (PAA quality depends on the length); STOMP pays the full
+//! per-length cost times the range; MOEN degrades as its bound loosens.
+
+use valmod_bench::params::{BenchParams, Scale};
+use valmod_bench::runner::run_sweep;
+
+fn main() {
+    let scale = Scale::from_env();
+    let default = BenchParams::default_at(scale);
+    let rows: Vec<(String, BenchParams)> = BenchParams::length_sweep(scale)
+        .into_iter()
+        .map(|l_min| (format!("l_min={l_min}"), BenchParams { l_min, ..default }))
+        .collect();
+    run_sweep(
+        "fig08_motif_length",
+        &format!(
+            "Fig. 8: scalability over motif length (n={}, range={}, p={})",
+            default.n, default.range, default.p
+        ),
+        &rows,
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 9: the margin `maxLB − minDist` per partial distance profile, for
+//! the shortest and longest lengths of the Fig. 8 sweep, on the best-case
+//! (ECG) and worst-case (EMG) datasets.
+//!
+//! A positive margin means the `ComputeSubMP` line-16 validity condition
+//! held — the profile was resolved without recomputation. The paper's shape:
+//! ECG keeps positive margins at both lengths; EMG's margins collapse below
+//! zero at the long length.
+
+use valmod_bench::params::{BenchParams, Scale};
+use valmod_bench::report::Report;
+use valmod_core::instrument::probe_at_length;
+use valmod_data::datasets::Dataset;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn main() {
+    let scale = Scale::from_env();
+    let default = BenchParams::default_at(scale);
+    // Paper: anchors 256 and 4096 advanced by the default range (→ 356 and
+    // 4196); scaled equivalents from the length sweep's extremes.
+    let sweep = BenchParams::length_sweep(scale);
+    let (short_anchor, long_anchor) = (sweep[0], sweep[sweep.len() - 1]);
+    let range = default.range;
+
+    let mut report = Report::new(
+        "fig09_lb_margin",
+        &["dataset", "anchor", "target", "row_bucket", "mean_margin", "positive_fraction"],
+    );
+    report.headline(&format!(
+        "Fig. 9: maxLB - minDist per distance profile (n={}, p={})",
+        default.n, default.p
+    ));
+    for ds in [Dataset::Ecg, Dataset::Emg] {
+        let series = ds.generate(default.n, default.seed);
+        let ps = ProfiledSeries::new(&series);
+        for anchor in [short_anchor, long_anchor] {
+            let target = anchor + range;
+            if ps.num_subsequences(target) < 2 {
+                report.line(&format!("[{} l={}→{}] skipped (series too short)", ds.name(), anchor, target));
+                continue;
+            }
+            let probes =
+                probe_at_length(&ps, anchor, target, default.p, ExclusionPolicy::HALF).unwrap();
+            let finite: Vec<f64> = probes
+                .iter()
+                .filter(|p| p.margin.is_finite())
+                .map(|p| p.margin)
+                .collect();
+            let positive =
+                finite.iter().filter(|&&m| m > 0.0).count() as f64 / finite.len().max(1) as f64;
+            report.line(&format!(
+                "\n[{} anchor={} target={}] positive-margin fraction: {:.3}",
+                ds.name(),
+                anchor,
+                target,
+                positive
+            ));
+            // Bucket the profiles into 10 offset deciles (the x-axis of the
+            // paper's scatter, summarised).
+            let buckets = 10usize;
+            for b in 0..buckets {
+                let lo = b * finite.len() / buckets;
+                let hi = ((b + 1) * finite.len() / buckets).max(lo + 1).min(finite.len());
+                let slice = &finite[lo..hi.max(lo + 1).min(finite.len())];
+                if slice.is_empty() {
+                    continue;
+                }
+                let mean = slice.iter().sum::<f64>() / slice.len() as f64;
+                report.line(&format!("  offsets {lo:>7}..{hi:<7} mean margin {mean:>10.4}"));
+                report.csv_row(&[
+                    ds.name().into(),
+                    anchor.to_string(),
+                    target.to_string(),
+                    format!("{lo}-{hi}"),
+                    format!("{mean:.6}"),
+                    format!("{positive:.6}"),
+                ]);
+            }
+        }
+    }
+    report.line(
+        "\nshape check: ECG keeps a healthy positive-margin fraction at both lengths;\n\
+         EMG's margins are ~never positive (pruning fails there — paper §6.2).",
+    );
+    report.finish().expect("write CSV");
+}

@@ -1,0 +1,68 @@
+//! Figure 10: average tightness of the lower bound (TLB = LB/dist) per
+//! partial distance profile, ECG vs EMG, short vs long anchor lengths.
+
+use valmod_bench::params::{BenchParams, Scale};
+use valmod_bench::report::Report;
+use valmod_core::instrument::probe_at_length;
+use valmod_data::datasets::Dataset;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn main() {
+    let scale = Scale::from_env();
+    let default = BenchParams::default_at(scale);
+    let sweep = BenchParams::length_sweep(scale);
+    let (short_anchor, long_anchor) = (sweep[0], sweep[sweep.len() - 1]);
+    let range = default.range;
+
+    let mut report =
+        Report::new("fig10_tlb", &["dataset", "anchor", "target", "decile", "mean_tlb"]);
+    report.headline(&format!(
+        "Fig. 10: average TLB per distance profile (n={}, p={})",
+        default.n, default.p
+    ));
+    for ds in [Dataset::Ecg, Dataset::Emg] {
+        let series = ds.generate(default.n, default.seed);
+        let ps = ProfiledSeries::new(&series);
+        for anchor in [short_anchor, long_anchor] {
+            let target = anchor + range;
+            if ps.num_subsequences(target) < 2 {
+                report.line(&format!(
+                    "[{} l={}→{}] skipped (series too short)",
+                    ds.name(),
+                    anchor,
+                    target
+                ));
+                continue;
+            }
+            let probes =
+                probe_at_length(&ps, anchor, target, default.p, ExclusionPolicy::HALF).unwrap();
+            let tlbs: Vec<f64> = probes.iter().map(|p| p.mean_tlb).collect();
+            let overall = tlbs.iter().sum::<f64>() / tlbs.len().max(1) as f64;
+            report.line(&format!(
+                "\n[{} anchor={} target={}] overall mean TLB: {:.4}",
+                ds.name(),
+                anchor,
+                target,
+                overall
+            ));
+            let buckets = 10usize;
+            for b in 0..buckets {
+                let lo = b * tlbs.len() / buckets;
+                let hi = ((b + 1) * tlbs.len() / buckets).min(tlbs.len());
+                if lo >= hi {
+                    continue;
+                }
+                let mean = tlbs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+                report.line(&format!("  offsets {lo:>7}..{hi:<7} mean TLB {mean:>7.4}"));
+                report.csv_row(&[
+                    ds.name().into(),
+                    anchor.to_string(),
+                    target.to_string(),
+                    b.to_string(),
+                    format!("{mean:.6}"),
+                ]);
+            }
+        }
+    }
+    report.finish().expect("write CSV");
+}

@@ -1,0 +1,26 @@
+//! Figure 12: scalability over the motif length *range*.
+//!
+//! Expected shape (paper §6.2): VALMOD degrades gracefully with the range
+//! (each extra length is a near-linear `ComputeSubMP` pass), while STOMP and
+//! QuickMotif pay a full quadratic/index run per extra length and MOEN's
+//! decayed bound forces wholesale recomputation.
+
+use valmod_bench::params::{BenchParams, Scale};
+use valmod_bench::runner::run_sweep;
+
+fn main() {
+    let scale = Scale::from_env();
+    let default = BenchParams::default_at(scale);
+    let rows: Vec<(String, BenchParams)> = BenchParams::range_sweep(scale)
+        .into_iter()
+        .map(|range| (format!("range={range}"), BenchParams { range, ..default }))
+        .collect();
+    run_sweep(
+        "fig12_motif_range",
+        &format!(
+            "Fig. 12: scalability over motif range (n={}, l_min={}, p={})",
+            default.n, default.l_min, default.p
+        ),
+        &rows,
+    );
+}

@@ -1,0 +1,25 @@
+//! Figure 13: scalability over the data-series size.
+//!
+//! Expected shape (paper §6.2): every algorithm is superlinear in n, but
+//! VALMOD's constant stays small and stable across datasets; QuickMotif can
+//! win narrowly on the easiest data (ECG) and blow up elsewhere.
+
+use valmod_bench::params::{BenchParams, Scale};
+use valmod_bench::runner::run_sweep;
+
+fn main() {
+    let scale = Scale::from_env();
+    let default = BenchParams::default_at(scale);
+    let rows: Vec<(String, BenchParams)> = BenchParams::size_sweep(scale)
+        .into_iter()
+        .map(|n| (format!("n={n}"), BenchParams { n, ..default }))
+        .collect();
+    run_sweep(
+        "fig13_series_size",
+        &format!(
+            "Fig. 13: scalability over series size (l_min={}, range={}, p={})",
+            default.l_min, default.range, default.p
+        ),
+        &rows,
+    );
+}

@@ -1,0 +1,121 @@
+//! Figure 15: time to discover variable-length motif *sets*, against the
+//! time to build VALMP — varying K (with D = 4) and varying the radius
+//! factor D (with K = 40).
+//!
+//! The paper's shape: the motif-set step is orders of magnitude cheaper
+//! than VALMP itself, making exploratory tuning of D interactive.
+
+use std::time::Instant;
+
+use valmod_bench::params::{BenchParams, Scale};
+use valmod_bench::report::Report;
+use valmod_core::motif_sets::compute_var_length_motif_sets;
+use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_data::datasets::Dataset;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn main() {
+    let scale = Scale::from_env();
+    let default = BenchParams::default_at(scale);
+    let ks = [10usize, 20, 40, 60, 80];
+    let ds_factors = [2.0f64, 3.0, 4.0, 5.0, 6.0];
+    let k_max = *ks.iter().max().unwrap();
+
+    let mut report = Report::new(
+        "fig15_motif_sets",
+        &["dataset", "valmp_secs", "sweep", "value", "topk_secs", "sets", "total_frequency"],
+    );
+    report.headline(&format!(
+        "Fig. 15: motif-set discovery time vs VALMP time (n={}, l_min={}, range={}, p={})",
+        default.n, default.l_min, default.range, default.p
+    ));
+    for ds in Dataset::ALL {
+        let series = ds.generate(default.n, default.seed);
+        let ps = ProfiledSeries::new(&series);
+        let cfg = ValmodConfig {
+            l_min: default.l_min,
+            l_max: default.l_max(),
+            p: default.p,
+            policy: ExclusionPolicy::HALF,
+            track_pairs: k_max,
+        };
+        let start = Instant::now();
+        let out = match valmod_on(&ps, &cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                report.line(&format!("[{}] skipped ({e})", ds.name()));
+                continue;
+            }
+        };
+        let valmp_secs = start.elapsed().as_secs_f64();
+        let tracker = out.best_pairs.expect("tracking enabled");
+        report.line(&format!("\n[{}] VALMP time: {valmp_secs:.3}s", ds.name()));
+
+        report.line("  (a) varying K (D = 4):");
+        for &k in &ks {
+            // Restrict to the best k tracked pairs.
+            let mut limited = valmod_core::pairs::BestKPairs::new(k);
+            // Re-offer in order; snapshots are cloned from the full tracker.
+            let subset: Vec<_> = tracker.pairs().iter().take(k).cloned().collect();
+            let sub_tracker = rebuild(&mut limited, subset);
+            let t = Instant::now();
+            let (sets, _) =
+                compute_var_length_motif_sets(&ps, sub_tracker, 4.0, ExclusionPolicy::HALF);
+            let secs = t.elapsed().as_secs_f64();
+            let freq: usize = sets.iter().map(|s| s.frequency()).sum();
+            report.line(&format!(
+                "    K={k:<3} {secs:>10.6}s   {} sets, total frequency {freq}",
+                sets.len()
+            ));
+            report.csv_row(&[
+                ds.name().into(),
+                format!("{valmp_secs:.6}"),
+                "K".into(),
+                k.to_string(),
+                format!("{secs:.6}"),
+                sets.len().to_string(),
+                freq.to_string(),
+            ]);
+        }
+
+        report.line("  (b) varying radius factor D (K = 40):");
+        for &d in &ds_factors {
+            let mut limited = valmod_core::pairs::BestKPairs::new(40);
+            let subset: Vec<_> = tracker.pairs().iter().take(40).cloned().collect();
+            let sub_tracker = rebuild(&mut limited, subset);
+            let t = Instant::now();
+            let (sets, _) =
+                compute_var_length_motif_sets(&ps, sub_tracker, d, ExclusionPolicy::HALF);
+            let secs = t.elapsed().as_secs_f64();
+            let freq: usize = sets.iter().map(|s| s.frequency()).sum();
+            report.line(&format!(
+                "    D={d:<3} {secs:>10.6}s   {} sets, total frequency {freq}",
+                sets.len()
+            ));
+            report.csv_row(&[
+                ds.name().into(),
+                format!("{valmp_secs:.6}"),
+                "D".into(),
+                format!("{d}"),
+                format!("{secs:.6}"),
+                sets.len().to_string(),
+                freq.to_string(),
+            ]);
+        }
+    }
+    report.line(
+        "\nshape check: the top-K-sets step is orders of magnitude faster than\n\
+         building VALMP (paper: 3–6 orders, depending on dataset).",
+    );
+    report.finish().expect("write CSV");
+}
+
+/// Rebuilds a bounded tracker from pre-ranked candidates (cheap clone-based
+/// restriction used only by this binary).
+fn rebuild(
+    limited: &mut valmod_core::pairs::BestKPairs,
+    subset: Vec<valmod_core::pairs::PairCandidate>,
+) -> &valmod_core::pairs::BestKPairs {
+    limited.extend_sorted(subset);
+    limited
+}

@@ -1,0 +1,54 @@
+//! Runs every experiment binary in sequence (DESIGN.md §4). Equivalent to
+//! invoking each `table*`/`fig*` binary; useful for regenerating
+//! EXPERIMENTS.md in one go:
+//!
+//! ```text
+//! cargo run --release -p valmod-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "table01_datasets",
+        "table02_parameters",
+        "fig01_case_study",
+        "fig02_length_normalization",
+        "fig08_motif_length",
+        "fig09_lb_margin",
+        "fig10_tlb",
+        "fig11_distance_distribution",
+        "fig12_motif_range",
+        "fig13_series_size",
+        "fig14_param_p",
+        "fig15_motif_sets",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let bin_dir = me.parent().expect("bin dir").to_path_buf();
+    let mut failed = Vec::new();
+    for exp in experiments {
+        println!("\n############ {exp} ############");
+        let path = bin_dir.join(exp);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when binaries were not pre-built.
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "valmod-bench", "--bin", exp])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("experiment {exp} failed: {other:?}");
+                failed.push(exp);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed; CSVs under target/experiments/");
+    } else {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

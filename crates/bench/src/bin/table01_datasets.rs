@@ -1,0 +1,45 @@
+//! Table 1: characteristics of the evaluation datasets (min, max, mean,
+//! std-dev, number of points) — here, of their synthetic stand-ins.
+
+use valmod_bench::params::Scale;
+use valmod_bench::report::Report;
+use valmod_data::datasets::Dataset;
+
+fn main() {
+    let scale = Scale::from_env();
+    // Paper sizes: 0.5M–2M points; scaled default 20k–80k.
+    let mut report =
+        Report::new("table01_datasets", &["dataset", "min", "max", "mean", "std_dev", "points"]);
+    report.headline("Table 1: characteristics of the datasets (synthetic stand-ins)");
+    report.line(&format!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "dataset", "MIN", "MAX", "MEAN", "STD-DEV", "points"
+    ));
+    for ds in Dataset::ALL {
+        let n = match ds {
+            Dataset::Gap | Dataset::Astro => scale.apply(40_000, 4_000),
+            Dataset::Eeg => scale.apply(10_000, 1_000),
+            _ => scale.apply(20_000, 2_000),
+        };
+        let series = ds.generate(n, 20_180_610);
+        let s = series.summary();
+        report.line(&format!(
+            "{:>8} {:>12.5} {:>12.5} {:>12.5} {:>12.5} {:>10}",
+            ds.name(),
+            s.min,
+            s.max,
+            s.mean,
+            s.std_dev,
+            s.len
+        ));
+        report.csv_row(&[
+            ds.name().into(),
+            format!("{:.6}", s.min),
+            format!("{:.6}", s.max),
+            format!("{:.6}", s.mean),
+            format!("{:.6}", s.std_dev),
+            s.len.to_string(),
+        ]);
+    }
+    report.finish().expect("write CSV");
+}

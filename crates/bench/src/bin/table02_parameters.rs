@@ -1,0 +1,49 @@
+//! Table 2: the benchmark parameter grid (paper values and their scaled
+//! equivalents actually used by the figure binaries).
+
+use valmod_bench::params::{BenchParams, Scale};
+use valmod_bench::report::Report;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut report =
+        Report::new("table02_parameters", &["dimension", "paper_values", "scaled_values", "default"]);
+    report.headline(&format!("Table 2: benchmark parameters (scale = {})", scale.0));
+
+    let rows: Vec<(&str, &str, String, String)> = vec![
+        (
+            "motif length (l_min)",
+            "256 512 1024 2048 4096",
+            join(&BenchParams::length_sweep(scale)),
+            BenchParams::default_at(scale).l_min.to_string(),
+        ),
+        (
+            "motif range (l_max - l_min)",
+            "100 150 200 400 600",
+            join(&BenchParams::range_sweep(scale)),
+            BenchParams::default_at(scale).range.to_string(),
+        ),
+        (
+            "data series size (points)",
+            "0.1M 0.2M 0.5M 0.8M 1M",
+            join(&BenchParams::size_sweep(scale)),
+            BenchParams::default_at(scale).n.to_string(),
+        ),
+        (
+            "p (entries stored)",
+            "50 100 150",
+            join(&BenchParams::p_sweep()),
+            BenchParams::default_at(scale).p.to_string(),
+        ),
+    ];
+    report.line(&format!("{:<28} {:<28} {:<30} {:>8}", "dimension", "paper", "scaled", "default"));
+    for (dim, paper, scaled, default) in rows {
+        report.line(&format!("{dim:<28} {paper:<28} {scaled:<30} {default:>8}"));
+        report.csv_row(&[dim.into(), paper.into(), scaled.clone(), default.clone()]);
+    }
+    report.finish().expect("write CSV");
+}
+
+fn join(v: &[usize]) -> String {
+    v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+}

@@ -1,0 +1,70 @@
+//! Experiment output: aligned text tables on stdout plus CSV files under
+//! `target/experiments/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple two-sink report: pretty rows to stdout, raw rows to a CSV file.
+#[derive(Debug)]
+pub struct Report {
+    csv_path: PathBuf,
+    csv: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report for experiment `name` (e.g. `"fig08_motif_length"`),
+    /// with the given CSV header columns.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        let csv_path = Self::dir().join(format!("{name}.csv"));
+        Report { csv_path, csv: vec![header.join(",")] }
+    }
+
+    /// The directory CSVs are written to (created on demand).
+    pub fn dir() -> PathBuf {
+        let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+        PathBuf::from(base).join("experiments")
+    }
+
+    /// Prints a headline on stdout.
+    pub fn headline(&self, text: &str) {
+        println!("\n=== {text} ===");
+    }
+
+    /// Prints one pretty line on stdout.
+    pub fn line(&self, text: &str) {
+        println!("{text}");
+    }
+
+    /// Appends one CSV row.
+    pub fn csv_row(&mut self, fields: &[String]) {
+        self.csv.push(fields.join(","));
+    }
+
+    /// Flushes the CSV file; returns its path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(Self::dir())?;
+        let mut f = fs::File::create(&self.csv_path)?;
+        for row in &self.csv {
+            writeln!(f, "{row}")?;
+        }
+        println!("\n[csv] {}", self.csv_path.display());
+        Ok(self.csv_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_writes_csv() {
+        let mut r = Report::new("unit_test_report", &["a", "b"]);
+        r.csv_row(&["1".into(), "2".into()]);
+        r.csv_row(&["3".into(), "4".into()]);
+        let path = r.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,281 @@
+//! Shared algorithm runner: executes one of the four compared algorithms on
+//! a configuration with a deadline, reporting wall-clock time or `DNF`.
+
+use std::time::{Duration, Instant};
+
+use valmod_baselines::moen::moen;
+use valmod_baselines::quick_motif::{quick_motif_range_with_deadline, QuickMotifConfig};
+use valmod_baselines::stomp_range::stomp_range_with_deadline;
+use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::ProfiledSeries;
+
+use crate::params::BenchParams;
+
+/// The four algorithms of the paper's comparative evaluation (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// VALMOD (this paper).
+    Valmod,
+    /// STOMP run once per length.
+    StompRange,
+    /// QuickMotif run once per length.
+    QuickMotif,
+    /// MOEN-style variable-length enumeration.
+    Moen,
+}
+
+impl Algorithm {
+    /// All four, in the paper's plotting order.
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::Valmod, Algorithm::StompRange, Algorithm::QuickMotif, Algorithm::Moen];
+
+    /// Column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Valmod => "VALMOD",
+            Algorithm::StompRange => "STOMP",
+            Algorithm::QuickMotif => "QUICKMOTIF",
+            Algorithm::Moen => "MOEN",
+        }
+    }
+}
+
+/// Outcome of one run.
+#[derive(Debug, Clone, Copy)]
+pub enum AlgoResult {
+    /// Finished within the deadline.
+    Finished {
+        /// Wall-clock seconds.
+        secs: f64,
+        /// The best motif distance found (cross-checking between algorithms).
+        best_dist: f64,
+    },
+    /// Did not finish within the deadline.
+    Dnf {
+        /// Seconds consumed before giving up.
+        secs: f64,
+    },
+    /// The configuration is invalid for this series (e.g. too short).
+    Skipped,
+}
+
+impl AlgoResult {
+    /// Formats the cell for the text table.
+    pub fn cell(&self) -> String {
+        match self {
+            AlgoResult::Finished { secs, .. } => format!("{secs:>9.3}s"),
+            AlgoResult::Dnf { .. } => format!("{:>10}", "DNF"),
+            AlgoResult::Skipped => format!("{:>10}", "-"),
+        }
+    }
+
+    /// CSV field: seconds, or empty for DNF/skip.
+    pub fn csv(&self) -> String {
+        match self {
+            AlgoResult::Finished { secs, .. } => format!("{secs:.6}"),
+            AlgoResult::Dnf { .. } => "DNF".into(),
+            AlgoResult::Skipped => String::new(),
+        }
+    }
+
+    /// The best distance, when available.
+    pub fn best_dist(&self) -> Option<f64> {
+        match self {
+            AlgoResult::Finished { best_dist, .. } => Some(*best_dist),
+            _ => None,
+        }
+    }
+}
+
+/// Runs `algo` on the prepared series with the given parameters.
+pub fn run_algorithm(
+    algo: Algorithm,
+    ps: &ProfiledSeries,
+    params: &BenchParams,
+    deadline: Duration,
+) -> AlgoResult {
+    let policy = ExclusionPolicy::HALF;
+    let (l_min, l_max) = (params.l_min, params.l_max());
+    if ps.num_subsequences(l_max) < 2 {
+        return AlgoResult::Skipped;
+    }
+    let start = Instant::now();
+    let best = match algo {
+        Algorithm::Valmod => {
+            let cfg = ValmodConfig { l_min, l_max, p: params.p, policy, track_pairs: 0 };
+            match valmod_on(ps, &cfg) {
+                // Length-normalised, like `best_norm` below, so the
+                // cross-algorithm agreement check compares like with like.
+                Ok(out) => out.best_motif().map(|m| m.norm_dist()),
+                Err(_) => return AlgoResult::Skipped,
+            }
+        }
+        Algorithm::StompRange => {
+            match stomp_range_with_deadline(ps, l_min, l_max, policy, deadline) {
+                Ok((motifs, truncated)) => {
+                    if truncated {
+                        return AlgoResult::Dnf { secs: start.elapsed().as_secs_f64() };
+                    }
+                    best_norm(motifs.iter().flatten())
+                }
+                Err(_) => return AlgoResult::Skipped,
+            }
+        }
+        Algorithm::QuickMotif => {
+            let qm_cfg = QuickMotifConfig::default();
+            match quick_motif_range_with_deadline(ps, l_min, l_max, policy, &qm_cfg, deadline) {
+                Ok((motifs, truncated)) => {
+                    if truncated {
+                        return AlgoResult::Dnf { secs: start.elapsed().as_secs_f64() };
+                    }
+                    best_norm(motifs.iter().flatten())
+                }
+                Err(_) => return AlgoResult::Skipped,
+            }
+        }
+        Algorithm::Moen => match moen(ps, l_min, l_max, policy, deadline) {
+            Ok(out) => {
+                if out.truncated {
+                    return AlgoResult::Dnf { secs: start.elapsed().as_secs_f64() };
+                }
+                best_norm(out.motifs.iter().flatten())
+            }
+            Err(_) => return AlgoResult::Skipped,
+        },
+    };
+    // VALMOD has no internal deadline: it is the system under test and is
+    // expected to finish; still, honour the budget when reporting.
+    let secs = start.elapsed().as_secs_f64();
+    match best {
+        Some(d) => AlgoResult::Finished { secs, best_dist: d },
+        None => AlgoResult::Skipped,
+    }
+}
+
+/// The smallest length-normalised distance among per-length motifs (making
+/// results of different ranges comparable across algorithms).
+fn best_norm<'a>(motifs: impl Iterator<Item = &'a valmod_mp::motif::MotifPair>) -> Option<f64> {
+    motifs.map(|m| m.norm_dist()).fold(None, |acc, d| match acc {
+        Some(a) if a <= d => Some(a),
+        _ => Some(d),
+    })
+}
+
+/// Runs one sweep dimension across all five datasets and the four
+/// algorithms, printing the paper-style table and writing the CSV. `rows`
+/// holds `(row label, parameters)` pairs; the series for each dataset/row is
+/// generated at `params.n` points.
+pub fn run_sweep(experiment: &str, title: &str, rows: &[(String, BenchParams)]) {
+    use crate::report::Report;
+    use valmod_data::datasets::Dataset;
+
+    let deadline = crate::params::deadline();
+    let mut report = Report::new(
+        experiment,
+        &["dataset", "row", "n", "l_min", "l_max", "p", "VALMOD", "STOMP", "QUICKMOTIF", "MOEN"],
+    );
+    report.headline(title);
+    for ds in Dataset::ALL {
+        report.line(&format!("\n[{}]", ds.name()));
+        report.line(&format!(
+            "{:>16} {:>10} {:>10} {:>10} {:>10}",
+            "config",
+            Algorithm::Valmod.name(),
+            Algorithm::StompRange.name(),
+            Algorithm::QuickMotif.name(),
+            Algorithm::Moen.name()
+        ));
+        for (label, params) in rows {
+            let series = ds.generate(params.n, params.seed);
+            let ps = ProfiledSeries::new(&series);
+            let results: Vec<AlgoResult> = Algorithm::ALL
+                .iter()
+                .map(|&algo| run_algorithm(algo, &ps, params, deadline))
+                .collect();
+            report.line(&format!(
+                "{:>16} {} {} {} {}",
+                label,
+                results[0].cell(),
+                results[1].cell(),
+                results[2].cell(),
+                results[3].cell()
+            ));
+            // Cross-check: all finishers must agree on the best motif.
+            // (Strict equality is asserted in the test suite at controlled
+            // scale; here allow for incremental-dot-product drift near zero
+            // distances and warn loudly instead of aborting the sweep.)
+            let dists: Vec<f64> = results.iter().filter_map(|r| r.best_dist()).collect();
+            for w in dists.windows(2) {
+                if (w[0] - w[1]).abs() > 1e-3 * w[0].abs().max(1e-3) {
+                    report.line(&format!(
+                        "  !! WARNING: algorithms disagree on {} / {label}: {dists:?}",
+                        ds.name()
+                    ));
+                }
+            }
+            report.csv_row(&[
+                ds.name().into(),
+                label.clone(),
+                params.n.to_string(),
+                params.l_min.to_string(),
+                params.l_max().to_string(),
+                params.p.to_string(),
+                results[0].csv(),
+                results[1].csv(),
+                results[2].csv(),
+                results[3].csv(),
+            ]);
+        }
+    }
+    report.finish().expect("write CSV");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Scale;
+    use valmod_data::datasets::Dataset;
+
+    #[test]
+    fn all_algorithms_agree_on_the_best_motif() {
+        let series = Dataset::Ecg.generate(1500, 1);
+        let ps = ProfiledSeries::new(&series);
+        let params = BenchParams { l_min: 32, range: 6, n: 1500, p: 10, seed: 1 };
+        let deadline = Duration::from_secs(120);
+        let mut dists = Vec::new();
+        for algo in Algorithm::ALL {
+            match run_algorithm(algo, &ps, &params, deadline) {
+                AlgoResult::Finished { best_dist, .. } => dists.push((algo.name(), best_dist)),
+                other => panic!("{} did not finish: {other:?}", algo.name()),
+            }
+        }
+        for w in dists.windows(2) {
+            assert!(
+                (w[0].1 - w[1].1).abs() < 1e-6,
+                "algorithms disagree: {:?}",
+                dists
+            );
+        }
+    }
+
+    #[test]
+    fn skipped_when_series_too_short() {
+        let series = Dataset::Ecg.generate(64, 1);
+        let ps = ProfiledSeries::new(&series);
+        let params = BenchParams { l_min: 64, range: 8, n: 64, p: 10, seed: 1 };
+        for algo in Algorithm::ALL {
+            assert!(matches!(
+                run_algorithm(algo, &ps, &params, Duration::from_secs(5)),
+                AlgoResult::Skipped
+            ));
+        }
+    }
+
+    #[test]
+    fn default_scale_params_run_quickly_enough_for_tests() {
+        let scale = Scale(0.2);
+        let params = BenchParams::default_at(scale);
+        assert!(params.n <= 2_000);
+    }
+}

@@ -1,0 +1,160 @@
+//! A small hand-rolled argument parser (no external dependencies are
+//! permitted beyond the approved numeric crates, so no `clap`).
+//!
+//! Grammar: `valmod <subcommand> [--flag value]... [--switch]...`.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--switch` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (excluding the program name).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut raw = raw.into_iter().peekable();
+        let command = raw
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `valmod help`".into()))?;
+        if command.starts_with('-') {
+            return Err(ArgError(format!("expected a subcommand, got option {command:?}")));
+        }
+        let mut options = HashMap::new();
+        let mut switches = Vec::new();
+        while let Some(arg) = raw.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {arg:?}")));
+            };
+            if name.is_empty() {
+                return Err(ArgError("empty option name `--`".into()));
+            }
+            // `--key=value` form.
+            if let Some((k, v)) = name.split_once('=') {
+                options.insert(k.to_string(), v.to_string());
+                continue;
+            }
+            // `--key value` form when the next token is not an option;
+            // otherwise a bare switch.
+            match raw.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    options.insert(name.to_string(), raw.next().unwrap());
+                }
+                _ => switches.push(name.to_string()),
+            }
+        }
+        Ok(Args { command, options, switches })
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required parsed option.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let raw = self.require(key)?;
+        raw.parse().map_err(|_| ArgError(format!("cannot parse --{key} value {raw:?}")))
+    }
+
+    /// An optional parsed option with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => {
+                raw.parse().map_err(|_| ArgError(format!("cannot parse --{key} value {raw:?}")))
+            }
+        }
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Rejects unknown options (call after reading everything you accept).
+    pub fn reject_unknown(&self, accepted: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys().chain(self.switches.iter()) {
+            if !accepted.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option --{key} for `{}`; try `valmod help`",
+                    self.command
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_switches() {
+        let a = parse(&["discover", "--input", "x.csv", "--min", "10", "--quiet"]).unwrap();
+        assert_eq!(a.command, "discover");
+        assert_eq!(a.require("input").unwrap(), "x.csv");
+        assert_eq!(a.require_parsed::<usize>("min").unwrap(), 10);
+        assert!(a.switch("quiet"));
+        assert!(!a.switch("verbose"));
+    }
+
+    #[test]
+    fn parses_equals_form() {
+        let a = parse(&["discover", "--min=16", "--name=a b"]).unwrap();
+        assert_eq!(a.require_parsed::<usize>("min").unwrap(), 16);
+        assert_eq!(a.require("name").unwrap(), "a b");
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&["discover"]).unwrap();
+        assert_eq!(a.parsed_or("p", 50usize).unwrap(), 50);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--oops"]).is_err());
+        assert!(parse(&["run", "stray"]).is_err());
+        let a = parse(&["run", "--p", "abc"]).unwrap();
+        assert!(a.require_parsed::<usize>("p").is_err());
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn reject_unknown_catches_typos() {
+        let a = parse(&["run", "--imput", "x"]).unwrap();
+        assert!(a.reject_unknown(&["input"]).is_err());
+        assert!(a.reject_unknown(&["imput"]).is_ok());
+    }
+}

@@ -1,0 +1,317 @@
+//! `valmod` — variable-length motif discovery from the command line.
+//!
+//! ```text
+//! valmod discover  --input series.csv --min 64 --max 128 [--p 50] [--top 5] [--csv]
+//! valmod sets      --input series.csv --min 64 --max 128 --k 10 --radius 3.0
+//! valmod discords  --input series.csv --min 64 --max 128 [--top 3]
+//! valmod mp        --input series.csv --length 96 [--output profile.csv]
+//! valmod generate  --dataset ecg --n 20000 [--seed 1] --output series.csv
+//! valmod help
+//! ```
+//!
+//! Input files are text (one value per line, `#` comments, commas or
+//! whitespace) or raw little-endian `f64` when the extension is
+//! `.bin`/`.f64`.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, Args};
+use valmod_core::{
+    compute_var_length_motif_sets, top_variable_length_motifs, valmod, variable_length_discords,
+    ValmodConfig,
+};
+use valmod_data::datasets::Dataset;
+use valmod_data::io;
+use valmod_data::series::Series;
+use valmod_mp::{stomp, ExclusionPolicy, ProfiledSeries};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "discover" => cmd_discover(&args),
+        "sets" => cmd_sets(&args),
+        "discords" => cmd_discords(&args),
+        "mp" => cmd_mp(&args),
+        "profiles" => cmd_profiles(&args),
+        "join" => cmd_join(&args),
+        "hint" => cmd_hint(&args),
+        "generate" => cmd_generate(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}; try `valmod help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+const USAGE: &str = "\
+valmod — exact variable-length motif discovery (VALMOD, SIGMOD 2018)
+
+USAGE:
+  valmod discover  --input <file> --min <len> --max <len> [--p <n>] [--top <k>] [--csv]
+  valmod sets      --input <file> --min <len> --max <len> [--k <n>] [--radius <D>] [--p <n>]
+  valmod discords  --input <file> --min <len> --max <len> [--top <k>] [--p <n>]
+  valmod mp        --input <file> --length <len> [--output <file>]
+  valmod profiles  --input <file> --min <len> --max <len> [--p <n>] --output <dir>
+  valmod join      --input <file> --other <file> --length <len> [--top <k>]
+  valmod hint      --input <file> [--top <k>] [--min-period <n>]
+  valmod generate  --dataset <ecg|emg|gap|astro|eeg> --n <points> [--seed <s>] --output <file>
+  valmod help
+
+Input: text (one value per line; `#` comments; commas/whitespace) or raw
+little-endian f64 for `.bin`/`.f64` extensions.";
+
+fn load(args: &Args) -> Result<Series, Box<dyn std::error::Error>> {
+    Ok(io::load_auto(args.require("input")?)?)
+}
+
+fn range_config(args: &Args) -> Result<ValmodConfig, Box<dyn std::error::Error>> {
+    let l_min: usize = args.require_parsed("min")?;
+    let l_max: usize = args.require_parsed("max")?;
+    let p: usize = args.parsed_or("p", 50)?;
+    Ok(ValmodConfig::new(l_min, l_max).with_p(p))
+}
+
+fn cmd_discover(args: &Args) -> CliResult {
+    args.reject_unknown(&["input", "min", "max", "p", "top", "csv"])?;
+    let series = load(args)?;
+    let cfg = range_config(args)?;
+    let top: usize = args.parsed_or("top", 5)?;
+    let out = valmod(&series, &cfg)?;
+    let motifs = top_variable_length_motifs(&out.valmp, top, cfg.policy);
+    if args.switch("csv") {
+        println!("rank,offset_a,offset_b,length,dist,norm_dist");
+        for (rank, m) in motifs.iter().enumerate() {
+            println!("{},{},{},{},{:.6},{:.6}", rank + 1, m.a, m.b, m.l, m.dist, m.norm_dist());
+        }
+    } else {
+        println!(
+            "top {} variable-length motifs in [{}, {}] over {} points:",
+            motifs.len(),
+            cfg.l_min,
+            cfg.l_max,
+            series.len()
+        );
+        for (rank, m) in motifs.iter().enumerate() {
+            println!(
+                "  #{:<2} offsets ({:>7}, {:>7})  length {:>5}  dist {:>9.4}  norm {:>8.4}",
+                rank + 1,
+                m.a,
+                m.b,
+                m.l,
+                m.dist,
+                m.norm_dist()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sets(args: &Args) -> CliResult {
+    args.reject_unknown(&["input", "min", "max", "p", "k", "radius"])?;
+    let series = load(args)?;
+    let k: usize = args.parsed_or("k", 10)?;
+    let radius: f64 = args.parsed_or("radius", 3.0)?;
+    let cfg = range_config(args)?.with_pair_tracking(k);
+    let out = valmod(&series, &cfg)?;
+    let ps = ProfiledSeries::new(&series);
+    let tracker = out.best_pairs.expect("tracking enabled");
+    let (sets, stats) = compute_var_length_motif_sets(&ps, &tracker, radius, cfg.policy);
+    println!(
+        "{} motif sets (K={k}, D={radius}); {} expansions from snapshots, {} recomputed:",
+        sets.len(),
+        stats.served_from_snapshots,
+        stats.recomputed_profiles
+    );
+    for (rank, set) in sets.iter().enumerate() {
+        let mut offsets: Vec<usize> = set.members.iter().map(|m| m.offset).collect();
+        offsets.sort_unstable();
+        println!(
+            "  set #{:<2} length {:>5}  radius {:>8.4}  frequency {:>3}  offsets {:?}",
+            rank + 1,
+            set.l,
+            set.radius,
+            set.frequency(),
+            offsets
+        );
+    }
+    Ok(())
+}
+
+fn cmd_discords(args: &Args) -> CliResult {
+    args.reject_unknown(&["input", "min", "max", "p", "top"])?;
+    let series = load(args)?;
+    let cfg = range_config(args)?;
+    let top: usize = args.parsed_or("top", 3)?;
+    let out = valmod(&series, &cfg)?;
+    let discords = variable_length_discords(&out.valmp, top, cfg.policy);
+    println!("top {} variable-length discords in [{}, {}]:", discords.len(), cfg.l_min, cfg.l_max);
+    for (rank, d) in discords.iter().enumerate() {
+        println!(
+            "  #{:<2} offset {:>7}  best-match length {:>5}  nn {:>7}  score {:>8.4}",
+            rank + 1,
+            d.offset,
+            d.l,
+            d.nn,
+            d.score
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mp(args: &Args) -> CliResult {
+    args.reject_unknown(&["input", "length", "output"])?;
+    let series = load(args)?;
+    let l: usize = args.require_parsed("length")?;
+    let ps = ProfiledSeries::new(&series);
+    let profile = stomp(&ps, l, ExclusionPolicy::HALF)?;
+    match args.get("output") {
+        Some(path) => {
+            use std::io::Write;
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            writeln!(f, "offset,nn_dist,nn_offset")?;
+            for i in 0..profile.len() {
+                writeln!(f, "{},{:.6},{}", i, profile.mp[i], profile.ip[i] as i64)?;
+            }
+            println!("matrix profile (length {l}) written to {path}");
+        }
+        None => {
+            if let Some((a, b, d)) = profile.motif_pair() {
+                println!("motif pair at length {l}: offsets ({a}, {b}), dist {d:.4}");
+            }
+            if let Some((i, d)) = profile.discord() {
+                println!("discord  at length {l}: offset {i}, nn dist {d:.4}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_profiles(args: &Args) -> CliResult {
+    args.reject_unknown(&["input", "min", "max", "p", "output"])?;
+    let series = load(args)?;
+    let cfg = range_config(args)?;
+    let dir = std::path::PathBuf::from(args.require("output")?);
+    std::fs::create_dir_all(&dir)?;
+    let ps = ProfiledSeries::new(&series);
+    let (profiles, stats) =
+        valmod_core::complete_profiles(&ps, cfg.l_min, cfg.l_max, cfg.p, cfg.policy)?;
+    use std::io::Write;
+    for prof in &profiles {
+        let path = dir.join(format!("mp_{}.csv", prof.l));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "offset,nn_dist,nn_offset")?;
+        for i in 0..prof.len() {
+            writeln!(f, "{},{:.6},{}", i, prof.mp[i], prof.ip[i] as i64)?;
+        }
+    }
+    let certified: usize = stats.iter().map(|s| s.certified_rows).sum();
+    let recomputed: usize = stats.iter().map(|s| s.recomputed_rows).sum();
+    println!(
+        "wrote {} complete matrix profiles to {} ({} rows certified by the lower bound, {} recomputed)",
+        profiles.len(),
+        dir.display(),
+        certified,
+        recomputed
+    );
+    Ok(())
+}
+
+fn cmd_join(args: &Args) -> CliResult {
+    args.reject_unknown(&["input", "other", "length", "top"])?;
+    let a = load(args)?;
+    let b = io::load_auto(args.require("other")?)?;
+    let l: usize = args.require_parsed("length")?;
+    let top: usize = args.parsed_or("top", 3)?;
+    let pa = ProfiledSeries::new(&a);
+    let pb = ProfiledSeries::new(&b);
+    let join = valmod_mp::join::ab_join(&pa, &pb, l)?;
+    let mut order: Vec<usize> = (0..join.len()).filter(|&i| join.mp[i].is_finite()).collect();
+    order.sort_by(|&x, &y| join.mp[x].partial_cmp(&join.mp[y]).unwrap());
+    println!("top {} cross-series matches at length {l}:", top.min(order.len()));
+    let mut printed = 0usize;
+    let mut last: Option<usize> = None;
+    for &i in &order {
+        if printed >= top {
+            break;
+        }
+        // Skip trivially adjacent rows so the list shows distinct regions.
+        if let Some(prev) = last {
+            if i.abs_diff(prev) < l / 2 {
+                continue;
+            }
+        }
+        println!(
+            "  A offset {:>7} -> B offset {:>7}   dist {:>9.4}",
+            i, join.ip[i], join.mp[i]
+        );
+        last = Some(i);
+        printed += 1;
+    }
+    Ok(())
+}
+
+fn cmd_hint(args: &Args) -> CliResult {
+    args.reject_unknown(&["input", "top", "min-period"])?;
+    let series = load(args)?;
+    let top: usize = args.parsed_or("top", 3)?;
+    let min_period: usize = args.parsed_or("min-period", 8)?;
+    let hints = valmod_core::suggest_length_ranges(series.values(), top, min_period, 0.15);
+    if hints.is_empty() {
+        println!("no strong periodicities detected; try a wider search range manually");
+        return Ok(());
+    }
+    println!("suggested motif-length ranges (from autocorrelation peaks):");
+    for h in &hints {
+        println!(
+            "  period {:>6}  -> try --min {} --max {}   (strength {:.2})",
+            h.period, h.l_min, h.l_max, h.strength
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> CliResult {
+    args.reject_unknown(&["dataset", "n", "seed", "output"])?;
+    let name = args.require("dataset")?.to_ascii_uppercase();
+    let ds = Dataset::ALL
+        .into_iter()
+        .find(|d| d.name() == name)
+        .ok_or_else(|| ArgError(format!("unknown dataset {name:?} (ecg|emg|gap|astro|eeg)")))?;
+    let n: usize = args.require_parsed("n")?;
+    let seed: u64 = args.parsed_or("seed", 1)?;
+    let output = args.require("output")?;
+    let series = ds.generate(n, seed);
+    if output.ends_with(".bin") || output.ends_with(".f64") {
+        io::save_binary(&series, output)?;
+    } else {
+        io::save_text(&series, output)?;
+    }
+    let s = series.summary();
+    println!(
+        "wrote {} points of {} to {output} (mean {:.4}, std {:.4})",
+        s.len,
+        ds.name(),
+        s.mean,
+        s.std_dev
+    );
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! End-to-end tests of the `valmod` binary: generate → discover → sets →
+//! discords → mp → profiles → join, plus error handling.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> PathBuf {
+    // CARGO_BIN_EXE_<name> is set by cargo for integration tests of a crate
+    // with that binary target.
+    PathBuf::from(env!("CARGO_BIN_EXE_valmod"))
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("valmod_cli_test_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn generate_then_discover_pipeline() {
+    let dir = tmp_dir("pipeline");
+    let data = dir.join("ecg.csv");
+    let gen = run(&["generate", "--dataset", "ecg", "--n", "1500", "--seed", "3", "--output",
+        data.to_str().unwrap()]);
+    assert!(gen.status.success(), "{}", stderr(&gen));
+    assert!(stdout(&gen).contains("wrote 1500 points"));
+
+    let disc = run(&["discover", "--input", data.to_str().unwrap(), "--min", "32", "--max", "40",
+        "--p", "8", "--top", "3"]);
+    assert!(disc.status.success(), "{}", stderr(&disc));
+    let out = stdout(&disc);
+    assert!(out.contains("variable-length motifs"), "{out}");
+    assert!(out.contains("#1"), "{out}");
+
+    let csv = run(&["discover", "--input", data.to_str().unwrap(), "--min", "32", "--max", "36",
+        "--csv"]);
+    assert!(csv.status.success());
+    assert!(stdout(&csv).starts_with("rank,offset_a,offset_b,length,dist,norm_dist"));
+}
+
+#[test]
+fn sets_and_discords_run() {
+    let dir = tmp_dir("sets");
+    let data = dir.join("gap.csv");
+    assert!(run(&["generate", "--dataset", "gap", "--n", "1500", "--output",
+        data.to_str().unwrap()])
+    .status
+    .success());
+    let sets = run(&["sets", "--input", data.to_str().unwrap(), "--min", "32", "--max", "38",
+        "--k", "3", "--radius", "3.0"]);
+    assert!(sets.status.success(), "{}", stderr(&sets));
+    assert!(stdout(&sets).contains("motif sets"));
+
+    let discords = run(&["discords", "--input", data.to_str().unwrap(), "--min", "32", "--max",
+        "38", "--top", "2"]);
+    assert!(discords.status.success(), "{}", stderr(&discords));
+    assert!(stdout(&discords).contains("variable-length discords"));
+}
+
+#[test]
+fn mp_and_profiles_write_csv() {
+    let dir = tmp_dir("mp");
+    let data = dir.join("astro.bin");
+    assert!(run(&["generate", "--dataset", "astro", "--n", "1200", "--output",
+        data.to_str().unwrap()])
+    .status
+    .success());
+    let mp_out = dir.join("profile.csv");
+    let mp = run(&["mp", "--input", data.to_str().unwrap(), "--length", "48", "--output",
+        mp_out.to_str().unwrap()]);
+    assert!(mp.status.success(), "{}", stderr(&mp));
+    let content = std::fs::read_to_string(&mp_out).unwrap();
+    assert!(content.starts_with("offset,nn_dist,nn_offset"));
+    assert_eq!(content.lines().count(), 1200 - 48 + 1 + 1);
+
+    let profs_dir = dir.join("profiles");
+    let profs = run(&["profiles", "--input", data.to_str().unwrap(), "--min", "40", "--max",
+        "44", "--p", "5", "--output", profs_dir.to_str().unwrap()]);
+    assert!(profs.status.success(), "{}", stderr(&profs));
+    for l in 40..=44 {
+        assert!(profs_dir.join(format!("mp_{l}.csv")).exists(), "missing mp_{l}.csv");
+    }
+}
+
+#[test]
+fn join_finds_cross_series_match() {
+    let dir = tmp_dir("join");
+    let a = dir.join("a.csv");
+    let b = dir.join("b.csv");
+    // Same generator/seed → identical series → perfect cross matches.
+    for path in [&a, &b] {
+        assert!(run(&["generate", "--dataset", "eeg", "--n", "800", "--seed", "9", "--output",
+            path.to_str().unwrap()])
+        .status
+        .success());
+    }
+    let join = run(&["join", "--input", a.to_str().unwrap(), "--other", b.to_str().unwrap(),
+        "--length", "32", "--top", "2"]);
+    assert!(join.status.success(), "{}", stderr(&join));
+    let out = stdout(&join);
+    assert!(out.contains("cross-series matches"), "{out}");
+    assert!(out.contains("dist    0.0000") || out.contains("0.000"), "{out}");
+}
+
+#[test]
+fn helpful_errors_for_bad_usage() {
+    let none = run(&[]);
+    assert!(!none.status.success());
+    assert!(stderr(&none).contains("USAGE"));
+
+    let unknown = run(&["frobnicate"]);
+    assert!(!unknown.status.success());
+    assert!(stderr(&unknown).contains("unknown subcommand"));
+
+    let typo = run(&["discover", "--imput", "x.csv", "--min", "8", "--max", "9"]);
+    assert!(!typo.status.success());
+    assert!(stderr(&typo).contains("unknown option --imput"));
+
+    let missing = run(&["discover", "--min", "8", "--max", "9"]);
+    assert!(!missing.status.success());
+    assert!(stderr(&missing).contains("--input"));
+
+    let no_file = run(&["discover", "--input", "/definitely/not/here.csv", "--min", "8",
+        "--max", "9"]);
+    assert!(!no_file.status.success());
+}
+
+#[test]
+fn hint_suggests_the_heartbeat_band() {
+    let dir = tmp_dir("hint");
+    let data = dir.join("ecg.csv");
+    assert!(run(&["generate", "--dataset", "ecg", "--n", "4000", "--output",
+        data.to_str().unwrap()])
+    .status
+    .success());
+    let hint = run(&["hint", "--input", data.to_str().unwrap(), "--top", "2", "--min-period",
+        "16"]);
+    assert!(hint.status.success(), "{}", stderr(&hint));
+    let out = stdout(&hint);
+    assert!(out.contains("suggested motif-length ranges"), "{out}");
+    assert!(out.contains("--min"), "{out}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let help = run(&["help"]);
+    assert!(help.status.success());
+    assert!(stdout(&help).contains("USAGE"));
+}

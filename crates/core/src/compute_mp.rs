@@ -1,0 +1,171 @@
+//! `ComputeMatrixProfile` (paper Algorithm 3): STOMP plus lower-bound
+//! harvesting.
+//!
+//! This reuses the [`StompDriver`] row streamer from `valmod-mp` and, for
+//! every row, retains the `p` entries with the smallest Eq. 2 lower bounds in
+//! that row's [`PartialProfile`] (`listDP` in the paper). Total cost
+//! `O(n² log p)`.
+
+use valmod_data::error::Result;
+use valmod_mp::distance::is_flat;
+use valmod_mp::distance_profile::profile_min;
+use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::matrix_profile::MatrixProfile;
+use valmod_mp::stomp::StompDriver;
+use valmod_mp::ProfiledSeries;
+
+use crate::lb::lb_key;
+use crate::profile::{DpEntry, PartialProfile};
+
+/// A matrix profile together with the per-row partial distance profiles
+/// harvested while computing it.
+#[derive(Debug, Clone)]
+pub struct MpWithProfiles {
+    /// The exact matrix profile at the anchor length.
+    pub profile: MatrixProfile,
+    /// `listDP`: one partial profile per row, anchored at the same length.
+    pub partials: Vec<PartialProfile>,
+}
+
+/// Derives the Eq. 2 anchor key for a pair from its already-computed
+/// distance: `q = 1 − d²/(2ℓ)`. Pairs involving a flat subsequence fall back
+/// to key 0 (LB 0, unconditionally admissible), because the analytic bound's
+/// derivation assumes both σ > 0.
+#[inline]
+fn key_for_pair(dist: f64, l: usize, owner_flat: bool, neighbor_flat: bool) -> f64 {
+    if owner_flat || neighbor_flat {
+        return 0.0;
+    }
+    let q = 1.0 - (dist * dist) / (2.0 * l as f64);
+    lb_key(q.clamp(-1.0, 1.0), l)
+}
+
+/// Harvests the `p` smallest-LB entries of one freshly computed distance
+/// profile row into `prof` (which must already be (re-)anchored at `l`).
+pub(crate) fn harvest_row(
+    ps: &ProfiledSeries,
+    prof: &mut PartialProfile,
+    dp: &[f64],
+    qt: &[f64],
+    owner: usize,
+    l: usize,
+) {
+    let owner_flat = is_flat(ps.std(owner, l), ps.mean_c(owner, l));
+    for (i, (&dist, &q)) in dp.iter().zip(qt).enumerate() {
+        if !dist.is_finite() {
+            continue; // exclusion zone
+        }
+        let neighbor_flat = is_flat(ps.std(i, l), ps.mean_c(i, l));
+        let key = key_for_pair(dist, l, owner_flat, neighbor_flat);
+        prof.offer(DpEntry { neighbor: i, qt: q, dist, lb_key: key });
+    }
+}
+
+/// Computes the matrix profile at length `l`, harvesting `p` lower-bound
+/// entries per row (paper Algorithm 3).
+pub fn compute_matrix_profile(
+    ps: &ProfiledSeries,
+    l: usize,
+    p: usize,
+    policy: ExclusionPolicy,
+) -> Result<MpWithProfiles> {
+    let mut driver = StompDriver::new(ps, l, policy)?;
+    let ndp = driver.ndp();
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    let mut partials: Vec<PartialProfile> = (0..ndp)
+        .map(|j| PartialProfile::new(j, l, ps.std(j, l), p))
+        .collect();
+    let mut dp = Vec::with_capacity(ndp);
+    while let Some(row) = driver.next_row(&mut dp) {
+        if let Some((arg, d)) = profile_min(&dp) {
+            mp[row] = d;
+            ip[row] = arg;
+        }
+        harvest_row(ps, &mut partials[row], &dp, driver.qt(), row, l);
+    }
+    Ok(MpWithProfiles {
+        profile: MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) },
+        partials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::random_walk;
+    use valmod_mp::stomp::stomp;
+
+    #[test]
+    fn profile_part_matches_plain_stomp() {
+        let ps = ProfiledSeries::from_values(&random_walk(400, 19)).unwrap();
+        let with = compute_matrix_profile(&ps, 24, 5, ExclusionPolicy::HALF).unwrap();
+        let plain = stomp(&ps, 24, ExclusionPolicy::HALF).unwrap();
+        for i in 0..plain.len() {
+            assert!((with.profile.mp[i] - plain.mp[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn partials_hold_p_smallest_lb_entries() {
+        let ps = ProfiledSeries::from_values(&random_walk(300, 23)).unwrap();
+        let p = 4;
+        let l = 16;
+        let policy = ExclusionPolicy::HALF;
+        let with = compute_matrix_profile(&ps, l, p, policy).unwrap();
+        // Recompute row 10's keys exhaustively and compare to the heap.
+        let row = 10usize;
+        let dp = valmod_mp::distance_profile::self_distance_profile(&ps, row, l, &policy);
+        let mut keys: Vec<f64> = dp
+            .iter()
+            .filter(|d| d.is_finite())
+            .map(|&d| {
+                let q = (1.0 - d * d / (2.0 * l as f64)).clamp(-1.0, 1.0);
+                crate::lb::lb_key(q, l)
+            })
+            .collect();
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut got: Vec<f64> = with.partials[row].entries().iter().map(|e| e.lb_key).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got.len(), p);
+        for (a, b) in got.iter().zip(&keys[..p]) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn partial_entries_store_true_distances_and_dot_products() {
+        let ps = ProfiledSeries::from_values(&random_walk(250, 29)).unwrap();
+        let l = 20;
+        let with = compute_matrix_profile(&ps, l, 6, ExclusionPolicy::HALF).unwrap();
+        let t = ps.centered();
+        for prof in with.partials.iter().step_by(31) {
+            let j = prof.owner;
+            for e in prof.entries() {
+                let i = e.neighbor;
+                let qt: f64 = t[j..j + l].iter().zip(&t[i..i + l]).map(|(a, b)| a * b).sum();
+                assert!((e.qt - qt).abs() < 1e-6, "qt mismatch for ({j},{i})");
+                let d = valmod_mp::distance::zdist_naive(
+                    &t[j..j + l],
+                    &t[i..i + l],
+                );
+                assert!((e.dist - d).abs() < 1e-6, "dist mismatch for ({j},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_owner_rows_get_zero_keys() {
+        // A series with a long constant stretch: rows inside it are flat.
+        let mut series = random_walk(200, 3);
+        for v in &mut series[50..90] {
+            *v = 1.0;
+        }
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let with = compute_matrix_profile(&ps, 16, 3, ExclusionPolicy::HALF).unwrap();
+        // Row 60 (fully inside the flat stretch) should have key-0 entries.
+        for e in with.partials[60].entries() {
+            assert_eq!(e.lb_key, 0.0);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Suggesting a motif length *range* from the data.
+//!
+//! The paper's core motivation is that users cannot be expected to know the
+//! right motif length. VALMOD removes the need to pick a single length, but
+//! the user still supplies the range `[ℓ_min, ℓ_max]`. This module closes
+//! the loop: it detects the dominant periodicities of the series from its
+//! (FFT-computed) circular autocorrelation and turns them into candidate
+//! length ranges to hand to [`crate::valmod::valmod`].
+//!
+//! This is a pragmatic helper, not part of the paper's algorithms; it is
+//! deterministic and cheap (`O(n log n)`).
+
+use valmod_fft::complex::Complex;
+use valmod_fft::radix2::Radix2Plan;
+
+/// A candidate motif-length range derived from a periodicity peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthHint {
+    /// The detected period (lag of an autocorrelation peak).
+    pub period: usize,
+    /// Suggested `ℓ_min` (¾ of the period).
+    pub l_min: usize,
+    /// Suggested `ℓ_max` (1¼ of the period).
+    pub l_max: usize,
+    /// Normalised autocorrelation at the peak (0–1; higher = stronger).
+    pub strength: f64,
+}
+
+/// Computes the biased, mean-removed autocorrelation of `values` for lags
+/// `1..max_lag`, normalised by lag 0 (so output values lie in [−1, 1]).
+pub fn autocorrelation(values: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = values.len();
+    if n < 2 || max_lag == 0 {
+        return Vec::new();
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    // Zero-pad to at least 2n to make the circular correlation linear.
+    let m = (2 * n).next_power_of_two();
+    let plan = Radix2Plan::new(m);
+    let mut buf = vec![Complex::ZERO; m];
+    for (b, &v) in buf.iter_mut().zip(values) {
+        b.re = v - mean;
+    }
+    plan.forward(&mut buf);
+    for z in buf.iter_mut() {
+        *z = Complex::from_real(z.norm_sqr());
+    }
+    plan.inverse(&mut buf);
+    let r0 = buf[0].re.max(1e-300);
+    (1..=max_lag.min(n - 1)).map(|lag| buf[lag].re / r0).collect()
+}
+
+/// Suggests up to `k` candidate length ranges from autocorrelation peaks.
+///
+/// Peaks are local maxima of the lag-domain autocorrelation above
+/// `min_strength`, greedily selected strongest-first with near-harmonic
+/// duplicates (within ±25 % of an already chosen period) suppressed. Lags
+/// below `min_period` are ignored (sensor-noise scale).
+pub fn suggest_length_ranges(
+    values: &[f64],
+    k: usize,
+    min_period: usize,
+    min_strength: f64,
+) -> Vec<LengthHint> {
+    let max_lag = values.len() / 2;
+    let ac = autocorrelation(values, max_lag);
+    if ac.len() < 3 {
+        return Vec::new();
+    }
+    // Local maxima (strictly above both neighbours).
+    let mut peaks: Vec<(usize, f64)> = Vec::new();
+    for lag in 1..ac.len() - 1 {
+        let period = lag + 1; // ac[0] is lag 1
+        if period < min_period.max(2) {
+            continue;
+        }
+        if ac[lag] > ac[lag - 1] && ac[lag] >= ac[lag + 1] && ac[lag] >= min_strength {
+            peaks.push((period, ac[lag]));
+        }
+    }
+    peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut out: Vec<LengthHint> = Vec::new();
+    for (period, strength) in peaks {
+        if out.len() >= k {
+            break;
+        }
+        let duplicate = out.iter().any(|h| {
+            let ratio = period as f64 / h.period as f64;
+            (0.75..=1.25).contains(&ratio)
+        });
+        if duplicate {
+            continue;
+        }
+        out.push(LengthHint {
+            period,
+            l_min: (period * 3 / 4).max(4),
+            l_max: (period * 5 / 4).max(5),
+            strength,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::datasets::ecg_like;
+    use valmod_data::generators::{gaussian_noise, sine_mixture};
+
+    #[test]
+    fn autocorrelation_of_sine_peaks_at_its_period() {
+        // Period 50 (frequency 0.02), noiseless.
+        let s = sine_mixture(2000, &[(0.02, 1.0)], 0.0, 0);
+        let ac = autocorrelation(&s, 200);
+        // Lag 50 ⇒ index 49.
+        let peak = ac[49];
+        assert!(peak > 0.9, "autocorrelation at the true period: {peak}");
+        // Half-period anti-correlates.
+        assert!(ac[24] < -0.5, "half-period value {}", ac[24]);
+    }
+
+    #[test]
+    fn autocorrelation_matches_direct_computation() {
+        let s: Vec<f64> = (0..257).map(|i| ((i * i) % 23) as f64 - 11.0).collect();
+        let fast = autocorrelation(&s, 40);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let r0: f64 = s.iter().map(|&v| (v - mean) * (v - mean)).sum();
+        for (idx, &got) in fast.iter().enumerate() {
+            let lag = idx + 1;
+            let direct: f64 = s[..s.len() - lag]
+                .iter()
+                .zip(&s[lag..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / r0;
+            assert!((got - direct).abs() < 1e-8, "lag {lag}: {got} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn suggests_the_sine_period() {
+        let s = sine_mixture(4000, &[(0.01, 1.0)], 0.05, 3);
+        let hints = suggest_length_ranges(&s, 2, 8, 0.2);
+        assert!(!hints.is_empty());
+        let h = hints[0];
+        assert!(
+            h.period.abs_diff(100) <= 3,
+            "expected period ≈ 100, got {} (strength {})",
+            h.period,
+            h.strength
+        );
+        assert!(h.l_min < 100 && h.l_max > 100);
+    }
+
+    #[test]
+    fn suggests_the_heartbeat_period_on_ecg() {
+        let s = ecg_like(6000, 1);
+        let hints = suggest_length_ranges(s.values(), 3, 16, 0.1);
+        assert!(
+            hints.iter().any(|h| h.period.abs_diff(140) <= 20),
+            "expected a hint near the 140-sample beat, got {hints:?}"
+        );
+    }
+
+    #[test]
+    fn white_noise_yields_no_strong_hints() {
+        let s = gaussian_noise(4000, 9);
+        let hints = suggest_length_ranges(&s, 3, 8, 0.3);
+        assert!(hints.is_empty(), "noise should not produce strong periods: {hints:?}");
+    }
+
+    #[test]
+    fn harmonics_are_suppressed() {
+        let s = sine_mixture(4000, &[(0.02, 1.0)], 0.0, 0);
+        let hints = suggest_length_ranges(&s, 5, 8, 0.5);
+        // All returned periods should be (near) multiples of 50 but not
+        // within 25 % of each other.
+        for w in hints.windows(2) {
+            let ratio = w[1].period as f64 / w[0].period as f64;
+            assert!(!(0.75..=1.25).contains(&ratio), "{hints:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        assert!(autocorrelation(&[], 10).is_empty());
+        assert!(autocorrelation(&[1.0], 10).is_empty());
+        assert!(suggest_length_ranges(&[1.0, 2.0], 3, 2, 0.1).is_empty());
+    }
+}

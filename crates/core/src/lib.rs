@@ -1,0 +1,78 @@
+//! # valmod-core
+//!
+//! An exact, from-scratch Rust implementation of **VALMOD** (Linardi, Zhu,
+//! Palpanas, Keogh — *Matrix Profile X: VALMOD — Scalable Discovery of
+//! Variable-Length Motifs in Data Series*, SIGMOD 2018).
+//!
+//! Given a data series and a length range `[ℓ_min, ℓ_max]`, VALMOD finds the
+//! exact motif pair of *every* length in the range — plus the
+//! variable-length matrix profile (VALMP), ranked variable-length motifs,
+//! top-K motif sets, and variable-length discords — while doing only a small
+//! multiple of the work of a single-length search. The enabling idea is the
+//! Eq. 2 lower-bounding distance ([`lb`]), whose per-profile rank
+//! preservation lets each distance profile be summarised by its `p`
+//! smallest-lower-bound entries ([`profile::PartialProfile`]).
+//!
+//! ## Module map (↔ paper)
+//!
+//! | Module | Paper |
+//! |---|---|
+//! | [`lb`] | §4.1, Eq. 2 + TLB (§6.2) |
+//! | [`profile`] | `listDP` heaps, `updateDistAndLB` |
+//! | [`compute_mp`] | Algorithm 3 (`ComputeMatrixProfile`) |
+//! | [`sub_mp`] | Algorithm 4 (`ComputeSubMP`) |
+//! | [`valmp`] | Algorithm 2 (`updateVALMP`) |
+//! | [`valmod`] | Algorithm 1 (driver) |
+//! | [`pairs`] | Algorithm 5 (`updateVALMPForMotifSets`) |
+//! | [`motif_sets`] | Algorithm 6 (`computeVarLengthMotifSets`), Def. 2.6 |
+//! | [`ranking`] | §3 (length-normalised comparison, Fig. 2) |
+//! | [`discords`] | §8 future work: variable-length discords |
+//! | [`complete_profiles`] | §8 future work: complete per-length profiles |
+//! | [`instrument`] | Figs. 9–11 diagnostics |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use valmod_core::{valmod, ValmodConfig};
+//! use valmod_data::generators::plant_motif;
+//! use valmod_data::series::Series;
+//!
+//! // A series with a planted motif of length 64.
+//! let (values, planted) = plant_motif(3_000, 64, 2, 0.001, 7);
+//! let series = Series::new(values).unwrap();
+//!
+//! // Search every length in [48, 80].
+//! let output = valmod(&series, &ValmodConfig::new(48, 80)).unwrap();
+//! let best = output.best_motif().unwrap();
+//! // The best variable-length motif lands inside the planted instances.
+//! assert!(planted.offsets.iter().any(|&o| best.a.abs_diff(o) < 64));
+//! assert!(planted.offsets.iter().any(|&o| best.b.abs_diff(o) < 64));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod complete_profiles;
+pub mod compute_mp;
+pub mod discords;
+pub mod instrument;
+pub mod lb;
+pub mod length_hint;
+pub mod motif_sets;
+pub mod pairs;
+pub mod profile;
+pub mod ranking;
+pub mod sub_mp;
+pub mod valmod;
+pub mod valmp;
+
+pub use complete_profiles::{complete_profiles, CompletionStats};
+pub use length_hint::{suggest_length_ranges, LengthHint};
+pub use compute_mp::{compute_matrix_profile, MpWithProfiles};
+pub use discords::{variable_length_discords, VariableLengthDiscord};
+pub use motif_sets::{compute_var_length_motif_sets, MotifSet, SetMember, SetStats};
+pub use pairs::{BestKPairs, PairCandidate};
+pub use ranking::{top_variable_length_motifs, LengthCorrection};
+pub use sub_mp::{compute_sub_mp, SubMpResult};
+pub use valmod::{valmod, valmod_on, LengthMethod, LengthReport, ValmodConfig, ValmodOutput};
+pub use valmp::Valmp;

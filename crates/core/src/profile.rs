@@ -1,0 +1,343 @@
+//! Partial distance profiles: the `listDP` structure of paper Algorithm 3.
+//!
+//! For each distance profile `j`, VALMOD retains only the `p` entries with
+//! the smallest Eq. 2 lower bounds, in a bounded max-heap (largest LB at the
+//! root, so the worst retained entry is evicted first). Because all entries
+//! of a profile share the σ-ratio scaling factor, the anchor-time ordering
+//! by [`crate::lb::lb_key`] *is* the ordering at every later length.
+
+use valmod_mp::distance::dist_from_qt;
+use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::ProfiledSeries;
+
+use crate::lb::lb_scale;
+
+/// One retained entry of a partial distance profile: the pair
+/// (profile owner `j`, neighbour), with enough state to advance both its
+/// true distance and its lower bound to the next length in O(1).
+#[derive(Debug, Clone, Copy)]
+pub struct DpEntry {
+    /// Neighbour offset (`i` in the paper's `d_{i,j}`).
+    pub neighbor: usize,
+    /// Dot product `⟨T_{neighbor,L}, T_{j,L}⟩` in the centred domain, for the
+    /// length `L` the entry was last advanced to.
+    pub qt: f64,
+    /// True z-normalised distance at that length.
+    pub dist: f64,
+    /// Squared anchor LB component (`ℓ` or `ℓ(1 − q²)` at the anchor length);
+    /// the heap key.
+    pub lb_key: f64,
+}
+
+impl DpEntry {
+    /// The anchor LB value `sqrt(lb_key)`.
+    #[inline]
+    pub fn lb_base(&self) -> f64 {
+        self.lb_key.sqrt()
+    }
+}
+
+/// The partial distance profile of one subsequence: its `p` smallest-LB
+/// entries plus the anchor state needed to scale those LBs to any length.
+#[derive(Debug, Clone)]
+pub struct PartialProfile {
+    /// Offset of the profile owner (`j`).
+    pub owner: usize,
+    /// Length at which the retained entries were last advanced.
+    pub current_l: usize,
+    /// Length at which the entries were harvested (LB anchor).
+    pub anchor_l: usize,
+    /// `σ(T_{owner, anchor_l})` — numerator of the Eq. 2 σ-ratio.
+    pub anchor_sigma: f64,
+    /// Max-heap by `lb_key`; at most `capacity` entries.
+    entries: Vec<DpEntry>,
+    capacity: usize,
+}
+
+impl PartialProfile {
+    /// Creates an empty profile anchored at `anchor_l`.
+    pub fn new(owner: usize, anchor_l: usize, anchor_sigma: f64, capacity: usize) -> Self {
+        assert!(capacity > 0, "profile capacity p must be positive");
+        PartialProfile {
+            owner,
+            current_l: anchor_l,
+            anchor_l,
+            anchor_sigma,
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of retained entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entry is retained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the heap holds its full `p` entries. When it does not, *every*
+    /// finite pair of the profile was retained, so the profile is complete.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// The capacity `p` the profile was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained entries, heap-ordered (no particular sort).
+    #[inline]
+    pub fn entries(&self) -> &[DpEntry] {
+        &self.entries
+    }
+
+    /// Mutable access for the O(1) per-length advance.
+    #[inline]
+    pub fn entries_mut(&mut self) -> &mut [DpEntry] {
+        &mut self.entries
+    }
+
+    /// The largest retained `lb_key` (heap root), or `None` when empty.
+    #[inline]
+    pub fn max_lb_key(&self) -> Option<f64> {
+        self.entries.first().map(|e| e.lb_key)
+    }
+
+    /// The threshold `maxLB` at length `l`: the largest retained anchor LB,
+    /// scaled by the σ-ratio. Unstored pairs of this profile all have true
+    /// distance ≥ this value (heap property + Eq. 2 rank preservation).
+    ///
+    /// Returns `+∞` when the heap never filled (then there *are* no unstored
+    /// pairs and the profile is complete).
+    pub fn max_lb_at(&self, sigma_new: f64) -> f64 {
+        if !self.is_full() {
+            return f64::INFINITY;
+        }
+        match self.max_lb_key() {
+            Some(key) => lb_scale(key.sqrt(), self.anchor_sigma, sigma_new),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Offers an entry during harvesting (paper Alg. 3 lines 18–24): keep it
+    /// iff the heap is not full or its `lb_key` beats the current worst.
+    #[inline]
+    pub fn offer(&mut self, entry: DpEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            self.sift_up(self.entries.len() - 1);
+        } else if entry.lb_key < self.entries[0].lb_key {
+            self.entries[0] = entry;
+            self.sift_down(0);
+        }
+    }
+
+    /// Clears the profile and re-anchors it at a new length (used when a
+    /// distance profile is recomputed from scratch, Alg. 4 lines 30–34).
+    pub fn reanchor(&mut self, anchor_l: usize, anchor_sigma: f64) {
+        self.entries.clear();
+        self.anchor_l = anchor_l;
+        self.current_l = anchor_l;
+        self.anchor_sigma = anchor_sigma;
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.entries[idx].lb_key > self.entries[parent].lb_key {
+                self.entries.swap(idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        let n = self.entries.len();
+        loop {
+            let (l, r) = (2 * idx + 1, 2 * idx + 2);
+            let mut largest = idx;
+            if l < n && self.entries[l].lb_key > self.entries[largest].lb_key {
+                largest = l;
+            }
+            if r < n && self.entries[r].lb_key > self.entries[largest].lb_key {
+                largest = r;
+            }
+            if largest == idx {
+                break;
+            }
+            self.entries.swap(idx, largest);
+            idx = largest;
+        }
+    }
+}
+
+/// Outcome of advancing one entry to a new length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EntryState {
+    /// The pair is still valid; distance and LB were updated.
+    Valid {
+        /// True z-normalised distance at the new length.
+        dist: f64,
+    },
+    /// The pair no longer exists at this length (neighbour slid off the end
+    /// of the series, or the grown exclusion zone swallowed it).
+    Invalid,
+}
+
+/// Advances one entry from `profile.current_l` to `new_l` in O(1) per unit
+/// length step (paper's `updateDistAndLB`): extend the dot product with the
+/// newly covered samples, then recompute distance (Eq. 3) and LB (Eq. 2
+/// σ-ratio) from the O(1) rolling statistics.
+pub fn update_dist_and_lb(
+    ps: &ProfiledSeries,
+    entry: &mut DpEntry,
+    owner: usize,
+    from_l: usize,
+    new_l: usize,
+    policy: &ExclusionPolicy,
+) -> EntryState {
+    debug_assert!(new_l >= from_l);
+    let n = ps.len();
+    let i = entry.neighbor;
+    if i + new_l > n || owner + new_l > n || policy.is_trivial(owner, i, new_l) {
+        // Invalidity is permanent (the exclusion radius only grows and the
+        // series end only gets closer), so the stale dot product is never
+        // read again. The infinite distance marks the entry dead for
+        // snapshots and minima.
+        entry.dist = f64::INFINITY;
+        return EntryState::Invalid;
+    }
+    let t = ps.centered();
+    for step in from_l..new_l {
+        entry.qt += t[owner + step] * t[i + step];
+    }
+    let dist = dist_from_qt(
+        entry.qt,
+        new_l,
+        ps.mean_c(i, new_l),
+        ps.std(i, new_l),
+        ps.mean_c(owner, new_l),
+        ps.std(owner, new_l),
+    );
+    entry.dist = dist;
+    EntryState::Valid { dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::random_walk;
+    use valmod_mp::distance::zdist_naive;
+
+    fn entry(neighbor: usize, lb_key: f64) -> DpEntry {
+        DpEntry { neighbor, qt: 0.0, dist: 0.0, lb_key }
+    }
+
+    #[test]
+    fn heap_keeps_p_smallest_keys() {
+        let mut p = PartialProfile::new(0, 8, 1.0, 3);
+        for (n, key) in [(1usize, 5.0), (2, 1.0), (3, 4.0), (4, 0.5), (5, 3.0)] {
+            p.offer(entry(n, key));
+        }
+        assert_eq!(p.len(), 3);
+        let mut keys: Vec<f64> = p.entries().iter().map(|e| e.lb_key).collect();
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(keys, vec![0.5, 1.0, 3.0]);
+        assert_eq!(p.max_lb_key(), Some(3.0));
+    }
+
+    #[test]
+    fn unfilled_heap_reports_infinite_threshold() {
+        let mut p = PartialProfile::new(0, 8, 2.0, 4);
+        p.offer(entry(1, 2.0));
+        assert!(p.max_lb_at(1.0).is_infinite());
+    }
+
+    #[test]
+    fn max_lb_scales_with_sigma_ratio() {
+        let mut p = PartialProfile::new(0, 8, 2.0, 2);
+        p.offer(entry(1, 4.0));
+        p.offer(entry(2, 9.0));
+        // maxLB = sqrt(9) * 2.0/σ_new.
+        assert!((p.max_lb_at(1.0) - 6.0).abs() < 1e-12);
+        assert!((p.max_lb_at(4.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reanchor_clears_state() {
+        let mut p = PartialProfile::new(3, 8, 2.0, 2);
+        p.offer(entry(1, 4.0));
+        p.reanchor(12, 3.0);
+        assert!(p.is_empty());
+        assert_eq!(p.anchor_l, 12);
+        assert_eq!(p.current_l, 12);
+        assert_eq!(p.anchor_sigma, 3.0);
+    }
+
+    #[test]
+    fn update_advances_distance_exactly() {
+        let series = random_walk(300, 5);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let policy = ExclusionPolicy::HALF;
+        let (owner, neighbor, l0) = (20usize, 150usize, 16usize);
+        let t = ps.centered();
+        let qt0: f64 = t[owner..owner + l0].iter().zip(&t[neighbor..neighbor + l0]).map(|(a, b)| a * b).sum();
+        let mut e = DpEntry { neighbor, qt: qt0, dist: 0.0, lb_key: 0.0 };
+        for new_l in (l0 + 1)..(l0 + 40) {
+            match update_dist_and_lb(&ps, &mut e, owner, new_l - 1, new_l, &policy) {
+                EntryState::Valid { dist } => {
+                    let oracle =
+                        zdist_naive(&series[owner..owner + new_l], &series[neighbor..neighbor + new_l]);
+                    assert!((dist - oracle).abs() < 1e-7, "l={new_l}: {dist} vs {oracle}");
+                }
+                EntryState::Invalid => panic!("pair should stay valid at l={new_l}"),
+            }
+        }
+    }
+
+    #[test]
+    fn update_detects_slide_off_the_end() {
+        let series = random_walk(100, 1);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let mut e = DpEntry { neighbor: 80, qt: 0.0, dist: 0.0, lb_key: 0.0 };
+        // neighbor 80 + length 21 > 100 ⇒ invalid.
+        let state = update_dist_and_lb(&ps, &mut e, 0, 20, 21, &ExclusionPolicy::HALF);
+        assert_eq!(state, EntryState::Invalid);
+    }
+
+    #[test]
+    fn update_detects_growing_exclusion_zone() {
+        let series = random_walk(200, 2);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        // |owner − neighbor| = 12: valid at ℓ = 20 (radius 10), trivial at
+        // ℓ = 25 (radius 13).
+        let t = ps.centered();
+        let qt0: f64 = t[0..20].iter().zip(&t[12..32]).map(|(a, b)| a * b).sum();
+        let mut e = DpEntry { neighbor: 12, qt: qt0, dist: 0.0, lb_key: 0.0 };
+        assert!(matches!(
+            update_dist_and_lb(&ps, &mut e, 0, 20, 21, &ExclusionPolicy::HALF),
+            EntryState::Valid { .. }
+        ));
+        let mut e2 = e;
+        assert_eq!(
+            update_dist_and_lb(&ps, &mut e2, 0, 21, 25, &ExclusionPolicy::HALF),
+            EntryState::Invalid
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        PartialProfile::new(0, 8, 1.0, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! `ComputeSubMP` (paper Algorithm 4): the motif of the next length from the
+//! partial distance profiles alone — `O(np)` in the best case.
+//!
+//! ## Soundness argument (mirrors §4.1/§4.4 of the paper)
+//!
+//! For each profile `j`, the heap retained the `p` pairs with the smallest
+//! anchor LBs; every *unstored* pair therefore has anchor LB ≥ the heap
+//! maximum. Scaling by the shared σ-ratio preserves that ordering at the new
+//! length, so every unstored pair's true distance is ≥ `maxLB`:
+//!
+//! * **valid profile** (`minDist ≤ maxLB`): the minimum over stored entries
+//!   is the profile's true minimum — `SubMP[j]` is exact.
+//! * **non-valid profile**: every one of its distances (stored > `minDist` >
+//!   `maxLB` reasoning inverted, unstored ≥ `maxLB`) is ≥ `maxLB`.
+//!
+//! Hence if the global minimum over valid profiles beats the smallest
+//! `maxLB` among non-valid profiles, it is the true motif distance
+//! (`bBestM`). Entries that become invalid at the new length (neighbour
+//! slides off the end, or the grown exclusion zone swallows the pair) only
+//! *shrink* the set of real pairs, so discarding them keeps every statement
+//! above conservative.
+
+use valmod_mp::distance_profile::{dp_from_qt_into, profile_min, self_qt};
+use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::ProfiledSeries;
+
+use crate::compute_mp::harvest_row;
+use crate::profile::{update_dist_and_lb, EntryState, PartialProfile};
+
+/// Result of one `ComputeSubMP` invocation.
+#[derive(Debug, Clone)]
+pub struct SubMpResult {
+    /// `bBestM`: whether `sub_mp` is guaranteed to contain the true motif
+    /// distance for this length.
+    pub found_motif: bool,
+    /// Partial matrix profile: exact minima for valid (and recomputed) rows,
+    /// `NaN` (the paper's ⊥) for rows whose minimum is unknown, `+∞` for
+    /// rows with no valid pair at this length.
+    pub sub_mp: Vec<f64>,
+    /// Nearest-neighbour offsets matching `sub_mp` (`usize::MAX` when
+    /// unknown or absent).
+    pub ip: Vec<usize>,
+    /// Instrumentation: rows whose stored minimum was provably exact.
+    pub valid_rows: usize,
+    /// Instrumentation: rows marked ⊥ in the first pass.
+    pub nonvalid_rows: usize,
+    /// Instrumentation: rows recomputed in the last-chance pass.
+    pub recomputed_rows: usize,
+}
+
+impl SubMpResult {
+    /// Number of known (non-⊥) entries — the "size of the matrix profile
+    /// subset" plotted in the paper's Fig. 14 (right).
+    pub fn known_entries(&self) -> usize {
+        self.sub_mp.iter().filter(|d| !d.is_nan()).count()
+    }
+
+    /// The minimum known distance and its offset, if any finite entry exists.
+    pub fn min_entry(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &d) in self.sub_mp.iter().enumerate() {
+            if d.is_finite() && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best
+    }
+}
+
+/// Advances all partial profiles to `new_l` and attempts to derive the
+/// motif of that length without recomputing the matrix profile
+/// (paper Algorithm 4).
+pub fn compute_sub_mp(
+    ps: &ProfiledSeries,
+    partials: &mut [PartialProfile],
+    new_l: usize,
+    policy: ExclusionPolicy,
+) -> SubMpResult {
+    let ndp = ps.num_subsequences(new_l);
+    debug_assert!(ndp <= partials.len());
+    let mut sub_mp = vec![f64::NAN; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    let mut min_dist_abs = f64::INFINITY;
+    let mut min_lb_abs = f64::INFINITY;
+    let mut non_valid: Vec<(usize, f64)> = Vec::new();
+    let p = partials.first().map_or(1, |pr| pr.capacity());
+
+    for (j, prof) in partials.iter_mut().enumerate().take(ndp) {
+        let sigma_new = ps.std(j, new_l);
+        let from_l = prof.current_l;
+        let max_lb = prof.max_lb_at(sigma_new);
+        let mut min_dist = f64::INFINITY;
+        let mut ind = usize::MAX;
+        for e in prof.entries_mut() {
+            if e.dist.is_infinite() {
+                continue; // invalidated at an earlier length — permanent
+            }
+            match update_dist_and_lb(ps, e, j, from_l, new_l, &policy) {
+                EntryState::Valid { dist } => {
+                    if dist < min_dist {
+                        min_dist = dist;
+                        ind = e.neighbor;
+                    }
+                }
+                EntryState::Invalid => {}
+            }
+        }
+        prof.current_l = new_l;
+        if min_dist <= max_lb {
+            // Paper line 16: minDist is the true row minimum.
+            sub_mp[j] = min_dist;
+            ip[j] = ind;
+            if min_dist < min_dist_abs {
+                min_dist_abs = min_dist;
+            }
+        } else {
+            // Paper lines 20–23: unknown row minimum, but it is ≥ maxLB.
+            min_lb_abs = min_lb_abs.min(max_lb);
+            non_valid.push((j, max_lb));
+        }
+    }
+
+    let valid_rows = ndp - non_valid.len();
+    let nonvalid_rows = non_valid.len();
+    let mut found = min_dist_abs < min_lb_abs;
+    let mut recomputed = 0usize;
+
+    // Paper lines 27–37: the last chance to avoid a full matrix-profile
+    // recomputation — refine only the non-valid rows whose bound leaves room
+    // below the best-so-far, provided there are few enough of them.
+    if !found && non_valid.len() < ndp / p.max(1) {
+        let mut dp = Vec::with_capacity(ndp);
+        for &(j, lb_max) in &non_valid {
+            if lb_max < min_dist_abs {
+                let qt = self_qt(ps, j, new_l);
+                dp_from_qt_into(ps, &qt, j, new_l, &policy, &mut dp);
+                let prof = &mut partials[j];
+                prof.reanchor(new_l, ps.std(j, new_l));
+                harvest_row(ps, prof, &dp, &qt, j, new_l);
+                match profile_min(&dp) {
+                    Some((arg, d)) => {
+                        sub_mp[j] = d;
+                        ip[j] = arg;
+                        if d < min_dist_abs {
+                            min_dist_abs = d;
+                        }
+                    }
+                    None => sub_mp[j] = f64::INFINITY,
+                }
+                recomputed += 1;
+            }
+        }
+        found = true;
+    }
+
+    SubMpResult {
+        found_motif: found,
+        sub_mp,
+        ip,
+        valid_rows,
+        nonvalid_rows,
+        recomputed_rows: recomputed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_mp::compute_matrix_profile;
+    use valmod_data::generators::{plant_motif, random_walk, sine_mixture};
+    use valmod_mp::stomp::stomp;
+
+    fn check_against_stomp(series: &[f64], l_min: usize, steps: usize, p: usize) {
+        let ps = ProfiledSeries::from_values(series).unwrap();
+        let policy = ExclusionPolicy::HALF;
+        let mut state = compute_matrix_profile(&ps, l_min, p, policy).unwrap();
+        for l in (l_min + 1)..=(l_min + steps) {
+            let res = compute_sub_mp(&ps, &mut state.partials, l, policy);
+            let oracle = stomp(&ps, l, policy).unwrap();
+            let oracle_min = oracle.motif_pair().map(|(_, _, d)| d);
+            if res.found_motif {
+                let got = res.min_entry().map(|(_, d)| d);
+                match (got, oracle_min) {
+                    (Some(g), Some(o)) => {
+                        assert!((g - o).abs() < 1e-6, "l={l}: sub-MP motif {g} vs STOMP {o}")
+                    }
+                    (None, None) => {}
+                    other => panic!("l={l}: motif presence mismatch {other:?}"),
+                }
+            }
+            // Every *known* row entry must equal the true row minimum.
+            for (j, &d) in res.sub_mp.iter().enumerate() {
+                if d.is_nan() {
+                    continue;
+                }
+                let truth = oracle.mp[j];
+                if d.is_infinite() || truth.is_infinite() {
+                    assert_eq!(d.is_infinite(), truth.is_infinite(), "l={l} row {j}");
+                } else {
+                    assert!((d - truth).abs() < 1e-6, "l={l} row {j}: {d} vs {truth}");
+                }
+            }
+            // When the fallback would be needed, emulate the driver: rebuild.
+            if !res.found_motif {
+                state = compute_matrix_profile(&ps, l, p, policy).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sub_mp_is_exact_on_random_walks() {
+        check_against_stomp(&random_walk(350, 41), 16, 12, 5);
+    }
+
+    #[test]
+    fn sub_mp_is_exact_on_periodic_data() {
+        let series = sine_mixture(400, &[(0.02, 1.0), (0.05, 0.4)], 0.05, 13);
+        check_against_stomp(&series, 20, 10, 6);
+    }
+
+    #[test]
+    fn sub_mp_is_exact_with_planted_motifs() {
+        let (series, _) = plant_motif(2000, 48, 3, 0.02, 17);
+        check_against_stomp(&series, 48, 16, 8);
+    }
+
+    #[test]
+    fn sub_mp_is_exact_with_tiny_p() {
+        // p = 1 stresses the non-valid path and the last-chance refinement.
+        check_against_stomp(&random_walk(300, 43), 16, 10, 1);
+    }
+
+    #[test]
+    fn sub_mp_tracks_shrinking_profile_count() {
+        let series = random_walk(200, 47);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let policy = ExclusionPolicy::HALF;
+        let mut state = compute_matrix_profile(&ps, 50, 4, policy).unwrap();
+        let res = compute_sub_mp(&ps, &mut state.partials, 51, policy);
+        assert_eq!(res.sub_mp.len(), 200 - 51 + 1);
+        assert_eq!(res.valid_rows + res.nonvalid_rows, res.sub_mp.len());
+    }
+
+    #[test]
+    fn known_entries_counts_non_bottom() {
+        let r = SubMpResult {
+            found_motif: true,
+            sub_mp: vec![1.0, f64::NAN, f64::INFINITY],
+            ip: vec![2, usize::MAX, usize::MAX],
+            valid_rows: 2,
+            nonvalid_rows: 1,
+            recomputed_rows: 0,
+        };
+        assert_eq!(r.known_entries(), 2);
+        assert_eq!(r.min_entry(), Some((0, 1.0)));
+    }
+}

@@ -1,0 +1,398 @@
+//! Synthetic stand-ins for the paper's five evaluation datasets.
+//!
+//! The real GAP / EEG(CAP) / ECG / EMG / ASTRO recordings are not
+//! redistributable here, so each generator reproduces the *statistical
+//! character* that drives VALMOD's behaviour (DESIGN.md §3):
+//!
+//! * **ECG** — regular quasi-periodic heartbeats ⇒ many near-identical
+//!   subsequences, tight lower bounds, the paper's *best* case.
+//! * **EMG** — bursty, heteroscedastic muscle noise ⇒ σ varies wildly with
+//!   offset and length, loose lower bounds, the paper's *worst* case.
+//! * **GAP** — daily/weekly seasonal electric load with demand spikes.
+//! * **ASTRO** — smooth, tiny-amplitude X-ray flux with occasional flares.
+//! * **EEG** — band-mixture oscillations with large amplitude swings.
+//!
+//! Moments are tuned towards the paper's Table 1 (scale/offset only — the
+//! pruning behaviour depends on shape, not units).
+
+use crate::generators::Gaussian;
+use crate::series::Series;
+
+/// The five benchmark datasets of the paper's evaluation (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Electrocardiogram (driver-stress recording stand-in).
+    Ecg,
+    /// Electromyogram (driver-stress recording stand-in).
+    Emg,
+    /// Global active power (EDF electricity load stand-in).
+    Gap,
+    /// Hard X-ray light curve (AGN variability stand-in).
+    Astro,
+    /// Sleep EEG (CAP database stand-in).
+    Eeg,
+}
+
+impl Dataset {
+    /// All five datasets, in the paper's Table 1 order.
+    pub const ALL: [Dataset; 5] = [Dataset::Ecg, Dataset::Gap, Dataset::Astro, Dataset::Emg, Dataset::Eeg];
+
+    /// Short uppercase name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Ecg => "ECG",
+            Dataset::Emg => "EMG",
+            Dataset::Gap => "GAP",
+            Dataset::Astro => "ASTRO",
+            Dataset::Eeg => "EEG",
+        }
+    }
+
+    /// Generates `n` points of this dataset with the given seed.
+    pub fn generate(self, n: usize, seed: u64) -> Series {
+        match self {
+            Dataset::Ecg => ecg_like(n, seed),
+            Dataset::Emg => emg_like(n, seed),
+            Dataset::Gap => gap_like(n, seed),
+            Dataset::Astro => astro_like(n, seed),
+            Dataset::Eeg => eeg_like(n, seed),
+        }
+    }
+}
+
+/// A smooth bump `exp(-x²/2w²)` centred at `c`.
+#[inline]
+fn bump(t: f64, c: f64, w: f64) -> f64 {
+    let x = (t - c) / w;
+    (-0.5 * x * x).exp()
+}
+
+/// Quasi-periodic ECG-like series: P wave, QRS complex, T wave repeated with
+/// small period/amplitude jitter plus baseline wander.
+pub fn ecg_like(n: usize, seed: u64) -> Series {
+    let mut g = Gaussian::new(seed ^ 0xEC6);
+    let mut out = vec![0.0; n];
+    let base_period = 140.0;
+    let mut beat_start = 0.0f64;
+    while (beat_start as usize) < n {
+        let period = base_period * (1.0 + 0.03 * g.sample());
+        let amp = 1.0 + 0.05 * g.sample();
+        let start = beat_start;
+        let end = ((start + period) as usize).min(n);
+        let first = start as usize;
+        for (i, o) in out.iter_mut().enumerate().take(end).skip(first) {
+            let phase = (i as f64 - start) / period; // 0..1 within a beat
+            // P, Q, R, S, T components of a stylised heartbeat.
+            let v = 0.12 * bump(phase, 0.18, 0.025)
+                - 0.18 * bump(phase, 0.355, 0.008)
+                + 1.1 * bump(phase, 0.38, 0.012)
+                - 0.25 * bump(phase, 0.405, 0.009)
+                + 0.28 * bump(phase, 0.60, 0.045);
+            *o += amp * v;
+        }
+        beat_start += period;
+    }
+    // Baseline wander + sensor noise, then scale towards Table 1 moments.
+    let mut wander = 0.0;
+    for (i, v) in out.iter_mut().enumerate() {
+        wander = 0.999 * wander + 0.002 * g.sample();
+        *v = (*v - 0.12 + wander + 0.01 * g.sample()) * 0.55 + 0.006 + 0.0 * i as f64;
+    }
+    Series::from_trusted(out)
+}
+
+/// Bursty EMG-like series: a low-amplitude noise floor interrupted by
+/// contraction bursts whose envelope (and hence σ) varies strongly.
+pub fn emg_like(n: usize, seed: u64) -> Series {
+    let mut g = Gaussian::new(seed ^ 0xE36);
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        // Quiet stretch.
+        let quiet = 200 + g.uniform_usize(0, 600);
+        for _ in 0..quiet.min(n - i) {
+            out.push(0.004 * g.sample() - 0.005);
+            i += 1;
+            if i >= n {
+                break;
+            }
+        }
+        if i >= n {
+            break;
+        }
+        // Burst with a raised-cosine envelope and heavy noise inside.
+        let burst = 100 + g.uniform_usize(0, 500);
+        let strength = 0.03 + 0.05 * g.uniform(0.0, 1.0);
+        let blen = burst.min(n - i);
+        for k in 0..blen {
+            let env = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * k as f64 / blen as f64).cos());
+            out.push(strength * env * g.sample() - 0.005);
+        }
+        i += blen;
+    }
+    Series::from_trusted(out)
+}
+
+/// Seasonal power-load-like series: daily and weekly cycles, always-positive
+/// demand, occasional usage spikes.
+pub fn gap_like(n: usize, seed: u64) -> Series {
+    let mut g = Gaussian::new(seed ^ 0x6A9);
+    let day = 1440.0; // one sample per minute
+    let week = day * 7.0;
+    let mut spike = 0.0f64;
+    let out = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let daily = 0.9 * (2.0 * std::f64::consts::PI * t / day - 1.2).sin();
+            let weekly = 0.25 * (2.0 * std::f64::consts::PI * t / week).sin();
+            // Poisson-ish appliance spikes with exponential decay.
+            if g.uniform(0.0, 1.0) < 0.002 {
+                spike += 1.5 + g.uniform(0.0, 3.0);
+            }
+            spike *= 0.97;
+            (1.10 + daily + weekly + 0.08 * g.sample() + spike).clamp(0.08, 10.67)
+        })
+        .collect();
+    Series::from_trusted(out)
+}
+
+/// Astronomical light-curve-like series: a slowly drifting, very
+/// low-amplitude flux with sparse transient flares.
+pub fn astro_like(n: usize, seed: u64) -> Series {
+    let mut g = Gaussian::new(seed ^ 0xA57);
+    let mut drift = 0.0f64;
+    let mut flare = 0.0f64;
+    let out = (0..n)
+        .map(|_| {
+            drift = 0.9995 * drift + 0.000004 * g.sample();
+            if g.uniform(0.0, 1.0) < 0.0005 {
+                flare += 0.0008 + 0.0012 * g.uniform(0.0, 1.0);
+            }
+            flare *= 0.95;
+            0.00003 + drift + flare + 0.00018 * g.sample()
+        })
+        .collect();
+    Series::from_trusted(out)
+}
+
+/// Sleep-EEG-like series: a mixture of delta/theta/alpha/spindle bands whose
+/// amplitudes wax and wane, plus measurement noise.
+pub fn eeg_like(n: usize, seed: u64) -> Series {
+    let mut g = Gaussian::new(seed ^ 0xEE6);
+    // (frequency in cycles/sample at 100 Hz sampling, base amplitude)
+    let bands: [(f64, f64); 4] = [(0.015, 28.0), (0.055, 14.0), (0.10, 9.0), (0.135, 6.0)];
+    let mut envs = [1.0f64; 4];
+    let mut phases = [0.0f64; 4];
+    for (k, p) in phases.iter_mut().enumerate() {
+        *p = g.uniform(0.0, std::f64::consts::TAU) + k as f64;
+    }
+    let out = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let mut v = 3.34;
+            for (k, &(freq, amp)) in bands.iter().enumerate() {
+                envs[k] = (envs[k] + 0.002 * g.sample()).clamp(0.2, 2.5);
+                v += amp * envs[k] * (std::f64::consts::TAU * freq * t + phases[k]).sin();
+            }
+            (v + 6.0 * g.sample()).clamp(-966.0, 920.0)
+        })
+        .collect();
+    Series::from_trusted(out)
+}
+
+/// A deterministic prototypic "appliance signature" à la the TRACE dataset
+/// (Fig. 2): idle, heat-up ramp, agitation oscillation, spin-down.
+pub fn trace_signature(len: usize) -> Vec<f64> {
+    assert!(len >= 8, "signature needs at least 8 points");
+    (0..len)
+        .map(|i| {
+            let x = i as f64 / (len - 1) as f64; // 0..1
+            if x < 0.15 {
+                0.05
+            } else if x < 0.35 {
+                // heat-up ramp
+                0.05 + (x - 0.15) / 0.20 * 0.9
+            } else if x < 0.8 {
+                // agitation: oscillation around the plateau (kept below the
+                // Nyquist rate of the shortest Fig. 2 resampling, so the
+                // signature survives speed changes)
+                0.95 + 0.18 * (2.0 * std::f64::consts::PI * 5.0 * (x - 0.35)).sin()
+            } else {
+                // spin-down
+                0.95 * (1.0 - (x - 0.8) / 0.2).max(0.0) + 0.05
+            }
+        })
+        .collect()
+}
+
+/// Ground truth returned by [`epg_like`].
+#[derive(Debug, Clone)]
+pub struct EpgGroundTruth {
+    /// Offsets of the "probing"-behaviour instances.
+    pub probing_offsets: Vec<usize>,
+    /// Length of each probing instance.
+    pub probing_len: usize,
+    /// Offsets of the "xylem-ingestion"-behaviour instances.
+    pub ingestion_offsets: Vec<usize>,
+    /// Length of each ingestion instance.
+    pub ingestion_len: usize,
+}
+
+/// Electrical-Penetration-Graph-like series for the entomology case study
+/// (paper Figs. 1 and 16): two *semantically different* repeated behaviours
+/// of *slightly different lengths* planted into a drifting background.
+///
+/// * "Probing": an irregular multi-peak pattern of length `probing_len`.
+/// * "Ingestion": a simple high-frequency sawtooth of length `ingestion_len`.
+pub fn epg_like(
+    n: usize,
+    probing_len: usize,
+    ingestion_len: usize,
+    seed: u64,
+) -> (Series, EpgGroundTruth) {
+    assert!(n >= 8 * probing_len.max(ingestion_len), "series too short for the case study");
+    let mut g = Gaussian::new(seed ^ 0xE96);
+    // Drifting, noisy background.
+    let mut out = Vec::with_capacity(n);
+    let mut level = 0.0f64;
+    for _ in 0..n {
+        level += 0.05 * g.sample();
+        out.push(level + 0.3 * g.sample());
+    }
+    // Probing pattern: three sharp dips of varying depth then a recovery.
+    let probing: Vec<f64> = (0..probing_len)
+        .map(|i| {
+            let x = i as f64 / probing_len as f64;
+            -3.0 * bump(x, 0.2, 0.04) - 4.5 * bump(x, 0.45, 0.05) - 2.0 * bump(x, 0.7, 0.03)
+                + 1.2 * bump(x, 0.9, 0.06)
+        })
+        .collect();
+    // Ingestion pattern: a regular sawtooth ("sucking" rhythm).
+    let ingestion: Vec<f64> = (0..ingestion_len)
+        .map(|i| {
+            let cycles = 8.0;
+            let phase = (i as f64 * cycles / ingestion_len as f64).fract();
+            2.0 * phase - 1.0
+        })
+        .collect();
+    let mut truth = EpgGroundTruth {
+        probing_offsets: Vec::new(),
+        probing_len,
+        ingestion_offsets: Vec::new(),
+        ingestion_len,
+    };
+    // Interleave two instances of each behaviour in four quarters:
+    // probing, ingestion, probing, ingestion.
+    let quarter = n / 4;
+    for k in 0..4 {
+        let is_probing = k % 2 == 0;
+        let pattern: &[f64] = if is_probing { &probing } else { &ingestion };
+        let lo = k * quarter;
+        let hi = lo + quarter - pattern.len();
+        let start = g.uniform_usize(lo, hi);
+        let base = out[start];
+        for (j, &p) in pattern.iter().enumerate() {
+            out[start + j] = base + 2.5 * p + 0.05 * g.sample();
+        }
+        if is_probing {
+            truth.probing_offsets.push(start);
+        } else {
+            truth.ingestion_offsets.push(start);
+        }
+    }
+    (Series::from_trusted(out), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_requested_length() {
+        for ds in Dataset::ALL {
+            let s = ds.generate(5000, 1);
+            assert_eq!(s.len(), 5000, "{}", ds.name());
+            assert!(s.values().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic_per_seed() {
+        for ds in Dataset::ALL {
+            assert_eq!(ds.generate(512, 9).values(), ds.generate(512, 9).values());
+            assert_ne!(ds.generate(512, 9).values(), ds.generate(512, 10).values());
+        }
+    }
+
+    #[test]
+    fn ecg_is_roughly_periodic() {
+        let s = ecg_like(4000, 3);
+        // Autocorrelation at one beat (~140) should far exceed a random lag.
+        let v = s.values();
+        let corr = |lag: usize| -> f64 {
+            v[..2000].iter().zip(&v[lag..2000 + lag]).map(|(a, b)| a * b).sum()
+        };
+        assert!(corr(140) > corr(70), "beat-period autocorrelation should dominate");
+    }
+
+    #[test]
+    fn emg_variance_is_heteroscedastic() {
+        let s = emg_like(20_000, 5);
+        let v = s.values();
+        let window_std = |w: &[f64]| {
+            let m = w.iter().sum::<f64>() / w.len() as f64;
+            (w.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / w.len() as f64).sqrt()
+        };
+        let stds: Vec<f64> = v.chunks(500).map(window_std).collect();
+        let max = stds.iter().cloned().fold(0.0, f64::max);
+        let min = stds.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min.max(1e-12) > 3.0, "EMG σ should vary strongly across windows");
+    }
+
+    #[test]
+    fn gap_stays_in_physical_range() {
+        let s = gap_like(10_000, 7);
+        for &v in s.values() {
+            assert!((0.08..=10.67).contains(&v));
+        }
+    }
+
+    #[test]
+    fn astro_amplitude_is_tiny() {
+        let s = astro_like(10_000, 7);
+        let sum = s.summary();
+        assert!(sum.std_dev < 0.01, "ASTRO std {} too large", sum.std_dev);
+    }
+
+    #[test]
+    fn eeg_has_large_swings() {
+        let s = eeg_like(10_000, 7);
+        let sum = s.summary();
+        assert!(sum.std_dev > 10.0, "EEG std {} too small", sum.std_dev);
+    }
+
+    #[test]
+    fn trace_signature_shape() {
+        let sig = trace_signature(200);
+        assert_eq!(sig.len(), 200);
+        // Idle start, plateau in the middle, back down at the end.
+        assert!(sig[0] < 0.1);
+        assert!(sig[100] > 0.6);
+        assert!(sig[199] < 0.2);
+    }
+
+    #[test]
+    fn epg_plants_two_of_each_behaviour() {
+        let (series, truth) = epg_like(20_000, 500, 600, 11);
+        assert_eq!(truth.probing_offsets.len(), 2);
+        assert_eq!(truth.ingestion_offsets.len(), 2);
+        // Planted instances of the same family are close after z-normalisation.
+        let z = |o: usize, l: usize| crate::series::znormalize(series.subsequence(o, l));
+        let a = z(truth.probing_offsets[0], 500);
+        let b = z(truth.probing_offsets[1], 500);
+        assert!(crate::series::euclidean(&a, &b) < 6.0);
+        let c = z(truth.ingestion_offsets[0], 600);
+        let d = z(truth.ingestion_offsets[1], 600);
+        assert!(crate::series::euclidean(&c, &d) < 6.0);
+    }
+}

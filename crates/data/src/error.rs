@@ -1,0 +1,93 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while loading, constructing, or validating data series.
+#[derive(Debug)]
+pub enum DataError {
+    /// An I/O failure while reading or writing a series file.
+    Io(io::Error),
+    /// A value in a text file could not be parsed as a finite `f64`.
+    Parse {
+        /// 1-based line number of the offending value.
+        line: usize,
+        /// The raw token that failed to parse.
+        token: String,
+    },
+    /// A non-finite value (NaN or ±∞) was encountered where a finite sample
+    /// is required.
+    NonFinite {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// The series is too short for the requested operation.
+    TooShort {
+        /// Actual series length.
+        len: usize,
+        /// Minimum length required.
+        required: usize,
+    },
+    /// An invalid parameter combination (empty range, zero length, …).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Parse { line, token } => {
+                write!(f, "cannot parse {token:?} as a number (line {line})")
+            }
+            DataError::NonFinite { index } => {
+                write!(f, "non-finite sample at index {index}")
+            }
+            DataError::TooShort { len, required } => {
+                write!(f, "series of length {len} is shorter than required {required}")
+            }
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the data substrate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = DataError::Parse { line: 3, token: "abc".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = DataError::TooShort { len: 5, required: 10 };
+        assert!(e.to_string().contains('5') && e.to_string().contains("10"));
+        let e = DataError::NonFinite { index: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = DataError::InvalidParameter("l_min > l_max".into());
+        assert!(e.to_string().contains("l_min"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io_err = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DataError = io_err.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

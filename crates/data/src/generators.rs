@@ -1,0 +1,269 @@
+//! Deterministic synthetic series generators.
+//!
+//! Everything is seeded through the in-repo portable PRNG
+//! ([`crate::rng::Xoshiro256`]), so every experiment in the repository is
+//! exactly reproducible across platforms and library versions. Gaussian
+//! sampling is implemented in-repo (Box–Muller) because `rand_distr` is not
+//! among the approved offline dependencies.
+
+use crate::rng::Xoshiro256;
+
+/// A seeded Gaussian sampler (Box–Muller, with one cached spare variate).
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    rng: Xoshiro256,
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler from a seed.
+    pub fn new(seed: u64) -> Self {
+        Gaussian { rng: Xoshiro256::seed_from_u64(seed), spare: None }
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - self.rng.next_f64();
+        let u2: f64 = self.rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    pub fn sample_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.sample()
+    }
+
+    /// Draws a uniform value in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.uniform(lo, hi)
+    }
+
+    /// Draws a uniform integer in `[lo, hi)`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.uniform_usize(lo, hi)
+    }
+}
+
+/// White Gaussian noise of length `n`.
+pub fn gaussian_noise(n: usize, seed: u64) -> Vec<f64> {
+    let mut g = Gaussian::new(seed);
+    (0..n).map(|_| g.sample()).collect()
+}
+
+/// A Gaussian random walk (the canonical hard-to-prune motif workload).
+pub fn random_walk(n: usize, seed: u64) -> Vec<f64> {
+    let mut g = Gaussian::new(seed);
+    let mut acc = 0.0;
+    (0..n)
+        .map(|_| {
+            acc += g.sample();
+            acc
+        })
+        .collect()
+}
+
+/// A sum of sinusoids plus noise.
+///
+/// `components` are `(frequency, amplitude)` pairs, with frequency in cycles
+/// per sample.
+pub fn sine_mixture(n: usize, components: &[(f64, f64)], noise_std: f64, seed: u64) -> Vec<f64> {
+    let mut g = Gaussian::new(seed);
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let signal: f64 = components
+                .iter()
+                .map(|&(freq, amp)| amp * (2.0 * std::f64::consts::PI * freq * t).sin())
+                .sum();
+            signal + noise_std * g.sample()
+        })
+        .collect()
+}
+
+/// Description of a motif planted into a noise background.
+#[derive(Debug, Clone)]
+pub struct PlantedMotif {
+    /// Offsets at which the pattern instances start.
+    pub offsets: Vec<usize>,
+    /// Length of each instance.
+    pub length: usize,
+}
+
+/// Plants `instances` occurrences of a smooth random pattern of length
+/// `motif_len` into a Gaussian random-walk background of length `n`.
+///
+/// Instances are amplitude-scaled copies with a little additive noise
+/// (`jitter_std`), so the planted pair is by far the closest z-normalised
+/// match in the series. Returns the series and the planted offsets.
+///
+/// # Panics
+/// Panics if the instances cannot be placed without overlapping
+/// (`instances * 2 * motif_len > n`).
+pub fn plant_motif(
+    n: usize,
+    motif_len: usize,
+    instances: usize,
+    jitter_std: f64,
+    seed: u64,
+) -> (Vec<f64>, PlantedMotif) {
+    assert!(instances >= 2, "need at least two instances to form a motif pair");
+    assert!(
+        instances * 2 * motif_len <= n,
+        "cannot place {instances} non-overlapping instances of length {motif_len} in {n} points"
+    );
+    let mut g = Gaussian::new(seed);
+    // Background: a mild random walk, scaled so planted patterns stand out.
+    let mut series = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for _ in 0..n {
+        acc += 0.5 * g.sample();
+        series.push(acc);
+    }
+    // A smooth pattern: cumulative sum of noise, then detrended.
+    let mut pattern = Vec::with_capacity(motif_len);
+    let mut p = 0.0;
+    for i in 0..motif_len {
+        p += g.sample() + 3.0 * (2.0 * std::f64::consts::PI * 3.0 * i as f64 / motif_len as f64).cos();
+        pattern.push(p);
+    }
+    // Evenly spread slots, jittered start inside each slot.
+    let slot = n / instances;
+    let mut offsets = Vec::with_capacity(instances);
+    for k in 0..instances {
+        let lo = k * slot;
+        let hi = (lo + slot).min(n) - motif_len;
+        let start = if hi > lo { g.uniform_usize(lo, hi) } else { lo };
+        let scale = 1.0 + 0.05 * g.sample();
+        let level = series[start];
+        for (j, &pv) in pattern.iter().enumerate() {
+            series[start + j] = level + scale * pv + jitter_std * g.sample();
+        }
+        // Reconnect the background after the pattern to avoid a cliff.
+        if start + motif_len < n {
+            let jump = series[start + motif_len - 1] - series[start + motif_len];
+            for v in &mut series[start + motif_len..] {
+                *v += jump;
+            }
+        }
+        offsets.push(start);
+    }
+    (series, PlantedMotif { offsets, length: motif_len })
+}
+
+/// Linearly resamples `pattern` to `new_len` points (used by the Fig. 2
+/// variable-speed signature experiment).
+pub fn resample(pattern: &[f64], new_len: usize) -> Vec<f64> {
+    assert!(!pattern.is_empty() && new_len > 0);
+    if pattern.len() == 1 {
+        return vec![pattern[0]; new_len];
+    }
+    if new_len == 1 {
+        return vec![pattern[0]];
+    }
+    let scale = (pattern.len() - 1) as f64 / (new_len - 1) as f64;
+    (0..new_len)
+        .map(|i| {
+            let x = i as f64 * scale;
+            let lo = x.floor() as usize;
+            let hi = (lo + 1).min(pattern.len() - 1);
+            let frac = x - lo as f64;
+            pattern[lo] * (1.0 - frac) + pattern[hi] * frac
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments_are_standard_normal() {
+        let mut g = Gaussian::new(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gaussian_noise(100, 42), gaussian_noise(100, 42));
+        assert_ne!(gaussian_noise(100, 42), gaussian_noise(100, 43));
+        assert_eq!(random_walk(50, 1), random_walk(50, 1));
+    }
+
+    #[test]
+    fn random_walk_accumulates() {
+        let w = random_walk(1000, 3);
+        assert_eq!(w.len(), 1000);
+        // A random walk is almost surely not bounded by tight constants.
+        let range = w.iter().cloned().fold(f64::MIN, f64::max)
+            - w.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(range > 1.0);
+    }
+
+    #[test]
+    fn sine_mixture_is_periodic_when_noiseless() {
+        let s = sine_mixture(200, &[(0.05, 1.0)], 0.0, 0);
+        for i in 0..180 {
+            assert!((s[i] - s[i + 20]).abs() < 1e-9, "period-20 signal should repeat");
+        }
+    }
+
+    #[test]
+    fn planted_motif_instances_are_near_identical() {
+        let (series, planted) = plant_motif(4000, 100, 3, 0.01, 99);
+        assert_eq!(planted.offsets.len(), 3);
+        let a = crate::series::znormalize(&series[planted.offsets[0]..planted.offsets[0] + 100]);
+        let b = crate::series::znormalize(&series[planted.offsets[1]..planted.offsets[1] + 100]);
+        let d = crate::series::euclidean(&a, &b);
+        // Nearly identical after z-normalisation.
+        assert!(d < 1.0, "planted instances differ too much: {d}");
+    }
+
+    #[test]
+    fn planted_offsets_do_not_overlap() {
+        let (_, planted) = plant_motif(10_000, 200, 4, 0.05, 5);
+        let mut offs = planted.offsets.clone();
+        offs.sort_unstable();
+        for w in offs.windows(2) {
+            assert!(w[1] - w[0] >= 200, "instances overlap");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn plant_motif_rejects_impossible_packing() {
+        plant_motif(100, 30, 3, 0.0, 0);
+    }
+
+    #[test]
+    fn resample_endpoints_and_identity() {
+        let p = [0.0, 1.0, 4.0, 9.0];
+        assert_eq!(resample(&p, 4), p.to_vec());
+        let up = resample(&p, 7);
+        assert_eq!(up.len(), 7);
+        assert!((up[0] - 0.0).abs() < 1e-12);
+        assert!((up[6] - 9.0).abs() < 1e-12);
+        let down = resample(&p, 2);
+        assert_eq!(down, vec![0.0, 9.0]);
+    }
+
+    #[test]
+    fn resample_is_monotone_for_monotone_input() {
+        let p: Vec<f64> = (0..50).map(|i| (i * i) as f64).collect();
+        let r = resample(&p, 123);
+        for w in r.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Loading and saving data series.
+//!
+//! Two on-disk formats are supported:
+//!
+//! * **Text** — one value per line (or whitespace/comma separated), `#`
+//!   comments allowed. This is the format of the UCI/PhysioNet exports the
+//!   paper uses.
+//! * **Binary** — raw little-endian `f64` samples, for fast round-tripping of
+//!   large generated datasets.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::{DataError, Result};
+use crate::series::Series;
+
+/// Parses a series from text: values separated by newlines, commas, or
+/// whitespace; blank lines and `#` comments ignored.
+pub fn parse_text(text: &str) -> Result<Series> {
+    let mut values = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        for token in line.split(|c: char| c == ',' || c.is_whitespace()) {
+            if token.is_empty() {
+                continue;
+            }
+            let value: f64 = token
+                .parse()
+                .map_err(|_| DataError::Parse { line: line_no + 1, token: token.to_string() })?;
+            values.push(value);
+        }
+    }
+    Series::new(values)
+}
+
+/// Loads a series from a text file (one value per line, `#` comments allowed).
+pub fn load_text(path: impl AsRef<Path>) -> Result<Series> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    parse_text(&text)
+}
+
+/// Writes a series as text, one value per line (round-trip precision).
+pub fn save_text(series: &Series, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for v in series.values() {
+        // {:?} prints the shortest representation that round-trips.
+        writeln!(w, "{v:?}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a series of raw little-endian `f64` samples.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<Series> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    if bytes.len() % 8 != 0 {
+        return Err(DataError::InvalidParameter(format!(
+            "binary series file length {} is not a multiple of 8",
+            bytes.len()
+        )));
+    }
+    let values = bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect();
+    Series::new(values)
+}
+
+/// Writes a series as raw little-endian `f64` samples.
+pub fn save_binary(series: &Series, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for v in series.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads either format by file extension: `.bin`/`.f64` → binary, anything
+/// else → text.
+pub fn load_auto(path: impl AsRef<Path>) -> Result<Series> {
+    let p = path.as_ref();
+    match p.extension().and_then(|e| e.to_str()) {
+        Some("bin") | Some("f64") => load_binary(p),
+        _ => load_text(p),
+    }
+}
+
+/// Reads a series from any `BufRead` source of text.
+pub fn read_text(reader: impl BufRead) -> Result<Series> {
+    let mut text = String::new();
+    let mut reader = reader;
+    reader.read_to_string(&mut text)?;
+    parse_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_text_handles_separators_and_comments() {
+        let s = parse_text("1.0, 2.5\n# a comment\n3 4\n\n5.5 # trailing\n").unwrap();
+        assert_eq!(s.values(), &[1.0, 2.5, 3.0, 4.0, 5.5]);
+    }
+
+    #[test]
+    fn parse_text_reports_bad_token_with_line() {
+        let err = parse_text("1.0\nnope\n").unwrap_err();
+        match err {
+            DataError::Parse { line, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "nope");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_text_rejects_inf() {
+        assert!(parse_text("1.0\ninf\n").is_ok_and(|_| false) || parse_text("1.0\ninf\n").is_err());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let dir = std::env::temp_dir().join("valmod_io_test_text");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.txt");
+        let s = Series::new(vec![0.1, -2.5, 1e-9, 12345.678]).unwrap();
+        save_text(&s, &path).unwrap();
+        let back = load_text(&path).unwrap();
+        assert_eq!(back.values(), s.values());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let dir = std::env::temp_dir().join("valmod_io_test_bin");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.bin");
+        let s = Series::new((0..1000).map(|i| (i as f64).sin()).collect()).unwrap();
+        save_binary(&s, &path).unwrap();
+        let back = load_binary(&path).unwrap();
+        assert_eq!(back.values(), s.values());
+        // Auto-detection by extension.
+        let auto = load_auto(&path).unwrap();
+        assert_eq!(auto.values(), s.values());
+    }
+
+    #[test]
+    fn binary_rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("valmod_io_test_trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, [0u8; 12]).unwrap();
+        assert!(load_binary(&path).is_err());
+    }
+
+    #[test]
+    fn read_text_from_cursor() {
+        let cursor = std::io::Cursor::new("7.5\n8.5\n");
+        let s = read_text(cursor).unwrap();
+        assert_eq!(s.values(), &[7.5, 8.5]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # valmod-data
+//!
+//! Data-series substrate for the VALMOD reproduction: the validated
+//! [`Series`] type (paper Definition 2.1), O(1) rolling subsequence
+//! statistics for arbitrary lengths ([`stats::RollingStats`]), seeded
+//! synthetic generators, stand-ins for the paper's five evaluation datasets
+//! ([`datasets::Dataset`]), and text/binary I/O.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use valmod_data::datasets::Dataset;
+//! use valmod_data::stats::RollingStats;
+//!
+//! let series = Dataset::Ecg.generate(2_000, 42);
+//! let stats = RollingStats::new(series.values());
+//! // Mean and σ of any subsequence, any length, in O(1):
+//! let mu = stats.mean(100, 256);
+//! let sigma = stats.std_dev(100, 256);
+//! assert!(sigma >= 0.0 && mu.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod preprocess;
+pub mod rng;
+pub mod series;
+pub mod stats;
+
+pub use datasets::Dataset;
+pub use error::{DataError, Result};
+pub use series::{euclidean, znormalize, Series, SeriesSummary};
+pub use stats::{LengthStats, RollingStats};

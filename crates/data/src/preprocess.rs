@@ -1,0 +1,197 @@
+//! Series preprocessing utilities: the operations a practitioner applies
+//! before motif discovery (and that the paper's experiments imply — e.g.
+//! down-sampling produced the variable-speed TRACE signatures of Fig. 2).
+
+use crate::error::{DataError, Result};
+use crate::series::Series;
+
+/// Centred moving average with an odd window (edges use the available
+/// samples, so output length equals input length).
+pub fn moving_average(values: &[f64], window: usize) -> Result<Vec<f64>> {
+    if window == 0 || window.is_multiple_of(2) {
+        return Err(DataError::InvalidParameter(format!(
+            "moving-average window must be odd and positive, got {window}"
+        )));
+    }
+    let n = values.len();
+    let half = window / 2;
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &v in values {
+        acc += v;
+        prefix.push(acc);
+    }
+    Ok((0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+        })
+        .collect())
+}
+
+/// Downsamples by an integer factor, averaging each block (anti-aliasing by
+/// block mean; the final partial block is averaged over what remains).
+pub fn downsample(values: &[f64], factor: usize) -> Result<Vec<f64>> {
+    if factor == 0 {
+        return Err(DataError::InvalidParameter("downsample factor must be positive".into()));
+    }
+    Ok(values
+        .chunks(factor)
+        .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64)
+        .collect())
+}
+
+/// First differences `x[i+1] − x[i]` (length shrinks by one). Differencing
+/// removes level/trend, a common step before motif search on drifting data.
+pub fn difference(values: &[f64]) -> Vec<f64> {
+    values.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Clips values into `[lo, hi]` (sensor despiking).
+pub fn clip(values: &mut [f64], lo: f64, hi: f64) {
+    debug_assert!(lo <= hi);
+    for v in values.iter_mut() {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+/// Replaces non-finite samples by linear interpolation between the nearest
+/// finite neighbours (boundary gaps take the nearest finite value). Errors
+/// when the input has no finite sample at all.
+pub fn interpolate_gaps(values: &[f64]) -> Result<Series> {
+    let n = values.len();
+    let first_finite = values.iter().position(|v| v.is_finite());
+    let Some(first) = first_finite else {
+        return Err(DataError::InvalidParameter("no finite samples to interpolate from".into()));
+    };
+    let mut out = values.to_vec();
+    // Leading gap.
+    for v in out.iter_mut().take(first) {
+        *v = values[first];
+    }
+    let mut i = first;
+    while i < n {
+        if out[i].is_finite() {
+            i += 1;
+            continue;
+        }
+        // Find the gap [i, j).
+        let mut j = i;
+        while j < n && !out[j].is_finite() {
+            j += 1;
+        }
+        let left = out[i - 1];
+        if j == n {
+            for v in out.iter_mut().take(n).skip(i) {
+                *v = left;
+            }
+        } else {
+            let right = out[j];
+            let span = (j - i + 1) as f64;
+            for (k, v) in out.iter_mut().take(j).skip(i).enumerate() {
+                let t = (k + 1) as f64 / span;
+                *v = left * (1.0 - t) + right * t;
+            }
+        }
+        i = j;
+    }
+    Series::new(out)
+}
+
+/// Splits a series into `k` near-equal contiguous segments (for per-segment
+/// analysis or parallel dispatch). The first `n % k` segments get one extra
+/// sample.
+pub fn segments(values: &[f64], k: usize) -> Result<Vec<&[f64]>> {
+    if k == 0 || k > values.len() {
+        return Err(DataError::InvalidParameter(format!(
+            "cannot split {} samples into {k} segments",
+            values.len()
+        )));
+    }
+    let base = values.len() / k;
+    let extra = values.len() % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for s in 0..k {
+        let len = base + usize::from(s < extra);
+        out.push(&values[start..start + len]);
+        start += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_smooths_and_preserves_length() {
+        let noisy: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let smooth = moving_average(&noisy, 5).unwrap();
+        assert_eq!(smooth.len(), 100);
+        // Interior values of an alternating 0/1 signal average toward 0.5.
+        for &v in &smooth[2..98] {
+            assert!((v - 0.5).abs() < 0.11, "{v}");
+        }
+        assert!(moving_average(&noisy, 4).is_err());
+        assert!(moving_average(&noisy, 0).is_err());
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let v = [1.0, -2.0, 3.5];
+        assert_eq!(moving_average(&v, 1).unwrap(), v.to_vec());
+    }
+
+    #[test]
+    fn downsample_block_means() {
+        let v = [1.0, 3.0, 5.0, 7.0, 9.0];
+        assert_eq!(downsample(&v, 2).unwrap(), vec![2.0, 6.0, 9.0]);
+        assert_eq!(downsample(&v, 1).unwrap(), v.to_vec());
+        assert!(downsample(&v, 0).is_err());
+    }
+
+    #[test]
+    fn difference_removes_linear_trend() {
+        let v: Vec<f64> = (0..50).map(|i| 3.0 * i as f64 + 7.0).collect();
+        let d = difference(&v);
+        assert_eq!(d.len(), 49);
+        assert!(d.iter().all(|&x| (x - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn clip_bounds_values() {
+        let mut v = [-5.0, 0.0, 5.0];
+        clip(&mut v, -1.0, 1.0);
+        assert_eq!(v, [-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn interpolate_fills_interior_gap_linearly() {
+        let v = [1.0, f64::NAN, f64::NAN, 4.0];
+        let s = interpolate_gaps(&v).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn interpolate_extends_boundary_gaps() {
+        let v = [f64::NAN, 2.0, f64::NAN];
+        let s = interpolate_gaps(&v).unwrap();
+        assert_eq!(s.values(), &[2.0, 2.0, 2.0]);
+        assert!(interpolate_gaps(&[f64::NAN, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn segments_partition_everything() {
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let segs = segments(&v, 3).unwrap();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].len(), 4); // 10 = 4 + 3 + 3
+        let total: usize = segs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 10);
+        assert!(segments(&v, 0).is_err());
+        assert!(segments(&v, 11).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! The [`Series`] type: an owned, validated data series (paper Definition 2.1)
+//! with subsequence views (Definition 2.2) and z-normalisation helpers.
+
+use crate::error::{DataError, Result};
+
+/// An owned data series `T ∈ ℝⁿ` — a sequence of finite real values.
+///
+/// The constructor validates finiteness once, so downstream numeric kernels
+/// never have to re-check for NaN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series, validating that every sample is finite.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(DataError::NonFinite { index });
+        }
+        Ok(Series { values })
+    }
+
+    /// Creates a series without validation. Only for inputs already known to
+    /// be finite (e.g. output of in-repo generators).
+    pub fn from_trusted(values: Vec<f64>) -> Self {
+        debug_assert!(values.iter().all(|v| v.is_finite()));
+        Series { values }
+    }
+
+    /// Number of samples `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Immutable access to the raw samples.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the series, returning the raw samples.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Number of subsequences of length `l` (`n − ℓ + 1`), or 0 when the
+    /// series is shorter than `l`.
+    #[inline]
+    pub fn num_subsequences(&self, l: usize) -> usize {
+        if l == 0 || self.values.len() < l {
+            0
+        } else {
+            self.values.len() - l + 1
+        }
+    }
+
+    /// The subsequence `T_{i,ℓ}` starting at 0-based offset `i`.
+    ///
+    /// # Panics
+    /// Panics if the subsequence runs past the end of the series.
+    #[inline]
+    pub fn subsequence(&self, i: usize, l: usize) -> &[f64] {
+        &self.values[i..i + l]
+    }
+
+    /// Checked variant of [`Series::subsequence`].
+    pub fn try_subsequence(&self, i: usize, l: usize) -> Result<&[f64]> {
+        if l == 0 {
+            return Err(DataError::InvalidParameter("subsequence length must be positive".into()));
+        }
+        match i.checked_add(l) {
+            Some(end) if end <= self.values.len() => Ok(&self.values[i..end]),
+            _ => Err(DataError::TooShort { len: self.values.len(), required: i.saturating_add(l) }),
+        }
+    }
+
+    /// Returns a prefix snippet of the series (as used in the paper's
+    /// scalability-over-size experiments, §6.1).
+    pub fn prefix(&self, n: usize) -> Series {
+        Series { values: self.values[..n.min(self.values.len())].to_vec() }
+    }
+
+    /// Summary statistics over the whole series (for Table 1 of the paper).
+    pub fn summary(&self) -> SeriesSummary {
+        let n = self.values.len();
+        if n == 0 {
+            return SeriesSummary { min: f64::NAN, max: f64::NAN, mean: f64::NAN, std_dev: f64::NAN, len: 0 };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in &self.values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        let var = self.values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        SeriesSummary { min, max, mean, std_dev: var.sqrt(), len: n }
+    }
+}
+
+impl AsRef<[f64]> for Series {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl std::ops::Index<usize> for Series {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+/// Whole-series summary statistics (min/max/mean/std/points — Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Minimum sample value.
+    pub min: f64,
+    /// Maximum sample value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Number of points.
+    pub len: usize,
+}
+
+/// Z-normalises `sub` into a fresh vector: `(x − μ)/σ`.
+///
+/// A flat subsequence (σ = 0, or numerically indistinguishable from 0) maps
+/// to the all-zero vector, the standard convention in the matrix-profile
+/// literature.
+pub fn znormalize(sub: &[f64]) -> Vec<f64> {
+    let mut out = sub.to_vec();
+    znormalize_into(sub, &mut out);
+    out
+}
+
+/// Z-normalises `sub` into the caller-provided buffer (no allocation).
+///
+/// # Panics
+/// Panics if `out.len() != sub.len()`.
+pub fn znormalize_into(sub: &[f64], out: &mut [f64]) {
+    assert_eq!(sub.len(), out.len());
+    let l = sub.len();
+    if l == 0 {
+        return;
+    }
+    let mean = sub.iter().sum::<f64>() / l as f64;
+    let var = sub.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / l as f64;
+    let std = var.sqrt();
+    if std <= f64::EPSILON * mean.abs().max(1.0) {
+        out.fill(0.0);
+        return;
+    }
+    let inv = 1.0 / std;
+    for (o, &v) in out.iter_mut().zip(sub) {
+        *o = (v - mean) * inv;
+    }
+}
+
+/// Plain (non-normalised) Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean distance needs equal lengths");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_non_finite() {
+        assert!(Series::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Series::new(vec![1.0, f64::INFINITY]).is_err());
+        assert!(Series::new(vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn subsequence_counting() {
+        let s = Series::new((0..10).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(s.num_subsequences(3), 8);
+        assert_eq!(s.num_subsequences(10), 1);
+        assert_eq!(s.num_subsequences(11), 0);
+        assert_eq!(s.num_subsequences(0), 0);
+    }
+
+    #[test]
+    fn subsequence_views() {
+        let s = Series::new((0..10).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(s.subsequence(2, 3), &[2.0, 3.0, 4.0]);
+        assert!(s.try_subsequence(8, 3).is_err());
+        assert!(s.try_subsequence(0, 0).is_err());
+        assert_eq!(s.try_subsequence(7, 3).unwrap(), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn prefix_clamps() {
+        let s = Series::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.prefix(2).len(), 2);
+        assert_eq!(s.prefix(99).len(), 3);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Series::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let sum = s.summary();
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 4.0);
+        assert!((sum.mean - 2.5).abs() < 1e-12);
+        assert!((sum.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(sum.len, 4);
+    }
+
+    #[test]
+    fn summary_of_empty_series_is_nan() {
+        let s = Series::new(vec![]).unwrap();
+        let sum = s.summary();
+        assert!(sum.mean.is_nan());
+        assert_eq!(sum.len, 0);
+    }
+
+    #[test]
+    fn znormalize_has_zero_mean_unit_variance() {
+        let z = znormalize(&[2.0, 4.0, 6.0, 8.0]);
+        let mean: f64 = z.iter().sum::<f64>() / 4.0;
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalize_flat_is_zero() {
+        assert_eq!(znormalize(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+        // Huge flat values must not explode via cancellation noise.
+        assert_eq!(znormalize(&[1e15, 1e15, 1e15]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn znormalize_is_shift_and_scale_invariant() {
+        let base = [1.0, -3.0, 2.5, 0.0, 4.0];
+        let shifted: Vec<f64> = base.iter().map(|v| v * 3.0 + 100.0).collect();
+        let za = znormalize(&base);
+        let zb = znormalize(&shifted);
+        for (a, b) in za.iter().zip(&zb) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(euclidean(&[], &[]), 0.0);
+    }
+}

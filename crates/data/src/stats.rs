@@ -1,0 +1,253 @@
+//! Rolling subsequence statistics.
+//!
+//! Every matrix-profile distance (paper Eq. 3) and every Eq. 2 lower bound
+//! needs per-subsequence means and standard deviations, for *many* lengths.
+//! [`RollingStats`] precomputes compensated prefix sums once (`O(n)`) and then
+//! answers `μ(i, ℓ)` / `σ(i, ℓ)` for any offset and any length in `O(1)`.
+//!
+//! Numerical policy (DESIGN.md §7): the series is centred by its global mean
+//! before the prefix sums are built. Z-normalised distances are invariant to
+//! that shift, and centring keeps `Σx` and `Σx²` small so the classic
+//! `ss/ℓ − μ²` variance formula stays well-conditioned. True (uncentred)
+//! means are recovered by adding the stored offset back.
+
+use crate::error::{DataError, Result};
+
+/// Precomputed prefix sums supporting O(1) subsequence mean/σ queries for
+/// arbitrary lengths.
+#[derive(Debug, Clone)]
+pub struct RollingStats {
+    /// `prefix[i] = Σ_{k<i} (x_k − offset)`, length n+1.
+    prefix: Vec<f64>,
+    /// `prefix_sq[i] = Σ_{k<i} (x_k − offset)²`, length n+1.
+    prefix_sq: Vec<f64>,
+    /// Global mean subtracted before accumulation.
+    offset: f64,
+    n: usize,
+}
+
+impl RollingStats {
+    /// Builds the prefix sums for `series`.
+    pub fn new(series: &[f64]) -> Self {
+        let n = series.len();
+        let offset = if n == 0 { 0.0 } else { neumaier_sum(series.iter().copied()) / n as f64 };
+        let mut prefix = Vec::with_capacity(n + 1);
+        let mut prefix_sq = Vec::with_capacity(n + 1);
+        prefix.push(0.0);
+        prefix_sq.push(0.0);
+        // Neumaier-compensated running sums: the compensation terms keep the
+        // prefix arrays accurate even for millions of points.
+        let (mut s, mut cs) = (0.0f64, 0.0f64);
+        let (mut q, mut cq) = (0.0f64, 0.0f64);
+        for &x in series {
+            let v = x - offset;
+            add_compensated(&mut s, &mut cs, v);
+            add_compensated(&mut q, &mut cq, v * v);
+            prefix.push(s + cs);
+            prefix_sq.push(q + cq);
+        }
+        RollingStats { prefix, prefix_sq, offset, n }
+    }
+
+    /// Length of the underlying series.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the underlying series is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mean of the subsequence starting at `i` with length `l`.
+    ///
+    /// # Panics
+    /// Debug-panics when the subsequence is out of range.
+    #[inline]
+    pub fn mean(&self, i: usize, l: usize) -> f64 {
+        debug_assert!(l > 0 && i + l <= self.n);
+        (self.prefix[i + l] - self.prefix[i]) / l as f64 + self.offset
+    }
+
+    /// Population standard deviation of the subsequence starting at `i` with
+    /// length `l`. Negative variance from rounding is clamped to zero.
+    #[inline]
+    pub fn std_dev(&self, i: usize, l: usize) -> f64 {
+        debug_assert!(l > 0 && i + l <= self.n);
+        let inv_l = 1.0 / l as f64;
+        let m = (self.prefix[i + l] - self.prefix[i]) * inv_l;
+        let ss = (self.prefix_sq[i + l] - self.prefix_sq[i]) * inv_l;
+        (ss - m * m).max(0.0).sqrt()
+    }
+
+    /// Centred sum `Σ (x − offset)` over the subsequence — used by kernels
+    /// that work in the centred domain.
+    #[inline]
+    pub fn centered_sum(&self, i: usize, l: usize) -> f64 {
+        self.prefix[i + l] - self.prefix[i]
+    }
+
+    /// Centred squared sum `Σ (x − offset)²` over the subsequence.
+    #[inline]
+    pub fn centered_sq_sum(&self, i: usize, l: usize) -> f64 {
+        self.prefix_sq[i + l] - self.prefix_sq[i]
+    }
+
+    /// The global-mean offset subtracted during construction.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Materialises mean/σ vectors for every subsequence of length `l`
+    /// (`n − ℓ + 1` entries) — the layout STOMP's inner loop wants.
+    pub fn per_length(&self, l: usize) -> Result<LengthStats> {
+        if l == 0 {
+            return Err(DataError::InvalidParameter("length must be positive".into()));
+        }
+        if self.n < l {
+            return Err(DataError::TooShort { len: self.n, required: l });
+        }
+        let count = self.n - l + 1;
+        let mut means = Vec::with_capacity(count);
+        let mut stds = Vec::with_capacity(count);
+        for i in 0..count {
+            means.push(self.mean(i, l));
+            stds.push(self.std_dev(i, l));
+        }
+        Ok(LengthStats { l, means, stds })
+    }
+}
+
+/// Per-length materialised subsequence statistics.
+#[derive(Debug, Clone)]
+pub struct LengthStats {
+    /// Subsequence length these statistics describe.
+    pub l: usize,
+    /// `means[i] = μ(T_{i,ℓ})`.
+    pub means: Vec<f64>,
+    /// `stds[i] = σ(T_{i,ℓ})`.
+    pub stds: Vec<f64>,
+}
+
+impl LengthStats {
+    /// Number of subsequences covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Whether no subsequence is covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.means.is_empty()
+    }
+}
+
+#[inline]
+fn add_compensated(sum: &mut f64, comp: &mut f64, value: f64) {
+    let t = *sum + value;
+    if sum.abs() >= value.abs() {
+        *comp += (*sum - t) + value;
+    } else {
+        *comp += (value - t) + *sum;
+    }
+    *sum = t;
+}
+
+/// Neumaier (improved Kahan) summation over an iterator.
+pub fn neumaier_sum(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut s, mut c) = (0.0f64, 0.0f64);
+    for v in values {
+        add_compensated(&mut s, &mut c, v);
+    }
+    s + c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mean_std(sub: &[f64]) -> (f64, f64) {
+        let l = sub.len() as f64;
+        let m = sub.iter().sum::<f64>() / l;
+        let v = sub.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / l;
+        (m, v.sqrt())
+    }
+
+    #[test]
+    fn matches_naive_statistics() {
+        let series: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 5.0 + 3.0).collect();
+        let rs = RollingStats::new(&series);
+        for &l in &[1usize, 2, 7, 50, 200] {
+            for i in (0..=series.len() - l).step_by(13) {
+                let (m, s) = naive_mean_std(&series[i..i + l]);
+                assert!((rs.mean(i, l) - m).abs() < 1e-9, "mean l={l} i={i}");
+                // σ near 0 amplifies prefix-sum rounding through the sqrt
+                // (√1e-14 ≈ 1e-7), so compare variances tightly and σ loosely.
+                let (v_fast, v_naive) = (rs.std_dev(i, l) * rs.std_dev(i, l), s * s);
+                assert!((v_fast - v_naive).abs() < 1e-9, "var l={l} i={i}");
+                assert!((rs.std_dev(i, l) - s).abs() < 1e-6, "std l={l} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_offset_remains_accurate() {
+        // Series riding on a huge DC offset: naive ss/l − μ² in the raw domain
+        // would lose most significant digits; centring must save us.
+        let series: Vec<f64> = (0..1000).map(|i| 1e9 + (i as f64 * 0.1).sin()).collect();
+        let rs = RollingStats::new(&series);
+        let (m, s) = naive_mean_std(&series[100..200]);
+        assert!((rs.mean(100, 100) - m).abs() / m.abs() < 1e-12);
+        assert!((rs.std_dev(100, 100) - s).abs() < 1e-6);
+        assert!(rs.std_dev(100, 100) > 0.1, "σ must not collapse to 0");
+    }
+
+    #[test]
+    fn flat_subsequence_has_zero_std() {
+        let mut series = vec![2.0; 50];
+        series.extend((0..50).map(|i| i as f64));
+        let rs = RollingStats::new(&series);
+        assert_eq!(rs.std_dev(0, 50), 0.0);
+        assert!(rs.std_dev(40, 20) > 0.0);
+    }
+
+    #[test]
+    fn per_length_materialisation() {
+        let series: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let rs = RollingStats::new(&series);
+        let ls = rs.per_length(16).unwrap();
+        assert_eq!(ls.len(), 64 - 16 + 1);
+        for i in 0..ls.len() {
+            let (m, s) = naive_mean_std(&series[i..i + 16]);
+            assert!((ls.means[i] - m).abs() < 1e-10);
+            assert!((ls.stds[i] - s).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn per_length_rejects_bad_lengths() {
+        let rs = RollingStats::new(&[1.0, 2.0, 3.0]);
+        assert!(rs.per_length(0).is_err());
+        assert!(rs.per_length(4).is_err());
+        assert!(rs.per_length(3).is_ok());
+    }
+
+    #[test]
+    fn neumaier_beats_naive_on_ill_conditioned_sum() {
+        // 1 + 1e100 + 1 - 1e100 = 2, naive f64 gives 0.
+        let values = [1.0, 1e100, 1.0, -1e100];
+        assert_eq!(neumaier_sum(values), 2.0);
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let rs = RollingStats::new(&[]);
+        assert!(rs.is_empty());
+        assert_eq!(rs.len(), 0);
+        assert!(rs.per_length(1).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the data substrate.
+
+use proptest::prelude::*;
+use valmod_data::generators::resample;
+use valmod_data::io::parse_text;
+use valmod_data::series::{znormalize, Series};
+use valmod_data::stats::{neumaier_sum, RollingStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rolling_stats_match_naive_for_any_window(values in prop::collection::vec(-1e4..1e4f64, 4..200),
+                                                 pick in 0usize..1000) {
+        let rs = RollingStats::new(&values);
+        let n = values.len();
+        let l = 1 + pick % n;
+        let i = (pick / n) % (n - l + 1);
+        let window = &values[i..i + l];
+        let mean = window.iter().sum::<f64>() / l as f64;
+        let var = window.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / l as f64;
+        let scale = 1.0 + mean.abs();
+        prop_assert!((rs.mean(i, l) - mean).abs() / scale < 1e-9);
+        prop_assert!((rs.std_dev(i, l) * rs.std_dev(i, l) - var).abs() < 1e-6 * (1.0 + var));
+    }
+
+    #[test]
+    fn znormalize_output_is_standardized(values in prop::collection::vec(-1e3..1e3f64, 2..100)) {
+        let z = znormalize(&values);
+        let n = z.len() as f64;
+        let mean = z.iter().sum::<f64>() / n;
+        let var = z.iter().map(|v| v * v).sum::<f64>() / n - mean * mean;
+        prop_assert!(mean.abs() < 1e-8);
+        // Either standardised or the flat convention (all zero).
+        let flat = z.iter().all(|&v| v == 0.0);
+        prop_assert!(flat || (var - 1.0).abs() < 1e-6, "var = {}", var);
+    }
+
+    #[test]
+    fn series_validation_accepts_all_finite(values in prop::collection::vec(-1e300..1e300f64, 0..50)) {
+        prop_assert!(Series::new(values).is_ok());
+    }
+
+    #[test]
+    fn parse_round_trips_values(values in prop::collection::vec(-1e6..1e6f64, 0..50)) {
+        let text: String = values.iter().map(|v| format!("{v:?}\n")).collect();
+        let series = parse_text(&text).unwrap();
+        prop_assert_eq!(series.values(), &values[..]);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_range(values in prop::collection::vec(-1e3..1e3f64, 2..60),
+                                              new_len in 2usize..120) {
+        let r = resample(&values, new_len);
+        prop_assert_eq!(r.len(), new_len);
+        prop_assert!((r[0] - values[0]).abs() < 1e-9);
+        prop_assert!((r[new_len - 1] - values[values.len() - 1]).abs() < 1e-9);
+        // Linear interpolation can never leave the convex hull of the input.
+        let (lo, hi) = values.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        for &v in &r {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn neumaier_sum_is_at_least_as_accurate_as_naive(values in prop::collection::vec(-1e12..1e12f64, 0..200)) {
+        // Oracle: sum in descending magnitude order with f64 (a decent proxy
+        // for the true value at these ranges), plus exact equality on empties.
+        let fast = neumaier_sum(values.iter().copied());
+        let naive: f64 = values.iter().sum();
+        let spread: f64 = values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!((fast - naive).abs() / spread < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Bluestein's algorithm: an exact DFT for *arbitrary* sizes, expressed as a
+//! convolution of power-of-two length and therefore computable with the
+//! radix-2 kernel.
+//!
+//! The matrix-profile pipeline mostly pads to powers of two (convolution does
+//! not care about trailing zeros), but an exact-size transform is occasionally
+//! useful — e.g. spectral summaries of a whole dataset — and having it keeps
+//! the FFT substrate complete.
+
+use crate::complex::Complex;
+use crate::radix2::Radix2Plan;
+
+/// A reusable exact-size DFT plan based on Bluestein's chirp-z trick.
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    n: usize,
+    m: usize,
+    /// Chirp `a[k] = e^{-iπk²/n}`.
+    chirp: Vec<Complex>,
+    /// Forward FFT of the zero-padded conjugate chirp (the convolution kernel).
+    kernel_fft: Vec<Complex>,
+    inner: Radix2Plan,
+}
+
+impl BluesteinPlan {
+    /// Builds a plan for an arbitrary positive size `n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Bluestein size must be positive");
+        let m = (2 * n - 1).next_power_of_two();
+        // k² mod 2n computed incrementally to avoid overflow for large n.
+        let mut chirp = Vec::with_capacity(n);
+        let two_n = 2 * n as u64;
+        let mut ksq = 0u64; // k² mod 2n
+        for k in 0..n as u64 {
+            // (k+1)² = k² + 2k + 1
+            if k > 0 {
+                ksq = (ksq + 2 * (k - 1) + 1) % two_n;
+            }
+            let theta = -std::f64::consts::PI * ksq as f64 / n as f64;
+            chirp.push(Complex::cis(theta));
+        }
+        let inner = Radix2Plan::new(m);
+        let mut kernel = vec![Complex::ZERO; m];
+        kernel[0] = chirp[0].conj();
+        for k in 1..n {
+            let c = chirp[k].conj();
+            kernel[k] = c;
+            kernel[m - k] = c;
+        }
+        inner.forward(&mut kernel);
+        BluesteinPlan { n, m, chirp, kernel_fft: kernel, inner }
+    }
+
+    /// The transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; present for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DFT of `input` (any length equal to the plan size).
+    pub fn forward(&self, input: &[Complex]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n);
+        let mut work = vec![Complex::ZERO; self.m];
+        for k in 0..self.n {
+            work[k] = input[k] * self.chirp[k];
+        }
+        self.inner.forward(&mut work);
+        for (w, k) in work.iter_mut().zip(&self.kernel_fft) {
+            *w *= *k;
+        }
+        self.inner.inverse(&mut work);
+        (0..self.n).map(|k| work[k] * self.chirp[k]).collect()
+    }
+
+    /// Inverse DFT (normalised by `1/n`).
+    pub fn inverse(&self, input: &[Complex]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n);
+        // DFT⁻¹(x) = conj(DFT(conj(x))) / n
+        let conj: Vec<Complex> = input.iter().map(|z| z.conj()).collect();
+        let mut out = self.forward(&conj);
+        let scale = 1.0 / self.n as f64;
+        for z in &mut out {
+            *z = z.conj().scale(scale);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix2::{naive_dft, Direction};
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| Complex::new((i as f64).sin() * 3.0, (i as f64 * 0.3).cos())).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_for_awkward_sizes() {
+        for &n in &[1usize, 2, 3, 5, 7, 12, 31, 100, 243] {
+            let input = ramp(n);
+            let fast = BluesteinPlan::new(n).forward(&input);
+            let slow = naive_dft(&input, Direction::Forward);
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((*a - *b).abs() < 1e-7 * n as f64, "n={n} idx={i}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_arbitrary_size() {
+        for &n in &[3usize, 17, 50, 129] {
+            let input = ramp(n);
+            let plan = BluesteinPlan::new(n);
+            let back = plan.inverse(&plan.forward(&input));
+            for (a, b) in back.iter().zip(&input) {
+                assert!((*a - *b).abs() < 1e-8 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_on_powers_of_two() {
+        let n = 64;
+        let input = ramp(n);
+        let blue = BluesteinPlan::new(n).forward(&input);
+        let mut fast = input.clone();
+        crate::radix2::fft(&mut fast);
+        for (a, b) in blue.iter().zip(&fast) {
+            assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let input = vec![Complex::new(4.2, -1.0)];
+        let out = BluesteinPlan::new(1).forward(&input);
+        assert!((out[0] - input[0]).abs() < 1e-12);
+    }
+}

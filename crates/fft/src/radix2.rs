@@ -1,0 +1,241 @@
+//! Iterative radix-2 Cooley–Tukey FFT for power-of-two sizes.
+//!
+//! The transform is in-place over a `&mut [Complex]` whose length must be a
+//! power of two. Twiddle factors are precomputed once per [`Radix2Plan`] so a
+//! plan can be reused across many transforms of the same size — the benchmark
+//! harness transforms thousands of equal-length buffers.
+
+use crate::complex::Complex;
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The forward DFT: `X[k] = Σ x[n] e^{-2πikn/N}`.
+    Forward,
+    /// The inverse DFT **without** the `1/N` normalisation; callers that need
+    /// a true inverse should scale afterwards (or use [`Radix2Plan::inverse`]).
+    Backward,
+}
+
+/// A reusable FFT plan for a fixed power-of-two size.
+#[derive(Debug, Clone)]
+pub struct Radix2Plan {
+    n: usize,
+    /// `twiddles[k] = e^{-2πik/n}` for `k < n/2`.
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation table.
+    rev: Vec<u32>,
+}
+
+impl Radix2Plan {
+    /// Builds a plan for size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "radix-2 FFT size must be a power of two, got {n}");
+        let half = n / 2;
+        let mut twiddles = Vec::with_capacity(half);
+        let step = -2.0 * std::f64::consts::PI / n as f64;
+        for k in 0..half {
+            twiddles.push(Complex::cis(step * k as f64));
+        }
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 1..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i as u32) & 1) << (bits.saturating_sub(1)));
+        }
+        Radix2Plan { n, twiddles, rev }
+    }
+
+    /// The transform size this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the degenerate size-0 plan (never constructible, but
+    /// keeps clippy's `len_without_is_empty` satisfied).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.transform(buf, Direction::Forward);
+    }
+
+    /// In-place inverse DFT, including the `1/N` normalisation.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.transform(buf, Direction::Backward);
+        let scale = 1.0 / self.n as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    /// In-place transform in the given direction (unnormalised).
+    pub fn transform(&self, buf: &mut [Complex], dir: Direction) {
+        assert_eq!(buf.len(), self.n, "buffer length {} != plan size {}", buf.len(), self.n);
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Butterfly passes. For stage length `len`, the twiddle stride through
+        // the precomputed table is `n / len`.
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                let mut tw = 0usize;
+                for k in 0..half {
+                    let w = match dir {
+                        Direction::Forward => self.twiddles[tw],
+                        Direction::Backward => self.twiddles[tw].conj(),
+                    };
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                    tw += stride;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// One-shot forward FFT of a power-of-two-length buffer.
+pub fn fft(buf: &mut [Complex]) {
+    Radix2Plan::new(buf.len()).forward(buf);
+}
+
+/// One-shot normalised inverse FFT of a power-of-two-length buffer.
+pub fn ifft(buf: &mut [Complex]) {
+    Radix2Plan::new(buf.len()).inverse(buf);
+}
+
+/// Naive `O(n²)` DFT used as a test oracle.
+pub fn naive_dft(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Backward => 1.0,
+    };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64;
+                acc += x * Complex::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| Complex::new(i as f64, (i as f64) * 0.5 - 1.0)).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_across_sizes() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let input = ramp(n);
+            let mut fast = input.clone();
+            fft(&mut fast);
+            let slow = naive_dft(&input, Direction::Forward);
+            assert_close(&fast, &slow, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for &n in &[2usize, 8, 32, 128, 1024] {
+            let input = ramp(n);
+            let mut buf = input.clone();
+            fft(&mut buf);
+            ifft(&mut buf);
+            assert_close(&buf, &input, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let mut buf = vec![Complex::ZERO; 16];
+        buf[0] = Complex::ONE;
+        fft(&mut buf);
+        for z in &buf {
+            assert!((*z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_delta() {
+        let mut buf = vec![Complex::ONE; 8];
+        fft(&mut buf);
+        assert!((buf[0] - Complex::from_real(8.0)).abs() < 1e-12);
+        for z in &buf[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let input = ramp(64);
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = input;
+        fft(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn plan_is_reusable() {
+        let plan = Radix2Plan::new(32);
+        for seed in 0..4 {
+            let input: Vec<Complex> =
+                (0..32).map(|i| Complex::new(((i * 7 + seed) % 13) as f64, 0.0)).collect();
+            let mut buf = input.clone();
+            plan.forward(&mut buf);
+            assert_close(&buf, &naive_dft(&input, Direction::Forward), 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Radix2Plan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn rejects_wrong_buffer_length() {
+        let plan = Radix2Plan::new(8);
+        let mut buf = vec![Complex::ZERO; 4];
+        plan.forward(&mut buf);
+    }
+}

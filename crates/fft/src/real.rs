@@ -1,0 +1,167 @@
+//! Real-input convolution and cross-correlation on top of the complex FFT.
+//!
+//! Two real sequences are packed into one complex buffer (one in the real
+//! lane, one in the imaginary lane), so a convolution costs two FFTs instead
+//! of three. Correctness of the unpacking identity is covered by tests
+//! against direct `O(nm)` evaluation.
+
+use crate::complex::Complex;
+use crate::radix2::Radix2Plan;
+
+/// Full linear convolution of two real sequences (`len = a.len() + b.len() - 1`),
+/// computed in `O(n log n)` via a packed complex FFT.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    // Below this size the naive loop beats FFT setup cost.
+    if a.len().min(b.len()) <= 32 {
+        return convolve_naive(a, b);
+    }
+    let m = out_len.next_power_of_two();
+    let plan = Radix2Plan::new(m);
+    // Pack: real lane = a, imaginary lane = b.
+    let mut buf = vec![Complex::ZERO; m];
+    for (i, &x) in a.iter().enumerate() {
+        buf[i].re = x;
+    }
+    for (i, &x) in b.iter().enumerate() {
+        buf[i].im = x;
+    }
+    plan.forward(&mut buf);
+    // For packed z = a + ib: A[k] = (Z[k] + conj(Z[m-k]))/2, B[k] = (Z[k] - conj(Z[m-k]))/(2i).
+    // The product C[k] = A[k]·B[k] is assembled directly.
+    let mut spec = vec![Complex::ZERO; m];
+    for k in 0..m {
+        let zk = buf[k];
+        let zmk = buf[(m - k) % m].conj();
+        let ak = (zk + zmk).scale(0.5);
+        let bk = (zk - zmk) * Complex::new(0.0, -0.5);
+        spec[k] = ak * bk;
+    }
+    plan.inverse(&mut spec);
+    spec.truncate(out_len);
+    spec.into_iter().map(|z| z.re).collect()
+}
+
+/// Direct `O(nm)` convolution, used as the small-size fast path and test oracle.
+pub fn convolve_naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Valid-mode cross-correlation: `out[j] = Σ_{p} query[p] · series[j + p]`
+/// for `j ∈ [0, series.len() - query.len()]`.
+///
+/// This is the "sliding dot product" at the heart of MASS and STOMP
+/// (Algorithm 3, line 5 of the paper). Returns an empty vector when the query
+/// is longer than the series.
+pub fn sliding_dot_product(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    let n = series.len();
+    if m == 0 || n < m {
+        return Vec::new();
+    }
+    // Cross-correlation = convolution with the reversed query; full convolution
+    // index m-1+j holds Σ query[p]·series[j+p].
+    let reversed: Vec<f64> = query.iter().rev().copied().collect();
+    let full = convolve(&reversed, series);
+    full[m - 1..n].to_vec()
+}
+
+/// Naive `O(nm)` sliding dot product, the test oracle for
+/// [`sliding_dot_product`].
+pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    let n = series.len();
+    if m == 0 || n < m {
+        return Vec::new();
+    }
+    (0..=n - m)
+        .map(|j| query.iter().zip(&series[j..j + m]).map(|(q, s)| q * s).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convolution_matches_naive() {
+        let a: Vec<f64> = (0..200).map(|i| ((i * i) % 17) as f64 - 8.0).collect();
+        let b: Vec<f64> = (0..77).map(|i| (i as f64 * 0.37).sin()).collect();
+        let fast = convolve(&a, &b);
+        let slow = convolve_naive(&a, &b);
+        assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [0.5, 4.0];
+        assert_eq!(convolve_naive(&a, &b), convolve_naive(&b, &a));
+    }
+
+    #[test]
+    fn convolution_with_delta_is_identity() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let out = convolve(&a, &[1.0]);
+        assert_eq!(out, a.to_vec());
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+        assert!(sliding_dot_product(&[], &[1.0]).is_empty());
+        assert!(sliding_dot_product(&[1.0, 2.0], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn sliding_dot_product_matches_naive_small() {
+        let series: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).cos() * 2.0 + i as f64 * 0.01).collect();
+        let query = &series[10..18];
+        let fast = sliding_dot_product(query, &series);
+        let slow = sliding_dot_product_naive(query, &series);
+        assert_eq!(fast.len(), series.len() - query.len() + 1);
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sliding_dot_product_matches_naive_large() {
+        // Large enough to take the FFT path.
+        let series: Vec<f64> = (0..4000).map(|i| ((i * 31 + 7) % 101) as f64 / 50.0 - 1.0).collect();
+        let query = &series[1234..1234 + 257];
+        let fast = sliding_dot_product(query, &series);
+        let slow = sliding_dot_product_naive(query, &series);
+        for (i, (x, y)) in fast.iter().zip(&slow).enumerate() {
+            assert!((x - y).abs() < 1e-6, "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn self_dot_product_peaks_at_own_offset() {
+        let series: Vec<f64> = (0..500).map(|i| (i as f64 * 0.05).sin()).collect();
+        let q = &series[100..164];
+        let qt = sliding_dot_product(q, &series);
+        // The dot product of the (non-normalised) query with itself is the
+        // energy maximum among all same-phase alignments.
+        let self_val = qt[100];
+        let energy: f64 = q.iter().map(|x| x * x).sum();
+        assert!((self_val - energy).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,218 @@
+//! A d-dimensional Hilbert curve (Skilling's 2004 transform).
+//!
+//! QuickMotif packs its R-tree in Hilbert order, which keeps spatially close
+//! PAA summaries in nearby tree nodes. The implementation follows John
+//! Skilling, *"Programming the Hilbert curve"* (AIP Conf. Proc. 707), which
+//! converts axis coordinates to a transposed Hilbert code in place; the
+//! transposed code is then bit-interleaved into a single `u128` key.
+//!
+//! Constraint: `dims · bits ≤ 128`.
+
+/// Converts axis coordinates (each `< 2^bits`) to a Hilbert-curve index.
+///
+/// # Panics
+/// Panics if `dims·bits > 128`, `bits` is 0 or > 32, or a coordinate
+/// overflows `bits`.
+pub fn hilbert_index(coords: &[u32], bits: u32) -> u128 {
+    let dims = coords.len();
+    assert!((1..=32).contains(&bits), "bits must be in [1, 32]");
+    assert!(dims as u32 * bits <= 128, "dims·bits must fit in 128 bits");
+    for &c in coords {
+        assert!(bits == 32 || c < (1u32 << bits), "coordinate {c} overflows {bits} bits");
+    }
+    let x = axes_to_transpose(coords, bits);
+    interleave(&x, bits)
+}
+
+/// Inverse mapping: Hilbert index back to axis coordinates.
+pub fn hilbert_coords(index: u128, dims: usize, bits: u32) -> Vec<u32> {
+    assert!((1..=32).contains(&bits));
+    assert!(dims as u32 * bits <= 128);
+    let x = deinterleave(index, dims, bits);
+    transpose_to_axes(&x, bits)
+}
+
+/// Skilling's forward transform: Gray-decode and undo the rotations, turning
+/// axis coordinates into the "transposed" Hilbert representation.
+fn axes_to_transpose(coords: &[u32], bits: u32) -> Vec<u32> {
+    let n = coords.len();
+    let mut x = coords.to_vec();
+    if n <= 1 {
+        return x;
+    }
+    let m = 1u32 << (bits - 1);
+    // Inverse undo excess work.
+    let mut q = m;
+    while q > 1 {
+        let p = q.wrapping_sub(1);
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+    x
+}
+
+/// Skilling's inverse transform.
+fn transpose_to_axes(x: &[u32], bits: u32) -> Vec<u32> {
+    let n = x.len();
+    let mut x = x.to_vec();
+    if n <= 1 {
+        return x;
+    }
+    let m = 2u32 << (bits - 1);
+    // Gray decode by H ^ (H/2).
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != m {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+    x
+}
+
+/// Interleaves the transposed code into a single index: bit `b` of axis `i`
+/// becomes bit `(b·dims + (dims−1−i))` of the output, most significant bit
+/// first.
+fn interleave(x: &[u32], bits: u32) -> u128 {
+    let mut out: u128 = 0;
+    for b in (0..bits).rev() {
+        for &xi in x.iter() {
+            out = (out << 1) | ((xi >> b) & 1) as u128;
+        }
+    }
+    out
+}
+
+fn deinterleave(index: u128, dims: usize, bits: u32) -> Vec<u32> {
+    let mut x = vec![0u32; dims];
+    let total = dims as u32 * bits;
+    for pos in 0..total {
+        let bit = ((index >> (total - 1 - pos)) & 1) as u32;
+        let axis = (pos as usize) % dims;
+        x[axis] = (x[axis] << 1) | bit;
+    }
+    x
+}
+
+/// Quantises a float in `[lo, hi]` onto the `bits`-bit integer grid
+/// (clamping out-of-range values).
+pub fn quantize(value: f64, lo: f64, hi: f64, bits: u32) -> u32 {
+    let cells = (1u64 << bits) as f64;
+    if hi <= lo {
+        return 0;
+    }
+    let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * cells).floor() as u64).min((1u64 << bits) - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_2d() {
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let h = hilbert_index(&[x, y], 4);
+                assert_eq!(hilbert_coords(h, 2, 4), vec![x, y]);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_higher_dims() {
+        for dims in [3usize, 4, 8] {
+            for seed in 0..200u32 {
+                let coords: Vec<u32> =
+                    (0..dims).map(|i| (seed.wrapping_mul(2654435761).rotate_left(i as u32 * 7)) & 0xF).collect();
+                let h = hilbert_index(&coords, 4);
+                assert_eq!(hilbert_coords(h, dims, 4), coords, "dims={dims} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_2d() {
+        let mut seen = vec![false; 256];
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let h = hilbert_index(&[x, y], 4) as usize;
+                assert!(h < 256);
+                assert!(!seen[h], "index {h} visited twice");
+                seen[h] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn consecutive_indices_are_adjacent_cells() {
+        // The defining Hilbert property: successive curve positions differ
+        // by exactly 1 in exactly one coordinate.
+        for h in 0..255u128 {
+            let a = hilbert_coords(h, 2, 4);
+            let b = hilbert_coords(h + 1, 2, 4);
+            let manhattan: u32 =
+                a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
+            assert_eq!(manhattan, 1, "h={h}: {a:?} -> {b:?}");
+        }
+    }
+
+    #[test]
+    fn one_dimension_is_identity() {
+        for v in 0..32u32 {
+            assert_eq!(hilbert_index(&[v], 5), v as u128);
+        }
+    }
+
+    #[test]
+    fn quantize_maps_range_to_grid() {
+        assert_eq!(quantize(-1.0, -1.0, 1.0, 4), 0);
+        assert_eq!(quantize(1.0, -1.0, 1.0, 4), 15);
+        assert_eq!(quantize(0.0, -1.0, 1.0, 4), 8);
+        assert_eq!(quantize(99.0, -1.0, 1.0, 4), 15); // clamped
+        assert_eq!(quantize(0.5, 1.0, 1.0, 4), 0); // degenerate range
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_coordinate_is_rejected() {
+        hilbert_index(&[16, 0], 4);
+    }
+}

@@ -1,0 +1,36 @@
+//! # valmod-index
+//!
+//! Spatial-index substrate for the QuickMotif baseline (Li et al., ICDE
+//! 2015; the fixed-length comparator in the VALMOD evaluation): PAA
+//! summaries of z-normalised subsequences, a d-dimensional Hilbert curve
+//! (Skilling's transform), axis-aligned MBRs with the admissible `MINDIST`
+//! metric, and a bulk-loaded Hilbert R-tree.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use valmod_index::paa::{paa, paa_dist};
+//! use valmod_index::rtree::RTree;
+//!
+//! let points: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| paa(&(0..32).map(|j| ((i * j) as f64 * 0.01).sin()).collect::<Vec<_>>(), 4))
+//!     .collect();
+//! let tree = RTree::bulk_load(&points, 8, 8);
+//! assert_eq!(tree.len(), 100);
+//! // PAA distance lower-bounds the Euclidean distance of the length-32 originals.
+//! let lb = paa_dist(&points[0], &points[50], 32);
+//! assert!(lb >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hilbert;
+pub mod mbr;
+pub mod paa;
+pub mod rtree;
+
+pub use hilbert::{hilbert_coords, hilbert_index};
+pub use mbr::Mbr;
+pub use paa::{paa, paa_dist, paa_znorm};
+pub use rtree::{Node, NodeId, RTree};

@@ -1,0 +1,179 @@
+//! Minimum bounding rectangles in d dimensions, with the `MINDIST` metric
+//! used for admissible R-tree pruning.
+
+/// An axis-aligned minimum bounding rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    /// Per-dimension lower bounds.
+    pub lo: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub hi: Vec<f64>,
+}
+
+impl Mbr {
+    /// An "empty" MBR that unions as the identity.
+    pub fn empty(dims: usize) -> Self {
+        Mbr { lo: vec![f64::INFINITY; dims], hi: vec![f64::NEG_INFINITY; dims] }
+    }
+
+    /// The MBR of a single point.
+    pub fn from_point(point: &[f64]) -> Self {
+        Mbr { lo: point.to_vec(), hi: point.to_vec() }
+    }
+
+    /// The MBR of a set of points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn from_points<'a>(mut points: impl Iterator<Item = &'a [f64]>) -> Self {
+        let first = points.next().expect("MBR of an empty point set");
+        let mut mbr = Mbr::from_point(first);
+        for p in points {
+            mbr.expand_point(p);
+        }
+        mbr
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether the MBR is the empty identity.
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| l > h)
+    }
+
+    /// Grows the MBR to cover `point`.
+    pub fn expand_point(&mut self, point: &[f64]) {
+        debug_assert_eq!(point.len(), self.dims());
+        for ((lo, hi), &v) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(point) {
+            if v < *lo {
+                *lo = v;
+            }
+            if v > *hi {
+                *hi = v;
+            }
+        }
+    }
+
+    /// Grows the MBR to cover another MBR.
+    pub fn expand_mbr(&mut self, other: &Mbr) {
+        debug_assert_eq!(other.dims(), self.dims());
+        for i in 0..self.dims() {
+            self.lo[i] = self.lo[i].min(other.lo[i]);
+            self.hi[i] = self.hi[i].max(other.hi[i]);
+        }
+    }
+
+    /// Whether the MBR contains `point` (inclusive).
+    pub fn contains(&self, point: &[f64]) -> bool {
+        self.lo.iter().zip(&self.hi).zip(point).all(|((l, h), v)| *l <= *v && *v <= *h)
+    }
+
+    /// The geometric centre.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| 0.5 * (l + h)).collect()
+    }
+
+    /// `MINDIST` between two MBRs: the smallest possible Euclidean distance
+    /// between any point of one and any point of the other. Zero when they
+    /// overlap. This lower-bounds the distance between any contained points,
+    /// which is what makes best-first pair pruning exact.
+    pub fn min_dist(&self, other: &Mbr) -> f64 {
+        debug_assert_eq!(other.dims(), self.dims());
+        let mut acc = 0.0;
+        for i in 0..self.dims() {
+            let gap = if self.hi[i] < other.lo[i] {
+                other.lo[i] - self.hi[i]
+            } else if other.hi[i] < self.lo[i] {
+                self.lo[i] - other.hi[i]
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc.sqrt()
+    }
+
+    /// `MINDIST` between this MBR and a point.
+    pub fn min_dist_point(&self, point: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for ((&lo, &hi), &p) in self.lo.iter().zip(&self.hi).zip(point) {
+            let gap = if p < lo {
+                lo - p
+            } else if p > hi {
+                p - hi
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts: Vec<Vec<f64>> = vec![vec![0.0, 5.0], vec![2.0, 1.0], vec![-1.0, 3.0]];
+        let mbr = Mbr::from_points(pts.iter().map(|p| p.as_slice()));
+        assert_eq!(mbr.lo, vec![-1.0, 1.0]);
+        assert_eq!(mbr.hi, vec![2.0, 5.0]);
+        for p in &pts {
+            assert!(mbr.contains(p));
+        }
+    }
+
+    #[test]
+    fn min_dist_is_zero_when_overlapping() {
+        let a = Mbr { lo: vec![0.0, 0.0], hi: vec![2.0, 2.0] };
+        let b = Mbr { lo: vec![1.0, 1.0], hi: vec![3.0, 3.0] };
+        assert_eq!(a.min_dist(&b), 0.0);
+        assert_eq!(a.min_dist(&a), 0.0);
+    }
+
+    #[test]
+    fn min_dist_matches_hand_computation() {
+        let a = Mbr { lo: vec![0.0, 0.0], hi: vec![1.0, 1.0] };
+        let b = Mbr { lo: vec![4.0, 5.0], hi: vec![6.0, 7.0] };
+        // Gaps: 3 in x, 4 in y → 5.
+        assert!((a.min_dist(&b) - 5.0).abs() < 1e-12);
+        assert!((b.min_dist(&a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_dist_lower_bounds_contained_points() {
+        let a = Mbr::from_points([vec![0.0, 0.0], vec![1.0, 2.0]].iter().map(|p| p.as_slice()));
+        let b = Mbr::from_points([vec![5.0, 6.0], vec![4.0, 8.0]].iter().map(|p| p.as_slice()));
+        let d_pts = ((5.0f64 - 1.0).powi(2) + (6.0f64 - 2.0).powi(2)).sqrt();
+        assert!(a.min_dist(&b) <= d_pts);
+    }
+
+    #[test]
+    fn point_min_dist() {
+        let a = Mbr { lo: vec![0.0, 0.0], hi: vec![2.0, 2.0] };
+        assert_eq!(a.min_dist_point(&[1.0, 1.0]), 0.0);
+        assert!((a.min_dist_point(&[5.0, 2.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mbr_unions_as_identity() {
+        let mut e = Mbr::empty(2);
+        assert!(e.is_empty());
+        e.expand_point(&[1.0, -1.0]);
+        assert!(!e.is_empty());
+        assert_eq!(e.lo, vec![1.0, -1.0]);
+        assert_eq!(e.hi, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let a = Mbr { lo: vec![0.0, 2.0], hi: vec![4.0, 6.0] };
+        assert_eq!(a.center(), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Piecewise Aggregate Approximation (PAA) of z-normalised subsequences.
+//!
+//! QuickMotif (Li et al., ICDE 2015 — the paper's fixed-length baseline)
+//! summarises every z-normalised subsequence by `d` segment means. The PAA
+//! distance, scaled by `sqrt(ℓ/d)`, lower-bounds the z-normalised Euclidean
+//! distance — the property that makes R-tree pruning admissible.
+
+use valmod_data::series::znormalize;
+
+/// PAA of an already z-normalised (or otherwise prepared) vector: `dims`
+/// segment means. Handles lengths not divisible by `dims` by weighting
+/// boundary samples fractionally, so every sample contributes exactly once.
+pub fn paa(values: &[f64], dims: usize) -> Vec<f64> {
+    assert!(dims > 0, "PAA needs at least one segment");
+    let l = values.len();
+    assert!(l >= dims, "PAA dimensionality {dims} exceeds length {l}");
+    let seg = l as f64 / dims as f64;
+    let mut out = Vec::with_capacity(dims);
+    for k in 0..dims {
+        let start = k as f64 * seg;
+        let end = start + seg;
+        let mut acc = 0.0;
+        let mut idx = start.floor() as usize;
+        let mut pos = start;
+        while pos < end - 1e-12 {
+            let next = ((idx + 1) as f64).min(end);
+            acc += values[idx.min(l - 1)] * (next - pos);
+            pos = next;
+            idx += 1;
+        }
+        out.push(acc / seg);
+    }
+    out
+}
+
+/// PAA of the z-normalisation of `sub` (the QuickMotif summary).
+pub fn paa_znorm(sub: &[f64], dims: usize) -> Vec<f64> {
+    paa(&znormalize(sub), dims)
+}
+
+/// The PAA lower-bound distance: `sqrt(ℓ/d · Σ (aₖ − bₖ)²)` — admissible for
+/// the Euclidean distance of the underlying length-`ℓ` vectors.
+pub fn paa_dist(a: &[f64], b: &[f64], l: usize) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let d = a.len();
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (l as f64 / d as f64 * sum).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::random_walk;
+    use valmod_data::series::euclidean;
+
+    #[test]
+    fn paa_of_constant_is_constant() {
+        let p = paa(&[3.0; 12], 4);
+        assert_eq!(p, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn paa_exact_division_is_segment_means() {
+        let p = paa(&[1.0, 3.0, 5.0, 7.0, 9.0, 11.0], 3);
+        assert_eq!(p, vec![2.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn paa_fractional_division_preserves_total_mass() {
+        // Σ paa·seg must equal Σ values for any length/dims combination.
+        let values: Vec<f64> = (0..17).map(|i| (i as f64 * 0.7).sin()).collect();
+        for dims in [2usize, 3, 5, 7, 16] {
+            let p = paa(&values, dims);
+            let mass: f64 = p.iter().sum::<f64>() * (values.len() as f64 / dims as f64);
+            let total: f64 = values.iter().sum();
+            assert!((mass - total).abs() < 1e-9, "dims={dims}: {mass} vs {total}");
+        }
+    }
+
+    #[test]
+    fn paa_dist_lower_bounds_euclidean() {
+        let series = random_walk(500, 3);
+        let l = 64;
+        for (i, j) in [(0usize, 100usize), (50, 300), (200, 400), (10, 430)] {
+            let a = znormalize(&series[i..i + l]);
+            let b = znormalize(&series[j..j + l]);
+            let true_d = euclidean(&a, &b);
+            for dims in [4usize, 8, 16] {
+                let lb = paa_dist(&paa(&a, dims), &paa(&b, dims), l);
+                assert!(
+                    lb <= true_d + 1e-9,
+                    "dims={dims} ({i},{j}): PAA {lb} exceeds ED {true_d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_dimensionality_tightens_the_bound() {
+        let series = random_walk(300, 9);
+        let l = 64;
+        let a = znormalize(&series[0..l]);
+        let b = znormalize(&series[150..150 + l]);
+        let lb4 = paa_dist(&paa(&a, 4), &paa(&b, 4), l);
+        let lb16 = paa_dist(&paa(&a, 16), &paa(&b, 16), l);
+        assert!(lb16 >= lb4 - 1e-9, "finer PAA must not loosen the bound");
+    }
+
+    #[test]
+    fn full_dimensionality_is_exact() {
+        let a = [0.5, -1.0, 2.0, -1.5];
+        let b = [1.0, 0.0, -2.0, 1.0];
+        let d = euclidean(&a, &b);
+        let lb = paa_dist(&paa(&a, 4), &paa(&b, 4), 4);
+        assert!((d - lb).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds length")]
+    fn paa_rejects_too_many_dims() {
+        paa(&[1.0, 2.0], 3);
+    }
+}

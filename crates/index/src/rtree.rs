@@ -1,0 +1,250 @@
+//! A bulk-loaded Hilbert R-tree over groups of points.
+//!
+//! QuickMotif's layout: every subsequence becomes a PAA point; runs of `B`
+//! *consecutive* subsequences (which overlap heavily and are therefore
+//! similar) form the leaf MBRs; leaves are then packed bottom-up in Hilbert
+//! order of their centres, `fanout` children per internal node.
+
+use crate::hilbert::{hilbert_index, quantize};
+use crate::mbr::Mbr;
+
+/// Node identifier inside an [`RTree`].
+pub type NodeId = usize;
+
+/// One node of the tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Bounding rectangle of everything below this node.
+    pub mbr: Mbr,
+    /// Children: node ids for internal nodes, empty for leaves.
+    pub children: Vec<NodeId>,
+    /// For leaves: the contiguous range of item (point) ids covered.
+    pub items: std::ops::Range<usize>,
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A static, bulk-loaded R-tree.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    dims: usize,
+    num_items: usize,
+}
+
+impl RTree {
+    /// Bulk-loads a tree over `points` (all of equal dimensionality):
+    /// consecutive runs of `group` points form the leaves; internal levels
+    /// pack `fanout` children per node in Hilbert order of child centres.
+    ///
+    /// # Panics
+    /// Panics on empty input, `group == 0`, or `fanout < 2`.
+    pub fn bulk_load(points: &[Vec<f64>], group: usize, fanout: usize) -> Self {
+        assert!(!points.is_empty(), "cannot build an R-tree over nothing");
+        assert!(group > 0, "leaf group size must be positive");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let dims = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dims), "inconsistent dimensionality");
+
+        let mut nodes: Vec<Node> = Vec::new();
+        // Level 0: leaves over consecutive runs.
+        let mut level: Vec<NodeId> = Vec::new();
+        let mut start = 0usize;
+        while start < points.len() {
+            let end = (start + group).min(points.len());
+            let mbr = Mbr::from_points(points[start..end].iter().map(|p| p.as_slice()));
+            nodes.push(Node { mbr, children: Vec::new(), items: start..end });
+            level.push(nodes.len() - 1);
+            start = end;
+        }
+        // Hilbert-sort the leaves by centre, then pack upper levels.
+        sort_by_hilbert(&mut level, &nodes);
+        while level.len() > 1 {
+            let mut next: Vec<NodeId> = Vec::new();
+            for chunk in level.chunks(fanout) {
+                let mut mbr = Mbr::empty(dims);
+                for &c in chunk {
+                    mbr.expand_mbr(&nodes[c].mbr);
+                }
+                nodes.push(Node { mbr, children: chunk.to_vec(), items: 0..0 });
+                next.push(nodes.len() - 1);
+            }
+            sort_by_hilbert(&mut next, &nodes);
+            level = next;
+        }
+        let root = level[0];
+        RTree { nodes, root, dims, num_items: points.len() }
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Accesses a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of dimensions of the indexed points.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_items
+    }
+
+    /// Whether the tree indexes no points (never true — construction panics
+    /// on empty input — but kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_items == 0
+    }
+
+    /// Total number of nodes (diagnostics).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over all leaf node ids.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).filter(move |&id| self.nodes[id].is_leaf())
+    }
+}
+
+/// Sorts node ids by the Hilbert index of their MBR centres (16 bits per
+/// dimension when it fits in the 128-bit key, coarser otherwise).
+fn sort_by_hilbert(ids: &mut [NodeId], nodes: &[Node]) {
+    if ids.len() <= 1 {
+        return;
+    }
+    let dims = nodes[ids[0]].mbr.dims();
+    let bits = (128 / dims.max(1)).clamp(1, 16) as u32;
+    // Global extent of the centres, per dimension.
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    let centers: Vec<Vec<f64>> = ids.iter().map(|&id| nodes[id].mbr.center()).collect();
+    for c in &centers {
+        for i in 0..dims {
+            lo[i] = lo[i].min(c[i]);
+            hi[i] = hi[i].max(c[i]);
+        }
+    }
+    let mut keyed: Vec<(u128, NodeId)> = centers
+        .iter()
+        .zip(ids.iter())
+        .map(|(c, &id)| {
+            let coords: Vec<u32> =
+                (0..dims).map(|i| quantize(c[i], lo[i], hi[i], bits)).collect();
+            (hilbert_index(&coords, bits), id)
+        })
+        .collect();
+    keyed.sort_by_key(|&(k, _)| k);
+    for (slot, (_, id)) in ids.iter_mut().zip(keyed) {
+        *slot = id;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::rng::Xoshiro256;
+
+    fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n).map(|_| (0..dims).map(|_| rng.uniform(-10.0, 10.0)).collect()).collect()
+    }
+
+    #[test]
+    fn every_point_is_inside_its_leaf_and_all_ancestors() {
+        let pts = random_points(500, 4, 1);
+        let tree = RTree::bulk_load(&pts, 8, 6);
+        // Leaf coverage.
+        let mut covered = vec![false; pts.len()];
+        for leaf in tree.leaves() {
+            let node = tree.node(leaf);
+            for i in node.items.clone() {
+                assert!(node.mbr.contains(&pts[i]), "point {i} outside its leaf");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every point must appear in exactly one leaf");
+        // Root covers everything.
+        let root = tree.node(tree.root());
+        for p in &pts {
+            assert!(root.mbr.contains(p));
+        }
+    }
+
+    #[test]
+    fn parents_contain_children() {
+        let pts = random_points(300, 3, 2);
+        let tree = RTree::bulk_load(&pts, 5, 4);
+        for id in 0..tree.node_count() {
+            let node = tree.node(id);
+            for &c in &node.children {
+                let child = tree.node(c);
+                for d in 0..tree.dims() {
+                    assert!(node.mbr.lo[d] <= child.mbr.lo[d]);
+                    assert!(node.mbr.hi[d] >= child.mbr.hi[d]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_height_is_logarithmic() {
+        let pts = random_points(1000, 2, 3);
+        let tree = RTree::bulk_load(&pts, 10, 10);
+        // 100 leaves, fanout 10 ⇒ ~3 levels ⇒ ~111 nodes.
+        assert!(tree.node_count() < 150, "node count {}", tree.node_count());
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = RTree::bulk_load(&[vec![1.0, 2.0]], 4, 4);
+        let root = tree.node(tree.root());
+        assert!(root.is_leaf());
+        assert_eq!(root.items, 0..1);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn mindist_pruning_is_admissible() {
+        // For any two leaves, the MBR mindist must lower-bound the distance
+        // between any pair of their points.
+        let pts = random_points(200, 3, 5);
+        let tree = RTree::bulk_load(&pts, 7, 5);
+        let leaves: Vec<NodeId> = tree.leaves().collect();
+        for &a in &leaves {
+            for &b in &leaves {
+                let lb = tree.node(a).mbr.min_dist(&tree.node(b).mbr);
+                for i in tree.node(a).items.clone() {
+                    for j in tree.node(b).items.clone() {
+                        let d: f64 = pts[i]
+                            .iter()
+                            .zip(&pts[j])
+                            .map(|(x, y)| (x - y) * (x - y))
+                            .sum::<f64>()
+                            .sqrt();
+                        assert!(lb <= d + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

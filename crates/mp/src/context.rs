@@ -1,0 +1,129 @@
+//! [`ProfiledSeries`]: a data series prepared for matrix-profile computation.
+//!
+//! All profile kernels work in the *centred* domain (series minus its global
+//! mean). Z-normalised distances are invariant under that shift, while the
+//! dot products and `QT/ℓ − μμ` cancellations in Eq. 3 become far better
+//! conditioned (DESIGN.md §7).
+
+use valmod_data::error::{DataError, Result};
+use valmod_data::series::Series;
+use valmod_data::stats::RollingStats;
+
+/// A series packaged with its rolling statistics, centred by the global mean.
+#[derive(Debug, Clone)]
+pub struct ProfiledSeries {
+    centered: Vec<f64>,
+    stats: RollingStats,
+}
+
+impl ProfiledSeries {
+    /// Prepares `series` for profile computation (O(n)).
+    pub fn new(series: &Series) -> Self {
+        let stats = RollingStats::new(series.values());
+        let offset = stats.offset();
+        let centered = series.values().iter().map(|&v| v - offset).collect();
+        ProfiledSeries { centered, stats }
+    }
+
+    /// Builds directly from raw samples.
+    pub fn from_values(values: &[f64]) -> Result<Self> {
+        let series = Series::new(values.to_vec())?;
+        Ok(ProfiledSeries::new(&series))
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.centered.len()
+    }
+
+    /// Whether the series is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.centered.is_empty()
+    }
+
+    /// The centred samples (`x − global mean`); the domain every kernel
+    /// computes dot products in.
+    #[inline]
+    pub fn centered(&self) -> &[f64] {
+        &self.centered
+    }
+
+    /// The global mean that was subtracted.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.stats.offset()
+    }
+
+    /// Rolling statistics over the original series.
+    #[inline]
+    pub fn stats(&self) -> &RollingStats {
+        &self.stats
+    }
+
+    /// Centred mean `μ(T_{i,ℓ}) − offset` of a subsequence (the mean in the
+    /// domain of [`ProfiledSeries::centered`]).
+    #[inline]
+    pub fn mean_c(&self, i: usize, l: usize) -> f64 {
+        self.stats.centered_sum(i, l) / l as f64
+    }
+
+    /// Standard deviation of a subsequence (shift-invariant, so identical in
+    /// raw and centred domains).
+    #[inline]
+    pub fn std(&self, i: usize, l: usize) -> f64 {
+        self.stats.std_dev(i, l)
+    }
+
+    /// Number of subsequences of length `l`.
+    #[inline]
+    pub fn num_subsequences(&self, l: usize) -> usize {
+        if l == 0 || self.centered.len() < l {
+            0
+        } else {
+            self.centered.len() - l + 1
+        }
+    }
+
+    /// Validates that at least two non-overlapping subsequences of length `l`
+    /// exist, returning the subsequence count.
+    pub fn require_pairs(&self, l: usize) -> Result<usize> {
+        if l == 0 {
+            return Err(DataError::InvalidParameter("subsequence length must be positive".into()));
+        }
+        let ndp = self.num_subsequences(l);
+        if ndp < 2 {
+            return Err(DataError::TooShort { len: self.centered.len(), required: l + 1 });
+        }
+        Ok(ndp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centering_preserves_std_and_shifts_mean() {
+        let series = Series::new(vec![10.0, 12.0, 14.0, 16.0]).unwrap();
+        let ps = ProfiledSeries::new(&series);
+        assert!((ps.offset() - 13.0).abs() < 1e-12);
+        assert!((ps.mean_c(0, 2) - (11.0 - 13.0)).abs() < 1e-12);
+        assert!((ps.std(0, 2) - 1.0).abs() < 1e-12);
+        assert!((ps.centered()[0] - (-3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn require_pairs_validates() {
+        let ps = ProfiledSeries::from_values(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(ps.require_pairs(3).unwrap(), 2);
+        assert!(ps.require_pairs(4).is_err());
+        assert!(ps.require_pairs(0).is_err());
+    }
+
+    #[test]
+    fn from_values_rejects_nan() {
+        assert!(ProfiledSeries::from_values(&[1.0, f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Discord (anomaly) extraction from a matrix profile — the paper's §8
+//! future-work direction ("discovery of shapelets and discords"), realised
+//! here because VALMP already carries everything needed.
+
+use crate::matrix_profile::MatrixProfile;
+
+/// A discord: a subsequence unusually far from its nearest neighbour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discord {
+    /// Offset of the anomalous subsequence.
+    pub offset: usize,
+    /// Offset of its nearest neighbour.
+    pub nn: usize,
+    /// Distance to that nearest neighbour (large ⇒ anomalous).
+    pub nn_dist: f64,
+    /// Subsequence length.
+    pub l: usize,
+}
+
+/// Extracts the top-`k` discords: offsets with the largest finite
+/// nearest-neighbour distances, suppressing the exclusion zone around each
+/// selected discord so the k results describe distinct regions.
+pub fn top_discords(profile: &MatrixProfile, k: usize) -> Vec<Discord> {
+    let ndp = profile.len();
+    let radius = profile.exclusion_radius;
+    let mut suppressed = vec![false; ndp];
+    let mut order: Vec<usize> = (0..ndp).filter(|&i| profile.mp[i].is_finite()).collect();
+    order.sort_by(|&x, &y| profile.mp[y].partial_cmp(&profile.mp[x]).unwrap());
+
+    let mut out = Vec::new();
+    for &i in &order {
+        if out.len() >= k {
+            break;
+        }
+        if suppressed[i] {
+            continue;
+        }
+        out.push(Discord { offset: i, nn: profile.ip[i], nn_dist: profile.mp[i], l: profile.l });
+        let lo = i.saturating_sub(radius.saturating_sub(1));
+        let hi = (i + radius).min(ndp);
+        for s in suppressed.iter_mut().take(hi).skip(lo) {
+            *s = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ProfiledSeries;
+    use crate::exclusion::ExclusionPolicy;
+    use crate::stomp::stomp;
+    use valmod_data::generators::sine_mixture;
+
+    #[test]
+    fn planted_anomaly_is_the_top_discord() {
+        // A clean periodic signal with one corrupted window.
+        let mut series = sine_mixture(2000, &[(0.02, 1.0)], 0.01, 3);
+        for (k, v) in series[900..950].iter_mut().enumerate() {
+            *v += ((k * k % 13) as f64 - 6.0) * 0.8;
+        }
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let profile = stomp(&ps, 50, ExclusionPolicy::HALF).unwrap();
+        let discords = top_discords(&profile, 1);
+        assert_eq!(discords.len(), 1);
+        let d = discords[0];
+        assert!(
+            (860..=950).contains(&d.offset),
+            "discord at {} should overlap the corrupted window",
+            d.offset
+        );
+    }
+
+    #[test]
+    fn discords_are_sorted_and_distinct() {
+        let series = sine_mixture(1500, &[(0.03, 1.0), (0.011, 0.4)], 0.05, 9);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let profile = stomp(&ps, 40, ExclusionPolicy::HALF).unwrap();
+        let discords = top_discords(&profile, 4);
+        for w in discords.windows(2) {
+            assert!(w[0].nn_dist >= w[1].nn_dist - 1e-12);
+            assert!(w[0].offset.abs_diff(w[1].offset) >= profile.exclusion_radius);
+        }
+    }
+}

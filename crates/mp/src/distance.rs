@@ -1,0 +1,198 @@
+//! Z-normalised Euclidean distances (paper Eq. 3) and their naive oracles.
+//!
+//! ## Flat-subsequence convention
+//!
+//! Z-normalisation is undefined for a constant subsequence (σ = 0). We follow
+//! the standard matrix-profile convention — a flat subsequence z-normalises
+//! to the all-zero vector — which induces:
+//!
+//! * both flat → distance 0;
+//! * exactly one flat → distance `sqrt(ℓ)` (the energy of a z-normalised
+//!   vector is ℓ).
+//!
+//! The fast dot-product path and the naive path agree on this convention, so
+//! every oracle test can compare them bit-tightly.
+
+use valmod_data::series::znormalize_into;
+
+/// Relative threshold below which a σ is treated as zero (flat subsequence).
+/// Matches the threshold used by [`valmod_data::series::znormalize`].
+#[inline]
+pub fn is_flat(sigma: f64, mean: f64) -> bool {
+    sigma <= f64::EPSILON * mean.abs().max(1.0)
+}
+
+/// The Pearson correlation between two subsequences of length `l`, from
+/// their (centred-domain) dot product and statistics, clamped to [−1, 1].
+///
+/// `qt` must be the dot product of the two subsequences in the same domain
+/// (raw or centred) that `mean_i`/`mean_j` are expressed in.
+#[inline]
+pub fn correlation(qt: f64, l: usize, mean_i: f64, std_i: f64, mean_j: f64, std_j: f64) -> f64 {
+    let lf = l as f64;
+    let q = (qt / lf - mean_i * mean_j) / (std_i * std_j);
+    q.clamp(-1.0, 1.0)
+}
+
+/// Z-normalised Euclidean distance from a dot product (paper Eq. 3):
+/// `d = sqrt(2ℓ(1 − q))`, with the flat-subsequence convention above.
+#[inline]
+pub fn dist_from_qt(qt: f64, l: usize, mean_i: f64, std_i: f64, mean_j: f64, std_j: f64) -> f64 {
+    let flat_i = is_flat(std_i, mean_i);
+    let flat_j = is_flat(std_j, mean_j);
+    if flat_i || flat_j {
+        return if flat_i && flat_j { 0.0 } else { (l as f64).sqrt() };
+    }
+    let q = correlation(qt, l, mean_i, std_i, mean_j, std_j);
+    (2.0 * l as f64 * (1.0 - q)).max(0.0).sqrt()
+}
+
+/// Naive z-normalised Euclidean distance: z-normalise both subsequences and
+/// take the plain Euclidean distance. The oracle for every fast path.
+pub fn zdist_naive(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "z-distance needs equal lengths");
+    let mut za = a.to_vec();
+    let mut zb = b.to_vec();
+    znormalize_into(a, &mut za);
+    znormalize_into(b, &mut zb);
+    za.iter().zip(&zb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Early-abandoning z-normalised squared distance: returns `None` as soon as
+/// the partial squared sum exceeds `threshold_sq` (used by the QuickMotif
+/// refinement step).
+pub fn zdist_sq_early_abandon(
+    a: &[f64],
+    b: &[f64],
+    mean_a: f64,
+    std_a: f64,
+    mean_b: f64,
+    std_b: f64,
+    threshold_sq: f64,
+) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let l = a.len();
+    let flat_a = is_flat(std_a, mean_a);
+    let flat_b = is_flat(std_b, mean_b);
+    if flat_a || flat_b {
+        let d_sq = if flat_a && flat_b { 0.0 } else { l as f64 };
+        return (d_sq <= threshold_sq).then_some(d_sq);
+    }
+    let inv_a = 1.0 / std_a;
+    let inv_b = 1.0 / std_b;
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = (x - mean_a) * inv_a - (y - mean_b) * inv_b;
+        acc += d * d;
+        if acc > threshold_sq {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// The paper's §3 length-normalisation: multiply a distance by `sqrt(1/ℓ)`
+/// so motifs of different lengths become comparable (and the ranking no
+/// longer has a bias toward either extreme of the length range).
+#[inline]
+pub fn length_normalize(dist: f64, l: usize) -> f64 {
+    dist * (1.0 / l as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qt(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn mean_std(x: &[f64]) -> (f64, f64) {
+        let l = x.len() as f64;
+        let m = x.iter().sum::<f64>() / l;
+        let v = x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / l;
+        (m, v.sqrt())
+    }
+
+    #[test]
+    fn fast_path_matches_naive() {
+        let a = [1.0, 3.0, 2.0, 5.0, 4.0, 4.5];
+        let b = [0.2, -1.0, 0.8, 2.0, 1.5, 1.0];
+        let (ma, sa) = mean_std(&a);
+        let (mb, sb) = mean_std(&b);
+        let fast = dist_from_qt(qt(&a, &b), a.len(), ma, sa, mb, sb);
+        let slow = zdist_naive(&a, &b);
+        assert!((fast - slow).abs() < 1e-10, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn identical_shape_has_zero_distance() {
+        let a = [1.0, 2.0, 4.0, 8.0];
+        let b: Vec<f64> = a.iter().map(|v| v * 3.0 + 7.0).collect();
+        assert!(zdist_naive(&a, &b) < 1e-9);
+        let (ma, sa) = mean_std(&a);
+        let (mb, sb) = mean_std(&b);
+        assert!(dist_from_qt(qt(&a, &b), 4, ma, sa, mb, sb) < 1e-7);
+    }
+
+    #[test]
+    fn anti_correlated_reaches_maximum() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b = [-1.0, 1.0, -1.0, 1.0];
+        let d = zdist_naive(&a, &b);
+        // Max distance is sqrt(4ℓ) = 4 for ℓ = 4.
+        assert!((d - 4.0).abs() < 1e-9);
+        let (ma, sa) = mean_std(&a);
+        let (mb, sb) = mean_std(&b);
+        assert!((dist_from_qt(qt(&a, &b), 4, ma, sa, mb, sb) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_conventions_match_between_paths() {
+        let flat = [2.0, 2.0, 2.0, 2.0];
+        let wavy = [0.0, 1.0, 0.0, -1.0];
+        // Naive: znorm(flat) = 0 ⇒ dist = sqrt(Σ z_wavy²) = sqrt(ℓ) = 2.
+        assert!((zdist_naive(&flat, &wavy) - 2.0).abs() < 1e-9);
+        let (mf, sf) = mean_std(&flat);
+        let (mw, sw) = mean_std(&wavy);
+        assert!((dist_from_qt(qt(&flat, &wavy), 4, mf, sf, mw, sw) - 2.0).abs() < 1e-9);
+        // Both flat ⇒ 0.
+        assert_eq!(zdist_naive(&flat, &[5.0; 4]), 0.0);
+        assert_eq!(dist_from_qt(qt(&flat, &[5.0; 4]), 4, mf, sf, 5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn correlation_is_clamped() {
+        // Rounding could push q epsilon-above 1; the distance must stay ≥ 0.
+        let q = correlation(100.0, 4, 0.0, 1.0, 0.0, 1.0);
+        assert_eq!(q, 1.0);
+        let q = correlation(-100.0, 4, 0.0, 1.0, 0.0, 1.0);
+        assert_eq!(q, -1.0);
+    }
+
+    #[test]
+    fn early_abandon_agrees_when_not_abandoning() {
+        let a = [1.0, 3.0, 2.0, 5.0];
+        let b = [4.0, 1.0, 2.5, 2.0];
+        let (ma, sa) = mean_std(&a);
+        let (mb, sb) = mean_std(&b);
+        let full = zdist_naive(&a, &b);
+        let got = zdist_sq_early_abandon(&a, &b, ma, sa, mb, sb, f64::INFINITY).unwrap();
+        assert!((got.sqrt() - full).abs() < 1e-10);
+    }
+
+    #[test]
+    fn early_abandon_abandons() {
+        let a = [1.0, 3.0, 2.0, 5.0];
+        let b = [4.0, 1.0, 2.5, 2.0];
+        let (ma, sa) = mean_std(&a);
+        let (mb, sb) = mean_std(&b);
+        assert!(zdist_sq_early_abandon(&a, &b, ma, sa, mb, sb, 1e-6).is_none());
+    }
+
+    #[test]
+    fn length_normalization_factor() {
+        assert!((length_normalize(4.0, 16) - 1.0).abs() < 1e-12);
+        assert_eq!(length_normalize(0.0, 5), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Trivial-match exclusion zones (paper §2, discussion under Definition 2.5).
+//!
+//! A subsequence trivially matches itself and its near-identical shifted
+//! copies; the matrix profile therefore ignores neighbours within an
+//! exclusion zone around each query. The paper sets the zone to `ℓ/2`; STOMP
+//! implementations often use `ℓ/4`. The policy is a rational fraction of the
+//! subsequence length so both (and ablations between them) are expressible.
+
+/// A rational exclusion-zone policy: neighbours with `|i − j| < radius(ℓ)`
+/// are trivial matches, where `radius(ℓ) = max(1, ⌈ℓ·num/den⌉)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExclusionPolicy {
+    num: usize,
+    den: usize,
+}
+
+impl ExclusionPolicy {
+    /// The paper's default: `ℓ/2`.
+    pub const HALF: ExclusionPolicy = ExclusionPolicy { num: 1, den: 2 };
+    /// The common STOMP default: `ℓ/4` (used in ablations).
+    pub const QUARTER: ExclusionPolicy = ExclusionPolicy { num: 1, den: 4 };
+
+    /// Creates a policy excluding `|i − j| < ⌈ℓ·num/den⌉`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: usize, den: usize) -> Self {
+        assert!(den > 0, "exclusion denominator must be positive");
+        ExclusionPolicy { num, den }
+    }
+
+    /// The exclusion radius for subsequence length `l` (at least 1: a
+    /// subsequence never matches itself).
+    #[inline]
+    pub fn radius(&self, l: usize) -> usize {
+        ((l * self.num).div_ceil(self.den)).max(1)
+    }
+
+    /// Whether offsets `i` and `j` are trivial matches at length `l`.
+    #[inline]
+    pub fn is_trivial(&self, i: usize, j: usize, l: usize) -> bool {
+        i.abs_diff(j) < self.radius(l)
+    }
+}
+
+impl Default for ExclusionPolicy {
+    /// Defaults to the paper's `ℓ/2`.
+    fn default() -> Self {
+        ExclusionPolicy::HALF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_policy_radius() {
+        let p = ExclusionPolicy::HALF;
+        assert_eq!(p.radius(8), 4);
+        assert_eq!(p.radius(9), 5); // ceil
+        assert_eq!(p.radius(1), 1);
+    }
+
+    #[test]
+    fn radius_is_at_least_one() {
+        let p = ExclusionPolicy::new(0, 10);
+        assert_eq!(p.radius(100), 1);
+        assert!(p.is_trivial(5, 5, 100));
+        assert!(!p.is_trivial(5, 6, 100));
+    }
+
+    #[test]
+    fn trivial_match_is_symmetric() {
+        let p = ExclusionPolicy::HALF;
+        for (i, j) in [(0usize, 3usize), (10, 14), (7, 7)] {
+            assert_eq!(p.is_trivial(i, j, 8), p.is_trivial(j, i, 8));
+        }
+    }
+
+    #[test]
+    fn quarter_is_tighter_than_half() {
+        assert!(ExclusionPolicy::QUARTER.radius(100) < ExclusionPolicy::HALF.radius(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected() {
+        ExclusionPolicy::new(1, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! AB-joins: the matrix profile between two *different* series (Yeh et al.,
+//! ICDM 2016 — "all pairs similarity join"). For each subsequence of `A`,
+//! the distance to its nearest neighbour among the subsequences of `B`.
+//!
+//! No exclusion zone applies (the series are distinct), and the join is not
+//! symmetric: `join(A, B)` answers "does anything in B look like this part
+//! of A?", the primitive behind template search (e.g. finding earthquake
+//! waveforms from a catalogue of templates).
+
+use valmod_data::error::{DataError, Result};
+
+use crate::context::ProfiledSeries;
+use crate::distance_profile::mass;
+use crate::matrix_profile::MatrixProfile;
+
+/// The AB-join profile: for each subsequence `A_{i,ℓ}`, the distance to and
+/// offset of its nearest neighbour in `B`.
+pub fn ab_join(a: &ProfiledSeries, b: &ProfiledSeries, l: usize) -> Result<MatrixProfile> {
+    if l == 0 {
+        return Err(DataError::InvalidParameter("join length must be positive".into()));
+    }
+    let na = a.num_subsequences(l);
+    let nb = b.num_subsequences(l);
+    if na == 0 || nb == 0 {
+        return Err(DataError::TooShort { len: a.len().min(b.len()), required: l });
+    }
+    let mut mp = vec![f64::INFINITY; na];
+    let mut ip = vec![usize::MAX; na];
+    // One MASS pass per subsequence of A against all of B: O(na · nb log nb)
+    // worst case, but each profile is an independent O(nb log nb) FFT pass.
+    let a_vals = a.centered();
+    for i in 0..na {
+        let dp = mass(&a_vals[i..i + l], b);
+        for (j, &d) in dp.iter().enumerate() {
+            if d < mp[i] {
+                mp[i] = d;
+                ip[i] = j;
+            }
+        }
+    }
+    Ok(MatrixProfile { l, mp, ip, exclusion_radius: 0 })
+}
+
+/// The smallest join distance and the offsets achieving it: the closest
+/// cross-series pair (`None` if either side has no subsequence).
+pub fn closest_cross_pair(
+    a: &ProfiledSeries,
+    b: &ProfiledSeries,
+    l: usize,
+) -> Result<Option<(usize, usize, f64)>> {
+    let join = ab_join(a, b, l)?;
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &d) in join.mp.iter().enumerate() {
+        if d.is_finite() && best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    Ok(best.map(|(i, d)| (i, join.ip[i], d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::zdist_naive;
+    use valmod_data::generators::random_walk;
+
+    #[test]
+    fn join_matches_naive_nearest_neighbours() {
+        let a = random_walk(120, 1);
+        let b = random_walk(150, 2);
+        let (pa, pb) = (
+            ProfiledSeries::from_values(&a).unwrap(),
+            ProfiledSeries::from_values(&b).unwrap(),
+        );
+        let l = 16;
+        let join = ab_join(&pa, &pb, l).unwrap();
+        for i in 0..join.len() {
+            let mut best = f64::INFINITY;
+            for j in 0..=(b.len() - l) {
+                best = best.min(zdist_naive(&a[i..i + l], &b[j..j + l]));
+            }
+            assert!((join.mp[i] - best).abs() < 1e-6, "row {i}: {} vs {best}", join.mp[i]);
+        }
+    }
+
+    #[test]
+    fn planted_template_is_found_across_series() {
+        let mut a = random_walk(400, 3);
+        let b = random_walk(300, 4);
+        // Copy a window of B into A (an exact cross-series match).
+        let template: Vec<f64> = b[100..148].to_vec();
+        a[200..248].copy_from_slice(&template);
+        let (pa, pb) = (
+            ProfiledSeries::from_values(&a).unwrap(),
+            ProfiledSeries::from_values(&b).unwrap(),
+        );
+        let (i, j, d) = closest_cross_pair(&pa, &pb, 48).unwrap().unwrap();
+        assert_eq!((i, j), (200, 100));
+        assert!(d < 1e-3, "cross distance {d}");
+    }
+
+    #[test]
+    fn join_is_not_symmetric_but_min_is() {
+        let a = random_walk(100, 5);
+        let b = random_walk(140, 6);
+        let (pa, pb) = (
+            ProfiledSeries::from_values(&a).unwrap(),
+            ProfiledSeries::from_values(&b).unwrap(),
+        );
+        let ab = closest_cross_pair(&pa, &pb, 12).unwrap().unwrap();
+        let ba = closest_cross_pair(&pb, &pa, 12).unwrap().unwrap();
+        // The global closest pair is the same in both directions.
+        assert!((ab.2 - ba.2).abs() < 1e-7);
+        assert_eq!((ab.0, ab.1), (ba.1, ba.0));
+    }
+
+    #[test]
+    fn join_rejects_degenerate_inputs() {
+        let a = ProfiledSeries::from_values(&random_walk(20, 1)).unwrap();
+        let b = ProfiledSeries::from_values(&random_walk(5, 2)).unwrap();
+        assert!(ab_join(&a, &b, 0).is_err());
+        assert!(ab_join(&a, &b, 10).is_err()); // b too short
+    }
+}

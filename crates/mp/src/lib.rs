@@ -1,0 +1,57 @@
+//! # valmod-mp
+//!
+//! Matrix-profile substrate for the VALMOD reproduction: z-normalised
+//! distances (paper Eq. 3), distance profiles and MASS (Definition 2.4),
+//! STOMP and the anytime STAMP (Definition 2.5), motif-pair and discord
+//! extraction, and trivial-match exclusion zones.
+//!
+//! The [`stomp::StompDriver`] row streamer is the shared kernel: plain STOMP
+//! folds each row into a running minimum, while VALMOD's
+//! `ComputeMatrixProfile` (in `valmod-core`) additionally harvests
+//! lower-bound entries from every row.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use valmod_data::generators::plant_motif;
+//! use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+//! use valmod_mp::stomp::stomp;
+//!
+//! let (series, planted) = plant_motif(2_000, 64, 2, 0.001, 7);
+//! let ps = ProfiledSeries::from_values(&series).unwrap();
+//! let profile = stomp(&ps, 64, ExclusionPolicy::HALF).unwrap();
+//! let (a, b, dist) = profile.motif_pair().unwrap();
+//! // The planted pair is the motif.
+//! assert!(dist < 1.0);
+//! assert!(planted.offsets.iter().any(|&o| a.abs_diff(o) <= 2));
+//! assert!(planted.offsets.iter().any(|&o| b.abs_diff(o) <= 2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod discord;
+pub mod distance;
+pub mod distance_profile;
+pub mod exclusion;
+pub mod join;
+pub mod matrix_profile;
+pub mod motif;
+pub mod parallel;
+pub mod stamp;
+pub mod stomp;
+pub mod streaming;
+
+pub use context::ProfiledSeries;
+pub use discord::{top_discords, Discord};
+pub use distance::{dist_from_qt, length_normalize, zdist_naive};
+pub use distance_profile::{mass, self_distance_profile};
+pub use exclusion::ExclusionPolicy;
+pub use join::{ab_join, closest_cross_pair};
+pub use matrix_profile::MatrixProfile;
+pub use motif::{top_motifs, MotifPair};
+pub use parallel::stomp_parallel;
+pub use stamp::stamp;
+pub use streaming::StreamingProfile;
+pub use stomp::{stomp, StompDriver};

@@ -1,0 +1,86 @@
+//! The matrix profile (paper Definition 2.5) and its index.
+
+/// A matrix profile for one subsequence length: for each offset, the
+/// z-normalised distance to its nearest non-trivial neighbour and that
+/// neighbour's offset.
+#[derive(Debug, Clone)]
+pub struct MatrixProfile {
+    /// Subsequence length ℓ.
+    pub l: usize,
+    /// `mp[i]` = distance from `T_{i,ℓ}` to its nearest neighbour
+    /// (`+∞` when no valid neighbour exists).
+    pub mp: Vec<f64>,
+    /// `ip[i]` = offset of that nearest neighbour (`usize::MAX` when none).
+    pub ip: Vec<usize>,
+    /// The exclusion radius that was applied.
+    pub exclusion_radius: usize,
+}
+
+impl MatrixProfile {
+    /// Number of profile entries (`n − ℓ + 1`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mp.len()
+    }
+
+    /// Whether the profile has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mp.is_empty()
+    }
+
+    /// The motif pair: the offset with the smallest profile value, its
+    /// neighbour, and their distance. `None` if no finite entry exists.
+    pub fn motif_pair(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &d) in self.mp.iter().enumerate() {
+            if d.is_finite() && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, d)| (i, self.ip[i], d))
+    }
+
+    /// The discord: the offset with the *largest* finite profile value (the
+    /// subsequence farthest from everything else). `None` if no finite entry.
+    pub fn discord(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &d) in self.mp.iter().enumerate() {
+            if d.is_finite() && best.is_none_or(|(_, bd)| d > bd) {
+                best = Some((i, d));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> MatrixProfile {
+        MatrixProfile {
+            l: 4,
+            mp: vec![3.0, 1.0, f64::INFINITY, 2.0],
+            ip: vec![3, 3, usize::MAX, 1],
+            exclusion_radius: 2,
+        }
+    }
+
+    #[test]
+    fn motif_pair_is_global_minimum() {
+        assert_eq!(profile().motif_pair(), Some((1, 3, 1.0)));
+    }
+
+    #[test]
+    fn discord_is_largest_finite() {
+        assert_eq!(profile().discord(), Some((0, 3.0)));
+    }
+
+    #[test]
+    fn all_infinite_profile_has_no_motif() {
+        let p = MatrixProfile { l: 4, mp: vec![f64::INFINITY; 3], ip: vec![usize::MAX; 3], exclusion_radius: 2 };
+        assert!(p.motif_pair().is_none());
+        assert!(p.discord().is_none());
+    }
+}

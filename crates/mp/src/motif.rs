@@ -1,0 +1,134 @@
+//! Extracting ranked motif pairs from a matrix profile (paper Definition 2.3
+//! and the "ranked list of subsequence pairs" that follows it).
+
+use crate::matrix_profile::MatrixProfile;
+
+/// A motif pair: the two closest non-trivially-matching subsequences of a
+/// given length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotifPair {
+    /// Offset of the first subsequence (always ≤ `b`).
+    pub a: usize,
+    /// Offset of the second subsequence.
+    pub b: usize,
+    /// Subsequence length.
+    pub l: usize,
+    /// Z-normalised Euclidean distance between the pair.
+    pub dist: f64,
+}
+
+impl MotifPair {
+    /// Creates a pair with offsets ordered.
+    pub fn new(x: usize, y: usize, l: usize, dist: f64) -> Self {
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        MotifPair { a, b, l, dist }
+    }
+
+    /// The paper's §3 length-normalised distance (`dist · sqrt(1/ℓ)`), used
+    /// to rank motifs of different lengths.
+    #[inline]
+    pub fn norm_dist(&self) -> f64 {
+        crate::distance::length_normalize(self.dist, self.l)
+    }
+}
+
+/// Extracts the top-`k` motif pairs from a matrix profile.
+///
+/// After a pair is selected, offsets within the exclusion radius of either
+/// of its members are suppressed, so successive pairs describe genuinely
+/// different regions (the usual "remove the motif pair, the second smallest
+/// becomes the new motif pair" semantics, made non-trivial).
+pub fn top_motifs(profile: &MatrixProfile, k: usize) -> Vec<MotifPair> {
+    let ndp = profile.len();
+    let radius = profile.exclusion_radius;
+    let mut suppressed = vec![false; ndp];
+    // Candidates sorted ascending by distance.
+    let mut order: Vec<usize> = (0..ndp).filter(|&i| profile.mp[i].is_finite()).collect();
+    order.sort_by(|&x, &y| profile.mp[x].partial_cmp(&profile.mp[y]).unwrap());
+
+    let mut out = Vec::with_capacity(k.min(8));
+    for &i in &order {
+        if out.len() >= k {
+            break;
+        }
+        let j = profile.ip[i];
+        if j == usize::MAX || suppressed[i] || suppressed[j] {
+            continue;
+        }
+        out.push(MotifPair::new(i, j, profile.l, profile.mp[i]));
+        for &center in &[i, j] {
+            let lo = center.saturating_sub(radius.saturating_sub(1));
+            let hi = (center + radius).min(ndp);
+            for s in suppressed.iter_mut().take(hi).skip(lo) {
+                *s = true;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ProfiledSeries;
+    use crate::exclusion::ExclusionPolicy;
+    use crate::stomp::stomp;
+    use valmod_data::generators::plant_motif;
+
+    #[test]
+    fn pair_constructor_orders_offsets() {
+        let p = MotifPair::new(9, 4, 8, 1.5);
+        assert_eq!((p.a, p.b), (4, 9));
+    }
+
+    #[test]
+    fn norm_dist_applies_sqrt_inverse_length() {
+        let p = MotifPair::new(0, 10, 16, 4.0);
+        assert!((p.norm_dist() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_motifs_returns_distinct_regions() {
+        let (series, _) = plant_motif(4000, 50, 4, 0.01, 31);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let profile = stomp(&ps, 50, ExclusionPolicy::HALF).unwrap();
+        let motifs = top_motifs(&profile, 3);
+        assert!(!motifs.is_empty());
+        // Distances must be non-decreasing.
+        for w in motifs.windows(2) {
+            assert!(w[0].dist <= w[1].dist + 1e-12);
+        }
+        // All involved offsets pairwise distinct beyond the exclusion radius.
+        let mut offsets = Vec::new();
+        for m in &motifs {
+            offsets.push(m.a);
+            offsets.push(m.b);
+        }
+        for (x, &i) in offsets.iter().enumerate() {
+            for &j in &offsets[x + 1..] {
+                assert!(i.abs_diff(j) >= profile.exclusion_radius, "{i} vs {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn requesting_more_motifs_than_exist_is_fine() {
+        let (series, _) = plant_motif(1500, 40, 2, 0.01, 5);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let profile = stomp(&ps, 40, ExclusionPolicy::HALF).unwrap();
+        let motifs = top_motifs(&profile, 1000);
+        assert!(!motifs.is_empty());
+        assert!(motifs.len() < 1000);
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let profile = MatrixProfile {
+            l: 4,
+            mp: vec![1.0, 2.0],
+            ip: vec![1, 0],
+            exclusion_radius: 1,
+        };
+        assert!(top_motifs(&profile, 0).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Multi-threaded STOMP.
+//!
+//! The paper (§2) notes that matrix-profile computation parallelises
+//! trivially ("GPUs, cloud computing, and other HPC environments"). This is
+//! the CPU version: rows are split into contiguous chunks, each worker seeds
+//! its chunk's first dot-product row with one FFT pass and then applies the
+//! `O(1)`-per-cell STOMP update within the chunk. Chunks own disjoint slices
+//! of the output, so no synchronisation is needed beyond the scoped join.
+
+use valmod_data::error::Result;
+
+use crate::context::ProfiledSeries;
+use crate::distance_profile::{dp_from_qt_into, profile_min, self_qt};
+use crate::exclusion::ExclusionPolicy;
+use crate::matrix_profile::MatrixProfile;
+
+/// Computes the matrix profile with `threads` workers (1 = sequential
+/// fallback identical to [`crate::stomp::stomp`]).
+pub fn stomp_parallel(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+) -> Result<MatrixProfile> {
+    let ndp = ps.require_pairs(l)?;
+    let threads = threads.clamp(1, ndp);
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+
+    // Contiguous row chunks; each worker owns matching slices of mp/ip.
+    let chunk_len = ndp.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut mp_rest: &mut [f64] = &mut mp;
+        let mut ip_rest: &mut [usize] = &mut ip;
+        let mut start = 0usize;
+        while start < ndp {
+            let len = chunk_len.min(ndp - start);
+            let (mp_chunk, mp_tail) = mp_rest.split_at_mut(len);
+            let (ip_chunk, ip_tail) = ip_rest.split_at_mut(len);
+            mp_rest = mp_tail;
+            ip_rest = ip_tail;
+            let chunk_start = start;
+            scope.spawn(move || {
+                compute_chunk(ps, l, &policy, chunk_start, mp_chunk, ip_chunk);
+            });
+            start += len;
+        }
+    });
+    Ok(MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) })
+}
+
+/// Computes rows `[chunk_start, chunk_start + mp_chunk.len())`.
+fn compute_chunk(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: &ExclusionPolicy,
+    chunk_start: usize,
+    mp_chunk: &mut [f64],
+    ip_chunk: &mut [usize],
+) {
+    let ndp = ps.num_subsequences(l);
+    let t = ps.centered();
+    // Seed: the full dot-product vector of the chunk's first row (FFT).
+    let mut qt = self_qt(ps, chunk_start, l);
+    let mut dp = Vec::with_capacity(ndp);
+    for (k, (mp_out, ip_out)) in mp_chunk.iter_mut().zip(ip_chunk.iter_mut()).enumerate() {
+        let i = chunk_start + k;
+        if k > 0 {
+            // STOMP update, descending j (paper Alg. 3 lines 10–12).
+            for j in (1..ndp).rev() {
+                qt[j] = qt[j - 1] - t[i - 1] * t[j - 1] + t[i + l - 1] * t[j + l - 1];
+            }
+            // First column by symmetry: ⟨T_0, T_i⟩ = ⟨T_i, T_0⟩, computed
+            // directly (cheap O(ℓ); avoids sharing the seed row across
+            // chunks).
+            qt[0] = t[0..l].iter().zip(&t[i..i + l]).map(|(a, b)| a * b).sum();
+        }
+        dp_from_qt_into(ps, &qt, i, l, policy, &mut dp);
+        match profile_min(&dp) {
+            Some((j, d)) => {
+                *mp_out = d;
+                *ip_out = j;
+            }
+            None => {
+                *mp_out = f64::INFINITY;
+                *ip_out = usize::MAX;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stomp::stomp;
+    use valmod_data::generators::random_walk;
+
+    fn check(n: usize, l: usize, threads: usize, seed: u64) {
+        let ps = ProfiledSeries::from_values(&random_walk(n, seed)).unwrap();
+        let seq = stomp(&ps, l, ExclusionPolicy::HALF).unwrap();
+        let par = stomp_parallel(&ps, l, ExclusionPolicy::HALF, threads).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for i in 0..seq.len() {
+            if seq.mp[i].is_infinite() || par.mp[i].is_infinite() {
+                assert_eq!(seq.mp[i].is_infinite(), par.mp[i].is_infinite(), "row {i}");
+            } else {
+                assert!(
+                    (seq.mp[i] - par.mp[i]).abs() < 1e-7,
+                    "row {i}: {} vs {}",
+                    seq.mp[i],
+                    par.mp[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_stomp_various_thread_counts() {
+        for threads in [1usize, 2, 3, 7, 16] {
+            check(350, 24, threads, 31);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        check(40, 8, 64, 5);
+    }
+
+    #[test]
+    fn single_thread_is_the_sequential_algorithm() {
+        check(200, 16, 1, 9);
+    }
+}

@@ -1,0 +1,107 @@
+//! STAMP (Yeh et al., ICDM 2016): the anytime matrix-profile algorithm.
+//!
+//! STAMP evaluates one full distance profile per step via MASS, in a random
+//! order, folding each profile into the running matrix profile *and* its
+//! transpose (distance is symmetric). Stopping after `c·n` steps yields an
+//! approximation that converges quickly in practice — the property the paper
+//! cites when arguing that `O(n²)` profile computation is tenable (§2).
+
+use valmod_data::error::Result;
+use valmod_data::rng::Xoshiro256;
+
+use crate::context::ProfiledSeries;
+use crate::distance_profile::self_distance_profile;
+use crate::exclusion::ExclusionPolicy;
+use crate::matrix_profile::MatrixProfile;
+
+/// Runs STAMP for at most `max_rows` rows (pass `usize::MAX` for the exact
+/// profile). Row order is a seeded random permutation, making truncated runs
+/// an unbiased anytime approximation.
+pub fn stamp(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    max_rows: usize,
+    seed: u64,
+) -> Result<MatrixProfile> {
+    let ndp = ps.require_pairs(l)?;
+    let mut order: Vec<usize> = (0..ndp).collect();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    rng.shuffle(&mut order);
+
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    for &i in order.iter().take(max_rows.min(ndp)) {
+        let dp = self_distance_profile(ps, i, l, &policy);
+        for (j, &d) in dp.iter().enumerate() {
+            if !d.is_finite() {
+                continue;
+            }
+            if d < mp[i] {
+                mp[i] = d;
+                ip[i] = j;
+            }
+            // Symmetric update: d(i, j) also bounds mp[j].
+            if d < mp[j] {
+                mp[j] = d;
+                ip[j] = i;
+            }
+        }
+    }
+    Ok(MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stomp::stomp;
+    use valmod_data::generators::random_walk;
+
+    #[test]
+    fn full_stamp_matches_stomp() {
+        let ps = ProfiledSeries::from_values(&random_walk(300, 11)).unwrap();
+        let a = stamp(&ps, 16, ExclusionPolicy::HALF, usize::MAX, 0).unwrap();
+        let b = stomp(&ps, 16, ExclusionPolicy::HALF).unwrap();
+        for i in 0..a.len() {
+            assert!((a.mp[i] - b.mp[i]).abs() < 1e-6, "i={i}: {} vs {}", a.mp[i], b.mp[i]);
+        }
+    }
+
+    #[test]
+    fn truncated_stamp_upper_bounds_the_true_profile() {
+        let ps = ProfiledSeries::from_values(&random_walk(400, 13)).unwrap();
+        let exact = stomp(&ps, 20, ExclusionPolicy::HALF).unwrap();
+        let approx = stamp(&ps, 20, ExclusionPolicy::HALF, 40, 7).unwrap();
+        for i in 0..exact.len() {
+            assert!(
+                approx.mp[i] >= exact.mp[i] - 1e-7,
+                "anytime estimate must never be below the true profile"
+            );
+        }
+    }
+
+    #[test]
+    fn anytime_convergence_improves_with_rows() {
+        let ps = ProfiledSeries::from_values(&random_walk(400, 17)).unwrap();
+        let exact = stomp(&ps, 20, ExclusionPolicy::HALF).unwrap();
+        let err = |approx: &MatrixProfile| -> f64 {
+            approx
+                .mp
+                .iter()
+                .zip(&exact.mp)
+                .filter(|(a, e)| a.is_finite() && e.is_finite())
+                .map(|(a, e)| a - e)
+                .sum()
+        };
+        let coarse = stamp(&ps, 20, ExclusionPolicy::HALF, 20, 3).unwrap();
+        let fine = stamp(&ps, 20, ExclusionPolicy::HALF, 200, 3).unwrap();
+        assert!(err(&fine) <= err(&coarse), "more rows must not make STAMP worse");
+    }
+
+    #[test]
+    fn zero_rows_yields_all_infinite() {
+        let ps = ProfiledSeries::from_values(&random_walk(100, 1)).unwrap();
+        let p = stamp(&ps, 10, ExclusionPolicy::HALF, 0, 0).unwrap();
+        assert!(p.mp.iter().all(|d| d.is_infinite()));
+    }
+}

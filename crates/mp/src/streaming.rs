@@ -1,0 +1,248 @@
+//! STAMPI-style streaming matrix profile: maintain the profile of a fixed
+//! subsequence length as points are appended (Yeh et al., ICDM 2016, §IV —
+//! the incremental variant of the matrix-profile family).
+//!
+//! Appending one point creates exactly one new subsequence; its dot products
+//! against all existing subsequences follow from the *previous* newest row in
+//! `O(1)` per column, so each append costs `O(n)` — no FFT needed after the
+//! seed. The new row updates both the new offset's entry and, symmetrically,
+//! every older offset whose nearest neighbour the newcomer beats.
+//!
+//! Note the well-known streaming caveat: older entries only ever *improve*
+//! (distances are min-folded), which is exactly the semantics of the batch
+//! profile over the grown series.
+
+use valmod_data::error::{DataError, Result};
+
+use crate::context::ProfiledSeries;
+use crate::distance::dist_from_qt;
+use crate::exclusion::ExclusionPolicy;
+use crate::matrix_profile::MatrixProfile;
+use crate::stomp::stomp;
+
+/// A matrix profile maintained incrementally under appends.
+#[derive(Debug, Clone)]
+pub struct StreamingProfile {
+    l: usize,
+    policy: ExclusionPolicy,
+    /// Centring offset fixed at construction (shift-invariance makes any
+    /// constant valid; fixing it keeps appends O(n)).
+    offset: f64,
+    /// Centred samples.
+    values: Vec<f64>,
+    /// Prefix sums of centred samples / their squares.
+    prefix: Vec<f64>,
+    prefix_sq: Vec<f64>,
+    /// Dot products of the newest subsequence against all others.
+    last_qt: Vec<f64>,
+    mp: Vec<f64>,
+    ip: Vec<usize>,
+}
+
+impl StreamingProfile {
+    /// Builds the initial profile from a seed series (batch STOMP), ready
+    /// for appends.
+    pub fn new(seed: &[f64], l: usize, policy: ExclusionPolicy) -> Result<Self> {
+        let ps = ProfiledSeries::from_values(seed)?;
+        let initial = stomp(&ps, l, policy)?;
+        let offset = ps.offset();
+        let values: Vec<f64> = ps.centered().to_vec();
+        let mut prefix = Vec::with_capacity(values.len() + 1);
+        let mut prefix_sq = Vec::with_capacity(values.len() + 1);
+        prefix.push(0.0);
+        prefix_sq.push(0.0);
+        let (mut s, mut q) = (0.0, 0.0);
+        for &v in &values {
+            s += v;
+            q += v * v;
+            prefix.push(s);
+            prefix_sq.push(q);
+        }
+        // Seed the newest-row dot products (the last subsequence vs all).
+        let ndp = values.len() - l + 1;
+        let last = ndp - 1;
+        let last_qt: Vec<f64> = (0..ndp)
+            .map(|j| values[last..last + l].iter().zip(&values[j..j + l]).map(|(a, b)| a * b).sum())
+            .collect();
+        Ok(StreamingProfile {
+            l,
+            policy,
+            offset,
+            values,
+            prefix,
+            prefix_sq,
+            last_qt,
+            mp: initial.mp,
+            ip: initial.ip,
+        })
+    }
+
+    /// Current number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the stream holds no samples (never true after `new`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Nearest-neighbour distance of the newest complete window (the value
+    /// a live monitor thresholds on) — `None` before any window is complete
+    /// or when every pair is excluded.
+    pub fn newest_nn_dist(&self) -> Option<f64> {
+        self.mp.last().copied().filter(|d| d.is_finite())
+    }
+
+    /// The current profile (same semantics as batch STOMP over all samples
+    /// seen so far).
+    pub fn profile(&self) -> MatrixProfile {
+        MatrixProfile {
+            l: self.l,
+            mp: self.mp.clone(),
+            ip: self.ip.clone(),
+            exclusion_radius: self.policy.radius(self.l),
+        }
+    }
+
+    fn mean(&self, i: usize) -> f64 {
+        (self.prefix[i + self.l] - self.prefix[i]) / self.l as f64
+    }
+
+    fn std(&self, i: usize) -> f64 {
+        let inv = 1.0 / self.l as f64;
+        let m = (self.prefix[i + self.l] - self.prefix[i]) * inv;
+        let ss = (self.prefix_sq[i + self.l] - self.prefix_sq[i]) * inv;
+        (ss - m * m).max(0.0).sqrt()
+    }
+
+    /// Appends one sample, updating the profile in `O(n)`.
+    pub fn append(&mut self, raw: f64) -> Result<()> {
+        if !raw.is_finite() {
+            return Err(DataError::NonFinite { index: self.values.len() });
+        }
+        let v = raw - self.offset;
+        self.values.push(v);
+        self.prefix.push(self.prefix.last().unwrap() + v);
+        self.prefix_sq.push(self.prefix_sq.last().unwrap() + v * v);
+
+        let l = self.l;
+        let n = self.values.len();
+        let ndp = n - l + 1;
+        let new = ndp - 1; // offset of the new subsequence
+        let t = &self.values;
+        // New row's dot products from the previous newest row:
+        // ⟨T_new, T_j⟩ = ⟨T_{new−1}, T_{j−1}⟩ − t[new−1]t[j−1] + t[new+l−1]t[j+l−1].
+        let mut qt = vec![0.0; ndp];
+        for j in (1..ndp).rev() {
+            qt[j] = self.last_qt[j - 1] - t[new - 1] * t[j - 1] + t[new + l - 1] * t[j + l - 1];
+        }
+        qt[0] = t[0..l].iter().zip(&t[new..new + l]).map(|(a, b)| a * b).sum();
+
+        let radius = self.policy.radius(l);
+        let mean_new = self.mean(new);
+        let std_new = self.std(new);
+        let mut best = f64::INFINITY;
+        let mut arg = usize::MAX;
+        self.mp.push(f64::INFINITY);
+        self.ip.push(usize::MAX);
+        for (j, &q) in qt.iter().enumerate().take(ndp - 1) {
+            if new.abs_diff(j) < radius {
+                continue;
+            }
+            let d = dist_from_qt(q, l, self.mean(j), self.std(j), mean_new, std_new);
+            if d < best {
+                best = d;
+                arg = j;
+            }
+            // Symmetric fold into the older offset.
+            if d < self.mp[j] {
+                self.mp[j] = d;
+                self.ip[j] = new;
+            }
+        }
+        self.mp[new] = best;
+        self.ip[new] = arg;
+        self.last_qt = qt;
+        Ok(())
+    }
+
+    /// Appends a batch of samples.
+    pub fn extend(&mut self, samples: impl IntoIterator<Item = f64>) -> Result<()> {
+        for s in samples {
+            self.append(s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::{plant_motif, random_walk};
+
+    fn check_equals_batch(series: &[f64], seed_len: usize, l: usize) {
+        let mut stream = StreamingProfile::new(&series[..seed_len], l, ExclusionPolicy::HALF)
+            .expect("seed profile");
+        stream.extend(series[seed_len..].iter().copied()).unwrap();
+        let streamed = stream.profile();
+
+        // Batch oracle over the whole series. The streaming profile centres
+        // by the *seed* mean, the batch by the full mean — distances are
+        // shift-invariant, so they must agree.
+        let ps = ProfiledSeries::from_values(series).unwrap();
+        let batch = stomp(&ps, l, ExclusionPolicy::HALF).unwrap();
+        assert_eq!(streamed.len(), batch.len());
+        for i in 0..batch.len() {
+            if streamed.mp[i].is_infinite() || batch.mp[i].is_infinite() {
+                assert_eq!(streamed.mp[i].is_infinite(), batch.mp[i].is_infinite(), "row {i}");
+            } else {
+                assert!(
+                    (streamed.mp[i] - batch.mp[i]).abs() < 1e-6,
+                    "row {i}: streamed {} vs batch {}",
+                    streamed.mp[i],
+                    batch.mp[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_equals_batch_on_random_walk() {
+        let series = random_walk(300, 77);
+        check_equals_batch(&series, 120, 16);
+    }
+
+    #[test]
+    fn streaming_equals_batch_point_by_point() {
+        let series = random_walk(150, 79);
+        check_equals_batch(&series, 40, 10);
+    }
+
+    #[test]
+    fn streaming_detects_a_late_motif() {
+        // Plant a motif whose second occurrence arrives only via appends.
+        let (series, planted) = plant_motif(1200, 40, 2, 0.001, 81);
+        let cut = planted.offsets[1].saturating_sub(10);
+        let mut stream =
+            StreamingProfile::new(&series[..cut.max(100)], 40, ExclusionPolicy::HALF).unwrap();
+        stream.extend(series[cut.max(100)..].iter().copied()).unwrap();
+        let profile = stream.profile();
+        let (a, b, d) = profile.motif_pair().unwrap();
+        assert!(d < 1.0, "planted motif distance {d}");
+        let mut got = [a, b];
+        got.sort_unstable();
+        assert!(got[0].abs_diff(planted.offsets[0]) <= 2);
+        assert!(got[1].abs_diff(planted.offsets[1]) <= 2);
+    }
+
+    #[test]
+    fn append_rejects_non_finite() {
+        let series = random_walk(100, 83);
+        let mut stream = StreamingProfile::new(&series, 10, ExclusionPolicy::HALF).unwrap();
+        assert!(stream.append(f64::NAN).is_err());
+        assert!(stream.append(1.5).is_ok());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the matrix-profile substrate.
+
+use proptest::prelude::*;
+use valmod_data::generators::{random_walk, sine_mixture};
+use valmod_mp::distance::zdist_naive;
+use valmod_mp::distance_profile::{self_distance_profile, self_distance_profile_naive};
+use valmod_mp::stomp::{matrix_profile_naive, stomp};
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn make_series(kind: u8, n: usize, seed: u64) -> Vec<f64> {
+    match kind % 2 {
+        0 => random_walk(n, seed),
+        _ => sine_mixture(n, &[(0.03, 1.0), (0.011, 0.4)], 0.2, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distance_profile_matches_naive(kind in 0u8..2, seed in 0u64..1000,
+                                      i in 0usize..180, l in 4usize..24) {
+        let series = make_series(kind, 200, seed);
+        prop_assume!(i + l <= 200);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let policy = ExclusionPolicy::HALF;
+        let fast = self_distance_profile(&ps, i, l, &policy);
+        let slow = self_distance_profile_naive(&ps, i, l, &policy);
+        for (j, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            if a.is_infinite() || b.is_infinite() {
+                prop_assert_eq!(a.is_infinite(), b.is_infinite(), "j={}", j);
+            } else {
+                prop_assert!((a - b).abs() < 1e-6, "j={}: {} vs {}", j, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn stomp_matches_naive_profile(kind in 0u8..2, seed in 0u64..500, l in 6usize..20) {
+        let series = make_series(kind, 150, seed);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let fast = stomp(&ps, l, ExclusionPolicy::HALF).unwrap();
+        let slow = matrix_profile_naive(&ps, l, ExclusionPolicy::HALF).unwrap();
+        for i in 0..fast.len() {
+            if fast.mp[i].is_infinite() || slow.mp[i].is_infinite() {
+                prop_assert_eq!(fast.mp[i].is_infinite(), slow.mp[i].is_infinite());
+            } else {
+                prop_assert!((fast.mp[i] - slow.mp[i]).abs() < 1e-6,
+                    "i={}: {} vs {}", i, fast.mp[i], slow.mp[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_index_points_at_claimed_distance(kind in 0u8..2, seed in 0u64..500) {
+        let series = make_series(kind, 180, seed);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let l = 16usize;
+        let profile = stomp(&ps, l, ExclusionPolicy::HALF).unwrap();
+        for i in (0..profile.len()).step_by(11) {
+            if !profile.mp[i].is_finite() {
+                continue;
+            }
+            let j = profile.ip[i];
+            let d = zdist_naive(&series[i..i + l], &series[j..j + l]);
+            prop_assert!((d - profile.mp[i]).abs() < 1e-6,
+                "ip[{}]={} gives {} but mp claims {}", i, j, d, profile.mp[i]);
+            // And the neighbour is non-trivial.
+            prop_assert!(i.abs_diff(j) >= profile.exclusion_radius);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_znorm_distance(seed in 0u64..500) {
+        // z-normalised ED is a true metric on the normalised vectors.
+        let series = random_walk(100, seed);
+        let l = 16usize;
+        let sub = |o: usize| &series[o..o + l];
+        let (a, b, c) = (sub(0), sub(40), sub(80));
+        let (dab, dbc, dac) = (zdist_naive(a, b), zdist_naive(b, c), zdist_naive(a, c));
+        prop_assert!(dac <= dab + dbc + 1e-9);
+        prop_assert!(dab <= dac + dbc + 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_nonnegative(seed in 0u64..500, i in 0usize..80, j in 0usize..80) {
+        let series = random_walk(120, seed);
+        let l = 20usize;
+        prop_assume!(i + l <= 120 && j + l <= 120);
+        let d1 = zdist_naive(&series[i..i + l], &series[j..j + l]);
+        let d2 = zdist_naive(&series[j..j + l], &series[i..i + l]);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        if i == j {
+            prop_assert!(d1 < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's entomology case study (Figs. 1 and 16), on the EPG-like
+//! stand-in series: an insect's Electrical Penetration Graph contains two
+//! *semantically different* repeated behaviours of *slightly different
+//! lengths* — "probing" and "xylem ingestion". A fixed-length search at
+//! either length misses the other behaviour; the variable-length search
+//! surfaces both.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example entomology
+//! ```
+
+use valmod_core::{top_variable_length_motifs, valmod, ValmodConfig};
+use valmod_data::datasets::epg_like;
+use valmod_mp::ExclusionPolicy;
+
+fn main() {
+    // 30 000 points ≈ 50 minutes of EPG at 10 Hz. Probing expresses at
+    // ~500 samples, ingestion at ~620 — the "10-second vs 12-second" gap of
+    // the paper's Fig. 1.
+    let (series, truth) = epg_like(30_000, 500, 620, 7);
+    println!(
+        "EPG-like recording: {} points\n  planted probing   (len {:>4}) at {:?}\n  planted ingestion (len {:>4}) at {:?}\n",
+        series.len(),
+        truth.probing_len,
+        truth.probing_offsets,
+        truth.ingestion_len,
+        truth.ingestion_offsets
+    );
+
+    // Search the whole behavioural band at once.
+    let config = ValmodConfig::new(450, 680).with_p(12);
+    let output = valmod(&series, &config).expect("range fits the series");
+
+    let motifs = top_variable_length_motifs(&output.valmp, 4, ExclusionPolicy::HALF);
+    println!("top variable-length motifs in [450, 680]:");
+    let classify = |offset: usize| -> &'static str {
+        let near = |offs: &[usize], len: usize| {
+            offs.iter().any(|&o| offset + 100 >= o && offset <= o + len)
+        };
+        if near(&truth.probing_offsets, truth.probing_len) {
+            "probing"
+        } else if near(&truth.ingestion_offsets, truth.ingestion_len) {
+            "ingestion"
+        } else {
+            "background"
+        }
+    };
+    let mut found_probing = false;
+    let mut found_ingestion = false;
+    for (rank, m) in motifs.iter().enumerate() {
+        let kind_a = classify(m.a);
+        let kind_b = classify(m.b);
+        println!(
+            "  #{} offsets ({:>5}, {:>5})  length {:>4}  norm-dist {:.4}   [{} / {}]",
+            rank + 1,
+            m.a,
+            m.b,
+            m.l,
+            m.norm_dist(),
+            kind_a,
+            kind_b
+        );
+        found_probing |= kind_a == "probing" && kind_b == "probing";
+        found_ingestion |= kind_a == "ingestion" && kind_b == "ingestion";
+    }
+
+    println!();
+    if found_probing && found_ingestion {
+        println!(
+            "Both behaviours surfaced as motifs of different lengths — the\n\
+             fixed-length search at either length alone would have missed one\n\
+             of them (the paper's Fig. 1 observation)."
+        );
+    } else {
+        println!(
+            "warning: expected both planted behaviours among the top motifs\n\
+             (probing found: {found_probing}, ingestion found: {found_ingestion})"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Seismology-flavoured workflow (the paper's §7 motivation: exactness
+//! matters in seismological analysis): find repeating earthquake waveforms
+//! in a continuous record, then match them against a second station's
+//! record with an AB-join.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example seismology
+//! ```
+
+use valmod_core::{valmod, ValmodConfig};
+use valmod_data::generators::Gaussian;
+use valmod_data::series::Series;
+use valmod_mp::join::closest_cross_pair;
+use valmod_mp::ProfiledSeries;
+
+/// A synthetic earthquake waveform: an exponentially decaying wave packet.
+fn quake(len: usize, freq: f64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            (-(t / (len as f64 / 4.0))).exp() * (std::f64::consts::TAU * freq * t).sin() * 5.0
+        })
+        .collect()
+}
+
+/// A continuous noisy record with the given events planted at offsets.
+fn record(n: usize, events: &[(usize, &[f64])], seed: u64) -> Vec<f64> {
+    let mut g = Gaussian::new(seed);
+    let mut out: Vec<f64> = (0..n).map(|_| 0.3 * g.sample()).collect();
+    for &(offset, wave) in events {
+        for (k, &w) in wave.iter().enumerate() {
+            out[offset + k] += w * (1.0 + 0.03 * g.sample());
+        }
+    }
+    out
+}
+
+fn main() {
+    // Station A: three repeats of the same event (a "repeating earthquake"
+    // sequence) at slightly different times.
+    let wave = quake(300, 0.03);
+    let station_a = record(20_000, &[(2_500, &wave), (9_100, &wave), (15_800, &wave)], 1);
+    // Station B: the same source observed later, once.
+    let station_b = record(12_000, &[(6_400, &wave)], 2);
+
+    // 1. Variable-length motif discovery finds the repeating sequence in A
+    //    without knowing the wave duration.
+    let series_a = Series::new(station_a.clone()).unwrap();
+    let out = valmod(&series_a, &ValmodConfig::new(220, 360).with_p(10)).unwrap();
+    let best = out.best_motif().expect("a motif exists");
+    println!(
+        "station A: best repeating waveform at offsets ({}, {}), length {}, dist {:.4}",
+        best.a, best.b, best.l, best.dist
+    );
+    let near = |x: usize, target: usize| x.abs_diff(target) <= 360;
+    let hits = [2_500usize, 9_100, 15_800]
+        .iter()
+        .filter(|&&t| near(best.a, t) || near(best.b, t))
+        .count();
+    println!("  -> overlaps {hits} of the planted event times");
+
+    // 2. Cross-station confirmation: AB-join the template region of A
+    //    against station B's record.
+    let template_region = Series::new(station_a[best.a..best.a + best.l].to_vec()).unwrap();
+    let pa = ProfiledSeries::new(&template_region);
+    let pb = ProfiledSeries::new(&Series::new(station_b).unwrap());
+    let l = best.l.min(280);
+    let (ia, ib, d) = closest_cross_pair(&pa, &pb, l)
+        .expect("join runs")
+        .expect("a closest pair exists");
+    println!(
+        "cross-station join (length {l}): template offset {ia} matches station B at {ib} (dist {d:.4})"
+    );
+    if ib.abs_diff(6_400) <= 400 {
+        println!("  -> the same event is recovered at station B without any template tuning.");
+    } else {
+        println!("  warning: expected the station-B match near offset 6400");
+    }
+}

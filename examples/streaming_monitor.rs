@@ -1,0 +1,71 @@
+//! Streaming monitoring: maintain a matrix profile *online* as sensor
+//! samples arrive (`valmod_mp::streaming`, STAMPI-style O(n) appends) and
+//! raise an alert the moment a never-before-seen pattern (a discord) shows
+//! up — the real-time complement of the batch analyses in the other
+//! examples.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example streaming_monitor
+//! ```
+
+use valmod_data::datasets::ecg_like;
+use valmod_mp::streaming::StreamingProfile;
+use valmod_mp::ExclusionPolicy;
+
+fn main() {
+    let l = 96usize;
+    // Historical data: two minutes of clean ECG-like telemetry.
+    let history = ecg_like(6_000, 3);
+    let mut monitor =
+        StreamingProfile::new(history.values(), l, ExclusionPolicy::HALF).expect("seed profile");
+
+    // Alert threshold: a new window is anomalous when its nearest-neighbour
+    // distance is far above what the history considers normal.
+    let baseline = monitor.profile();
+    let mut finite: Vec<f64> = baseline.mp.iter().copied().filter(|d| d.is_finite()).collect();
+    finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p99 = finite[(finite.len() * 99) / 100];
+    let threshold = p99 * 1.25;
+    println!(
+        "seeded with {} samples; normal NN-distance p99 = {p99:.3}, alert threshold {threshold:.3}\n",
+        monitor.len()
+    );
+
+    // Live feed: more normal beats, then an arrhythmia-like corruption.
+    let feed = ecg_like(9_000, 4);
+    let mut incoming = feed.values()[6_000..].to_vec();
+    for (k, v) in incoming[1_500..1_620].iter_mut().enumerate() {
+        *v += 0.4 * (((k * 13) % 29) as f64 - 14.0) / 14.0;
+    }
+
+    let mut alerts: Vec<usize> = Vec::new();
+    for (step, sample) in incoming.iter().enumerate() {
+        monitor.append(*sample).expect("finite sample");
+        // The newest complete window ends at the appended sample.
+        let newest = monitor.len() - l;
+        let nn_dist = monitor.newest_nn_dist().unwrap_or(f64::INFINITY);
+        if nn_dist.is_finite() && nn_dist > threshold {
+            // Suppress repeated alerts for overlapping windows.
+            if alerts.last().is_none_or(|&last| newest > last + l / 2) {
+                println!(
+                    "ALERT at stream position {step:>5} (window offset {newest}): NN distance {nn_dist:.3}"
+                );
+                alerts.push(newest);
+            }
+        }
+    }
+    // The corruption sits at appended positions 1500..1620, i.e. global
+    // sample positions 7500..7620 (after the 6 000-sample history).
+    let (corrupt_lo, corrupt_hi) = (6_000 + 1_500, 6_000 + 1_620);
+    println!(
+        "\nprocessed {} live samples, {} alert(s); corruption injected at global positions {corrupt_lo}..{corrupt_hi}",
+        incoming.len(),
+        alerts.len()
+    );
+    if alerts.iter().any(|&w| w + l > corrupt_lo && w < corrupt_hi) {
+        println!("the injected anomaly was caught online.");
+    } else {
+        println!("warning: expected an alert inside the corrupted region.");
+    }
+}

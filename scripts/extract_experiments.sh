@@ -1,0 +1,4 @@
+#!/bin/sh
+# Extracts the human-readable blocks from bench_experiments_log.txt for
+# pasting into EXPERIMENTS.md. Usage: sh scripts_extract_experiments.sh
+sed -n '/############/,$p' /root/repo/bench_experiments_log.txt

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Final deliverable runs: full test suite and benches, teed to the repo root.
+set -x
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo FINALIZE_DONE

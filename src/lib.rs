@@ -1,0 +1,19 @@
+//! # valmod-suite
+//!
+//! Umbrella crate for the VALMOD reproduction (SIGMOD 2018, *Matrix Profile
+//! X: VALMOD — Scalable Discovery of Variable-Length Motifs in Data
+//! Series*). It re-exports the workspace crates under one roof and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! Start with [`core::valmod`] (the Algorithm 1 driver) or the
+//! `examples/quickstart.rs` walkthrough.
+
+#![forbid(unsafe_code)]
+
+pub use valmod_baselines as baselines;
+pub use valmod_core as core;
+pub use valmod_data as data;
+pub use valmod_fft as fft;
+pub use valmod_index as index;
+pub use valmod_mp as mp;

@@ -1,0 +1,114 @@
+//! End-to-end motif-set discovery (Problems 1 + 2 together) across crates.
+
+use std::collections::HashSet;
+
+use valmod_core::motif_sets::compute_var_length_motif_sets;
+use valmod_core::valmod::{valmod, ValmodConfig};
+use valmod_data::generators::plant_motif;
+use valmod_data::series::Series;
+use valmod_mp::distance::zdist_naive;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn setup(seed: u64, k: usize) -> (Series, valmod_core::valmod::ValmodOutput) {
+    let (values, _) = plant_motif(4_000, 60, 5, 0.05, seed);
+    let series = Series::new(values).unwrap();
+    let cfg = ValmodConfig::new(54, 66).with_p(8).with_pair_tracking(k);
+    let out = valmod(&series, &cfg).unwrap();
+    (series, out)
+}
+
+#[test]
+fn set_members_really_are_within_radius_of_a_center() {
+    let (series, out) = setup(21, 6);
+    let ps = ProfiledSeries::new(&series);
+    let (sets, _) = compute_var_length_motif_sets(
+        &ps,
+        out.best_pairs.as_ref().unwrap(),
+        3.0,
+        ExclusionPolicy::HALF,
+    );
+    assert!(!sets.is_empty());
+    let v = series.values();
+    for set in &sets {
+        let (a, b) = set.pair;
+        for m in &set.members {
+            let d_a = zdist_naive(&v[m.offset..m.offset + set.l], &v[a..a + set.l]);
+            let d_b = zdist_naive(&v[m.offset..m.offset + set.l], &v[b..b + set.l]);
+            assert!(
+                d_a < set.radius + 1e-6 || d_b < set.radius + 1e-6,
+                "member {} of set at ({a},{b}) is outside radius {} (d_a={d_a}, d_b={d_b})",
+                m.offset,
+                set.radius
+            );
+        }
+    }
+}
+
+#[test]
+fn planted_instances_populate_the_top_set() {
+    let (series, out) = setup(33, 4);
+    let ps = ProfiledSeries::new(&series);
+    let (sets, _) = compute_var_length_motif_sets(
+        &ps,
+        out.best_pairs.as_ref().unwrap(),
+        4.0,
+        ExclusionPolicy::HALF,
+    );
+    // Five planted instances; the top set should recover most of them.
+    assert!(
+        sets[0].frequency() >= 4,
+        "top set frequency {} (expected ≥ 4 of 5 planted)",
+        sets[0].frequency()
+    );
+}
+
+#[test]
+fn disjointness_holds_across_the_whole_answer() {
+    let (series, out) = setup(45, 10);
+    let ps = ProfiledSeries::new(&series);
+    let (sets, _) = compute_var_length_motif_sets(
+        &ps,
+        out.best_pairs.as_ref().unwrap(),
+        5.0,
+        ExclusionPolicy::HALF,
+    );
+    let mut seen = HashSet::new();
+    for set in &sets {
+        for m in &set.members {
+            assert!(
+                seen.insert((m.offset, set.l)),
+                "subsequence ({}, {}) appears in two motif sets",
+                m.offset,
+                set.l
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_path_agrees_with_recompute_path() {
+    // Run the same expansion with a radius small enough for snapshots and
+    // verify member distances against direct recomputation.
+    let (series, out) = setup(57, 3);
+    let ps = ProfiledSeries::new(&series);
+    let tracker = out.best_pairs.as_ref().unwrap();
+    let (sets, _) = compute_var_length_motif_sets(&ps, tracker, 2.0, ExclusionPolicy::HALF);
+    let v = series.values();
+    for set in &sets {
+        for m in &set.members {
+            if m.dist == 0.0 {
+                continue; // centres
+            }
+            let (a, b) = set.pair;
+            let d_a = zdist_naive(&v[m.offset..m.offset + set.l], &v[a..a + set.l]);
+            let d_b = zdist_naive(&v[m.offset..m.offset + set.l], &v[b..b + set.l]);
+            let direct = d_a.min(d_b);
+            assert!(
+                (m.dist - direct).abs() < 1e-5,
+                "stored member distance {} vs direct {}",
+                m.dist,
+                direct
+            );
+        }
+    }
+}
