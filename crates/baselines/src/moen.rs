@@ -168,10 +168,9 @@ mod tests {
 
     fn check_exact(series: &[f64], l_min: usize, l_max: usize) {
         let ps = ProfiledSeries::from_values(series).unwrap();
-        let out =
-            moen(&ps, l_min, l_max, ExclusionPolicy::HALF, std::time::Duration::MAX).unwrap();
+        let out = moen(&ps, l_min, l_max, ExclusionPolicy::HALF, std::time::Duration::MAX).unwrap();
         assert!(!out.truncated);
-        let oracle = stomp_range(&ps, l_min, l_max, ExclusionPolicy::HALF).unwrap();
+        let oracle = stomp_range(&ps, l_min, l_max, ExclusionPolicy::HALF, 1).unwrap();
         for (k, (m, o)) in out.motifs.iter().zip(&oracle).enumerate() {
             match (m, o) {
                 (Some(m), Some(o)) => assert!(
@@ -226,8 +225,7 @@ mod tests {
             s.recomputed_rows as f64 / (s.recomputed_rows + s.pruned_rows).max(1) as f64
         };
         let early: f64 = out.stats[1..6].iter().map(frac).sum::<f64>() / 5.0;
-        let late: f64 =
-            out.stats[out.stats.len() - 5..].iter().map(frac).sum::<f64>() / 5.0;
+        let late: f64 = out.stats[out.stats.len() - 5..].iter().map(frac).sum::<f64>() / 5.0;
         assert!(
             late >= early - 0.05,
             "recomputed fraction should not improve as the bound decays (early {early:.3}, late {late:.3})"
@@ -237,14 +235,8 @@ mod tests {
     #[test]
     fn deadline_truncates() {
         let ps = ProfiledSeries::from_values(&random_walk(2000, 61)).unwrap();
-        let out = moen(
-            &ps,
-            64,
-            256,
-            ExclusionPolicy::HALF,
-            std::time::Duration::from_millis(1),
-        )
-        .unwrap();
+        let out =
+            moen(&ps, 64, 256, ExclusionPolicy::HALF, std::time::Duration::from_millis(1)).unwrap();
         assert!(out.truncated);
     }
 }

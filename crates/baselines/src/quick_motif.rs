@@ -62,7 +62,7 @@ impl PartialOrd for PairEntry {
 impl Ord for PairEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want smallest MINDIST first.
-        other.mindist.partial_cmp(&self.mindist).unwrap_or(Ordering::Equal)
+        other.mindist.total_cmp(&self.mindist)
     }
 }
 
@@ -260,8 +260,7 @@ fn hilbert_order(points: &[Vec<f64>]) -> Vec<usize> {
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            let coords: Vec<u32> =
-                (0..dims).map(|k| quantize(p[k], lo[k], hi[k], bits)).collect();
+            let coords: Vec<u32> = (0..dims).map(|k| quantize(p[k], lo[k], hi[k], bits)).collect();
             (hilbert_index(&coords, bits), i)
         })
         .collect();

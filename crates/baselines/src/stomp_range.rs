@@ -5,21 +5,40 @@
 
 use valmod_data::error::Result;
 use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::matrix_profile::MatrixProfile;
 use valmod_mp::motif::MotifPair;
+use valmod_mp::parallel::stomp_parallel;
 use valmod_mp::stomp::stomp;
 use valmod_mp::ProfiledSeries;
 
+/// One profile at length `l`: the sequential row streamer for one thread,
+/// the chunked kernel otherwise (0 = all available cores). Keeps the
+/// baseline comparable to VALMOD at matching thread counts.
+fn profile_at(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+) -> Result<MatrixProfile> {
+    if threads == 1 {
+        stomp(ps, l, policy)
+    } else {
+        stomp_parallel(ps, l, policy, threads)
+    }
+}
+
 /// The motif pair of every length in `[l_min, l_max]`, each obtained by an
-/// independent STOMP run.
+/// independent STOMP run with `threads` workers (1 = sequential).
 pub fn stomp_range(
     ps: &ProfiledSeries,
     l_min: usize,
     l_max: usize,
     policy: ExclusionPolicy,
+    threads: usize,
 ) -> Result<Vec<Option<MotifPair>>> {
     (l_min..=l_max)
         .map(|l| {
-            let profile = stomp(ps, l, policy)?;
+            let profile = profile_at(ps, l, policy, threads)?;
             Ok(profile.motif_pair().map(|(a, b, d)| MotifPair::new(a, b, l, d)))
         })
         .collect()
@@ -34,6 +53,7 @@ pub fn stomp_range_with_deadline(
     l_min: usize,
     l_max: usize,
     policy: ExclusionPolicy,
+    threads: usize,
     deadline: std::time::Duration,
 ) -> Result<(Vec<Option<MotifPair>>, bool)> {
     let start = std::time::Instant::now();
@@ -42,7 +62,7 @@ pub fn stomp_range_with_deadline(
         if start.elapsed() > deadline {
             return Ok((out, true));
         }
-        let profile = stomp(ps, l, policy)?;
+        let profile = profile_at(ps, l, policy, threads)?;
         out.push(profile.motif_pair().map(|(a, b, d)| MotifPair::new(a, b, l, d)));
     }
     Ok((out, false))
@@ -57,13 +77,31 @@ mod tests {
     #[test]
     fn matches_brute_force_over_a_range() {
         let ps = ProfiledSeries::from_values(&random_walk(150, 7)).unwrap();
-        let fast = stomp_range(&ps, 8, 14, ExclusionPolicy::HALF).unwrap();
+        let fast = stomp_range(&ps, 8, 14, ExclusionPolicy::HALF, 1).unwrap();
         let slow = brute_force_range(&ps, 8, 14, ExclusionPolicy::HALF).unwrap();
         for (f, s) in fast.iter().zip(&slow) {
             match (f, s) {
                 (Some(f), Some(s)) => assert!((f.dist - s.dist).abs() < 1e-6),
                 (None, None) => {}
                 other => panic!("presence mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_range_matches_sequential() {
+        let ps = ProfiledSeries::from_values(&random_walk(200, 11)).unwrap();
+        let seq = stomp_range(&ps, 10, 16, ExclusionPolicy::HALF, 1).unwrap();
+        for threads in [2usize, 3, 7, 0] {
+            let par = stomp_range(&ps, 10, 16, ExclusionPolicy::HALF, threads).unwrap();
+            for (a, b) in seq.iter().zip(&par) {
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert!((a.dist - b.dist).abs() < 1e-7, "threads={threads}")
+                    }
+                    (None, None) => {}
+                    other => panic!("threads={threads}: presence mismatch {other:?}"),
+                }
             }
         }
     }
@@ -76,6 +114,7 @@ mod tests {
             64,
             256,
             ExclusionPolicy::HALF,
+            1,
             std::time::Duration::from_millis(1),
         )
         .unwrap();

@@ -17,7 +17,8 @@ fn bench_exclusion_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/exclusion_zone");
     group.sample_size(10);
     let ps = ProfiledSeries::new(&Dataset::Ecg.generate(1_500, 1));
-    for (name, policy) in [("half_l", ExclusionPolicy::HALF), ("quarter_l", ExclusionPolicy::QUARTER)]
+    for (name, policy) in
+        [("half_l", ExclusionPolicy::HALF), ("quarter_l", ExclusionPolicy::QUARTER)]
     {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             let cfg = ValmodConfig::new(48, 60).with_p(20).with_policy(policy);

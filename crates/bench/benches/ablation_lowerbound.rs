@@ -18,20 +18,16 @@ fn bench_lb_vs_none(c: &mut Criterion) {
     for ds in [Dataset::Ecg, Dataset::Emg] {
         let ps = ProfiledSeries::new(&ds.generate(1_500, 1));
         let (l_min, l_max) = (48usize, 64usize);
-        group.bench_with_input(
-            BenchmarkId::new("valmod_with_eq2", ds.name()),
-            &ds,
-            |b, _| {
-                let cfg = ValmodConfig::new(l_min, l_max).with_p(20);
-                b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("valmod_with_eq2", ds.name()), &ds, |b, _| {
+            let cfg = ValmodConfig::new(l_min, l_max).with_p(20);
+            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+        });
         group.bench_with_input(
             BenchmarkId::new("no_bound_stomp_per_length", ds.name()),
             &ds,
             |b, _| {
                 b.iter(|| {
-                    black_box(stomp_range(&ps, l_min, l_max, ExclusionPolicy::HALF).unwrap())
+                    black_box(stomp_range(&ps, l_min, l_max, ExclusionPolicy::HALF, 1).unwrap())
                 })
             },
         );

@@ -34,9 +34,8 @@ fn bench_single_length(c: &mut Criterion) {
 fn bench_rtree_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("rtree_bulk_load");
     for n in [1_000usize, 10_000] {
-        let points: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..8).map(|k| ((i * (k + 3)) as f64 * 0.01).sin()).collect())
-            .collect();
+        let points: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..8).map(|k| ((i * (k + 3)) as f64 * 0.01).sin()).collect()).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(RTree::bulk_load(&points, 16, 8)))
         });

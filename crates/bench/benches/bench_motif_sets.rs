@@ -19,12 +19,7 @@ fn bench_sets(c: &mut Criterion) {
     for d in [2.0f64, 4.0, 6.0] {
         group.bench_with_input(BenchmarkId::new("radius_factor", format!("{d}")), &d, |b, &d| {
             b.iter(|| {
-                black_box(compute_var_length_motif_sets(
-                    &ps,
-                    &tracker,
-                    d,
-                    ExclusionPolicy::HALF,
-                ))
+                black_box(compute_var_length_motif_sets(&ps, &tracker, d, ExclusionPolicy::HALF))
             })
         });
     }

@@ -5,8 +5,8 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use valmod_core::compute_mp::compute_matrix_profile;
-use valmod_core::sub_mp::compute_sub_mp;
+use valmod_core::compute_mp::{compute_matrix_profile, compute_matrix_profile_parallel};
+use valmod_core::sub_mp::{compute_sub_mp, compute_sub_mp_threaded};
 use valmod_data::datasets::Dataset;
 use valmod_mp::parallel::stomp_parallel;
 use valmod_mp::stamp::stamp;
@@ -32,15 +32,9 @@ fn bench_profiles(c: &mut Criterion) {
         b.iter(|| black_box(stamp(&ps, L, ExclusionPolicy::HALF, usize::MAX, 3).unwrap()))
     });
     for p in [5usize, 50] {
-        group.bench_with_input(
-            BenchmarkId::new("compute_mp_with_harvest", p),
-            &p,
-            |b, &p| {
-                b.iter(|| {
-                    black_box(compute_matrix_profile(&ps, L, p, ExclusionPolicy::HALF).unwrap())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("compute_mp_with_harvest", p), &p, |b, &p| {
+            b.iter(|| black_box(compute_matrix_profile(&ps, L, p, ExclusionPolicy::HALF).unwrap()))
+        });
     }
     group.finish();
 }
@@ -61,6 +55,28 @@ fn bench_sub_mp_step(c: &mut Criterion) {
             )
         });
     }
+    for threads in [2usize, 4, 8] {
+        let state = compute_matrix_profile(&ps, L, 50, ExclusionPolicy::HALF).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("one_length_p50_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || state.partials.clone(),
+                    |mut partials| {
+                        black_box(compute_sub_mp_threaded(
+                            &ps,
+                            &mut partials,
+                            L + 1,
+                            ExclusionPolicy::HALF,
+                            threads,
+                        ))
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
     group.finish();
 }
 
@@ -68,12 +84,26 @@ fn bench_parallel_and_streaming(c: &mut Criterion) {
     let ps = prepared();
     let mut group = c.benchmark_group("profile_variants");
     group.sample_size(10);
-    for threads in [1usize, 2, 4] {
+    for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("stomp_parallel", threads),
             &threads,
             |b, &threads| {
-                b.iter(|| black_box(stomp_parallel(&ps, L, ExclusionPolicy::HALF, threads).unwrap()))
+                b.iter(|| {
+                    black_box(stomp_parallel(&ps, L, ExclusionPolicy::HALF, threads).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compute_mp_parallel_p50", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        compute_matrix_profile_parallel(&ps, L, 50, ExclusionPolicy::HALF, threads)
+                            .unwrap(),
+                    )
+                })
             },
         );
     }

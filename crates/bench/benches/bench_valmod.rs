@@ -47,5 +47,24 @@ fn bench_valmod_datasets(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_valmod_range, bench_valmod_p, bench_valmod_datasets);
+fn bench_valmod_threads(c: &mut Criterion) {
+    let ps = ProfiledSeries::new(&Dataset::Ecg.generate(2_000, 1));
+    let mut group = c.benchmark_group("valmod/threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let cfg = ValmodConfig::new(64, 80).with_p(20).with_threads(threads);
+            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_valmod_range,
+    bench_valmod_p,
+    bench_valmod_datasets,
+    bench_valmod_threads
+);
 criterion_main!(benches);

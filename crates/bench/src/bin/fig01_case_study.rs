@@ -28,9 +28,8 @@ fn main() {
         truth.probing_offsets, truth.ingestion_offsets
     ));
     let classify = |offset: usize, l: usize| -> &'static str {
-        let near = |offs: &[usize], plen: usize| {
-            offs.iter().any(|&o| offset + l > o && offset < o + plen)
-        };
+        let near =
+            |offs: &[usize], plen: usize| offs.iter().any(|&o| offset + l > o && offset < o + plen);
         if near(&truth.probing_offsets, truth.probing_len) {
             "probing"
         } else if near(&truth.ingestion_offsets, truth.ingestion_len) {

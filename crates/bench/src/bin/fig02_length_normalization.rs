@@ -50,10 +50,7 @@ fn main() {
         &["length", "euclidean", "eucl_div_len", "eucl_sqrt_inv_len"],
     );
     report.headline("Fig. 2: length corrections (each series divided by its own max)");
-    report.line(&format!(
-        "{:>7} {:>12} {:>12} {:>16}",
-        "length", "ED", "ED/len", "ED*sqrt(1/len)"
-    ));
+    report.line(&format!("{:>7} {:>12} {:>12} {:>16}", "length", "ED", "ED/len", "ED*sqrt(1/len)"));
     for (k, &l) in lengths.iter().enumerate() {
         report.line(&format!(
             "{:>7} {:>12.4} {:>12.4} {:>16.4}",

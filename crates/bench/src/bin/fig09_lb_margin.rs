@@ -36,16 +36,18 @@ fn main() {
         for anchor in [short_anchor, long_anchor] {
             let target = anchor + range;
             if ps.num_subsequences(target) < 2 {
-                report.line(&format!("[{} l={}→{}] skipped (series too short)", ds.name(), anchor, target));
+                report.line(&format!(
+                    "[{} l={}→{}] skipped (series too short)",
+                    ds.name(),
+                    anchor,
+                    target
+                ));
                 continue;
             }
             let probes =
                 probe_at_length(&ps, anchor, target, default.p, ExclusionPolicy::HALF).unwrap();
-            let finite: Vec<f64> = probes
-                .iter()
-                .filter(|p| p.margin.is_finite())
-                .map(|p| p.margin)
-                .collect();
+            let finite: Vec<f64> =
+                probes.iter().filter(|p| p.margin.is_finite()).map(|p| p.margin).collect();
             let positive =
                 finite.iter().filter(|&&m| m > 0.0).count() as f64 / finite.len().max(1) as f64;
             report.line(&format!(

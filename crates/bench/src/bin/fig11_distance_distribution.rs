@@ -35,7 +35,12 @@ fn main() {
             // Stride rows for tractability; shape is preserved.
             let stride = (ps.num_subsequences(l) / 400).max(1);
             let h = distance_distribution(&ps, l, bins, stride, ExclusionPolicy::HALF).unwrap();
-            report.line(&format!("\n[{} l={l}] {} distances, max possible {:.2}", ds.name(), h.total, h.max));
+            report.line(&format!(
+                "\n[{} l={l}] {} distances, max possible {:.2}",
+                ds.name(),
+                h.total,
+                h.max
+            ));
             let freqs = h.frequencies();
             for (b, &f) in freqs.iter().enumerate() {
                 let edge = (b + 1) as f64 / bins as f64;

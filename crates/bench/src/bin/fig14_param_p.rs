@@ -37,6 +37,7 @@ fn main() {
                 p,
                 policy: ExclusionPolicy::HALF,
                 track_pairs: 0,
+                threads: default.threads,
             };
             let start = Instant::now();
             let out = match valmod_on(&ps, &cfg) {
@@ -48,18 +49,17 @@ fn main() {
             };
             let secs = start.elapsed().as_secs_f64();
             // subMP size per iteration (every 4th length printed).
-            let sizes: Vec<(usize, usize)> = out
-                .per_length
-                .iter()
-                .map(|r| (r.l - default.l_min, r.known_entries))
-                .collect();
-            report.line(&format!("  p={p:<4} total {secs:>8.3}s  subMP sizes: {}",
+            let sizes: Vec<(usize, usize)> =
+                out.per_length.iter().map(|r| (r.l - default.l_min, r.known_entries)).collect();
+            report.line(&format!(
+                "  p={p:<4} total {secs:>8.3}s  subMP sizes: {}",
                 sizes
                     .iter()
                     .step_by(4)
                     .map(|(off, s)| format!("+{off}:{s}"))
                     .collect::<Vec<_>>()
-                    .join(" ")));
+                    .join(" ")
+            ));
             for (off, size) in &sizes {
                 report.csv_row(&[
                     ds.name().into(),

@@ -38,6 +38,7 @@ fn main() {
             p: default.p,
             policy: ExclusionPolicy::HALF,
             track_pairs: k_max,
+            threads: default.threads,
         };
         let start = Instant::now();
         let out = match valmod_on(&ps, &cfg) {

@@ -6,8 +6,10 @@ use valmod_bench::report::Report;
 
 fn main() {
     let scale = Scale::from_env();
-    let mut report =
-        Report::new("table02_parameters", &["dimension", "paper_values", "scaled_values", "default"]);
+    let mut report = Report::new(
+        "table02_parameters",
+        &["dimension", "paper_values", "scaled_values", "default"],
+    );
     report.headline(&format!("Table 2: benchmark parameters (scale = {})", scale.0));
 
     let rows: Vec<(&str, &str, String, String)> = vec![

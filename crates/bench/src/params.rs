@@ -59,6 +59,9 @@ pub struct BenchParams {
     pub p: usize,
     /// Generator seed.
     pub seed: u64,
+    /// Worker threads for profile computations (1 = sequential,
+    /// 0 = all available cores).
+    pub threads: usize,
 }
 
 impl BenchParams {
@@ -70,6 +73,7 @@ impl BenchParams {
             n: scale.apply(10_000, 512),
             p: 50,
             seed: 20_180_610, // SIGMOD'18 opening day
+            threads: 1,
         }
     }
 
@@ -90,15 +94,17 @@ impl BenchParams {
 
     /// The sweep values of the series-size dimension (Fig. 13).
     pub fn size_sweep(scale: Scale) -> Vec<usize> {
-        [2_000usize, 4_000, 10_000, 16_000, 20_000]
-            .iter()
-            .map(|&b| scale.apply(b, 256))
-            .collect()
+        [2_000usize, 4_000, 10_000, 16_000, 20_000].iter().map(|&b| scale.apply(b, 256)).collect()
     }
 
     /// The sweep values of `p` (Fig. 14; paper Table 2's last column).
     pub fn p_sweep() -> Vec<usize> {
         vec![50, 100, 150]
+    }
+
+    /// The sweep values of the thread-count dimension (scalability runs).
+    pub fn thread_sweep() -> Vec<usize> {
+        vec![1, 2, 4, 8]
     }
 
     /// All five datasets in the paper's presentation order.

@@ -103,7 +103,14 @@ pub fn run_algorithm(
     let start = Instant::now();
     let best = match algo {
         Algorithm::Valmod => {
-            let cfg = ValmodConfig { l_min, l_max, p: params.p, policy, track_pairs: 0 };
+            let cfg = ValmodConfig {
+                l_min,
+                l_max,
+                p: params.p,
+                policy,
+                track_pairs: 0,
+                threads: params.threads,
+            };
             match valmod_on(ps, &cfg) {
                 // Length-normalised, like `best_norm` below, so the
                 // cross-algorithm agreement check compares like with like.
@@ -112,7 +119,7 @@ pub fn run_algorithm(
             }
         }
         Algorithm::StompRange => {
-            match stomp_range_with_deadline(ps, l_min, l_max, policy, deadline) {
+            match stomp_range_with_deadline(ps, l_min, l_max, policy, params.threads, deadline) {
                 Ok((motifs, truncated)) => {
                     if truncated {
                         return AlgoResult::Dnf { secs: start.elapsed().as_secs_f64() };
@@ -241,7 +248,7 @@ mod tests {
     fn all_algorithms_agree_on_the_best_motif() {
         let series = Dataset::Ecg.generate(1500, 1);
         let ps = ProfiledSeries::new(&series);
-        let params = BenchParams { l_min: 32, range: 6, n: 1500, p: 10, seed: 1 };
+        let params = BenchParams { l_min: 32, range: 6, n: 1500, p: 10, seed: 1, threads: 1 };
         let deadline = Duration::from_secs(120);
         let mut dists = Vec::new();
         for algo in Algorithm::ALL {
@@ -251,11 +258,7 @@ mod tests {
             }
         }
         for w in dists.windows(2) {
-            assert!(
-                (w[0].1 - w[1].1).abs() < 1e-6,
-                "algorithms disagree: {:?}",
-                dists
-            );
+            assert!((w[0].1 - w[1].1).abs() < 1e-6, "algorithms disagree: {:?}", dists);
         }
     }
 
@@ -263,7 +266,7 @@ mod tests {
     fn skipped_when_series_too_short() {
         let series = Dataset::Ecg.generate(64, 1);
         let ps = ProfiledSeries::new(&series);
-        let params = BenchParams { l_min: 64, range: 8, n: 64, p: 10, seed: 1 };
+        let params = BenchParams { l_min: 64, range: 8, n: 64, p: 10, seed: 1, threads: 1 };
         for algo in Algorithm::ALL {
             assert!(matches!(
                 run_algorithm(algo, &ps, &params, Duration::from_secs(5)),

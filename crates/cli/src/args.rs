@@ -30,9 +30,8 @@ impl Args {
     /// Parses an iterator of raw arguments (excluding the program name).
     pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
         let mut raw = raw.into_iter().peekable();
-        let command = raw
-            .next()
-            .ok_or_else(|| ArgError("missing subcommand; try `valmod help`".into()))?;
+        let command =
+            raw.next().ok_or_else(|| ArgError("missing subcommand; try `valmod help`".into()))?;
         if command.starts_with('-') {
             return Err(ArgError(format!("expected a subcommand, got option {command:?}")));
         }

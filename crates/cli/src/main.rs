@@ -25,7 +25,7 @@ use valmod_core::{
 use valmod_data::datasets::Dataset;
 use valmod_data::io;
 use valmod_data::series::Series;
-use valmod_mp::{stomp, ExclusionPolicy, ProfiledSeries};
+use valmod_mp::{stomp, stomp_parallel, ExclusionPolicy, ProfiledSeries};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -67,9 +67,11 @@ valmod — exact variable-length motif discovery (VALMOD, SIGMOD 2018)
 
 USAGE:
   valmod discover  --input <file> --min <len> --max <len> [--p <n>] [--top <k>] [--csv]
+                   [--threads <t>]
   valmod sets      --input <file> --min <len> --max <len> [--k <n>] [--radius <D>] [--p <n>]
-  valmod discords  --input <file> --min <len> --max <len> [--top <k>] [--p <n>]
-  valmod mp        --input <file> --length <len> [--output <file>]
+                   [--threads <t>]
+  valmod discords  --input <file> --min <len> --max <len> [--top <k>] [--p <n>] [--threads <t>]
+  valmod mp        --input <file> --length <len> [--output <file>] [--threads <t>]
   valmod profiles  --input <file> --min <len> --max <len> [--p <n>] --output <dir>
   valmod join      --input <file> --other <file> --length <len> [--top <k>]
   valmod hint      --input <file> [--top <k>] [--min-period <n>]
@@ -77,7 +79,10 @@ USAGE:
   valmod help
 
 Input: text (one value per line; `#` comments; commas/whitespace) or raw
-little-endian f64 for `.bin`/`.f64` extensions.";
+little-endian f64 for `.bin`/`.f64` extensions.
+
+--threads controls the worker count for the profile computations:
+1 (default) is sequential, 0 uses every available core.";
 
 fn load(args: &Args) -> Result<Series, Box<dyn std::error::Error>> {
     Ok(io::load_auto(args.require("input")?)?)
@@ -87,11 +92,12 @@ fn range_config(args: &Args) -> Result<ValmodConfig, Box<dyn std::error::Error>>
     let l_min: usize = args.require_parsed("min")?;
     let l_max: usize = args.require_parsed("max")?;
     let p: usize = args.parsed_or("p", 50)?;
-    Ok(ValmodConfig::new(l_min, l_max).with_p(p))
+    let threads: usize = args.parsed_or("threads", 1)?;
+    Ok(ValmodConfig::new(l_min, l_max).with_p(p).with_threads(threads))
 }
 
 fn cmd_discover(args: &Args) -> CliResult {
-    args.reject_unknown(&["input", "min", "max", "p", "top", "csv"])?;
+    args.reject_unknown(&["input", "min", "max", "p", "top", "csv", "threads"])?;
     let series = load(args)?;
     let cfg = range_config(args)?;
     let top: usize = args.parsed_or("top", 5)?;
@@ -126,7 +132,7 @@ fn cmd_discover(args: &Args) -> CliResult {
 }
 
 fn cmd_sets(args: &Args) -> CliResult {
-    args.reject_unknown(&["input", "min", "max", "p", "k", "radius"])?;
+    args.reject_unknown(&["input", "min", "max", "p", "k", "radius", "threads"])?;
     let series = load(args)?;
     let k: usize = args.parsed_or("k", 10)?;
     let radius: f64 = args.parsed_or("radius", 3.0)?;
@@ -157,7 +163,7 @@ fn cmd_sets(args: &Args) -> CliResult {
 }
 
 fn cmd_discords(args: &Args) -> CliResult {
-    args.reject_unknown(&["input", "min", "max", "p", "top"])?;
+    args.reject_unknown(&["input", "min", "max", "p", "top", "threads"])?;
     let series = load(args)?;
     let cfg = range_config(args)?;
     let top: usize = args.parsed_or("top", 3)?;
@@ -178,11 +184,16 @@ fn cmd_discords(args: &Args) -> CliResult {
 }
 
 fn cmd_mp(args: &Args) -> CliResult {
-    args.reject_unknown(&["input", "length", "output"])?;
+    args.reject_unknown(&["input", "length", "output", "threads"])?;
     let series = load(args)?;
     let l: usize = args.require_parsed("length")?;
+    let threads: usize = args.parsed_or("threads", 1)?;
     let ps = ProfiledSeries::new(&series);
-    let profile = stomp(&ps, l, ExclusionPolicy::HALF)?;
+    let profile = if threads == 1 {
+        stomp(&ps, l, ExclusionPolicy::HALF)?
+    } else {
+        stomp_parallel(&ps, l, ExclusionPolicy::HALF, threads)?
+    };
     match args.get("output") {
         Some(path) => {
             use std::io::Write;
@@ -245,7 +256,7 @@ fn cmd_join(args: &Args) -> CliResult {
     let pb = ProfiledSeries::new(&b);
     let join = valmod_mp::join::ab_join(&pa, &pb, l)?;
     let mut order: Vec<usize> = (0..join.len()).filter(|&i| join.mp[i].is_finite()).collect();
-    order.sort_by(|&x, &y| join.mp[x].partial_cmp(&join.mp[y]).unwrap());
+    order.sort_by(|&x, &y| join.mp[x].total_cmp(&join.mp[y]));
     println!("top {} cross-series matches at length {l}:", top.min(order.len()));
     let mut printed = 0usize;
     let mut last: Option<usize> = None;
@@ -259,10 +270,7 @@ fn cmd_join(args: &Args) -> CliResult {
                 continue;
             }
         }
-        println!(
-            "  A offset {:>7} -> B offset {:>7}   dist {:>9.4}",
-            i, join.ip[i], join.mp[i]
-        );
+        println!("  A offset {:>7} -> B offset {:>7}   dist {:>9.4}", i, join.ip[i], join.mp[i]);
         last = Some(i);
         printed += 1;
     }

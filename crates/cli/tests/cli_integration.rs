@@ -32,20 +32,48 @@ fn stderr(o: &Output) -> String {
 fn generate_then_discover_pipeline() {
     let dir = tmp_dir("pipeline");
     let data = dir.join("ecg.csv");
-    let gen = run(&["generate", "--dataset", "ecg", "--n", "1500", "--seed", "3", "--output",
-        data.to_str().unwrap()]);
+    let gen = run(&[
+        "generate",
+        "--dataset",
+        "ecg",
+        "--n",
+        "1500",
+        "--seed",
+        "3",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
     assert!(gen.status.success(), "{}", stderr(&gen));
     assert!(stdout(&gen).contains("wrote 1500 points"));
 
-    let disc = run(&["discover", "--input", data.to_str().unwrap(), "--min", "32", "--max", "40",
-        "--p", "8", "--top", "3"]);
+    let disc = run(&[
+        "discover",
+        "--input",
+        data.to_str().unwrap(),
+        "--min",
+        "32",
+        "--max",
+        "40",
+        "--p",
+        "8",
+        "--top",
+        "3",
+    ]);
     assert!(disc.status.success(), "{}", stderr(&disc));
     let out = stdout(&disc);
     assert!(out.contains("variable-length motifs"), "{out}");
     assert!(out.contains("#1"), "{out}");
 
-    let csv = run(&["discover", "--input", data.to_str().unwrap(), "--min", "32", "--max", "36",
-        "--csv"]);
+    let csv = run(&[
+        "discover",
+        "--input",
+        data.to_str().unwrap(),
+        "--min",
+        "32",
+        "--max",
+        "36",
+        "--csv",
+    ]);
     assert!(csv.status.success());
     assert!(stdout(&csv).starts_with("rank,offset_a,offset_b,length,dist,norm_dist"));
 }
@@ -54,17 +82,44 @@ fn generate_then_discover_pipeline() {
 fn sets_and_discords_run() {
     let dir = tmp_dir("sets");
     let data = dir.join("gap.csv");
-    assert!(run(&["generate", "--dataset", "gap", "--n", "1500", "--output",
-        data.to_str().unwrap()])
+    assert!(run(&[
+        "generate",
+        "--dataset",
+        "gap",
+        "--n",
+        "1500",
+        "--output",
+        data.to_str().unwrap()
+    ])
     .status
     .success());
-    let sets = run(&["sets", "--input", data.to_str().unwrap(), "--min", "32", "--max", "38",
-        "--k", "3", "--radius", "3.0"]);
+    let sets = run(&[
+        "sets",
+        "--input",
+        data.to_str().unwrap(),
+        "--min",
+        "32",
+        "--max",
+        "38",
+        "--k",
+        "3",
+        "--radius",
+        "3.0",
+    ]);
     assert!(sets.status.success(), "{}", stderr(&sets));
     assert!(stdout(&sets).contains("motif sets"));
 
-    let discords = run(&["discords", "--input", data.to_str().unwrap(), "--min", "32", "--max",
-        "38", "--top", "2"]);
+    let discords = run(&[
+        "discords",
+        "--input",
+        data.to_str().unwrap(),
+        "--min",
+        "32",
+        "--max",
+        "38",
+        "--top",
+        "2",
+    ]);
     assert!(discords.status.success(), "{}", stderr(&discords));
     assert!(stdout(&discords).contains("variable-length discords"));
 }
@@ -73,21 +128,46 @@ fn sets_and_discords_run() {
 fn mp_and_profiles_write_csv() {
     let dir = tmp_dir("mp");
     let data = dir.join("astro.bin");
-    assert!(run(&["generate", "--dataset", "astro", "--n", "1200", "--output",
-        data.to_str().unwrap()])
+    assert!(run(&[
+        "generate",
+        "--dataset",
+        "astro",
+        "--n",
+        "1200",
+        "--output",
+        data.to_str().unwrap()
+    ])
     .status
     .success());
     let mp_out = dir.join("profile.csv");
-    let mp = run(&["mp", "--input", data.to_str().unwrap(), "--length", "48", "--output",
-        mp_out.to_str().unwrap()]);
+    let mp = run(&[
+        "mp",
+        "--input",
+        data.to_str().unwrap(),
+        "--length",
+        "48",
+        "--output",
+        mp_out.to_str().unwrap(),
+    ]);
     assert!(mp.status.success(), "{}", stderr(&mp));
     let content = std::fs::read_to_string(&mp_out).unwrap();
     assert!(content.starts_with("offset,nn_dist,nn_offset"));
     assert_eq!(content.lines().count(), 1200 - 48 + 1 + 1);
 
     let profs_dir = dir.join("profiles");
-    let profs = run(&["profiles", "--input", data.to_str().unwrap(), "--min", "40", "--max",
-        "44", "--p", "5", "--output", profs_dir.to_str().unwrap()]);
+    let profs = run(&[
+        "profiles",
+        "--input",
+        data.to_str().unwrap(),
+        "--min",
+        "40",
+        "--max",
+        "44",
+        "--p",
+        "5",
+        "--output",
+        profs_dir.to_str().unwrap(),
+    ]);
     assert!(profs.status.success(), "{}", stderr(&profs));
     for l in 40..=44 {
         assert!(profs_dir.join(format!("mp_{l}.csv")).exists(), "missing mp_{l}.csv");
@@ -101,13 +181,31 @@ fn join_finds_cross_series_match() {
     let b = dir.join("b.csv");
     // Same generator/seed → identical series → perfect cross matches.
     for path in [&a, &b] {
-        assert!(run(&["generate", "--dataset", "eeg", "--n", "800", "--seed", "9", "--output",
-            path.to_str().unwrap()])
+        assert!(run(&[
+            "generate",
+            "--dataset",
+            "eeg",
+            "--n",
+            "800",
+            "--seed",
+            "9",
+            "--output",
+            path.to_str().unwrap()
+        ])
         .status
         .success());
     }
-    let join = run(&["join", "--input", a.to_str().unwrap(), "--other", b.to_str().unwrap(),
-        "--length", "32", "--top", "2"]);
+    let join = run(&[
+        "join",
+        "--input",
+        a.to_str().unwrap(),
+        "--other",
+        b.to_str().unwrap(),
+        "--length",
+        "32",
+        "--top",
+        "2",
+    ]);
     assert!(join.status.success(), "{}", stderr(&join));
     let out = stdout(&join);
     assert!(out.contains("cross-series matches"), "{out}");
@@ -132,8 +230,8 @@ fn helpful_errors_for_bad_usage() {
     assert!(!missing.status.success());
     assert!(stderr(&missing).contains("--input"));
 
-    let no_file = run(&["discover", "--input", "/definitely/not/here.csv", "--min", "8",
-        "--max", "9"]);
+    let no_file =
+        run(&["discover", "--input", "/definitely/not/here.csv", "--min", "8", "--max", "9"]);
     assert!(!no_file.status.success());
 }
 
@@ -141,12 +239,19 @@ fn helpful_errors_for_bad_usage() {
 fn hint_suggests_the_heartbeat_band() {
     let dir = tmp_dir("hint");
     let data = dir.join("ecg.csv");
-    assert!(run(&["generate", "--dataset", "ecg", "--n", "4000", "--output",
-        data.to_str().unwrap()])
+    assert!(run(&[
+        "generate",
+        "--dataset",
+        "ecg",
+        "--n",
+        "4000",
+        "--output",
+        data.to_str().unwrap()
+    ])
     .status
     .success());
-    let hint = run(&["hint", "--input", data.to_str().unwrap(), "--top", "2", "--min-period",
-        "16"]);
+    let hint =
+        run(&["hint", "--input", data.to_str().unwrap(), "--top", "2", "--min-period", "16"]);
     assert!(hint.status.success(), "{}", stderr(&hint));
     let out = stdout(&hint);
     assert!(out.contains("suggested motif-length ranges"), "{out}");

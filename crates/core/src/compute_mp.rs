@@ -11,6 +11,7 @@ use valmod_mp::distance::is_flat;
 use valmod_mp::distance_profile::profile_min;
 use valmod_mp::exclusion::ExclusionPolicy;
 use valmod_mp::matrix_profile::MatrixProfile;
+use valmod_mp::parallel::{row_chunks, stomp_rows};
 use valmod_mp::stomp::StompDriver;
 use valmod_mp::ProfiledSeries;
 
@@ -73,9 +74,8 @@ pub fn compute_matrix_profile(
     let ndp = driver.ndp();
     let mut mp = vec![f64::INFINITY; ndp];
     let mut ip = vec![usize::MAX; ndp];
-    let mut partials: Vec<PartialProfile> = (0..ndp)
-        .map(|j| PartialProfile::new(j, l, ps.std(j, l), p))
-        .collect();
+    let mut partials: Vec<PartialProfile> =
+        (0..ndp).map(|j| PartialProfile::new(j, l, ps.std(j, l), p)).collect();
     let mut dp = Vec::with_capacity(ndp);
     while let Some(row) = driver.next_row(&mut dp) {
         if let Some((arg, d)) = profile_min(&dp) {
@@ -90,11 +90,86 @@ pub fn compute_matrix_profile(
     })
 }
 
+/// Multi-threaded [`compute_matrix_profile`]: rows are split into contiguous
+/// chunks, each worker runs the row-range STOMP kernel
+/// ([`valmod_mp::parallel::stomp_rows`]) over its chunk and harvests
+/// lower-bound entries into that chunk's partial profiles. Chunks own
+/// disjoint slices of `mp`/`ip`/`partials`, so the harvest is
+/// synchronisation-free. `threads = 0` uses all available cores; `1` runs
+/// the same kernel on one chunk.
+pub fn compute_matrix_profile_parallel(
+    ps: &ProfiledSeries,
+    l: usize,
+    p: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+) -> Result<MpWithProfiles> {
+    let ndp = ps.require_pairs(l)?;
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    let mut partials: Vec<PartialProfile> =
+        (0..ndp).map(|j| PartialProfile::new(j, l, ps.std(j, l), p)).collect();
+
+    std::thread::scope(|scope| {
+        let mut mp_rest: &mut [f64] = &mut mp;
+        let mut ip_rest: &mut [usize] = &mut ip;
+        let mut pr_rest: &mut [PartialProfile] = &mut partials;
+        for (chunk_start, len) in row_chunks(ndp, threads) {
+            let (mp_chunk, mp_tail) = mp_rest.split_at_mut(len);
+            let (ip_chunk, ip_tail) = ip_rest.split_at_mut(len);
+            let (pr_chunk, pr_tail) = pr_rest.split_at_mut(len);
+            mp_rest = mp_tail;
+            ip_rest = ip_tail;
+            pr_rest = pr_tail;
+            scope.spawn(move || {
+                stomp_rows(ps, l, &policy, chunk_start, len, |i, dp, qt| {
+                    let k = i - chunk_start;
+                    if let Some((arg, d)) = profile_min(dp) {
+                        mp_chunk[k] = d;
+                        ip_chunk[k] = arg;
+                    }
+                    harvest_row(ps, &mut pr_chunk[k], dp, qt, i, l);
+                });
+            });
+        }
+    });
+    Ok(MpWithProfiles {
+        profile: MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) },
+        partials,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use valmod_data::generators::random_walk;
     use valmod_mp::stomp::stomp;
+
+    #[test]
+    fn parallel_harvest_matches_sequential() {
+        let ps = ProfiledSeries::from_values(&random_walk(320, 37)).unwrap();
+        let (l, p) = (20, 4);
+        let seq = compute_matrix_profile(&ps, l, p, ExclusionPolicy::HALF).unwrap();
+        for threads in [1usize, 2, 3, 7, 16] {
+            let par =
+                compute_matrix_profile_parallel(&ps, l, p, ExclusionPolicy::HALF, threads).unwrap();
+            assert_eq!(par.profile.len(), seq.profile.len());
+            for i in 0..seq.profile.len() {
+                assert!(
+                    (par.profile.mp[i] - seq.profile.mp[i]).abs() < 1e-7,
+                    "threads={threads} row {i}"
+                );
+            }
+            for (ps_seq, ps_par) in seq.partials.iter().zip(&par.partials) {
+                assert_eq!(ps_seq.owner, ps_par.owner);
+                let mut a: Vec<usize> = ps_seq.entries().iter().map(|e| e.neighbor).collect();
+                let mut b: Vec<usize> = ps_par.entries().iter().map(|e| e.neighbor).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "threads={threads} owner {}", ps_seq.owner);
+            }
+        }
+    }
 
     #[test]
     fn profile_part_matches_plain_stomp() {
@@ -124,9 +199,9 @@ mod tests {
                 crate::lb::lb_key(q, l)
             })
             .collect();
-        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        keys.sort_by(f64::total_cmp);
         let mut got: Vec<f64> = with.partials[row].entries().iter().map(|e| e.lb_key).collect();
-        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        got.sort_by(f64::total_cmp);
         assert_eq!(got.len(), p);
         for (a, b) in got.iter().zip(&keys[..p]) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
@@ -145,10 +220,7 @@ mod tests {
                 let i = e.neighbor;
                 let qt: f64 = t[j..j + l].iter().zip(&t[i..i + l]).map(|(a, b)| a * b).sum();
                 assert!((e.qt - qt).abs() < 1e-6, "qt mismatch for ({j},{i})");
-                let d = valmod_mp::distance::zdist_naive(
-                    &t[j..j + l],
-                    &t[i..i + l],
-                );
+                let d = valmod_mp::distance::zdist_naive(&t[j..j + l], &t[i..i + l]);
                 assert!((e.dist - d).abs() < 1e-6, "dist mismatch for ({j},{i})");
             }
         }

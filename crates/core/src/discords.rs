@@ -35,7 +35,7 @@ pub fn variable_length_discords(
     let mut slots: Vec<usize> =
         (0..valmp.len()).filter(|&i| valmp.norm_distances[i].is_finite()).collect();
     // Descending by normalised NN distance.
-    slots.sort_by(|&x, &y| valmp.norm_distances[y].partial_cmp(&valmp.norm_distances[x]).unwrap());
+    slots.sort_by(|&x, &y| valmp.norm_distances[y].total_cmp(&valmp.norm_distances[x]));
     let mut out: Vec<VariableLengthDiscord> = Vec::new();
     for &i in &slots {
         if out.len() >= k {

@@ -63,11 +63,8 @@ pub fn probe_at_length(
             tlb_n += 1;
         }
         let mean_tlb = if tlb_n == 0 { 0.0 } else { tlb_sum / tlb_n as f64 };
-        let margin = if max_lb.is_infinite() && min_dist.is_infinite() {
-            0.0
-        } else {
-            max_lb - min_dist
-        };
+        let margin =
+            if max_lb.is_infinite() && min_dist.is_infinite() { 0.0 } else { max_lb - min_dist };
         probes.push(RowProbe { owner: prof.owner, max_lb, min_dist, margin, mean_tlb });
     }
     Ok(probes)

@@ -105,9 +105,8 @@ mod tests {
 
     #[test]
     fn lower_bound_is_admissible_on_structured_data() {
-        let series: Vec<f64> = (0..600)
-            .map(|t| (t as f64 * 0.07).sin() * 2.0 + (t as f64 * 0.013).cos())
-            .collect();
+        let series: Vec<f64> =
+            (0..600).map(|t| (t as f64 * 0.07).sin() * 2.0 + (t as f64 * 0.013).cos()).collect();
         for &(i, j) in &[(0usize, 200usize), (17, 350), (80, 500)] {
             check_admissible(&series, i, j, 24, 48);
         }

@@ -78,7 +78,7 @@ pub fn suggest_length_ranges(
             peaks.push((period, ac[lag]));
         }
     }
-    peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut out: Vec<LengthHint> = Vec::new();
     for (period, strength) in peaks {
         if out.len() >= k {

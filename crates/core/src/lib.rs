@@ -67,12 +67,12 @@ pub mod valmod;
 pub mod valmp;
 
 pub use complete_profiles::{complete_profiles, CompletionStats};
-pub use length_hint::{suggest_length_ranges, LengthHint};
-pub use compute_mp::{compute_matrix_profile, MpWithProfiles};
+pub use compute_mp::{compute_matrix_profile, compute_matrix_profile_parallel, MpWithProfiles};
 pub use discords::{variable_length_discords, VariableLengthDiscord};
+pub use length_hint::{suggest_length_ranges, LengthHint};
 pub use motif_sets::{compute_var_length_motif_sets, MotifSet, SetMember, SetStats};
 pub use pairs::{BestKPairs, PairCandidate};
 pub use ranking::{top_variable_length_motifs, LengthCorrection};
-pub use sub_mp::{compute_sub_mp, SubMpResult};
+pub use sub_mp::{compute_sub_mp, compute_sub_mp_threaded, SubMpResult};
 pub use valmod::{valmod, valmod_on, LengthMethod, LengthReport, ValmodConfig, ValmodOutput};
 pub use valmp::Valmp;

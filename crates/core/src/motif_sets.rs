@@ -82,7 +82,7 @@ pub fn compute_var_length_motif_sets(
 
         // Greedy trivial-match removal: best (closest) members claim their
         // exclusion zone first.
-        members.sort_by(|x, y| x.dist.partial_cmp(&y.dist).unwrap());
+        members.sort_by(|x, y| x.dist.total_cmp(&y.dist));
         let radius = policy.radius(pair.l);
         let mut kept: Vec<SetMember> = Vec::new();
         for m in members {
@@ -152,7 +152,12 @@ mod tests {
         let cfg = ValmodConfig::new(45, 55).with_p(8).with_pair_tracking(k);
         let out = valmod(&series, &cfg).unwrap();
         let ps = valmod_mp::ProfiledSeries::new(&series);
-        compute_var_length_motif_sets(&ps, out.best_pairs.as_ref().unwrap(), d, ExclusionPolicy::HALF)
+        compute_var_length_motif_sets(
+            &ps,
+            out.best_pairs.as_ref().unwrap(),
+            d,
+            ExclusionPolicy::HALF,
+        )
     }
 
     #[test]

@@ -36,7 +36,12 @@ impl PartialSnapshot {
             .filter(|e| e.dist.is_finite())
             .map(|e| (e.neighbor, e.dist))
             .collect();
-        PartialSnapshot { owner: prof.owner, l, max_lb: prof.max_lb_at(ps.std(prof.owner, l)), neighbors }
+        PartialSnapshot {
+            owner: prof.owner,
+            l,
+            max_lb: prof.max_lb_at(ps.std(prof.owner, l)),
+            neighbors,
+        }
     }
 }
 
@@ -104,8 +109,7 @@ impl BestKPairs {
     pub fn extend_sorted(&mut self, candidates: Vec<PairCandidate>) {
         debug_assert!(candidates.windows(2).all(|w| w[0].norm_dist <= w[1].norm_dist));
         self.pairs.extend(candidates);
-        self.pairs
-            .sort_by(|a, b| a.norm_dist.partial_cmp(&b.norm_dist).unwrap());
+        self.pairs.sort_by(|a, b| a.norm_dist.total_cmp(&b.norm_dist));
         self.pairs.truncate(self.k);
     }
 
@@ -145,9 +149,7 @@ impl BestKPairs {
             part_a: PartialSnapshot::capture(ps, &partials[a], l),
             part_b: PartialSnapshot::capture(ps, &partials[b], l),
         };
-        let pos = self
-            .pairs
-            .partition_point(|p| p.norm_dist <= norm_dist);
+        let pos = self.pairs.partition_point(|p| p.norm_dist <= norm_dist);
         self.pairs.insert(pos, cand);
         self.pairs.truncate(self.k);
     }

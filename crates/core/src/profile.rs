@@ -251,7 +251,7 @@ mod tests {
         }
         assert_eq!(p.len(), 3);
         let mut keys: Vec<f64> = p.entries().iter().map(|e| e.lb_key).collect();
-        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        keys.sort_by(f64::total_cmp);
         assert_eq!(keys, vec![0.5, 1.0, 3.0]);
         assert_eq!(p.max_lb_key(), Some(3.0));
     }
@@ -291,13 +291,16 @@ mod tests {
         let policy = ExclusionPolicy::HALF;
         let (owner, neighbor, l0) = (20usize, 150usize, 16usize);
         let t = ps.centered();
-        let qt0: f64 = t[owner..owner + l0].iter().zip(&t[neighbor..neighbor + l0]).map(|(a, b)| a * b).sum();
+        let qt0: f64 =
+            t[owner..owner + l0].iter().zip(&t[neighbor..neighbor + l0]).map(|(a, b)| a * b).sum();
         let mut e = DpEntry { neighbor, qt: qt0, dist: 0.0, lb_key: 0.0 };
         for new_l in (l0 + 1)..(l0 + 40) {
             match update_dist_and_lb(&ps, &mut e, owner, new_l - 1, new_l, &policy) {
                 EntryState::Valid { dist } => {
-                    let oracle =
-                        zdist_naive(&series[owner..owner + new_l], &series[neighbor..neighbor + new_l]);
+                    let oracle = zdist_naive(
+                        &series[owner..owner + new_l],
+                        &series[neighbor..neighbor + new_l],
+                    );
                     assert!((dist - oracle).abs() < 1e-7, "l={new_l}: {dist} vs {oracle}");
                 }
                 EntryState::Invalid => panic!("pair should stay valid at l={new_l}"),

@@ -46,7 +46,7 @@ pub fn top_variable_length_motifs(
 ) -> Vec<MotifPair> {
     let mut slots: Vec<usize> =
         (0..valmp.len()).filter(|&i| valmp.norm_distances[i].is_finite()).collect();
-    slots.sort_by(|&x, &y| valmp.norm_distances[x].partial_cmp(&valmp.norm_distances[y]).unwrap());
+    slots.sort_by(|&x, &y| valmp.norm_distances[x].total_cmp(&valmp.norm_distances[y]));
 
     let mut out: Vec<MotifPair> = Vec::new();
     for &i in &slots {

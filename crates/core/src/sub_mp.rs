@@ -22,6 +22,7 @@
 
 use valmod_mp::distance_profile::{dp_from_qt_into, profile_min, self_qt};
 use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::parallel::row_chunks;
 use valmod_mp::ProfiledSeries;
 
 use crate::compute_mp::harvest_row;
@@ -67,25 +68,36 @@ impl SubMpResult {
     }
 }
 
-/// Advances all partial profiles to `new_l` and attempts to derive the
-/// motif of that length without recomputing the matrix profile
-/// (paper Algorithm 4).
-pub fn compute_sub_mp(
-    ps: &ProfiledSeries,
-    partials: &mut [PartialProfile],
-    new_l: usize,
-    policy: ExclusionPolicy,
-) -> SubMpResult {
-    let ndp = ps.num_subsequences(new_l);
-    debug_assert!(ndp <= partials.len());
-    let mut sub_mp = vec![f64::NAN; ndp];
-    let mut ip = vec![usize::MAX; ndp];
-    let mut min_dist_abs = f64::INFINITY;
-    let mut min_lb_abs = f64::INFINITY;
-    let mut non_valid: Vec<(usize, f64)> = Vec::new();
-    let p = partials.first().map_or(1, |pr| pr.capacity());
+/// Per-chunk accumulator of the first pass; chunks are merged in row order,
+/// so the result is identical to the sequential scan.
+struct AdvanceOut {
+    min_dist_abs: f64,
+    min_lb_abs: f64,
+    non_valid: Vec<(usize, f64)>,
+}
 
-    for (j, prof) in partials.iter_mut().enumerate().take(ndp) {
+/// First pass of Algorithm 4 over rows `[chunk_start, chunk_start + len)`:
+/// advances each profile's stored entries to `new_l` (an `O(1)` update per
+/// entry) and classifies the row as valid (exact minimum written to
+/// `sub_mp`/`ip`) or non-valid. Rows are mutually independent, so the pass
+/// chunks freely; the per-row arithmetic is identical regardless of the
+/// chunking, keeping threaded runs bitwise equal to sequential ones.
+fn advance_rows(
+    ps: &ProfiledSeries,
+    chunk: &mut [PartialProfile],
+    chunk_start: usize,
+    new_l: usize,
+    policy: &ExclusionPolicy,
+    sub_mp: &mut [f64],
+    ip: &mut [usize],
+) -> AdvanceOut {
+    let mut out = AdvanceOut {
+        min_dist_abs: f64::INFINITY,
+        min_lb_abs: f64::INFINITY,
+        non_valid: Vec::new(),
+    };
+    for (k, prof) in chunk.iter_mut().enumerate() {
+        let j = chunk_start + k;
         let sigma_new = ps.std(j, new_l);
         let from_l = prof.current_l;
         let max_lb = prof.max_lb_at(sigma_new);
@@ -95,7 +107,7 @@ pub fn compute_sub_mp(
             if e.dist.is_infinite() {
                 continue; // invalidated at an earlier length — permanent
             }
-            match update_dist_and_lb(ps, e, j, from_l, new_l, &policy) {
+            match update_dist_and_lb(ps, e, j, from_l, new_l, policy) {
                 EntryState::Valid { dist } => {
                     if dist < min_dist {
                         min_dist = dist;
@@ -108,16 +120,104 @@ pub fn compute_sub_mp(
         prof.current_l = new_l;
         if min_dist <= max_lb {
             // Paper line 16: minDist is the true row minimum.
-            sub_mp[j] = min_dist;
-            ip[j] = ind;
-            if min_dist < min_dist_abs {
-                min_dist_abs = min_dist;
+            sub_mp[k] = min_dist;
+            ip[k] = ind;
+            if min_dist < out.min_dist_abs {
+                out.min_dist_abs = min_dist;
             }
         } else {
             // Paper lines 20–23: unknown row minimum, but it is ≥ maxLB.
-            min_lb_abs = min_lb_abs.min(max_lb);
-            non_valid.push((j, max_lb));
+            out.min_lb_abs = out.min_lb_abs.min(max_lb);
+            out.non_valid.push((j, max_lb));
         }
+    }
+    out
+}
+
+/// Advances all partial profiles to `new_l` and attempts to derive the
+/// motif of that length without recomputing the matrix profile
+/// (paper Algorithm 4). Sequential; see [`compute_sub_mp_threaded`].
+pub fn compute_sub_mp(
+    ps: &ProfiledSeries,
+    partials: &mut [PartialProfile],
+    new_l: usize,
+    policy: ExclusionPolicy,
+) -> SubMpResult {
+    compute_sub_mp_threaded(ps, partials, new_l, policy, 1)
+}
+
+/// [`compute_sub_mp`] with the first pass split across `threads` workers
+/// (0 = all available cores). Each chunk owns disjoint slices of
+/// `sub_mp`/`ip`/`partials` and reduces its own
+/// `minDistAbs`/`minLBAbs`/non-valid list; the reductions merge in row
+/// order, so the output is identical to the sequential pass. The
+/// last-chance refinement (paper lines 27–37) stays sequential — it touches
+/// few rows by construction.
+pub fn compute_sub_mp_threaded(
+    ps: &ProfiledSeries,
+    partials: &mut [PartialProfile],
+    new_l: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+) -> SubMpResult {
+    let ndp = ps.num_subsequences(new_l);
+    if ndp == 0 {
+        // No subsequences at this length: vacuously solved, nothing to do.
+        return SubMpResult {
+            found_motif: true,
+            sub_mp: Vec::new(),
+            ip: Vec::new(),
+            valid_rows: 0,
+            nonvalid_rows: 0,
+            recomputed_rows: 0,
+        };
+    }
+    if partials.len() < ndp {
+        // Not enough harvested profiles to certify anything (empty or
+        // truncated `listDP`): report every row unknown and force the
+        // driver's full-recomputation fallback instead of panicking.
+        return SubMpResult {
+            found_motif: false,
+            sub_mp: vec![f64::NAN; ndp],
+            ip: vec![usize::MAX; ndp],
+            valid_rows: 0,
+            nonvalid_rows: ndp,
+            recomputed_rows: 0,
+        };
+    }
+    let mut sub_mp = vec![f64::NAN; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    // The last-chance budget divides by `p`; derive it from the largest
+    // retained capacity so heterogeneous (or zero-capacity) profiles cannot
+    // inflate the budget or divide by zero.
+    let p = partials[..ndp].iter().map(|pr| pr.capacity()).max().unwrap_or(1);
+
+    let chunk_outs: Vec<AdvanceOut> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut mp_rest: &mut [f64] = &mut sub_mp;
+        let mut ip_rest: &mut [usize] = &mut ip;
+        let mut pr_rest: &mut [PartialProfile] = &mut partials[..ndp];
+        for (chunk_start, len) in row_chunks(ndp, threads) {
+            let (mp_chunk, mp_tail) = mp_rest.split_at_mut(len);
+            let (ip_chunk, ip_tail) = ip_rest.split_at_mut(len);
+            let (pr_chunk, pr_tail) = pr_rest.split_at_mut(len);
+            mp_rest = mp_tail;
+            ip_rest = ip_tail;
+            pr_rest = pr_tail;
+            handles.push(scope.spawn(move || {
+                advance_rows(ps, pr_chunk, chunk_start, new_l, &policy, mp_chunk, ip_chunk)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("sub-MP worker panicked")).collect()
+    });
+
+    let mut min_dist_abs = f64::INFINITY;
+    let mut min_lb_abs = f64::INFINITY;
+    let mut non_valid: Vec<(usize, f64)> = Vec::new();
+    for out in chunk_outs {
+        min_dist_abs = min_dist_abs.min(out.min_dist_abs);
+        min_lb_abs = min_lb_abs.min(out.min_lb_abs);
+        non_valid.extend(out.non_valid);
     }
 
     let valid_rows = ndp - non_valid.len();
@@ -239,6 +339,80 @@ mod tests {
         let res = compute_sub_mp(&ps, &mut state.partials, 51, policy);
         assert_eq!(res.sub_mp.len(), 200 - 51 + 1);
         assert_eq!(res.valid_rows + res.nonvalid_rows, res.sub_mp.len());
+    }
+
+    #[test]
+    fn threaded_first_pass_matches_sequential() {
+        let series = random_walk(400, 53);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let policy = ExclusionPolicy::HALF;
+        for threads in [1usize, 2, 3, 7, 16] {
+            // Fresh state per thread count: the advance mutates partials.
+            let mut seq = compute_matrix_profile(&ps, 24, 5, policy).unwrap();
+            let mut par = seq.clone();
+            for l in 25..=30 {
+                let a = compute_sub_mp(&ps, &mut seq.partials, l, policy);
+                let b = compute_sub_mp_threaded(&ps, &mut par.partials, l, policy, threads);
+                assert_eq!(a.found_motif, b.found_motif, "threads={threads} l={l}");
+                assert_eq!(a.valid_rows, b.valid_rows, "threads={threads} l={l}");
+                assert_eq!(a.nonvalid_rows, b.nonvalid_rows, "threads={threads} l={l}");
+                assert_eq!(a.recomputed_rows, b.recomputed_rows, "threads={threads} l={l}");
+                for (j, (&x, &y)) in a.sub_mp.iter().zip(&b.sub_mp).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "threads={threads} l={l} row {j}: {x} vs {y}"
+                    );
+                }
+                assert_eq!(a.ip, b.ip, "threads={threads} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_subsequences_is_vacuously_solved() {
+        let ps = ProfiledSeries::from_values(&random_walk(50, 3)).unwrap();
+        let mut partials: Vec<PartialProfile> = Vec::new();
+        let res = compute_sub_mp(&ps, &mut partials, 60, ExclusionPolicy::HALF);
+        assert!(res.found_motif);
+        assert!(res.sub_mp.is_empty());
+        assert_eq!(res.valid_rows + res.nonvalid_rows, 0);
+    }
+
+    #[test]
+    fn missing_partials_force_fallback_instead_of_panicking() {
+        let ps = ProfiledSeries::from_values(&random_walk(100, 5)).unwrap();
+        // Empty listDP: nothing can be certified.
+        let mut empty: Vec<PartialProfile> = Vec::new();
+        let res = compute_sub_mp(&ps, &mut empty, 20, ExclusionPolicy::HALF);
+        assert!(!res.found_motif);
+        assert_eq!(res.nonvalid_rows, res.sub_mp.len());
+        assert_eq!(res.valid_rows, 0);
+        assert!(res.sub_mp.iter().all(|d| d.is_nan()));
+        // Truncated listDP (fewer profiles than rows): same contract.
+        let mut state = compute_matrix_profile(&ps, 19, 3, ExclusionPolicy::HALF).unwrap();
+        state.partials.truncate(10);
+        let res = compute_sub_mp(&ps, &mut state.partials, 20, ExclusionPolicy::HALF);
+        assert!(!res.found_motif);
+        assert_eq!(res.valid_rows + res.nonvalid_rows, res.sub_mp.len());
+    }
+
+    #[test]
+    fn heterogeneous_capacities_use_the_largest_p() {
+        let ps = ProfiledSeries::from_values(&random_walk(200, 7)).unwrap();
+        let policy = ExclusionPolicy::HALF;
+        let mut state = compute_matrix_profile(&ps, 16, 4, policy).unwrap();
+        // Simulate a profile rebuilt with a different capacity: must not
+        // panic, and every known row must still be exact.
+        let sigma = ps.std(0, 16);
+        state.partials[0] = PartialProfile::new(0, 16, sigma, 9);
+        let res = compute_sub_mp(&ps, &mut state.partials, 17, policy);
+        assert_eq!(res.valid_rows + res.nonvalid_rows, res.sub_mp.len());
+        let oracle = stomp(&ps, 17, policy).unwrap();
+        for (j, &d) in res.sub_mp.iter().enumerate() {
+            if d.is_finite() {
+                assert!((d - oracle.mp[j]).abs() < 1e-6, "row {j}");
+            }
+        }
     }
 
     #[test]

@@ -11,9 +11,9 @@ use valmod_mp::exclusion::ExclusionPolicy;
 use valmod_mp::motif::MotifPair;
 use valmod_mp::ProfiledSeries;
 
-use crate::compute_mp::compute_matrix_profile;
+use crate::compute_mp::{compute_matrix_profile, compute_matrix_profile_parallel, MpWithProfiles};
 use crate::pairs::BestKPairs;
-use crate::sub_mp::compute_sub_mp;
+use crate::sub_mp::compute_sub_mp_threaded;
 use crate::valmp::Valmp;
 
 /// Configuration for a VALMOD run.
@@ -30,12 +30,23 @@ pub struct ValmodConfig {
     pub policy: ExclusionPolicy,
     /// Track the top-K pairs for motif-set discovery (0 = off).
     pub track_pairs: usize,
+    /// Worker threads for the profile computations (1 = sequential,
+    /// 0 = all available cores). Any thread count produces the same output
+    /// up to floating-point rounding at chunk seams (≤ ~1e-12).
+    pub threads: usize,
 }
 
 impl ValmodConfig {
     /// A configuration with the paper's defaults for the given range.
     pub fn new(l_min: usize, l_max: usize) -> Self {
-        ValmodConfig { l_min, l_max, p: 50, policy: ExclusionPolicy::HALF, track_pairs: 0 }
+        ValmodConfig {
+            l_min,
+            l_max,
+            p: 50,
+            policy: ExclusionPolicy::HALF,
+            track_pairs: 0,
+            threads: 1,
+        }
     }
 
     /// Sets `p`.
@@ -53,6 +64,12 @@ impl ValmodConfig {
     /// Enables top-K pair tracking (needed for motif sets).
     pub fn with_pair_tracking(mut self, k: usize) -> Self {
         self.track_pairs = k;
+        self
+    }
+
+    /// Sets the worker thread count (1 = sequential, 0 = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -142,12 +159,20 @@ pub fn valmod_on(ps: &ProfiledSeries, config: &ValmodConfig) -> Result<ValmodOut
     let ndp_min = ps.num_subsequences(config.l_min);
 
     let mut valmp = Valmp::new(ndp_min);
-    let mut tracker =
-        (config.track_pairs > 0).then(|| BestKPairs::new(config.track_pairs));
+    let mut tracker = (config.track_pairs > 0).then(|| BestKPairs::new(config.track_pairs));
     let mut per_length = Vec::with_capacity(config.l_max - config.l_min + 1);
 
-    // ℓ_min: full profile + harvest (Algorithm 1, line 5).
-    let mut state = compute_matrix_profile(ps, config.l_min, config.p, policy)?;
+    // ℓ_min: full profile + harvest (Algorithm 1, line 5). With one thread
+    // the classic row streamer runs (bitwise-stable baseline); otherwise the
+    // chunked kernel computes disjoint row ranges in parallel.
+    let full_profile = |l: usize| -> Result<MpWithProfiles> {
+        if config.threads == 1 {
+            compute_matrix_profile(ps, l, config.p, policy)
+        } else {
+            compute_matrix_profile_parallel(ps, l, config.p, policy, config.threads)
+        }
+    };
+    let mut state = full_profile(config.l_min)?;
     let improved = valmp.update(&state.profile.mp, &state.profile.ip, config.l_min);
     if let Some(t) = tracker.as_mut() {
         for &i in &improved {
@@ -166,7 +191,7 @@ pub fn valmod_on(ps: &ProfiledSeries, config: &ValmodConfig) -> Result<ValmodOut
 
     // Lengths ℓ_min+1 ..= ℓ_max (Algorithm 1, lines 7–16).
     for l in (config.l_min + 1)..=config.l_max {
-        let res = compute_sub_mp(ps, &mut state.partials, l, policy);
+        let res = compute_sub_mp_threaded(ps, &mut state.partials, l, policy, config.threads);
         let (mp_vals, ip_vals, method, known, valid, nonvalid, recomputed);
         if res.found_motif {
             method = if res.recomputed_rows > 0 {
@@ -181,11 +206,14 @@ pub fn valmod_on(ps: &ProfiledSeries, config: &ValmodConfig) -> Result<ValmodOut
             mp_vals = res.sub_mp;
             ip_vals = res.ip;
         } else {
-            // Fallback: recompute the full profile and re-harvest.
-            state = compute_matrix_profile(ps, l, config.p, policy)?;
+            // Fallback: recompute the full profile and re-harvest. The
+            // valid/non-valid split still describes the *first pass* that
+            // failed to certify the motif (so the two always sum to the row
+            // count); `known` reflects the recomputed, fully-known profile.
+            state = full_profile(l)?;
             method = LengthMethod::Fallback;
             known = state.profile.len();
-            valid = state.profile.len();
+            valid = res.valid_rows;
             nonvalid = res.nonvalid_rows;
             recomputed = 0;
             mp_vals = state.profile.mp.clone();
@@ -325,12 +353,99 @@ mod tests {
     }
 
     #[test]
+    fn row_accounting_is_consistent_for_every_method() {
+        // Regression: the fallback branch used to report
+        // `valid_rows = row count` while keeping the failed first pass's
+        // `nonvalid_rows`, making the two sum past the number of rows.
+        // This construction (random walk + noisy sine tail, small p)
+        // deterministically exercises every `LengthMethod` variant.
+        let mut values = random_walk(600, 1);
+        values.extend_from_slice(&valmod_data::generators::sine_mixture(
+            200,
+            &[(0.1, 3.0)],
+            0.4,
+            2,
+        ));
+        let n = values.len();
+        let series = Series::new(values).unwrap();
+        let cfg = ValmodConfig::new(16, 48).with_p(3);
+        let out = valmod(&series, &cfg).unwrap();
+        let mut seen_fallback = false;
+        for r in &out.per_length {
+            let rows = n - r.l + 1;
+            assert!(
+                r.valid_rows + r.nonvalid_rows <= rows,
+                "l={}: {} valid + {} nonvalid > {} rows ({:?})",
+                r.l,
+                r.valid_rows,
+                r.nonvalid_rows,
+                rows,
+                r.method
+            );
+            match r.method {
+                LengthMethod::FullProfile => {
+                    assert_eq!(r.nonvalid_rows, 0, "l={}", r.l);
+                    assert_eq!(r.valid_rows, rows, "l={}", r.l);
+                }
+                // The first pass classifies every row exactly once.
+                LengthMethod::SubMp | LengthMethod::SubMpRefined | LengthMethod::Fallback => {
+                    assert_eq!(r.valid_rows + r.nonvalid_rows, rows, "l={}", r.l);
+                }
+            }
+            if r.method == LengthMethod::Fallback {
+                seen_fallback = true;
+                assert_eq!(r.recomputed_rows, 0, "l={}", r.l);
+                assert_eq!(r.known_entries, rows, "l={}", r.l);
+            }
+        }
+        assert!(seen_fallback, "construction no longer reaches the fallback branch");
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         let series = Series::new(random_walk(100, 1)).unwrap();
         assert!(valmod(&series, &ValmodConfig::new(0, 10)).is_err());
         assert!(valmod(&series, &ValmodConfig::new(20, 10)).is_err());
         assert!(valmod(&series, &ValmodConfig::new(10, 20).with_p(0)).is_err());
         assert!(valmod(&series, &ValmodConfig::new(10, 200)).is_err()); // too long
+    }
+
+    #[test]
+    fn threads_do_not_change_the_output() {
+        // Random walk plus a flat stretch: the constant rows exercise the
+        // key-0 lower-bound path under chunking.
+        let mut values = random_walk(420, 109);
+        for v in &mut values[150..210] {
+            *v = 2.5;
+        }
+        let series = Series::new(values).unwrap();
+        let base = valmod(&series, &ValmodConfig::new(16, 40).with_p(4)).unwrap();
+        for threads in [2usize, 3, 7, 16, 0] {
+            let cfg = ValmodConfig::new(16, 40).with_p(4).with_threads(threads);
+            let par = valmod(&series, &cfg).unwrap();
+            assert_eq!(par.per_length.len(), base.per_length.len());
+            for (a, b) in base.per_length.iter().zip(&par.per_length) {
+                assert_eq!(a.l, b.l);
+                match (a.motif, b.motif) {
+                    (Some(x), Some(y)) => assert!(
+                        (x.dist - y.dist).abs() < 1e-7,
+                        "threads={threads} l={}: {} vs {}",
+                        a.l,
+                        x.dist,
+                        y.dist
+                    ),
+                    (None, None) => {}
+                    other => panic!("threads={threads} l={}: {:?}", a.l, other),
+                }
+            }
+            for (i, (&x, &y)) in
+                base.valmp.norm_distances.iter().zip(&par.valmp.norm_distances).enumerate()
+            {
+                if x.is_finite() || y.is_finite() {
+                    assert!((x - y).abs() < 1e-7, "threads={threads} slot {i}: {x} vs {y}");
+                }
+            }
+        }
     }
 
     #[test]

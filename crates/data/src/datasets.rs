@@ -35,7 +35,8 @@ pub enum Dataset {
 
 impl Dataset {
     /// All five datasets, in the paper's Table 1 order.
-    pub const ALL: [Dataset; 5] = [Dataset::Ecg, Dataset::Gap, Dataset::Astro, Dataset::Emg, Dataset::Eeg];
+    pub const ALL: [Dataset; 5] =
+        [Dataset::Ecg, Dataset::Gap, Dataset::Astro, Dataset::Emg, Dataset::Eeg];
 
     /// Short uppercase name as used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -82,9 +83,8 @@ pub fn ecg_like(n: usize, seed: u64) -> Series {
         let first = start as usize;
         for (i, o) in out.iter_mut().enumerate().take(end).skip(first) {
             let phase = (i as f64 - start) / period; // 0..1 within a beat
-            // P, Q, R, S, T components of a stylised heartbeat.
-            let v = 0.12 * bump(phase, 0.18, 0.025)
-                - 0.18 * bump(phase, 0.355, 0.008)
+                                                     // P, Q, R, S, T components of a stylised heartbeat.
+            let v = 0.12 * bump(phase, 0.18, 0.025) - 0.18 * bump(phase, 0.355, 0.008)
                 + 1.1 * bump(phase, 0.38, 0.012)
                 - 0.25 * bump(phase, 0.405, 0.009)
                 + 0.28 * bump(phase, 0.60, 0.045);

@@ -130,7 +130,8 @@ pub fn plant_motif(
     let mut pattern = Vec::with_capacity(motif_len);
     let mut p = 0.0;
     for i in 0..motif_len {
-        p += g.sample() + 3.0 * (2.0 * std::f64::consts::PI * 3.0 * i as f64 / motif_len as f64).cos();
+        p += g.sample()
+            + 3.0 * (2.0 * std::f64::consts::PI * 3.0 * i as f64 / motif_len as f64).cos();
         pattern.push(p);
     }
     // Evenly spread slots, jittered start inside each slot.
@@ -206,8 +207,8 @@ mod tests {
         let w = random_walk(1000, 3);
         assert_eq!(w.len(), 1000);
         // A random walk is almost surely not bounded by tight constants.
-        let range = w.iter().cloned().fold(f64::MIN, f64::max)
-            - w.iter().cloned().fold(f64::MAX, f64::min);
+        let range =
+            w.iter().cloned().fold(f64::MIN, f64::max) - w.iter().cloned().fold(f64::MAX, f64::min);
         assert!(range > 1.0);
     }
 

@@ -37,10 +37,7 @@ pub fn downsample(values: &[f64], factor: usize) -> Result<Vec<f64>> {
     if factor == 0 {
         return Err(DataError::InvalidParameter("downsample factor must be positive".into()));
     }
-    Ok(values
-        .chunks(factor)
-        .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64)
-        .collect())
+    Ok(values.chunks(factor).map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64).collect())
 }
 
 /// First differences `x[i+1] − x[i]` (length shrinks by one). Differencing

@@ -92,7 +92,13 @@ impl Series {
     pub fn summary(&self) -> SeriesSummary {
         let n = self.values.len();
         if n == 0 {
-            return SeriesSummary { min: f64::NAN, max: f64::NAN, mean: f64::NAN, std_dev: f64::NAN, len: 0 };
+            return SeriesSummary {
+                min: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
+                std_dev: f64::NAN,
+                len: 0,
+            };
         }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;

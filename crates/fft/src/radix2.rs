@@ -150,10 +150,7 @@ mod tests {
     fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch at {i}: {x:?} vs {y:?} (tol {tol})"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch at {i}: {x:?} vs {y:?} (tol {tol})");
         }
     }
 

@@ -86,9 +86,7 @@ pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Vec<f64> {
     if m == 0 || n < m {
         return Vec::new();
     }
-    (0..=n - m)
-        .map(|j| query.iter().zip(&series[j..j + m]).map(|(q, s)| q * s).sum())
-        .collect()
+    (0..=n - m).map(|j| query.iter().zip(&series[j..j + m]).map(|(q, s)| q * s).sum()).collect()
 }
 
 #[cfg(test)]
@@ -131,7 +129,8 @@ mod tests {
 
     #[test]
     fn sliding_dot_product_matches_naive_small() {
-        let series: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).cos() * 2.0 + i as f64 * 0.01).collect();
+        let series: Vec<f64> =
+            (0..50).map(|i| (i as f64 * 0.2).cos() * 2.0 + i as f64 * 0.01).collect();
         let query = &series[10..18];
         let fast = sliding_dot_product(query, &series);
         let slow = sliding_dot_product_naive(query, &series);
@@ -144,7 +143,8 @@ mod tests {
     #[test]
     fn sliding_dot_product_matches_naive_large() {
         // Large enough to take the FFT path.
-        let series: Vec<f64> = (0..4000).map(|i| ((i * 31 + 7) % 101) as f64 / 50.0 - 1.0).collect();
+        let series: Vec<f64> =
+            (0..4000).map(|i| ((i * 31 + 7) % 101) as f64 / 50.0 - 1.0).collect();
         let query = &series[1234..1234 + 257];
         let fast = sliding_dot_product(query, &series);
         let slow = sliding_dot_product_naive(query, &series);

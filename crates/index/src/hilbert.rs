@@ -159,8 +159,9 @@ mod tests {
     fn round_trip_higher_dims() {
         for dims in [3usize, 4, 8] {
             for seed in 0..200u32 {
-                let coords: Vec<u32> =
-                    (0..dims).map(|i| (seed.wrapping_mul(2654435761).rotate_left(i as u32 * 7)) & 0xF).collect();
+                let coords: Vec<u32> = (0..dims)
+                    .map(|i| (seed.wrapping_mul(2654435761).rotate_left(i as u32 * 7)) & 0xF)
+                    .collect();
                 let h = hilbert_index(&coords, 4);
                 assert_eq!(hilbert_coords(h, dims, 4), coords, "dims={dims} seed={seed}");
             }
@@ -188,8 +189,7 @@ mod tests {
         for h in 0..255u128 {
             let a = hilbert_coords(h, 2, 4);
             let b = hilbert_coords(h + 1, 2, 4);
-            let manhattan: u32 =
-                a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
+            let manhattan: u32 = a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
             assert_eq!(manhattan, 1, "h={h}: {a:?} -> {b:?}");
         }
     }

@@ -87,10 +87,7 @@ mod tests {
             let true_d = euclidean(&a, &b);
             for dims in [4usize, 8, 16] {
                 let lb = paa_dist(&paa(&a, dims), &paa(&b, dims), l);
-                assert!(
-                    lb <= true_d + 1e-9,
-                    "dims={dims} ({i},{j}): PAA {lb} exceeds ED {true_d}"
-                );
+                assert!(lb <= true_d + 1e-9, "dims={dims} ({i},{j}): PAA {lb} exceeds ED {true_d}");
             }
         }
     }

@@ -148,8 +148,7 @@ fn sort_by_hilbert(ids: &mut [NodeId], nodes: &[Node]) {
         .iter()
         .zip(ids.iter())
         .map(|(c, &id)| {
-            let coords: Vec<u32> =
-                (0..dims).map(|i| quantize(c[i], lo[i], hi[i], bits)).collect();
+            let coords: Vec<u32> = (0..dims).map(|i| quantize(c[i], lo[i], hi[i], bits)).collect();
             (hilbert_index(&coords, bits), id)
         })
         .collect();

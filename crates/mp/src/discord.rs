@@ -25,7 +25,7 @@ pub fn top_discords(profile: &MatrixProfile, k: usize) -> Vec<Discord> {
     let radius = profile.exclusion_radius;
     let mut suppressed = vec![false; ndp];
     let mut order: Vec<usize> = (0..ndp).filter(|&i| profile.mp[i].is_finite()).collect();
-    order.sort_by(|&x, &y| profile.mp[y].partial_cmp(&profile.mp[x]).unwrap());
+    order.sort_by(|&x, &y| profile.mp[y].total_cmp(&profile.mp[x]));
 
     let mut out = Vec::new();
     for &i in &order {

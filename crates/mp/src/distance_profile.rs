@@ -74,9 +74,7 @@ pub fn mass(query: &[f64], ps: &ProfiledSeries) -> Vec<f64> {
     let mean_q = query.iter().sum::<f64>() / l as f64;
     let var_q = query.iter().map(|&v| (v - mean_q) * (v - mean_q)).sum::<f64>() / l as f64;
     let std_q = var_q.sqrt();
-    (0..ndp)
-        .map(|j| dist_from_qt(qt[j], l, mean_q, std_q, ps.mean_c(j, l), ps.std(j, l)))
-        .collect()
+    (0..ndp).map(|j| dist_from_qt(qt[j], l, mean_q, std_q, ps.mean_c(j, l), ps.std(j, l))).collect()
 }
 
 /// Naive `O(nℓ)` distance profile — the oracle for the fast paths.
@@ -164,12 +162,8 @@ mod tests {
         let query = series[200..232].to_vec();
         let dp = mass(&query, &ps);
         assert_eq!(dp.len(), 500 - 32 + 1);
-        let (arg, min) = dp
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(j, &d)| (j, d))
-            .unwrap();
+        let (arg, min) =
+            dp.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(j, &d)| (j, d)).unwrap();
         assert_eq!(arg, 200);
         // Near-zero distances amplify FFT rounding through sqrt(2ℓ·ε).
         assert!(min < 1e-3, "self-match distance {min}");

@@ -68,10 +68,8 @@ mod tests {
     fn join_matches_naive_nearest_neighbours() {
         let a = random_walk(120, 1);
         let b = random_walk(150, 2);
-        let (pa, pb) = (
-            ProfiledSeries::from_values(&a).unwrap(),
-            ProfiledSeries::from_values(&b).unwrap(),
-        );
+        let (pa, pb) =
+            (ProfiledSeries::from_values(&a).unwrap(), ProfiledSeries::from_values(&b).unwrap());
         let l = 16;
         let join = ab_join(&pa, &pb, l).unwrap();
         for i in 0..join.len() {
@@ -90,10 +88,8 @@ mod tests {
         // Copy a window of B into A (an exact cross-series match).
         let template: Vec<f64> = b[100..148].to_vec();
         a[200..248].copy_from_slice(&template);
-        let (pa, pb) = (
-            ProfiledSeries::from_values(&a).unwrap(),
-            ProfiledSeries::from_values(&b).unwrap(),
-        );
+        let (pa, pb) =
+            (ProfiledSeries::from_values(&a).unwrap(), ProfiledSeries::from_values(&b).unwrap());
         let (i, j, d) = closest_cross_pair(&pa, &pb, 48).unwrap().unwrap();
         assert_eq!((i, j), (200, 100));
         assert!(d < 1e-3, "cross distance {d}");
@@ -103,10 +99,8 @@ mod tests {
     fn join_is_not_symmetric_but_min_is() {
         let a = random_walk(100, 5);
         let b = random_walk(140, 6);
-        let (pa, pb) = (
-            ProfiledSeries::from_values(&a).unwrap(),
-            ProfiledSeries::from_values(&b).unwrap(),
-        );
+        let (pa, pb) =
+            (ProfiledSeries::from_values(&a).unwrap(), ProfiledSeries::from_values(&b).unwrap());
         let ab = closest_cross_pair(&pa, &pb, 12).unwrap().unwrap();
         let ba = closest_cross_pair(&pb, &pa, 12).unwrap().unwrap();
         // The global closest pair is the same in both directions.

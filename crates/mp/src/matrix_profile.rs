@@ -79,7 +79,12 @@ mod tests {
 
     #[test]
     fn all_infinite_profile_has_no_motif() {
-        let p = MatrixProfile { l: 4, mp: vec![f64::INFINITY; 3], ip: vec![usize::MAX; 3], exclusion_radius: 2 };
+        let p = MatrixProfile {
+            l: 4,
+            mp: vec![f64::INFINITY; 3],
+            ip: vec![usize::MAX; 3],
+            exclusion_radius: 2,
+        };
         assert!(p.motif_pair().is_none());
         assert!(p.discord().is_none());
     }

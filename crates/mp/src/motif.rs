@@ -44,7 +44,7 @@ pub fn top_motifs(profile: &MatrixProfile, k: usize) -> Vec<MotifPair> {
     let mut suppressed = vec![false; ndp];
     // Candidates sorted ascending by distance.
     let mut order: Vec<usize> = (0..ndp).filter(|&i| profile.mp[i].is_finite()).collect();
-    order.sort_by(|&x, &y| profile.mp[x].partial_cmp(&profile.mp[y]).unwrap());
+    order.sort_by(|&x, &y| profile.mp[x].total_cmp(&profile.mp[y]));
 
     let mut out = Vec::with_capacity(k.min(8));
     for &i in &order {
@@ -123,12 +123,8 @@ mod tests {
 
     #[test]
     fn zero_k_returns_empty() {
-        let profile = MatrixProfile {
-            l: 4,
-            mp: vec![1.0, 2.0],
-            ip: vec![1, 0],
-            exclusion_radius: 1,
-        };
+        let profile =
+            MatrixProfile { l: 4, mp: vec![1.0, 2.0], ip: vec![1, 0], exclusion_radius: 1 };
         assert!(top_motifs(&profile, 0).is_empty());
     }
 }

@@ -6,6 +6,12 @@
 //! its chunk's first dot-product row with one FFT pass and then applies the
 //! `O(1)`-per-cell STOMP update within the chunk. Chunks own disjoint slices
 //! of the output, so no synchronisation is needed beyond the scoped join.
+//!
+//! The row streamer is exposed as [`stomp_rows`], a visitor-based kernel
+//! that hands each row's distance profile *and* dot-product vector to a
+//! closure. [`stomp_parallel`] folds each row to its minimum; `valmod-core`
+//! layers lower-bound harvesting on the same kernel without re-implementing
+//! the recurrence.
 
 use valmod_data::error::Result;
 
@@ -14,58 +20,67 @@ use crate::distance_profile::{dp_from_qt_into, profile_min, self_qt};
 use crate::exclusion::ExclusionPolicy;
 use crate::matrix_profile::MatrixProfile;
 
-/// Computes the matrix profile with `threads` workers (1 = sequential
-/// fallback identical to [`crate::stomp::stomp`]).
-pub fn stomp_parallel(
-    ps: &ProfiledSeries,
-    l: usize,
-    policy: ExclusionPolicy,
-    threads: usize,
-) -> Result<MatrixProfile> {
-    let ndp = ps.require_pairs(l)?;
-    let threads = threads.clamp(1, ndp);
-    let mut mp = vec![f64::INFINITY; ndp];
-    let mut ip = vec![usize::MAX; ndp];
-
-    // Contiguous row chunks; each worker owns matching slices of mp/ip.
-    let chunk_len = ndp.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut mp_rest: &mut [f64] = &mut mp;
-        let mut ip_rest: &mut [usize] = &mut ip;
-        let mut start = 0usize;
-        while start < ndp {
-            let len = chunk_len.min(ndp - start);
-            let (mp_chunk, mp_tail) = mp_rest.split_at_mut(len);
-            let (ip_chunk, ip_tail) = ip_rest.split_at_mut(len);
-            mp_rest = mp_tail;
-            ip_rest = ip_tail;
-            let chunk_start = start;
-            scope.spawn(move || {
-                compute_chunk(ps, l, &policy, chunk_start, mp_chunk, ip_chunk);
-            });
-            start += len;
-        }
-    });
-    Ok(MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) })
+/// Resolves a user-facing thread-count knob: `0` means "use all available
+/// cores" (falling back to 1 if the count cannot be queried).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
 }
 
-/// Computes rows `[chunk_start, chunk_start + mp_chunk.len())`.
-fn compute_chunk(
+/// Splits `ndp` rows into at most `threads` contiguous `(start, len)`
+/// chunks. Every chunk is non-empty and the chunks cover `[0, ndp)` in
+/// order; with `ndp` not divisible by the thread count the last chunk is
+/// short.
+pub fn row_chunks(ndp: usize, threads: usize) -> Vec<(usize, usize)> {
+    if ndp == 0 {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads).clamp(1, ndp);
+    let chunk_len = ndp.div_ceil(threads);
+    let mut chunks = Vec::with_capacity(threads);
+    let mut start = 0;
+    while start < ndp {
+        let len = chunk_len.min(ndp - start);
+        chunks.push((start, len));
+        start += len;
+    }
+    chunks
+}
+
+/// Streams rows `[row_start, row_start + row_len)` of the self-join distance
+/// matrix to `visit`, which receives `(row, distance_profile, qt)` where
+/// `qt[j] = ⟨T_row, T_j⟩` on the centered series.
+///
+/// The first row of the range is seeded with one FFT pass
+/// ([`self_qt`]); subsequent rows use the `O(1)`-per-cell STOMP update, with
+/// column 0 recovered by symmetry (`⟨T_i, T_0⟩ = ⟨T_0, T_i⟩`, a direct
+/// `O(ℓ)` dot product) so chunks never need each other's state. The caller
+/// must have validated `l` (e.g. via [`ProfiledSeries::require_pairs`]) and
+/// `row_start + row_len <= ndp`.
+pub fn stomp_rows<F>(
     ps: &ProfiledSeries,
     l: usize,
     policy: &ExclusionPolicy,
-    chunk_start: usize,
-    mp_chunk: &mut [f64],
-    ip_chunk: &mut [usize],
-) {
+    row_start: usize,
+    row_len: usize,
+    mut visit: F,
+) where
+    F: FnMut(usize, &[f64], &[f64]),
+{
+    if row_len == 0 {
+        return;
+    }
     let ndp = ps.num_subsequences(l);
+    debug_assert!(row_start + row_len <= ndp);
     let t = ps.centered();
-    // Seed: the full dot-product vector of the chunk's first row (FFT).
-    let mut qt = self_qt(ps, chunk_start, l);
+    // Seed: the full dot-product vector of the range's first row (FFT).
+    let mut qt = self_qt(ps, row_start, l);
     let mut dp = Vec::with_capacity(ndp);
-    for (k, (mp_out, ip_out)) in mp_chunk.iter_mut().zip(ip_chunk.iter_mut()).enumerate() {
-        let i = chunk_start + k;
-        if k > 0 {
+    for i in row_start..row_start + row_len {
+        if i > row_start {
             // STOMP update, descending j (paper Alg. 3 lines 10–12).
             for j in (1..ndp).rev() {
                 qt[j] = qt[j - 1] - t[i - 1] * t[j - 1] + t[i + l - 1] * t[j + l - 1];
@@ -76,17 +91,49 @@ fn compute_chunk(
             qt[0] = t[0..l].iter().zip(&t[i..i + l]).map(|(a, b)| a * b).sum();
         }
         dp_from_qt_into(ps, &qt, i, l, policy, &mut dp);
-        match profile_min(&dp) {
-            Some((j, d)) => {
-                *mp_out = d;
-                *ip_out = j;
-            }
-            None => {
-                *mp_out = f64::INFINITY;
-                *ip_out = usize::MAX;
-            }
-        }
+        visit(i, &dp, &qt);
     }
+}
+
+/// Computes the matrix profile with `threads` workers (1 = sequential
+/// fallback identical to [`crate::stomp::stomp`]; 0 = all available cores).
+pub fn stomp_parallel(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+) -> Result<MatrixProfile> {
+    let ndp = ps.require_pairs(l)?;
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+
+    // Contiguous row chunks; each worker owns matching slices of mp/ip.
+    std::thread::scope(|scope| {
+        let mut mp_rest: &mut [f64] = &mut mp;
+        let mut ip_rest: &mut [usize] = &mut ip;
+        for (chunk_start, len) in row_chunks(ndp, threads) {
+            let (mp_chunk, mp_tail) = mp_rest.split_at_mut(len);
+            let (ip_chunk, ip_tail) = ip_rest.split_at_mut(len);
+            mp_rest = mp_tail;
+            ip_rest = ip_tail;
+            scope.spawn(move || {
+                stomp_rows(ps, l, &policy, chunk_start, len, |i, dp, _qt| {
+                    let k = i - chunk_start;
+                    match profile_min(dp) {
+                        Some((j, d)) => {
+                            mp_chunk[k] = d;
+                            ip_chunk[k] = j;
+                        }
+                        None => {
+                            mp_chunk[k] = f64::INFINITY;
+                            ip_chunk[k] = usize::MAX;
+                        }
+                    }
+                });
+            });
+        }
+    });
+    Ok(MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) })
 }
 
 #[cfg(test)]
@@ -129,5 +176,44 @@ mod tests {
     #[test]
     fn single_thread_is_the_sequential_algorithm() {
         check(200, 16, 1, 9);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        check(120, 12, 0, 13);
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn row_chunks_cover_exactly_once() {
+        for (ndp, threads) in [(10, 3), (7, 7), (5, 16), (1, 1), (100, 7), (0, 4)] {
+            let chunks = row_chunks(ndp, threads);
+            let mut next = 0;
+            for &(start, len) in &chunks {
+                assert_eq!(start, next);
+                assert!(len > 0);
+                next += len;
+            }
+            assert_eq!(next, ndp);
+        }
+    }
+
+    #[test]
+    fn visitor_sees_each_row_once_with_qt() {
+        let ps = ProfiledSeries::from_values(&random_walk(80, 2)).unwrap();
+        let l = 8;
+        let t = ps.centered();
+        let mut rows = Vec::new();
+        stomp_rows(&ps, l, &ExclusionPolicy::HALF, 3, 5, |i, dp, qt| {
+            rows.push(i);
+            assert_eq!(dp.len(), qt.len());
+            // qt really is the dot-product row of the centered series.
+            for (j, &q) in qt.iter().enumerate().step_by(17) {
+                let direct: f64 = t[i..i + l].iter().zip(&t[j..j + l]).map(|(a, b)| a * b).sum();
+                assert!((q - direct).abs() < 1e-6, "qt[{j}] at row {i}");
+            }
+        });
+        assert_eq!(rows, vec![3, 4, 5, 6, 7]);
     }
 }

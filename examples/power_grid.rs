@@ -38,8 +38,7 @@ fn main() {
 
     // Expand pairs into motif sets with radius factor D = 3 (paper Fig. 15
     // explores D ∈ [2, 6]).
-    let (sets, stats) =
-        compute_var_length_motif_sets(&ps, best_pairs, 3.0, ExclusionPolicy::HALF);
+    let (sets, stats) = compute_var_length_motif_sets(&ps, best_pairs, 3.0, ExclusionPolicy::HALF);
     println!(
         "\nmotif sets (D = 3): {} sets; {} expansions served from snapshots, {} recomputed",
         sets.len(),
@@ -67,6 +66,10 @@ fn main() {
         let start = std::time::Instant::now();
         let (sets, _) = compute_var_length_motif_sets(&ps, best_pairs, d, ExclusionPolicy::HALF);
         let freq: Vec<usize> = sets.iter().map(|s| s.frequency()).collect();
-        println!("  D = {d}: frequencies {:?} ({:.3} ms)", freq, start.elapsed().as_secs_f64() * 1e3);
+        println!(
+            "  D = {d}: frequencies {:?} ({:.3} ms)",
+            freq,
+            start.elapsed().as_secs_f64() * 1e3
+        );
     }
 }

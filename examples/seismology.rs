@@ -54,10 +54,8 @@ fn main() {
         best.a, best.b, best.l, best.dist
     );
     let near = |x: usize, target: usize| x.abs_diff(target) <= 360;
-    let hits = [2_500usize, 9_100, 15_800]
-        .iter()
-        .filter(|&&t| near(best.a, t) || near(best.b, t))
-        .count();
+    let hits =
+        [2_500usize, 9_100, 15_800].iter().filter(|&&t| near(best.a, t) || near(best.b, t)).count();
     println!("  -> overlaps {hits} of the planted event times");
 
     // 2. Cross-station confirmation: AB-join the template region of A
@@ -66,9 +64,8 @@ fn main() {
     let pa = ProfiledSeries::new(&template_region);
     let pb = ProfiledSeries::new(&Series::new(station_b).unwrap());
     let l = best.l.min(280);
-    let (ia, ib, d) = closest_cross_pair(&pa, &pb, l)
-        .expect("join runs")
-        .expect("a closest pair exists");
+    let (ia, ib, d) =
+        closest_cross_pair(&pa, &pb, l).expect("join runs").expect("a closest pair exists");
     println!(
         "cross-station join (length {l}): template offset {ia} matches station B at {ib} (dist {d:.4})"
     );

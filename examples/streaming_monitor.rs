@@ -24,7 +24,7 @@ fn main() {
     // distance is far above what the history considers normal.
     let baseline = monitor.profile();
     let mut finite: Vec<f64> = baseline.mp.iter().copied().filter(|d| d.is_finite()).collect();
-    finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    finite.sort_by(f64::total_cmp);
     let p99 = finite[(finite.len() * 99) / 100];
     let threshold = p99 * 1.25;
     println!(

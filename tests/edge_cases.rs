@@ -28,7 +28,7 @@ fn flat_regions_inside_noisy_data_do_not_poison_results() {
     // The flat-vs-flat pairs are distance 0 and legitimately win; results
     // must be finite and exact vs STOMP.
     let ps = ProfiledSeries::new(&series);
-    let oracle = stomp_range(&ps, 24, 30, ExclusionPolicy::HALF).unwrap();
+    let oracle = stomp_range(&ps, 24, 30, ExclusionPolicy::HALF, 1).unwrap();
     for (k, r) in out.per_length.iter().enumerate() {
         let (m, o) = (r.motif.unwrap(), oracle[k].unwrap());
         assert!((m.dist - o.dist).abs() < 1e-6, "l={}: {} vs {}", r.l, m.dist, o.dist);
@@ -105,14 +105,9 @@ fn single_sample_step_range_is_consistent_with_wide_ranges() {
     let whole = valmod(&series, &ValmodConfig::new(20, 26).with_p(4)).unwrap();
     let lo = valmod(&series, &ValmodConfig::new(20, 23).with_p(4)).unwrap();
     let hi = valmod(&series, &ValmodConfig::new(24, 26).with_p(4)).unwrap();
-    let combined: Vec<f64> = lo
-        .per_length
-        .iter()
-        .chain(hi.per_length.iter())
-        .map(|r| r.motif.unwrap().dist)
-        .collect();
-    let whole_dists: Vec<f64> =
-        whole.per_length.iter().map(|r| r.motif.unwrap().dist).collect();
+    let combined: Vec<f64> =
+        lo.per_length.iter().chain(hi.per_length.iter()).map(|r| r.motif.unwrap().dist).collect();
+    let whole_dists: Vec<f64> = whole.per_length.iter().map(|r| r.motif.unwrap().dist).collect();
     for (a, b) in whole_dists.iter().zip(&combined) {
         assert!((a - b).abs() < 1e-6);
     }

@@ -27,7 +27,7 @@ fn all_five_algorithms_agree_on_every_dataset() {
 
         let valmod_out =
             valmod_on(&ps, &ValmodConfig::new(L_MIN, L_MAX).with_p(6)).expect("valmod runs");
-        let stomp_out = stomp_range(&ps, L_MIN, L_MAX, policy).expect("stomp runs");
+        let stomp_out = stomp_range(&ps, L_MIN, L_MAX, policy, 1).expect("stomp runs");
         let moen_out =
             moen(&ps, L_MIN, L_MAX, policy, std::time::Duration::MAX).expect("moen runs");
 
@@ -45,10 +45,8 @@ fn all_five_algorithms_agree_on_every_dataset() {
                     .expect("finds a motif")
                     .dist;
                 agree(q, s, &format!("{name} QUICKMOTIF vs STOMP"));
-                let b = brute_force_motif(&ps, l, policy)
-                    .expect("runs")
-                    .expect("finds a motif")
-                    .dist;
+                let b =
+                    brute_force_motif(&ps, l, policy).expect("runs").expect("finds a motif").dist;
                 agree(b, s, &format!("{name} BRUTE vs STOMP"));
             }
         }
@@ -84,18 +82,10 @@ fn exclusion_policy_ablation_preserves_exactness() {
     let series = Dataset::Ecg.generate(700, 13);
     let ps = ProfiledSeries::new(&series);
     let policy = ExclusionPolicy::QUARTER;
-    let out = valmod_on(
-        &ps,
-        &ValmodConfig::new(24, 30).with_p(5).with_policy(policy),
-    )
-    .unwrap();
-    let oracle = stomp_range(&ps, 24, 30, policy).unwrap();
+    let out = valmod_on(&ps, &ValmodConfig::new(24, 30).with_p(5).with_policy(policy)).unwrap();
+    let oracle = stomp_range(&ps, 24, 30, policy, 1).unwrap();
     for (k, r) in out.per_length.iter().enumerate() {
-        agree(
-            r.motif.unwrap().dist,
-            oracle[k].unwrap().dist,
-            &format!("quarter-zone l={}", r.l),
-        );
+        agree(r.motif.unwrap().dist, oracle[k].unwrap().dist, &format!("quarter-zone l={}", r.l));
     }
 }
 
@@ -111,6 +101,27 @@ fn larger_p_never_changes_results_only_work() {
     for w in dists.windows(2) {
         for (a, b) in w[0].iter().zip(&w[1]) {
             agree(*a, *b, "p-sweep");
+        }
+    }
+}
+
+#[test]
+fn thread_counts_never_change_results_only_wall_clock() {
+    // 877 rows at l_min = 24 (prime ndp): no thread count in the sweep
+    // divides it, so every chunking has a short tail chunk. p = 1 keeps the
+    // heaps tiny, stressing the non-valid path and last-chance refinement
+    // under the threaded first pass.
+    let series = Dataset::Emg.generate(N, 7);
+    let ps = ProfiledSeries::new(&series);
+    for p in [1usize, 6] {
+        let base = valmod_on(&ps, &ValmodConfig::new(L_MIN, L_MAX).with_p(p)).unwrap();
+        for threads in [2usize, 3, 7, 16] {
+            let cfg = ValmodConfig::new(L_MIN, L_MAX).with_p(p).with_threads(threads);
+            let out = valmod_on(&ps, &cfg).unwrap();
+            for (a, b) in base.per_length.iter().zip(&out.per_length) {
+                let (x, y) = (a.motif.unwrap().dist, b.motif.unwrap().dist);
+                assert!((x - y).abs() < 1e-7, "p={p} threads={threads} l={}: {x} vs {y}", a.l);
+            }
         }
     }
 }

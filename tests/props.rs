@@ -5,21 +5,33 @@ use valmod_core::lb::{lb_base, lb_scale};
 use valmod_core::valmod::{valmod_on, ValmodConfig};
 use valmod_data::generators::{random_walk, sine_mixture};
 use valmod_mp::distance::{length_normalize, zdist_naive};
+use valmod_mp::parallel::stomp_parallel;
 use valmod_mp::stomp::stomp;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
 /// A small family of structured-plus-noise series parameterised by seed.
+/// Kind 3 embeds a flat (constant) stretch, which drives σ = 0 rows through
+/// the key-0 lower-bound path.
 fn make_series(kind: u8, n: usize, seed: u64) -> Vec<f64> {
-    match kind % 3 {
+    match kind % 4 {
         0 => random_walk(n, seed),
         1 => sine_mixture(n, &[(0.02, 1.0), (0.07, 0.5)], 0.1, seed),
-        _ => {
+        2 => {
             // Random walk with a planted repetition.
             let mut v = random_walk(n, seed);
             let l = n / 8;
             let (src, dst) = (n / 10, n / 2);
             let pattern: Vec<f64> = v[src..src + l].to_vec();
             v[dst..dst + l].copy_from_slice(&pattern);
+            v
+        }
+        _ => {
+            // Random walk with a flat stretch in the middle.
+            let mut v = random_walk(n, seed);
+            let flat = v[n / 3];
+            for x in &mut v[n / 3..n / 3 + n / 5] {
+                *x = flat;
+            }
             v
         }
     }
@@ -88,6 +100,66 @@ proptest! {
                     prop_assert!((m.dist - d).abs() < 1e-6, "l={}: {} vs {d}", r.l, m.dist),
                 (None, None) => {}
                 other => prop_assert!(false, "presence mismatch at l={}: {:?}", r.l, other.0),
+            }
+        }
+    }
+
+    /// The chunked parallel STOMP kernel agrees with the sequential row
+    /// streamer for arbitrary series (including flat stretches, which
+    /// exercise the zero-σ distance convention) and arbitrary thread counts
+    /// — in particular counts that do not divide the row count.
+    #[test]
+    fn stomp_parallel_matches_sequential(kind in 0u8..4, seed in 0u64..500,
+                                         threads in 1usize..17) {
+        let series = make_series(kind, 280, seed);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let l = 16usize;
+        let seq = stomp(&ps, l, ExclusionPolicy::HALF).unwrap();
+        let par = stomp_parallel(&ps, l, ExclusionPolicy::HALF, threads).unwrap();
+        prop_assert_eq!(seq.len(), par.len());
+        for i in 0..seq.len() {
+            if seq.mp[i].is_infinite() || par.mp[i].is_infinite() {
+                prop_assert_eq!(seq.mp[i].is_infinite(), par.mp[i].is_infinite(),
+                    "row {} (threads={})", i, threads);
+            } else {
+                // d = sqrt(2l(1-q)): near d = 0 the square root turns an
+                // O(1e-15) dot-product rounding difference into O(1e-7), so
+                // compare squared distances there instead.
+                let close = (seq.mp[i] - par.mp[i]).abs() < 1e-7
+                    || (seq.mp[i] * seq.mp[i] - par.mp[i] * par.mp[i]).abs() < 1e-10;
+                prop_assert!(close,
+                    "row {i} (threads={threads}): {} vs {}", seq.mp[i], par.mp[i]);
+            }
+        }
+    }
+
+    /// Parallel VALMOD (chunked harvest + threaded sub-MP advance) agrees
+    /// with the sequential driver on random walks and flat-stretch series.
+    #[test]
+    fn parallel_valmod_matches_sequential(kind in 0u8..4, seed in 0u64..500,
+                                          threads in 2usize..17) {
+        let series = make_series(kind, 260, seed);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let seq = valmod_on(&ps, &ValmodConfig::new(14, 20).with_p(3)).unwrap();
+        let par = valmod_on(&ps, &ValmodConfig::new(14, 20).with_p(3).with_threads(threads))
+            .unwrap();
+        prop_assert_eq!(seq.per_length.len(), par.per_length.len());
+        // Near-zero distances amplify dot-product rounding through the
+        // square root; fall back to squared-distance comparison there.
+        let close = |x: f64, y: f64| (x - y).abs() < 1e-7 || (x * x - y * y).abs() < 1e-10;
+        for (a, b) in seq.per_length.iter().zip(&par.per_length) {
+            match (a.motif, b.motif) {
+                (Some(x), Some(y)) => prop_assert!(close(x.dist, y.dist),
+                    "threads={} l={}: {} vs {}", threads, a.l, x.dist, y.dist),
+                (None, None) => {}
+                other => prop_assert!(false, "threads={} l={}: {:?}", threads, a.l, other.0),
+            }
+        }
+        for (i, (&x, &y)) in
+            seq.valmp.norm_distances.iter().zip(&par.valmp.norm_distances).enumerate()
+        {
+            if x.is_finite() || y.is_finite() {
+                prop_assert!(close(x, y), "threads={threads} slot {i}: {x} vs {y}");
             }
         }
     }

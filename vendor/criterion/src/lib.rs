@@ -1,0 +1,256 @@
+//! Offline mini-criterion.
+//!
+//! The build container has no network access to crates.io, so this vendored
+//! crate provides the subset of the `criterion` API the workspace's benches
+//! use: `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — a timed warm-up, then
+//! `sample_size` timed samples whose median/min/max are printed — because
+//! the workspace's speed-up claims are ratios between variants measured by
+//! the same harness, not absolute statistics. Passing `--test` (as
+//! `cargo test --benches` does) runs every benchmark exactly once, so CI
+//! checks that the bench code stays alive without paying for measurement.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export: benches may use `criterion::black_box` or `std::hint`'s.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost (mirror of Criterion's enum; the
+/// mini harness runs one routine call per setup either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (cloned fresh for every call).
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, one call per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let runs = if self.test_mode { 1 } else { self.sample_size + 1 };
+        for i in 0..runs {
+            let start = Instant::now();
+            std_black_box(routine());
+            let elapsed = start.elapsed();
+            if i > 0 || self.test_mode {
+                self.samples.push(elapsed);
+            }
+            // First sample doubles as warm-up in measurement mode.
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let runs = if self.test_mode { 1 } else { self.sample_size + 1 };
+        for i in 0..runs {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            let elapsed = start.elapsed();
+            if i > 0 || self.test_mode {
+                self.samples.push(elapsed);
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Registers and runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("test {full} ... ok");
+            return;
+        }
+        samples.sort_unstable();
+        if samples.is_empty() {
+            println!("{full:<56} (no samples)");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "{full:<56} median {:>12?}   [min {:>12?}  max {:>12?}]  ({} samples)",
+            median,
+            lo,
+            hi,
+            samples.len()
+        );
+    }
+
+    /// Finishes the group (separator line in the report).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level handle (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Same CLI contract cargo uses for criterion benches: an optional
+        // positional substring filter, `--test` to run once without timing
+        // (cargo test --benches), and `--bench` (passed by cargo bench).
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("ecg").to_string(), "ecg");
+    }
+
+    #[test]
+    fn groups_run_their_closures() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).bench_function("a", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("b", 1), &7, |b, &x| {
+                b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1); // test mode: exactly one call
+    }
+}

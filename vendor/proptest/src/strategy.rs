@@ -1,0 +1,144 @@
+//! Input-generation strategies for the mini-proptest.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type (mirror of
+/// `proptest::strategy::Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let r = (rng.next_u64() as u128) % span;
+                (*self.start() as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        // Interpolate instead of scaling a width: immune to overflow for
+        // spans like -1e300..1e300.
+        let u = rng.next_unit_f64();
+        self.start * (1.0 - u) + self.end * u
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let u = rng.next_unit_f64();
+        self.start() * (1.0 - u) + self.end() * u
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (0usize..=0).generate(&mut rng);
+            assert_eq!(w, 0);
+            let x = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..500 {
+            let v = (-1e3..1e3f64).generate(&mut rng);
+            assert!(v.is_finite() && (-1e3..1e3).contains(&v));
+            let huge = (-1e300..1e300f64).generate(&mut rng);
+            assert!(huge.is_finite());
+        }
+    }
+
+    #[test]
+    fn tuples_and_vecs_compose() {
+        let mut rng = TestRng::new(3);
+        let strat = crate::collection::vec((0.0..1.0f64, 1u8..3), 2..5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (f, i) in v {
+                assert!((0.0..1.0).contains(&f));
+                assert!((1..3).contains(&i));
+            }
+        }
+    }
+}

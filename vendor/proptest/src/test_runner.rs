@@ -1,0 +1,127 @@
+//! Case runner and deterministic PRNG for the mini-proptest.
+
+/// Per-test configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Seed mixed into every case's PRNG; change to explore other inputs.
+    pub seed: u64,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, seed: 0x9e37_79b9_7f4a_7c15 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed; the test panics with this message.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`; a fresh case is drawn.
+    Reject,
+}
+
+/// SplitMix64: tiny, statistically solid, and fully deterministic.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs `body` until `config.cases` cases succeed, panicking on the first
+/// failure. Rejected cases (`prop_assume!`) are retried with fresh inputs,
+/// up to a global attempt cap.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    body: impl Fn(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(64);
+    let mut successes = 0u32;
+    for attempt in 0..max_attempts {
+        if successes >= config.cases {
+            return;
+        }
+        // Distinct, deterministic stream per case; independent of ordering.
+        let mut rng = TestRng::new(config.seed ^ (attempt.wrapping_mul(0xa076_1d64_78bd_642f)));
+        match body(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest `{test_name}` failed at case #{attempt} (seed {:#x}): {msg}",
+                config.seed ^ (attempt.wrapping_mul(0xa076_1d64_78bd_642f)),
+            ),
+        }
+    }
+    panic!(
+        "proptest `{test_name}`: only {successes}/{} cases succeeded within {max_attempts} \
+         attempts (too many prop_assume! rejections)",
+        config.cases
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let (mut a, mut b) = (TestRng::new(42), TestRng::new(42));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let u = rng.next_unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        run_cases(&ProptestConfig::with_cases(4), "t", |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_assume")]
+    fn everlasting_rejection_panics() {
+        run_cases(&ProptestConfig::with_cases(4), "t", |_| Err(TestCaseError::Reject));
+    }
+}
