@@ -1,0 +1,61 @@
+//! Microbench: the serve layer's query path — a cold VALMOD computation
+//! through the engine's queue/worker machinery versus a cache hit answered
+//! at admission. The gap is the whole point of the service layer: repeated
+//! interactive queries should cost microseconds, not the full kernel.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use valmod_data::datasets::Dataset;
+use valmod_mp::ExclusionPolicy;
+use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+
+const N: usize = 1_500;
+
+fn spec(name: &str) -> QuerySpec {
+    QuerySpec {
+        series: name.into(),
+        kind: QueryKind::Motifs { top: 3 },
+        l_min: 32,
+        l_max: 44,
+        p: 8,
+        policy: ExclusionPolicy::HALF,
+        deadline: None,
+    }
+}
+
+fn bench_engine_query(c: &mut Criterion) {
+    let series = Dataset::Ecg.generate(N, 1).values().to_vec();
+
+    let mut group = c.benchmark_group("serve_query");
+    group.sample_size(10);
+
+    // Cold: cache disabled, every query runs the full VALMOD kernel behind
+    // the queue — queue + snapshot + compute + encode.
+    let cold = QueryEngine::new(EngineConfig { cache_bytes: 0, ..EngineConfig::default() });
+    cold.load("ecg", series.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+    group.bench_function("cold", |b| b.iter(|| black_box(cold.query(spec("ecg")).unwrap())));
+
+    // Cached: the same query answered from the result cache at admission,
+    // without consuming a queue slot.
+    let cached = QueryEngine::new(EngineConfig::default());
+    cached.load("ecg", series.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+    let warm = cached.query(spec("ecg")).unwrap();
+    assert!(!warm.cached);
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let out = cached.query(spec("ecg")).unwrap();
+            debug_assert!(out.cached);
+            black_box(out)
+        })
+    });
+
+    group.finish();
+    cold.shutdown();
+    cold.join();
+    cached.shutdown();
+    cached.join();
+}
+
+criterion_group!(benches, bench_engine_query);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Service-layer baseline: cold vs cached query latency over real loopback
+//! TCP, and cache-hit throughput under 1/4/8 concurrent clients.
+//!
+//! Prints a table and records `target/experiments/bench_serve.json` so
+//! later PRs can compare scheduler or cache changes against this PR's
+//! numbers (the committed copy lives at `docs/baselines/bench_serve.json`).
+
+use std::time::Instant;
+
+use valmod_bench::report::Report;
+use valmod_data::datasets::Dataset;
+use valmod_mp::ExclusionPolicy;
+use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+use valmod_serve::{Client, Server, Value};
+
+const N: usize = 4_000;
+const COLD_SAMPLES: usize = 8;
+const CACHED_SAMPLES: usize = 200;
+const QUERIES_PER_CLIENT: usize = 200;
+
+fn spec(l_min: usize, l_max: usize) -> QuerySpec {
+    QuerySpec {
+        series: "ecg".into(),
+        kind: QueryKind::Motifs { top: 3 },
+        l_min,
+        l_max,
+        p: 8,
+        policy: ExclusionPolicy::HALF,
+        deadline: None,
+    }
+}
+
+#[derive(Debug)]
+struct LatencyStats {
+    mean_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+    samples: usize,
+}
+
+fn summarize(samples: &[f64]) -> LatencyStats {
+    let sum: f64 = samples.iter().sum();
+    LatencyStats {
+        mean_ms: sum / samples.len() as f64,
+        min_ms: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_ms: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        samples: samples.len(),
+    }
+}
+
+fn latency_json(s: &LatencyStats) -> Value {
+    Value::obj(vec![
+        ("mean_ms", s.mean_ms.into()),
+        ("min_ms", s.min_ms.into()),
+        ("max_ms", s.max_ms.into()),
+        ("samples", s.samples.into()),
+    ])
+}
+
+fn main() {
+    let mut report = Report::new("bench_serve", &["metric", "clients", "value_ms_or_qps"]);
+    report.headline(&format!("serve layer: cold vs cached latency over loopback TCP (n={N})"));
+
+    let engine =
+        QueryEngine::new(EngineConfig { workers: 4, queue_depth: 64, ..EngineConfig::default() });
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    let series = Dataset::Ecg.generate(N, 1).values().to_vec();
+    let mut client = Client::connect(addr).expect("connect");
+    client.load("ecg", series, vec![], false).expect("load");
+
+    // Cold latency: each query uses a distinct length range, so every one
+    // misses the cache and runs the full kernel.
+    let mut cold = Vec::with_capacity(COLD_SAMPLES);
+    for i in 0..COLD_SAMPLES {
+        let start = Instant::now();
+        let resp = client.query(spec(32 + i, 44 + i)).expect("cold query");
+        assert_eq!(resp.cached, Some(false));
+        cold.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let cold = summarize(&cold);
+
+    // Cached latency: the same query repeated — answered at admission from
+    // the result cache, so this measures protocol + cache overhead.
+    client.query(spec(32, 44)).ok(); // ensure it is resident
+    let mut cached = Vec::with_capacity(CACHED_SAMPLES);
+    for _ in 0..CACHED_SAMPLES {
+        let start = Instant::now();
+        let resp = client.query(spec(32, 44)).expect("cached query");
+        assert_eq!(resp.cached, Some(true));
+        cached.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let cached = summarize(&cached);
+
+    report.line(&format!(
+        "cold   mean {:>9.3} ms  (min {:.3}, max {:.3}, {} samples)",
+        cold.mean_ms, cold.min_ms, cold.max_ms, cold.samples
+    ));
+    report.line(&format!(
+        "cached mean {:>9.3} ms  (min {:.3}, max {:.3}, {} samples)",
+        cached.mean_ms, cached.min_ms, cached.max_ms, cached.samples
+    ));
+    report.csv_row(&["cold_mean".into(), "1".into(), format!("{:.6}", cold.mean_ms)]);
+    report.csv_row(&["cached_mean".into(), "1".into(), format!("{:.6}", cached.mean_ms)]);
+
+    // Concurrent cache-hit throughput: C clients hammer the same cached
+    // query; wall-clock over total queries gives queries/second.
+    let mut concurrency = Vec::new();
+    for clients in [1usize, 4, 8] {
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for _ in 0..QUERIES_PER_CLIENT {
+                        let resp = c.query(spec(32, 44)).expect("query");
+                        assert_eq!(resp.cached, Some(true));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let total = clients * QUERIES_PER_CLIENT;
+        let qps = total as f64 / wall;
+        report.line(&format!(
+            "{clients} client(s): {total:>5} cached queries in {:>7.1} ms  ({qps:>9.0} q/s)",
+            wall * 1e3
+        ));
+        report.csv_row(&["cached_qps".into(), clients.to_string(), format!("{qps:.1}")]);
+        concurrency.push(Value::obj(vec![
+            ("clients", clients.into()),
+            ("total_queries", total.into()),
+            ("wall_ms", (wall * 1e3).into()),
+            ("qps", qps.into()),
+        ]));
+    }
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server joins");
+
+    // JSON baseline (encoded with the serve crate's own Value writer).
+    let json = Value::obj(vec![
+        ("n", N.into()),
+        ("query", Value::str("motifs top=3 l=32..44 p=8")),
+        ("workers", 4usize.into()),
+        ("cold", latency_json(&cold)),
+        ("cached", latency_json(&cached)),
+        ("concurrency", Value::Arr(concurrency)),
+    ]);
+    let path = Report::dir().join("bench_serve.json");
+    std::fs::create_dir_all(Report::dir()).expect("experiments dir");
+    std::fs::write(&path, format!("{}\n", json.encode())).expect("write json");
+    report.line(&format!("[json] {}", path.display()));
+    report.finish().expect("write CSV");
+}

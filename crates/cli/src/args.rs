@@ -51,11 +51,13 @@ impl Args {
             }
             // `--key value` form when the next token is not an option;
             // otherwise a bare switch.
-            match raw.peek() {
-                Some(next) if !next.starts_with("--") => {
-                    options.insert(name.to_string(), raw.next().unwrap());
-                }
-                _ => switches.push(name.to_string()),
+            if raw.peek().is_some_and(|next| !next.starts_with("--")) {
+                let value = raw
+                    .next()
+                    .ok_or_else(|| ArgError(format!("option --{name} is missing its value")))?;
+                options.insert(name.to_string(), value);
+            } else {
+                switches.push(name.to_string());
             }
         }
         Ok(Args { command, options, switches })
@@ -148,6 +150,17 @@ mod tests {
         let a = parse(&["run", "--p", "abc"]).unwrap();
         assert!(a.require_parsed::<usize>("p").is_err());
         assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn trailing_flag_is_a_switch_not_a_panic() {
+        // Regression: a flag at the very end of the line used to route
+        // through an `unwrap()`; it must parse as a bare switch.
+        let a = parse(&["discover", "--input", "x.csv", "--quiet"]).unwrap();
+        assert!(a.switch("quiet"));
+        let a = parse(&["discover", "--quiet"]).unwrap();
+        assert!(a.switch("quiet"));
+        assert!(a.get("quiet").is_none());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! valmod discords  --input series.csv --min 64 --max 128 [--top 3]
 //! valmod mp        --input series.csv --length 96 [--output profile.csv]
 //! valmod generate  --dataset ecg --n 20000 [--seed 1] --output series.csv
+//! valmod serve     --addr 127.0.0.1:7700 --workers 2 --cache-mb 16
+//! valmod query     --addr 127.0.0.1:7700 --cmd motifs --name sensor --min 64 --max 128
 //! valmod help
 //! ```
 //!
@@ -26,6 +28,8 @@ use valmod_data::datasets::Dataset;
 use valmod_data::io;
 use valmod_data::series::Series;
 use valmod_mp::{stomp, stomp_parallel, ExclusionPolicy, ProfiledSeries};
+use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+use valmod_serve::{Client, Server};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -45,6 +49,8 @@ fn main() -> ExitCode {
         "join" => cmd_join(&args),
         "hint" => cmd_hint(&args),
         "generate" => cmd_generate(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -76,13 +82,22 @@ USAGE:
   valmod join      --input <file> --other <file> --length <len> [--top <k>]
   valmod hint      --input <file> [--top <k>] [--min-period <n>]
   valmod generate  --dataset <ecg|emg|gap|astro|eeg> --n <points> [--seed <s>] --output <file>
+  valmod serve     [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache-mb <n>]
+                   [--threads <t>]
+  valmod query     --addr <host:port> --cmd <load|append|motifs|sets|discords|stats|ping|shutdown>
+                   [--name <series>] [--input <file>] [--hot <l1,l2>] [--replace]
+                   [--min <len>] [--max <len>] [--p <n>] [--top <k>] [--k <n>] [--radius <D>]
+                   [--deadline-ms <n>]
   valmod help
 
 Input: text (one value per line; `#` comments; commas/whitespace) or raw
 little-endian f64 for `.bin`/`.f64` extensions.
 
 --threads controls the worker count for the profile computations:
-1 (default) is sequential, 0 uses every available core.";
+1 (default) is sequential, 0 uses every available core.
+
+`serve` keeps named series resident, answers repeated queries from an LRU
+result cache, and accepts live APPEND ingestion; `query` is its client.";
 
 fn load(args: &Args) -> Result<Series, Box<dyn std::error::Error>> {
     Ok(io::load_auto(args.require("input")?)?)
@@ -139,7 +154,7 @@ fn cmd_sets(args: &Args) -> CliResult {
     let cfg = range_config(args)?.with_pair_tracking(k);
     let out = valmod(&series, &cfg)?;
     let ps = ProfiledSeries::new(&series);
-    let tracker = out.best_pairs.expect("tracking enabled");
+    let tracker = out.best_pairs.ok_or("motif sets need pair tracking; pass --k 1 or greater")?;
     let (sets, stats) = compute_var_length_motif_sets(&ps, &tracker, radius, cfg.policy);
     println!(
         "{} motif sets (K={k}, D={radius}); {} expansions from snapshots, {} recomputed:",
@@ -295,6 +310,115 @@ fn cmd_hint(args: &Args) -> CliResult {
         );
     }
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> CliResult {
+    args.reject_unknown(&["addr", "workers", "queue", "cache-mb", "threads"])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
+    let cfg = EngineConfig {
+        workers: args.parsed_or("workers", 2)?,
+        queue_depth: args.parsed_or("queue", 32)?,
+        cache_bytes: args.parsed_or::<usize>("cache-mb", 16)? << 20,
+        kernel_threads: args.parsed_or("threads", 1)?,
+        ..EngineConfig::default()
+    };
+    let server = Server::bind(addr, QueryEngine::new(cfg))?;
+    // Tests and scripts parse this line to learn the ephemeral port.
+    println!("listening on {}", server.local_addr()?);
+    server.run()?;
+    println!("server stopped");
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> CliResult {
+    args.reject_unknown(&[
+        "addr",
+        "cmd",
+        "name",
+        "input",
+        "hot",
+        "replace",
+        "min",
+        "max",
+        "p",
+        "top",
+        "k",
+        "radius",
+        "deadline-ms",
+    ])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
+    let mut client = Client::connect(addr)?;
+    match args.get("cmd").unwrap_or("stats") {
+        "load" => {
+            let name = args.require("name")?;
+            let values = load(args)?.values().to_vec();
+            let hot = parse_hot_lengths(args)?;
+            let (version, len) = client.load(name, values, hot, args.switch("replace"))?;
+            println!("loaded {name}: version {version}, {len} points");
+        }
+        "append" => {
+            let name = args.require("name")?;
+            let values = load(args)?.values().to_vec();
+            let (version, len) = client.append(name, values)?;
+            println!("appended to {name}: version {version}, {len} points");
+        }
+        cmd @ ("motifs" | "sets" | "discords") => {
+            let kind = match cmd {
+                "motifs" => QueryKind::Motifs { top: args.parsed_or("top", 5)? },
+                "sets" => QueryKind::Sets {
+                    k: args.parsed_or("k", 10)?,
+                    radius: args.parsed_or("radius", 3.0)?,
+                },
+                _ => QueryKind::Discords { top: args.parsed_or("top", 3)? },
+            };
+            let deadline = match args.get("deadline-ms") {
+                None => None,
+                Some(_) => Some(std::time::Duration::from_millis(
+                    args.require_parsed::<u64>("deadline-ms")?,
+                )),
+            };
+            let spec = QuerySpec {
+                series: args.require("name")?.to_string(),
+                kind,
+                l_min: args.require_parsed("min")?,
+                l_max: args.require_parsed("max")?,
+                p: args.parsed_or("p", 50)?,
+                policy: ExclusionPolicy::HALF,
+                deadline,
+            };
+            let resp = client.query(spec)?;
+            println!("cached: {}", resp.cached.unwrap_or(false));
+            println!("{}", resp.result.encode());
+        }
+        "stats" => println!("{}", client.stats()?.encode()),
+        "ping" => {
+            client.ping()?;
+            println!("pong");
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("server shutting down");
+        }
+        other => {
+            return Err(format!(
+                "unknown --cmd {other:?} (load|append|motifs|sets|discords|stats|ping|shutdown)"
+            )
+            .into())
+        }
+    }
+    Ok(())
+}
+
+fn parse_hot_lengths(args: &Args) -> Result<Vec<usize>, Box<dyn std::error::Error>> {
+    let Some(raw) = args.get("hot") else { return Ok(Vec::new()) };
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| ArgError(format!("cannot parse --hot value {raw:?}")).into())
+        })
+        .collect()
 }
 
 fn cmd_generate(args: &Args) -> CliResult {

@@ -259,6 +259,90 @@ fn hint_suggests_the_heartbeat_band() {
 }
 
 #[test]
+fn sets_with_k_zero_reports_an_error_not_a_panic() {
+    let dir = tmp_dir("k_zero");
+    let data = dir.join("gap.csv");
+    assert!(run(&[
+        "generate",
+        "--dataset",
+        "gap",
+        "--n",
+        "800",
+        "--output",
+        data.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let out =
+        run(&["sets", "--input", data.to_str().unwrap(), "--min", "32", "--max", "36", "--k", "0"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("pair tracking"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn serve_and_query_round_trip() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = tmp_dir("serve");
+    let data = dir.join("ecg.csv");
+    assert!(run(&[
+        "generate",
+        "--dataset",
+        "ecg",
+        "--n",
+        "1200",
+        "--seed",
+        "5",
+        "--output",
+        data.to_str().unwrap()
+    ])
+    .status
+    .success());
+
+    // Spawn the server on an ephemeral port and parse the announced addr.
+    let mut server = Command::new(bin())
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("server announces its address").unwrap();
+    let addr = banner.strip_prefix("listening on ").expect("banner format").to_string();
+
+    let query = |args: &[&str]| {
+        let mut full = vec!["query", "--addr", addr.as_str()];
+        full.extend_from_slice(args);
+        run(&full)
+    };
+
+    let loaded = query(&["--cmd", "load", "--name", "ecg", "--input", data.to_str().unwrap()]);
+    assert!(loaded.status.success(), "{}", stderr(&loaded));
+    assert!(stdout(&loaded).contains("version 1, 1200 points"));
+
+    let cold =
+        query(&["--cmd", "motifs", "--name", "ecg", "--min", "32", "--max", "36", "--p", "5"]);
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    assert!(stdout(&cold).contains("cached: false"), "{}", stdout(&cold));
+
+    let warm =
+        query(&["--cmd", "motifs", "--name", "ecg", "--min", "32", "--max", "36", "--p", "5"]);
+    assert!(warm.status.success(), "{}", stderr(&warm));
+    assert!(stdout(&warm).contains("cached: true"), "{}", stdout(&warm));
+
+    let stats = query(&["--cmd", "stats"]);
+    assert!(stats.status.success());
+    assert!(stdout(&stats).contains("\"hits\""), "{}", stdout(&stats));
+
+    let shutdown = query(&["--cmd", "shutdown"]);
+    assert!(shutdown.status.success(), "{}", stderr(&shutdown));
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server should exit cleanly after shutdown");
+}
+
+#[test]
 fn help_prints_usage() {
     let help = run(&["help"]);
     assert!(help.status.success());

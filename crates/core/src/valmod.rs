@@ -73,6 +73,54 @@ impl ValmodConfig {
         self
     }
 
+    /// The canonical form of this configuration: every field that cannot
+    /// change the *result* of a run is normalised away. Two configs with
+    /// equal canonical forms produce semantically identical output, so
+    /// result caches must key on this form, never on the raw config.
+    ///
+    /// Normalisations: `threads` is forced to 1 (any thread count yields
+    /// the same answer up to sub-1e-12 chunk-seam rounding) and the
+    /// exclusion fraction is reduced to lowest terms (`2/4` ≡ `1/2`).
+    pub fn canonical(&self) -> ValmodConfig {
+        ValmodConfig {
+            l_min: self.l_min,
+            l_max: self.l_max,
+            p: self.p,
+            policy: self.policy.reduced(),
+            track_pairs: self.track_pairs,
+            threads: 1,
+        }
+    }
+
+    /// A stable, human-readable cache key for the canonical form, e.g.
+    /// `l=64..128;p=50;excl=1/2;track=0`.
+    pub fn cache_key(&self) -> String {
+        let c = self.canonical();
+        format!(
+            "l={}..{};p={};excl={}/{};track={}",
+            c.l_min,
+            c.l_max,
+            c.p,
+            c.policy.num(),
+            c.policy.den(),
+            c.track_pairs
+        )
+    }
+
+    /// A 64-bit FNV-1a fingerprint of [`ValmodConfig::cache_key`] — a
+    /// compact equality proxy for cache indexing (the full key should still
+    /// be stored alongside to rule out collisions).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self.cache_key().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
     fn validate(&self) -> Result<()> {
         if self.l_min == 0 || self.l_min > self.l_max {
             return Err(DataError::InvalidParameter(format!(
@@ -399,6 +447,28 @@ mod tests {
             }
         }
         assert!(seen_fallback, "construction no longer reaches the fallback branch");
+    }
+
+    #[test]
+    fn canonicalization_ignores_execution_knobs() {
+        let base = ValmodConfig::new(64, 128).with_p(50);
+        let threaded = base.clone().with_threads(8);
+        let unreduced = base.clone().with_policy(ExclusionPolicy::new(2, 4));
+        assert_eq!(base.cache_key(), "l=64..128;p=50;excl=1/2;track=0");
+        assert_eq!(base.cache_key(), threaded.cache_key());
+        assert_eq!(base.cache_key(), unreduced.cache_key());
+        assert_eq!(base.fingerprint(), threaded.fingerprint());
+        assert_eq!(base.fingerprint(), unreduced.fingerprint());
+        // Result-affecting fields do change the key.
+        for other in [
+            base.clone().with_p(5),
+            base.clone().with_pair_tracking(10),
+            base.clone().with_policy(ExclusionPolicy::QUARTER),
+            ValmodConfig::new(64, 129).with_p(50),
+        ] {
+            assert_ne!(base.cache_key(), other.cache_key());
+            assert_ne!(base.fingerprint(), other.fingerprint());
+        }
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct RollingStats {
     prefix: Vec<f64>,
     /// `prefix_sq[i] = Σ_{k<i} (x_k − offset)²`, length n+1.
     prefix_sq: Vec<f64>,
+    /// `run[i]` = length of the constant run of samples ending at `i`
+    /// (saturating). Lets σ queries report exact zeros for constant
+    /// windows, where the `ss/ℓ − μ²` formula would return cancellation
+    /// noise (~1e-7·|x|) that fools flat-subsequence detection.
+    run: Vec<u32>,
     /// Global mean subtracted before accumulation.
     offset: f64,
     n: usize,
@@ -39,14 +44,16 @@ impl RollingStats {
         // prefix arrays accurate even for millions of points.
         let (mut s, mut cs) = (0.0f64, 0.0f64);
         let (mut q, mut cq) = (0.0f64, 0.0f64);
-        for &x in series {
+        let mut run = Vec::with_capacity(n);
+        for (i, &x) in series.iter().enumerate() {
             let v = x - offset;
             add_compensated(&mut s, &mut cs, v);
             add_compensated(&mut q, &mut cq, v * v);
             prefix.push(s + cs);
             prefix_sq.push(q + cq);
+            run.push(constant_run(&run, i > 0 && x == series[i - 1]));
         }
-        RollingStats { prefix, prefix_sq, offset, n }
+        RollingStats { prefix, prefix_sq, run, offset, n }
     }
 
     /// Length of the underlying series.
@@ -76,6 +83,9 @@ impl RollingStats {
     #[inline]
     pub fn std_dev(&self, i: usize, l: usize) -> f64 {
         debug_assert!(l > 0 && i + l <= self.n);
+        if self.run[i + l - 1] as usize >= l {
+            return 0.0; // exactly constant window
+        }
         let inv_l = 1.0 / l as f64;
         let m = (self.prefix[i + l] - self.prefix[i]) * inv_l;
         let ss = (self.prefix_sq[i + l] - self.prefix_sq[i]) * inv_l;
@@ -146,6 +156,17 @@ impl LengthStats {
     }
 }
 
+/// The run length for the next sample given the runs so far and whether the
+/// sample equals its predecessor.
+#[inline]
+pub(crate) fn constant_run(runs: &[u32], extends: bool) -> u32 {
+    if extends {
+        runs.last().copied().unwrap_or(0).saturating_add(1)
+    } else {
+        1
+    }
+}
+
 #[inline]
 fn add_compensated(sum: &mut f64, comp: &mut f64, value: f64) {
     let t = *sum + value;
@@ -213,6 +234,21 @@ mod tests {
         let rs = RollingStats::new(&series);
         assert_eq!(rs.std_dev(0, 50), 0.0);
         assert!(rs.std_dev(40, 20) > 0.0);
+    }
+
+    #[test]
+    fn flat_window_inside_varied_series_is_exactly_zero() {
+        // A constant stretch embedded in varied data: the prefix-sum
+        // variance would be cancellation noise (~1e-7·|x|), which is why σ
+        // must come from the exact constant-run check instead.
+        let mut series: Vec<f64> = (0..160).map(|i| (i as f64 * 0.37).sin() * 40.0).collect();
+        series.extend(std::iter::repeat_n(17.25, 30));
+        series.extend((0..40).map(|i| i as f64));
+        let rs = RollingStats::new(&series);
+        assert_eq!(rs.std_dev(160, 30), 0.0);
+        assert_eq!(rs.std_dev(165, 14), 0.0);
+        assert!(rs.std_dev(150, 30) > 0.0, "partially flat windows keep a real σ");
+        assert!(rs.std_dev(185, 14) > 0.0);
     }
 
     #[test]

@@ -36,11 +36,41 @@ impl ExclusionPolicy {
         ((l * self.num).div_ceil(self.den)).max(1)
     }
 
+    /// Numerator of the exclusion fraction.
+    #[inline]
+    pub fn num(&self) -> usize {
+        self.num
+    }
+
+    /// Denominator of the exclusion fraction (always positive).
+    #[inline]
+    pub fn den(&self) -> usize {
+        self.den
+    }
+
+    /// The policy with its fraction reduced to lowest terms — `2/4` and
+    /// `1/2` exclude exactly the same pairs at every length, so cache keys
+    /// and equality checks should use this canonical form.
+    pub fn reduced(&self) -> ExclusionPolicy {
+        if self.num == 0 {
+            return ExclusionPolicy { num: 0, den: 1 };
+        }
+        let g = gcd(self.num, self.den);
+        ExclusionPolicy { num: self.num / g, den: self.den / g }
+    }
+
     /// Whether offsets `i` and `j` are trivial matches at length `l`.
     #[inline]
     pub fn is_trivial(&self, i: usize, j: usize, l: usize) -> bool {
         i.abs_diff(j) < self.radius(l)
     }
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 impl Default for ExclusionPolicy {
@@ -87,5 +117,17 @@ mod tests {
     #[should_panic(expected = "denominator")]
     fn zero_denominator_rejected() {
         ExclusionPolicy::new(1, 0);
+    }
+
+    #[test]
+    fn reduced_reaches_lowest_terms() {
+        assert_eq!(ExclusionPolicy::new(2, 4).reduced(), ExclusionPolicy::HALF);
+        assert_eq!(ExclusionPolicy::new(3, 12).reduced(), ExclusionPolicy::QUARTER);
+        assert_eq!(ExclusionPolicy::new(0, 7).reduced(), ExclusionPolicy::new(0, 1));
+        assert_eq!(ExclusionPolicy::HALF.reduced(), ExclusionPolicy::HALF);
+        // Reduction never changes the excluded set.
+        for l in [1usize, 7, 8, 100] {
+            assert_eq!(ExclusionPolicy::new(2, 4).radius(l), ExclusionPolicy::HALF.radius(l));
+        }
     }
 }

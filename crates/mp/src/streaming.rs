@@ -33,6 +33,11 @@ pub struct StreamingProfile {
     /// Prefix sums of centred samples / their squares.
     prefix: Vec<f64>,
     prefix_sq: Vec<f64>,
+    /// `run[i]` = length of the constant run ending at sample `i`
+    /// (saturating), for exact σ = 0 on constant windows — mirrors
+    /// `RollingStats` so streamed and batch profiles classify flat
+    /// subsequences identically.
+    run: Vec<u32>,
     /// Dot products of the newest subsequence against all others.
     last_qt: Vec<f64>,
     mp: Vec<f64>,
@@ -52,11 +57,14 @@ impl StreamingProfile {
         prefix.push(0.0);
         prefix_sq.push(0.0);
         let (mut s, mut q) = (0.0, 0.0);
-        for &v in &values {
+        let mut run: Vec<u32> = Vec::with_capacity(values.len());
+        for (i, &v) in values.iter().enumerate() {
             s += v;
             q += v * v;
             prefix.push(s);
             prefix_sq.push(q);
+            let extends = i > 0 && v == values[i - 1];
+            run.push(if extends { run[i - 1].saturating_add(1) } else { 1 });
         }
         // Seed the newest-row dot products (the last subsequence vs all).
         let ndp = values.len() - l + 1;
@@ -71,6 +79,7 @@ impl StreamingProfile {
             values,
             prefix,
             prefix_sq,
+            run,
             last_qt,
             mp: initial.mp,
             ip: initial.ip,
@@ -81,6 +90,18 @@ impl StreamingProfile {
     #[inline]
     pub fn len(&self) -> usize {
         self.values.len()
+    }
+
+    /// The fixed subsequence length this profile is maintained at.
+    #[inline]
+    pub fn subsequence_len(&self) -> usize {
+        self.l
+    }
+
+    /// The exclusion policy fixed at construction.
+    #[inline]
+    pub fn policy(&self) -> ExclusionPolicy {
+        self.policy
     }
 
     /// Whether the stream holds no samples (never true after `new`).
@@ -112,6 +133,9 @@ impl StreamingProfile {
     }
 
     fn std(&self, i: usize) -> f64 {
+        if self.run[i + self.l - 1] as usize >= self.l {
+            return 0.0; // exactly constant window
+        }
         let inv = 1.0 / self.l as f64;
         let m = (self.prefix[i + self.l] - self.prefix[i]) * inv;
         let ss = (self.prefix_sq[i + self.l] - self.prefix_sq[i]) * inv;
@@ -124,9 +148,15 @@ impl StreamingProfile {
             return Err(DataError::NonFinite { index: self.values.len() });
         }
         let v = raw - self.offset;
+        let extends = self.values.last().is_some_and(|&prev| prev == v);
         self.values.push(v);
         self.prefix.push(self.prefix.last().unwrap() + v);
         self.prefix_sq.push(self.prefix_sq.last().unwrap() + v * v);
+        self.run.push(if extends {
+            self.run.last().copied().unwrap_or(0).saturating_add(1)
+        } else {
+            1
+        });
 
         let l = self.l;
         let n = self.values.len();
@@ -169,9 +199,16 @@ impl StreamingProfile {
         Ok(())
     }
 
-    /// Appends a batch of samples.
+    /// Appends a batch of samples, all-or-nothing: the batch is validated
+    /// up front, so a non-finite sample rejects the whole call and leaves
+    /// the profile exactly as it was (callers that mirror the stream into
+    /// other state never desynchronise).
     pub fn extend(&mut self, samples: impl IntoIterator<Item = f64>) -> Result<()> {
-        for s in samples {
+        let batch: Vec<f64> = samples.into_iter().collect();
+        if let Some(bad) = batch.iter().position(|v| !v.is_finite()) {
+            return Err(DataError::NonFinite { index: self.values.len() + bad });
+        }
+        for s in batch {
             self.append(s)?;
         }
         Ok(())
@@ -244,5 +281,19 @@ mod tests {
         let mut stream = StreamingProfile::new(&series, 10, ExclusionPolicy::HALF).unwrap();
         assert!(stream.append(f64::NAN).is_err());
         assert!(stream.append(1.5).is_ok());
+    }
+
+    #[test]
+    fn extend_is_all_or_nothing() {
+        let series = random_walk(100, 85);
+        let mut stream = StreamingProfile::new(&series, 10, ExclusionPolicy::HALF).unwrap();
+        let before = stream.len();
+        let err = stream.extend([1.0, 2.0, f64::INFINITY, 3.0]).unwrap_err();
+        assert!(matches!(err, DataError::NonFinite { index } if index == before + 2));
+        assert_eq!(stream.len(), before, "a rejected batch must not apply partially");
+        stream.extend([1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(stream.len(), before + 3);
+        assert_eq!(stream.subsequence_len(), 10);
+        assert_eq!(stream.policy(), ExclusionPolicy::HALF);
     }
 }

@@ -1,0 +1,98 @@
+//! Property-based equivalence: a `StreamingProfile` after `k` appends must
+//! match batch STOMP over the grown series — the invariant the serve
+//! layer's hot fixed-length path depends on.
+
+use proptest::prelude::*;
+use valmod_data::generators::{random_walk, sine_mixture};
+use valmod_mp::stomp::stomp;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
+
+fn make_series(kind: u8, n: usize, seed: u64) -> Vec<f64> {
+    match kind % 2 {
+        0 => random_walk(n, seed),
+        _ => sine_mixture(n, &[(0.03, 1.0), (0.011, 0.4)], 0.2, seed),
+    }
+}
+
+/// Asserts the streamed profile over `series` (seeded with the first
+/// `seed_len` points, the rest appended one by one) equals the batch
+/// profile, in squared/linear distance to `tol` and in exclusion-zone
+/// structure.
+fn assert_stream_equals_batch(series: &[f64], seed_len: usize, l: usize, policy: ExclusionPolicy) {
+    let mut stream = StreamingProfile::new(&series[..seed_len], l, policy).expect("seed profile");
+    stream.extend(series[seed_len..].iter().copied()).expect("appends");
+    let streamed = stream.profile();
+
+    let ps = ProfiledSeries::from_values(series).unwrap();
+    let batch = stomp(&ps, l, policy).unwrap();
+
+    assert_eq!(streamed.len(), batch.len(), "profile row counts must agree");
+    let radius = policy.radius(l);
+    for i in 0..batch.len() {
+        let (s, b) = (streamed.mp[i], batch.mp[i]);
+        if s.is_infinite() || b.is_infinite() {
+            assert_eq!(s.is_infinite(), b.is_infinite(), "row {i}: finiteness disagrees");
+            continue;
+        }
+        // Compare in squared distance too: the tolerance must hold for the
+        // quantity VALMOD's lower bound is phrased in.
+        assert!((s - b).abs() < 1e-6, "row {i}: streamed {s} vs batch {b}");
+        assert!((s * s - b * b).abs() < 1e-5, "row {i}: squared {} vs {}", s * s, b * b);
+        // The claimed neighbour must honour the exclusion zone.
+        assert!(
+            i.abs_diff(streamed.ip[i]) >= radius,
+            "row {i}: neighbour {} inside exclusion radius {radius}",
+            streamed.ip[i]
+        );
+        assert!(streamed.ip[i] < batch.len(), "row {i}: neighbour out of range");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn streaming_after_k_appends_equals_batch(kind in 0u8..2, seed in 0u64..1000,
+                                              k in 1usize..80, l in 6usize..24) {
+        // Seed length floats so the seed/append boundary lands everywhere
+        // relative to the exclusion zone.
+        let seed_len = 200 - k;
+        prop_assume!(seed_len >= 2 * l);
+        let series = make_series(kind, 200, seed);
+        assert_stream_equals_batch(&series, seed_len, l, ExclusionPolicy::HALF);
+    }
+
+    #[test]
+    fn streaming_matches_batch_under_quarter_exclusion(seed in 0u64..500, k in 1usize..40) {
+        let series = make_series(0, 160, seed);
+        assert_stream_equals_batch(&series, 160 - k, 12, ExclusionPolicy::QUARTER);
+    }
+
+    #[test]
+    fn constant_stretch_appends_agree_with_batch(seed in 0u64..500, run in 12usize..40,
+                                                 level in -4i32..4) {
+        // A flat run makes subsequence std hit zero — the degenerate case
+        // where streamed and batch profiles must still tell the same story
+        // (both may report inf or both a finite correction).
+        let mut series = make_series(1, 160, seed);
+        series.extend(std::iter::repeat_n(level as f64, run));
+        series.extend(make_series(0, 40, seed + 1));
+        assert_stream_equals_batch(&series, 160, 14, ExclusionPolicy::HALF);
+    }
+
+    #[test]
+    fn newest_window_neighbour_is_outside_the_exclusion_zone(seed in 0u64..500, k in 1usize..50) {
+        let series = make_series(0, 150, seed);
+        let l = 10usize;
+        let mut stream = StreamingProfile::new(&series[..150 - k], l, ExclusionPolicy::HALF).unwrap();
+        for (step, &v) in series[150 - k..].iter().enumerate() {
+            stream.append(v).unwrap();
+            let profile = stream.profile();
+            let newest = profile.len() - 1;
+            if profile.mp[newest].is_finite() {
+                prop_assert!(newest.abs_diff(profile.ip[newest]) >= profile.exclusion_radius,
+                    "step {}: newest neighbour {} too close", step, profile.ip[newest]);
+            }
+        }
+    }
+}

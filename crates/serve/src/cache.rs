@@ -1,0 +1,224 @@
+//! The LRU result cache with byte-budget accounting.
+//!
+//! Keys are `(series name, series version, canonical query key)` — the
+//! query key embeds [`valmod_core::ValmodConfig::cache_key`], so two
+//! requests that differ only in execution knobs (thread count, unreduced
+//! exclusion fractions) share an entry, while anything result-affecting
+//! (length range, `p`, exclusion policy, top-k…) splits them. Versioned
+//! keys make stale hits structurally impossible; on top of that, appends
+//! *actively purge* a series' old entries so a hot store can't pin dead
+//! results in the budget until eviction reaches them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Cache key: series identity + data version + canonical query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Series name.
+    pub series: String,
+    /// Series version the result was computed against.
+    pub version: u64,
+    /// Canonical query description (kind, parameters, config cache key).
+    pub query: String,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<Value>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Counters exposed through `STATS`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Entries purged by series invalidation (append/replace).
+    pub invalidated: u64,
+}
+
+/// An LRU cache of encoded query results, bounded by approximate bytes.
+#[derive(Debug)]
+pub struct ResultCache {
+    budget: usize,
+    used: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache bounded by `budget` bytes (0 disables caching entirely).
+    pub fn new(budget: usize) -> Self {
+        ResultCache { budget, used: 0, tick: 0, map: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Value>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, evicting least-recently-used entries until the
+    /// budget holds. A result larger than the whole budget is simply not
+    /// cached (the query still succeeds — the cache only ever trades
+    /// memory for recomputation, never correctness).
+    pub fn insert(&mut self, key: CacheKey, value: Arc<Value>) {
+        let bytes = key.series.len() + key.query.len() + value.encode().len();
+        if bytes > self.budget {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.used -= old.bytes;
+        }
+        self.used += bytes;
+        self.map.insert(key, Entry { value, bytes, last_used: self.tick });
+        while self.used > self.budget {
+            // O(n) scan per eviction: entry counts are small (each entry is
+            // a whole query result), so a heap would be overkill.
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("used > budget implies non-empty");
+            let e = self.map.remove(&lru).expect("key just observed");
+            self.used -= e.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Drops every entry for `series`, any version (append/replace path).
+    pub fn invalidate_series(&mut self, series: &str) {
+        let stale: Vec<CacheKey> =
+            self.map.keys().filter(|k| k.series == series).cloned().collect();
+        for key in stale {
+            let e = self.map.remove(&key).expect("key just observed");
+            self.used -= e.bytes;
+            self.stats.invalidated += 1;
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently accounted against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(series: &str, version: u64, query: &str) -> CacheKey {
+        CacheKey { series: series.into(), version, query: query.into() }
+    }
+
+    fn payload(n: usize) -> Arc<Value> {
+        Arc::new(Value::Arr(vec![Value::Num(1.0); n]))
+    }
+
+    #[test]
+    fn hit_miss_and_versioning() {
+        let mut cache = ResultCache::new(10_000);
+        assert!(cache.get(&key("a", 1, "q")).is_none());
+        cache.insert(key("a", 1, "q"), payload(4));
+        assert!(cache.get(&key("a", 1, "q")).is_some());
+        // A different version or query is a different entry.
+        assert!(cache.get(&key("a", 2, "q")).is_none());
+        assert!(cache.get(&key("a", 1, "q2")).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 3));
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        // Budget sized for two payloads; inserting a third evicts the LRU.
+        let one = key("a", 1, "q1").series.len() + 2 + payload(8).encode().len();
+        let mut cache = ResultCache::new(2 * one + 4);
+        cache.insert(key("a", 1, "q1"), payload(8));
+        cache.insert(key("a", 1, "q2"), payload(8));
+        assert!(cache.get(&key("a", 1, "q1")).is_some()); // refresh q1
+        cache.insert(key("a", 1, "q3"), payload(8));
+        assert!(cache.get(&key("a", 1, "q2")).is_none(), "q2 was LRU");
+        assert!(cache.get(&key("a", 1, "q1")).is_some());
+        assert!(cache.get(&key("a", 1, "q3")).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_results_are_skipped() {
+        let mut cache = ResultCache::new(16);
+        cache.insert(key("a", 1, "q"), payload(1000));
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_accounting() {
+        let mut cache = ResultCache::new(10_000);
+        cache.insert(key("a", 1, "q"), payload(8));
+        let used = cache.used_bytes();
+        cache.insert(key("a", 1, "q"), payload(8));
+        assert_eq!(cache.used_bytes(), used);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_series_purges_all_versions() {
+        let mut cache = ResultCache::new(10_000);
+        cache.insert(key("a", 1, "q1"), payload(2));
+        cache.insert(key("a", 2, "q1"), payload(2));
+        cache.insert(key("b", 1, "q1"), payload(2));
+        cache.invalidate_series("a");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key("b", 1, "q1")).is_some());
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(key("a", 1, "q"), payload(1));
+        assert!(cache.get(&key("a", 1, "q")).is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! A small blocking client for the line protocol (used by `valmod query`
+//! and the integration tests; also the reference for writing clients in
+//! other languages — any JSON library plus a TCP socket suffices).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::engine::{QueryKind, QuerySpec};
+use crate::error::{ServeError, ServeResult};
+use crate::protocol::{Request, Response};
+use crate::value::Value;
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> ServeResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one raw request line and decodes the response.
+    pub fn roundtrip_value(&mut self, request: &Value) -> ServeResult<Response> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Response::from_value(&Value::parse(reply.trim_end())?)
+    }
+
+    /// Sends a typed request.
+    pub fn request(&mut self, request: &Request) -> ServeResult<Response> {
+        self.roundtrip_value(&request.to_value())
+    }
+
+    /// `LOAD`: stores a series, returning `(version, len)`.
+    pub fn load(
+        &mut self,
+        name: &str,
+        values: Vec<f64>,
+        hot: Vec<usize>,
+        replace: bool,
+    ) -> ServeResult<(u64, usize)> {
+        let resp = self.request(&Request::Load { name: name.to_string(), values, hot, replace })?;
+        version_len(&resp.result)
+    }
+
+    /// `APPEND`: extends a series, returning `(version, len)`.
+    pub fn append(&mut self, name: &str, values: Vec<f64>) -> ServeResult<(u64, usize)> {
+        let resp = self.request(&Request::Append { name: name.to_string(), values })?;
+        version_len(&resp.result)
+    }
+
+    /// A motif/sets/discords query; the response carries the payload and
+    /// the cache marker.
+    pub fn query(&mut self, spec: QuerySpec) -> ServeResult<Response> {
+        self.request(&Request::Query(spec))
+    }
+
+    /// Convenience: top-k motifs over `[l_min, l_max]` with defaults.
+    pub fn motifs(
+        &mut self,
+        name: &str,
+        l_min: usize,
+        l_max: usize,
+        top: usize,
+    ) -> ServeResult<Response> {
+        self.query(QuerySpec {
+            series: name.to_string(),
+            kind: QueryKind::Motifs { top },
+            l_min,
+            l_max,
+            p: 50,
+            policy: valmod_mp::ExclusionPolicy::HALF,
+            deadline: None,
+        })
+    }
+
+    /// `STATS` snapshot.
+    pub fn stats(&mut self) -> ServeResult<Value> {
+        Ok(self.request(&Request::Stats)?.result)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ServeResult<()> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// Diagnostics sleep (occupies one server worker).
+    pub fn sleep(&mut self, ms: u64, deadline: Option<Duration>) -> ServeResult<Response> {
+        self.request(&Request::Sleep { ms, deadline })
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> ServeResult<()> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+fn version_len(result: &Value) -> ServeResult<(u64, usize)> {
+    let version = result
+        .get("version")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| ServeError::Protocol("response missing \"version\"".into()))?;
+    let len = result
+        .get("len")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| ServeError::Protocol("response missing \"len\"".into()))?;
+    Ok((version as u64, len))
+}

@@ -1,0 +1,700 @@
+//! The embeddable query engine: store + cache + worker-pool scheduler.
+//!
+//! ## Scheduling model
+//!
+//! Ingestion (`load`/`append`) runs on the calling thread under the store
+//! write lock — it is O(n·hot lengths) and must be strictly ordered with
+//! the version counter. Queries are **admitted** on the calling thread
+//! (cache probe, so cache hits are O(1) and never consume a queue slot)
+//! and **executed** on a fixed worker pool behind a bounded queue:
+//!
+//! * queue full → [`ServeError::Busy`] immediately (load shedding, never a
+//!   panic and never an unbounded backlog);
+//! * per-request deadline → checked at dequeue (a request that waited too
+//!   long is not computed at all) and again after compute;
+//! * a query admitted before an append but dequeued after it is computed
+//!   against — and cached under — the *newer* version: execution takes
+//!   effect at dequeue time.
+//!
+//! Workers compute on an `Arc` snapshot of the batch view, so long queries
+//! never hold the store lock while appends land.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use valmod_core::{
+    compute_var_length_motif_sets, top_variable_length_motifs, valmod_on, variable_length_discords,
+    ValmodConfig,
+};
+use valmod_data::error::DataError;
+use valmod_mp::motif::top_motifs;
+use valmod_mp::{ExclusionPolicy, MatrixProfile, MotifPair, ProfiledSeries};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::error::{ServeError, ServeResult};
+use crate::store::SeriesStore;
+use crate::value::Value;
+
+/// Sizing and behaviour knobs for a [`QueryEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing queries (≥ 1).
+    pub workers: usize,
+    /// Bounded queue depth between admission and the workers (≥ 1).
+    pub queue_depth: usize,
+    /// Result-cache byte budget (0 disables caching).
+    pub cache_bytes: usize,
+    /// `ValmodConfig::threads` used inside each query's kernels
+    /// (1 = sequential, 0 = all cores).
+    pub kernel_threads: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            queue_depth: 32,
+            cache_bytes: 16 << 20,
+            kernel_threads: 1,
+            default_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a query asks for (on top of the common length-range parameters).
+#[derive(Debug, Clone)]
+pub enum QueryKind {
+    /// Top-k ranked variable-length motifs.
+    Motifs {
+        /// How many motifs to report.
+        top: usize,
+    },
+    /// Variable-length motif sets (paper Algorithm 6).
+    Sets {
+        /// Top-K pairs tracked as set seeds.
+        k: usize,
+        /// Radius factor `D` (set radius = D · pair distance).
+        radius: f64,
+    },
+    /// Top-k variable-length discords.
+    Discords {
+        /// How many discords to report.
+        top: usize,
+    },
+}
+
+/// One motif/discord/set query against a named series.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Name of the stored series.
+    pub series: String,
+    /// What to compute.
+    pub kind: QueryKind,
+    /// Smallest subsequence length.
+    pub l_min: usize,
+    /// Largest subsequence length (inclusive).
+    pub l_max: usize,
+    /// Lower-bound entries retained per profile (paper `p`).
+    pub p: usize,
+    /// Trivial-match exclusion policy.
+    pub policy: ExclusionPolicy,
+    /// Per-request deadline (engine default when `None`).
+    pub deadline: Option<Duration>,
+}
+
+impl QuerySpec {
+    fn valmod_config(&self, kernel_threads: usize) -> ValmodConfig {
+        let cfg = ValmodConfig::new(self.l_min, self.l_max)
+            .with_p(self.p)
+            .with_policy(self.policy)
+            .with_threads(kernel_threads);
+        match self.kind {
+            QueryKind::Sets { k, .. } => cfg.with_pair_tracking(k),
+            _ => cfg,
+        }
+    }
+
+    /// The canonical cache-key fragment: kind-specific parameters plus the
+    /// canonicalized [`ValmodConfig`] key (execution knobs excluded).
+    pub fn query_key(&self) -> String {
+        let cfg = self.valmod_config(1).cache_key();
+        match self.kind {
+            QueryKind::Motifs { top } => format!("motifs;top={top};{cfg}"),
+            QueryKind::Sets { k, radius } => format!("sets;k={k};radius={radius};{cfg}"),
+            QueryKind::Discords { top } => format!("discords;top={top};{cfg}"),
+        }
+    }
+}
+
+/// A delivered query result.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The result payload (what `"result"` carries on the wire).
+    pub payload: Arc<Value>,
+    /// Whether the payload came from the result cache.
+    pub cached: bool,
+}
+
+enum Work {
+    Query(QuerySpec),
+    /// Diagnostics: occupy a worker for `ms` milliseconds. Used to probe
+    /// queue/deadline behaviour of a deployment (and by the tests).
+    Sleep(u64),
+}
+
+struct Job {
+    work: Work,
+    deadline: Instant,
+    reply: SyncSender<ServeResult<QueryOutcome>>,
+}
+
+#[derive(Debug, Default)]
+struct EngineCounters {
+    queries: AtomicU64,
+    computed: AtomicU64,
+    served_hot: AtomicU64,
+    busy_rejections: AtomicU64,
+    deadline_misses: AtomicU64,
+}
+
+struct Shared {
+    cfg: EngineConfig,
+    store: RwLock<SeriesStore>,
+    cache: Mutex<ResultCache>,
+    counters: EngineCounters,
+    shutting_down: AtomicBool,
+}
+
+/// The resident query engine (embeddable; the TCP server is one front end).
+pub struct QueryEngine {
+    shared: Arc<Shared>,
+    sender: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl QueryEngine {
+    /// Starts an engine with its worker pool.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let cfg = EngineConfig {
+            workers: cfg.workers.max(1),
+            queue_depth: cfg.queue_depth.max(1),
+            ..cfg
+        };
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
+            cfg,
+            store: RwLock::new(SeriesStore::new()),
+            counters: EngineCounters::default(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("valmod-serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        QueryEngine { shared, sender: Mutex::new(Some(tx)), workers: Mutex::new(workers) }
+    }
+
+    /// Loads (or with `replace` overwrites) a named series, seeding hot
+    /// streaming profiles at `hot_lengths`. Returns `(version, len)`.
+    pub fn load(
+        &self,
+        name: &str,
+        values: Vec<f64>,
+        hot_lengths: &[usize],
+        policy: ExclusionPolicy,
+        replace: bool,
+    ) -> ServeResult<(u64, usize)> {
+        self.reject_if_shutting_down()?;
+        let mut store = self.shared.store.write().expect("store lock");
+        let entry = store.load(name, values, hot_lengths, policy, replace)?;
+        let out = (entry.version(), entry.len());
+        drop(store);
+        // A replace resets the version counter to 1, which old entries may
+        // collide with — purge the name unconditionally.
+        self.shared.cache.lock().expect("cache lock").invalidate_series(name);
+        Ok(out)
+    }
+
+    /// Appends samples to a named series: bumps its version, extends hot
+    /// profiles, and purges the series' cache entries. Returns
+    /// `(version, len)`.
+    pub fn append(&self, name: &str, samples: &[f64]) -> ServeResult<(u64, usize)> {
+        self.reject_if_shutting_down()?;
+        let mut store = self.shared.store.write().expect("store lock");
+        let entry = store.get_mut(name)?;
+        let version = entry.append(samples)?;
+        let len = entry.len();
+        drop(store);
+        self.shared.cache.lock().expect("cache lock").invalidate_series(name);
+        Ok((version, len))
+    }
+
+    /// Runs a query: O(1) on a cache hit, otherwise scheduled on the
+    /// worker pool behind the bounded queue.
+    pub fn query(&self, spec: QuerySpec) -> ServeResult<QueryOutcome> {
+        self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+        self.reject_if_shutting_down()?;
+        // Admission-time cache probe against the current version. Unknown
+        // names also fail fast here instead of occupying a queue slot.
+        let version = self.shared.store.read().expect("store lock").get(&spec.series)?.version();
+        let key = CacheKey { series: spec.series.clone(), version, query: spec.query_key() };
+        if let Some(payload) = self.shared.cache.lock().expect("cache lock").get(&key) {
+            return Ok(QueryOutcome { payload, cached: true });
+        }
+        let deadline = Instant::now() + spec.deadline.unwrap_or(self.shared.cfg.default_deadline);
+        self.submit(Work::Query(spec), deadline)
+    }
+
+    /// Diagnostics: occupies one worker for `ms` milliseconds through the
+    /// same bounded queue and deadline machinery as real queries.
+    pub fn sleep(&self, ms: u64, deadline: Option<Duration>) -> ServeResult<QueryOutcome> {
+        self.reject_if_shutting_down()?;
+        let deadline = Instant::now() + deadline.unwrap_or(self.shared.cfg.default_deadline);
+        self.submit(Work::Sleep(ms), deadline)
+    }
+
+    fn submit(&self, work: Work, deadline: Instant) -> ServeResult<QueryOutcome> {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job { work, deadline, reply: reply_tx };
+        {
+            let sender = self.sender.lock().expect("sender lock");
+            let Some(tx) = sender.as_ref() else {
+                return Err(ServeError::ShuttingDown);
+            };
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.shared.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Busy);
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+            }
+        }
+        reply_rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// A `STATS` snapshot: engine counters, cache accounting, per-series
+    /// inventory, and the scheduler configuration.
+    pub fn stats(&self) -> Value {
+        let store = self.shared.store.read().expect("store lock");
+        let series: Vec<Value> = store
+            .names()
+            .into_iter()
+            .map(|name| {
+                let s = store.get(name).expect("name from listing");
+                Value::obj(vec![
+                    ("name", Value::str(name)),
+                    ("len", s.len().into()),
+                    ("version", s.version().into()),
+                    (
+                        "hot_lengths",
+                        Value::Arr(s.hot_lengths().into_iter().map(Value::from).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        drop(store);
+        let cache = self.shared.cache.lock().expect("cache lock");
+        let cs = cache.stats();
+        let cache_v = Value::obj(vec![
+            ("entries", cache.len().into()),
+            ("used_bytes", cache.used_bytes().into()),
+            ("budget_bytes", cache.budget_bytes().into()),
+            ("hits", cs.hits.into()),
+            ("misses", cs.misses.into()),
+            ("evictions", cs.evictions.into()),
+            ("invalidated", cs.invalidated.into()),
+        ]);
+        drop(cache);
+        let c = &self.shared.counters;
+        Value::obj(vec![
+            (
+                "engine",
+                Value::obj(vec![
+                    ("queries", c.queries.load(Ordering::Relaxed).into()),
+                    ("computed", c.computed.load(Ordering::Relaxed).into()),
+                    ("served_hot", c.served_hot.load(Ordering::Relaxed).into()),
+                    ("busy_rejections", c.busy_rejections.load(Ordering::Relaxed).into()),
+                    ("deadline_misses", c.deadline_misses.load(Ordering::Relaxed).into()),
+                    ("workers", self.shared.cfg.workers.into()),
+                    ("queue_depth", self.shared.cfg.queue_depth.into()),
+                    ("kernel_threads", self.shared.cfg.kernel_threads.into()),
+                ]),
+            ),
+            ("cache", cache_v),
+            ("series", Value::Arr(series)),
+        ])
+    }
+
+    /// Begins shutdown: new work is rejected with
+    /// [`ServeError::ShuttingDown`]; already-queued jobs still complete.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Dropping the sender disconnects the queue once drained, which
+        // ends every worker loop.
+        self.sender.lock().expect("sender lock").take();
+    }
+
+    /// Waits for the worker pool to drain and exit ([`QueryEngine::shutdown`]
+    /// must have been called, otherwise this blocks forever).
+    pub fn join(&self) {
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn reject_if_shutting_down(&self) -> ServeResult<()> {
+        if self.is_shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("receiver lock");
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // queue disconnected: shutdown
+            }
+        };
+        if Instant::now() > job.deadline {
+            shared.counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        let result = match &job.work {
+            Work::Sleep(ms) => {
+                std::thread::sleep(Duration::from_millis(*ms));
+                Ok(QueryOutcome {
+                    payload: Arc::new(Value::obj(vec![("slept_ms", (*ms).into())])),
+                    cached: false,
+                })
+            }
+            Work::Query(spec) => execute_query(&shared, spec),
+        };
+        let result = match result {
+            Ok(_) if Instant::now() > job.deadline => {
+                // Too late to be useful to this caller, but the computed
+                // result stays cached for the next one.
+                shared.counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::DeadlineExceeded)
+            }
+            other => other,
+        };
+        let _ = job.reply.send(result);
+    }
+}
+
+fn execute_query(shared: &Shared, spec: &QuerySpec) -> ServeResult<QueryOutcome> {
+    // Snapshot (batch view, version, optional hot profile) atomically.
+    let (ps, version, hot) = {
+        let mut store = shared.store.write().expect("store lock");
+        let entry = store.get_mut(&spec.series)?;
+        let hot = match spec.kind {
+            QueryKind::Motifs { .. } if spec.l_min == spec.l_max => entry
+                .hot_profile(spec.l_min)
+                .filter(|sp| sp.policy().reduced() == spec.policy.reduced())
+                .map(|sp| sp.profile()),
+            _ => None,
+        };
+        let (ps, version) = entry.profiled()?;
+        (ps, version, hot)
+    };
+    // The version may have advanced past the admission-time probe; another
+    // worker may also have filled the entry meanwhile. Re-probe.
+    let key = CacheKey { series: spec.series.clone(), version, query: spec.query_key() };
+    if let Some(payload) = shared.cache.lock().expect("cache lock").get(&key) {
+        return Ok(QueryOutcome { payload, cached: true });
+    }
+    let started = Instant::now();
+    let body = compute_payload(shared, spec, &ps, hot)?;
+    let payload = Arc::new(Value::obj(vec![
+        ("series", Value::str(&spec.series)),
+        ("version", version.into()),
+        ("compute_ms", (started.elapsed().as_secs_f64() * 1e3).into()),
+        ("body", body),
+    ]));
+    shared.counters.computed.fetch_add(1, Ordering::Relaxed);
+    shared.cache.lock().expect("cache lock").insert(key, Arc::clone(&payload));
+    Ok(QueryOutcome { payload, cached: false })
+}
+
+fn compute_payload(
+    shared: &Shared,
+    spec: &QuerySpec,
+    ps: &ProfiledSeries,
+    hot: Option<MatrixProfile>,
+) -> ServeResult<Value> {
+    let cfg = spec.valmod_config(shared.cfg.kernel_threads);
+    match spec.kind {
+        QueryKind::Motifs { top } => {
+            // Fixed-length queries at a registered hot length skip the
+            // batch computation: the streaming profile is already live.
+            let (motifs, source) = match hot {
+                Some(profile) => {
+                    shared.counters.served_hot.fetch_add(1, Ordering::Relaxed);
+                    (top_motifs(&profile, top), "hot")
+                }
+                None => {
+                    let out = valmod_on(ps, &cfg)?;
+                    (top_variable_length_motifs(&out.valmp, top, cfg.policy), "cold")
+                }
+            };
+            Ok(Value::obj(vec![
+                ("motifs", Value::Arr(motifs.iter().map(motif_value).collect())),
+                ("source", Value::str(source)),
+            ]))
+        }
+        QueryKind::Sets { k, radius } => {
+            if k == 0 {
+                return Err(ServeError::Data(DataError::InvalidParameter(
+                    "sets require k >= 1 tracked pairs".into(),
+                )));
+            }
+            let out = valmod_on(ps, &cfg)?;
+            let tracker = out.best_pairs.ok_or_else(|| {
+                ServeError::Data(DataError::InvalidParameter(
+                    "pair tracking produced no candidates".into(),
+                ))
+            })?;
+            let (sets, set_stats) = compute_var_length_motif_sets(ps, &tracker, radius, cfg.policy);
+            let sets_v: Vec<Value> = sets
+                .iter()
+                .map(|s| {
+                    let mut offsets: Vec<usize> = s.members.iter().map(|m| m.offset).collect();
+                    offsets.sort_unstable();
+                    Value::obj(vec![
+                        ("l", s.l.into()),
+                        ("pair", Value::Arr(vec![s.pair.0.into(), s.pair.1.into()])),
+                        ("pair_dist", s.pair_dist.into()),
+                        ("radius", s.radius.into()),
+                        ("frequency", s.frequency().into()),
+                        ("offsets", Value::Arr(offsets.into_iter().map(Value::from).collect())),
+                    ])
+                })
+                .collect();
+            Ok(Value::obj(vec![
+                ("sets", Value::Arr(sets_v)),
+                ("served_from_snapshots", set_stats.served_from_snapshots.into()),
+                ("recomputed_profiles", set_stats.recomputed_profiles.into()),
+            ]))
+        }
+        QueryKind::Discords { top } => {
+            let out = valmod_on(ps, &cfg)?;
+            let discords = variable_length_discords(&out.valmp, top, cfg.policy);
+            let arr: Vec<Value> = discords
+                .iter()
+                .map(|d| {
+                    Value::obj(vec![
+                        ("offset", d.offset.into()),
+                        ("l", d.l.into()),
+                        ("nn", d.nn.into()),
+                        ("score", d.score.into()),
+                    ])
+                })
+                .collect();
+            Ok(Value::obj(vec![("discords", Value::Arr(arr))]))
+        }
+    }
+}
+
+fn motif_value(m: &MotifPair) -> Value {
+    Value::obj(vec![
+        ("a", m.a.into()),
+        ("b", m.b.into()),
+        ("l", m.l.into()),
+        ("dist", m.dist.into()),
+        ("norm_dist", m.norm_dist().into()),
+    ])
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine").field("cfg", &self.shared.cfg).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::{plant_motif, random_walk};
+
+    fn engine(workers: usize, queue: usize, cache: usize) -> QueryEngine {
+        QueryEngine::new(EngineConfig {
+            workers,
+            queue_depth: queue,
+            cache_bytes: cache,
+            kernel_threads: 1,
+            default_deadline: Duration::from_secs(30),
+        })
+    }
+
+    fn motif_spec(series: &str, l_min: usize, l_max: usize) -> QuerySpec {
+        QuerySpec {
+            series: series.into(),
+            kind: QueryKind::Motifs { top: 3 },
+            l_min,
+            l_max,
+            p: 8,
+            policy: ExclusionPolicy::HALF,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn cold_then_cached_queries_agree() {
+        let eng = engine(2, 8, 1 << 20);
+        let (values, _) = plant_motif(1200, 40, 2, 0.001, 11);
+        eng.load("s", values, &[], ExclusionPolicy::HALF, false).unwrap();
+
+        let cold = eng.query(motif_spec("s", 32, 40)).unwrap();
+        assert!(!cold.cached);
+        let warm = eng.query(motif_spec("s", 32, 40)).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.payload.as_ref(), warm.payload.as_ref());
+        // A thread-count change must still hit (canonicalization).
+        // (kernel_threads is engine-wide here, so instead vary the policy
+        // representation: 2/4 ≡ 1/2.)
+        let mut spec = motif_spec("s", 32, 40);
+        spec.policy = ExclusionPolicy::new(2, 4);
+        assert!(eng.query(spec).unwrap().cached);
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn append_bumps_version_and_invalidates() {
+        let eng = engine(1, 8, 1 << 20);
+        let series = random_walk(500, 13);
+        eng.load("s", series[..400].to_vec(), &[], ExclusionPolicy::HALF, false).unwrap();
+        let first = eng.query(motif_spec("s", 24, 28)).unwrap();
+        assert!(!first.cached);
+        let (version, len) = eng.append("s", &series[400..]).unwrap();
+        assert_eq!((version, len), (2, 500));
+        let after = eng.query(motif_spec("s", 24, 28)).unwrap();
+        assert!(!after.cached, "append must invalidate the cached result");
+        assert_eq!(after.payload.get("version").unwrap().as_usize(), Some(2));
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn hot_length_serves_fixed_length_motifs() {
+        let eng = engine(1, 8, 0); // cache disabled: exercise the hot path
+        let (values, _) = plant_motif(900, 32, 2, 0.001, 17);
+        eng.load("s", values[..700].to_vec(), &[32], ExclusionPolicy::HALF, false).unwrap();
+        eng.append("s", &values[700..]).unwrap();
+        let out = eng.query(motif_spec("s", 32, 32)).unwrap();
+        let body = out.payload.get("body").unwrap();
+        assert_eq!(body.get("source").unwrap().as_str(), Some("hot"));
+        // The hot result agrees with a cold run of the same spec.
+        let eng2 = engine(1, 8, 0);
+        let (values, _) = plant_motif(900, 32, 2, 0.001, 17);
+        eng2.load("s", values, &[], ExclusionPolicy::HALF, false).unwrap();
+        let cold = eng2.query(motif_spec("s", 32, 32)).unwrap();
+        let cold_body = cold.payload.get("body").unwrap();
+        assert_eq!(cold_body.get("source").unwrap().as_str(), Some("cold"));
+        let (h, c) = (
+            body.get("motifs").unwrap().as_arr().unwrap(),
+            cold_body.get("motifs").unwrap().as_arr().unwrap(),
+        );
+        assert_eq!(h.len(), c.len());
+        for (x, y) in h.iter().zip(c) {
+            assert_eq!(x.get("a"), y.get("a"));
+            assert_eq!(x.get("b"), y.get("b"));
+            let dx = x.get("dist").unwrap().as_f64().unwrap();
+            let dy = y.get("dist").unwrap().as_f64().unwrap();
+            assert!((dx - dy).abs() < 1e-6);
+        }
+        for e in [eng, eng2] {
+            e.shutdown();
+            e.join();
+        }
+    }
+
+    #[test]
+    fn full_queue_returns_busy_not_panic() {
+        let eng = Arc::new(engine(1, 1, 0));
+        // Occupy the single worker...
+        let bg = {
+            let eng = Arc::clone(&eng);
+            std::thread::spawn(move || eng.sleep(400, None).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(100)); // worker has dequeued
+                                                        // ...fill the single queue slot...
+        let queued = {
+            let eng = Arc::clone(&eng);
+            std::thread::spawn(move || eng.sleep(1, None).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(100)); // slot occupied
+                                                        // ...and the next request is shed.
+        let err = eng.sleep(1, None).unwrap_err();
+        assert!(matches!(err, ServeError::Busy), "got {err:?}");
+        bg.join().unwrap().unwrap();
+        queued.join().unwrap().unwrap();
+        let stats = eng.stats();
+        let busy = stats.get("engine").unwrap().get("busy_rejections").unwrap().as_usize().unwrap();
+        assert!(busy >= 1);
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn deadline_is_enforced_for_queued_work() {
+        let eng = Arc::new(engine(1, 2, 0));
+        let bg = {
+            let eng = Arc::clone(&eng);
+            std::thread::spawn(move || eng.sleep(300, None).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        // Queued behind a 300 ms sleeper with a 50 ms deadline: dequeued
+        // after the deadline, so it must not run at all.
+        let err = eng.sleep(1, Some(Duration::from_millis(50))).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded), "got {err:?}");
+        bg.join().unwrap().unwrap();
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn unknown_series_fails_fast() {
+        let eng = engine(1, 2, 1024);
+        let err = eng.query(motif_spec("ghost", 16, 20)).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownSeries(_)));
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_joins() {
+        let eng = engine(2, 4, 1024);
+        eng.load("s", random_walk(200, 19), &[], ExclusionPolicy::HALF, false).unwrap();
+        eng.shutdown();
+        assert!(matches!(eng.query(motif_spec("s", 16, 20)), Err(ServeError::ShuttingDown)));
+        assert!(matches!(eng.append("s", &[1.0]), Err(ServeError::ShuttingDown)));
+        eng.join(); // must not hang
+    }
+}

@@ -1,0 +1,71 @@
+//! # valmod-serve
+//!
+//! The resident service layer of the VALMOD reproduction: instead of
+//! re-reading a series and recomputing its statistics on every CLI
+//! invocation, a `valmod-serve` process holds **named, versioned series**
+//! in memory and answers repeated motif/set/discord queries over them —
+//! the deployment shape of the authors' SIGMOD demo suite, where
+//! variable-length motif discovery is an interactive, standing operation.
+//!
+//! Layers (each usable on its own):
+//!
+//! * [`store::SeriesStore`] — named series with monotonically versioned
+//!   append ingestion; batch state rebuilt lazily, hot fixed lengths kept
+//!   live through [`valmod_mp::StreamingProfile`] at `O(n)` per point;
+//! * [`cache::ResultCache`] — LRU result cache with byte-budget
+//!   accounting, keyed by `(name, version, canonical query)` so stale
+//!   hits are structurally impossible;
+//! * [`engine::QueryEngine`] — a worker pool behind a bounded queue with
+//!   per-request deadlines; overload degrades to explicit `busy` errors;
+//! * [`protocol`] + [`value`] — a hand-rolled line-delimited JSON-ish
+//!   wire format (the build is fully offline: no serde, no tokio);
+//! * [`server::Server`] / [`client::Client`] — the `std::net` TCP front
+//!   end and its blocking client.
+//!
+//! ## Quick example (in-process, no sockets)
+//!
+//! ```
+//! use valmod_data::generators::plant_motif;
+//! use valmod_mp::ExclusionPolicy;
+//! use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+//!
+//! let engine = QueryEngine::new(EngineConfig::default());
+//! let (values, _) = plant_motif(1_000, 32, 2, 0.001, 7);
+//! engine.load("sensor", values, &[32], ExclusionPolicy::HALF, false).unwrap();
+//! let spec = QuerySpec {
+//!     series: "sensor".into(),
+//!     kind: QueryKind::Motifs { top: 1 },
+//!     l_min: 24,
+//!     l_max: 40,
+//!     p: 8,
+//!     policy: ExclusionPolicy::HALF,
+//!     deadline: None,
+//! };
+//! let cold = engine.query(spec.clone()).unwrap();
+//! let warm = engine.query(spec).unwrap();
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(cold.payload.as_ref(), warm.payload.as_ref());
+//! engine.shutdown();
+//! engine.join();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod store;
+pub mod value;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use client::Client;
+pub use engine::{EngineConfig, QueryEngine, QueryKind, QueryOutcome, QuerySpec};
+pub use error::{ServeError, ServeResult};
+pub use protocol::{Request, Response};
+pub use server::Server;
+pub use store::{SeriesStore, StoredSeries};
+pub use value::Value;

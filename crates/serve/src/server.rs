@@ -1,0 +1,192 @@
+//! The std-only TCP front end: one line-delimited request/response pair at
+//! a time per connection, many concurrent connections, graceful shutdown.
+//!
+//! A connection thread is cheap bookkeeping — all heavy work is bounded by
+//! the engine's worker pool, so a flood of connections degrades into
+//! `busy` responses, not into unbounded compute. The `shutdown` command
+//! answers `ok`, then stops the accept loop (a loopback self-connect
+//! unblocks the blocking `accept`), half-closes the read side of every
+//! open connection — a handler mid-request still writes its response, then
+//! sees EOF and exits — joins the handlers, and joins the engine's
+//! workers.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::QueryEngine;
+use crate::error::{ServeError, ServeResult};
+use crate::protocol::{response_err, response_ok, Request};
+use crate::value::Value;
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    stop: Arc<AtomicBool>,
+    /// Read-half handles of live connections, so shutdown can unblock
+    /// handlers parked in `read_line`.
+    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) around an engine.
+    pub fn bind(addr: impl ToSocketAddrs, engine: QueryEngine) -> ServeResult<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine: Arc::new(engine),
+            stop: Arc::new(AtomicBool::new(false)),
+            connections: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// The bound address (needed when binding to port 0).
+    pub fn local_addr(&self) -> ServeResult<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Shared handle to the engine (for embedding / inspection).
+    pub fn engine(&self) -> Arc<QueryEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Serves until a `shutdown` command arrives, then drains and returns.
+    pub fn run(self) -> ServeResult<()> {
+        let addr = self.local_addr()?;
+        let next_id = AtomicU64::new(0);
+        let mut handlers = Vec::new();
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(ServeError::Io(e));
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break; // the self-connect (or a late client) during shutdown
+            }
+            let id = next_id.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                self.connections.lock().expect("connections lock").insert(id, clone);
+            }
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            let connections = Arc::clone(&self.connections);
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, engine, &stop, addr);
+                connections.lock().expect("connections lock").remove(&id);
+            }));
+            handlers.retain(|h| !h.is_finished());
+        }
+        // Half-close every live connection: a handler mid-dispatch still
+        // delivers its response, then reads EOF and exits.
+        for (_, conn) in self.connections.lock().expect("connections lock").iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.engine.shutdown();
+        self.engine.join();
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: Arc<QueryEngine>,
+    stop: &AtomicBool,
+    server_addr: SocketAddr,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or socket error: drop connection
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, initiate_shutdown) = dispatch(&engine, &line);
+        let mut encoded = response.encode();
+        encoded.push('\n');
+        if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if initiate_shutdown {
+            // Flip the stop flag first, then unblock the accept loop.
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(server_addr);
+            return;
+        }
+    }
+}
+
+/// Handles one request line; the bool asks the caller to begin shutdown.
+fn dispatch(engine: &QueryEngine, line: &str) -> (Value, bool) {
+    let request = match Value::parse(line).and_then(|v| Request::from_value(&v)) {
+        Ok(req) => req,
+        Err(e) => return (response_err(&e), false),
+    };
+    match request {
+        Request::Load { name, values, hot, replace } => {
+            let policy = valmod_mp::ExclusionPolicy::HALF;
+            (
+                result_response(engine.load(&name, values, &hot, policy, replace).map(
+                    |(version, len)| {
+                        Value::obj(vec![
+                            ("name", Value::str(&name)),
+                            ("version", version.into()),
+                            ("len", len.into()),
+                        ])
+                    },
+                )),
+                false,
+            )
+        }
+        Request::Append { name, values } => (
+            result_response(engine.append(&name, &values).map(|(version, len)| {
+                Value::obj(vec![
+                    ("name", Value::str(&name)),
+                    ("version", version.into()),
+                    ("len", len.into()),
+                ])
+            })),
+            false,
+        ),
+        Request::Query(spec) => match engine.query(spec) {
+            Ok(outcome) => {
+                (response_ok(outcome.payload.as_ref().clone(), Some(outcome.cached)), false)
+            }
+            Err(e) => (response_err(&e), false),
+        },
+        Request::Sleep { ms, deadline } => match engine.sleep(ms, deadline) {
+            Ok(outcome) => {
+                (response_ok(outcome.payload.as_ref().clone(), Some(outcome.cached)), false)
+            }
+            Err(e) => (response_err(&e), false),
+        },
+        Request::Stats => (response_ok(engine.stats(), None), false),
+        Request::Ping => (response_ok(Value::str("pong"), None), false),
+        Request::Shutdown => (response_ok(Value::str("shutting down"), None), true),
+    }
+}
+
+fn result_response(result: ServeResult<Value>) -> Value {
+    match result {
+        Ok(v) => response_ok(v, None),
+        Err(e) => response_err(&e),
+    }
+}

@@ -1,0 +1,256 @@
+//! The named, versioned series store.
+//!
+//! Each stored series carries a **version** that increments on every
+//! append; result-cache keys embed the version, so a query result can
+//! never be served against data it was not computed from. Batch state
+//! (the [`ProfiledSeries`] with its O(1) rolling statistics) is rebuilt
+//! lazily — at most once per version — while **hot lengths** keep a
+//! [`StreamingProfile`] live across appends at `O(n)` per point, so a
+//! fixed-length motif monitor never pays a batch recomputation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use valmod_data::error::DataError;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
+
+use crate::error::{ServeError, ServeResult};
+
+/// One named series with its versioned derived state.
+#[derive(Debug)]
+pub struct StoredSeries {
+    values: Vec<f64>,
+    version: u64,
+    /// Lazily (re)built batch view; `None` whenever `values` has changed
+    /// since the last build. `Arc` so workers can compute without holding
+    /// the store lock.
+    profiled: Option<Arc<ProfiledSeries>>,
+    /// Live fixed-length profiles, extended incrementally on append.
+    hot: HashMap<usize, StreamingProfile>,
+}
+
+impl StoredSeries {
+    fn new(values: Vec<f64>, hot_lengths: &[usize], policy: ExclusionPolicy) -> ServeResult<Self> {
+        validate_samples(&values, 0)?;
+        let mut series = StoredSeries { values, version: 1, profiled: None, hot: HashMap::new() };
+        for &l in hot_lengths {
+            series.track(l, policy)?;
+        }
+        Ok(series)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current version (1 after load, +1 per append batch).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Registers a hot length: seeds a streaming profile from the current
+    /// samples so subsequent appends keep it live.
+    pub fn track(&mut self, l: usize, policy: ExclusionPolicy) -> ServeResult<()> {
+        if self.hot.contains_key(&l) {
+            return Ok(());
+        }
+        let sp = StreamingProfile::new(&self.values, l, policy)?;
+        self.hot.insert(l, sp);
+        Ok(())
+    }
+
+    /// The live profile at a hot length, if one is registered.
+    pub fn hot_profile(&self, l: usize) -> Option<&StreamingProfile> {
+        self.hot.get(&l)
+    }
+
+    /// The registered hot lengths, sorted.
+    pub fn hot_lengths(&self) -> Vec<usize> {
+        let mut ls: Vec<usize> = self.hot.keys().copied().collect();
+        ls.sort_unstable();
+        ls
+    }
+
+    /// Appends a batch of samples: bumps the version, extends every hot
+    /// profile incrementally, and invalidates the lazily-built batch view.
+    /// All-or-nothing — a non-finite sample rejects the whole batch and
+    /// leaves every piece of state untouched.
+    pub fn append(&mut self, samples: &[f64]) -> ServeResult<u64> {
+        if samples.is_empty() {
+            return Err(ServeError::Data(DataError::InvalidParameter(
+                "append requires at least one sample".into(),
+            )));
+        }
+        validate_samples(samples, self.values.len())?;
+        for sp in self.hot.values_mut() {
+            sp.extend(samples.iter().copied())?;
+        }
+        self.values.extend_from_slice(samples);
+        self.version += 1;
+        self.profiled = None;
+        Ok(self.version)
+    }
+
+    /// The batch view of the current version, building it if the series
+    /// changed since the last call. Returns the version alongside the view,
+    /// captured atomically — cache entries must be keyed by exactly this
+    /// version.
+    pub fn profiled(&mut self) -> ServeResult<(Arc<ProfiledSeries>, u64)> {
+        if self.profiled.is_none() {
+            self.profiled = Some(Arc::new(ProfiledSeries::from_values(&self.values)?));
+        }
+        Ok((Arc::clone(self.profiled.as_ref().expect("just built")), self.version))
+    }
+}
+
+fn validate_samples(samples: &[f64], base_index: usize) -> ServeResult<()> {
+    if let Some(bad) = samples.iter().position(|v| !v.is_finite()) {
+        return Err(ServeError::Data(DataError::NonFinite { index: base_index + bad }));
+    }
+    Ok(())
+}
+
+/// All series held by one engine, addressed by name.
+#[derive(Debug, Default)]
+pub struct SeriesStore {
+    map: HashMap<String, StoredSeries>,
+}
+
+impl SeriesStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SeriesStore::default()
+    }
+
+    /// Loads a series under `name`. Fails with [`ServeError::SeriesExists`]
+    /// unless `replace` is set; a replace resets the version to 1 (callers
+    /// must invalidate any cache entries for the name).
+    pub fn load(
+        &mut self,
+        name: &str,
+        values: Vec<f64>,
+        hot_lengths: &[usize],
+        policy: ExclusionPolicy,
+        replace: bool,
+    ) -> ServeResult<&StoredSeries> {
+        if name.is_empty() {
+            return Err(ServeError::Protocol("series name must be non-empty".into()));
+        }
+        if !replace && self.map.contains_key(name) {
+            return Err(ServeError::SeriesExists(name.to_string()));
+        }
+        let series = StoredSeries::new(values, hot_lengths, policy)?;
+        self.map.insert(name.to_string(), series);
+        Ok(self.map.get(name).expect("just inserted"))
+    }
+
+    /// The series under `name`.
+    pub fn get(&self, name: &str) -> ServeResult<&StoredSeries> {
+        self.map.get(name).ok_or_else(|| ServeError::UnknownSeries(name.to_string()))
+    }
+
+    /// Mutable access to the series under `name`.
+    pub fn get_mut(&mut self, name: &str) -> ServeResult<&mut StoredSeries> {
+        self.map.get_mut(name).ok_or_else(|| ServeError::UnknownSeries(name.to_string()))
+    }
+
+    /// Number of stored series.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Names in sorted order (stable STATS output).
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.map.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::random_walk;
+    use valmod_mp::stomp::stomp;
+
+    #[test]
+    fn load_append_versions() {
+        let mut store = SeriesStore::new();
+        let values = random_walk(200, 5);
+        store.load("a", values.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+        assert_eq!(store.get("a").unwrap().version(), 1);
+        assert!(store.load("a", values.clone(), &[], ExclusionPolicy::HALF, false).is_err());
+        store.load("a", values, &[], ExclusionPolicy::HALF, true).unwrap();
+        assert_eq!(store.get("a").unwrap().version(), 1);
+
+        let v = store.get_mut("a").unwrap().append(&[1.0, 2.0]).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(store.get("a").unwrap().len(), 202);
+        assert!(store.get("missing").is_err());
+    }
+
+    #[test]
+    fn append_is_atomic_under_bad_input() {
+        let mut store = SeriesStore::new();
+        store.load("a", random_walk(120, 6), &[16], ExclusionPolicy::HALF, false).unwrap();
+        let s = store.get_mut("a").unwrap();
+        let err = s.append(&[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, ServeError::Data(DataError::NonFinite { index: 121 })));
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.hot_profile(16).unwrap().len(), 120);
+        assert!(s.append(&[]).is_err());
+        assert_eq!(s.version(), 1);
+    }
+
+    #[test]
+    fn hot_profile_tracks_appends_and_matches_batch() {
+        let series = random_walk(300, 7);
+        let mut store = SeriesStore::new();
+        store.load("a", series[..200].to_vec(), &[20], ExclusionPolicy::HALF, false).unwrap();
+        store.get_mut("a").unwrap().append(&series[200..]).unwrap();
+
+        let entry = store.get("a").unwrap();
+        assert_eq!(entry.hot_lengths(), vec![20]);
+        let hot = entry.hot_profile(20).unwrap().profile();
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let batch = stomp(&ps, 20, ExclusionPolicy::HALF).unwrap();
+        for i in 0..batch.len() {
+            if batch.mp[i].is_finite() {
+                assert!((hot.mp[i] - batch.mp[i]).abs() < 1e-6, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_is_cached_per_version() {
+        let mut store = SeriesStore::new();
+        store.load("a", random_walk(150, 8), &[], ExclusionPolicy::HALF, false).unwrap();
+        let s = store.get_mut("a").unwrap();
+        let (p1, v1) = s.profiled().unwrap();
+        let (p2, v2) = s.profiled().unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!((v1, v2), (1, 1));
+        s.append(&[0.5]).unwrap();
+        let (p3, v3) = s.profiled().unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(v3, 2);
+        assert_eq!(p3.len(), 151);
+    }
+}

@@ -1,0 +1,474 @@
+//! A hand-rolled, line-delimited JSON-ish value: the wire format of
+//! `valmod-serve`.
+//!
+//! The build environment is fully offline (no `serde`), and the protocol
+//! needs exactly one self-describing tree type, so this module implements
+//! the JSON subset the service speaks: `null`, booleans, finite `f64`
+//! numbers, strings with the standard escapes, arrays, and objects.
+//! Objects preserve insertion order (encoding is deterministic, which the
+//! result cache's byte accounting and the tests rely on).
+//!
+//! Deviation from strict JSON: non-finite numbers encode as `null`
+//! (matrix-profile slots can legitimately be `+∞`), and parsing accepts
+//! nothing that strict JSON would reject — so any real JSON library can
+//! talk to the server.
+
+use crate::error::{ServeError, ServeResult};
+
+/// A JSON-ish tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (always carried as `f64`; offsets stay exact below 2⁵³).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Looks up a key in an object (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Encodes to a single compact line (no interior newlines, ever —
+    /// the framing is one request or response per `\n`-terminated line).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    // `{}` on f64 prints the shortest round-tripping form.
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => encode_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one value from a line, requiring nothing but whitespace after
+    /// it.
+    pub fn parse(input: &str) -> ServeResult<Value> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ServeError {
+        ServeError::Protocol(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> ServeResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> ServeResult<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> ServeResult<Value> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    fn number(&mut self) -> ServeResult<Value> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let n: f64 = text.parse().map_err(|_| self.err("malformed number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Value::Num(n))
+    }
+
+    fn string(&mut self) -> ServeResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Scan a run of plain UTF-8 up to the next quote or escape.
+            let run_start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[run_start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not paired (the encoder never
+                            // emits them); map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> ServeResult<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> ServeResult<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let line = v.encode();
+        assert!(!line.contains('\n'), "framing requires single-line encoding: {line}");
+        assert_eq!(&Value::parse(&line).unwrap(), v, "roundtrip of {line}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Num(0.0),
+            Value::Num(-17.25),
+            Value::Num(1e-300),
+            Value::Num(123456789012345.0),
+            Value::str(""),
+            Value::str("plain"),
+            Value::str("esc \" \\ \n \t \r del\u{7f} ünïcode ☃"),
+            Value::str("\u{1}control"),
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn trees_roundtrip() {
+        let v = Value::obj(vec![
+            ("cmd", Value::str("motifs")),
+            ("values", Value::Arr(vec![Value::Num(1.5), Value::Null, Value::Bool(false)])),
+            (
+                "nested",
+                Value::obj(vec![("empty_arr", Value::Arr(vec![])), ("o", Value::obj(vec![]))]),
+            ),
+        ]);
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn f64_precision_survives() {
+        let xs = [std::f64::consts::PI, 1.0 / 3.0, f64::MIN_POSITIVE, -0.0];
+        let v = Value::Arr(xs.iter().map(|&x| Value::Num(x)).collect());
+        let back = Value::parse(&v.encode()).unwrap();
+        let arr = back.as_arr().unwrap();
+        for (a, b) in xs.iter().zip(arr) {
+            assert_eq!(a.to_bits(), b.as_f64().unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_encodes_as_null() {
+        assert_eq!(Value::Num(f64::INFINITY).encode(), "null");
+        assert_eq!(Value::Num(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn whitespace_and_json_compat() {
+        let v = Value::parse("  { \"a\" : [ 1 , 2.5 ] , \"b\" : null }  ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("b"), Some(&Value::Null));
+        assert_eq!(Value::parse("\"a\\u00e9b\"").unwrap(), Value::str("aéb"));
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "1 2",
+            "[1]]",
+            "--5",
+            "1e999",
+        ] {
+            assert!(Value::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_type_check() {
+        let v = Value::parse("{\"n\":3,\"neg\":-1,\"frac\":2.5,\"s\":\"x\",\"b\":true}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_usize(), Some(3));
+        assert_eq!(v.get("neg").unwrap().as_usize(), None);
+        assert_eq!(v.get("frac").unwrap().as_usize(), None);
+        assert_eq!(v.get("frac").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("n"), None);
+    }
+}

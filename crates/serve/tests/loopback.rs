@@ -1,0 +1,145 @@
+//! Loopback integration test: a real server on an ephemeral port, driven
+//! through real TCP sockets, proving the acceptance criteria end to end —
+//! cache-identical results, append-driven invalidation, busy-not-panic
+//! under a full queue, and clean shutdown.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use valmod_data::generators::plant_motif;
+use valmod_serve::engine::{EngineConfig, QueryEngine};
+use valmod_serve::{Client, Request, ServeError, Server, Value};
+
+fn start_server(cfg: EngineConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", QueryEngine::new(cfg)).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+#[test]
+fn full_protocol_roundtrip() {
+    let (addr, server) = start_server(EngineConfig {
+        workers: 2,
+        queue_depth: 8,
+        cache_bytes: 1 << 20,
+        kernel_threads: 1,
+        default_deadline: Duration::from_secs(60),
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+
+    // LOAD with a hot length, keeping a holdout tail for APPEND.
+    let (values, _) = plant_motif(1_200, 32, 2, 0.001, 23);
+    let (head, tail) = values.split_at(1_000);
+    let (version, len) = client.load("sensor", head.to_vec(), vec![32], false).unwrap();
+    assert_eq!((version, len), (1, 1_000));
+    // Reloading without replace is an explicit error, not a clobber.
+    let err = client.load("sensor", head.to_vec(), vec![], false).unwrap_err();
+    assert!(matches!(err, ServeError::Protocol(_)), "got {err:?}");
+
+    // Cold query, then cached query: byte-identical results.
+    let cold = client.motifs("sensor", 24, 40, 3).unwrap();
+    assert_eq!(cold.cached, Some(false));
+    let warm = client.motifs("sensor", 24, 40, 3).unwrap();
+    assert_eq!(warm.cached, Some(true));
+    assert_eq!(cold.result, warm.result, "cached result must be identical to the cold one");
+    let motifs = cold.result.get("body").unwrap().get("motifs").unwrap().as_arr().unwrap();
+    assert!(!motifs.is_empty());
+
+    // APPEND bumps the version and invalidates the cached entry.
+    let (version, len) = client.append("sensor", tail.to_vec()).unwrap();
+    assert_eq!((version, len), (2, 1_200));
+    let after = client.motifs("sensor", 24, 40, 3).unwrap();
+    assert_eq!(after.cached, Some(false), "append must invalidate stale cache entries");
+    assert_eq!(after.result.get("version").unwrap().as_usize(), Some(2));
+    // ...and the recomputed result is itself cached again.
+    assert_eq!(client.motifs("sensor", 24, 40, 3).unwrap().cached, Some(true));
+
+    // The hot fixed-length path stayed live across the append.
+    let hot = client.motifs("sensor", 32, 32, 1).unwrap();
+    assert_eq!(hot.result.get("body").unwrap().get("source").unwrap().as_str(), Some("hot"));
+
+    // Sets and discords answer over the same connection.
+    let sets = client
+        .roundtrip_value(
+            &Value::parse(r#"{"cmd":"sets","name":"sensor","min":30,"max":34,"k":3,"p":8}"#)
+                .unwrap(),
+        )
+        .unwrap();
+    assert!(!sets.result.get("body").unwrap().get("sets").unwrap().as_arr().unwrap().is_empty());
+    let discords = client
+        .roundtrip_value(
+            &Value::parse(r#"{"cmd":"discords","name":"sensor","min":30,"max":34,"p":8}"#).unwrap(),
+        )
+        .unwrap();
+    assert!(discords.result.get("body").unwrap().get("discords").unwrap().as_arr().is_some());
+
+    // STATS reflects the story so far.
+    let stats = client.stats().unwrap();
+    let engine = stats.get("engine").unwrap();
+    assert!(engine.get("queries").unwrap().as_usize().unwrap() >= 5);
+    let cache = stats.get("cache").unwrap();
+    assert!(cache.get("hits").unwrap().as_usize().unwrap() >= 2);
+    assert!(cache.get("invalidated").unwrap().as_usize().unwrap() >= 1);
+    let series = stats.get("series").unwrap().as_arr().unwrap();
+    assert_eq!(series.len(), 1);
+    assert_eq!(series[0].get("name").unwrap().as_str(), Some("sensor"));
+    assert_eq!(series[0].get("version").unwrap().as_usize(), Some(2));
+
+    // Unknown series and malformed lines answer errors without dropping
+    // the connection.
+    let err = client.motifs("ghost", 16, 20, 1).unwrap_err();
+    assert!(matches!(err, ServeError::Protocol(_)), "got {err:?}");
+    let err = client.roundtrip_value(&Value::str("not a request")).unwrap_err();
+    assert!(matches!(err, ServeError::Protocol(_)));
+    client.ping().unwrap();
+
+    // Graceful shutdown: the server thread returns and the port closes.
+    client.shutdown().unwrap();
+    server.join().expect("server thread exits cleanly");
+    assert!(TcpStream::connect(addr).is_err(), "port should be closed after graceful shutdown");
+}
+
+#[test]
+fn full_queue_answers_busy_over_tcp() {
+    let (addr, server) = start_server(EngineConfig {
+        workers: 1,
+        queue_depth: 1,
+        cache_bytes: 0,
+        kernel_threads: 1,
+        default_deadline: Duration::from_secs(60),
+    });
+    // Occupy the single worker from one connection...
+    let sleeper = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.sleep(600, None).unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // ...fill the one queue slot from a second...
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.sleep(1, None).unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // ...and observe load shedding on a third.
+    let mut c = Client::connect(addr).unwrap();
+    let err = c.sleep(1, None).unwrap_err();
+    assert!(matches!(err, ServeError::Busy), "expected busy, got {err:?}");
+    sleeper.join().unwrap();
+    queued.join().unwrap();
+
+    // A deadline shorter than the queue wait is reported as such.
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.sleep(400, None).unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let err = c.sleep(1, Some(Duration::from_millis(50))).unwrap_err();
+    assert!(matches!(err, ServeError::DeadlineExceeded), "expected deadline, got {err:?}");
+    slow.join().unwrap();
+
+    let mut shut = Client::connect(addr).unwrap();
+    shut.request(&Request::Shutdown).unwrap();
+    server.join().expect("clean shutdown after shedding load");
+}

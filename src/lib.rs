@@ -17,3 +17,4 @@ pub use valmod_data as data;
 pub use valmod_fft as fft;
 pub use valmod_index as index;
 pub use valmod_mp as mp;
+pub use valmod_serve as serve;
