@@ -3,11 +3,11 @@
 //! The comparators of the VALMOD evaluation (paper §6.1), all exact:
 //!
 //! * [`brute`] — `O(n²ℓ)` brute force (the test oracle).
-//! * [`stomp_range`] — STOMP run independently per length (the adapted
+//! * [`stomp_range()`] — STOMP run independently per length (the adapted
 //!   fixed-length state of the art).
-//! * [`quick_motif`] — QuickMotif: PAA summaries + Hilbert R-tree, best-first
+//! * [`quick_motif()`] — QuickMotif: PAA summaries + Hilbert R-tree, best-first
 //!   MBR-pair pruning with early-abandoning refinement.
-//! * [`moen`] — a MOEN-style enumerator of motifs of all lengths whose lower
+//! * [`moen()`] — a MOEN-style enumerator of motifs of all lengths whose lower
 //!   bound decays multiplicatively per length step (the behaviour §6.2
 //!   contrasts with VALMOD's per-profile σ-ratio).
 //!

@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use valmod_baselines::moen::moen;
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::datasets::Dataset;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
@@ -23,8 +23,8 @@ fn bench_bound_families(c: &mut Criterion) {
             BenchmarkId::new("per_profile_sigma_ratio", ds.name()),
             &ds,
             |b, _| {
-                let cfg = ValmodConfig::new(l_min, l_max).with_p(20);
-                b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+                let runner = Valmod::from_config(ValmodConfig::new(l_min, l_max).with_p(20));
+                b.iter(|| black_box(runner.run_on(&ps).unwrap()))
             },
         );
         group.bench_with_input(

@@ -9,7 +9,7 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::datasets::Dataset;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
@@ -21,8 +21,9 @@ fn bench_exclusion_policies(c: &mut Criterion) {
         [("half_l", ExclusionPolicy::HALF), ("quarter_l", ExclusionPolicy::QUARTER)]
     {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
-            let cfg = ValmodConfig::new(48, 60).with_p(20).with_policy(policy);
-            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+            let runner =
+                Valmod::from_config(ValmodConfig::new(48, 60).with_p(20).with_policy(policy));
+            b.iter(|| black_box(runner.run_on(&ps).unwrap()))
         });
     }
     group.finish();

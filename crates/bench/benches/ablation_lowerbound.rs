@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use valmod_baselines::stomp_range::stomp_range;
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::datasets::Dataset;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
@@ -19,8 +19,8 @@ fn bench_lb_vs_none(c: &mut Criterion) {
         let ps = ProfiledSeries::new(&ds.generate(1_500, 1));
         let (l_min, l_max) = (48usize, 64usize);
         group.bench_with_input(BenchmarkId::new("valmod_with_eq2", ds.name()), &ds, |b, _| {
-            let cfg = ValmodConfig::new(l_min, l_max).with_p(20);
-            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+            let runner = Valmod::from_config(ValmodConfig::new(l_min, l_max).with_p(20));
+            b.iter(|| black_box(runner.run_on(&ps).unwrap()))
         });
         group.bench_with_input(
             BenchmarkId::new("no_bound_stomp_per_length", ds.name()),

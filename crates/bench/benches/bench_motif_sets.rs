@@ -5,14 +5,14 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use valmod_core::motif_sets::compute_var_length_motif_sets;
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::datasets::Dataset;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
 fn bench_sets(c: &mut Criterion) {
     let ps = ProfiledSeries::new(&Dataset::Gap.generate(2_000, 1));
-    let cfg = ValmodConfig::new(64, 80).with_p(20).with_pair_tracking(80);
-    let out = valmod_on(&ps, &cfg).unwrap();
+    let runner = Valmod::from_config(ValmodConfig::new(64, 80).with_p(20).with_pair_tracking(80));
+    let out = runner.run_on(&ps).unwrap();
     let tracker = out.best_pairs.unwrap();
 
     let mut group = c.benchmark_group("motif_sets");

@@ -1,0 +1,41 @@
+//! Observability overhead: the instrumented STOMP kernel with the default
+//! no-op recorder must be indistinguishable from the raw kernel (the
+//! acceptance bar is ≤1% — in practice it is within measurement noise,
+//! because every metric site is gated on `Recorder::enabled()` before any
+//! clock read or atomic touch). The third variant attaches a live
+//! [`Registry`] to show what recording actually costs when switched on.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use valmod_data::datasets::Dataset;
+use valmod_mp::{stomp_parallel, stomp_parallel_with, ExclusionPolicy, ProfiledSeries};
+use valmod_obs::{Registry, SharedRecorder};
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let ps = ProfiledSeries::new(&Dataset::Ecg.generate(2_000, 1));
+    let (l, threads) = (64usize, 2usize);
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("stomp_raw", |b| {
+        b.iter(|| black_box(stomp_parallel(&ps, l, ExclusionPolicy::HALF, threads).unwrap()))
+    });
+    group.bench_function("stomp_noop_recorder", |b| {
+        let noop = SharedRecorder::noop();
+        b.iter(|| {
+            black_box(stomp_parallel_with(&ps, l, ExclusionPolicy::HALF, threads, &noop).unwrap())
+        })
+    });
+    group.bench_function("stomp_live_registry", |b| {
+        let recorder = SharedRecorder::from(Registry::new());
+        b.iter(|| {
+            black_box(
+                stomp_parallel_with(&ps, l, ExclusionPolicy::HALF, threads, &recorder).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::datasets::Dataset;
 use valmod_mp::ProfiledSeries;
 
@@ -14,8 +14,8 @@ fn bench_valmod_range(c: &mut Criterion) {
     group.sample_size(10);
     for range in [4usize, 16, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(range), &range, |b, &range| {
-            let cfg = ValmodConfig::new(64, 64 + range).with_p(20);
-            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+            let runner = Valmod::from_config(ValmodConfig::new(64, 64 + range).with_p(20));
+            b.iter(|| black_box(runner.run_on(&ps).unwrap()))
         });
     }
     group.finish();
@@ -27,8 +27,8 @@ fn bench_valmod_p(c: &mut Criterion) {
     group.sample_size(10);
     for p in [5usize, 50, 150] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            let cfg = ValmodConfig::new(64, 80).with_p(p);
-            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+            let runner = Valmod::from_config(ValmodConfig::new(64, 80).with_p(p));
+            b.iter(|| black_box(runner.run_on(&ps).unwrap()))
         });
     }
     group.finish();
@@ -40,8 +40,8 @@ fn bench_valmod_datasets(c: &mut Criterion) {
     for ds in Dataset::ALL {
         let ps = ProfiledSeries::new(&ds.generate(2_000, 1));
         group.bench_with_input(BenchmarkId::from_parameter(ds.name()), &ds, |b, _| {
-            let cfg = ValmodConfig::new(64, 80).with_p(20);
-            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+            let runner = Valmod::from_config(ValmodConfig::new(64, 80).with_p(20));
+            b.iter(|| black_box(runner.run_on(&ps).unwrap()))
         });
     }
     group.finish();
@@ -53,8 +53,9 @@ fn bench_valmod_threads(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let cfg = ValmodConfig::new(64, 80).with_p(20).with_threads(threads);
-            b.iter(|| black_box(valmod_on(&ps, &cfg).unwrap()))
+            let runner =
+                Valmod::from_config(ValmodConfig::new(64, 80).with_p(20).with_threads(threads));
+            b.iter(|| black_box(runner.run_on(&ps).unwrap()))
         });
     }
     group.finish();

@@ -5,7 +5,7 @@
 
 use valmod_bench::params::Scale;
 use valmod_bench::report::Report;
-use valmod_core::valmod::{valmod, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::datasets::epg_like;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     let l_min = probing_len * 9 / 10;
     let l_max = ingestion_len * 11 / 10;
     let cfg = ValmodConfig::new(l_min, l_max).with_p(12);
-    let out = valmod(&series, &cfg).expect("range fits the series");
+    let out = Valmod::from_config(cfg.clone()).run(&series).expect("range fits the series");
 
     let mut report = Report::new(
         "fig01_case_study",

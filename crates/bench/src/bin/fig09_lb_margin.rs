@@ -3,13 +3,16 @@
 //! (ECG) and worst-case (EMG) datasets.
 //!
 //! A positive margin means the `ComputeSubMP` line-16 validity condition
-//! held — the profile was resolved without recomputation. The paper's shape:
-//! ECG keeps positive margins at both lengths; EMG's margins collapse below
-//! zero at the long length.
+//! held — the profile was resolved without recomputation. The margins come
+//! straight from the metric registry: `lb_probe` attaches a recorder to the
+//! production `ComputeSubMP` advance, and the `core.lb.margin` histogram
+//! (normalised by the maximum distance `2·sqrt(l)`) is what the algorithm
+//! actually measured. The paper's shape: ECG keeps positive margins at both
+//! lengths; EMG's margins collapse below zero at the long length.
 
 use valmod_bench::params::{BenchParams, Scale};
 use valmod_bench::report::Report;
-use valmod_core::instrument::probe_at_length;
+use valmod_core::instrument::lb_probe;
 use valmod_data::datasets::Dataset;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
@@ -24,10 +27,10 @@ fn main() {
 
     let mut report = Report::new(
         "fig09_lb_margin",
-        &["dataset", "anchor", "target", "row_bucket", "mean_margin", "positive_fraction"],
+        &["dataset", "anchor", "target", "bucket_upper_edge", "frequency", "positive_fraction"],
     );
     report.headline(&format!(
-        "Fig. 9: maxLB - minDist per distance profile (n={}, p={})",
+        "Fig. 9: maxLB - minDist per distance profile, normalised by 2*sqrt(l) (n={}, p={})",
         default.n, default.p
     ));
     for ds in [Dataset::Ecg, Dataset::Emg] {
@@ -44,37 +47,31 @@ fn main() {
                 ));
                 continue;
             }
-            let probes =
-                probe_at_length(&ps, anchor, target, default.p, ExclusionPolicy::HALF).unwrap();
-            let finite: Vec<f64> =
-                probes.iter().filter(|p| p.margin.is_finite()).map(|p| p.margin).collect();
-            let positive =
-                finite.iter().filter(|&&m| m > 0.0).count() as f64 / finite.len().max(1) as f64;
+            let snap = lb_probe(&ps, anchor, target, default.p, ExclusionPolicy::HALF).unwrap();
+            let margins = snap.histogram("core.lb.margin").expect("margin histogram");
+            let valid = snap.counter("core.lb.valid_rows").unwrap_or(0);
+            let nonvalid = snap.counter("core.lb.nonvalid_rows").unwrap_or(0);
+            let positive = margins.fraction_above(0.0);
             report.line(&format!(
-                "\n[{} anchor={} target={}] positive-margin fraction: {:.3}",
+                "\n[{} anchor={} target={}] positive-margin fraction {:.3}; \
+                 {} rows resolved by the bound, {} recomputed",
                 ds.name(),
                 anchor,
                 target,
-                positive
+                positive,
+                valid,
+                nonvalid
             ));
-            // Bucket the profiles into 10 offset deciles (the x-axis of the
-            // paper's scatter, summarised).
-            let buckets = 10usize;
-            for b in 0..buckets {
-                let lo = b * finite.len() / buckets;
-                let hi = ((b + 1) * finite.len() / buckets).max(lo + 1).min(finite.len());
-                let slice = &finite[lo..hi.max(lo + 1).min(finite.len())];
-                if slice.is_empty() {
-                    continue;
-                }
-                let mean = slice.iter().sum::<f64>() / slice.len() as f64;
-                report.line(&format!("  offsets {lo:>7}..{hi:<7} mean margin {mean:>10.4}"));
+            for (b, f) in margins.frequencies().iter().enumerate() {
+                let edge = margins.bounds.get(b).copied().unwrap_or(f64::INFINITY);
+                let bar = "#".repeat((f * 200.0).round() as usize);
+                report.line(&format!("  margin ≤{edge:>6.3} {f:>7.4} {bar}"));
                 report.csv_row(&[
                     ds.name().into(),
                     anchor.to_string(),
                     target.to_string(),
-                    format!("{lo}-{hi}"),
-                    format!("{mean:.6}"),
+                    format!("{edge:.4}"),
+                    format!("{f:.6}"),
                     format!("{positive:.6}"),
                 ]);
             }

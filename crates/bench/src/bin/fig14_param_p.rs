@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use valmod_bench::params::{BenchParams, Scale};
 use valmod_bench::report::Report;
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::datasets::Dataset;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
@@ -40,7 +40,7 @@ fn main() {
                 threads: default.threads,
             };
             let start = Instant::now();
-            let out = match valmod_on(&ps, &cfg) {
+            let out = match Valmod::from_config(cfg.clone()).run_on(&ps) {
                 Ok(out) => out,
                 Err(e) => {
                     report.line(&format!("  p={p}: skipped ({e})"));

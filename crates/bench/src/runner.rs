@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use valmod_baselines::moen::moen;
 use valmod_baselines::quick_motif::{quick_motif_range_with_deadline, QuickMotifConfig};
 use valmod_baselines::stomp_range::stomp_range_with_deadline;
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_mp::exclusion::ExclusionPolicy;
 use valmod_mp::ProfiledSeries;
 
@@ -111,7 +111,7 @@ pub fn run_algorithm(
                 track_pairs: 0,
                 threads: params.threads,
             };
-            match valmod_on(ps, &cfg) {
+            match Valmod::from_config(cfg).run_on(ps) {
                 // Length-normalised, like `best_norm` below, so the
                 // cross-algorithm agreement check compares like with like.
                 Ok(out) => out.best_motif().map(|m| m.norm_dist()),

@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 use args::{ArgError, Args};
 use valmod_core::{
-    compute_var_length_motif_sets, top_variable_length_motifs, valmod, variable_length_discords,
+    compute_var_length_motif_sets, top_variable_length_motifs, variable_length_discords, Valmod,
     ValmodConfig,
 };
 use valmod_data::datasets::Dataset;
@@ -29,7 +29,7 @@ use valmod_data::io;
 use valmod_data::series::Series;
 use valmod_mp::{stomp, stomp_parallel, ExclusionPolicy, ProfiledSeries};
 use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
-use valmod_serve::{Client, Server};
+use valmod_serve::{Client, Server, Value as WireValue};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
+        "stats" => cmd_stats(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -88,6 +89,7 @@ USAGE:
                    [--name <series>] [--input <file>] [--hot <l1,l2>] [--replace]
                    [--min <len>] [--max <len>] [--p <n>] [--top <k>] [--k <n>] [--radius <D>]
                    [--deadline-ms <n>]
+  valmod stats     [--addr <host:port>] [--raw]
   valmod help
 
 Input: text (one value per line; `#` comments; commas/whitespace) or raw
@@ -97,7 +99,10 @@ little-endian f64 for `.bin`/`.f64` extensions.
 1 (default) is sequential, 0 uses every available core.
 
 `serve` keeps named series resident, answers repeated queries from an LRU
-result cache, and accepts live APPEND ingestion; `query` is its client.";
+result cache, and accepts live APPEND ingestion; `query` is its client.
+`stats` renders a running server's metric registry — counters, gauges,
+and latency histograms from every layer — in a human-readable table
+(`--raw` prints the full STATS response verbatim instead).";
 
 fn load(args: &Args) -> Result<Series, Box<dyn std::error::Error>> {
     Ok(io::load_auto(args.require("input")?)?)
@@ -116,7 +121,7 @@ fn cmd_discover(args: &Args) -> CliResult {
     let series = load(args)?;
     let cfg = range_config(args)?;
     let top: usize = args.parsed_or("top", 5)?;
-    let out = valmod(&series, &cfg)?;
+    let out = Valmod::from_config(cfg.clone()).run(&series)?;
     let motifs = top_variable_length_motifs(&out.valmp, top, cfg.policy);
     if args.switch("csv") {
         println!("rank,offset_a,offset_b,length,dist,norm_dist");
@@ -152,7 +157,7 @@ fn cmd_sets(args: &Args) -> CliResult {
     let k: usize = args.parsed_or("k", 10)?;
     let radius: f64 = args.parsed_or("radius", 3.0)?;
     let cfg = range_config(args)?.with_pair_tracking(k);
-    let out = valmod(&series, &cfg)?;
+    let out = Valmod::from_config(cfg.clone()).run(&series)?;
     let ps = ProfiledSeries::new(&series);
     let tracker = out.best_pairs.ok_or("motif sets need pair tracking; pass --k 1 or greater")?;
     let (sets, stats) = compute_var_length_motif_sets(&ps, &tracker, radius, cfg.policy);
@@ -182,7 +187,7 @@ fn cmd_discords(args: &Args) -> CliResult {
     let series = load(args)?;
     let cfg = range_config(args)?;
     let top: usize = args.parsed_or("top", 3)?;
-    let out = valmod(&series, &cfg)?;
+    let out = Valmod::from_config(cfg.clone()).run(&series)?;
     let discords = variable_length_discords(&out.valmp, top, cfg.policy);
     println!("top {} variable-length discords in [{}, {}]:", discords.len(), cfg.l_min, cfg.l_max);
     for (rank, d) in discords.iter().enumerate() {
@@ -407,6 +412,92 @@ fn cmd_query(args: &Args) -> CliResult {
         }
     }
     Ok(())
+}
+
+/// `valmod stats`: the observability view. Fetches STATS from a running
+/// server and renders the engine counters plus the metric registry (the
+/// "obs" section the observability layer threads through the stack) as a
+/// readable table instead of a single JSON line.
+fn cmd_stats(args: &Args) -> CliResult {
+    args.reject_unknown(&["addr", "raw"])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
+    let mut client = Client::connect(addr)?;
+    let stats = client.stats()?;
+    if args.switch("raw") {
+        println!("{}", stats.encode());
+        return Ok(());
+    }
+    if let Some(engine) = stats.get("engine") {
+        let n = |key: &str| engine.get(key).and_then(WireValue::as_usize).unwrap_or(0);
+        println!(
+            "engine: {} queries ({} computed, {} hot), {} busy, {} deadline misses",
+            n("queries"),
+            n("computed"),
+            n("served_hot"),
+            n("busy_rejections"),
+            n("deadline_misses")
+        );
+    }
+    if let Some(cache) = stats.get("cache") {
+        let n = |key: &str| cache.get(key).and_then(WireValue::as_usize).unwrap_or(0);
+        println!(
+            "cache:  {} entries, {}/{} bytes, {} hits / {} misses, {} evicted, {} invalidated",
+            n("entries"),
+            n("used_bytes"),
+            n("budget_bytes"),
+            n("hits"),
+            n("misses"),
+            n("evictions"),
+            n("invalidated")
+        );
+    }
+    if let Some(series) = stats.get("series").and_then(WireValue::as_arr) {
+        for s in series {
+            println!(
+                "series: {} ({} points, version {})",
+                s.get("name").and_then(WireValue::as_str).unwrap_or("?"),
+                s.get("len").and_then(WireValue::as_usize).unwrap_or(0),
+                s.get("version").and_then(WireValue::as_usize).unwrap_or(0)
+            );
+        }
+    }
+    let Some(obs) = stats.get("obs").and_then(WireValue::as_obj) else {
+        println!("(server reported no metric registry)");
+        return Ok(());
+    };
+    println!("\nmetrics ({}):", obs.len());
+    for (key, metric) in obs {
+        match metric {
+            v if v.as_f64().is_some() => {
+                println!("  {key:<28} {}", format_number(v.as_f64().unwrap()));
+            }
+            v => {
+                let count = v.get("count").and_then(WireValue::as_usize).unwrap_or(0);
+                let field = |name: &str| {
+                    v.get(name)
+                        .and_then(WireValue::as_f64)
+                        .map_or_else(|| "-".to_string(), format_number)
+                };
+                println!(
+                    "  {key:<28} count {count:<8} mean {:<12} p50 {:<12} p99 {}",
+                    field("mean"),
+                    field("p50"),
+                    field("p99")
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compact numeric formatting: integers stay integral, everything else
+/// gets two decimals — keeps the metric table scannable.
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        format!("{n}")
+    } else {
+        format!("{n:.2}")
+    }
 }
 
 fn parse_hot_lengths(args: &Args) -> Result<Vec<usize>, Box<dyn std::error::Error>> {

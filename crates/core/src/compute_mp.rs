@@ -14,6 +14,7 @@ use valmod_mp::matrix_profile::MatrixProfile;
 use valmod_mp::parallel::{row_chunks, stomp_rows};
 use valmod_mp::stomp::StompDriver;
 use valmod_mp::ProfiledSeries;
+use valmod_obs::{Recorder, SharedRecorder};
 
 use crate::lb::lb_key;
 use crate::profile::{DpEntry, PartialProfile};
@@ -137,6 +138,36 @@ pub fn compute_matrix_profile_parallel(
         profile: MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) },
         partials,
     })
+}
+
+/// Unified recorded entry point for the harvesting matrix-profile pass:
+/// `threads == 1` runs the sequential [`compute_matrix_profile`], anything
+/// else the chunked [`compute_matrix_profile_parallel`]. With an enabled
+/// recorder the pass is timed into `core.mp.full_profile_us` and accounted
+/// under `core.mp.full_profiles`, `mp.mass.calls` (one FFT seed per chunk)
+/// and `mp.stomp.rows`.
+pub fn compute_matrix_profile_with(
+    ps: &ProfiledSeries,
+    l: usize,
+    p: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+    recorder: &SharedRecorder,
+) -> Result<MpWithProfiles> {
+    let _span = valmod_obs::span!(recorder, "core.mp.full_profile_us");
+    let out = if threads == 1 {
+        compute_matrix_profile(ps, l, p, policy)?
+    } else {
+        compute_matrix_profile_parallel(ps, l, p, policy, threads)?
+    };
+    if recorder.enabled() {
+        let ndp = out.profile.len();
+        let chunks = if threads == 1 { 1 } else { row_chunks(ndp, threads).len() };
+        recorder.add("core.mp.full_profiles", 1);
+        recorder.add("mp.mass.calls", chunks as u64);
+        recorder.add("mp.stomp.rows", ndp as u64);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

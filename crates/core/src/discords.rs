@@ -59,7 +59,7 @@ pub fn variable_length_discords(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::valmod::{valmod, ValmodConfig};
+    use crate::valmod::{Valmod, ValmodConfig};
     use valmod_data::generators::sine_mixture;
     use valmod_data::series::Series;
 
@@ -70,7 +70,7 @@ mod tests {
             *v += ((k * 7 % 11) as f64 - 5.0) * 0.7;
         }
         let series = Series::new(values).unwrap();
-        let out = valmod(&series, &ValmodConfig::new(40, 56).with_p(5)).unwrap();
+        let out = Valmod::from_config(ValmodConfig::new(40, 56).with_p(5)).run(&series).unwrap();
         let discords = variable_length_discords(&out.valmp, 1, ExclusionPolicy::HALF);
         assert_eq!(discords.len(), 1);
         let d = discords[0];
@@ -86,7 +86,7 @@ mod tests {
     fn discords_are_ranked_and_non_overlapping() {
         let values = sine_mixture(1500, &[(0.03, 1.0)], 0.1, 9);
         let series = Series::new(values).unwrap();
-        let out = valmod(&series, &ValmodConfig::new(30, 40).with_p(5)).unwrap();
+        let out = Valmod::from_config(ValmodConfig::new(30, 40).with_p(5)).run(&series).unwrap();
         let discords = variable_length_discords(&out.valmp, 4, ExclusionPolicy::HALF);
         for w in discords.windows(2) {
             assert!(w[0].score >= w[1].score);

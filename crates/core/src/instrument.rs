@@ -1,114 +1,91 @@
-//! Instrumentation probes behind the paper's diagnostic figures.
+//! Registry-backed probes behind the paper's diagnostic figures.
 //!
-//! * Fig. 9 — the margin `maxLB − minDist` per partial distance profile
-//!   (positive ⇒ the profile was resolvable without recomputation).
-//! * Fig. 10 — the average tightness of the lower bound (TLB) per profile.
-//! * Fig. 11 — the distribution of pairwise subsequence distances.
+//! * Fig. 9 — the pruning margin `maxLB − minDist` per partial distance
+//!   profile (positive ⇒ the profile was resolvable without recomputation),
+//!   recorded by the production advance pass into `core.lb.margin`.
+//! * Fig. 10 — the average tightness of the lower bound (TLB) per profile,
+//!   recorded into `core.lb.tlb`.
+//! * Fig. 11 — the distribution of pairwise subsequence distances
+//!   (`core.dist.distribution`).
+//!
+//! Earlier revisions re-implemented the margin/TLB arithmetic in a private
+//! probe; the probes now attach a [`Registry`] to the same
+//! [`compute_sub_mp_threaded_with`] pass that VALMOD itself runs, so the
+//! figures measure exactly what the algorithm does.
 
 use valmod_data::error::Result;
 use valmod_mp::exclusion::ExclusionPolicy;
 use valmod_mp::stomp::StompDriver;
 use valmod_mp::ProfiledSeries;
+use valmod_obs::{buckets, HistogramSnapshot, Registry, SharedRecorder, Snapshot};
 
 use crate::compute_mp::compute_matrix_profile;
-use crate::lb::{lb_scale, tightness};
-use crate::sub_mp::compute_sub_mp;
+use crate::sub_mp::{compute_sub_mp, compute_sub_mp_threaded_with};
 
-/// Per-profile probe at a target length (Figs. 9 and 10).
-#[derive(Debug, Clone, Copy)]
-pub struct RowProbe {
-    /// Profile owner offset.
-    pub owner: usize,
-    /// The `maxLB` threshold at the target length.
-    pub max_lb: f64,
-    /// Minimum true distance among the retained (valid) entries.
-    pub min_dist: f64,
-    /// `maxLB − minDist` (positive ⇒ the paper's line-16 condition held).
-    pub margin: f64,
-    /// Mean TLB (`LB/dist`) over the retained valid entries.
-    pub mean_tlb: f64,
+/// Registers the lower-bound diagnostic histograms with layouts suited to
+/// their value ranges (the registry's default buckets are latency-shaped):
+///
+/// * `core.lb.margin` — normalised margins in `[-1, 1]`, bucket width 1/8,
+///   with an exact bucket edge at 0 so "positive margin" is a bucket
+///   boundary, not an interpolation;
+/// * `core.lb.tlb` — tightness in `[0, 1]`, bucket width 1/16.
+///
+/// Call this on any registry that will observe a VALMOD run *before* the
+/// run records into it (first registration fixes the layout).
+pub fn register_probe_histograms(registry: &Registry) {
+    registry.histogram_with("core.lb.margin", &buckets::linear(-1.0, 0.125, 17));
+    registry.histogram_with("core.lb.tlb", &buckets::linear(0.0, 0.0625, 17));
 }
 
-/// Harvests partial profiles at `l_min`, advances them length by length to
-/// `target_l` (without any fallback recomputation), and reports each
-/// profile's `maxLB`, stored minimum, margin, and mean TLB at `target_l`.
-pub fn probe_at_length(
+/// Harvests partial profiles at `l_min`, advances them length by length
+/// (without any fallback recomputation), and records the final advance step
+/// to `target_l` into a fresh registry. The returned snapshot holds the
+/// Fig. 9 margins (`core.lb.margin`, normalised by the `2√ℓ` distance
+/// range), the Fig. 10 tightness (`core.lb.tlb`), and the
+/// `core.lb.valid_rows`/`core.lb.nonvalid_rows` split of that step.
+///
+/// `target_l` must be greater than `l_min`: the margin is a property of an
+/// *advance*, which the anchor length does not perform.
+pub fn lb_probe(
     ps: &ProfiledSeries,
     l_min: usize,
     target_l: usize,
     p: usize,
     policy: ExclusionPolicy,
-) -> Result<Vec<RowProbe>> {
-    assert!(target_l >= l_min);
+) -> Result<Snapshot> {
+    assert!(target_l > l_min, "the probe needs at least one advance step");
     let mut state = compute_matrix_profile(ps, l_min, p, policy)?;
-    for l in (l_min + 1)..=target_l {
-        // Advance entries; ignore the motif outcome — this is a pure probe.
+    for l in (l_min + 1)..target_l {
+        // Advance entries silently; ignore the motif outcome — pure probe.
         let _ = compute_sub_mp(ps, &mut state.partials, l, policy);
     }
-    let ndp = ps.num_subsequences(target_l);
-    let mut probes = Vec::with_capacity(ndp);
-    for prof in state.partials.iter().take(ndp) {
-        let sigma_new = ps.std(prof.owner, target_l);
-        let max_lb = prof.max_lb_at(sigma_new);
-        let mut min_dist = f64::INFINITY;
-        let mut tlb_sum = 0.0;
-        let mut tlb_n = 0usize;
-        for e in prof.entries() {
-            if !e.dist.is_finite() {
-                continue;
-            }
-            min_dist = min_dist.min(e.dist);
-            let lb = lb_scale(e.lb_base(), prof.anchor_sigma, sigma_new);
-            tlb_sum += tightness(lb, e.dist);
-            tlb_n += 1;
-        }
-        let mean_tlb = if tlb_n == 0 { 0.0 } else { tlb_sum / tlb_n as f64 };
-        let margin =
-            if max_lb.is_infinite() && min_dist.is_infinite() { 0.0 } else { max_lb - min_dist };
-        probes.push(RowProbe { owner: prof.owner, max_lb, min_dist, margin, mean_tlb });
-    }
-    Ok(probes)
-}
-
-/// A fixed-width histogram of pairwise (non-trivial) subsequence distances
-/// at one length (Fig. 11). Sampling `row_stride > 1` keeps large series
-/// tractable while preserving the distribution's shape.
-#[derive(Debug, Clone)]
-pub struct DistanceHistogram {
-    /// Left edge of the first bin (always 0).
-    pub min: f64,
-    /// Right edge of the last bin.
-    pub max: f64,
-    /// Bin counts.
-    pub counts: Vec<u64>,
-    /// Number of distances accumulated.
-    pub total: u64,
-}
-
-impl DistanceHistogram {
-    /// The relative frequency of each bin.
-    pub fn frequencies(&self) -> Vec<f64> {
-        if self.total == 0 {
-            return vec![0.0; self.counts.len()];
-        }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
-    }
+    let registry = Registry::new();
+    register_probe_histograms(&registry);
+    let recorder = SharedRecorder::from(registry.clone());
+    let _ = compute_sub_mp_threaded_with(ps, &mut state.partials, target_l, policy, 1, &recorder);
+    Ok(registry.snapshot())
 }
 
 /// Computes the pairwise-distance histogram at length `l` over every
-/// `row_stride`-th distance profile.
+/// `row_stride`-th distance profile (Fig. 11). The histogram has `bins`
+/// equal-width buckets spanning `[0, 2√ℓ]` (the z-normalised distance
+/// range) and is registered as `core.dist.distribution`; sampling
+/// `row_stride > 1` keeps large series tractable while preserving the
+/// distribution's shape.
 pub fn distance_distribution(
     ps: &ProfiledSeries,
     l: usize,
     bins: usize,
     row_stride: usize,
     policy: ExclusionPolicy,
-) -> Result<DistanceHistogram> {
+) -> Result<HistogramSnapshot> {
     assert!(bins > 0 && row_stride > 0);
     // Maximum possible z-normalised distance is sqrt(4ℓ) = 2·sqrt(ℓ).
     let max = 2.0 * (l as f64).sqrt();
-    let mut counts = vec![0u64; bins];
-    let mut total = 0u64;
+    let width = max / bins as f64;
+    let registry = Registry::new();
+    let hist =
+        registry.histogram_with("core.dist.distribution", &buckets::linear(width, width, bins));
     let mut driver = StompDriver::new(ps, l, policy)?;
     let mut dp = Vec::new();
     while let Some(row) = driver.next_row(&mut dp) {
@@ -116,15 +93,13 @@ pub fn distance_distribution(
             continue;
         }
         for &d in dp.iter() {
-            if !d.is_finite() {
-                continue;
+            if d.is_finite() {
+                hist.record(d);
             }
-            let bin = ((d / max) * bins as f64).min(bins as f64 - 1.0) as usize;
-            counts[bin] += 1;
-            total += 1;
         }
     }
-    Ok(DistanceHistogram { min: 0.0, max, counts, total })
+    let snapshot = registry.snapshot();
+    Ok(snapshot.histogram("core.dist.distribution").expect("just registered").clone())
 }
 
 #[cfg(test)]
@@ -136,22 +111,30 @@ mod tests {
     #[test]
     fn probes_cover_every_profile() {
         let ps = ProfiledSeries::from_values(&random_walk(300, 55)).unwrap();
-        let probes = probe_at_length(&ps, 16, 24, 5, ExclusionPolicy::HALF).unwrap();
-        assert_eq!(probes.len(), 300 - 24 + 1);
-        for p in &probes {
-            assert!(p.mean_tlb >= 0.0 && p.mean_tlb <= 1.0);
-        }
+        let snap = lb_probe(&ps, 16, 24, 5, ExclusionPolicy::HALF).unwrap();
+        let rows = (300 - 24 + 1) as u64;
+        let margin = snap.histogram("core.lb.margin").unwrap();
+        let tlb = snap.histogram("core.lb.tlb").unwrap();
+        assert_eq!(margin.count, rows);
+        assert_eq!(tlb.count, rows);
+        // Tightness is a ratio in [0, 1]: nothing above the last bucket.
+        assert_eq!(tlb.fraction_above(1.0), 0.0);
+        // Every row was classified exactly once in the probed step.
+        let valid = snap.counter("core.lb.valid_rows").unwrap_or(0);
+        let nonvalid = snap.counter("core.lb.nonvalid_rows").unwrap_or(0);
+        assert_eq!(valid + nonvalid, rows);
     }
 
     #[test]
-    fn probe_at_anchor_length_has_nonnegative_margins_mostly() {
-        // At the anchor itself, minDist is the true row minimum and maxLB is
-        // the p-th smallest LB — LB ≤ dist, so margins can go either way,
-        // but TLB must be within [0, 1] and finite rows must have finite
-        // minima.
+    fn probe_histograms_use_the_registered_layouts() {
         let ps = ProfiledSeries::from_values(&random_walk(200, 57)).unwrap();
-        let probes = probe_at_length(&ps, 16, 16, 4, ExclusionPolicy::HALF).unwrap();
-        assert!(probes.iter().all(|p| p.min_dist.is_finite()));
+        let snap = lb_probe(&ps, 16, 17, 4, ExclusionPolicy::HALF).unwrap();
+        let margin = snap.histogram("core.lb.margin").unwrap();
+        // Exact 0.0 boundary: "positive margin" is a bucket edge.
+        assert!(margin.bounds.contains(&0.0));
+        assert_eq!(margin.bounds.first(), Some(&-1.0));
+        assert_eq!(margin.bounds.last(), Some(&1.0));
+        assert_eq!(snap.histogram("core.lb.tlb").unwrap().bounds.len(), 17);
     }
 
     #[test]
@@ -164,8 +147,8 @@ mod tests {
         let ecg = ProfiledSeries::from_values(ecg_like(n, 1).values()).unwrap();
         let emg = ProfiledSeries::from_values(emg_like(n, 1).values()).unwrap();
         let positive_margin_frac = |ps: &ProfiledSeries| {
-            let probes = probe_at_length(ps, 64, 128, 5, ExclusionPolicy::HALF).unwrap();
-            probes.iter().filter(|p| p.margin > 0.0).count() as f64 / probes.len() as f64
+            let snap = lb_probe(ps, 64, 128, 5, ExclusionPolicy::HALF).unwrap();
+            snap.histogram("core.lb.margin").unwrap().fraction_above(0.0)
         };
         let (f_ecg, f_emg) = (positive_margin_frac(&ecg), positive_margin_frac(&emg));
         assert!(
@@ -178,12 +161,13 @@ mod tests {
     fn histogram_accumulates_all_finite_distances() {
         let ps = ProfiledSeries::from_values(&random_walk(200, 59)).unwrap();
         let h = distance_distribution(&ps, 16, 20, 1, ExclusionPolicy::HALF).unwrap();
-        assert_eq!(h.counts.len(), 20);
-        assert!(h.total > 0);
+        // 20 requested bins plus the (empty) overflow bucket.
+        assert_eq!(h.counts.len(), 21);
+        assert_eq!(*h.counts.last().unwrap(), 0, "no distance can exceed 2·sqrt(ℓ)");
+        assert!(h.count > 0);
         let freq_sum: f64 = h.frequencies().iter().sum();
         assert!((freq_sum - 1.0).abs() < 1e-9);
-        // No distance can exceed 2·sqrt(ℓ).
-        assert!(h.max >= 2.0 * 4.0 - 1e-9);
+        assert!((h.bounds.last().unwrap() - 2.0 * 4.0).abs() < 1e-9);
     }
 
     #[test]

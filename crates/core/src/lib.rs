@@ -22,31 +22,49 @@
 //! | [`compute_mp`] | Algorithm 3 (`ComputeMatrixProfile`) |
 //! | [`sub_mp`] | Algorithm 4 (`ComputeSubMP`) |
 //! | [`valmp`] | Algorithm 2 (`updateVALMP`) |
-//! | [`valmod`] | Algorithm 1 (driver) |
+//! | [`mod@valmod`] | Algorithm 1 (driver) |
 //! | [`pairs`] | Algorithm 5 (`updateVALMPForMotifSets`) |
 //! | [`motif_sets`] | Algorithm 6 (`computeVarLengthMotifSets`), Def. 2.6 |
 //! | [`ranking`] | §3 (length-normalised comparison, Fig. 2) |
 //! | [`discords`] | §8 future work: variable-length discords |
-//! | [`complete_profiles`] | §8 future work: complete per-length profiles |
-//! | [`instrument`] | Figs. 9–11 diagnostics |
+//! | [`mod@complete_profiles`] | §8 future work: complete per-length profiles |
+//! | [`instrument`] | Figs. 9–11 diagnostics (registry-backed) |
 //!
 //! ## Quick example
 //!
+//! The [`Valmod`] builder is the single entry point: configure the range
+//! and knobs, optionally attach a `valmod-obs` recorder, then run.
+//!
 //! ```
-//! use valmod_core::{valmod, ValmodConfig};
+//! use valmod_core::prelude::*;
 //! use valmod_data::generators::plant_motif;
-//! use valmod_data::series::Series;
 //!
 //! // A series with a planted motif of length 64.
 //! let (values, planted) = plant_motif(3_000, 64, 2, 0.001, 7);
 //! let series = Series::new(values).unwrap();
 //!
 //! // Search every length in [48, 80].
-//! let output = valmod(&series, &ValmodConfig::new(48, 80)).unwrap();
+//! let output = Valmod::new(48, 80).run(&series).unwrap();
 //! let best = output.best_motif().unwrap();
 //! // The best variable-length motif lands inside the planted instances.
 //! assert!(planted.offsets.iter().any(|&o| best.a.abs_diff(o) < 64));
 //! assert!(planted.offsets.iter().any(|&o| best.b.abs_diff(o) < 64));
+//! ```
+//!
+//! To observe a run, attach a [`valmod_obs::Registry`]:
+//!
+//! ```
+//! use valmod_core::prelude::*;
+//!
+//! let series = Series::new(valmod_data::generators::random_walk(400, 7)).unwrap();
+//! let registry = Registry::new();
+//! let _ = Valmod::new(16, 32)
+//!     .p(5)
+//!     .recorder(SharedRecorder::from(registry.clone()))
+//!     .run(&series)
+//!     .unwrap();
+//! let snapshot = registry.snapshot();
+//! assert!(snapshot.counter("core.lb.valid_rows").unwrap_or(0) > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -67,12 +85,28 @@ pub mod valmod;
 pub mod valmp;
 
 pub use complete_profiles::{complete_profiles, CompletionStats};
-pub use compute_mp::{compute_matrix_profile, compute_matrix_profile_parallel, MpWithProfiles};
+pub use compute_mp::{
+    compute_matrix_profile, compute_matrix_profile_parallel, compute_matrix_profile_with,
+    MpWithProfiles,
+};
 pub use discords::{variable_length_discords, VariableLengthDiscord};
 pub use length_hint::{suggest_length_ranges, LengthHint};
 pub use motif_sets::{compute_var_length_motif_sets, MotifSet, SetMember, SetStats};
 pub use pairs::{BestKPairs, PairCandidate};
 pub use ranking::{top_variable_length_motifs, LengthCorrection};
-pub use sub_mp::{compute_sub_mp, compute_sub_mp_threaded, SubMpResult};
-pub use valmod::{valmod, valmod_on, LengthMethod, LengthReport, ValmodConfig, ValmodOutput};
+pub use sub_mp::{
+    compute_sub_mp, compute_sub_mp_threaded, compute_sub_mp_threaded_with, SubMpResult,
+};
+#[allow(deprecated)]
+pub use valmod::{valmod, valmod_on};
+pub use valmod::{LengthMethod, LengthReport, Valmod, ValmodConfig, ValmodOutput};
 pub use valmp::Valmp;
+
+/// One-stop imports for running VALMOD: the [`Valmod`] builder and its
+/// configuration/output types, the observability handles it accepts, and
+/// the `Series` input type.
+pub mod prelude {
+    pub use crate::valmod::{LengthMethod, LengthReport, Valmod, ValmodConfig, ValmodOutput};
+    pub use valmod_data::series::Series;
+    pub use valmod_obs::{Recorder, Registry, SharedRecorder};
+}

@@ -142,7 +142,7 @@ fn member_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::valmod::{valmod, ValmodConfig};
+    use crate::valmod::{Valmod, ValmodConfig};
     use valmod_data::generators::plant_motif;
     use valmod_data::series::Series;
 
@@ -150,7 +150,7 @@ mod tests {
         let (series, _) = plant_motif(3000, 50, 4, 0.05, seed);
         let series = Series::new(series).unwrap();
         let cfg = ValmodConfig::new(45, 55).with_p(8).with_pair_tracking(k);
-        let out = valmod(&series, &cfg).unwrap();
+        let out = Valmod::from_config(cfg).run(&series).unwrap();
         let ps = valmod_mp::ProfiledSeries::new(&series);
         compute_var_length_motif_sets(
             &ps,

@@ -24,8 +24,10 @@ use valmod_mp::distance_profile::{dp_from_qt_into, profile_min, self_qt};
 use valmod_mp::exclusion::ExclusionPolicy;
 use valmod_mp::parallel::row_chunks;
 use valmod_mp::ProfiledSeries;
+use valmod_obs::{Recorder, SharedRecorder};
 
 use crate::compute_mp::harvest_row;
+use crate::lb::{lb_scale, tightness};
 use crate::profile::{update_dist_and_lb, EntryState, PartialProfile};
 
 /// Result of one `ComputeSubMP` invocation.
@@ -82,6 +84,7 @@ struct AdvanceOut {
 /// `sub_mp`/`ip`) or non-valid. Rows are mutually independent, so the pass
 /// chunks freely; the per-row arithmetic is identical regardless of the
 /// chunking, keeping threaded runs bitwise equal to sequential ones.
+#[allow(clippy::too_many_arguments)] // internal; the recorder rides along with the row-chunk state
 fn advance_rows(
     ps: &ProfiledSeries,
     chunk: &mut [PartialProfile],
@@ -90,19 +93,25 @@ fn advance_rows(
     policy: &ExclusionPolicy,
     sub_mp: &mut [f64],
     ip: &mut [usize],
+    recorder: &SharedRecorder,
 ) -> AdvanceOut {
     let mut out = AdvanceOut {
         min_dist_abs: f64::INFINITY,
         min_lb_abs: f64::INFINITY,
         non_valid: Vec::new(),
     };
+    let recording = recorder.enabled();
+    // Normaliser for the Fig. 9 margin: distances live in [0, 2√ℓ].
+    let margin_norm = 2.0 * (new_l as f64).sqrt();
     for (k, prof) in chunk.iter_mut().enumerate() {
         let j = chunk_start + k;
         let sigma_new = ps.std(j, new_l);
         let from_l = prof.current_l;
+        let anchor_sigma = prof.anchor_sigma;
         let max_lb = prof.max_lb_at(sigma_new);
         let mut min_dist = f64::INFINITY;
         let mut ind = usize::MAX;
+        let (mut tlb_sum, mut tlb_n) = (0.0f64, 0usize);
         for e in prof.entries_mut() {
             if e.dist.is_infinite() {
                 continue; // invalidated at an earlier length — permanent
@@ -113,11 +122,29 @@ fn advance_rows(
                         min_dist = dist;
                         ind = e.neighbor;
                     }
+                    if recording {
+                        // Fig. 10 tightness of the Eq. 2 bound for this pair.
+                        let lb = lb_scale(e.lb_base(), anchor_sigma, sigma_new);
+                        tlb_sum += tightness(lb, dist);
+                        tlb_n += 1;
+                    }
                 }
                 EntryState::Invalid => {}
             }
         }
         prof.current_l = new_l;
+        if recording {
+            // Fig. 9 margin, normalised by the distance range; an unfilled
+            // heap (maxLB = +∞, profile complete) overflows the histogram's
+            // top bucket and still counts as resolvable.
+            let margin = if max_lb.is_infinite() && min_dist.is_infinite() {
+                0.0
+            } else {
+                (max_lb - min_dist) / margin_norm
+            };
+            recorder.observe("core.lb.margin", margin);
+            recorder.observe("core.lb.tlb", if tlb_n == 0 { 0.0 } else { tlb_sum / tlb_n as f64 });
+        }
         if min_dist <= max_lb {
             // Paper line 16: minDist is the true row minimum.
             sub_mp[k] = min_dist;
@@ -160,6 +187,26 @@ pub fn compute_sub_mp_threaded(
     policy: ExclusionPolicy,
     threads: usize,
 ) -> SubMpResult {
+    compute_sub_mp_threaded_with(ps, partials, new_l, policy, threads, &SharedRecorder::noop())
+}
+
+/// [`compute_sub_mp_threaded`] with instrumentation. With an enabled
+/// recorder, the advance pass records per-row pruning margins
+/// (`core.lb.margin`, normalised by the `2√ℓ` distance range — Fig. 9) and
+/// the mean tightness of the Eq. 2 lower bound (`core.lb.tlb` — Fig. 10);
+/// the merge records `core.lb.valid_rows`/`core.lb.nonvalid_rows` counters,
+/// the last-chance pass records `core.lb.refined_rows` plus one
+/// `mp.mass.calls` per recomputed row, and the whole first pass is timed
+/// into `core.submp.advance_us`. The instrumentation only *reads* the
+/// algorithm's state: outputs are bitwise identical with any recorder.
+pub fn compute_sub_mp_threaded_with(
+    ps: &ProfiledSeries,
+    partials: &mut [PartialProfile],
+    new_l: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+    recorder: &SharedRecorder,
+) -> SubMpResult {
     let ndp = ps.num_subsequences(new_l);
     if ndp == 0 {
         // No subsequences at this length: vacuously solved, nothing to do.
@@ -192,24 +239,36 @@ pub fn compute_sub_mp_threaded(
     // inflate the budget or divide by zero.
     let p = partials[..ndp].iter().map(|pr| pr.capacity()).max().unwrap_or(1);
 
-    let chunk_outs: Vec<AdvanceOut> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut mp_rest: &mut [f64] = &mut sub_mp;
-        let mut ip_rest: &mut [usize] = &mut ip;
-        let mut pr_rest: &mut [PartialProfile] = &mut partials[..ndp];
-        for (chunk_start, len) in row_chunks(ndp, threads) {
-            let (mp_chunk, mp_tail) = mp_rest.split_at_mut(len);
-            let (ip_chunk, ip_tail) = ip_rest.split_at_mut(len);
-            let (pr_chunk, pr_tail) = pr_rest.split_at_mut(len);
-            mp_rest = mp_tail;
-            ip_rest = ip_tail;
-            pr_rest = pr_tail;
-            handles.push(scope.spawn(move || {
-                advance_rows(ps, pr_chunk, chunk_start, new_l, &policy, mp_chunk, ip_chunk)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("sub-MP worker panicked")).collect()
-    });
+    let chunk_outs: Vec<AdvanceOut> = {
+        let _span = valmod_obs::span!(recorder, "core.submp.advance_us");
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut mp_rest: &mut [f64] = &mut sub_mp;
+            let mut ip_rest: &mut [usize] = &mut ip;
+            let mut pr_rest: &mut [PartialProfile] = &mut partials[..ndp];
+            for (chunk_start, len) in row_chunks(ndp, threads) {
+                let (mp_chunk, mp_tail) = mp_rest.split_at_mut(len);
+                let (ip_chunk, ip_tail) = ip_rest.split_at_mut(len);
+                let (pr_chunk, pr_tail) = pr_rest.split_at_mut(len);
+                mp_rest = mp_tail;
+                ip_rest = ip_tail;
+                pr_rest = pr_tail;
+                handles.push(scope.spawn(move || {
+                    advance_rows(
+                        ps,
+                        pr_chunk,
+                        chunk_start,
+                        new_l,
+                        &policy,
+                        mp_chunk,
+                        ip_chunk,
+                        recorder,
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("sub-MP worker panicked")).collect()
+        })
+    };
 
     let mut min_dist_abs = f64::INFINITY;
     let mut min_lb_abs = f64::INFINITY;
@@ -251,6 +310,16 @@ pub fn compute_sub_mp_threaded(
             }
         }
         found = true;
+    }
+
+    if recorder.enabled() {
+        recorder.add("core.lb.valid_rows", valid_rows as u64);
+        recorder.add("core.lb.nonvalid_rows", nonvalid_rows as u64);
+        if recomputed > 0 {
+            recorder.add("core.lb.refined_rows", recomputed as u64);
+            // Each refined row re-seeds its dot-product vector with one FFT.
+            recorder.add("mp.mass.calls", recomputed as u64);
+        }
     }
 
     SubMpResult {
@@ -366,6 +435,38 @@ mod tests {
                 assert_eq!(a.ip, b.ip, "threads={threads} l={l}");
             }
         }
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_advance() {
+        use valmod_obs::Registry;
+        let series = random_walk(300, 59);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let policy = ExclusionPolicy::HALF;
+        let mut plain = compute_matrix_profile(&ps, 20, 4, policy).unwrap();
+        let mut recorded = plain.clone();
+        let registry = Registry::new();
+        crate::instrument::register_probe_histograms(&registry);
+        let rec = SharedRecorder::from(registry.clone());
+        for l in 21..=26 {
+            let a = compute_sub_mp(&ps, &mut plain.partials, l, policy);
+            let b = compute_sub_mp_threaded_with(&ps, &mut recorded.partials, l, policy, 2, &rec);
+            assert_eq!(a.found_motif, b.found_motif, "l={l}");
+            for (j, (&x, &y)) in a.sub_mp.iter().zip(&b.sub_mp).enumerate() {
+                assert!(x.to_bits() == y.to_bits(), "l={l} row {j}: {x} vs {y}");
+            }
+        }
+        let snap = registry.snapshot();
+        let rows: u64 = (21..=26u64).map(|l| 300 - l + 1).sum();
+        // One margin and one TLB observation per advanced row.
+        assert_eq!(snap.histogram("core.lb.margin").unwrap().count, rows);
+        assert_eq!(snap.histogram("core.lb.tlb").unwrap().count, rows);
+        assert_eq!(
+            snap.counter("core.lb.valid_rows").unwrap()
+                + snap.counter("core.lb.nonvalid_rows").unwrap(),
+            rows
+        );
+        assert_eq!(snap.histogram("core.submp.advance_us").unwrap().count, 6);
     }
 
     #[test]

@@ -5,15 +5,16 @@
 //! `ComputeMatrixProfile` only when the lower bounds could not certify the
 //! motif (rare in practice — the paper's headline speed-up).
 
-use valmod_data::error::{DataError, Result};
+use valmod_data::error::{Result, ValmodError};
 use valmod_data::series::Series;
 use valmod_mp::exclusion::ExclusionPolicy;
 use valmod_mp::motif::MotifPair;
 use valmod_mp::ProfiledSeries;
+use valmod_obs::{Recorder, SharedRecorder};
 
-use crate::compute_mp::{compute_matrix_profile, compute_matrix_profile_parallel, MpWithProfiles};
+use crate::compute_mp::compute_matrix_profile_with;
 use crate::pairs::BestKPairs;
-use crate::sub_mp::compute_sub_mp_threaded;
+use crate::sub_mp::compute_sub_mp_threaded_with;
 use crate::valmp::Valmp;
 
 /// Configuration for a VALMOD run.
@@ -123,13 +124,13 @@ impl ValmodConfig {
 
     fn validate(&self) -> Result<()> {
         if self.l_min == 0 || self.l_min > self.l_max {
-            return Err(DataError::InvalidParameter(format!(
+            return Err(ValmodError::InvalidParameter(format!(
                 "invalid length range [{}, {}]",
                 self.l_min, self.l_max
             )));
         }
         if self.p == 0 {
-            return Err(DataError::InvalidParameter("p must be positive".into()));
+            return Err(ValmodError::InvalidParameter("p must be positive".into()));
         }
         Ok(())
     }
@@ -193,15 +194,110 @@ impl ValmodOutput {
     }
 }
 
+/// The unified entry point for a VALMOD run: a builder over
+/// [`ValmodConfig`] plus an optional [`SharedRecorder`] for observability.
+///
+/// This is the one public way to run the algorithm; the free functions
+/// [`valmod`] and [`valmod_on`] are deprecated shims over it.
+///
+/// ```
+/// use valmod_core::{Valmod, ValmodOutput};
+/// use valmod_data::generators::random_walk;
+/// use valmod_data::series::Series;
+///
+/// let series = Series::new(random_walk(400, 7)).unwrap();
+/// let out: ValmodOutput = Valmod::new(16, 32).p(5).threads(2).run(&series).unwrap();
+/// assert_eq!(out.per_length.len(), 17);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Valmod {
+    config: ValmodConfig,
+    recorder: SharedRecorder,
+}
+
+impl Valmod {
+    /// A run over the inclusive length range `[l_min, l_max]` with the
+    /// paper's default knobs (`p = 50`, `ℓ/2` exclusion, one thread, no
+    /// pair tracking) and a disabled recorder.
+    pub fn new(l_min: usize, l_max: usize) -> Self {
+        Valmod::from_config(ValmodConfig::new(l_min, l_max))
+    }
+
+    /// Wraps an existing configuration (recorder starts disabled).
+    pub fn from_config(config: ValmodConfig) -> Self {
+        Valmod { config, recorder: SharedRecorder::noop() }
+    }
+
+    /// Sets `p`, the number of lower-bound entries retained per row.
+    pub fn p(mut self, p: usize) -> Self {
+        self.config.p = p;
+        self
+    }
+
+    /// Sets the trivial-match exclusion policy.
+    pub fn policy(mut self, policy: ExclusionPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Enables top-K pair tracking (needed for motif sets).
+    pub fn track_pairs(mut self, k: usize) -> Self {
+        self.config.track_pairs = k;
+        self
+    }
+
+    /// Sets the worker thread count (1 = sequential, 0 = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Attaches a recorder; every layer of the run (STOMP chunks, sub-MP
+    /// advances, lower-bound margins, fallbacks) reports into it. See the
+    /// `valmod-obs` crate for the registry and key conventions.
+    pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &ValmodConfig {
+        &self.config
+    }
+
+    /// Runs VALMOD (paper Algorithm 1) on a series.
+    pub fn run(&self, series: &Series) -> Result<ValmodOutput> {
+        let ps = ProfiledSeries::new(series);
+        self.run_on(&ps)
+    }
+
+    /// Runs VALMOD on an already-prepared [`ProfiledSeries`].
+    pub fn run_on(&self, ps: &ProfiledSeries) -> Result<ValmodOutput> {
+        run_valmod(ps, &self.config, &self.recorder)
+    }
+}
+
 /// Runs VALMOD (paper Algorithm 1) on a series.
+#[deprecated(note = "use the `Valmod` builder: `Valmod::from_config(config.clone()).run(series)`")]
 pub fn valmod(series: &Series, config: &ValmodConfig) -> Result<ValmodOutput> {
     let ps = ProfiledSeries::new(series);
-    valmod_on(&ps, config)
+    run_valmod(&ps, config, &SharedRecorder::noop())
 }
 
 /// Runs VALMOD on an already-prepared [`ProfiledSeries`].
+#[deprecated(note = "use the `Valmod` builder: `Valmod::from_config(config.clone()).run_on(ps)`")]
 pub fn valmod_on(ps: &ProfiledSeries, config: &ValmodConfig) -> Result<ValmodOutput> {
+    run_valmod(ps, config, &SharedRecorder::noop())
+}
+
+/// The driver loop shared by every public entry point.
+fn run_valmod(
+    ps: &ProfiledSeries,
+    config: &ValmodConfig,
+    recorder: &SharedRecorder,
+) -> Result<ValmodOutput> {
     config.validate()?;
+    let _span = valmod_obs::span!(recorder, "core.valmod.run_us");
     let policy = config.policy;
     ps.require_pairs(config.l_max)?;
     let ndp_min = ps.num_subsequences(config.l_min);
@@ -213,13 +309,8 @@ pub fn valmod_on(ps: &ProfiledSeries, config: &ValmodConfig) -> Result<ValmodOut
     // ℓ_min: full profile + harvest (Algorithm 1, line 5). With one thread
     // the classic row streamer runs (bitwise-stable baseline); otherwise the
     // chunked kernel computes disjoint row ranges in parallel.
-    let full_profile = |l: usize| -> Result<MpWithProfiles> {
-        if config.threads == 1 {
-            compute_matrix_profile(ps, l, config.p, policy)
-        } else {
-            compute_matrix_profile_parallel(ps, l, config.p, policy, config.threads)
-        }
-    };
+    let full_profile =
+        |l: usize| compute_matrix_profile_with(ps, l, config.p, policy, config.threads, recorder);
     let mut state = full_profile(config.l_min)?;
     let improved = valmp.update(&state.profile.mp, &state.profile.ip, config.l_min);
     if let Some(t) = tracker.as_mut() {
@@ -239,7 +330,14 @@ pub fn valmod_on(ps: &ProfiledSeries, config: &ValmodConfig) -> Result<ValmodOut
 
     // Lengths ℓ_min+1 ..= ℓ_max (Algorithm 1, lines 7–16).
     for l in (config.l_min + 1)..=config.l_max {
-        let res = compute_sub_mp_threaded(ps, &mut state.partials, l, policy, config.threads);
+        let res = compute_sub_mp_threaded_with(
+            ps,
+            &mut state.partials,
+            l,
+            policy,
+            config.threads,
+            recorder,
+        );
         let (mp_vals, ip_vals, method, known, valid, nonvalid, recomputed);
         if res.found_motif {
             method = if res.recomputed_rows > 0 {
@@ -258,6 +356,9 @@ pub fn valmod_on(ps: &ProfiledSeries, config: &ValmodConfig) -> Result<ValmodOut
             // valid/non-valid split still describes the *first pass* that
             // failed to certify the motif (so the two always sum to the row
             // count); `known` reflects the recomputed, fully-known profile.
+            if recorder.enabled() {
+                recorder.add("core.lb.fallback", 1);
+            }
             state = full_profile(l)?;
             method = LengthMethod::Fallback;
             known = state.profile.len();
@@ -307,8 +408,7 @@ mod tests {
     #[test]
     fn motif_per_length_matches_stomp_oracle() {
         let series = Series::new(random_walk(400, 101)).unwrap();
-        let cfg = ValmodConfig::new(16, 32).with_p(5);
-        let out = valmod(&series, &cfg).unwrap();
+        let out = Valmod::new(16, 32).p(5).run(&series).unwrap();
         let ps = ProfiledSeries::new(&series);
         assert_eq!(out.per_length.len(), 17);
         for report in &out.per_length {
@@ -332,8 +432,7 @@ mod tests {
     #[test]
     fn valmp_matches_minimum_over_lengths() {
         let series = Series::new(random_walk(300, 103)).unwrap();
-        let cfg = ValmodConfig::new(16, 24).with_p(4);
-        let out = valmod(&series, &cfg).unwrap();
+        let out = Valmod::new(16, 24).p(4).run(&series).unwrap();
         let ps = ProfiledSeries::new(&series);
         // Oracle: per-offset minimum of length-normalised distances over all
         // lengths — but only offsets whose rows were *known* can be compared;
@@ -368,8 +467,7 @@ mod tests {
     fn planted_motif_is_found_at_its_length() {
         let (series, planted) = plant_motif(3000, 64, 2, 0.001, 7);
         let series = Series::new(series).unwrap();
-        let cfg = ValmodConfig::new(48, 80).with_p(8);
-        let out = valmod(&series, &cfg).unwrap();
+        let out = Valmod::new(48, 80).p(8).run(&series).unwrap();
         let best = out.best_motif().unwrap();
         // Shorter lengths in the range may lock onto an interior alignment
         // of the planted pattern, shifting both offsets by the same amount —
@@ -388,8 +486,7 @@ mod tests {
     #[test]
     fn pair_tracking_produces_sorted_candidates() {
         let series = Series::new(random_walk(300, 107)).unwrap();
-        let cfg = ValmodConfig::new(16, 24).with_p(4).with_pair_tracking(5);
-        let out = valmod(&series, &cfg).unwrap();
+        let out = Valmod::new(16, 24).p(4).track_pairs(5).run(&series).unwrap();
         let best = out.best_pairs.unwrap();
         assert!(!best.is_empty());
         for w in best.pairs().windows(2) {
@@ -416,8 +513,7 @@ mod tests {
         ));
         let n = values.len();
         let series = Series::new(values).unwrap();
-        let cfg = ValmodConfig::new(16, 48).with_p(3);
-        let out = valmod(&series, &cfg).unwrap();
+        let out = Valmod::new(16, 48).p(3).run(&series).unwrap();
         let mut seen_fallback = false;
         for r in &out.per_length {
             let rows = n - r.l + 1;
@@ -474,10 +570,10 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let series = Series::new(random_walk(100, 1)).unwrap();
-        assert!(valmod(&series, &ValmodConfig::new(0, 10)).is_err());
-        assert!(valmod(&series, &ValmodConfig::new(20, 10)).is_err());
-        assert!(valmod(&series, &ValmodConfig::new(10, 20).with_p(0)).is_err());
-        assert!(valmod(&series, &ValmodConfig::new(10, 200)).is_err()); // too long
+        assert!(Valmod::new(0, 10).run(&series).is_err());
+        assert!(Valmod::new(20, 10).run(&series).is_err());
+        assert!(Valmod::new(10, 20).p(0).run(&series).is_err());
+        assert!(Valmod::new(10, 200).run(&series).is_err()); // too long
     }
 
     #[test]
@@ -489,10 +585,9 @@ mod tests {
             *v = 2.5;
         }
         let series = Series::new(values).unwrap();
-        let base = valmod(&series, &ValmodConfig::new(16, 40).with_p(4)).unwrap();
+        let base = Valmod::new(16, 40).p(4).run(&series).unwrap();
         for threads in [2usize, 3, 7, 16, 0] {
-            let cfg = ValmodConfig::new(16, 40).with_p(4).with_threads(threads);
-            let par = valmod(&series, &cfg).unwrap();
+            let par = Valmod::new(16, 40).p(4).threads(threads).run(&series).unwrap();
             assert_eq!(par.per_length.len(), base.per_length.len());
             for (a, b) in base.per_length.iter().zip(&par.per_length) {
                 assert_eq!(a.l, b.l);
@@ -521,12 +616,84 @@ mod tests {
     #[test]
     fn single_length_range_degenerates_to_stomp() {
         let series = Series::new(random_walk(200, 11)).unwrap();
-        let out = valmod(&series, &ValmodConfig::new(20, 20)).unwrap();
+        let out = Valmod::new(20, 20).run(&series).unwrap();
         assert_eq!(out.per_length.len(), 1);
         assert_eq!(out.per_length[0].method, LengthMethod::FullProfile);
         let ps = ProfiledSeries::new(&series);
         let oracle = stomp(&ps, 20, ExclusionPolicy::HALF).unwrap();
         let (_, _, d) = oracle.motif_pair().unwrap();
         assert!((out.per_length[0].motif.unwrap().dist - d).abs() < 1e-9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_match_the_builder() {
+        let series = Series::new(random_walk(250, 113)).unwrap();
+        let cfg = ValmodConfig::new(16, 22).with_p(4);
+        let via_builder = Valmod::from_config(cfg.clone()).run(&series).unwrap();
+        let via_shim = valmod(&series, &cfg).unwrap();
+        let ps = ProfiledSeries::new(&series);
+        let via_on = valmod_on(&ps, &cfg).unwrap();
+        for (a, b) in via_builder.per_length.iter().zip(&via_shim.per_length) {
+            assert_eq!(a.l, b.l);
+            assert_eq!(a.motif.map(|m| m.dist.to_bits()), b.motif.map(|m| m.dist.to_bits()));
+        }
+        for (a, b) in via_builder.per_length.iter().zip(&via_on.per_length) {
+            assert_eq!(a.motif.map(|m| m.dist.to_bits()), b.motif.map(|m| m.dist.to_bits()));
+        }
+    }
+
+    #[test]
+    fn recorder_observes_fallbacks_and_row_accounting() {
+        use valmod_obs::Registry;
+        // Same construction as `row_accounting_is_consistent_for_every_method`:
+        // deterministically reaches the fallback branch.
+        let mut values = random_walk(600, 1);
+        values.extend_from_slice(&valmod_data::generators::sine_mixture(
+            200,
+            &[(0.1, 3.0)],
+            0.4,
+            2,
+        ));
+        let series = Series::new(values).unwrap();
+        let registry = Registry::new();
+        let out = Valmod::new(16, 48)
+            .p(3)
+            .recorder(SharedRecorder::from(registry.clone()))
+            .run(&series)
+            .unwrap();
+        let snap = registry.snapshot();
+        let fallbacks =
+            out.per_length.iter().filter(|r| r.method == LengthMethod::Fallback).count() as u64;
+        assert!(fallbacks > 0, "construction no longer reaches the fallback branch");
+        assert_eq!(snap.counter("core.lb.fallback"), Some(fallbacks));
+        // Every fallback recomputes the full profile, plus the ℓ_min anchor.
+        assert_eq!(snap.counter("core.mp.full_profiles"), Some(fallbacks + 1));
+        let valid: u64 = out.per_length.iter().skip(1).map(|r| r.valid_rows as u64).sum();
+        assert_eq!(snap.counter("core.lb.valid_rows"), Some(valid));
+        let refined: u64 = out.per_length.iter().map(|r| r.recomputed_rows as u64).sum();
+        assert_eq!(snap.counter("core.lb.refined_rows").unwrap_or(0), refined);
+        // The whole run was timed once, every advance step once.
+        assert_eq!(snap.histogram("core.valmod.run_us").unwrap().count, 1);
+        assert_eq!(snap.histogram("core.submp.advance_us").unwrap().count, 48 - 16);
+    }
+
+    #[test]
+    fn recorder_does_not_change_results() {
+        use valmod_obs::Registry;
+        let series = Series::new(random_walk(300, 127)).unwrap();
+        let plain = Valmod::new(16, 28).p(4).run(&series).unwrap();
+        let recorded = Valmod::new(16, 28)
+            .p(4)
+            .recorder(SharedRecorder::from(Registry::new()))
+            .run(&series)
+            .unwrap();
+        for (a, b) in plain.per_length.iter().zip(&recorded.per_length) {
+            assert_eq!(a.method, b.method, "l={}", a.l);
+            assert_eq!(a.motif.map(|m| m.dist.to_bits()), b.motif.map(|m| m.dist.to_bits()));
+        }
+        for (x, y) in plain.valmp.norm_distances.iter().zip(&recorded.valmp.norm_distances) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

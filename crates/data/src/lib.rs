@@ -33,6 +33,6 @@ pub mod series;
 pub mod stats;
 
 pub use datasets::Dataset;
-pub use error::{DataError, Result};
+pub use error::{DataError, Result, ValmodError};
 pub use series::{euclidean, znormalize, Series, SeriesSummary};
 pub use stats::{LengthStats, RollingStats};

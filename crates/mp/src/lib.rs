@@ -51,7 +51,7 @@ pub use exclusion::ExclusionPolicy;
 pub use join::{ab_join, closest_cross_pair};
 pub use matrix_profile::MatrixProfile;
 pub use motif::{top_motifs, MotifPair};
-pub use parallel::{resolve_threads, stomp_parallel, stomp_rows};
+pub use parallel::{resolve_threads, stomp_parallel, stomp_parallel_with, stomp_rows};
 pub use stamp::stamp;
 pub use stomp::{stomp, StompDriver};
 pub use streaming::StreamingProfile;

@@ -14,6 +14,7 @@
 //! the recurrence.
 
 use valmod_data::error::Result;
+use valmod_obs::{Recorder, SharedRecorder};
 
 use crate::context::ProfiledSeries;
 use crate::distance_profile::{dp_from_qt_into, profile_min, self_qt};
@@ -103,6 +104,20 @@ pub fn stomp_parallel(
     policy: ExclusionPolicy,
     threads: usize,
 ) -> Result<MatrixProfile> {
+    stomp_parallel_with(ps, l, policy, threads, &SharedRecorder::noop())
+}
+
+/// [`stomp_parallel`] with instrumentation: each worker records its chunk
+/// wall time into `mp.stomp.row_chunk_us`, the row total into
+/// `mp.stomp.rows`, and its FFT seed into `mp.mass.calls`. With a
+/// disabled recorder the only cost is one `enabled()` branch per chunk.
+pub fn stomp_parallel_with(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+    recorder: &SharedRecorder,
+) -> Result<MatrixProfile> {
     let ndp = ps.require_pairs(l)?;
     let mut mp = vec![f64::INFINITY; ndp];
     let mut ip = vec![usize::MAX; ndp];
@@ -117,6 +132,7 @@ pub fn stomp_parallel(
             mp_rest = mp_tail;
             ip_rest = ip_tail;
             scope.spawn(move || {
+                let _span = valmod_obs::span!(recorder, "mp.stomp.row_chunk_us");
                 stomp_rows(ps, l, &policy, chunk_start, len, |i, dp, _qt| {
                     let k = i - chunk_start;
                     match profile_min(dp) {
@@ -130,6 +146,12 @@ pub fn stomp_parallel(
                         }
                     }
                 });
+                if recorder.enabled() {
+                    // One FFT-seeded dot-product row per chunk; the rest
+                    // use the O(1) STOMP update.
+                    recorder.add("mp.mass.calls", 1);
+                    recorder.add("mp.stomp.rows", len as u64);
+                }
             });
         }
     });

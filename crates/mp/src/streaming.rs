@@ -13,6 +13,7 @@
 //! profile over the grown series.
 
 use valmod_data::error::{DataError, Result};
+use valmod_obs::{Recorder, SharedRecorder};
 
 use crate::context::ProfiledSeries;
 use crate::distance::dist_from_qt;
@@ -42,6 +43,8 @@ pub struct StreamingProfile {
     last_qt: Vec<f64>,
     mp: Vec<f64>,
     ip: Vec<usize>,
+    /// Measurement sink; defaults to the no-op recorder.
+    recorder: SharedRecorder,
 }
 
 impl StreamingProfile {
@@ -83,7 +86,16 @@ impl StreamingProfile {
             last_qt,
             mp: initial.mp,
             ip: initial.ip,
+            recorder: SharedRecorder::noop(),
         })
+    }
+
+    /// Replaces the measurement sink. Each accepted [`append`](Self::append)
+    /// then records its wall time into `mp.streaming.append_us` and counts
+    /// `mp.streaming.appends`.
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Current number of samples.
@@ -146,6 +158,10 @@ impl StreamingProfile {
     pub fn append(&mut self, raw: f64) -> Result<()> {
         if !raw.is_finite() {
             return Err(DataError::NonFinite { index: self.values.len() });
+        }
+        let _span = valmod_obs::span!(&self.recorder, "mp.streaming.append_us");
+        if self.recorder.enabled() {
+            self.recorder.add("mp.streaming.appends", 1);
         }
         let v = raw - self.offset;
         let extends = self.values.last().is_some_and(|&prev| prev == v);
@@ -281,6 +297,20 @@ mod tests {
         let mut stream = StreamingProfile::new(&series, 10, ExclusionPolicy::HALF).unwrap();
         assert!(stream.append(f64::NAN).is_err());
         assert!(stream.append(1.5).is_ok());
+    }
+
+    #[test]
+    fn recorder_sees_appends() {
+        let reg = valmod_obs::Registry::new();
+        let series = random_walk(100, 87);
+        let mut stream = StreamingProfile::new(&series, 10, ExclusionPolicy::HALF)
+            .unwrap()
+            .with_recorder(SharedRecorder::from(reg.clone()));
+        stream.extend([0.5, 1.5, -0.5]).unwrap();
+        assert!(stream.append(f64::NAN).is_err());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("mp.streaming.appends"), Some(3), "rejected appends not counted");
+        assert_eq!(snap.histogram("mp.streaming.append_us").unwrap().count, 3);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Fixed-bucket histograms built on atomics.
+//!
+//! A histogram is a sorted list of finite upper bounds plus one implicit
+//! overflow bucket. A sample `v` lands in the first bucket whose bound
+//! satisfies `v <= bound`; samples above every bound (including `+inf`)
+//! land in the overflow bucket; `NaN` samples are rejected and counted
+//! separately. Recording is wait-free except for the running sum, which
+//! folds finite samples in with a CAS loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Bucket-bound constructors for the common layouts.
+pub mod buckets {
+    /// `count` bounds growing geometrically from `start` by `factor`:
+    /// `start, start*factor, start*factor^2, ...`.
+    ///
+    /// # Panics
+    /// If `start <= 0`, `factor <= 1`, or `count == 0`.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        assert!(start > 0.0 && start.is_finite(), "exponential buckets need start > 0");
+        assert!(factor > 1.0 && factor.is_finite(), "exponential buckets need factor > 1");
+        assert!(count > 0, "exponential buckets need count > 0");
+        let mut bounds = Vec::with_capacity(count);
+        let mut bound = start;
+        for _ in 0..count {
+            bounds.push(bound);
+            bound *= factor;
+        }
+        bounds
+    }
+
+    /// `count` bounds spaced `width` apart starting at `start`:
+    /// `start, start+width, start+2*width, ...`.
+    ///
+    /// # Panics
+    /// If `width <= 0`, `count == 0`, or `start` is not finite.
+    pub fn linear(start: f64, width: f64, count: usize) -> Vec<f64> {
+        assert!(start.is_finite(), "linear buckets need a finite start");
+        assert!(width > 0.0 && width.is_finite(), "linear buckets need width > 0");
+        assert!(count > 0, "linear buckets need count > 0");
+        (0..count).map(|i| start + width * i as f64).collect()
+    }
+
+    /// Default layout for `_us` duration histograms: powers of two from
+    /// 1 µs to ~33.5 s (26 bounds), overflow above.
+    pub fn default_latency_us() -> Vec<f64> {
+        exponential(1.0, 2.0, 26)
+    }
+}
+
+/// Concurrent fixed-bucket histogram.
+///
+/// See the [module docs](self) for bucketing semantics. Shared between
+/// threads behind an `Arc`; all updates use relaxed atomics — snapshots
+/// are approximate under concurrent writes, exact once writers quiesce.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum of finite samples, stored as `f64` bits.
+    sum_bits: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Histogram {
+    /// Build a histogram over the given upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty, contains a non-finite value, or is not
+    /// strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        for pair in bounds.windows(2) {
+            assert!(pair[0] < pair[1], "histogram bounds must be strictly increasing");
+        }
+        assert!(bounds.iter().all(|b| b.is_finite()), "histogram bounds must be finite");
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured upper bounds (overflow bucket excluded).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Record one sample. Returns `false` (and counts a rejection)
+    /// for `NaN`; `+inf` lands in the overflow bucket, `-inf` in the
+    /// first bucket, neither contributes to the running sum.
+    pub fn record(&self, value: f64) -> bool {
+        if value.is_nan() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let idx = self.bounds.partition_point(|&bound| bound < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            let mut current = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + value).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+        }
+        true
+    }
+
+    /// Total accepted samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Samples rejected as `NaN`.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Start a wall-clock timer that records elapsed microseconds into
+    /// this histogram when dropped.
+    pub fn start_timer(&self) -> HistogramTimer<'_> {
+        HistogramTimer { histogram: self, start: Instant::now() }
+    }
+
+    /// Copy the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            rejected: self.rejected(),
+        }
+    }
+}
+
+/// RAII timer bound to a pre-registered histogram handle; records
+/// elapsed microseconds on drop. Obtained via [`Histogram::start_timer`].
+#[derive(Debug)]
+pub struct HistogramTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram.record(self.start.elapsed().as_secs_f64() * 1e6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_first_nonnegative_bucket() {
+        let h = Histogram::new(buckets::linear(0.0, 1.0, 4)); // bounds 0,1,2,3
+        assert!(h.record(0.0));
+        let snap = h.snapshot();
+        assert_eq!(snap.counts[0], 1, "0.0 must satisfy v <= 0.0 for the first bound");
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 0.0);
+    }
+
+    #[test]
+    fn positive_infinity_lands_in_overflow_without_poisoning_sum() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        assert!(h.record(f64::INFINITY));
+        assert!(h.record(1.5));
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![0, 1, 1]);
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 1.5, "infinite samples must not reach the sum");
+    }
+
+    #[test]
+    fn negative_infinity_lands_in_first_bucket() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        assert!(h.record(f64::NEG_INFINITY));
+        assert_eq!(h.snapshot().counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn nan_is_rejected_and_counted() {
+        let h = Histogram::new(vec![1.0]);
+        assert!(!h.record(f64::NAN));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn boundary_values_use_le_semantics() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.0001, 2.0, 4.0, 4.0001] {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().counts, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn exponential_and_linear_layouts() {
+        assert_eq!(buckets::exponential(1.0, 2.0, 4), vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(buckets::linear(-1.0, 0.5, 4), vec![-1.0, -0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_refused() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn timer_records_microseconds() {
+        let h = Histogram::new(buckets::default_latency_us());
+        {
+            let _t = h.start_timer();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum >= 1_000.0, "2ms sleep should record >= 1000us, got {}", snap.sum);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_kept() {
+        let h = std::sync::Arc::new(Histogram::new(buckets::linear(0.0, 8.0, 16)));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        h.record((t * 31 + i % 97) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4_000);
+        assert_eq!(h.snapshot().counts.iter().sum::<u64>(), 4_000);
+    }
+}

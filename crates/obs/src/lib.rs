@@ -1,0 +1,72 @@
+//! Observability substrate for the VALMOD workspace.
+//!
+//! The paper's evaluation treats internal counters — lower-bound margins
+//! (Fig. 9), tightness of the lower bound (Fig. 10), distance
+//! distributions (Fig. 11) — as first-class outputs, and a production
+//! motif service needs the same visibility for "why was this query
+//! slow". This crate provides the shared measurement layer used by every
+//! other crate in the workspace:
+//!
+//! * [`Recorder`] — the trait instrumented code talks to. Three verbs:
+//!   [`Recorder::add`] (monotonic counter), [`Recorder::set`] (gauge),
+//!   [`Recorder::observe`] (histogram sample). The default
+//!   implementation, [`NoopRecorder`], answers `enabled() == false` so
+//!   hot paths can skip even the `Instant::now()` call.
+//! * [`Registry`] — a sharded, atomic, lock-cheap live implementation.
+//!   Hot loops pre-bind typed handles ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) once and then touch only atomics.
+//! * [`SpanTimer`] / [`span!`] — RAII wall-clock guards that record
+//!   elapsed microseconds into a histogram key on drop.
+//! * [`Snapshot`] — a point-in-time copy of a registry with text and
+//!   JSON renderings plus bucket-based quantile helpers.
+//!
+//! # Metric key convention
+//!
+//! Keys are dot-separated, lowercase, and rooted at the crate that owns
+//! the measurement: `mp.stomp.row_chunk_us`, `core.lb.fallback`,
+//! `serve.queue.wait_us`. Duration histograms end in `_us` and are
+//! recorded in microseconds. The hierarchy is encoded in the key itself;
+//! exporters sort lexicographically so related metrics group together.
+//!
+//! # Example
+//!
+//! ```
+//! use valmod_obs::{Recorder, Registry, SharedRecorder};
+//!
+//! let registry = Registry::new();
+//! let rec = SharedRecorder::from(registry.clone());
+//! {
+//!     let _span = valmod_obs::span!(&rec, "demo.work_us");
+//!     rec.add("demo.items", 3);
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("demo.items"), Some(3));
+//! assert_eq!(snap.histogram("demo.work_us").unwrap().count, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::{buckets, Histogram, HistogramTimer};
+pub use recorder::{NoopRecorder, Recorder, SharedRecorder};
+pub use registry::{Counter, Gauge, Registry};
+pub use snapshot::{HistogramSnapshot, MetricSnapshot, Snapshot};
+pub use span::SpanTimer;
+
+/// Start a [`SpanTimer`] recording elapsed microseconds under `key`.
+///
+/// Expands to `SpanTimer::start($recorder, $key)`; bind the result to a
+/// named guard (`let _span = span!(...)`) so it lives until scope exit.
+/// When the recorder is disabled the guard never reads the clock.
+#[macro_export]
+macro_rules! span {
+    ($recorder:expr, $key:expr) => {
+        $crate::SpanTimer::start($recorder, $key)
+    };
+}

@@ -1,0 +1,330 @@
+//! Point-in-time copies of a [`Registry`](crate::Registry) with text and
+//! JSON renderings and bucket-based statistics helpers.
+
+use std::fmt::Write as _;
+
+/// One metric's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Last gauge value.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// Frozen histogram state: bounds, per-bucket counts (the trailing slot
+/// is the overflow bucket), totals, and the NaN rejection count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, strictly increasing; the overflow bucket is implicit.
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total accepted samples.
+    pub count: u64,
+    /// Sum of finite samples.
+    pub sum: f64,
+    /// Samples rejected as NaN.
+    pub rejected: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of finite samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0 <= q <= 1`); `+inf` when it falls in the overflow bucket,
+    /// NaN when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return f64::NAN;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Fraction of samples in buckets whose entire range lies above
+    /// `threshold` — i.e. whose lower edge is `>= threshold`. Exact when
+    /// `threshold` is one of the bounds; 0 when the histogram is empty.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut above = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            // Bucket i covers (bounds[i-1], bounds[i]]; bucket 0 is open
+            // below, the overflow bucket is open above.
+            let lower = if i == 0 { f64::NEG_INFINITY } else { self.bounds[i - 1] };
+            if lower >= threshold {
+                above += n;
+            }
+        }
+        above as f64 / self.count as f64
+    }
+
+    /// Per-bucket fractions of the total (all zeros when empty).
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&n| n as f64 / self.count as f64).collect()
+    }
+}
+
+/// Key-sorted copy of every metric in a registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub(crate) entries: Vec<(String, MetricSnapshot)>,
+}
+
+impl Snapshot {
+    /// All metrics, sorted by key.
+    pub fn entries(&self) -> &[(String, MetricSnapshot)] {
+        &self.entries
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up one metric by key.
+    pub fn get(&self, key: &str) -> Option<&MetricSnapshot> {
+        self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key)).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value for `key`, if it is a counter.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        match self.get(key) {
+            Some(MetricSnapshot::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value for `key`, if it is a gauge.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(MetricSnapshot::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram state for `key`, if it is a histogram.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        match self.get(key) {
+            Some(MetricSnapshot::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Render as aligned human-readable text, one metric per line.
+    pub fn to_text(&self) -> String {
+        let width = self.entries.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (key, metric) in &self.entries {
+            match metric {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(out, "{key:width$}  counter    {v}");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(out, "{key:width$}  gauge      {v}");
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{key:width$}  histogram  count={} mean={:.3} p50<={} p99<={}",
+                        h.count,
+                        h.mean(),
+                        fmt_bound(h.quantile(0.5)),
+                        fmt_bound(h.quantile(0.99)),
+                    );
+                    if h.rejected > 0 {
+                        let _ = write!(out, " rejected={}", h.rejected);
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object keyed by metric name. Non-finite bucket
+    /// bounds are encoded as strings (`"inf"`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, metric)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", json_string(key));
+            match metric {
+                MetricSnapshot::Counter(v) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{v}}}");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{}}}", json_number(*v));
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"rejected\":{},\"buckets\":[",
+                        h.count,
+                        json_number(h.sum),
+                        h.rejected
+                    );
+                    for (j, &n) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let le = h.bounds.get(j).copied().unwrap_or(f64::INFINITY);
+                        let _ = write!(out, "{{\"le\":{},\"n\":{}}}", json_number(le), n);
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn fmt_bound(bound: f64) -> String {
+    if bound.is_finite() {
+        format!("{bound}")
+    } else if bound > 0.0 {
+        "inf".to_string()
+    } else {
+        "nan".to_string()
+    }
+}
+
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else if value.is_nan() {
+        "\"nan\"".to_string()
+    } else if value > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::histogram::buckets;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("core.lb.fallback").add(3);
+        reg.gauge("serve.cache.bytes").set(512.0);
+        let h = reg.histogram_with("serve.queue.wait_us", &buckets::exponential(1.0, 2.0, 8));
+        for v in [1.0, 3.0, 3.0, 200.0, 5000.0] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let snap = sample_registry().snapshot();
+        let h = snap.histogram("serve.queue.wait_us").unwrap();
+        assert_eq!(h.quantile(0.0), 1.0, "q=0 clamps to the first occupied bucket");
+        assert_eq!(h.quantile(0.5), 4.0, "3rd of 5 samples sits in the (2,4] bucket");
+        assert_eq!(h.quantile(1.0), f64::INFINITY, "5000 overflows an 8-bucket 2^k layout");
+        assert!(h.quantile(1.5).is_nan());
+    }
+
+    #[test]
+    fn fraction_above_is_exact_on_bucket_edges() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("m", &buckets::linear(-1.0, 0.5, 5)); // -1,-0.5,0,0.5,1
+        for v in [-0.75, -0.1, 0.25, 0.6, 2.0] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("m").unwrap();
+        assert!((hs.fraction_above(0.0) - 0.6).abs() < 1e-12);
+        assert_eq!(hs.fraction_above(f64::NEG_INFINITY), 1.0);
+    }
+
+    #[test]
+    fn text_render_is_aligned_and_complete() {
+        let text = sample_registry().snapshot().to_text();
+        assert!(text.contains("core.lb.fallback"));
+        assert!(text.contains("counter    3"));
+        assert!(text.contains("gauge      512"));
+        assert!(text.contains("count=5"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_render_is_parseable_shape() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"core.lb.fallback\":{\"type\":\"counter\",\"value\":3}"));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"le\":\"inf\""), "overflow bucket encodes inf as a string");
+        assert!(!json.contains("inf,"), "bare inf would be invalid JSON");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.len(), 0);
+        assert_eq!(snap.to_text(), "");
+        assert_eq!(snap.to_json(), "{}");
+    }
+
+    #[test]
+    fn lookup_helpers_filter_by_kind() {
+        let snap = sample_registry().snapshot();
+        assert_eq!(snap.counter("core.lb.fallback"), Some(3));
+        assert_eq!(snap.counter("serve.cache.bytes"), None);
+        assert_eq!(snap.gauge("serve.cache.bytes"), Some(512.0));
+        assert!(snap.histogram("core.lb.fallback").is_none());
+        assert!(snap.get("missing").is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! RAII span timers: measure a scope's wall-clock time and record it as
+//! microseconds into a histogram key on drop.
+
+use std::time::Instant;
+
+use crate::recorder::Recorder;
+
+/// Guard that records the elapsed microseconds since construction under
+/// `key` when dropped. When the recorder is disabled the clock is never
+/// read and the drop is free — the no-op contract that lets spans sit in
+/// hot paths.
+///
+/// Usually built via the [`span!`](crate::span!) macro:
+///
+/// ```
+/// use valmod_obs::{Recorder, Registry};
+///
+/// let reg = Registry::new();
+/// {
+///     let _span = valmod_obs::span!(&reg, "demo.step_us");
+/// }
+/// assert_eq!(reg.snapshot().histogram("demo.step_us").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer<'a, R: Recorder + ?Sized> {
+    recorder: &'a R,
+    key: &'a str,
+    start: Option<Instant>,
+}
+
+impl<'a, R: Recorder + ?Sized> SpanTimer<'a, R> {
+    /// Start timing `key`; reads the clock only if `recorder.enabled()`.
+    pub fn start(recorder: &'a R, key: &'a str) -> Self {
+        let start = recorder.enabled().then(Instant::now);
+        SpanTimer { recorder, key, start }
+    }
+
+    /// Drop the guard without recording anything.
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+}
+
+impl<R: Recorder + ?Sized> Drop for SpanTimer<'_, R> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.recorder.observe(self.key, start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{NoopRecorder, SharedRecorder};
+    use crate::Registry;
+
+    #[test]
+    fn span_records_into_registry() {
+        let reg = Registry::new();
+        {
+            let _span = SpanTimer::start(&reg, "t.step_us");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("t.step_us").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_recorder_never_times() {
+        let noop = NoopRecorder;
+        let span = SpanTimer::start(&noop, "t.step_us");
+        assert!(span.start.is_none(), "no Instant::now() when disabled");
+    }
+
+    #[test]
+    fn discard_suppresses_the_sample() {
+        let reg = Registry::new();
+        let span = SpanTimer::start(&reg, "t.step_us");
+        span.discard();
+        assert!(reg.snapshot().histogram("t.step_us").is_none());
+    }
+
+    #[test]
+    fn macro_works_through_shared_recorder() {
+        let reg = Registry::new();
+        let rec = SharedRecorder::from(reg.clone());
+        {
+            let _span = crate::span!(&rec, "t.macro_us");
+        }
+        assert_eq!(reg.snapshot().histogram("t.macro_us").unwrap().count, 1);
+    }
+}

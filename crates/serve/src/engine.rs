@@ -26,12 +26,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use valmod_core::{
-    compute_var_length_motif_sets, top_variable_length_motifs, valmod_on, variable_length_discords,
+    compute_var_length_motif_sets, top_variable_length_motifs, variable_length_discords, Valmod,
     ValmodConfig,
 };
-use valmod_data::error::DataError;
 use valmod_mp::motif::top_motifs;
 use valmod_mp::{ExclusionPolicy, MatrixProfile, MotifPair, ProfiledSeries};
+use valmod_obs::{MetricSnapshot, Recorder, Registry, SharedRecorder, Snapshot};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::{ServeError, ServeResult};
@@ -150,6 +150,7 @@ enum Work {
 struct Job {
     work: Work,
     deadline: Instant,
+    submitted: Instant,
     reply: SyncSender<ServeResult<QueryOutcome>>,
 }
 
@@ -167,6 +168,8 @@ struct Shared {
     store: RwLock<SeriesStore>,
     cache: Mutex<ResultCache>,
     counters: EngineCounters,
+    registry: Registry,
+    recorder: SharedRecorder,
     shutting_down: AtomicBool,
 }
 
@@ -186,11 +189,20 @@ impl QueryEngine {
             ..cfg
         };
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+        // The engine's metric registry: every query's kernels report into
+        // it, so the STATS "obs" section sees the whole stack. The lb
+        // diagnostic histograms need value-shaped (not latency-shaped)
+        // bucket layouts, registered up front.
+        let registry = Registry::new();
+        valmod_core::instrument::register_probe_histograms(&registry);
+        let recorder = SharedRecorder::from(registry.clone());
         let shared = Arc::new(Shared {
             cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
             cfg,
             store: RwLock::new(SeriesStore::new()),
             counters: EngineCounters::default(),
+            registry,
+            recorder,
             shutting_down: AtomicBool::new(false),
         });
         let rx = Arc::new(Mutex::new(rx));
@@ -252,8 +264,10 @@ impl QueryEngine {
         let version = self.shared.store.read().expect("store lock").get(&spec.series)?.version();
         let key = CacheKey { series: spec.series.clone(), version, query: spec.query_key() };
         if let Some(payload) = self.shared.cache.lock().expect("cache lock").get(&key) {
+            self.shared.recorder.add("serve.cache.hit", 1);
             return Ok(QueryOutcome { payload, cached: true });
         }
+        self.shared.recorder.add("serve.cache.miss", 1);
         let deadline = Instant::now() + spec.deadline.unwrap_or(self.shared.cfg.default_deadline);
         self.submit(Work::Query(spec), deadline)
     }
@@ -268,7 +282,7 @@ impl QueryEngine {
 
     fn submit(&self, work: Work, deadline: Instant) -> ServeResult<QueryOutcome> {
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        let job = Job { work, deadline, reply: reply_tx };
+        let job = Job { work, deadline, submitted: Instant::now(), reply: reply_tx };
         {
             let sender = self.sender.lock().expect("sender lock");
             let Some(tx) = sender.as_ref() else {
@@ -278,12 +292,20 @@ impl QueryEngine {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
                     self.shared.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    self.shared.recorder.add("serve.queue.shed_busy", 1);
                     return Err(ServeError::Busy);
                 }
                 Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
             }
         }
         reply_rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// The engine's metric registry. Front ends may record their own
+    /// metrics into it (the TCP server adds `serve.net.bytes_in/out`);
+    /// [`QueryEngine::stats`] snapshots it into the `"obs"` section.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
     }
 
     /// A `STATS` snapshot: engine counters, cache accounting, per-series
@@ -336,6 +358,7 @@ impl QueryEngine {
             ),
             ("cache", cache_v),
             ("series", Value::Arr(series)),
+            ("obs", snapshot_value(&self.shared.registry.snapshot())),
         ])
     }
 
@@ -380,8 +403,10 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
                 Err(_) => return, // queue disconnected: shutdown
             }
         };
+        shared.recorder.observe("serve.queue.wait_us", job.submitted.elapsed().as_secs_f64() * 1e6);
         if Instant::now() > job.deadline {
             shared.counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            shared.recorder.add("serve.queue.shed_deadline", 1);
             let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
             continue;
         }
@@ -400,6 +425,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
                 // Too late to be useful to this caller, but the computed
                 // result stays cached for the next one.
                 shared.counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                shared.recorder.add("serve.queue.shed_deadline", 1);
                 Err(ServeError::DeadlineExceeded)
             }
             other => other,
@@ -427,10 +453,14 @@ fn execute_query(shared: &Shared, spec: &QuerySpec) -> ServeResult<QueryOutcome>
     // worker may also have filled the entry meanwhile. Re-probe.
     let key = CacheKey { series: spec.series.clone(), version, query: spec.query_key() };
     if let Some(payload) = shared.cache.lock().expect("cache lock").get(&key) {
+        shared.recorder.add("serve.cache.hit", 1);
         return Ok(QueryOutcome { payload, cached: true });
     }
     let started = Instant::now();
-    let body = compute_payload(shared, spec, &ps, hot)?;
+    let body = {
+        let _span = valmod_obs::span!(&shared.recorder, "serve.compute_us");
+        compute_payload(shared, spec, &ps, hot)?
+    };
     let payload = Arc::new(Value::obj(vec![
         ("series", Value::str(&spec.series)),
         ("version", version.into()),
@@ -449,6 +479,7 @@ fn compute_payload(
     hot: Option<MatrixProfile>,
 ) -> ServeResult<Value> {
     let cfg = spec.valmod_config(shared.cfg.kernel_threads);
+    let runner = Valmod::from_config(cfg.clone()).recorder(shared.recorder.clone());
     match spec.kind {
         QueryKind::Motifs { top } => {
             // Fixed-length queries at a registered hot length skip the
@@ -459,7 +490,7 @@ fn compute_payload(
                     (top_motifs(&profile, top), "hot")
                 }
                 None => {
-                    let out = valmod_on(ps, &cfg)?;
+                    let out = runner.run_on(ps)?;
                     (top_variable_length_motifs(&out.valmp, top, cfg.policy), "cold")
                 }
             };
@@ -470,15 +501,13 @@ fn compute_payload(
         }
         QueryKind::Sets { k, radius } => {
             if k == 0 {
-                return Err(ServeError::Data(DataError::InvalidParameter(
+                return Err(ServeError::InvalidParameter(
                     "sets require k >= 1 tracked pairs".into(),
-                )));
+                ));
             }
-            let out = valmod_on(ps, &cfg)?;
+            let out = runner.run_on(ps)?;
             let tracker = out.best_pairs.ok_or_else(|| {
-                ServeError::Data(DataError::InvalidParameter(
-                    "pair tracking produced no candidates".into(),
-                ))
+                ServeError::InvalidParameter("pair tracking produced no candidates".into())
             })?;
             let (sets, set_stats) = compute_var_length_motif_sets(ps, &tracker, radius, cfg.policy);
             let sets_v: Vec<Value> = sets
@@ -503,7 +532,7 @@ fn compute_payload(
             ]))
         }
         QueryKind::Discords { top } => {
-            let out = valmod_on(ps, &cfg)?;
+            let out = runner.run_on(ps)?;
             let discords = variable_length_discords(&out.valmp, top, cfg.policy);
             let arr: Vec<Value> = discords
                 .iter()
@@ -519,6 +548,41 @@ fn compute_payload(
             Ok(Value::obj(vec![("discords", Value::Arr(arr))]))
         }
     }
+}
+
+/// Renders a registry snapshot as a wire value: counters and gauges map to
+/// plain numbers; histograms to `{count, sum, mean, p50, p99}` summaries
+/// (bucket layouts stay server-side — quantiles are what clients plot).
+fn snapshot_value(snapshot: &Snapshot) -> Value {
+    let fields: Vec<(String, Value)> = snapshot
+        .entries()
+        .iter()
+        .map(|(key, metric)| {
+            let value = match metric {
+                MetricSnapshot::Counter(v) => Value::from(*v),
+                MetricSnapshot::Gauge(v) => Value::from(*v),
+                MetricSnapshot::Histogram(h) => {
+                    let quantile = |q: f64| {
+                        let v = h.quantile(q);
+                        if v.is_finite() {
+                            Value::from(v)
+                        } else {
+                            Value::Null
+                        }
+                    };
+                    Value::obj(vec![
+                        ("count", h.count.into()),
+                        ("sum", h.sum.into()),
+                        ("mean", if h.count > 0 { h.mean().into() } else { Value::Null }),
+                        ("p50", quantile(0.5)),
+                        ("p99", quantile(0.99)),
+                    ])
+                }
+            };
+            (key.clone(), value)
+        })
+        .collect();
+    Value::Obj(fields)
 }
 
 fn motif_value(m: &MotifPair) -> Value {
@@ -675,6 +739,31 @@ mod tests {
         let err = eng.sleep(1, Some(Duration::from_millis(50))).unwrap_err();
         assert!(matches!(err, ServeError::DeadlineExceeded), "got {err:?}");
         bg.join().unwrap().unwrap();
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn stats_expose_the_metric_registry() {
+        let eng = engine(1, 8, 1 << 20);
+        let (values, _) = plant_motif(900, 32, 2, 0.001, 23);
+        eng.load("s", values, &[], ExclusionPolicy::HALF, false).unwrap();
+        let cold = eng.query(motif_spec("s", 24, 32)).unwrap();
+        assert!(!cold.cached);
+        let warm = eng.query(motif_spec("s", 24, 32)).unwrap();
+        assert!(warm.cached);
+        let stats = eng.stats();
+        let obs = stats.get("obs").expect("stats carries an obs section");
+        let counter = |key: &str| obs.get(key).and_then(Value::as_usize).unwrap_or(0);
+        assert_eq!(counter("serve.cache.hit"), 1);
+        assert_eq!(counter("serve.cache.miss"), 1);
+        // The cold query ran the full VALMOD stack under the recorder.
+        assert!(counter("core.lb.valid_rows") > 0);
+        assert!(counter("mp.stomp.rows") > 0);
+        let wait = obs.get("serve.queue.wait_us").unwrap();
+        assert_eq!(wait.get("count").and_then(Value::as_usize), Some(1));
+        let compute = obs.get("serve.compute_us").unwrap();
+        assert!(compute.get("sum").unwrap().as_f64().unwrap() > 0.0);
         eng.shutdown();
         eng.join();
     }

@@ -1,107 +1,44 @@
-//! The service-layer error type and its wire representation.
+//! Service-layer error aliases over the unified workspace error.
 //!
-//! Every failure a client can observe maps to a stable `kind` string so
-//! clients can branch on machine-readable categories while humans read the
-//! message. Overload (`busy`) and deadline misses are ordinary, expected
-//! errors — the scheduler degrades by *reporting* them, never by panicking
-//! or dropping connections.
+//! The service layer shares [`ValmodError`] with the rest of the stack:
+//! a non-finite sample rejected during `APPEND` is the *same* value (and
+//! the same `kind` string on the wire) as one rejected by a file loader
+//! — no per-crate wrapping or stringly conversions. `ServeError` remains
+//! as an alias so existing call sites and client code keep compiling.
+//!
+//! Every variant maps to a stable machine-readable `kind` so clients can
+//! branch on categories while humans read the message. Overload (`busy`)
+//! and deadline misses are ordinary, expected errors — the scheduler
+//! degrades by *reporting* them, never by panicking or dropping
+//! connections.
 
-use valmod_data::error::DataError;
+pub use valmod_data::error::ValmodError;
+
+/// Alias kept for source compatibility with the service layer's
+/// original error type.
+pub type ServeError = ValmodError;
 
 /// Result alias for the service layer.
-pub type ServeResult<T> = Result<T, ServeError>;
-
-/// Everything that can go wrong between a request line and a response line.
-#[derive(Debug)]
-pub enum ServeError {
-    /// The bounded request queue is full; retry later (load shedding).
-    Busy,
-    /// The request's deadline passed before a result could be delivered.
-    DeadlineExceeded,
-    /// The engine is shutting down and accepts no new work.
-    ShuttingDown,
-    /// No series is loaded under the given name.
-    UnknownSeries(String),
-    /// A series with this name already exists (and `replace` was not set).
-    SeriesExists(String),
-    /// The request line could not be parsed or is missing fields.
-    Protocol(String),
-    /// Invalid data or parameters (non-finite samples, bad length range…).
-    Data(DataError),
-    /// A socket-level failure.
-    Io(std::io::Error),
-}
-
-impl ServeError {
-    /// The stable machine-readable error category used on the wire.
-    pub fn kind(&self) -> &'static str {
-        match self {
-            ServeError::Busy => "busy",
-            ServeError::DeadlineExceeded => "deadline",
-            ServeError::ShuttingDown => "shutting_down",
-            ServeError::UnknownSeries(_) => "unknown_series",
-            ServeError::SeriesExists(_) => "series_exists",
-            ServeError::Protocol(_) => "protocol",
-            ServeError::Data(_) => "data",
-            ServeError::Io(_) => "io",
-        }
-    }
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::Busy => write!(f, "request queue is full; retry later"),
-            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
-            ServeError::ShuttingDown => write!(f, "server is shutting down"),
-            ServeError::UnknownSeries(name) => write!(f, "no series named {name:?} is loaded"),
-            ServeError::SeriesExists(name) => {
-                write!(f, "series {name:?} already exists (pass \"replace\": true to overwrite)")
-            }
-            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ServeError::Data(e) => write!(f, "{e}"),
-            ServeError::Io(e) => write!(f, "I/O error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ServeError {}
-
-impl From<DataError> for ServeError {
-    fn from(e: DataError) -> Self {
-        ServeError::Data(e)
-    }
-}
-
-impl From<std::io::Error> for ServeError {
-    fn from(e: std::io::Error) -> Self {
-        ServeError::Io(e)
-    }
-}
+pub type ServeResult<T> = Result<T, ValmodError>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn kinds_are_stable_and_distinct() {
-        let errs = [
-            ServeError::Busy,
-            ServeError::DeadlineExceeded,
-            ServeError::ShuttingDown,
-            ServeError::UnknownSeries("x".into()),
-            ServeError::SeriesExists("x".into()),
-            ServeError::Protocol("bad".into()),
-            ServeError::Data(DataError::InvalidParameter("p".into())),
-            ServeError::Io(std::io::Error::other("net")),
-        ];
-        let kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
-        let mut dedup = kinds.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(dedup.len(), kinds.len());
-        for e in &errs {
-            assert!(!e.to_string().is_empty());
+    fn service_variants_share_the_workspace_enum() {
+        // A data-validation failure and a service failure are the same
+        // type end to end; `?` across the store/engine boundary is a
+        // no-op rather than a conversion.
+        fn validate() -> valmod_data::error::Result<()> {
+            Err(ValmodError::NonFinite { index: 3 })
         }
+        fn handle() -> ServeResult<()> {
+            validate()?;
+            Ok(())
+        }
+        let err = handle().unwrap_err();
+        assert_eq!(err.kind(), "non_finite");
+        assert!(matches!(err, ServeError::NonFinite { index: 3 }));
     }
 }

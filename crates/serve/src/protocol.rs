@@ -239,8 +239,9 @@ pub struct Response {
 }
 
 impl Response {
-    /// Decodes a response tree, turning `ok: false` into the corresponding
-    /// [`ServeError::Protocol`]-style error carrying kind and message.
+    /// Decodes a response tree, turning `ok: false` back into the
+    /// matching [`ServeError`] variant by its stable `kind` string, with
+    /// a [`ServeError::Protocol`] fallback carrying kind and message.
     pub fn from_value(v: &Value) -> ServeResult<Response> {
         match v.get("ok").and_then(Value::as_bool) {
             Some(true) => Ok(Response {
@@ -262,6 +263,9 @@ impl Response {
                     "busy" => ServeError::Busy,
                     "deadline" => ServeError::DeadlineExceeded,
                     "shutting_down" => ServeError::ShuttingDown,
+                    "unknown_series" => ServeError::UnknownSeries(message.to_string()),
+                    "series_exists" => ServeError::SeriesExists(message.to_string()),
+                    "invalid_parameter" => ServeError::InvalidParameter(message.to_string()),
                     _ => ServeError::Protocol(format!("server error [{kind}]: {message}")),
                 })
             }
@@ -421,7 +425,11 @@ mod tests {
         let err = response_err(&ServeError::Busy);
         assert!(matches!(Response::from_value(&err), Err(ServeError::Busy)));
         let err = response_err(&ServeError::UnknownSeries("s".into()));
-        assert!(matches!(Response::from_value(&err), Err(ServeError::Protocol(_))));
+        assert!(matches!(Response::from_value(&err), Err(ServeError::UnknownSeries(_))));
+        let err = response_err(&ServeError::SeriesExists("s".into()));
+        assert!(matches!(Response::from_value(&err), Err(ServeError::SeriesExists(_))));
+        let err = response_err(&ServeError::InvalidParameter("k".into()));
+        assert!(matches!(Response::from_value(&err), Err(ServeError::InvalidParameter(_))));
         assert!(Response::from_value(&Value::Null).is_err());
     }
 }

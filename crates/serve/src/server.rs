@@ -119,9 +119,11 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        engine.registry().counter("serve.net.bytes_in").add(line.len() as u64);
         let (response, initiate_shutdown) = dispatch(&engine, &line);
         let mut encoded = response.encode();
         encoded.push('\n');
+        engine.registry().counter("serve.net.bytes_out").add(encoded.len() as u64);
         if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
             return;
         }

@@ -11,7 +11,6 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use valmod_data::error::DataError;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
 
 use crate::error::{ServeError, ServeResult};
@@ -88,9 +87,7 @@ impl StoredSeries {
     /// leaves every piece of state untouched.
     pub fn append(&mut self, samples: &[f64]) -> ServeResult<u64> {
         if samples.is_empty() {
-            return Err(ServeError::Data(DataError::InvalidParameter(
-                "append requires at least one sample".into(),
-            )));
+            return Err(ServeError::InvalidParameter("append requires at least one sample".into()));
         }
         validate_samples(samples, self.values.len())?;
         for sp in self.hot.values_mut() {
@@ -116,7 +113,7 @@ impl StoredSeries {
 
 fn validate_samples(samples: &[f64], base_index: usize) -> ServeResult<()> {
     if let Some(bad) = samples.iter().position(|v| !v.is_finite()) {
-        return Err(ServeError::Data(DataError::NonFinite { index: base_index + bad }));
+        return Err(ServeError::NonFinite { index: base_index + bad });
     }
     Ok(())
 }
@@ -211,7 +208,7 @@ mod tests {
         store.load("a", random_walk(120, 6), &[16], ExclusionPolicy::HALF, false).unwrap();
         let s = store.get_mut("a").unwrap();
         let err = s.append(&[1.0, f64::NAN]).unwrap_err();
-        assert!(matches!(err, ServeError::Data(DataError::NonFinite { index: 121 })));
+        assert!(matches!(err, ServeError::NonFinite { index: 121 }));
         assert_eq!(s.version(), 1);
         assert_eq!(s.len(), 120);
         assert_eq!(s.hot_profile(16).unwrap().len(), 120);

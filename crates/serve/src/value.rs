@@ -93,6 +93,14 @@ impl Value {
         }
     }
 
+    /// The key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Encodes to a single compact line (no interior newlines, ever —
     /// the framing is one request or response per `\n`-terminated line).
     pub fn encode(&self) -> String {

@@ -7,7 +7,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use valmod_data::generators::plant_motif;
-use valmod_serve::engine::{EngineConfig, QueryEngine};
+use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
 use valmod_serve::{Client, Request, ServeError, Server, Value};
 
 fn start_server(cfg: EngineConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
@@ -36,7 +36,7 @@ fn full_protocol_roundtrip() {
     assert_eq!((version, len), (1, 1_000));
     // Reloading without replace is an explicit error, not a clobber.
     let err = client.load("sensor", head.to_vec(), vec![], false).unwrap_err();
-    assert!(matches!(err, ServeError::Protocol(_)), "got {err:?}");
+    assert!(matches!(err, ServeError::SeriesExists(_)), "got {err:?}");
 
     // Cold query, then cached query: byte-identical results.
     let cold = client.motifs("sensor", 24, 40, 3).unwrap();
@@ -75,6 +75,24 @@ fn full_protocol_roundtrip() {
         .unwrap();
     assert!(discords.result.get("body").unwrap().get("discords").unwrap().as_arr().is_some());
 
+    // A workload that defeats the lower bounds (random walk + noisy sine
+    // tail, tiny p) to drive the engine through the full-recompute
+    // fallback, so the observability section below has a fallback to show.
+    let mut mixed = valmod_data::generators::random_walk(600, 1);
+    mixed.extend_from_slice(&valmod_data::generators::sine_mixture(200, &[(0.1, 3.0)], 0.4, 2));
+    client.load("mixed", mixed, vec![], false).unwrap();
+    client
+        .query(QuerySpec {
+            series: "mixed".into(),
+            kind: QueryKind::Motifs { top: 3 },
+            l_min: 16,
+            l_max: 48,
+            p: 3,
+            policy: valmod_mp::ExclusionPolicy::HALF,
+            deadline: None,
+        })
+        .unwrap();
+
     // STATS reflects the story so far.
     let stats = client.stats().unwrap();
     let engine = stats.get("engine").unwrap();
@@ -83,14 +101,29 @@ fn full_protocol_roundtrip() {
     assert!(cache.get("hits").unwrap().as_usize().unwrap() >= 2);
     assert!(cache.get("invalidated").unwrap().as_usize().unwrap() >= 1);
     let series = stats.get("series").unwrap().as_arr().unwrap();
-    assert_eq!(series.len(), 1);
-    assert_eq!(series[0].get("name").unwrap().as_str(), Some("sensor"));
-    assert_eq!(series[0].get("version").unwrap().as_usize(), Some(2));
+    assert_eq!(series.len(), 2);
+    let sensor = series.iter().find(|s| s.get("name").unwrap().as_str() == Some("sensor")).unwrap();
+    assert_eq!(sensor.get("version").unwrap().as_usize(), Some(2));
+
+    // The observability extension: the registry snapshot rides along in
+    // "obs", reporting metrics from every layer of the stack.
+    let obs = stats.get("obs").expect("STATS carries the obs registry snapshot");
+    let counter = |key: &str| obs.get(key).and_then(Value::as_usize).unwrap_or(0);
+    assert!(counter("serve.cache.hit") >= 2, "warm queries must show as cache hits");
+    assert!(counter("serve.cache.miss") >= 1);
+    assert!(counter("core.lb.fallback") >= 1, "the mixed workload must reach the fallback");
+    assert!(counter("core.lb.valid_rows") > 0);
+    assert!(counter("mp.stomp.rows") > 0);
+    assert!(counter("serve.net.bytes_in") > 0);
+    assert!(counter("serve.net.bytes_out") > 0);
+    let wait = obs.get("serve.queue.wait_us").expect("queue wait histogram");
+    assert!(wait.get("count").and_then(Value::as_usize).unwrap_or(0) > 0);
+    assert!(wait.get("sum").unwrap().as_f64().unwrap() > 0.0);
 
     // Unknown series and malformed lines answer errors without dropping
     // the connection.
     let err = client.motifs("ghost", 16, 20, 1).unwrap_err();
-    assert!(matches!(err, ServeError::Protocol(_)), "got {err:?}");
+    assert!(matches!(err, ServeError::UnknownSeries(_)), "got {err:?}");
     let err = client.roundtrip_value(&Value::str("not a request")).unwrap_err();
     assert!(matches!(err, ServeError::Protocol(_)));
     client.ping().unwrap();

@@ -8,7 +8,7 @@
 //! cargo run --release --example anomaly_hunting
 //! ```
 
-use valmod_core::{valmod, variable_length_discords, ValmodConfig};
+use valmod_core::{variable_length_discords, Valmod, ValmodConfig};
 use valmod_data::datasets::ecg_like;
 use valmod_data::series::Series;
 use valmod_mp::ExclusionPolicy;
@@ -32,7 +32,7 @@ fn main() {
 
     // Build the VALMP across lengths 60–160 (≈ half a beat to one beat).
     let config = ValmodConfig::new(60, 160).with_p(8);
-    let output = valmod(&series, &config).expect("range fits");
+    let output = Valmod::from_config(config).run(&series).expect("range fits");
 
     // Rank variable-length discords: subsequences whose *best* match across
     // every length is still far away.

@@ -10,7 +10,7 @@
 //! cargo run --release --example entomology
 //! ```
 
-use valmod_core::{top_variable_length_motifs, valmod, ValmodConfig};
+use valmod_core::{top_variable_length_motifs, Valmod, ValmodConfig};
 use valmod_data::datasets::epg_like;
 use valmod_mp::ExclusionPolicy;
 
@@ -30,7 +30,7 @@ fn main() {
 
     // Search the whole behavioural band at once.
     let config = ValmodConfig::new(450, 680).with_p(12);
-    let output = valmod(&series, &config).expect("range fits the series");
+    let output = Valmod::from_config(config).run(&series).expect("range fits the series");
 
     let motifs = top_variable_length_motifs(&output.valmp, 4, ExclusionPolicy::HALF);
     println!("top variable-length motifs in [450, 680]:");

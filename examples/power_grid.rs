@@ -8,7 +8,7 @@
 //! cargo run --release --example power_grid
 //! ```
 
-use valmod_core::{compute_var_length_motif_sets, valmod, ValmodConfig};
+use valmod_core::{compute_var_length_motif_sets, Valmod, ValmodConfig};
 use valmod_data::datasets::gap_like;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
@@ -20,7 +20,7 @@ fn main() {
 
     // Motifs from 2 h to 3 h of load shape, with top-5 pair tracking.
     let config = ValmodConfig::new(120, 180).with_p(10).with_pair_tracking(5);
-    let output = valmod(&series, &config).expect("range fits");
+    let output = Valmod::from_config(config).run(&series).expect("range fits");
 
     let ps = ProfiledSeries::new(&series);
     let best_pairs = output.best_pairs.as_ref().expect("tracking was enabled");

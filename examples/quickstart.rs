@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use valmod_core::{suggest_length_ranges, top_variable_length_motifs, valmod, ValmodConfig};
+use valmod_core::{suggest_length_ranges, top_variable_length_motifs, Valmod, ValmodConfig};
 use valmod_data::generators::plant_motif;
 use valmod_data::series::Series;
 use valmod_mp::ExclusionPolicy;
@@ -34,7 +34,8 @@ fn main() {
     // 2. Run VALMOD over a whole range of lengths — no need to guess the
     //    right one (that is the paper's point).
     let config = ValmodConfig::new(80, 160).with_p(16);
-    let output = valmod(&series, &config).expect("series is long enough for the range");
+    let output =
+        Valmod::from_config(config).run(&series).expect("series is long enough for the range");
 
     // 3. The best motif across all lengths, under the sqrt(1/ℓ)-normalised
     //    ranking of §3 of the paper.

@@ -8,7 +8,7 @@
 //! cargo run --release --example seismology
 //! ```
 
-use valmod_core::{valmod, ValmodConfig};
+use valmod_core::{Valmod, ValmodConfig};
 use valmod_data::generators::Gaussian;
 use valmod_data::series::Series;
 use valmod_mp::join::closest_cross_pair;
@@ -47,7 +47,7 @@ fn main() {
     // 1. Variable-length motif discovery finds the repeating sequence in A
     //    without knowing the wave duration.
     let series_a = Series::new(station_a.clone()).unwrap();
-    let out = valmod(&series_a, &ValmodConfig::new(220, 360).with_p(10)).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(220, 360).with_p(10)).run(&series_a).unwrap();
     let best = out.best_motif().expect("a motif exists");
     println!(
         "station A: best repeating waveform at offsets ({}, {}), length {}, dist {:.4}",

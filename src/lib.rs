@@ -6,8 +6,10 @@
 //! runnable examples (`examples/`) and cross-crate integration tests
 //! (`tests/`).
 //!
-//! Start with [`core::valmod`] (the Algorithm 1 driver) or the
-//! `examples/quickstart.rs` walkthrough.
+//! Start with [`core::Valmod`] (the builder around the Algorithm 1
+//! driver) or the `examples/quickstart.rs` walkthrough; [`obs::Registry`]
+//! collects metrics from every layer when attached via
+//! [`core::Valmod::recorder`].
 
 #![forbid(unsafe_code)]
 
@@ -17,4 +19,5 @@ pub use valmod_data as data;
 pub use valmod_fft as fft;
 pub use valmod_index as index;
 pub use valmod_mp as mp;
+pub use valmod_obs as obs;
 pub use valmod_serve as serve;

@@ -1,7 +1,7 @@
 //! Failure-injection and degenerate-input behaviour across the stack.
 
 use valmod_baselines::stomp_range::stomp_range;
-use valmod_core::valmod::{valmod, valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::generators::random_walk;
 use valmod_data::series::Series;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
@@ -10,7 +10,7 @@ use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 fn constant_series_yields_zero_distance_motifs() {
     // Every subsequence is flat ⇒ every pair has distance 0 by convention.
     let series = Series::new(vec![5.0; 300]).unwrap();
-    let out = valmod(&series, &ValmodConfig::new(16, 20).with_p(3)).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(16, 20).with_p(3)).run(&series).unwrap();
     for r in &out.per_length {
         let m = r.motif.expect("flat pairs exist");
         assert_eq!(m.dist, 0.0, "l={}", r.l);
@@ -24,7 +24,7 @@ fn flat_regions_inside_noisy_data_do_not_poison_results() {
         *v = 3.0; // a long plateau
     }
     let series = Series::new(values).unwrap();
-    let out = valmod(&series, &ValmodConfig::new(24, 30).with_p(4)).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(24, 30).with_p(4)).run(&series).unwrap();
     // The flat-vs-flat pairs are distance 0 and legitimately win; results
     // must be finite and exact vs STOMP.
     let ps = ProfiledSeries::new(&series);
@@ -43,8 +43,8 @@ fn giant_dc_offset_does_not_destroy_precision() {
     let huge: Vec<f64> = base.iter().map(|v| v + 1e9).collect();
     let ps_a = ProfiledSeries::from_values(&base).unwrap();
     let ps_b = ProfiledSeries::from_values(&huge).unwrap();
-    let a = valmod_on(&ps_a, &ValmodConfig::new(20, 26).with_p(4)).unwrap();
-    let b = valmod_on(&ps_b, &ValmodConfig::new(20, 26).with_p(4)).unwrap();
+    let a = Valmod::from_config(ValmodConfig::new(20, 26).with_p(4)).run_on(&ps_a).unwrap();
+    let b = Valmod::from_config(ValmodConfig::new(20, 26).with_p(4)).run_on(&ps_b).unwrap();
     for (ra, rb) in a.per_length.iter().zip(&b.per_length) {
         let (ma, mb) = (ra.motif.unwrap(), rb.motif.unwrap());
         assert!(
@@ -61,7 +61,7 @@ fn giant_dc_offset_does_not_destroy_precision() {
 fn minimum_viable_series_and_range() {
     // The smallest configuration that admits a non-trivial answer.
     let series = Series::new(random_walk(30, 1)).unwrap();
-    let out = valmod(&series, &ValmodConfig::new(4, 5).with_p(1)).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(4, 5).with_p(1)).run(&series).unwrap();
     assert_eq!(out.per_length.len(), 2);
     for r in &out.per_length {
         assert!(r.motif.is_some());
@@ -71,7 +71,7 @@ fn minimum_viable_series_and_range() {
 #[test]
 fn range_longer_than_series_fails_cleanly() {
     let series = Series::new(random_walk(50, 2)).unwrap();
-    let err = valmod(&series, &ValmodConfig::new(10, 60)).unwrap_err();
+    let err = Valmod::from_config(ValmodConfig::new(10, 60)).run(&series).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("shorter"), "unhelpful error: {msg}");
 }
@@ -89,7 +89,7 @@ fn repeated_identical_pattern_everywhere() {
     // the exclusion zone must prevent self matches.
     let values: Vec<f64> = (0..500).map(|i| ((i % 25) as f64 - 12.0).abs()).collect();
     let series = Series::new(values).unwrap();
-    let out = valmod(&series, &ValmodConfig::new(25, 30).with_p(3)).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(25, 30).with_p(3)).run(&series).unwrap();
     for r in &out.per_length {
         let m = r.motif.unwrap();
         assert!(m.dist < 1e-6, "l={}: periodic motif should be ~exact ({})", r.l, m.dist);
@@ -102,9 +102,9 @@ fn single_sample_step_range_is_consistent_with_wide_ranges() {
     // Splitting [20, 26] into [20,23] + [24,26] gives the same per-length
     // answers as one run.
     let series = Series::new(random_walk(300, 9)).unwrap();
-    let whole = valmod(&series, &ValmodConfig::new(20, 26).with_p(4)).unwrap();
-    let lo = valmod(&series, &ValmodConfig::new(20, 23).with_p(4)).unwrap();
-    let hi = valmod(&series, &ValmodConfig::new(24, 26).with_p(4)).unwrap();
+    let whole = Valmod::from_config(ValmodConfig::new(20, 26).with_p(4)).run(&series).unwrap();
+    let lo = Valmod::from_config(ValmodConfig::new(20, 23).with_p(4)).run(&series).unwrap();
+    let hi = Valmod::from_config(ValmodConfig::new(24, 26).with_p(4)).run(&series).unwrap();
     let combined: Vec<f64> =
         lo.per_length.iter().chain(hi.per_length.iter()).map(|r| r.motif.unwrap().dist).collect();
     let whole_dists: Vec<f64> = whole.per_length.iter().map(|r| r.motif.unwrap().dist).collect();

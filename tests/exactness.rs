@@ -6,7 +6,7 @@ use valmod_baselines::brute::brute_force_motif;
 use valmod_baselines::moen::moen;
 use valmod_baselines::quick_motif::{quick_motif, QuickMotifConfig};
 use valmod_baselines::stomp_range::stomp_range;
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::datasets::Dataset;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries};
 
@@ -25,8 +25,9 @@ fn all_five_algorithms_agree_on_every_dataset() {
         let ps = ProfiledSeries::new(&series);
         let policy = ExclusionPolicy::HALF;
 
-        let valmod_out =
-            valmod_on(&ps, &ValmodConfig::new(L_MIN, L_MAX).with_p(6)).expect("valmod runs");
+        let valmod_out = Valmod::from_config(ValmodConfig::new(L_MIN, L_MAX).with_p(6))
+            .run_on(&ps)
+            .expect("valmod runs");
         let stomp_out = stomp_range(&ps, L_MIN, L_MAX, policy, 1).expect("stomp runs");
         let moen_out =
             moen(&ps, L_MIN, L_MAX, policy, std::time::Duration::MAX).expect("moen runs");
@@ -58,7 +59,8 @@ fn valmp_best_equals_minimum_over_per_length_motifs() {
     for ds in [Dataset::Ecg, Dataset::Gap] {
         let series = ds.generate(N, 7);
         let ps = ProfiledSeries::new(&series);
-        let out = valmod_on(&ps, &ValmodConfig::new(L_MIN, L_MAX).with_p(6)).unwrap();
+        let out =
+            Valmod::from_config(ValmodConfig::new(L_MIN, L_MAX).with_p(6)).run_on(&ps).unwrap();
         let best_from_lengths = out
             .per_length
             .iter()
@@ -82,7 +84,9 @@ fn exclusion_policy_ablation_preserves_exactness() {
     let series = Dataset::Ecg.generate(700, 13);
     let ps = ProfiledSeries::new(&series);
     let policy = ExclusionPolicy::QUARTER;
-    let out = valmod_on(&ps, &ValmodConfig::new(24, 30).with_p(5).with_policy(policy)).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(24, 30).with_p(5).with_policy(policy))
+        .run_on(&ps)
+        .unwrap();
     let oracle = stomp_range(&ps, 24, 30, policy, 1).unwrap();
     for (k, r) in out.per_length.iter().enumerate() {
         agree(r.motif.unwrap().dist, oracle[k].unwrap().dist, &format!("quarter-zone l={}", r.l));
@@ -95,7 +99,7 @@ fn larger_p_never_changes_results_only_work() {
     let ps = ProfiledSeries::new(&series);
     let mut dists: Vec<Vec<f64>> = Vec::new();
     for p in [1usize, 5, 25, 100] {
-        let out = valmod_on(&ps, &ValmodConfig::new(20, 32).with_p(p)).unwrap();
+        let out = Valmod::from_config(ValmodConfig::new(20, 32).with_p(p)).run_on(&ps).unwrap();
         dists.push(out.per_length.iter().map(|r| r.motif.unwrap().dist).collect());
     }
     for w in dists.windows(2) {
@@ -114,10 +118,11 @@ fn thread_counts_never_change_results_only_wall_clock() {
     let series = Dataset::Emg.generate(N, 7);
     let ps = ProfiledSeries::new(&series);
     for p in [1usize, 6] {
-        let base = valmod_on(&ps, &ValmodConfig::new(L_MIN, L_MAX).with_p(p)).unwrap();
+        let base =
+            Valmod::from_config(ValmodConfig::new(L_MIN, L_MAX).with_p(p)).run_on(&ps).unwrap();
         for threads in [2usize, 3, 7, 16] {
             let cfg = ValmodConfig::new(L_MIN, L_MAX).with_p(p).with_threads(threads);
-            let out = valmod_on(&ps, &cfg).unwrap();
+            let out = Valmod::from_config(cfg).run_on(&ps).unwrap();
             for (a, b) in base.per_length.iter().zip(&out.per_length) {
                 let (x, y) = (a.motif.unwrap().dist, b.motif.unwrap().dist);
                 assert!((x - y).abs() < 1e-7, "p={p} threads={threads} l={}: {x} vs {y}", a.l);

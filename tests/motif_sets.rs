@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use valmod_core::motif_sets::compute_var_length_motif_sets;
-use valmod_core::valmod::{valmod, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::generators::plant_motif;
 use valmod_data::series::Series;
 use valmod_mp::distance::zdist_naive;
@@ -13,7 +13,7 @@ fn setup(seed: u64, k: usize) -> (Series, valmod_core::valmod::ValmodOutput) {
     let (values, _) = plant_motif(4_000, 60, 5, 0.05, seed);
     let series = Series::new(values).unwrap();
     let cfg = ValmodConfig::new(54, 66).with_p(8).with_pair_tracking(k);
-    let out = valmod(&series, &cfg).unwrap();
+    let out = Valmod::from_config(cfg).run(&series).unwrap();
     (series, out)
 }
 

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use valmod_core::lb::{lb_base, lb_scale};
-use valmod_core::valmod::{valmod_on, ValmodConfig};
+use valmod_core::valmod::{Valmod, ValmodConfig};
 use valmod_data::generators::{random_walk, sine_mixture};
 use valmod_mp::distance::{length_normalize, zdist_naive};
 use valmod_mp::parallel::stomp_parallel;
@@ -74,7 +74,7 @@ proptest! {
         let series = make_series(kind, n, seed);
         let ps = ProfiledSeries::from_values(&series).unwrap();
         let (l_min, l_max) = (16usize, 22usize);
-        let out = valmod_on(&ps, &ValmodConfig::new(l_min, l_max).with_p(4)).unwrap();
+        let out = Valmod::from_config(ValmodConfig::new(l_min, l_max).with_p(4)).run_on(&ps).unwrap();
         for (i, pair) in out.valmp.iter_pairs() {
             let l = pair.l;
             prop_assert!(l >= l_min && l <= l_max);
@@ -92,7 +92,7 @@ proptest! {
     fn valmod_matches_stomp_per_length(kind in 0u8..3, seed in 0u64..500) {
         let series = make_series(kind, 260, seed);
         let ps = ProfiledSeries::from_values(&series).unwrap();
-        let out = valmod_on(&ps, &ValmodConfig::new(14, 20).with_p(3)).unwrap();
+        let out = Valmod::from_config(ValmodConfig::new(14, 20).with_p(3)).run_on(&ps).unwrap();
         for r in &out.per_length {
             let oracle = stomp(&ps, r.l, ExclusionPolicy::HALF).unwrap();
             match (r.motif, oracle.motif_pair()) {
@@ -140,8 +140,8 @@ proptest! {
                                           threads in 2usize..17) {
         let series = make_series(kind, 260, seed);
         let ps = ProfiledSeries::from_values(&series).unwrap();
-        let seq = valmod_on(&ps, &ValmodConfig::new(14, 20).with_p(3)).unwrap();
-        let par = valmod_on(&ps, &ValmodConfig::new(14, 20).with_p(3).with_threads(threads))
+        let seq = Valmod::from_config(ValmodConfig::new(14, 20).with_p(3)).run_on(&ps).unwrap();
+        let par = Valmod::from_config(ValmodConfig::new(14, 20).with_p(3).with_threads(threads)).run_on(&ps)
             .unwrap();
         prop_assert_eq!(seq.per_length.len(), par.per_length.len());
         // Near-zero distances amplify dot-product rounding through the
@@ -172,9 +172,9 @@ proptest! {
         let transformed: Vec<f64> = base.iter().map(|v| v * scale + shift).collect();
         let ps_a = ProfiledSeries::from_values(&base).unwrap();
         let ps_b = ProfiledSeries::from_values(&transformed).unwrap();
-        let cfg = ValmodConfig::new(16, 20).with_p(3);
-        let out_a = valmod_on(&ps_a, &cfg).unwrap();
-        let out_b = valmod_on(&ps_b, &cfg).unwrap();
+        let runner = Valmod::new(16, 20).p(3);
+        let out_a = runner.run_on(&ps_a).unwrap();
+        let out_b = runner.run_on(&ps_b).unwrap();
         for (ra, rb) in out_a.per_length.iter().zip(&out_b.per_length) {
             let (ma, mb) = (ra.motif.unwrap(), rb.motif.unwrap());
             prop_assert!((ma.dist - mb.dist).abs() < 1e-5,
