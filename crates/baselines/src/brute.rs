@@ -37,6 +37,7 @@ pub fn brute_force_range(
     l_max: usize,
     policy: ExclusionPolicy,
 ) -> Result<Vec<Option<MotifPair>>> {
+    valmod_core::validate_length_range(ps.len(), l_min, l_max)?;
     (l_min..=l_max).map(|l| brute_force_motif(ps, l, policy)).collect()
 }
 

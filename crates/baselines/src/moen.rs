@@ -64,6 +64,7 @@ pub fn moen(
     deadline: std::time::Duration,
 ) -> Result<MoenOutput> {
     let start_time = std::time::Instant::now();
+    valmod_core::validate_length_range(ps.len(), l_min, l_max)?;
     ps.require_pairs(l_max)?;
     let mut motifs = Vec::with_capacity(l_max - l_min + 1);
     let mut stats = Vec::with_capacity(l_max - l_min + 1);

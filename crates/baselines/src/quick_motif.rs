@@ -146,6 +146,7 @@ pub fn quick_motif_range_with_deadline(
     cfg: &QuickMotifConfig,
     deadline: std::time::Duration,
 ) -> Result<(Vec<Option<MotifPair>>, bool)> {
+    valmod_core::validate_length_range(ps.len(), l_min, l_max)?;
     let start = std::time::Instant::now();
     let mut out = Vec::with_capacity(l_max - l_min + 1);
     for l in l_min..=l_max {

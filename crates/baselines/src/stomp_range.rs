@@ -36,6 +36,7 @@ pub fn stomp_range(
     policy: ExclusionPolicy,
     threads: usize,
 ) -> Result<Vec<Option<MotifPair>>> {
+    valmod_core::validate_length_range(ps.len(), l_min, l_max)?;
     (l_min..=l_max)
         .map(|l| {
             let profile = profile_at(ps, l, policy, threads)?;
@@ -56,6 +57,7 @@ pub fn stomp_range_with_deadline(
     threads: usize,
     deadline: std::time::Duration,
 ) -> Result<(Vec<Option<MotifPair>>, bool)> {
+    valmod_core::validate_length_range(ps.len(), l_min, l_max)?;
     let start = std::time::Instant::now();
     let mut out = Vec::with_capacity(l_max - l_min + 1);
     for l in l_min..=l_max {

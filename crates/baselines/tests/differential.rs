@@ -1,0 +1,101 @@
+//! Cross-crate differential tests: the paper's competitors (MOEN-style
+//! enumeration, QuickMotif) against VALMOD itself over the same length
+//! ranges. All three are exact algorithms, so their per-length motif
+//! distances must agree to rounding; only tie-break indices may differ.
+
+use std::time::Duration;
+
+use valmod_baselines::{moen, quick_motif_range_with_deadline, QuickMotifConfig};
+use valmod_core::{Valmod, ValmodConfig};
+use valmod_data::generators::{plant_motif, random_walk, sine_mixture};
+use valmod_mp::{ExclusionPolicy, ProfiledSeries};
+
+fn valmod_dists(ps: &ProfiledSeries, l_min: usize, l_max: usize) -> Vec<Option<f64>> {
+    Valmod::from_config(ValmodConfig::new(l_min, l_max).with_p(5))
+        .run_on(ps)
+        .unwrap()
+        .per_length
+        .iter()
+        .map(|r| r.motif.as_ref().map(|m| m.dist))
+        .collect()
+}
+
+fn assert_agree(name: &str, got: &[Option<f64>], want: &[Option<f64>], l_min: usize) {
+    assert_eq!(got.len(), want.len(), "{name}: length count");
+    for (k, (g, w)) in got.iter().zip(want).enumerate() {
+        match (g, w) {
+            (Some(g), Some(w)) => {
+                assert!((g - w).abs() < 1e-6, "{name} l={}: {g} vs valmod {w}", l_min + k)
+            }
+            (None, None) => {}
+            other => panic!("{name} l={}: presence mismatch {other:?}", l_min + k),
+        }
+    }
+}
+
+#[test]
+fn moen_agrees_with_valmod_across_datasets() {
+    for (series, l_min, l_max) in [
+        (random_walk(320, 71), 16, 28),
+        (sine_mixture(300, &[(0.03, 1.0)], 0.05, 73), 18, 26),
+        (plant_motif(900, 40, 3, 0.02, 75).0, 36, 44),
+    ] {
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let want = valmod_dists(&ps, l_min, l_max);
+        let out = moen(&ps, l_min, l_max, ExclusionPolicy::HALF, Duration::MAX).unwrap();
+        assert!(!out.truncated);
+        let got: Vec<Option<f64>> = out.motifs.iter().map(|m| m.as_ref().map(|p| p.dist)).collect();
+        assert_agree("moen", &got, &want, l_min);
+    }
+}
+
+#[test]
+fn quick_motif_agrees_with_valmod_across_datasets() {
+    let cfg = QuickMotifConfig::default();
+    for (series, l_min, l_max) in
+        [(random_walk(280, 81), 14, 22), (plant_motif(800, 32, 2, 0.01, 83).0, 28, 36)]
+    {
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let want = valmod_dists(&ps, l_min, l_max);
+        let (motifs, truncated) = quick_motif_range_with_deadline(
+            &ps,
+            l_min,
+            l_max,
+            ExclusionPolicy::HALF,
+            &cfg,
+            Duration::MAX,
+        )
+        .unwrap();
+        assert!(!truncated);
+        let got: Vec<Option<f64>> = motifs.iter().map(|m| m.as_ref().map(|p| p.dist)).collect();
+        assert_agree("quick_motif", &got, &want, l_min);
+    }
+}
+
+#[test]
+fn all_three_agree_on_a_flat_plateau_edge_case() {
+    // A plateau inside noise: flat-vs-flat pairs win at distance 0 and all
+    // exact methods must agree on that.
+    let mut values = random_walk(400, 91);
+    for v in &mut values[150..230] {
+        *v = 1.0;
+    }
+    let ps = ProfiledSeries::from_values(&values).unwrap();
+    let (l_min, l_max) = (20, 26);
+    let want = valmod_dists(&ps, l_min, l_max);
+    let moen_out = moen(&ps, l_min, l_max, ExclusionPolicy::HALF, Duration::MAX).unwrap();
+    let moen_dists: Vec<Option<f64>> =
+        moen_out.motifs.iter().map(|m| m.as_ref().map(|p| p.dist)).collect();
+    assert_agree("moen", &moen_dists, &want, l_min);
+    let (qm, _) = quick_motif_range_with_deadline(
+        &ps,
+        l_min,
+        l_max,
+        ExclusionPolicy::HALF,
+        &QuickMotifConfig::default(),
+        Duration::MAX,
+    )
+    .unwrap();
+    let qm_dists: Vec<Option<f64>> = qm.iter().map(|m| m.as_ref().map(|p| p.dist)).collect();
+    assert_agree("quick_motif", &qm_dists, &want, l_min);
+}

@@ -1,0 +1,281 @@
+//! The serve fault injector: hostile and unlucky clients replayed against a
+//! real loopback [`valmod_serve::Server`].
+//!
+//! Each scenario asserts three things: the server never panics (it keeps
+//! answering a well-formed `ping` afterwards), no connection handler leaks
+//! (the live-connection count drains back to the baseline), and the series
+//! store's version counter is never corrupted by a half-delivered mutation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use valmod_serve::engine::{EngineConfig, QueryEngine};
+use valmod_serve::{Client, ServeError, Server};
+
+/// The line cap used by the harness server — small, so the oversized-line
+/// scenario is cheap to trigger.
+const FAULT_LINE_CAP: usize = 4096;
+
+/// Outcome of the full fault matrix.
+#[derive(Debug, Default)]
+pub struct FaultReport {
+    /// Scenario names that ran clean.
+    pub passed: Vec<String>,
+    /// `(scenario, what went wrong)` for the rest.
+    pub failed: Vec<(String, String)>,
+}
+
+impl FaultReport {
+    /// True when every scenario passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    fn record(&mut self, name: &str, result: Result<(), String>) {
+        match result {
+            Ok(()) => self.passed.push(name.to_string()),
+            Err(why) => self.failed.push((name.to_string(), why)),
+        }
+    }
+}
+
+/// Sends raw bytes on a fresh connection, optionally reading one response
+/// line back (with a timeout so a silent close cannot hang the harness).
+fn raw_exchange(
+    addr: std::net::SocketAddr,
+    payload: &[u8],
+    read_reply: bool,
+) -> Result<Option<String>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream.write_all(payload).map_err(|e| format!("write: {e}"))?;
+    stream.flush().map_err(|e| format!("flush: {e}"))?;
+    if !read_reply {
+        return Ok(None); // drop the connection mid-frame
+    }
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => buf.push(byte[0]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+        if buf.len() > 1 << 20 {
+            return Err("reply unreasonably long".into());
+        }
+    }
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// Asserts the server still answers a well-formed ping.
+fn expect_alive(addr: std::net::SocketAddr) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+    client.ping().map_err(|e| format!("ping after fault: {e}"))
+}
+
+/// Asserts the reply is an error response of the given kind.
+fn expect_error_reply(reply: Option<String>, kind: &str) -> Result<(), String> {
+    let line = reply.ok_or("expected a reply, connection just closed")?;
+    if line.contains("\"ok\":false") && line.contains(&format!("\"kind\":\"{kind}\"")) {
+        Ok(())
+    } else {
+        Err(format!("expected a {kind:?} error reply, got {line:?}"))
+    }
+}
+
+/// Runs every fault scenario against one loopback server and reports.
+pub fn run_fault_matrix() -> FaultReport {
+    let mut report = FaultReport::default();
+
+    let engine = QueryEngine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+    let server = match Server::bind("127.0.0.1:0", engine) {
+        Ok(s) => s.with_max_line_bytes(FAULT_LINE_CAP),
+        Err(e) => {
+            report.record("bind", Err(format!("{e}")));
+            return report;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            report.record("bind", Err(format!("{e}")));
+            return report;
+        }
+    };
+    let connections = server.connection_count();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // A resident series the mutation scenarios aim at.
+    let seeded: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+    let setup = Client::connect(addr)
+        .map_err(|e| format!("setup connect: {e}"))
+        .and_then(|mut c| c.load("s", seeded, vec![], false).map_err(|e| format!("load: {e}")));
+    let baseline_version = match setup {
+        Ok((version, _)) => version,
+        Err(why) => {
+            report.record("setup", Err(why));
+            return report;
+        }
+    };
+
+    // 1. Truncated frame: half a request, then disconnect. No reply is
+    // owed; the server must simply survive.
+    report.record(
+        "truncated-frame",
+        raw_exchange(addr, br#"{"cmd":"motifs","na"#, false).and_then(|_| expect_alive(addr)),
+    );
+
+    // 2. Oversized line: a newline-free flood past the cap must be answered
+    // with a protocol error, not buffered without bound. (Kept just over
+    // the cap so the server consumes the whole flood before replying — a
+    // close with unread bytes would RST the reply away.)
+    let flood = vec![b'x'; FAULT_LINE_CAP + 1024];
+    report.record(
+        "oversized-line",
+        raw_exchange(addr, &flood, true)
+            .and_then(|reply| expect_error_reply(reply, "protocol"))
+            .and_then(|()| expect_alive(addr)),
+    );
+
+    // 3. Malformed JSON gets an error reply and the connection stays open.
+    report.record(
+        "malformed-json",
+        raw_exchange(addr, b"{nope\n", true)
+            .and_then(|reply| expect_error_reply(reply, "protocol"))
+            .and_then(|()| expect_alive(addr)),
+    );
+
+    // 4. Invalid UTF-8 is a protocol error, not a panic.
+    report.record(
+        "invalid-utf8",
+        raw_exchange(addr, b"\xff\xfe\xfd\n", true)
+            .and_then(|reply| expect_error_reply(reply, "protocol"))
+            .and_then(|()| expect_alive(addr)),
+    );
+
+    // 5. Mid-APPEND disconnect: the half-delivered mutation must not tick
+    // the version counter or partially mutate the store.
+    report.record(
+        "mid-append-disconnect",
+        raw_exchange(addr, br#"{"cmd":"append","name":"s","values":[1.0,2.0"#, false)
+            .and_then(|_| expect_alive(addr))
+            .and_then(|()| {
+                let mut client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                let (version, len) = client
+                    .append("s", vec![5.0])
+                    .map_err(|e| format!("append after fault: {e}"))?;
+                if version != baseline_version + 1 {
+                    return Err(format!(
+                        "version counter corrupted: expected {}, got {version}",
+                        baseline_version + 1
+                    ));
+                }
+                if len != 65 {
+                    return Err(format!("series length corrupted: expected 65, got {len}"));
+                }
+                Ok(())
+            }),
+    );
+
+    // 6. Hostile numeric fields: a beyond-2^53 sleep must be rejected, not
+    // cast-truncated into a bounded-looking sleep.
+    report.record(
+        "hostile-sleep-ms",
+        raw_exchange(addr, b"{\"cmd\":\"sleep\",\"ms\":1e300}\n", true)
+            .and_then(|reply| expect_error_reply(reply, "protocol"))
+            .and_then(|()| expect_alive(addr)),
+    );
+
+    // 7. Deadline expiry: a sleep whose deadline lapses while it holds the
+    // only worker must come back as a deadline error, and the worker must
+    // be reusable afterwards.
+    report.record(
+        "deadline-expiry",
+        Client::connect(addr)
+            .map_err(|e| format!("connect: {e}"))
+            .and_then(|mut c| {
+                match c.sleep(300, Some(Duration::from_millis(1))) {
+                    Err(ServeError::DeadlineExceeded) => Ok(()),
+                    Err(ServeError::Busy) => Ok(()), // queue full counts as refusal
+                    Ok(_) => Err("expired sleep reported success".into()),
+                    Err(e) => Err(format!("unexpected error: {e}")),
+                }
+            })
+            .and_then(|()| expect_alive(addr)),
+    );
+
+    // 8. Non-finite ingestion: APPEND with a NaN is rejected whole — the
+    // version counter must not move.
+    report.record(
+        "non-finite-append",
+        raw_exchange(addr, b"{\"cmd\":\"append\",\"name\":\"s\",\"values\":[NaN]}\n", true)
+            .and_then(|reply| expect_error_reply(reply, "protocol"))
+            .and_then(|()| {
+                let mut client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+                let ver = stats
+                    .get("series")
+                    .and_then(valmod_serve::Value::as_arr)
+                    .and_then(|arr| {
+                        arr.iter().find(|s| {
+                            s.get("name").and_then(valmod_serve::Value::as_str) == Some("s")
+                        })
+                    })
+                    .and_then(|s| s.get("version"))
+                    .and_then(valmod_serve::Value::as_u64)
+                    .ok_or("stats did not report series \"s\"")?;
+                if ver == baseline_version + 1 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "version moved on rejected append: {ver} (expected {})",
+                        baseline_version + 1
+                    ))
+                }
+            }),
+    );
+
+    // Drain check: every fault connection's handler must unwind.
+    let drain = || -> Result<(), String> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if connections.live() == 0 {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(format!("{} connection handler(s) leaked", connections.live()));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    report.record("connection-drain", drain());
+
+    // Graceful shutdown still works after the whole matrix.
+    let shutdown = Client::connect(addr)
+        .map_err(|e| format!("connect: {e}"))
+        .and_then(|mut c| c.shutdown().map_err(|e| format!("shutdown: {e}")))
+        .and_then(|()| match server_thread.join() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(format!("server run() errored: {e}")),
+            Err(_) => Err("server thread panicked".into()),
+        });
+    report.record("graceful-shutdown", shutdown);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_full_fault_matrix_passes() {
+        let report = run_fault_matrix();
+        assert!(report.all_passed(), "failed scenarios: {:?}", report.failed);
+        assert!(report.passed.len() >= 9, "expected ≥9 scenarios, ran {:?}", report.passed);
+    }
+}

@@ -1,0 +1,177 @@
+//! Adversarial series generators.
+//!
+//! Every case is a deterministic function of `(seed, id)`, so a failure
+//! report ("case 17 of seed 42") is reproducible forever — no corpus files,
+//! no global state. The families target the numeric edges where motif code
+//! historically breaks: zero variance, near-zero variance under the flatness
+//! threshold, isolated spikes, extreme amplitudes/offsets, and series barely
+//! longer than the largest query length.
+
+use valmod_data::generators::{plant_motif, random_walk, sine_mixture};
+use valmod_data::rng::Xoshiro256;
+
+/// The adversarial family a case is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Every sample identical: all subsequences are flat, every distance
+    /// profile is degenerate.
+    Constant,
+    /// A constant floor with one huge isolated spike: most windows are flat,
+    /// the few covering the spike have enormous σ ratios.
+    SingleSpike,
+    /// Constant plus noise at the 1e-9 scale — straddling the flatness
+    /// threshold, where z-normalisation amplifies pure rounding noise.
+    NearConstant,
+    /// A random walk scaled to ±1e9 on a 1e9 DC offset: exercises
+    /// catastrophic cancellation in rolling statistics.
+    ExtremeAmplitude,
+    /// A plain random walk — the unstructured control.
+    RandomWalk,
+    /// A series with a planted variable-length motif, so oracles compare on
+    /// data with real structure.
+    PlantedMotif,
+    /// `n` barely above `l_max`: one to four subsequences per length, most
+    /// pairs trivially excluded.
+    TightFit,
+    /// A sine mixture with noise — smooth, periodic, highly self-similar.
+    Periodic,
+}
+
+const FAMILIES: [Family; 8] = [
+    Family::Constant,
+    Family::SingleSpike,
+    Family::NearConstant,
+    Family::ExtremeAmplitude,
+    Family::RandomWalk,
+    Family::PlantedMotif,
+    Family::TightFit,
+    Family::Periodic,
+];
+
+/// One generated differential-test case: a series plus a query range.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Index within the run (`generate_case(seed, id)` reproduces it).
+    pub id: u64,
+    /// The adversarial family it was drawn from.
+    pub family: Family,
+    /// The series samples (always finite by construction).
+    pub values: Vec<f64>,
+    /// Smallest query length.
+    pub l_min: usize,
+    /// Largest query length (`values.len() >= l_max + 1` always holds).
+    pub l_max: usize,
+    /// Partial-profile capacity `p`.
+    pub p: usize,
+}
+
+impl Case {
+    /// A one-line human summary for failure reports.
+    pub fn label(&self) -> String {
+        format!(
+            "case {} [{:?}] n={} l={}..{} p={}",
+            self.id,
+            self.family,
+            self.values.len(),
+            self.l_min,
+            self.l_max,
+            self.p
+        )
+    }
+}
+
+/// Derives the case-local RNG. Mixing the id through a splitmix-style odd
+/// constant decorrelates consecutive cases sharing one run seed.
+fn case_rng(seed: u64, id: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Generates the `id`-th case of a run, deterministically from `(seed, id)`.
+pub fn generate_case(seed: u64, id: u64) -> Case {
+    let mut rng = case_rng(seed, id);
+    let family = FAMILIES[(id as usize) % FAMILIES.len()];
+    let case_seed = rng.next_u64();
+
+    let l_min = rng.uniform_usize(4, 12);
+    let l_max = l_min + rng.uniform_usize(2, 10);
+    let p = rng.uniform_usize(1, 6);
+    let n = (l_max + 2).max(rng.uniform_usize(60, 300));
+
+    let values = match family {
+        Family::Constant => vec![rng.uniform(-1e6, 1e6); n],
+        Family::SingleSpike => {
+            let floor = rng.uniform(-10.0, 10.0);
+            let mut v = vec![floor; n];
+            let at = rng.uniform_usize(0, n - 1);
+            v[at] = floor + rng.uniform(1e6, 1e9);
+            v
+        }
+        Family::NearConstant => {
+            let base = rng.uniform(-100.0, 100.0);
+            (0..n).map(|_| base + rng.uniform(-1e-9, 1e-9)).collect()
+        }
+        Family::ExtremeAmplitude => {
+            random_walk(n, case_seed).iter().map(|x| 1e9 + x * 1e9).collect()
+        }
+        Family::RandomWalk => random_walk(n, case_seed),
+        Family::PlantedMotif => {
+            // Pick a motif length inside the query range and a series long
+            // enough to satisfy plant_motif's packing precondition.
+            let motif_len = rng.uniform_usize(l_min, l_max);
+            let instances = rng.uniform_usize(2, 3);
+            let n = n.max(instances * 2 * motif_len + 8);
+            plant_motif(n, motif_len.max(2), instances, 0.01, case_seed).0
+        }
+        Family::TightFit => {
+            let n = l_max + 1 + rng.uniform_usize(0, 3);
+            random_walk(n, case_seed)
+        }
+        Family::Periodic => {
+            let freq = rng.uniform(0.01, 0.08);
+            sine_mixture(n, &[(freq, 1.0), (freq * 3.1, 0.4)], 0.02, case_seed)
+        }
+    };
+    debug_assert!(values.len() > l_max);
+    Case { id, family, values, l_min, l_max, p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for id in 0..24 {
+            let a = generate_case(42, id);
+            let b = generate_case(42, id);
+            assert_eq!(a.values, b.values, "case {id}");
+            assert_eq!((a.l_min, a.l_max, a.p), (b.l_min, b.l_max, b.p));
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_cases() {
+        let a = generate_case(1, 4);
+        let b = generate_case(2, 4);
+        assert_ne!(a.values, b.values);
+    }
+
+    #[test]
+    fn every_case_is_finite_and_viable() {
+        for id in 0..64 {
+            let c = generate_case(7, id);
+            assert!(c.values.iter().all(|v| v.is_finite()), "{}", c.label());
+            assert!(c.values.len() > c.l_max, "{}", c.label());
+            assert!(c.l_min >= 4 && c.l_min <= c.l_max, "{}", c.label());
+            assert!(c.p >= 1, "{}", c.label());
+        }
+    }
+
+    #[test]
+    fn all_families_appear_in_one_lap() {
+        let seen: Vec<Family> = (0..8).map(|id| generate_case(3, id).family).collect();
+        for f in FAMILIES {
+            assert!(seen.contains(&f), "{f:?} missing");
+        }
+    }
+}

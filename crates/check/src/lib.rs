@@ -1,0 +1,180 @@
+//! # valmod-check
+//!
+//! The differential-correctness harness of the VALMOD reproduction: a
+//! deterministic, seeded sweep that pits every layer of the stack against
+//! an independent implementation of the same question, plus a fault
+//! injector for the serve layer. `valmod check --smoke --seed 42` is the CI
+//! entry point; any non-zero seed reproduces a run bit-for-bit.
+//!
+//! Three pillars (DESIGN.md §10):
+//!
+//! * [`generators`] — adversarial series families (constant runs, isolated
+//!   spikes, 1e-9 noise floors, 1e9 amplitudes, planted variable-length
+//!   motifs, series barely longer than `ℓ_max`), each a pure function of
+//!   `(seed, id)`;
+//! * [`oracles`] — VALMOD vs STOMP-per-length, parallel vs sequential,
+//!   streaming-append vs batch recompute, serve cached vs cold, and the
+//!   Eq. 2 lower-bound admissibility invariant probed against naive
+//!   z-normalised distances;
+//! * [`faults`] — truncated frames, oversized lines, malformed JSON,
+//!   mid-`APPEND` disconnects, hostile numeric fields, and deadline expiry
+//!   replayed against a real loopback server.
+//!
+//! Failing cases are [`shrink()`](shrink::shrink)-minimised before being reported, so a
+//! divergence arrives as a few dozen samples and a single length — ready to
+//! be promoted into a named regression test.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod faults;
+pub mod generators;
+pub mod oracles;
+pub mod shrink;
+
+use std::fmt;
+
+pub use faults::{run_fault_matrix, FaultReport};
+pub use generators::{generate_case, Case, Family};
+pub use oracles::{run_case, CaseOutcome, Divergence};
+pub use shrink::shrink;
+
+/// Configuration of one `valmod check` run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Master seed; every case derives deterministically from it.
+    pub seed: u64,
+    /// Number of generated differential cases.
+    pub cases: usize,
+    /// Lower-bound admissibility probes per case (the run total is
+    /// `cases × this`, minus pairs that stop existing at longer lengths).
+    pub lb_probes_per_case: usize,
+    /// Whether to run the serve fault-injection matrix.
+    pub run_faults: bool,
+}
+
+impl CheckConfig {
+    /// The CI smoke preset: ≥ 200 cases, ≥ 1000 admissibility probes,
+    /// fault matrix on.
+    pub fn smoke(seed: u64) -> Self {
+        CheckConfig { seed, cases: 216, lb_probes_per_case: 24, run_faults: true }
+    }
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig::smoke(42)
+    }
+}
+
+/// The result of a full harness run.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Differential cases executed.
+    pub cases_run: usize,
+    /// Lower-bound admissibility probes evaluated across all cases.
+    pub lb_probes: usize,
+    /// Every divergence found (after shrinking, one entry per case+oracle).
+    pub divergences: Vec<Divergence>,
+    /// Labels of the shrunk minimal reproductions, parallel to
+    /// `divergences` where shrinking applied.
+    pub shrunk_labels: Vec<String>,
+    /// The fault-injection outcome (`None` when skipped).
+    pub faults: Option<FaultReport>,
+}
+
+impl CheckReport {
+    /// True when the run found no divergences and no fault failures.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty() && self.faults.as_ref().is_none_or(FaultReport::all_passed)
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "differential: {} cases, {} LB probes, {} divergence(s)",
+            self.cases_run,
+            self.lb_probes,
+            self.divergences.len()
+        )?;
+        for d in &self.divergences {
+            writeln!(f, "  DIVERGENCE [{}] {}", d.oracle, d.detail)?;
+        }
+        for label in &self.shrunk_labels {
+            writeln!(f, "  shrunk to: {label}")?;
+        }
+        match &self.faults {
+            None => writeln!(f, "faults: skipped")?,
+            Some(fr) => {
+                writeln!(f, "faults: {} passed, {} failed", fr.passed.len(), fr.failed.len())?;
+                for (name, why) in &fr.failed {
+                    writeln!(f, "  FAULT [{name}] {why}")?;
+                }
+            }
+        }
+        write!(f, "verdict: {}", if self.clean() { "CLEAN" } else { "DIVERGED" })
+    }
+}
+
+/// Runs the harness: generates `config.cases` cases, runs every oracle over
+/// each, shrinks any failure to a minimal reproduction, then (optionally)
+/// replays the fault matrix.
+pub fn run(config: &CheckConfig) -> CheckReport {
+    let mut report = CheckReport::default();
+    for id in 0..config.cases as u64 {
+        let case = generate_case(config.seed, id);
+        let outcome = run_case(&case, config.lb_probes_per_case);
+        report.cases_run += 1;
+        report.lb_probes += outcome.lb_probes;
+        if outcome.divergences.is_empty() {
+            continue;
+        }
+        // Shrink against the first diverging oracle, then report the
+        // divergence as found on the minimal case.
+        let oracle = outcome.divergences[0].oracle;
+        let minimal = shrink(&case, |candidate| {
+            run_case(candidate, config.lb_probes_per_case)
+                .divergences
+                .iter()
+                .any(|d| d.oracle == oracle)
+        });
+        let minimal_outcome = run_case(&minimal, config.lb_probes_per_case);
+        report.shrunk_labels.push(minimal.label());
+        if minimal_outcome.divergences.is_empty() {
+            // Flaky under shrinking — keep the original evidence.
+            report.divergences.extend(outcome.divergences);
+        } else {
+            report.divergences.extend(minimal_outcome.divergences);
+        }
+    }
+    if config.run_faults {
+        report.faults = Some(run_fault_matrix());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_run_is_clean_and_deterministic() {
+        let config = CheckConfig { seed: 42, cases: 8, lb_probes_per_case: 16, run_faults: false };
+        let a = run(&config);
+        assert!(a.clean(), "{a}");
+        assert_eq!(a.cases_run, 8);
+        assert!(a.lb_probes > 0);
+        let b = run(&config);
+        assert_eq!(a.lb_probes, b.lb_probes, "probe sampling must be deterministic");
+    }
+
+    #[test]
+    fn the_report_displays_a_verdict() {
+        let config = CheckConfig { seed: 7, cases: 2, lb_probes_per_case: 4, run_faults: false };
+        let text = run(&config).to_string();
+        assert!(text.contains("differential: 2 cases"));
+        assert!(text.contains("verdict:"));
+    }
+}

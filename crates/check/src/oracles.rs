@@ -1,0 +1,379 @@
+//! Differential oracles: independent implementations answering the same
+//! question must agree.
+//!
+//! All comparisons are tolerance-based, not bit-exact: the parallel kernels
+//! legitimately differ from the sequential ones by sub-1e-12 rounding at
+//! chunk seams, and tie-breaks between equal-distance pairs may pick
+//! different indices. A divergence is only reported when *distances*
+//! disagree beyond tolerance or when one side finds a motif the other says
+//! does not exist.
+
+use valmod_baselines::stomp_range;
+use valmod_core::lb::lb_scale;
+use valmod_core::{compute_matrix_profile, Valmod, ValmodConfig};
+use valmod_data::rng::Xoshiro256;
+use valmod_mp::distance::zdist_naive;
+use valmod_mp::parallel::stomp_parallel;
+use valmod_mp::stomp::stomp;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
+use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+use valmod_serve::Value;
+
+use crate::generators::Case;
+
+/// Absolute+relative tolerance for distance agreement between two exact
+/// algorithms (covers chunk-seam and accumulation-order rounding).
+const DIST_TOL: f64 = 1e-6;
+
+/// One disagreement between an implementation and its oracle.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The id of the generated case that exposed it.
+    pub case_id: u64,
+    /// Which oracle pair disagreed.
+    pub oracle: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+/// The outcome of running every oracle over one case.
+#[derive(Debug, Default)]
+pub struct CaseOutcome {
+    /// All disagreements found (empty = the case passed).
+    pub divergences: Vec<Divergence>,
+    /// Lower-bound admissibility probes evaluated on this case.
+    pub lb_probes: usize,
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= DIST_TOL * (1.0 + a.abs().max(b.abs()))
+}
+
+fn diverge(case: &Case, oracle: &'static str, detail: String) -> Divergence {
+    Divergence { case_id: case.id, oracle, detail: format!("{}: {detail}", case.label()) }
+}
+
+/// Runs the four differential oracles plus the LB-admissibility invariant.
+pub fn run_case(case: &Case, lb_probe_budget: usize) -> CaseOutcome {
+    let mut out = CaseOutcome::default();
+    let ps = match ProfiledSeries::from_values(&case.values) {
+        Ok(ps) => ps,
+        Err(e) => {
+            out.divergences.push(diverge(case, "setup", format!("ProfiledSeries failed: {e}")));
+            return out;
+        }
+    };
+    if let Some(d) = check_valmod_vs_stomp(case, &ps) {
+        out.divergences.push(d);
+    }
+    if let Some(d) = check_parallel_vs_sequential(case, &ps) {
+        out.divergences.push(d);
+    }
+    if let Some(d) = check_streaming_vs_batch(case) {
+        out.divergences.push(d);
+    }
+    if let Some(d) = check_serve_cached_vs_cold(case) {
+        out.divergences.push(d);
+    }
+    let (probes, lb_div) = check_lb_admissibility(case, &ps, lb_probe_budget);
+    out.lb_probes = probes;
+    out.divergences.extend(lb_div);
+    out
+}
+
+/// VALMOD against independent STOMP-per-length: the paper's Problem 1 answer
+/// must match the quadratic baseline at every length.
+pub fn check_valmod_vs_stomp(case: &Case, ps: &ProfiledSeries) -> Option<Divergence> {
+    let config = ValmodConfig::new(case.l_min, case.l_max).with_p(case.p);
+    let valmod = match Valmod::from_config(config).run_on(ps) {
+        Ok(out) => out,
+        Err(e) => return Some(diverge(case, "valmod-vs-stomp", format!("valmod failed: {e}"))),
+    };
+    let oracle = match stomp_range(ps, case.l_min, case.l_max, ExclusionPolicy::HALF, 1) {
+        Ok(out) => out,
+        Err(e) => return Some(diverge(case, "valmod-vs-stomp", format!("stomp failed: {e}"))),
+    };
+    for (report, expect) in valmod.per_length.iter().zip(&oracle) {
+        match (&report.motif, expect) {
+            (Some(got), Some(want)) if !close(got.dist, want.dist) => {
+                return Some(diverge(
+                    case,
+                    "valmod-vs-stomp",
+                    format!("l={}: valmod dist {} vs stomp {}", report.l, got.dist, want.dist),
+                ));
+            }
+            (Some(_), Some(_)) | (None, None) => {}
+            (got, want) => {
+                return Some(diverge(
+                    case,
+                    "valmod-vs-stomp",
+                    format!("l={}: presence mismatch valmod={got:?} stomp={want:?}", report.l),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// The chunked parallel kernel against the sequential row streamer, element
+/// by element over the full profile at `l_min`.
+pub fn check_parallel_vs_sequential(case: &Case, ps: &ProfiledSeries) -> Option<Divergence> {
+    let l = case.l_min;
+    let seq = match stomp(ps, l, ExclusionPolicy::HALF) {
+        Ok(p) => p,
+        Err(e) => return Some(diverge(case, "parallel-vs-sequential", format!("stomp: {e}"))),
+    };
+    let par = match stomp_parallel(ps, l, ExclusionPolicy::HALF, 3) {
+        Ok(p) => p,
+        Err(e) => return Some(diverge(case, "parallel-vs-sequential", format!("parallel: {e}"))),
+    };
+    if seq.len() != par.len() {
+        return Some(diverge(
+            case,
+            "parallel-vs-sequential",
+            format!("profile lengths differ: {} vs {}", seq.len(), par.len()),
+        ));
+    }
+    for i in 0..seq.len() {
+        let (a, b) = (seq.mp[i], par.mp[i]);
+        let agree = (a.is_finite() == b.is_finite()) && (!a.is_finite() || close(a, b));
+        if !agree {
+            return Some(diverge(
+                case,
+                "parallel-vs-sequential",
+                format!("row {i} at l={l}: sequential {a} vs parallel {b}"),
+            ));
+        }
+    }
+    None
+}
+
+/// Streaming append against a batch recompute: seeding with a prefix and
+/// appending the rest must land on the batch profile of the whole series.
+pub fn check_streaming_vs_batch(case: &Case) -> Option<Divergence> {
+    let l = case.l_min;
+    let n = case.values.len();
+    let seed_len = (n / 2).clamp(l + 1, n);
+    let mut streaming =
+        match StreamingProfile::new(&case.values[..seed_len], l, ExclusionPolicy::HALF) {
+            Ok(s) => s,
+            Err(e) => return Some(diverge(case, "streaming-vs-batch", format!("seed: {e}"))),
+        };
+    if let Err(e) = streaming.extend(case.values[seed_len..].iter().copied()) {
+        return Some(diverge(case, "streaming-vs-batch", format!("append: {e}")));
+    }
+    let streamed = streaming.profile();
+    let ps = match ProfiledSeries::from_values(&case.values) {
+        Ok(ps) => ps,
+        Err(e) => return Some(diverge(case, "streaming-vs-batch", format!("batch: {e}"))),
+    };
+    let batch = match stomp(&ps, l, ExclusionPolicy::HALF) {
+        Ok(p) => p,
+        Err(e) => return Some(diverge(case, "streaming-vs-batch", format!("batch: {e}"))),
+    };
+    if streamed.len() != batch.len() {
+        return Some(diverge(
+            case,
+            "streaming-vs-batch",
+            format!("profile lengths differ: {} vs {}", streamed.len(), batch.len()),
+        ));
+    }
+    for i in 0..batch.len() {
+        let (s, b) = (streamed.mp[i], batch.mp[i]);
+        let agree = (s.is_finite() == b.is_finite()) && (!s.is_finite() || close(s, b));
+        if !agree {
+            return Some(diverge(
+                case,
+                "streaming-vs-batch",
+                format!("row {i} at l={l}: streamed {s} vs batch {b}"),
+            ));
+        }
+    }
+    None
+}
+
+/// The payload body of a response, with the per-run `compute_ms` timing
+/// stripped by construction (only `body` is compared).
+fn body_of(payload: &Value) -> Option<&Value> {
+    payload.get("body")
+}
+
+/// A cache hit must return the same payload as the miss that filled it, and
+/// a cold query on a fresh engine must agree with both.
+pub fn check_serve_cached_vs_cold(case: &Case) -> Option<Divergence> {
+    let spec = |series: &str| QuerySpec {
+        series: series.to_string(),
+        kind: QueryKind::Motifs { top: 3 },
+        l_min: case.l_min,
+        l_max: case.l_max,
+        p: case.p,
+        policy: ExclusionPolicy::HALF,
+        deadline: None,
+    };
+    let config = EngineConfig { workers: 1, ..EngineConfig::default() };
+
+    let run_pair = |name: &str| -> Result<(Value, Value, bool, bool), String> {
+        let engine = QueryEngine::new(config.clone());
+        let result = (|| {
+            engine
+                .load(name, case.values.clone(), &[], ExclusionPolicy::HALF, false)
+                .map_err(|e| format!("load: {e}"))?;
+            let cold = engine.query(spec(name)).map_err(|e| format!("cold query: {e}"))?;
+            let warm = engine.query(spec(name)).map_err(|e| format!("warm query: {e}"))?;
+            Ok((
+                cold.payload.as_ref().clone(),
+                warm.payload.as_ref().clone(),
+                cold.cached,
+                warm.cached,
+            ))
+        })();
+        engine.shutdown();
+        engine.join();
+        result
+    };
+
+    let (cold_a, warm_a, cold_a_cached, warm_a_cached) = match run_pair("s") {
+        Ok(x) => x,
+        Err(e) => return Some(diverge(case, "serve-cached-vs-cold", e)),
+    };
+    if cold_a_cached || !warm_a_cached {
+        return Some(diverge(
+            case,
+            "serve-cached-vs-cold",
+            format!("cache flags wrong: cold.cached={cold_a_cached} warm.cached={warm_a_cached}"),
+        ));
+    }
+    if body_of(&cold_a) != body_of(&warm_a) {
+        return Some(diverge(
+            case,
+            "serve-cached-vs-cold",
+            "cached body differs from the miss that filled it".into(),
+        ));
+    }
+    // An independent engine answering the same query cold must agree too.
+    let (cold_b, _, _, _) = match run_pair("s") {
+        Ok(x) => x,
+        Err(e) => return Some(diverge(case, "serve-cached-vs-cold", e)),
+    };
+    if body_of(&cold_a) != body_of(&cold_b) {
+        return Some(diverge(
+            case,
+            "serve-cached-vs-cold",
+            "cold bodies differ across independent engines".into(),
+        ));
+    }
+    None
+}
+
+/// The Eq. 2 invariant: every harvested lower bound, scaled to any longer
+/// length, must stay at or below the true z-normalised distance there.
+///
+/// Probes are subsampled deterministically (by the case id) down to
+/// `budget` evaluations so a run's total stays proportional to its case
+/// count; returns how many probes actually ran.
+pub fn check_lb_admissibility(
+    case: &Case,
+    ps: &ProfiledSeries,
+    budget: usize,
+) -> (usize, Vec<Divergence>) {
+    let mut divergences = Vec::new();
+    let harvested = match compute_matrix_profile(ps, case.l_min, case.p, ExclusionPolicy::HALF) {
+        Ok(h) => h,
+        Err(e) => {
+            divergences.push(diverge(case, "lb-admissibility", format!("anchor: {e}")));
+            return (0, divergences);
+        }
+    };
+    let t = ps.centered();
+    let n = ps.len();
+    let mut rng = Xoshiro256::seed_from_u64(0xad31_5518 ^ case.id);
+
+    // Enumerate candidate (partial, entry, k) probes lazily and sample.
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+    for (pi, pp) in harvested.partials.iter().enumerate() {
+        for (ei, _) in pp.entries().iter().enumerate() {
+            for k in 1..=(case.l_max - case.l_min) {
+                candidates.push((pi, ei, k));
+            }
+        }
+    }
+    rng.shuffle(&mut candidates);
+    candidates.truncate(budget);
+
+    let mut probes = 0usize;
+    for (pi, ei, k) in candidates {
+        let pp = &harvested.partials[pi];
+        let entry = pp.entries()[ei];
+        let new_l = pp.anchor_l + k;
+        let (a, b) = (pp.owner, entry.neighbor);
+        if a + new_l > n || b + new_l > n {
+            continue; // the pair does not exist at this length
+        }
+        let sigma_new = ps.std(a, new_l);
+        let lb = lb_scale(entry.lb_base(), pp.anchor_sigma, sigma_new);
+        let true_dist = zdist_naive(&t[a..a + new_l], &t[b..b + new_l]);
+        probes += 1;
+        if !true_dist.is_finite() {
+            continue; // excluded/flat pair: no claim to check
+        }
+        if lb > true_dist + DIST_TOL * (1.0 + true_dist) {
+            divergences.push(diverge(
+                case,
+                "lb-admissibility",
+                format!(
+                    "owner {a} neighbor {b}: LB {lb} exceeds true distance {true_dist} at l={new_l} (anchor {})",
+                    pp.anchor_l
+                ),
+            ));
+            if divergences.len() >= 3 {
+                break; // enough evidence for one case
+            }
+        }
+    }
+    (probes, divergences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::generate_case;
+
+    #[test]
+    fn clean_cases_produce_no_divergences() {
+        // A fast spot check across families; the full sweep lives behind
+        // `valmod check`.
+        for id in 0..8 {
+            let case = generate_case(42, id);
+            let out = run_case(&case, 40);
+            assert!(out.divergences.is_empty(), "{:?}", out.divergences);
+        }
+    }
+
+    #[test]
+    fn admissibility_probes_are_counted() {
+        let case = generate_case(42, 4); // RandomWalk
+        let ps = ProfiledSeries::from_values(&case.values).unwrap();
+        let (probes, div) = check_lb_admissibility(&case, &ps, 64);
+        assert!(div.is_empty(), "{div:?}");
+        assert!(probes > 0);
+    }
+
+    #[test]
+    fn a_poisoned_case_is_reported_not_panicked() {
+        // Hand-build an invalid case (NaN sample): the harness must turn it
+        // into a reported divergence, never a panic.
+        let mut case = generate_case(42, 4);
+        case.values[3] = f64::NAN;
+        let out = run_case(&case, 10);
+        assert!(!out.divergences.is_empty());
+        assert_eq!(out.divergences[0].oracle, "setup");
+    }
+
+    #[test]
+    fn tolerance_comparator_accepts_rounding_but_not_bugs() {
+        assert!(close(1.0, 1.0 + 1e-9));
+        assert!(close(1e9, 1e9 * (1.0 + 1e-8)));
+        assert!(!close(1.0, 1.001));
+        assert!(!close(0.0, 0.1));
+    }
+}

@@ -1,0 +1,107 @@
+//! A minimising shrinker: given a failing case, search for the smallest
+//! variant that still fails, so the regression test promoted from it is
+//! readable (tens of samples, one length) rather than hundreds.
+//!
+//! The candidate moves are classic delta-debugging steps — drop the front
+//! half, drop the back half, drop a middle quarter, collapse the length
+//! range, drop `p` to 1 — applied greedily until a fixed point. Every move
+//! preserves the case invariant `values.len() >= l_max + 1`, so shrunken
+//! cases stay runnable.
+
+use crate::generators::Case;
+
+/// Every structurally smaller candidate one move away from `case`.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    let n = case.values.len();
+    let floor = case.l_max + 1;
+
+    // Halve from either end, then drop interior quarters.
+    for (lo, hi) in [(0, n / 2), (n / 2, n), (0, 3 * n / 4), (n / 4, n)] {
+        if hi - lo >= floor && hi - lo < n {
+            let mut c = case.clone();
+            c.values = case.values[lo..hi].to_vec();
+            out.push(c);
+        }
+    }
+    // Narrow the length range: one step off the top first (keeps the walk
+    // monotone), then the two single-length collapses.
+    if case.l_min < case.l_max {
+        let mut c = case.clone();
+        c.l_max -= 1;
+        out.push(c);
+        let mut c = case.clone();
+        c.l_max = case.l_min;
+        out.push(c);
+        let mut c = case.clone();
+        c.l_min = case.l_max;
+        out.push(c);
+    }
+    // Simplify the partial-profile capacity.
+    if case.p > 1 {
+        let mut c = case.clone();
+        c.p = 1;
+        out.push(c);
+    }
+    out
+}
+
+/// Greedily minimises `case` under `fails` (true = still failing). The
+/// returned case fails whenever the input did; `max_steps` bounds the work
+/// so a flaky predicate cannot loop forever.
+pub fn shrink(case: &Case, mut fails: impl FnMut(&Case) -> bool) -> Case {
+    let mut current = case.clone();
+    let mut steps = 0usize;
+    'outer: while steps < 200 {
+        for cand in candidates(&current) {
+            steps += 1;
+            if fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+            if steps >= 200 {
+                break;
+            }
+        }
+        break; // no candidate fails: local minimum
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::generate_case;
+
+    #[test]
+    fn shrinks_a_length_triggered_failure_to_one_length() {
+        // Predicate: "fails whenever l_max >= 10 and the series has >= 40
+        // samples" — a stand-in for a bug tied to long queries.
+        let mut case = generate_case(42, 4);
+        case.l_min = 6;
+        case.l_max = 13;
+        let fails = |c: &Case| c.l_max >= 10 && c.values.len() >= 40;
+        assert!(fails(&case));
+        let small = shrink(&case, fails);
+        assert!(fails(&small), "shrunk case must still fail");
+        assert!(small.values.len() < case.values.len());
+        assert_eq!(small.l_max, 10, "l_max should shrink to the boundary");
+    }
+
+    #[test]
+    fn shrinking_preserves_viability() {
+        let case = generate_case(7, 9);
+        let small = shrink(&case, |c| c.values.len() > c.l_max);
+        assert!(small.values.len() > small.l_max);
+        assert!(small.l_min <= small.l_max);
+        assert!(small.p >= 1);
+    }
+
+    #[test]
+    fn a_passing_case_is_returned_unchanged() {
+        let case = generate_case(1, 2);
+        let same = shrink(&case, |_| false);
+        assert_eq!(same.values, case.values);
+        assert_eq!((same.l_min, same.l_max, same.p), (case.l_min, case.l_max, case.p));
+    }
+}

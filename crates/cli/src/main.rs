@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
         "stats" => cmd_stats(&args),
+        "check" => cmd_check(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -90,6 +91,7 @@ USAGE:
                    [--min <len>] [--max <len>] [--p <n>] [--top <k>] [--k <n>] [--radius <D>]
                    [--deadline-ms <n>]
   valmod stats     [--addr <host:port>] [--raw]
+  valmod check     [--smoke] [--seed <s>] [--cases <n>] [--probes <n>] [--no-faults]
   valmod help
 
 Input: text (one value per line; `#` comments; commas/whitespace) or raw
@@ -102,7 +104,14 @@ little-endian f64 for `.bin`/`.f64` extensions.
 result cache, and accepts live APPEND ingestion; `query` is its client.
 `stats` renders a running server's metric registry — counters, gauges,
 and latency histograms from every layer — in a human-readable table
-(`--raw` prints the full STATS response verbatim instead).";
+(`--raw` prints the full STATS response verbatim instead).
+
+`check` runs the seeded differential-correctness harness (valmod-check):
+adversarial series through VALMOD-vs-STOMP, parallel-vs-sequential,
+streaming-vs-batch, and serve cached-vs-cold oracles, the Eq. 2
+lower-bound admissibility invariant, and a serve fault-injection matrix.
+`--smoke` is the CI preset; without it a longer sweep runs. Exits
+non-zero on any divergence.";
 
 fn load(args: &Args) -> Result<Series, Box<dyn std::error::Error>> {
     Ok(io::load_auto(args.require("input")?)?)
@@ -488,6 +497,33 @@ fn cmd_stats(args: &Args) -> CliResult {
         }
     }
     Ok(())
+}
+
+/// `valmod check`: the differential-correctness harness. Runs seeded
+/// adversarial cases through every oracle pair plus the serve fault matrix
+/// and exits non-zero on any divergence — the CI smoke tier invokes
+/// `valmod check --smoke --seed 42`.
+fn cmd_check(args: &Args) -> CliResult {
+    args.reject_unknown(&["smoke", "seed", "cases", "probes", "no-faults"])?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let mut config = valmod_check::CheckConfig::smoke(seed);
+    if !args.switch("smoke") {
+        // The longer sweep for local bug hunts.
+        config.cases = 640;
+        config.lb_probes_per_case = 48;
+    }
+    config.cases = args.parsed_or("cases", config.cases)?;
+    config.lb_probes_per_case = args.parsed_or("probes", config.lb_probes_per_case)?;
+    if args.switch("no-faults") {
+        config.run_faults = false;
+    }
+    let report = valmod_check::run(&config);
+    println!("{report}");
+    if report.clean() {
+        Ok(())
+    } else {
+        Err("correctness check found divergences".into())
+    }
 }
 
 /// Compact numeric formatting: integers stay integral, everything else

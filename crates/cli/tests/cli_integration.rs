@@ -348,3 +348,21 @@ fn help_prints_usage() {
     assert!(help.status.success());
     assert!(stdout(&help).contains("USAGE"));
 }
+
+#[test]
+fn check_subcommand_runs_a_tiny_clean_sweep() {
+    // A scaled-down `valmod check`: a handful of cases, fault matrix on —
+    // enough to prove the wiring end to end without repeating the CI smoke.
+    let out = run(&["check", "--seed", "42", "--cases", "10", "--probes", "8"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("differential: 10 cases"), "{text}");
+    assert!(text.contains("verdict: CLEAN"), "{text}");
+    assert!(text.contains("faults:"), "{text}");
+}
+
+#[test]
+fn check_subcommand_rejects_unknown_flags() {
+    let out = run(&["check", "--bogus", "1"]);
+    assert!(!out.status.success());
+}

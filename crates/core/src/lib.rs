@@ -29,6 +29,7 @@
 //! | [`discords`] | §8 future work: variable-length discords |
 //! | [`mod@complete_profiles`] | §8 future work: complete per-length profiles |
 //! | [`instrument`] | Figs. 9–11 diagnostics (registry-backed) |
+//! | [`validate`] | shared degenerate-config rejection (driver, baselines, CLI) |
 //!
 //! ## Quick example
 //!
@@ -81,6 +82,7 @@ pub mod pairs;
 pub mod profile;
 pub mod ranking;
 pub mod sub_mp;
+pub mod validate;
 pub mod valmod;
 pub mod valmp;
 
@@ -97,6 +99,7 @@ pub use ranking::{top_variable_length_motifs, LengthCorrection};
 pub use sub_mp::{
     compute_sub_mp, compute_sub_mp_threaded, compute_sub_mp_threaded_with, SubMpResult,
 };
+pub use validate::{validate_length_range, validate_valmod_params};
 #[allow(deprecated)]
 pub use valmod::{valmod, valmod_on};
 pub use valmod::{LengthMethod, LengthReport, Valmod, ValmodConfig, ValmodOutput};

@@ -122,7 +122,11 @@ impl ValmodConfig {
         h
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Validates the series-independent parts of the configuration (range
+    /// shape and `p`). Use [`ValmodConfig::validate_for`] when the series
+    /// length is known — it additionally rejects ranges the series cannot
+    /// accommodate.
+    pub fn validate(&self) -> Result<()> {
         if self.l_min == 0 || self.l_min > self.l_max {
             return Err(ValmodError::InvalidParameter(format!(
                 "invalid length range [{}, {}]",
@@ -133,6 +137,13 @@ impl ValmodConfig {
             return Err(ValmodError::InvalidParameter("p must be positive".into()));
         }
         Ok(())
+    }
+
+    /// Full validation against a series of `n` points — the single
+    /// validation path shared by the driver, the baselines, and the CLI
+    /// (see [`crate::validate`]).
+    pub fn validate_for(&self, n: usize) -> Result<()> {
+        crate::validate::validate_valmod_params(n, self.l_min, self.l_max, self.p)
     }
 }
 
@@ -296,7 +307,7 @@ fn run_valmod(
     config: &ValmodConfig,
     recorder: &SharedRecorder,
 ) -> Result<ValmodOutput> {
-    config.validate()?;
+    config.validate_for(ps.len())?;
     let _span = valmod_obs::span!(recorder, "core.valmod.run_us");
     let policy = config.policy;
     ps.require_pairs(config.l_max)?;

@@ -87,7 +87,7 @@ impl fmt::Display for ValmodError {
         match self {
             ValmodError::Io(e) => write!(f, "I/O error: {e}"),
             ValmodError::Parse { line, token } => {
-                write!(f, "cannot parse {token:?} as a number (line {line})")
+                write!(f, "cannot parse {token:?} as a finite number (line {line})")
             }
             ValmodError::NonFinite { index } => {
                 write!(f, "non-finite sample at index {index}")

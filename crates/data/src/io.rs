@@ -28,9 +28,13 @@ pub fn parse_text(text: &str) -> Result<Series> {
             if token.is_empty() {
                 continue;
             }
-            let value: f64 = token
-                .parse()
-                .map_err(|_| DataError::Parse { line: line_no + 1, token: token.to_string() })?;
+            // Non-finite tokens ("inf", "NaN") parse as f64 but poison every
+            // downstream z-normalisation, so reject them here where the line
+            // number is still known.
+            let value =
+                token.parse::<f64>().ok().filter(|v| v.is_finite()).ok_or_else(|| {
+                    DataError::Parse { line: line_no + 1, token: token.to_string() }
+                })?;
             values.push(value);
         }
     }
@@ -129,8 +133,34 @@ mod tests {
     }
 
     #[test]
-    fn parse_text_rejects_inf() {
-        assert!(parse_text("1.0\ninf\n").is_ok_and(|_| false) || parse_text("1.0\ninf\n").is_err());
+    fn parse_text_rejects_non_finite_tokens_with_line() {
+        for (text, bad_line, bad_token) in
+            [("1.0\ninf\n", 2, "inf"), ("NaN 2.0\n", 1, "NaN"), ("1.0\n2.0\n-inf\n", 3, "-inf")]
+        {
+            match parse_text(text).unwrap_err() {
+                DataError::Parse { line, token } => {
+                    assert_eq!(line, bad_line, "input {text:?}");
+                    assert_eq!(token, bad_token, "input {text:?}");
+                }
+                other => panic!("unexpected error for {text:?}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_rejects_non_finite_samples_with_index() {
+        let dir = std::env::temp_dir().join("valmod_io_test_nonfinite");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nan.bin");
+        let mut bytes = Vec::new();
+        for v in [1.0f64, 2.0, f64::NAN, 4.0] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(&path, bytes).unwrap();
+        match load_binary(&path).unwrap_err() {
+            DataError::NonFinite { index } => assert_eq!(index, 2),
+            other => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::Client;
 pub use engine::{EngineConfig, QueryEngine, QueryKind, QueryOutcome, QuerySpec};
 pub use error::{ServeError, ServeResult};
-pub use protocol::{Request, Response};
-pub use server::Server;
+pub use protocol::{Request, Response, MAX_DEADLINE_MS, MAX_SLEEP_MS};
+pub use server::{ConnectionCount, Server, DEFAULT_MAX_LINE_BYTES};
 pub use store::{SeriesStore, StoredSeries};
 pub use value::Value;

@@ -29,6 +29,14 @@ use crate::engine::{QueryKind, QuerySpec};
 use crate::error::{ServeError, ServeResult};
 use crate::value::Value;
 
+/// Longest accepted `sleep` — the diagnostic occupies a real worker thread,
+/// so an unbounded `ms` is a one-request denial of service.
+pub const MAX_SLEEP_MS: u64 = 60_000;
+
+/// Longest accepted `deadline_ms` (24 h). Anything larger is a client bug or
+/// a hostile value, not a plausible deadline.
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
+
 /// A parsed client request.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -134,9 +142,10 @@ impl Request {
                     deadline: deadline_ms(v)?,
                 }))
             }
-            "sleep" => {
-                Ok(Request::Sleep { ms: require_usize(v, "ms")? as u64, deadline: deadline_ms(v)? })
-            }
+            "sleep" => Ok(Request::Sleep {
+                ms: require_u64_capped(v, "ms", MAX_SLEEP_MS)?,
+                deadline: deadline_ms(v)?,
+            }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
@@ -187,14 +196,14 @@ impl Request {
                     fields.push(("excl", Value::str(format!("{}/{}", pol.num(), pol.den()))));
                 }
                 if let Some(d) = spec.deadline {
-                    fields.push(("deadline_ms", (d.as_millis() as u64).into()));
+                    fields.push(("deadline_ms", encode_millis(d)));
                 }
                 Value::obj(fields)
             }
             Request::Sleep { ms, deadline } => {
                 let mut fields = vec![("cmd", Value::str("sleep")), ("ms", (*ms).into())];
                 if let Some(d) = deadline {
-                    fields.push(("deadline_ms", (d.as_millis() as u64).into()));
+                    fields.push(("deadline_ms", encode_millis(*d)));
                 }
                 Value::obj(fields)
             }
@@ -316,8 +325,31 @@ fn usize_list(v: &Value, key: &str) -> ServeResult<Vec<usize>> {
         .ok_or_else(|| bad_field(key, "an array of non-negative integers"))
 }
 
+fn require_u64_capped(v: &Value, key: &str, max: u64) -> ServeResult<u64> {
+    let x = v
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad_field(key, "a non-negative integer"))?;
+    if x > max {
+        return Err(ServeError::Protocol(format!("field {key:?} exceeds the maximum of {max}")));
+    }
+    Ok(x)
+}
+
 fn deadline_ms(v: &Value) -> ServeResult<Option<Duration>> {
-    Ok(opt_usize(v, "deadline_ms")?.map(|ms| Duration::from_millis(ms as u64)))
+    match v.get("deadline_ms") {
+        None => Ok(None),
+        Some(_) => {
+            Ok(Some(Duration::from_millis(require_u64_capped(v, "deadline_ms", MAX_DEADLINE_MS)?)))
+        }
+    }
+}
+
+/// Encodes a duration in wire milliseconds. `Duration::as_millis` is `u128`,
+/// so a plain `as u64` cast would silently truncate `Duration::MAX`;
+/// saturate at the protocol cap instead.
+fn encode_millis(d: Duration) -> Value {
+    Value::from(u64::try_from(d.as_millis()).unwrap_or(u64::MAX).min(MAX_DEADLINE_MS))
 }
 
 fn parse_policy(s: &str) -> ServeResult<ExclusionPolicy> {
@@ -394,6 +426,40 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should reject {bad}");
         }
+    }
+
+    #[test]
+    fn rejects_hostile_sleep_and_deadline_values() {
+        // Over the caps, fractional, negative, and beyond-2^53 values are
+        // all protocol errors — never truncated or wrapped by a cast.
+        for bad in [
+            r#"{"cmd":"sleep","ms":60001}"#,
+            r#"{"cmd":"sleep","ms":1e300}"#,
+            r#"{"cmd":"sleep","ms":12.5}"#,
+            r#"{"cmd":"sleep","ms":-1}"#,
+            r#"{"cmd":"sleep","ms":10,"deadline_ms":86400001}"#,
+            r#"{"cmd":"motifs","name":"s","min":8,"max":9,"deadline_ms":1e300}"#,
+            r#"{"cmd":"motifs","name":"s","min":8,"max":9,"deadline_ms":-5}"#,
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad}");
+        }
+        // The caps themselves are accepted.
+        assert!(parse(r#"{"cmd":"sleep","ms":60000,"deadline_ms":86400000}"#).is_ok());
+    }
+
+    #[test]
+    fn encode_millis_saturates_instead_of_truncating() {
+        let spec = QuerySpec {
+            series: "s".into(),
+            kind: QueryKind::Motifs { top: 1 },
+            l_min: 8,
+            l_max: 9,
+            p: 5,
+            policy: ExclusionPolicy::HALF,
+            deadline: Some(Duration::MAX),
+        };
+        let encoded = Request::Query(spec).to_value();
+        assert_eq!(encoded.get("deadline_ms").and_then(Value::as_u64), Some(MAX_DEADLINE_MS));
     }
 
     #[test]

@@ -21,14 +21,34 @@ use crate::error::{ServeError, ServeResult};
 use crate::protocol::{response_err, response_ok, Request};
 use crate::value::Value;
 
+/// Default cap on one request line. Large enough for a multi-million-sample
+/// `load`, small enough that a newline-free flood cannot exhaust memory.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 64 << 20;
+
+/// A cloneable observer of how many connections are currently live; survives
+/// [`Server::run`] consuming the server, so tests can assert that fault
+/// scenarios do not leak handler threads.
+#[derive(Clone)]
+pub struct ConnectionCount(Arc<Mutex<HashMap<u64, TcpStream>>>);
+
+impl ConnectionCount {
+    /// Number of connections with a live handler right now.
+    pub fn live(&self) -> usize {
+        self.0.lock().expect("connections lock").len()
+    }
+}
+
 /// A bound-but-not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     engine: Arc<QueryEngine>,
     stop: Arc<AtomicBool>,
     /// Read-half handles of live connections, so shutdown can unblock
-    /// handlers parked in `read_line`.
+    /// handlers parked in the line reader.
     connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    /// Requests longer than this are answered with a protocol error and the
+    /// connection is closed without buffering the rest of the line.
+    max_line_bytes: usize,
 }
 
 impl Server {
@@ -40,7 +60,21 @@ impl Server {
             engine: Arc::new(engine),
             stop: Arc::new(AtomicBool::new(false)),
             connections: Arc::new(Mutex::new(HashMap::new())),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
         })
+    }
+
+    /// Overrides the per-request line cap (builder style). The fault harness
+    /// uses a small cap to exercise the overflow path cheaply.
+    pub fn with_max_line_bytes(mut self, bytes: usize) -> Self {
+        self.max_line_bytes = bytes.max(1);
+        self
+    }
+
+    /// A handle that reports the number of live connections after `run`
+    /// consumes the server.
+    pub fn connection_count(&self) -> ConnectionCount {
+        ConnectionCount(Arc::clone(&self.connections))
     }
 
     /// The bound address (needed when binding to port 0).
@@ -78,8 +112,9 @@ impl Server {
             let engine = Arc::clone(&self.engine);
             let stop = Arc::clone(&self.stop);
             let connections = Arc::clone(&self.connections);
+            let max_line = self.max_line_bytes;
             handlers.push(std::thread::spawn(move || {
-                handle_connection(stream, engine, &stop, addr);
+                handle_connection(stream, engine, &stop, addr, max_line);
                 connections.lock().expect("connections lock").remove(&id);
             }));
             handlers.retain(|h| !h.is_finished());
@@ -98,33 +133,93 @@ impl Server {
     }
 }
 
+/// One bounded attempt to read a request line.
+enum LineRead {
+    /// Clean EOF before any bytes of a new line.
+    Eof,
+    /// A complete line (newline stripped by the caller's trim).
+    Line(String),
+    /// The line exceeded the cap; the rest was not buffered.
+    TooLong,
+    /// The line was not valid UTF-8.
+    NotUtf8,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes. Unlike
+/// `BufReader::read_line`, a hostile client sending an endless newline-free
+/// stream costs O(`max`) memory, not O(stream).
+fn read_bounded_line(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (used, terminated) = {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                if buf.is_empty() {
+                    return Ok(LineRead::Eof);
+                }
+                (0, true) // EOF closes a final unterminated line
+            } else {
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        buf.extend_from_slice(&chunk[..pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        buf.extend_from_slice(chunk);
+                        (chunk.len(), false)
+                    }
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > max {
+            return Ok(LineRead::TooLong);
+        }
+        if terminated {
+            break;
+        }
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(LineRead::Line(s)),
+        Err(_) => Ok(LineRead::NotUtf8),
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     engine: Arc<QueryEngine>,
     stop: &AtomicBool,
     server_addr: SocketAddr,
+    max_line_bytes: usize,
 ) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // EOF or socket error: drop connection
-            Ok(_) => {}
-        }
+        let line = match read_bounded_line(&mut reader, max_line_bytes) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Eof) | Err(_) => return, // EOF or socket error
+            Ok(LineRead::TooLong) => {
+                let err = ServeError::Protocol(format!(
+                    "request line exceeds the {max_line_bytes}-byte limit"
+                ));
+                write_response(&mut writer, &engine, response_err(&err));
+                return; // the stream is mid-line: resync is impossible
+            }
+            Ok(LineRead::NotUtf8) => {
+                let err = ServeError::Protocol("request line is not valid UTF-8".into());
+                write_response(&mut writer, &engine, response_err(&err));
+                return;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         engine.registry().counter("serve.net.bytes_in").add(line.len() as u64);
         let (response, initiate_shutdown) = dispatch(&engine, &line);
-        let mut encoded = response.encode();
-        encoded.push('\n');
-        engine.registry().counter("serve.net.bytes_out").add(encoded.len() as u64);
-        if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
+        if !write_response(&mut writer, &engine, response) {
             return;
         }
         if initiate_shutdown {
@@ -134,6 +229,15 @@ fn handle_connection(
             return;
         }
     }
+}
+
+/// Writes one encoded response line, updating the byte counter; returns
+/// whether the socket is still usable.
+fn write_response(writer: &mut TcpStream, engine: &QueryEngine, response: Value) -> bool {
+    let mut encoded = response.encode();
+    encoded.push('\n');
+    engine.registry().counter("serve.net.bytes_out").add(encoded.len() as u64);
+    writer.write_all(encoded.as_bytes()).is_ok() && writer.flush().is_ok()
 }
 
 /// Handles one request line; the bool asks the caller to begin shutdown.
@@ -190,5 +294,52 @@ fn result_response(result: ServeResult<Value>) -> Value {
     match result {
         Ok(v) => response_ok(v, None),
         Err(e) => response_err(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(input: &[u8], max: usize) -> Vec<String> {
+        let mut reader = Cursor::new(input.to_vec());
+        let mut out = Vec::new();
+        loop {
+            match read_bounded_line(&mut reader, max).unwrap() {
+                LineRead::Eof => return out,
+                LineRead::Line(l) => out.push(l),
+                LineRead::TooLong => {
+                    out.push("<too long>".into());
+                    return out;
+                }
+                LineRead::NotUtf8 => {
+                    out.push("<not utf-8>".into());
+                    return out;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_reader_splits_lines_and_handles_final_fragment() {
+        assert_eq!(read_all(b"a\nbb\nccc", 100), vec!["a", "bb", "ccc"]);
+        assert_eq!(read_all(b"", 100), Vec::<String>::new());
+        assert_eq!(read_all(b"\n\n", 100), vec!["", ""]);
+    }
+
+    #[test]
+    fn bounded_reader_caps_newline_free_floods() {
+        let flood = vec![b'x'; 1 << 16];
+        assert_eq!(read_all(&flood, 1024), vec!["<too long>"]);
+        // A line exactly at the cap still passes.
+        let mut exact = vec![b'y'; 1024];
+        exact.push(b'\n');
+        assert_eq!(read_all(&exact, 1024), vec!["y".repeat(1024)]);
+    }
+
+    #[test]
+    fn bounded_reader_flags_invalid_utf8() {
+        assert_eq!(read_all(b"\xff\xfe\n", 100), vec!["<not utf-8>"]);
     }
 }

@@ -69,6 +69,18 @@ impl Value {
         }
     }
 
+    /// The number as a `u64`, if it is a non-negative integer exactly
+    /// representable in the wire's `f64` (≤ 2⁵³) — the checked alternative
+    /// to an `as u64` cast on hostile input.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// The string slice, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -97,6 +97,122 @@ fn repeated_identical_pattern_everywhere() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Named regressions promoted from the valmod-check adversarial families
+// (PR 4). Each pins a numeric edge the harness sweeps every CI run; the
+// generators in crates/check/src/generators.rs produce the same shapes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn regression_single_spike_on_constant_floor() {
+    // One huge spike in an otherwise flat series: windows covering the
+    // spike have enormous σ, the rest are flat. VALMOD must agree with
+    // STOMP on every length and never report a spurious sub-zero distance.
+    let mut values = vec![2.5; 200];
+    values[117] = 1e8;
+    let ps = ProfiledSeries::from_values(&values).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(8, 14).with_p(2)).run_on(&ps).unwrap();
+    let oracle = stomp_range(&ps, 8, 14, ExclusionPolicy::HALF, 1).unwrap();
+    for (r, o) in out.per_length.iter().zip(&oracle) {
+        match (&r.motif, o) {
+            (Some(m), Some(o)) => {
+                assert!(m.dist >= 0.0, "l={}: negative distance {}", r.l, m.dist);
+                assert!((m.dist - o.dist).abs() < 1e-6, "l={}: {} vs {}", r.l, m.dist, o.dist);
+            }
+            (None, None) => {}
+            other => panic!("l={}: presence mismatch {:?}", r.l, other.0),
+        }
+    }
+}
+
+#[test]
+fn regression_noise_at_the_flatness_threshold() {
+    // Constant plus ±1e-9 noise: σ sits at the flatness boundary where
+    // z-normalisation amplifies rounding. Both sides must classify the same
+    // windows as flat and agree on distances.
+    let mut rng = valmod_data::rng::Xoshiro256::seed_from_u64(99);
+    let values: Vec<f64> = (0..160).map(|_| 40.0 + rng.uniform(-1e-9, 1e-9)).collect();
+    let ps = ProfiledSeries::from_values(&values).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(6, 10).with_p(2)).run_on(&ps).unwrap();
+    let oracle = stomp_range(&ps, 6, 10, ExclusionPolicy::HALF, 1).unwrap();
+    for (r, o) in out.per_length.iter().zip(&oracle) {
+        match (&r.motif, o) {
+            (Some(m), Some(o)) => {
+                assert!((m.dist - o.dist).abs() < 1e-6, "l={}: {} vs {}", r.l, m.dist, o.dist)
+            }
+            (None, None) => {}
+            other => panic!("l={}: presence mismatch {:?}", r.l, other.0),
+        }
+    }
+}
+
+#[test]
+fn regression_series_barely_longer_than_l_max() {
+    // n = l_max + 1: one or two subsequences per length, every pair inside
+    // the exclusion zone. Must return None per length — not panic, not
+    // fabricate a pair.
+    let series = Series::new(random_walk(16, 21)).unwrap();
+    let out = Valmod::from_config(ValmodConfig::new(12, 15).with_p(1)).run(&series).unwrap();
+    assert_eq!(out.per_length.len(), 4);
+    for r in &out.per_length {
+        assert!(r.motif.is_none(), "l={}: no non-trivial pair exists", r.l);
+    }
+    // One step further (l_max + 1 > n) is a clean error.
+    assert!(Valmod::from_config(ValmodConfig::new(12, 16)).run(&series).is_err());
+}
+
+#[test]
+fn regression_inverted_range_is_an_error_not_an_empty_answer() {
+    // Before PR 4 the baseline range drivers silently returned an empty
+    // Vec on l_min > l_max; now every range entry point rejects it.
+    let ps = ProfiledSeries::from_values(&random_walk(100, 3)).unwrap();
+    assert!(stomp_range(&ps, 20, 10, ExclusionPolicy::HALF, 1).is_err());
+    assert!(valmod_baselines::brute_force_range(&ps, 20, 10, ExclusionPolicy::HALF).is_err());
+    assert!(valmod_baselines::moen(&ps, 20, 10, ExclusionPolicy::HALF, std::time::Duration::MAX)
+        .is_err());
+    assert!(valmod_baselines::quick_motif_range_with_deadline(
+        &ps,
+        20,
+        10,
+        ExclusionPolicy::HALF,
+        &valmod_baselines::QuickMotifConfig::default(),
+        std::time::Duration::MAX,
+    )
+    .is_err());
+    let series = Series::new(random_walk(100, 3)).unwrap();
+    assert!(Valmod::from_config(ValmodConfig::new(20, 10)).run(&series).is_err());
+}
+
+#[test]
+fn regression_streaming_extreme_amplitude_matches_batch() {
+    // 1e9-scale samples on a 1e9 DC offset, streamed in two halves: the
+    // incremental dot-product updates must not drift from the batch answer.
+    let values: Vec<f64> = random_walk(240, 31).iter().map(|x| 1e9 + x * 1e9).collect();
+    let mut streaming =
+        valmod_mp::StreamingProfile::new(&values[..120], 10, ExclusionPolicy::HALF).unwrap();
+    streaming.extend(values[120..].iter().copied()).unwrap();
+    let streamed = streaming.profile();
+    let ps = ProfiledSeries::from_values(&values).unwrap();
+    let batch = valmod_mp::stomp(&ps, 10, ExclusionPolicy::HALF).unwrap();
+    for i in 0..batch.len() {
+        let (s, b) = (streamed.mp[i], batch.mp[i]);
+        assert_eq!(s.is_finite(), b.is_finite(), "row {i}");
+        if s.is_finite() {
+            assert!((s - b).abs() < 1e-5 * (1.0 + b), "row {i}: streamed {s} vs batch {b}");
+        }
+    }
+}
+
+#[test]
+fn regression_text_loader_rejects_inf_and_nan_tokens() {
+    // "inf" and "NaN" parse as f64 but must be rejected at the parse site
+    // with the line number, not later with only a flat index.
+    for text in ["1.0\ninf\n", "1.0\n-inf 2.0\n", "NaN\n"] {
+        let err = valmod_data::io::parse_text(text).unwrap_err();
+        assert_eq!(err.kind(), "parse", "input {text:?} gave {err}");
+    }
+}
+
 #[test]
 fn single_sample_step_range_is_consistent_with_wide_ranges() {
     // Splitting [20, 26] into [20,23] + [24,26] gives the same per-length
