@@ -20,14 +20,23 @@
 //!
 //! Every binary prints a human-readable table and writes machine-readable
 //! CSV under `target/experiments/`.
+//!
+//! ## Regression guarding
+//!
+//! Separate from the paper-reproduction binaries, [`regression`] holds the
+//! pinned suite behind `valmod bench`: it times the row kernel and the
+//! diagonal-blocked kernel over identical inputs in the same run and emits
+//! the `BENCH_core.json` snapshot checked into `docs/baselines/`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod params;
+pub mod regression;
 pub mod report;
 pub mod runner;
 
 pub use params::{BenchParams, Scale};
+pub use regression::{run_suite, BenchEntry, RegressionReport};
 pub use report::Report;
 pub use runner::{run_algorithm, AlgoResult, Algorithm};

@@ -1,0 +1,328 @@
+//! The pinned bench-regression suite guarding the diagonal-blocked kernel.
+//!
+//! Unlike the figure/table binaries (which reproduce the paper's plots),
+//! this suite exists to catch *performance regressions* in the hot path: it
+//! times the pre-rewrite row kernel ([`valmod_mp::stomp::stomp_row`]) and
+//! the diagonal-blocked kernel ([`valmod_mp::diagonal`]) over the same
+//! inputs **in the same run**, so every report carries its own baseline —
+//! machine speed differences cancel out of the speedup column.
+//!
+//! The suite is pinned: entry names are stable identifiers
+//! (`stomp/n16384/l256`, `valmod/n8192/l64..96`, …) so successive
+//! `BENCH_core.json` snapshots diff cleanly. `valmod bench` (the CLI) runs
+//! it and writes the JSON; CI runs the `--smoke` variant, which shrinks the
+//! sizes but keeps every entry name's *shape*, and only asserts the JSON is
+//! well-formed — wall-clock numbers are never gated in CI.
+
+use std::time::Instant;
+
+use valmod_core::prelude::*;
+use valmod_data::generators::random_walk;
+use valmod_mp::diagonal::stomp_diagonal_ws;
+use valmod_mp::stomp::stomp_row;
+use valmod_mp::workspace::Workspace;
+use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
+
+/// One timed comparison of the pinned suite.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Stable identifier, e.g. `stomp/n16384/l256`.
+    pub name: String,
+    /// Entry family: `stomp`, `compute_mp`, `valmod`, or `streaming`.
+    pub kind: &'static str,
+    /// Series size in points.
+    pub n: usize,
+    /// Subsequence length (`ℓ_min` for range entries).
+    pub l: usize,
+    /// Timed iterations per kernel (the median is reported).
+    pub iters: usize,
+    /// Median wall-clock of the pre-rewrite baseline kernel, when the entry
+    /// has one (the row kernel / row-streamed harvest); `None` for entries
+    /// that only track the current implementation over time.
+    pub baseline_ms: Option<f64>,
+    /// Median wall-clock of the current implementation.
+    pub current_ms: f64,
+}
+
+impl BenchEntry {
+    /// `baseline / current`, when a baseline was measured (> 1 = faster).
+    pub fn speedup(&self) -> Option<f64> {
+        self.baseline_ms.map(|b| b / self.current_ms.max(1e-9))
+    }
+}
+
+/// The full suite result, serialisable to the `BENCH_core.json` schema.
+#[derive(Debug, Clone)]
+pub struct RegressionReport {
+    /// Whether the shrunken smoke variant ran.
+    pub smoke: bool,
+    /// All entries, in pinned order.
+    pub entries: Vec<BenchEntry>,
+}
+
+fn push_json_f64(out: &mut String, value: f64) {
+    // All timings are finite; keep a stable, diff-friendly precision.
+    out.push_str(&format!("{value:.4}"));
+}
+
+impl RegressionReport {
+    /// Serialises to the versioned `BENCH_core.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 160 * self.entries.len());
+        s.push_str("{\"schema\":\"valmod-bench-regression/v1\",\"suite\":\"core\",");
+        s.push_str(&format!("\"smoke\":{},\"entries\":[", self.smoke));
+        for (k, e) in self.entries.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"n\":{},\"l\":{},\"iters\":{},",
+                e.name, e.kind, e.n, e.l, e.iters
+            ));
+            if let Some(b) = e.baseline_ms {
+                s.push_str("\"baseline_ms\":");
+                push_json_f64(&mut s, b);
+                s.push(',');
+            }
+            s.push_str("\"current_ms\":");
+            push_json_f64(&mut s, e.current_ms);
+            if let Some(x) = e.speedup() {
+                s.push_str(",\"speedup\":");
+                push_json_f64(&mut s, x);
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// A human-readable table of the entries.
+    pub fn table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<28} {:>10} {:>12} {:>12} {:>8}\n",
+            "entry", "iters", "baseline_ms", "current_ms", "speedup"
+        ));
+        for e in &self.entries {
+            let base = e.baseline_ms.map_or("-".into(), |b| format!("{b:.3}"));
+            let speed = e.speedup().map_or("-".into(), |x| format!("{x:.2}x"));
+            s.push_str(&format!(
+                "{:<28} {:>10} {:>12} {:>12.3} {:>8}\n",
+                e.name, e.iters, base, e.current_ms, speed
+            ));
+        }
+        s
+    }
+}
+
+/// Median wall-clock of `iters` runs of `f`, in milliseconds. The closure's
+/// result is returned through `std::hint::black_box` inside `f` itself (the
+/// callers bind the profile to a sink), so the work cannot be elided.
+fn median_ms<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let iters = iters.max(1);
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn iters_for(n: usize) -> usize {
+    if n <= 16_384 {
+        3
+    } else {
+        1
+    }
+}
+
+const SEED: u64 = 20_180_610; // matches the figure binaries
+
+/// Runs the pinned suite. `smoke = true` shrinks every size so the whole
+/// run finishes in a few seconds (used by CI to validate the plumbing);
+/// `smoke = false` runs the real sizes (STOMP at 2^14..2^17 points).
+pub fn run_suite(smoke: bool) -> RegressionReport {
+    let mut entries = Vec::new();
+
+    // --- STOMP kernel: row streamer vs diagonal-blocked, same inputs. ---
+    let stomp_sizes: &[(usize, usize)] = if smoke {
+        &[(1_024, 64), (2_048, 64)]
+    } else {
+        &[(16_384, 256), (32_768, 256), (65_536, 256), (131_072, 256)]
+    };
+    let mut ws = Workspace::new();
+    for &(n, l) in stomp_sizes {
+        let ps = ProfiledSeries::from_values(&random_walk(n, SEED)).unwrap();
+        let iters = iters_for(n);
+        let mut sink = 0.0f64;
+        let row_ms = median_ms(iters, || {
+            let p = stomp_row(&ps, l, ExclusionPolicy::HALF).unwrap();
+            sink += std::hint::black_box(p.mp[0]);
+        });
+        let diag_ms = median_ms(iters, || {
+            let p = stomp_diagonal_ws(&ps, l, ExclusionPolicy::HALF, &mut ws).unwrap();
+            sink += std::hint::black_box(p.mp[0]);
+        });
+        std::hint::black_box(sink);
+        entries.push(BenchEntry {
+            name: format!("stomp/n{n}/l{l}"),
+            kind: "stomp",
+            n,
+            l,
+            iters,
+            baseline_ms: Some(row_ms),
+            current_ms: diag_ms,
+        });
+    }
+
+    // --- Harvesting matrix profile: row-chunked (the pre-fusion path,
+    // still used by the parallel harvest) vs the fused diagonal harvest. ---
+    let (hn, hl, hp) = if smoke { (1_024, 32, 8) } else { (8_192, 128, 50) };
+    {
+        let ps = ProfiledSeries::from_values(&random_walk(hn, SEED)).unwrap();
+        let iters = iters_for(hn);
+        let mut sink = 0usize;
+        // threads=2 forces the row-streamed chunk kernel even on 1 core;
+        // it is the surviving pre-fusion implementation.
+        let row_ms = median_ms(iters, || {
+            let h =
+                valmod_core::compute_matrix_profile_parallel(&ps, hl, hp, ExclusionPolicy::HALF, 2)
+                    .unwrap();
+            sink += std::hint::black_box(h.partials.len());
+        });
+        let mut hws = Workspace::new();
+        let fused_ms = median_ms(iters, || {
+            let h = valmod_core::compute_matrix_profile_ws(
+                &ps,
+                hl,
+                hp,
+                ExclusionPolicy::HALF,
+                &mut hws,
+            )
+            .unwrap();
+            sink += std::hint::black_box(h.partials.len());
+        });
+        std::hint::black_box(sink);
+        entries.push(BenchEntry {
+            name: format!("compute_mp/n{hn}/l{hl}/p{hp}"),
+            kind: "compute_mp",
+            n: hn,
+            l: hl,
+            iters,
+            baseline_ms: Some(row_ms),
+            current_ms: fused_ms,
+        });
+    }
+
+    // --- VALMOD range sweep: current implementation only (tracked over
+    // time; the interesting baseline is the previous snapshot). ---
+    let (vn, vl_min, vl_max, vp) = if smoke { (1_024, 24, 32, 8) } else { (8_192, 64, 96, 50) };
+    {
+        let series = Series::new(random_walk(vn, SEED)).unwrap();
+        let iters = iters_for(vn);
+        let mut sink = 0usize;
+        let run_ms = median_ms(iters, || {
+            let out = Valmod::new(vl_min, vl_max).p(vp).run(&series).unwrap();
+            sink += std::hint::black_box(out.per_length.len());
+        });
+        std::hint::black_box(sink);
+        entries.push(BenchEntry {
+            name: format!("valmod/n{vn}/l{vl_min}..{vl_max}/p{vp}"),
+            kind: "valmod",
+            n: vn,
+            l: vl_min,
+            iters,
+            baseline_ms: None,
+            current_ms: run_ms,
+        });
+    }
+
+    // --- Streaming append throughput: current implementation only. ---
+    let (sn, sl, appended) = if smoke { (2_048, 32, 256) } else { (16_384, 128, 4_096) };
+    {
+        let values = random_walk(sn + appended, SEED);
+        let iters = iters_for(sn);
+        let mut sink = 0.0f64;
+        let append_ms = median_ms(iters, || {
+            let mut sp = StreamingProfile::new(&values[..sn], sl, ExclusionPolicy::HALF).unwrap();
+            sp.extend(values[sn..].iter().copied()).unwrap();
+            sink += std::hint::black_box(sp.profile().mp[0]);
+        });
+        std::hint::black_box(sink);
+        entries.push(BenchEntry {
+            name: format!("streaming/n{sn}/l{sl}/append{appended}"),
+            kind: "streaming",
+            n: sn,
+            l: sl,
+            iters,
+            baseline_ms: None,
+            current_ms: append_ms,
+        });
+    }
+
+    RegressionReport { smoke, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_produces_every_pinned_entry_kind() {
+        let report = run_suite(true);
+        let kinds: Vec<&str> = report.entries.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"stomp"));
+        assert!(kinds.contains(&"compute_mp"));
+        assert!(kinds.contains(&"valmod"));
+        assert!(kinds.contains(&"streaming"));
+        for e in &report.entries {
+            assert!(e.current_ms > 0.0, "{}: non-positive timing", e.name);
+            if let Some(b) = e.baseline_ms {
+                assert!(b > 0.0, "{}: non-positive baseline", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_wire_parser() {
+        let report = run_suite(true);
+        let json = report.to_json();
+        let value = valmod_serve::Value::parse(&json).expect("self-emitted JSON must parse");
+        assert_eq!(
+            value.get("schema").and_then(|v| v.as_str()),
+            Some("valmod-bench-regression/v1")
+        );
+        let entries = value.get("entries").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(entries.len(), report.entries.len());
+        for (e, v) in report.entries.iter().zip(entries) {
+            assert_eq!(v.get("name").and_then(|x| x.as_str()), Some(e.name.as_str()));
+            let cur = v.get("current_ms").and_then(|x| x.as_f64()).unwrap();
+            assert!((cur - e.current_ms).abs() < 1e-3);
+            assert_eq!(v.get("baseline_ms").is_some(), e.baseline_ms.is_some());
+            assert_eq!(v.get("speedup").is_some(), e.baseline_ms.is_some());
+        }
+    }
+
+    #[test]
+    fn table_lists_every_entry() {
+        let report = RegressionReport {
+            smoke: true,
+            entries: vec![BenchEntry {
+                name: "stomp/n1024/l64".into(),
+                kind: "stomp",
+                n: 1024,
+                l: 64,
+                iters: 3,
+                baseline_ms: Some(2.0),
+                current_ms: 1.0,
+            }],
+        };
+        let t = report.table();
+        assert!(t.contains("stomp/n1024/l64"));
+        assert!(t.contains("2.00x"));
+        assert_eq!(report.entries[0].speedup(), Some(2.0));
+    }
+}

@@ -12,10 +12,11 @@
 //!   spikes, 1e-9 noise floors, 1e9 amplitudes, planted variable-length
 //!   motifs, series barely longer than `ℓ_max`), each a pure function of
 //!   `(seed, id)`;
-//! * [`oracles`] — VALMOD vs STOMP-per-length, parallel vs sequential,
-//!   streaming-append vs batch recompute, serve cached vs cold, and the
-//!   Eq. 2 lower-bound admissibility invariant probed against naive
-//!   z-normalised distances;
+//! * [`oracles`] — the diagonal-blocked kernel vs the row streamer
+//!   (bit-exact, across block widths), VALMOD vs STOMP-per-length, parallel
+//!   vs sequential, streaming-append vs batch recompute, serve cached vs
+//!   cold, and the Eq. 2 lower-bound admissibility invariant probed against
+//!   naive z-normalised distances;
 //! * [`faults`] — truncated frames, oversized lines, malformed JSON,
 //!   mid-`APPEND` disconnects, hostile numeric fields, and deadline expiry
 //!   replayed against a real loopback server.

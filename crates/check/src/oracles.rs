@@ -1,20 +1,27 @@
 //! Differential oracles: independent implementations answering the same
 //! question must agree.
 //!
-//! All comparisons are tolerance-based, not bit-exact: the parallel kernels
-//! legitimately differ from the sequential ones by sub-1e-12 rounding at
-//! chunk seams, and tie-breaks between equal-distance pairs may pick
-//! different indices. A divergence is only reported when *distances*
-//! disagree beyond tolerance or when one side finds a motif the other says
-//! does not exist.
+//! Most comparisons are tolerance-based: the row-chunked harvest kernels
+//! legitimately differ from sequential ones by sub-1e-12 rounding at chunk
+//! seams, and tie-breaks between equal-distance pairs may pick different
+//! indices. A divergence is only reported when *distances* disagree beyond
+//! tolerance or when one side finds a motif the other says does not exist.
+//!
+//! The exception is [`check_diagonal_vs_row`]: the diagonal-blocked STOMP
+//! kernel *guarantees* bit-identity with the row streamer (see
+//! `valmod_mp::diagonal`), so that oracle compares `mp` bit patterns and
+//! `ip` indices exactly, across several block widths and a parallel run.
 
 use valmod_baselines::stomp_range;
 use valmod_core::lb::lb_scale;
 use valmod_core::{compute_matrix_profile, Valmod, ValmodConfig};
 use valmod_data::rng::Xoshiro256;
+use valmod_mp::diagonal::{stomp_diagonal_parallel_ws, stomp_diagonal_ws};
 use valmod_mp::distance::zdist_naive;
+use valmod_mp::matrix_profile::MatrixProfile;
 use valmod_mp::parallel::stomp_parallel;
-use valmod_mp::stomp::stomp;
+use valmod_mp::stomp::{stomp, stomp_row};
+use valmod_mp::workspace::Workspace;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
 use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
 use valmod_serve::Value;
@@ -53,7 +60,7 @@ fn diverge(case: &Case, oracle: &'static str, detail: String) -> Divergence {
     Divergence { case_id: case.id, oracle, detail: format!("{}: {detail}", case.label()) }
 }
 
-/// Runs the four differential oracles plus the LB-admissibility invariant.
+/// Runs the five differential oracles plus the LB-admissibility invariant.
 pub fn run_case(case: &Case, lb_probe_budget: usize) -> CaseOutcome {
     let mut out = CaseOutcome::default();
     let ps = match ProfiledSeries::from_values(&case.values) {
@@ -63,6 +70,9 @@ pub fn run_case(case: &Case, lb_probe_budget: usize) -> CaseOutcome {
             return out;
         }
     };
+    if let Some(d) = check_diagonal_vs_row(case, &ps) {
+        out.divergences.push(d);
+    }
     if let Some(d) = check_valmod_vs_stomp(case, &ps) {
         out.divergences.push(d);
     }
@@ -79,6 +89,83 @@ pub fn run_case(case: &Case, lb_probe_budget: usize) -> CaseOutcome {
     out.lb_probes = probes;
     out.divergences.extend(lb_div);
     out
+}
+
+/// The diagonal-blocked STOMP kernel against the row streamer — *bit-exact*,
+/// on `mp` and `ip` both, across degenerate block widths (1 and wider than
+/// the series) and a 3-worker parallel run with a reused workspace.
+pub fn check_diagonal_vs_row(case: &Case, ps: &ProfiledSeries) -> Option<Divergence> {
+    let l = case.l_min;
+    let policy = ExclusionPolicy::HALF;
+    let row = match stomp_row(ps, l, policy) {
+        Ok(p) => p,
+        Err(e) => return Some(diverge(case, "diagonal-vs-row", format!("row kernel: {e}"))),
+    };
+    let bit_identical = |got: &MatrixProfile, what: &str| -> Option<Divergence> {
+        if got.len() != row.len() {
+            return Some(diverge(
+                case,
+                "diagonal-vs-row",
+                format!("{what}: profile lengths differ: {} vs {}", got.len(), row.len()),
+            ));
+        }
+        for i in 0..row.len() {
+            if got.mp[i].to_bits() != row.mp[i].to_bits() || got.ip[i] != row.ip[i] {
+                return Some(diverge(
+                    case,
+                    "diagonal-vs-row",
+                    format!(
+                        "{what}: row {i} at l={l}: diagonal ({}, {}) vs row ({}, {})",
+                        got.mp[i], got.ip[i], row.mp[i], row.ip[i]
+                    ),
+                ));
+            }
+        }
+        None
+    };
+    // Block width 1 (pure diagonal walk), a small width that splits the
+    // trapezoids mid-series, and one wider than any case (single block).
+    for block in [1usize, 7, 1 << 20] {
+        let mut ws = Workspace::with_block(block);
+        let diag = match stomp_diagonal_ws(ps, l, policy, &mut ws) {
+            Ok(p) => p,
+            Err(e) => return Some(diverge(case, "diagonal-vs-row", format!("block={block}: {e}"))),
+        };
+        if let Some(d) = bit_identical(&diag, &format!("block={block}")) {
+            return Some(d);
+        }
+        // Reuse the same workspace at another length: cached plans and
+        // recycled buffers must not leak state between calls.
+        if case.l_max > l {
+            let reused = match stomp_diagonal_ws(ps, case.l_max, policy, &mut ws) {
+                Ok(p) => p,
+                Err(e) => {
+                    return Some(diverge(case, "diagonal-vs-row", format!("reuse: {e}")));
+                }
+            };
+            let fresh = match stomp_row(ps, case.l_max, policy) {
+                Ok(p) => p,
+                Err(e) => {
+                    return Some(diverge(case, "diagonal-vs-row", format!("reuse row: {e}")));
+                }
+            };
+            for i in 0..fresh.len() {
+                if reused.mp[i].to_bits() != fresh.mp[i].to_bits() || reused.ip[i] != fresh.ip[i] {
+                    return Some(diverge(
+                        case,
+                        "diagonal-vs-row",
+                        format!("reused workspace diverges at l={} row {i}", case.l_max),
+                    ));
+                }
+            }
+        }
+    }
+    let mut ws = Workspace::new();
+    let par = match stomp_diagonal_parallel_ws(ps, l, policy, 3, &mut ws) {
+        Ok(p) => p,
+        Err(e) => return Some(diverge(case, "diagonal-vs-row", format!("parallel: {e}"))),
+    };
+    bit_identical(&par, "parallel threads=3")
 }
 
 /// VALMOD against independent STOMP-per-length: the paper's Problem 1 answer
@@ -346,6 +433,15 @@ mod tests {
             let case = generate_case(42, id);
             let out = run_case(&case, 40);
             assert!(out.divergences.is_empty(), "{:?}", out.divergences);
+        }
+    }
+
+    #[test]
+    fn diagonal_oracle_passes_every_family() {
+        for id in 0..8 {
+            let case = generate_case(7, id);
+            let ps = ProfiledSeries::from_values(&case.values).unwrap();
+            assert!(check_diagonal_vs_row(&case, &ps).is_none(), "family id {id}");
         }
     }
 

@@ -53,6 +53,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "stats" => cmd_stats(&args),
         "check" => cmd_check(&args),
+        "bench" => cmd_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -92,6 +93,7 @@ USAGE:
                    [--deadline-ms <n>]
   valmod stats     [--addr <host:port>] [--raw]
   valmod check     [--smoke] [--seed <s>] [--cases <n>] [--probes <n>] [--no-faults]
+  valmod bench     [--json] [--smoke] [--out <file>]
   valmod help
 
 Input: text (one value per line; `#` comments; commas/whitespace) or raw
@@ -111,7 +113,13 @@ adversarial series through VALMOD-vs-STOMP, parallel-vs-sequential,
 streaming-vs-batch, and serve cached-vs-cold oracles, the Eq. 2
 lower-bound admissibility invariant, and a serve fault-injection matrix.
 `--smoke` is the CI preset; without it a longer sweep runs. Exits
-non-zero on any divergence.";
+non-zero on any divergence.
+
+`bench` runs the pinned kernel-regression suite (row kernel vs the
+diagonal-blocked kernel over identical inputs, plus VALMOD and streaming
+timings) and writes the snapshot to BENCH_core.json (`--out` overrides).
+`--smoke` shrinks every size for CI plumbing checks; `--json` echoes the
+snapshot to stdout instead of the table.";
 
 fn load(args: &Args) -> Result<Series, Box<dyn std::error::Error>> {
     Ok(io::load_auto(args.require("input")?)?)
@@ -524,6 +532,29 @@ fn cmd_check(args: &Args) -> CliResult {
     } else {
         Err("correctness check found divergences".into())
     }
+}
+
+/// `valmod bench`: the pinned bench-regression suite guarding the
+/// diagonal-blocked kernel. Times the pre-rewrite row kernel and the
+/// current kernels over identical inputs in the same run, writes the
+/// `BENCH_core.json` snapshot, and self-validates the emitted JSON through
+/// the serve-layer wire parser before reporting success.
+fn cmd_bench(args: &Args) -> CliResult {
+    args.reject_unknown(&["json", "smoke", "out"])?;
+    let smoke = args.switch("smoke");
+    let out = args.get("out").unwrap_or("BENCH_core.json");
+    let report = valmod_bench::run_suite(smoke);
+    let json = report.to_json();
+    // A malformed snapshot must fail the run, not poison the baseline.
+    WireValue::parse(&json).map_err(|e| format!("emitted JSON failed self-validation: {e}"))?;
+    std::fs::write(out, &json)?;
+    if args.switch("json") {
+        println!("{json}");
+    } else {
+        print!("{}", report.table());
+        println!("snapshot written to {out}");
+    }
+    Ok(())
 }
 
 /// Compact numeric formatting: integers stay integral, everything else

@@ -1,18 +1,25 @@
 //! `ComputeMatrixProfile` (paper Algorithm 3): STOMP plus lower-bound
 //! harvesting.
 //!
-//! This reuses the [`StompDriver`] row streamer from `valmod-mp` and, for
-//! every row, retains the `p` entries with the smallest Eq. 2 lower bounds in
-//! that row's [`PartialProfile`] (`listDP` in the paper). Total cost
-//! `O(n² log p)`.
+//! The sequential path fuses the harvest into the diagonal-blocked kernel
+//! ([`valmod_mp::diagonal::diagonal_cells`]): every visited cell `(i, j)`
+//! folds into both rows' minima *and* both rows' [`PartialProfile`]s
+//! (`listDP` in the paper) in one cache-resident pass, reusing a
+//! [`Workspace`]'s buffers and FFT plans across calls. Total cost
+//! `O(n² log p)`. The heap's strict total order makes the retained set
+//! independent of visit order, so the result matches the row-streamed
+//! harvest (`harvest_row` over [`valmod_mp::stomp::StompDriver`] rows) —
+//! which survives as the per-chunk kernel of the parallel path and as the
+//! refinement step of `ComputeSubMP`.
 
 use valmod_data::error::Result;
+use valmod_mp::diagonal::{diagonal_cells, lex_update};
 use valmod_mp::distance::is_flat;
 use valmod_mp::distance_profile::profile_min;
 use valmod_mp::exclusion::ExclusionPolicy;
 use valmod_mp::matrix_profile::MatrixProfile;
 use valmod_mp::parallel::{row_chunks, stomp_rows};
-use valmod_mp::stomp::StompDriver;
+use valmod_mp::workspace::Workspace;
 use valmod_mp::ProfiledSeries;
 use valmod_obs::{Recorder, SharedRecorder};
 
@@ -64,27 +71,49 @@ pub(crate) fn harvest_row(
 }
 
 /// Computes the matrix profile at length `l`, harvesting `p` lower-bound
-/// entries per row (paper Algorithm 3).
+/// entries per row (paper Algorithm 3). Runs the fused diagonal harvest
+/// ([`compute_matrix_profile_ws`]) with a fresh [`Workspace`]; callers
+/// computing many profiles should hold a workspace to reuse FFT plans and
+/// buffers.
 pub fn compute_matrix_profile(
     ps: &ProfiledSeries,
     l: usize,
     p: usize,
     policy: ExclusionPolicy,
 ) -> Result<MpWithProfiles> {
-    let mut driver = StompDriver::new(ps, l, policy)?;
-    let ndp = driver.ndp();
+    let mut ws = Workspace::new();
+    compute_matrix_profile_ws(ps, l, p, policy, &mut ws)
+}
+
+/// [`compute_matrix_profile`] over a caller-held [`Workspace`]: one blocked
+/// diagonal traversal computes the matrix profile *and* harvests both ends
+/// of every visited pair — `(i, j)` is touched once and offered to
+/// `partials[i]` and `partials[j]` with the same distance, dot product, and
+/// Eq. 2 key (the key is symmetric in the pair's flat flags). The retained
+/// sets equal the row-streamed harvest's: the heap order is total, so offer
+/// order cannot change which entries survive.
+pub fn compute_matrix_profile_ws(
+    ps: &ProfiledSeries,
+    l: usize,
+    p: usize,
+    policy: ExclusionPolicy,
+    ws: &mut Workspace,
+) -> Result<MpWithProfiles> {
+    let ndp = ps.require_pairs(l)?;
     let mut mp = vec![f64::INFINITY; ndp];
     let mut ip = vec![usize::MAX; ndp];
     let mut partials: Vec<PartialProfile> =
         (0..ndp).map(|j| PartialProfile::new(j, l, ps.std(j, l), p)).collect();
-    let mut dp = Vec::with_capacity(ndp);
-    while let Some(row) = driver.next_row(&mut dp) {
-        if let Some((arg, d)) = profile_min(&dp) {
-            mp[row] = d;
-            ip[row] = arg;
+    let flats: Vec<bool> = (0..ndp).map(|i| is_flat(ps.std(i, l), ps.mean_c(i, l))).collect();
+    diagonal_cells(ps, l, &policy, ws, |i, j, q, d| {
+        lex_update(&mut mp[i], &mut ip[i], d, j);
+        lex_update(&mut mp[j], &mut ip[j], d, i);
+        if d.is_finite() {
+            let key = key_for_pair(d, l, flats[i], flats[j]);
+            partials[i].offer(DpEntry { neighbor: j, qt: q, dist: d, lb_key: key });
+            partials[j].offer(DpEntry { neighbor: i, qt: q, dist: d, lb_key: key });
         }
-        harvest_row(ps, &mut partials[row], &dp, driver.qt(), row, l);
-    }
+    })?;
     Ok(MpWithProfiles {
         profile: MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) },
         partials,
@@ -141,11 +170,9 @@ pub fn compute_matrix_profile_parallel(
 }
 
 /// Unified recorded entry point for the harvesting matrix-profile pass:
-/// `threads == 1` runs the sequential [`compute_matrix_profile`], anything
-/// else the chunked [`compute_matrix_profile_parallel`]. With an enabled
-/// recorder the pass is timed into `core.mp.full_profile_us` and accounted
-/// under `core.mp.full_profiles`, `mp.mass.calls` (one FFT seed per chunk)
-/// and `mp.stomp.rows`.
+/// `threads == 1` runs the fused diagonal harvest, anything else the
+/// chunked [`compute_matrix_profile_parallel`]. Uses a fresh [`Workspace`];
+/// see [`compute_matrix_profile_with_ws`] for plan/buffer reuse.
 pub fn compute_matrix_profile_with(
     ps: &ProfiledSeries,
     l: usize,
@@ -154,9 +181,31 @@ pub fn compute_matrix_profile_with(
     threads: usize,
     recorder: &SharedRecorder,
 ) -> Result<MpWithProfiles> {
+    let mut ws = Workspace::new();
+    compute_matrix_profile_with_ws(ps, l, p, policy, threads, recorder, &mut ws)
+}
+
+/// [`compute_matrix_profile_with`] over a caller-held [`Workspace`]. With an
+/// enabled recorder the pass is timed into `core.mp.full_profile_us` and
+/// accounted under `core.mp.full_profiles`, `mp.mass.calls` (one FFT seed
+/// per chunk), and `mp.stomp.rows`; the sequential diagonal path also
+/// records `mp.diag.blocks`, `mp.workspace.reuses`, and the FFT plan-cache
+/// traffic (`fft.plan_cache.hits`/`misses`).
+#[allow(clippy::too_many_arguments)] // recorder + workspace ride along with the knobs
+pub fn compute_matrix_profile_with_ws(
+    ps: &ProfiledSeries,
+    l: usize,
+    p: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+    recorder: &SharedRecorder,
+    ws: &mut Workspace,
+) -> Result<MpWithProfiles> {
     let _span = valmod_obs::span!(recorder, "core.mp.full_profile_us");
+    let (hits0, misses0, reused) =
+        (ws.plan_cache().hits(), ws.plan_cache().misses(), ws.uses() > 0);
     let out = if threads == 1 {
-        compute_matrix_profile(ps, l, p, policy)?
+        compute_matrix_profile_ws(ps, l, p, policy, ws)?
     } else {
         compute_matrix_profile_parallel(ps, l, p, policy, threads)?
     };
@@ -166,6 +215,17 @@ pub fn compute_matrix_profile_with(
         recorder.add("core.mp.full_profiles", 1);
         recorder.add("mp.mass.calls", chunks as u64);
         recorder.add("mp.stomp.rows", ndp as u64);
+        if threads == 1 {
+            recorder.add(
+                "mp.diag.blocks",
+                valmod_mp::diagonal::block_count(ndp, policy.radius(l), ws.block()),
+            );
+            if reused {
+                recorder.add("mp.workspace.reuses", 1);
+            }
+            recorder.add("fft.plan_cache.hits", ws.plan_cache().hits() - hits0);
+            recorder.add("fft.plan_cache.misses", ws.plan_cache().misses() - misses0);
+        }
     }
     Ok(out)
 }
@@ -200,6 +260,94 @@ mod tests {
                 assert_eq!(a, b, "threads={threads} owner {}", ps_seq.owner);
             }
         }
+    }
+
+    /// The pre-fusion implementation, kept verbatim as the reference: stream
+    /// rows with the [`valmod_mp::stomp::StompDriver`] and harvest each with
+    /// [`harvest_row`].
+    fn row_streamed_reference(
+        ps: &ProfiledSeries,
+        l: usize,
+        p: usize,
+        policy: ExclusionPolicy,
+    ) -> MpWithProfiles {
+        let mut driver = valmod_mp::stomp::StompDriver::new(ps, l, policy).unwrap();
+        let ndp = driver.ndp();
+        let mut mp = vec![f64::INFINITY; ndp];
+        let mut ip = vec![usize::MAX; ndp];
+        let mut partials: Vec<PartialProfile> =
+            (0..ndp).map(|j| PartialProfile::new(j, l, ps.std(j, l), p)).collect();
+        let mut dp = Vec::with_capacity(ndp);
+        while let Some(row) = driver.next_row(&mut dp) {
+            if let Some((arg, d)) = profile_min(&dp) {
+                mp[row] = d;
+                ip[row] = arg;
+            }
+            harvest_row(ps, &mut partials[row], &dp, driver.qt(), row, l);
+        }
+        MpWithProfiles {
+            profile: MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) },
+            partials,
+        }
+    }
+
+    fn assert_harvests_bit_identical(a: &MpWithProfiles, b: &MpWithProfiles, what: &str) {
+        assert_eq!(a.profile.len(), b.profile.len(), "{what}: length");
+        for i in 0..a.profile.len() {
+            assert_eq!(a.profile.mp[i].to_bits(), b.profile.mp[i].to_bits(), "{what}: mp[{i}]");
+            assert_eq!(a.profile.ip[i], b.profile.ip[i], "{what}: ip[{i}]");
+        }
+        for (pa, pb) in a.partials.iter().zip(&b.partials) {
+            assert_eq!(pa.owner, pb.owner);
+            let norm = |p: &PartialProfile| {
+                let mut v: Vec<(usize, u64, u64)> = p
+                    .entries()
+                    .iter()
+                    .map(|e| (e.neighbor, e.dist.to_bits(), e.lb_key.to_bits()))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(norm(pa), norm(pb), "{what}: partials of owner {}", pa.owner);
+        }
+    }
+
+    #[test]
+    fn fused_diagonal_harvest_matches_row_harvest_bit_for_bit() {
+        let ps = ProfiledSeries::from_values(&random_walk(320, 61)).unwrap();
+        for (l, p) in [(16usize, 4usize), (24, 1), (50, 8)] {
+            let reference = row_streamed_reference(&ps, l, p, ExclusionPolicy::HALF);
+            let fused = compute_matrix_profile(&ps, l, p, ExclusionPolicy::HALF).unwrap();
+            assert_harvests_bit_identical(&fused, &reference, &format!("l={l} p={p}"));
+        }
+    }
+
+    #[test]
+    fn fused_harvest_handles_tied_distances_from_flat_stretches() {
+        // A long constant stretch yields many exactly-equal distances (0 and
+        // √ℓ); the total heap order must retain the same set either way.
+        let mut series = random_walk(260, 67);
+        for v in &mut series[80..140] {
+            *v = 1.0;
+        }
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let reference = row_streamed_reference(&ps, 16, 3, ExclusionPolicy::HALF);
+        let fused = compute_matrix_profile(&ps, 16, 3, ExclusionPolicy::HALF).unwrap();
+        assert_harvests_bit_identical(&fused, &reference, "flat stretch");
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_change_the_harvest() {
+        let ps = ProfiledSeries::from_values(&random_walk(300, 71)).unwrap();
+        let mut ws = Workspace::new();
+        // Lengths above the FFT threshold, so the plan cache is exercised.
+        for l in [40usize, 41, 64, 40] {
+            let reused =
+                compute_matrix_profile_ws(&ps, l, 4, ExclusionPolicy::HALF, &mut ws).unwrap();
+            let fresh = compute_matrix_profile(&ps, l, 4, ExclusionPolicy::HALF).unwrap();
+            assert_harvests_bit_identical(&reused, &fresh, &format!("l={l}"));
+        }
+        assert!(ws.plan_cache().hits() > 0, "repeated lengths must hit the plan cache");
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! root, so the worst retained entry is evicted first). Because all entries
 //! of a profile share the σ-ratio scaling factor, the anchor-time ordering
 //! by [`crate::lb::lb_key`] *is* the ordering at every later length.
+//!
+//! Entries are ordered by the *strict total order* (`lb_key` via
+//! `f64::total_cmp`, then neighbour index). Two distinct entries of one
+//! profile never compare equal (the neighbour is unique per owner), so which
+//! entries survive an over-full heap is independent of the order they were
+//! offered in — row-order and diagonal-order harvests retain the same set.
 
 use valmod_mp::distance::dist_from_qt;
 use valmod_mp::exclusion::ExclusionPolicy;
@@ -35,6 +41,16 @@ impl DpEntry {
     pub fn lb_base(&self) -> f64 {
         self.lb_key.sqrt()
     }
+}
+
+/// Strict total heap order: `lb_key` (via `total_cmp`), ties broken by the
+/// neighbour index. Returns whether `a` ranks strictly *worse* (greater)
+/// than `b`. With this order, eviction from a full heap is deterministic
+/// regardless of offer order.
+#[inline]
+fn heap_gt(a: &DpEntry, b: &DpEntry) -> bool {
+    a.lb_key.total_cmp(&b.lb_key).then_with(|| a.neighbor.cmp(&b.neighbor))
+        == std::cmp::Ordering::Greater
 }
 
 /// The partial distance profile of one subsequence: its `p` smallest-LB
@@ -128,13 +144,14 @@ impl PartialProfile {
     }
 
     /// Offers an entry during harvesting (paper Alg. 3 lines 18–24): keep it
-    /// iff the heap is not full or its `lb_key` beats the current worst.
+    /// iff the heap is not full or it beats the current worst under the
+    /// strict total order (`lb_key`, then neighbour index).
     #[inline]
     pub fn offer(&mut self, entry: DpEntry) {
         if self.entries.len() < self.capacity {
             self.entries.push(entry);
             self.sift_up(self.entries.len() - 1);
-        } else if entry.lb_key < self.entries[0].lb_key {
+        } else if heap_gt(&self.entries[0], &entry) {
             self.entries[0] = entry;
             self.sift_down(0);
         }
@@ -152,7 +169,7 @@ impl PartialProfile {
     fn sift_up(&mut self, mut idx: usize) {
         while idx > 0 {
             let parent = (idx - 1) / 2;
-            if self.entries[idx].lb_key > self.entries[parent].lb_key {
+            if heap_gt(&self.entries[idx], &self.entries[parent]) {
                 self.entries.swap(idx, parent);
                 idx = parent;
             } else {
@@ -166,10 +183,10 @@ impl PartialProfile {
         loop {
             let (l, r) = (2 * idx + 1, 2 * idx + 2);
             let mut largest = idx;
-            if l < n && self.entries[l].lb_key > self.entries[largest].lb_key {
+            if l < n && heap_gt(&self.entries[l], &self.entries[largest]) {
                 largest = l;
             }
-            if r < n && self.entries[r].lb_key > self.entries[largest].lb_key {
+            if r < n && heap_gt(&self.entries[r], &self.entries[largest]) {
                 largest = r;
             }
             if largest == idx {
@@ -254,6 +271,34 @@ mod tests {
         keys.sort_by(f64::total_cmp);
         assert_eq!(keys, vec![0.5, 1.0, 3.0]);
         assert_eq!(p.max_lb_key(), Some(3.0));
+    }
+
+    #[test]
+    fn retention_is_independent_of_offer_order() {
+        // Equal lb_keys tie-break on the neighbour index, so the surviving
+        // set is the same whatever order entries arrive in.
+        let pool = [
+            entry(9, 2.0),
+            entry(4, 2.0),
+            entry(7, 2.0),
+            entry(1, 5.0),
+            entry(2, 2.0),
+            entry(8, 0.5),
+        ];
+        let survivors = |order: &[usize]| -> Vec<usize> {
+            let mut p = PartialProfile::new(0, 8, 1.0, 3);
+            for &k in order {
+                p.offer(pool[k]);
+            }
+            let mut kept: Vec<usize> = p.entries().iter().map(|e| e.neighbor).collect();
+            kept.sort_unstable();
+            kept
+        };
+        let forward = survivors(&[0, 1, 2, 3, 4, 5]);
+        // Smallest under (lb_key, neighbor): (0.5, 8), (2.0, 2), (2.0, 4).
+        assert_eq!(forward, vec![2, 4, 8]);
+        assert_eq!(survivors(&[5, 4, 3, 2, 1, 0]), forward);
+        assert_eq!(survivors(&[3, 0, 5, 2, 4, 1]), forward);
     }
 
     #[test]

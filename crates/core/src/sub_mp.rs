@@ -20,9 +20,10 @@
 //! *shrink* the set of real pairs, so discarding them keeps every statement
 //! above conservative.
 
-use valmod_mp::distance_profile::{dp_from_qt_into, profile_min, self_qt};
+use valmod_mp::distance_profile::{dp_from_qt_into, profile_min};
 use valmod_mp::exclusion::ExclusionPolicy;
 use valmod_mp::parallel::row_chunks;
+use valmod_mp::workspace::Workspace;
 use valmod_mp::ProfiledSeries;
 use valmod_obs::{Recorder, SharedRecorder};
 
@@ -118,7 +119,10 @@ fn advance_rows(
             }
             match update_dist_and_lb(ps, e, j, from_l, new_l, policy) {
                 EntryState::Valid { dist } => {
-                    if dist < min_dist {
+                    // Ties resolve to the smaller neighbour, so the row's
+                    // answer does not depend on the heap's internal layout
+                    // (which varies with harvest order).
+                    if dist < min_dist || (dist == min_dist && e.neighbor < ind) {
                         min_dist = dist;
                         ind = e.neighbor;
                     }
@@ -207,6 +211,25 @@ pub fn compute_sub_mp_threaded_with(
     threads: usize,
     recorder: &SharedRecorder,
 ) -> SubMpResult {
+    let mut ws = Workspace::new();
+    compute_sub_mp_threaded_with_ws(ps, partials, new_l, policy, threads, recorder, &mut ws)
+}
+
+/// [`compute_sub_mp_threaded_with`] over a caller-held [`Workspace`]: the
+/// last-chance refinement re-seeds each recomputed row's dot-product vector
+/// through the workspace's FFT plan cache ([`Workspace::self_qt`], bitwise
+/// identical to a fresh-plan seed), so a driver walking a length range pays
+/// for each FFT size once.
+#[allow(clippy::too_many_arguments)] // recorder + workspace ride along with the row-chunk knobs
+pub fn compute_sub_mp_threaded_with_ws(
+    ps: &ProfiledSeries,
+    partials: &mut [PartialProfile],
+    new_l: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+    recorder: &SharedRecorder,
+    ws: &mut Workspace,
+) -> SubMpResult {
     let ndp = ps.num_subsequences(new_l);
     if ndp == 0 {
         // No subsequences at this length: vacuously solved, nothing to do.
@@ -291,11 +314,11 @@ pub fn compute_sub_mp_threaded_with(
         let mut dp = Vec::with_capacity(ndp);
         for &(j, lb_max) in &non_valid {
             if lb_max < min_dist_abs {
-                let qt = self_qt(ps, j, new_l);
-                dp_from_qt_into(ps, &qt, j, new_l, &policy, &mut dp);
+                let qt = ws.self_qt(ps, j, new_l);
+                dp_from_qt_into(ps, qt, j, new_l, &policy, &mut dp);
                 let prof = &mut partials[j];
                 prof.reanchor(new_l, ps.std(j, new_l));
-                harvest_row(ps, prof, &dp, &qt, j, new_l);
+                harvest_row(ps, prof, &dp, qt, j, new_l);
                 match profile_min(&dp) {
                     Some((arg, d)) => {
                         sub_mp[j] = d;

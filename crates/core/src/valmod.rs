@@ -12,9 +12,11 @@ use valmod_mp::motif::MotifPair;
 use valmod_mp::ProfiledSeries;
 use valmod_obs::{Recorder, SharedRecorder};
 
-use crate::compute_mp::compute_matrix_profile_with;
+use valmod_mp::workspace::Workspace;
+
+use crate::compute_mp::compute_matrix_profile_with_ws;
 use crate::pairs::BestKPairs;
-use crate::sub_mp::compute_sub_mp_threaded_with;
+use crate::sub_mp::compute_sub_mp_threaded_with_ws;
 use crate::valmp::Valmp;
 
 /// Configuration for a VALMOD run.
@@ -317,12 +319,24 @@ fn run_valmod(
     let mut tracker = (config.track_pairs > 0).then(|| BestKPairs::new(config.track_pairs));
     let mut per_length = Vec::with_capacity(config.l_max - config.l_min + 1);
 
+    // One workspace for the whole run: the anchor profile, every fallback
+    // recomputation, and every last-chance refinement share its FFT plan
+    // cache and scratch buffers, so each transform size is planned once for
+    // the entire length range.
+    let mut ws = Workspace::new();
+
     // ℓ_min: full profile + harvest (Algorithm 1, line 5). With one thread
-    // the classic row streamer runs (bitwise-stable baseline); otherwise the
-    // chunked kernel computes disjoint row ranges in parallel.
-    let full_profile =
-        |l: usize| compute_matrix_profile_with(ps, l, config.p, policy, config.threads, recorder);
-    let mut state = full_profile(config.l_min)?;
+    // the fused diagonal-blocked kernel runs (bitwise-stable baseline);
+    // otherwise the chunked kernel computes disjoint row ranges in parallel.
+    let mut state = compute_matrix_profile_with_ws(
+        ps,
+        config.l_min,
+        config.p,
+        policy,
+        config.threads,
+        recorder,
+        &mut ws,
+    )?;
     let improved = valmp.update(&state.profile.mp, &state.profile.ip, config.l_min);
     if let Some(t) = tracker.as_mut() {
         for &i in &improved {
@@ -341,13 +355,14 @@ fn run_valmod(
 
     // Lengths ℓ_min+1 ..= ℓ_max (Algorithm 1, lines 7–16).
     for l in (config.l_min + 1)..=config.l_max {
-        let res = compute_sub_mp_threaded_with(
+        let res = compute_sub_mp_threaded_with_ws(
             ps,
             &mut state.partials,
             l,
             policy,
             config.threads,
             recorder,
+            &mut ws,
         );
         let (mp_vals, ip_vals, method, known, valid, nonvalid, recomputed);
         if res.found_motif {
@@ -370,7 +385,15 @@ fn run_valmod(
             if recorder.enabled() {
                 recorder.add("core.lb.fallback", 1);
             }
-            state = full_profile(l)?;
+            state = compute_matrix_profile_with_ws(
+                ps,
+                l,
+                config.p,
+                policy,
+                config.threads,
+                recorder,
+                &mut ws,
+            )?;
             method = LengthMethod::Fallback;
             known = state.profile.len();
             valid = res.valid_rows;

@@ -13,6 +13,10 @@
 //! * [`bluestein`] — exact DFT for arbitrary sizes (chirp-z).
 //! * [`real`] — packed real convolution and the
 //!   [`real::sliding_dot_product`] used by MASS/STOMP.
+//! * [`plan_cache`] — a [`plan_cache::PlanCache`] of plans and scratch
+//!   buffers so repeated transforms (one per length in a VALMOD range sweep)
+//!   stop paying plan construction and allocation; cached calls are
+//!   bit-identical to the free functions.
 //!
 //! ## Quick example
 //!
@@ -33,10 +37,12 @@
 
 pub mod bluestein;
 pub mod complex;
+pub mod plan_cache;
 pub mod radix2;
 pub mod real;
 
 pub use bluestein::BluesteinPlan;
 pub use complex::Complex;
+pub use plan_cache::PlanCache;
 pub use radix2::{fft, ifft, Direction, Radix2Plan};
 pub use real::{convolve, sliding_dot_product};

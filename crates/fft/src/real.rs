@@ -8,31 +8,41 @@
 use crate::complex::Complex;
 use crate::radix2::Radix2Plan;
 
-/// Full linear convolution of two real sequences (`len = a.len() + b.len() - 1`),
-/// computed in `O(n log n)` via a packed complex FFT.
-pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
-    if a.is_empty() || b.is_empty() {
-        return Vec::new();
-    }
+/// Below this size the naive loop beats FFT setup cost. Shared by the free
+/// functions and [`crate::plan_cache::PlanCache`] so both take the same path
+/// for any given input shape (a precondition of their bit-identity).
+pub(crate) const NAIVE_THRESHOLD: usize = 32;
+
+/// The packed-FFT convolution core: both lanes of `plan`-sized `buf`/`spec`
+/// scratch are caller-provided, so a cached plan and a fresh plan of the same
+/// size run exactly the same floating-point operations.
+///
+/// `plan.len()` must be `>= a.len() + b.len() - 1`.
+pub(crate) fn convolve_fft_into(
+    a: &[f64],
+    b: &[f64],
+    plan: &Radix2Plan,
+    buf: &mut Vec<Complex>,
+    spec: &mut Vec<Complex>,
+    out: &mut Vec<f64>,
+) {
     let out_len = a.len() + b.len() - 1;
-    // Below this size the naive loop beats FFT setup cost.
-    if a.len().min(b.len()) <= 32 {
-        return convolve_naive(a, b);
-    }
-    let m = out_len.next_power_of_two();
-    let plan = Radix2Plan::new(m);
+    let m = plan.len();
+    debug_assert!(m >= out_len, "plan of size {m} too small for output {out_len}");
     // Pack: real lane = a, imaginary lane = b.
-    let mut buf = vec![Complex::ZERO; m];
+    buf.clear();
+    buf.resize(m, Complex::ZERO);
     for (i, &x) in a.iter().enumerate() {
         buf[i].re = x;
     }
     for (i, &x) in b.iter().enumerate() {
         buf[i].im = x;
     }
-    plan.forward(&mut buf);
+    plan.forward(buf);
     // For packed z = a + ib: A[k] = (Z[k] + conj(Z[m-k]))/2, B[k] = (Z[k] - conj(Z[m-k]))/(2i).
     // The product C[k] = A[k]·B[k] is assembled directly.
-    let mut spec = vec![Complex::ZERO; m];
+    spec.clear();
+    spec.resize(m, Complex::ZERO);
     for k in 0..m {
         let zk = buf[k];
         let zmk = buf[(m - k) % m].conj();
@@ -40,22 +50,46 @@ pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
         let bk = (zk - zmk) * Complex::new(0.0, -0.5);
         spec[k] = ak * bk;
     }
-    plan.inverse(&mut spec);
-    spec.truncate(out_len);
-    spec.into_iter().map(|z| z.re).collect()
+    plan.inverse(spec);
+    out.clear();
+    out.extend(spec[..out_len].iter().map(|z| z.re));
 }
 
-/// Direct `O(nm)` convolution, used as the small-size fast path and test oracle.
-pub fn convolve_naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+/// Full linear convolution of two real sequences (`len = a.len() + b.len() - 1`),
+/// computed in `O(n log n)` via a packed complex FFT.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
-    let mut out = vec![0.0; a.len() + b.len() - 1];
+    if a.len().min(b.len()) <= NAIVE_THRESHOLD {
+        return convolve_naive(a, b);
+    }
+    let out_len = a.len() + b.len() - 1;
+    let m = out_len.next_power_of_two();
+    let plan = Radix2Plan::new(m);
+    let (mut buf, mut spec, mut out) = (Vec::new(), Vec::new(), Vec::new());
+    convolve_fft_into(a, b, &plan, &mut buf, &mut spec, &mut out);
+    out
+}
+
+/// Direct `O(nm)` convolution into a caller-provided buffer (cleared first).
+pub(crate) fn convolve_naive_into(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    out.resize(a.len() + b.len() - 1, 0.0);
     for (i, &x) in a.iter().enumerate() {
         for (j, &y) in b.iter().enumerate() {
             out[i + j] += x * y;
         }
     }
+}
+
+/// Direct `O(nm)` convolution, used as the small-size fast path and test oracle.
+pub fn convolve_naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    convolve_naive_into(a, b, &mut out);
     out
 }
 

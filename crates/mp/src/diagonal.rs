@@ -1,0 +1,418 @@
+//! The diagonal-blocked STOMP kernel — the hot path of the whole stack.
+//!
+//! The classic row-by-row STOMP (kept as [`crate::stomp::stomp_row`], the
+//! differential oracle) streams full `O(n)` rows: every row touches the
+//! entire series and the entire statistics arrays, so at large `n` each row
+//! update is a pass over memory that long since left cache. This kernel
+//! traverses the distance matrix along *anti-diagonals* instead, in blocks
+//! of [`Workspace::block`] adjacent diagonals:
+//!
+//! * On diagonal `k`, cell `(i, i+k)` follows from cell `(i−1, i+k−1)` by the
+//!   same `O(1)` recurrence STOMP uses along a row — so a block of `B`
+//!   diagonals needs only `B` in-flight QT values (seeded from the one
+//!   FFT-computed first row) plus a sliding window of the series and
+//!   statistics: everything the inner loop touches stays in L1/L2.
+//! * Each unordered pair `(i, j)` is visited exactly once (the matrix is
+//!   symmetric), halving the arithmetic of the row kernel, and the
+//!   symmetric min-update writes both `mp[i]` and `mp[j]`.
+//! * The per-row QT update loop is branch-free over the block width and
+//!   reads `t[j]` contiguously, so it auto-vectorises.
+//!
+//! ## Bit-identity with the row kernel
+//!
+//! The QT value of any cell chains back to the FFT first row through the
+//! exact same left-associated update expression in both kernels (for the
+//! lower triangle the two factor orders of each product are swapped, and
+//! IEEE-754 multiplication commutes), and `dist_from_qt` is bitwise
+//! symmetric in its two subsequences. Min-updates break distance ties
+//! toward the smaller neighbour index — exactly the order
+//! [`profile_min`](crate::distance_profile::profile_min) produces scanning a
+//! row left to right. The `valmod-check` oracle `diagonal-vs-row` holds the
+//! two kernels to bit-identical `mp` *and* `ip` arrays across every
+//! generator family and block size.
+
+use valmod_data::error::Result;
+use valmod_obs::{Recorder, SharedRecorder};
+
+use crate::context::ProfiledSeries;
+use crate::distance::dist_from_qt;
+use crate::exclusion::ExclusionPolicy;
+use crate::matrix_profile::MatrixProfile;
+use crate::parallel::resolve_threads;
+use crate::workspace::Workspace;
+
+/// Lexicographic `(distance, index)` min-update: `profile_min` keeps the
+/// first index achieving the row minimum, i.e. ties resolve to the smaller
+/// neighbour. The `is_finite` guard keeps never-updated slots at
+/// `(∞, usize::MAX)` exactly like the row kernel leaves them. Public so the
+/// fused harvesting traversal in `valmod-core` folds with the same rule.
+#[inline(always)]
+pub fn lex_update(mp: &mut f64, ip: &mut usize, d: f64, j: usize) {
+    if d < *mp || (d == *mp && d.is_finite() && j < *ip) {
+        *mp = d;
+        *ip = j;
+    }
+}
+
+/// Fills the workspace seeds for one kernel call: the FFT first row
+/// (`qt_first[k] = ⟨T_0, T_k⟩`) via the cached plans, and the per-offset
+/// statistics. Returns `ndp`.
+fn prepare_seeds(ps: &ProfiledSeries, l: usize, ws: &mut Workspace) -> Result<usize> {
+    let ndp = ps.require_pairs(l)?;
+    let t = ps.centered();
+    let Workspace { plans, qt_first, means, stds, .. } = ws;
+    plans.sliding_dot_product_into(&t[0..l], t, qt_first);
+    debug_assert_eq!(qt_first.len(), ndp);
+    means.clear();
+    means.extend((0..ndp).map(|i| ps.mean_c(i, l)));
+    stds.clear();
+    stds.extend((0..ndp).map(|i| ps.std(i, l)));
+    Ok(ndp)
+}
+
+/// Streams every non-excluded cell of the upper triangle (`i < j`) to
+/// `visit(i, j, qt, dist)`, traversing diagonals `radius..ndp` in blocks of
+/// `ws.block()` and reusing the workspace buffers and FFT plans.
+///
+/// Within a fixed `i`, cells arrive in ascending `j`; for a fixed `j`, in
+/// ascending `i` — so a lexicographic min-fold over the visits reproduces
+/// the row kernel's profile exactly. Returns `ndp`.
+pub fn diagonal_cells<F>(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: &ExclusionPolicy,
+    ws: &mut Workspace,
+    mut visit: F,
+) -> Result<usize>
+where
+    F: FnMut(usize, usize, f64, f64),
+{
+    let ndp = prepare_seeds(ps, l, ws)?;
+    ws.note_use();
+    let block = ws.block();
+    let t = ps.centered();
+    let Workspace { qt_first, diag, means, stds, .. } = ws;
+    let radius = policy.radius(l);
+
+    let mut kb = radius;
+    while kb < ndp {
+        let bw = block.min(ndp - kb);
+        diag.clear();
+        diag.extend_from_slice(&qt_first[kb..kb + bw]);
+        // The block is a trapezoid: diagonal kb+c holds rows 0..ndp-(kb+c).
+        for i in 0..ndp - kb {
+            let w = bw.min(ndp - kb - i);
+            if i > 0 {
+                // The STOMP recurrence along each diagonal (paper Alg. 3
+                // lines 10–12, same expression and association as the row
+                // kernel), contiguous in both t reads — vectorises.
+                let (a, b) = (t[i - 1], t[i + l - 1]);
+                for (c, q) in diag.iter_mut().enumerate().take(w) {
+                    let j = i + kb + c;
+                    *q = *q - a * t[j - 1] + b * t[j + l - 1];
+                }
+            }
+            let (mean_i, std_i) = (means[i], stds[i]);
+            for (c, &q) in diag.iter().enumerate().take(w) {
+                let j = i + kb + c;
+                let d = dist_from_qt(q, l, mean_i, std_i, means[j], stds[j]);
+                visit(i, j, q, d);
+            }
+        }
+        kb += bw;
+    }
+    Ok(ndp)
+}
+
+/// Number of diagonal blocks the blocked traversal of `ndp` subsequences
+/// visits (for the `mp.diag.blocks` counter).
+pub fn block_count(ndp: usize, radius: usize, block: usize) -> u64 {
+    if radius >= ndp {
+        0
+    } else {
+        ((ndp - radius).div_ceil(block.max(1))) as u64
+    }
+}
+
+/// The sequential diagonal-blocked matrix profile, reusing `ws` across
+/// calls. Bit-identical to [`crate::stomp::stomp_row`].
+pub fn stomp_diagonal_ws(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    ws: &mut Workspace,
+) -> Result<MatrixProfile> {
+    stomp_diagonal_with(ps, l, policy, ws, &SharedRecorder::noop())
+}
+
+/// [`stomp_diagonal_ws`] with instrumentation: block count into
+/// `mp.diag.blocks`, workspace recycling into `mp.workspace.reuses`, and
+/// FFT plan-cache traffic into `fft.plan_cache.hits`/`misses`.
+pub fn stomp_diagonal_with(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    ws: &mut Workspace,
+    recorder: &SharedRecorder,
+) -> Result<MatrixProfile> {
+    let observe = recorder.enabled();
+    let (hits0, misses0, reused) =
+        (ws.plan_cache().hits(), ws.plan_cache().misses(), ws.uses() > 0);
+    let ndp = ps.require_pairs(l)?;
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    diagonal_cells(ps, l, &policy, ws, |i, j, _q, d| {
+        lex_update(&mut mp[i], &mut ip[i], d, j);
+        lex_update(&mut mp[j], &mut ip[j], d, i);
+    })?;
+    if observe {
+        recorder.add("mp.diag.blocks", block_count(ndp, policy.radius(l), ws.block()));
+        if reused {
+            recorder.add("mp.workspace.reuses", 1);
+        }
+        recorder.add("fft.plan_cache.hits", ws.plan_cache().hits() - hits0);
+        recorder.add("fft.plan_cache.misses", ws.plan_cache().misses() - misses0);
+    }
+    Ok(MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) })
+}
+
+/// Splits diagonals `[radius, ndp)` into at most `threads` contiguous
+/// `(k_start, k_end)` ranges of roughly equal *cell* count (diagonal `k`
+/// holds `ndp − k` cells, so equal-width ranges would leave the first worker
+/// with most of the work). Deterministic in its inputs.
+pub fn diagonal_chunks(ndp: usize, radius: usize, threads: usize) -> Vec<(usize, usize)> {
+    if radius >= ndp {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads).clamp(1, ndp - radius);
+    let total_cells: u64 = (radius..ndp).map(|k| (ndp - k) as u64).sum();
+    let mut chunks = Vec::with_capacity(threads);
+    let mut k = radius;
+    let mut cells_left = total_cells;
+    for worker in 0..threads {
+        let target = cells_left.div_ceil((threads - worker) as u64);
+        let start = k;
+        let mut took = 0u64;
+        while k < ndp && (took < target || k == start) {
+            took += (ndp - k) as u64;
+            k += 1;
+        }
+        cells_left -= took;
+        if k > start {
+            chunks.push((start, k));
+        }
+        if k >= ndp {
+            break;
+        }
+    }
+    debug_assert_eq!(chunks.last().map(|c| c.1), Some(ndp));
+    chunks
+}
+
+/// Runs the blocked traversal over diagonals `[k_start, k_end)` only, with
+/// caller-provided seed/statistics slices and a local QT buffer — the
+/// per-worker body of the parallel kernel.
+#[allow(clippy::too_many_arguments)]
+fn diagonal_range_minfold(
+    t: &[f64],
+    l: usize,
+    ndp: usize,
+    qt_first: &[f64],
+    means: &[f64],
+    stds: &[f64],
+    (k_start, k_end): (usize, usize),
+    block: usize,
+    mp: &mut [f64],
+    ip: &mut [usize],
+) {
+    let mut diag = Vec::with_capacity(block.min(k_end - k_start));
+    let mut kb = k_start;
+    while kb < k_end {
+        let bw = block.min(k_end - kb);
+        diag.clear();
+        diag.extend_from_slice(&qt_first[kb..kb + bw]);
+        for i in 0..ndp - kb {
+            let w = bw.min(ndp - kb - i);
+            if i > 0 {
+                let (a, b) = (t[i - 1], t[i + l - 1]);
+                for (c, q) in diag.iter_mut().enumerate().take(w) {
+                    let j = i + kb + c;
+                    *q = *q - a * t[j - 1] + b * t[j + l - 1];
+                }
+            }
+            let (mean_i, std_i) = (means[i], stds[i]);
+            for (c, &q) in diag.iter().enumerate().take(w) {
+                let j = i + kb + c;
+                let d = dist_from_qt(q, l, mean_i, std_i, means[j], stds[j]);
+                lex_update(&mut mp[i], &mut ip[i], d, j);
+                lex_update(&mut mp[j], &mut ip[j], d, i);
+            }
+        }
+        kb += bw;
+    }
+}
+
+/// The parallel diagonal-blocked matrix profile: diagonals are partitioned
+/// into cell-balanced contiguous ranges, each worker min-folds into its own
+/// full-length profile, and the per-worker profiles merge lexicographically.
+///
+/// The lexicographic `(distance, index)` min is associative and commutative,
+/// so the result is bit-identical to the sequential kernel — and therefore
+/// to the row kernel — for *any* thread count.
+pub fn stomp_diagonal_parallel_ws(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    threads: usize,
+    ws: &mut Workspace,
+) -> Result<MatrixProfile> {
+    let ndp = prepare_seeds(ps, l, ws)?;
+    ws.note_use();
+    let block = ws.block();
+    let t = ps.centered();
+    let radius = policy.radius(l);
+    let chunks = diagonal_chunks(ndp, radius, threads);
+    let (qt_first, means, stds) = (&ws.qt_first, &ws.means, &ws.stds);
+
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    if let [only] = chunks[..] {
+        // One worker: fold straight into the output, no merge copy.
+        diagonal_range_minfold(t, l, ndp, qt_first, means, stds, only, block, &mut mp, &mut ip);
+    } else {
+        let locals = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&range| {
+                    scope.spawn(move || {
+                        let mut lmp = vec![f64::INFINITY; ndp];
+                        let mut lip = vec![usize::MAX; ndp];
+                        diagonal_range_minfold(
+                            t, l, ndp, qt_first, means, stds, range, block, &mut lmp, &mut lip,
+                        );
+                        (lmp, lip)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("diagonal worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (lmp, lip) in locals {
+            for i in 0..ndp {
+                lex_update(&mut mp[i], &mut ip[i], lmp[i], lip[i]);
+            }
+        }
+    }
+    Ok(MatrixProfile { l, mp, ip, exclusion_radius: radius })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stomp::stomp_row;
+    use valmod_data::generators::{plant_motif, random_walk, sine_mixture};
+
+    fn assert_profiles_bit_identical(a: &MatrixProfile, b: &MatrixProfile, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for i in 0..a.len() {
+            assert_eq!(a.mp[i].to_bits(), b.mp[i].to_bits(), "{what}: mp[{i}]");
+            assert_eq!(a.ip[i], b.ip[i], "{what}: ip[{i}]");
+        }
+    }
+
+    #[test]
+    fn diagonal_matches_row_kernel_bit_for_bit() {
+        let ps = ProfiledSeries::from_values(&random_walk(500, 17)).unwrap();
+        for l in [8usize, 16, 50] {
+            let row = stomp_row(&ps, l, ExclusionPolicy::HALF).unwrap();
+            let mut ws = Workspace::new();
+            let diag = stomp_diagonal_ws(&ps, l, ExclusionPolicy::HALF, &mut ws).unwrap();
+            assert_profiles_bit_identical(&diag, &row, &format!("l={l}"));
+        }
+    }
+
+    #[test]
+    fn block_width_does_not_change_a_single_bit() {
+        let (series, _) = plant_motif(400, 30, 3, 0.01, 23);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let row = stomp_row(&ps, 30, ExclusionPolicy::HALF).unwrap();
+        for block in [1usize, 3, 64, 10_000] {
+            let mut ws = Workspace::with_block(block);
+            let diag = stomp_diagonal_ws(&ps, 30, ExclusionPolicy::HALF, &mut ws).unwrap();
+            assert_profiles_bit_identical(&diag, &row, &format!("block={block}"));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_lengths_does_not_change_results() {
+        let series = sine_mixture(600, &[(0.03, 1.0), (0.011, 0.4)], 0.05, 3);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let mut ws = Workspace::new();
+        for l in 10..40 {
+            let reused = stomp_diagonal_ws(&ps, l, ExclusionPolicy::HALF, &mut ws).unwrap();
+            let fresh =
+                stomp_diagonal_ws(&ps, l, ExclusionPolicy::HALF, &mut Workspace::new()).unwrap();
+            assert_profiles_bit_identical(&reused, &fresh, &format!("l={l}"));
+        }
+        assert!(ws.uses() > 1);
+        assert!(ws.plan_cache().hits() > 0, "reused lengths must hit the plan cache");
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_for_any_thread_count() {
+        let ps = ProfiledSeries::from_values(&random_walk(350, 31)).unwrap();
+        let row = stomp_row(&ps, 24, ExclusionPolicy::HALF).unwrap();
+        for threads in [1usize, 2, 3, 7, 16, 64] {
+            let mut ws = Workspace::new();
+            let par = stomp_diagonal_parallel_ws(&ps, 24, ExclusionPolicy::HALF, threads, &mut ws)
+                .unwrap();
+            assert_profiles_bit_identical(&par, &row, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn fully_excluded_series_yields_all_infinite() {
+        let ps = ProfiledSeries::from_values(&random_walk(12, 2)).unwrap();
+        let mut ws = Workspace::new();
+        let p = stomp_diagonal_ws(&ps, 10, ExclusionPolicy::HALF, &mut ws).unwrap();
+        assert!(p.mp.iter().all(|d| d.is_infinite()));
+        assert!(p.ip.iter().all(|&j| j == usize::MAX));
+    }
+
+    #[test]
+    fn diagonal_chunks_cover_exactly_once_and_balance_cells() {
+        for (ndp, radius, threads) in
+            [(100, 5, 4), (50, 49, 8), (300, 1, 3), (10, 12, 2), (64, 8, 64)]
+        {
+            let chunks = diagonal_chunks(ndp, radius, threads);
+            if radius >= ndp {
+                assert!(chunks.is_empty());
+                continue;
+            }
+            let mut next = radius;
+            for &(s, e) in &chunks {
+                assert_eq!(s, next);
+                assert!(e > s);
+                next = e;
+            }
+            assert_eq!(next, ndp);
+            // Cell balance: no chunk more than ~2x the mean.
+            let cells: Vec<u64> =
+                chunks.iter().map(|&(s, e)| (s..e).map(|k| (ndp - k) as u64).sum()).collect();
+            let mean = cells.iter().sum::<u64>() / cells.len() as u64;
+            for &c in &cells {
+                assert!(c <= 2 * mean + (ndp as u64), "chunk {c} vs mean {mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_count_matches_traversal() {
+        assert_eq!(block_count(100, 5, 256), 1);
+        assert_eq!(block_count(100, 5, 10), 10);
+        assert_eq!(block_count(100, 5, 1), 95);
+        assert_eq!(block_count(10, 12, 4), 0);
+    }
+}

@@ -20,6 +20,10 @@ pub struct Discord {
 /// Extracts the top-`k` discords: offsets with the largest finite
 /// nearest-neighbour distances, suppressing the exclusion zone around each
 /// selected discord so the k results describe distinct regions.
+///
+/// Tie-breaking is deterministic: the descending sort is *stable* over
+/// ascending offsets, so equal-distance rows resolve to the smaller offset
+/// first, independent of which kernel produced the profile.
 pub fn top_discords(profile: &MatrixProfile, k: usize) -> Vec<Discord> {
     let ndp = profile.len();
     let radius = profile.exclusion_radius;
@@ -70,6 +74,23 @@ mod tests {
             "discord at {} should overlap the corrupted window",
             d.offset
         );
+    }
+
+    #[test]
+    fn equal_distance_discords_resolve_to_the_smaller_offset() {
+        // Exact ties at the top: the stable descending sort keeps ascending
+        // offsets within each distance class.
+        let mut mp = vec![0.5; 40];
+        let mut ip: Vec<usize> = (0..40).map(|i| (i + 20) % 40).collect();
+        for &i in &[5usize, 15, 25] {
+            mp[i] = 2.0; // three-way tie for the largest distance
+        }
+        mp[35] = 1.0;
+        ip[35] = 0;
+        let profile = MatrixProfile { l: 8, mp, ip, exclusion_radius: 4 };
+        let discords = top_discords(&profile, 4);
+        let offsets: Vec<usize> = discords.iter().map(|d| d.offset).collect();
+        assert_eq!(offsets, vec![5, 15, 25, 35]);
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! STOMP and the anytime STAMP (Definition 2.5), motif-pair and discord
 //! extraction, and trivial-match exclusion zones.
 //!
-//! The [`stomp::StompDriver`] row streamer is the shared kernel: plain STOMP
-//! folds each row into a running minimum, while VALMOD's
-//! `ComputeMatrixProfile` (in `valmod-core`) additionally harvests
-//! lower-bound entries from every row.
+//! The hot path is the cache-friendly [`diagonal`]-blocked STOMP kernel,
+//! backed by a reusable [`workspace::Workspace`] (scratch buffers + FFT plan
+//! cache); the [`stomp::StompDriver`] row streamer remains as its
+//! differential oracle and as the shared kernel for VALMOD's row-harvesting
+//! `ComputeMatrixProfile` (in `valmod-core`). The two kernels are
+//! bit-identical — `valmod-check` enforces it.
 //!
 //! ## Quick example
 //!
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod context;
+pub mod diagonal;
 pub mod discord;
 pub mod distance;
 pub mod distance_profile;
@@ -42,8 +45,10 @@ pub mod parallel;
 pub mod stamp;
 pub mod stomp;
 pub mod streaming;
+pub mod workspace;
 
 pub use context::ProfiledSeries;
+pub use diagonal::{diagonal_cells, lex_update, stomp_diagonal_parallel_ws, stomp_diagonal_ws};
 pub use discord::{top_discords, Discord};
 pub use distance::{dist_from_qt, length_normalize, zdist_naive};
 pub use distance_profile::{mass, self_distance_profile};
@@ -53,5 +58,6 @@ pub use matrix_profile::MatrixProfile;
 pub use motif::{top_motifs, MotifPair};
 pub use parallel::{resolve_threads, stomp_parallel, stomp_parallel_with, stomp_rows};
 pub use stamp::stamp;
-pub use stomp::{stomp, StompDriver};
+pub use stomp::{stomp, stomp_row, StompDriver};
 pub use streaming::StreamingProfile;
+pub use workspace::{Workspace, DEFAULT_BLOCK};

@@ -38,6 +38,11 @@ impl MotifPair {
 /// of its members are suppressed, so successive pairs describe genuinely
 /// different regions (the usual "remove the motif pair, the second smallest
 /// becomes the new motif pair" semantics, made non-trivial).
+///
+/// Tie-breaking is deterministic: candidates are sorted by distance with a
+/// *stable* sort over ascending offsets, so equal-distance rows resolve to
+/// the smaller owner offset first — the same order whatever kernel (row,
+/// diagonal, parallel) produced the profile.
 pub fn top_motifs(profile: &MatrixProfile, k: usize) -> Vec<MotifPair> {
     let ndp = profile.len();
     let radius = profile.exclusion_radius;
@@ -109,6 +114,39 @@ mod tests {
                 assert!(i.abs_diff(j) >= profile.exclusion_radius, "{i} vs {j} overlap");
             }
         }
+    }
+
+    #[test]
+    fn equal_distance_pairs_resolve_to_the_smaller_offset() {
+        // Hand-built profile with an exact three-way distance tie, far
+        // enough apart that suppression never hides a candidate. The stable
+        // sort over ascending offsets must pick owners 0, 20, 40 in order.
+        let mut mp = vec![f64::INFINITY; 50];
+        let mut ip = vec![usize::MAX; 50];
+        for &(i, j) in &[(0usize, 10usize), (20, 30), (40, 49)] {
+            mp[i] = 1.0;
+            ip[i] = j;
+            mp[j] = 1.0;
+            ip[j] = i;
+        }
+        let profile = MatrixProfile { l: 8, mp, ip, exclusion_radius: 4 };
+        let motifs = top_motifs(&profile, 3);
+        let pairs: Vec<(usize, usize)> = motifs.iter().map(|m| (m.a, m.b)).collect();
+        assert_eq!(pairs, vec![(0, 10), (20, 30), (40, 49)]);
+        // The same profile with rows permuted in value-equal ways (swap the
+        // stored direction of each pair) selects the same pairs.
+        let mut ip2 = vec![usize::MAX; 50];
+        let mut mp2 = vec![f64::INFINITY; 50];
+        for &(i, j) in &[(10usize, 0usize), (30, 20), (49, 40)] {
+            mp2[i] = 1.0;
+            ip2[i] = j;
+            mp2[j] = 1.0;
+            ip2[j] = i;
+        }
+        let swapped = MatrixProfile { l: 8, mp: mp2, ip: ip2, exclusion_radius: 4 };
+        let again: Vec<(usize, usize)> =
+            top_motifs(&swapped, 3).iter().map(|m| (m.a, m.b)).collect();
+        assert_eq!(again, pairs);
     }
 
     #[test]

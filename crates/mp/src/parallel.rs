@@ -1,23 +1,24 @@
 //! Multi-threaded STOMP.
 //!
 //! The paper (§2) notes that matrix-profile computation parallelises
-//! trivially ("GPUs, cloud computing, and other HPC environments"). This is
-//! the CPU version: rows are split into contiguous chunks, each worker seeds
-//! its chunk's first dot-product row with one FFT pass and then applies the
-//! `O(1)`-per-cell STOMP update within the chunk. Chunks own disjoint slices
-//! of the output, so no synchronisation is needed beyond the scoped join.
+//! trivially ("GPUs, cloud computing, and other HPC environments").
+//! [`stomp_parallel`] partitions the *diagonals* of the distance matrix into
+//! cell-balanced contiguous ranges (see [`crate::diagonal`]), one blocked
+//! traversal per worker, and merges the per-worker profiles with the
+//! lexicographic min — which is associative, so the result is bit-identical
+//! to the sequential kernel for any thread count.
 //!
-//! The row streamer is exposed as [`stomp_rows`], a visitor-based kernel
-//! that hands each row's distance profile *and* dot-product vector to a
-//! closure. [`stomp_parallel`] folds each row to its minimum; `valmod-core`
-//! layers lower-bound harvesting on the same kernel without re-implementing
-//! the recurrence.
+//! The older row-chunked machinery stays: [`stomp_rows`] is a visitor-based
+//! kernel that hands each row's distance profile *and* dot-product vector to
+//! a closure, and [`row_chunks`] splits rows across workers. `valmod-core`'s
+//! chunked lower-bound harvest still builds on them (harvesting needs full
+//! rows), as do the differential oracles.
 
 use valmod_data::error::Result;
 use valmod_obs::{Recorder, SharedRecorder};
 
 use crate::context::ProfiledSeries;
-use crate::distance_profile::{dp_from_qt_into, profile_min, self_qt};
+use crate::distance_profile::{dp_from_qt_into, self_qt};
 use crate::exclusion::ExclusionPolicy;
 use crate::matrix_profile::MatrixProfile;
 
@@ -107,10 +108,11 @@ pub fn stomp_parallel(
     stomp_parallel_with(ps, l, policy, threads, &SharedRecorder::noop())
 }
 
-/// [`stomp_parallel`] with instrumentation: each worker records its chunk
-/// wall time into `mp.stomp.row_chunk_us`, the row total into
-/// `mp.stomp.rows`, and its FFT seed into `mp.mass.calls`. With a
-/// disabled recorder the only cost is one `enabled()` branch per chunk.
+/// [`stomp_parallel`] with instrumentation: the whole parallel traversal is
+/// timed into `mp.diag.parallel_us`, the single FFT seed into
+/// `mp.mass.calls`, the row total into `mp.stomp.rows`, and the block count
+/// into `mp.diag.blocks`. With a disabled recorder the only cost is one
+/// `enabled()` branch per call.
 pub fn stomp_parallel_with(
     ps: &ProfiledSeries,
     l: usize,
@@ -118,44 +120,21 @@ pub fn stomp_parallel_with(
     threads: usize,
     recorder: &SharedRecorder,
 ) -> Result<MatrixProfile> {
-    let ndp = ps.require_pairs(l)?;
-    let mut mp = vec![f64::INFINITY; ndp];
-    let mut ip = vec![usize::MAX; ndp];
-
-    // Contiguous row chunks; each worker owns matching slices of mp/ip.
-    std::thread::scope(|scope| {
-        let mut mp_rest: &mut [f64] = &mut mp;
-        let mut ip_rest: &mut [usize] = &mut ip;
-        for (chunk_start, len) in row_chunks(ndp, threads) {
-            let (mp_chunk, mp_tail) = mp_rest.split_at_mut(len);
-            let (ip_chunk, ip_tail) = ip_rest.split_at_mut(len);
-            mp_rest = mp_tail;
-            ip_rest = ip_tail;
-            scope.spawn(move || {
-                let _span = valmod_obs::span!(recorder, "mp.stomp.row_chunk_us");
-                stomp_rows(ps, l, &policy, chunk_start, len, |i, dp, _qt| {
-                    let k = i - chunk_start;
-                    match profile_min(dp) {
-                        Some((j, d)) => {
-                            mp_chunk[k] = d;
-                            ip_chunk[k] = j;
-                        }
-                        None => {
-                            mp_chunk[k] = f64::INFINITY;
-                            ip_chunk[k] = usize::MAX;
-                        }
-                    }
-                });
-                if recorder.enabled() {
-                    // One FFT-seeded dot-product row per chunk; the rest
-                    // use the O(1) STOMP update.
-                    recorder.add("mp.mass.calls", 1);
-                    recorder.add("mp.stomp.rows", len as u64);
-                }
-            });
-        }
-    });
-    Ok(MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) })
+    let mut ws = crate::workspace::Workspace::new();
+    let profile = {
+        let _span = valmod_obs::span!(recorder, "mp.diag.parallel_us");
+        crate::diagonal::stomp_diagonal_parallel_ws(ps, l, policy, threads, &mut ws)?
+    };
+    if recorder.enabled() {
+        // One FFT-seeded first row; every other cell uses the O(1) update.
+        recorder.add("mp.mass.calls", 1);
+        recorder.add("mp.stomp.rows", profile.len() as u64);
+        recorder.add(
+            "mp.diag.blocks",
+            crate::diagonal::block_count(profile.len(), policy.radius(l), ws.block()),
+        );
+    }
+    Ok(profile)
 }
 
 #[cfg(test)]

@@ -2,9 +2,13 @@
 //! harvesting): the `O(n²)` matrix-profile computation with O(1) dot-product
 //! row updates.
 //!
-//! The row-by-row machinery is exposed as [`StompDriver`] so that VALMOD's
-//! `ComputeMatrixProfile` (which harvests lower-bound entries from every row)
-//! can reuse it instead of duplicating the kernel.
+//! [`stomp`] is the public entry point; since the diagonal-blocked rewrite
+//! it delegates to [`crate::diagonal::stomp_diagonal_ws`], which is
+//! bit-identical to the row traversal here but cache-friendly. The
+//! row-by-row machinery stays as [`StompDriver`] / [`stomp_row`]: it is the
+//! differential oracle for the diagonal kernel (`valmod-check`'s
+//! `diagonal-vs-row`) and the row streamer the chunked parallel harvest in
+//! `valmod-core` builds on.
 
 use valmod_data::error::Result;
 
@@ -89,7 +93,20 @@ impl<'a> StompDriver<'a> {
 }
 
 /// Computes the full matrix profile with STOMP (`O(n²)` time, `O(n)` space).
+///
+/// Runs the diagonal-blocked kernel ([`crate::diagonal`]) with a fresh
+/// [`crate::workspace::Workspace`]; callers computing many profiles should
+/// hold a workspace and use
+/// [`stomp_diagonal_ws`](crate::diagonal::stomp_diagonal_ws) directly to
+/// reuse FFT plans and buffers. Output is bit-identical to [`stomp_row`].
 pub fn stomp(ps: &ProfiledSeries, l: usize, policy: ExclusionPolicy) -> Result<MatrixProfile> {
+    let mut ws = crate::workspace::Workspace::new();
+    crate::diagonal::stomp_diagonal_ws(ps, l, policy, &mut ws)
+}
+
+/// The row-by-row STOMP kernel: the pre-rewrite traversal, kept as the
+/// differential oracle for the diagonal-blocked kernel.
+pub fn stomp_row(ps: &ProfiledSeries, l: usize, policy: ExclusionPolicy) -> Result<MatrixProfile> {
     let mut driver = StompDriver::new(ps, l, policy)?;
     let ndp = driver.ndp();
     let mut mp = vec![f64::INFINITY; ndp];

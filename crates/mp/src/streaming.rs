@@ -41,6 +41,9 @@ pub struct StreamingProfile {
     run: Vec<u32>,
     /// Dot products of the newest subsequence against all others.
     last_qt: Vec<f64>,
+    /// The retired dot-product row, recycled as the next append's buffer so
+    /// steady-state appends allocate nothing.
+    qt_scratch: Vec<f64>,
     mp: Vec<f64>,
     ip: Vec<usize>,
     /// Measurement sink; defaults to the no-op recorder.
@@ -84,6 +87,7 @@ impl StreamingProfile {
             prefix_sq,
             run,
             last_qt,
+            qt_scratch: Vec::new(),
             mp: initial.mp,
             ip: initial.ip,
             recorder: SharedRecorder::noop(),
@@ -181,7 +185,11 @@ impl StreamingProfile {
         let t = &self.values;
         // New row's dot products from the previous newest row:
         // ⟨T_new, T_j⟩ = ⟨T_{new−1}, T_{j−1}⟩ − t[new−1]t[j−1] + t[new+l−1]t[j+l−1].
-        let mut qt = vec![0.0; ndp];
+        // The buffer is the row retired two appends ago (zero-allocation
+        // steady state); every slot is overwritten below.
+        let mut qt = std::mem::take(&mut self.qt_scratch);
+        qt.clear();
+        qt.resize(ndp, 0.0);
         for j in (1..ndp).rev() {
             qt[j] = self.last_qt[j - 1] - t[new - 1] * t[j - 1] + t[new + l - 1] * t[j + l - 1];
         }
@@ -211,7 +219,7 @@ impl StreamingProfile {
         }
         self.mp[new] = best;
         self.ip[new] = arg;
-        self.last_qt = qt;
+        self.qt_scratch = std::mem::replace(&mut self.last_qt, qt);
         Ok(())
     }
 

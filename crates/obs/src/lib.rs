@@ -23,8 +23,9 @@
 //! # Metric key convention
 //!
 //! Keys are dot-separated, lowercase, and rooted at the crate that owns
-//! the measurement: `mp.stomp.row_chunk_us`, `core.lb.fallback`,
-//! `serve.queue.wait_us`. Duration histograms end in `_us` and are
+//! the measurement: `mp.diag.blocks`, `mp.workspace.reuses`,
+//! `fft.plan_cache.hits`, `core.lb.fallback`, `serve.queue.wait_us`.
+//! Duration histograms end in `_us` and are
 //! recorded in microseconds. The hierarchy is encoded in the key itself;
 //! exporters sort lexicographically so related metrics group together.
 //!

@@ -228,3 +228,41 @@ fn single_sample_step_range_is_consistent_with_wide_ranges() {
         assert!((a - b).abs() < 1e-6);
     }
 }
+
+#[test]
+fn tied_motif_and_discord_extraction_is_kernel_independent() {
+    // A series with a long plateau produces many exactly-tied distances
+    // (0 between flat pairs, √ℓ between flat and non-flat rows). Motif and
+    // discord extraction document smaller-offset-first tie-breaking, so the
+    // row, diagonal, and parallel kernels must all select the same pairs.
+    let mut values = random_walk(500, 77);
+    for v in &mut values[150..260] {
+        *v = 2.0;
+    }
+    let ps = ProfiledSeries::from_values(&values).unwrap();
+    let l = 20;
+    let row = valmod_mp::stomp_row(&ps, l, ExclusionPolicy::HALF).unwrap();
+    let mut ws = valmod_mp::Workspace::new();
+    let diag = valmod_mp::stomp_diagonal_ws(&ps, l, ExclusionPolicy::HALF, &mut ws).unwrap();
+    let par =
+        valmod_mp::stomp_diagonal_parallel_ws(&ps, l, ExclusionPolicy::HALF, 3, &mut ws).unwrap();
+
+    let motifs_of = |p: &valmod_mp::MatrixProfile| -> Vec<(usize, usize, u64)> {
+        valmod_mp::top_motifs(p, 4).iter().map(|m| (m.a, m.b, m.dist.to_bits())).collect()
+    };
+    let discords_of = |p: &valmod_mp::MatrixProfile| -> Vec<(usize, u64)> {
+        valmod_mp::top_discords(p, 4).iter().map(|d| (d.offset, d.nn_dist.to_bits())).collect()
+    };
+    let (m_row, d_row) = (motifs_of(&row), discords_of(&row));
+    assert_eq!(motifs_of(&diag), m_row, "diagonal kernel selects different motifs");
+    assert_eq!(motifs_of(&par), m_row, "parallel kernel selects different motifs");
+    assert_eq!(discords_of(&diag), d_row, "diagonal kernel selects different discords");
+    assert_eq!(discords_of(&par), d_row, "parallel kernel selects different discords");
+    // Ties resolved toward smaller offsets: within each equal-distance run
+    // of the motif list, owner offsets ascend.
+    for w in motifs_of(&row).windows(2) {
+        if w[0].2 == w[1].2 {
+            assert!(w[0].0 < w[1].0, "tie not resolved to the smaller offset: {w:?}");
+        }
+    }
+}
