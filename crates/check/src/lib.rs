@@ -19,7 +19,11 @@
 //!   naive z-normalised distances;
 //! * [`faults`] — truncated frames, oversized lines, malformed JSON,
 //!   mid-`APPEND` disconnects, hostile numeric fields, and deadline expiry
-//!   replayed against a real loopback server.
+//!   replayed against a real loopback server;
+//! * [`recovery`] — kill-point crash injection against the durable store:
+//!   WALs truncated before / mid / after a record and bit-flipped
+//!   checksums, asserting the reopened store is bit-identical to replaying
+//!   the surviving prefix and answers `MOTIFS` like a cold batch run.
 //!
 //! Failing cases are [`shrink()`](shrink::shrink)-minimised before being reported, so a
 //! divergence arrives as a few dozen samples and a single length — ready to
@@ -31,6 +35,7 @@
 pub mod faults;
 pub mod generators;
 pub mod oracles;
+pub mod recovery;
 pub mod shrink;
 
 use std::fmt;
@@ -38,6 +43,7 @@ use std::fmt;
 pub use faults::{run_fault_matrix, FaultReport};
 pub use generators::{generate_case, Case, Family};
 pub use oracles::{run_case, CaseOutcome, Divergence};
+pub use recovery::{run_recovery_matrix, RecoveryReport};
 pub use shrink::shrink;
 
 /// Configuration of one `valmod check` run.
@@ -52,13 +58,21 @@ pub struct CheckConfig {
     pub lb_probes_per_case: usize,
     /// Whether to run the serve fault-injection matrix.
     pub run_faults: bool,
+    /// Whether to run the crash-recovery kill-point matrix.
+    pub run_recovery: bool,
 }
 
 impl CheckConfig {
     /// The CI smoke preset: ≥ 200 cases, ≥ 1000 admissibility probes,
-    /// fault matrix on.
+    /// fault and recovery matrices on.
     pub fn smoke(seed: u64) -> Self {
-        CheckConfig { seed, cases: 216, lb_probes_per_case: 24, run_faults: true }
+        CheckConfig {
+            seed,
+            cases: 216,
+            lb_probes_per_case: 24,
+            run_faults: true,
+            run_recovery: true,
+        }
     }
 }
 
@@ -82,12 +96,17 @@ pub struct CheckReport {
     pub shrunk_labels: Vec<String>,
     /// The fault-injection outcome (`None` when skipped).
     pub faults: Option<FaultReport>,
+    /// The crash-recovery outcome (`None` when skipped).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl CheckReport {
-    /// True when the run found no divergences and no fault failures.
+    /// True when the run found no divergences and no fault or recovery
+    /// failures.
     pub fn clean(&self) -> bool {
-        self.divergences.is_empty() && self.faults.as_ref().is_none_or(FaultReport::all_passed)
+        self.divergences.is_empty()
+            && self.faults.as_ref().is_none_or(FaultReport::all_passed)
+            && self.recovery.as_ref().is_none_or(RecoveryReport::all_passed)
     }
 }
 
@@ -112,6 +131,15 @@ impl fmt::Display for CheckReport {
                 writeln!(f, "faults: {} passed, {} failed", fr.passed.len(), fr.failed.len())?;
                 for (name, why) in &fr.failed {
                     writeln!(f, "  FAULT [{name}] {why}")?;
+                }
+            }
+        }
+        match &self.recovery {
+            None => writeln!(f, "recovery: skipped")?,
+            Some(rr) => {
+                writeln!(f, "recovery: {} passed, {} failed", rr.passed.len(), rr.failed.len())?;
+                for (name, why) in &rr.failed {
+                    writeln!(f, "  RECOVERY [{name}] {why}")?;
                 }
             }
         }
@@ -153,6 +181,9 @@ pub fn run(config: &CheckConfig) -> CheckReport {
     if config.run_faults {
         report.faults = Some(run_fault_matrix());
     }
+    if config.run_recovery {
+        report.recovery = Some(run_recovery_matrix(config.seed));
+    }
     report
 }
 
@@ -162,7 +193,13 @@ mod tests {
 
     #[test]
     fn a_small_run_is_clean_and_deterministic() {
-        let config = CheckConfig { seed: 42, cases: 8, lb_probes_per_case: 16, run_faults: false };
+        let config = CheckConfig {
+            seed: 42,
+            cases: 8,
+            lb_probes_per_case: 16,
+            run_faults: false,
+            run_recovery: false,
+        };
         let a = run(&config);
         assert!(a.clean(), "{a}");
         assert_eq!(a.cases_run, 8);
@@ -173,9 +210,16 @@ mod tests {
 
     #[test]
     fn the_report_displays_a_verdict() {
-        let config = CheckConfig { seed: 7, cases: 2, lb_probes_per_case: 4, run_faults: false };
+        let config = CheckConfig {
+            seed: 7,
+            cases: 2,
+            lb_probes_per_case: 4,
+            run_faults: false,
+            run_recovery: false,
+        };
         let text = run(&config).to_string();
         assert!(text.contains("differential: 2 cases"));
+        assert!(text.contains("recovery: skipped"));
         assert!(text.contains("verdict:"));
     }
 }

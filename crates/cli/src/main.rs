@@ -86,13 +86,15 @@ USAGE:
   valmod hint      --input <file> [--top <k>] [--min-period <n>]
   valmod generate  --dataset <ecg|emg|gap|astro|eeg> --n <points> [--seed <s>] --output <file>
   valmod serve     [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache-mb <n>]
-                   [--threads <t>]
-  valmod query     --addr <host:port> --cmd <load|append|motifs|sets|discords|stats|ping|shutdown>
+                   [--threads <t>] [--data-dir <dir>]
+  valmod query     --addr <host:port>
+                   --cmd <load|append|motifs|sets|discords|stats|ping|save|shutdown>
                    [--name <series>] [--input <file>] [--hot <l1,l2>] [--replace]
                    [--min <len>] [--max <len>] [--p <n>] [--top <k>] [--k <n>] [--radius <D>]
                    [--deadline-ms <n>]
   valmod stats     [--addr <host:port>] [--raw]
   valmod check     [--smoke] [--seed <s>] [--cases <n>] [--probes <n>] [--no-faults]
+                   [--no-recovery]
   valmod bench     [--json] [--smoke] [--out <file>]
   valmod help
 
@@ -104,6 +106,10 @@ little-endian f64 for `.bin`/`.f64` extensions.
 
 `serve` keeps named series resident, answers repeated queries from an LRU
 result cache, and accepts live APPEND ingestion; `query` is its client.
+With `--data-dir` the store is durable: loads write checksummed snapshots,
+every append is WAL-logged (fsynced) before it applies, and a restart
+recovers the directory — replaying the log over the latest snapshot and
+truncating torn tails. `--cmd save` forces a snapshot flush.
 `stats` renders a running server's metric registry — counters, gauges,
 and latency histograms from every layer — in a human-readable table
 (`--raw` prints the full STATS response verbatim instead).
@@ -111,9 +117,10 @@ and latency histograms from every layer — in a human-readable table
 `check` runs the seeded differential-correctness harness (valmod-check):
 adversarial series through VALMOD-vs-STOMP, parallel-vs-sequential,
 streaming-vs-batch, and serve cached-vs-cold oracles, the Eq. 2
-lower-bound admissibility invariant, and a serve fault-injection matrix.
-`--smoke` is the CI preset; without it a longer sweep runs. Exits
-non-zero on any divergence.
+lower-bound admissibility invariant, a serve fault-injection matrix, and
+a crash-recovery kill-point matrix against the durable store. `--smoke`
+is the CI preset; without it a longer sweep runs. Exits non-zero on any
+divergence.
 
 `bench` runs the pinned kernel-regression suite (row kernel vs the
 diagonal-blocked kernel over identical inputs, plus VALMOD and streaming
@@ -335,18 +342,24 @@ fn cmd_hint(args: &Args) -> CliResult {
 }
 
 fn cmd_serve(args: &Args) -> CliResult {
-    args.reject_unknown(&["addr", "workers", "queue", "cache-mb", "threads"])?;
+    args.reject_unknown(&["addr", "workers", "queue", "cache-mb", "threads", "data-dir"])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
     let cfg = EngineConfig {
         workers: args.parsed_or("workers", 2)?,
         queue_depth: args.parsed_or("queue", 32)?,
         cache_bytes: args.parsed_or::<usize>("cache-mb", 16)? << 20,
         kernel_threads: args.parsed_or("threads", 1)?,
+        data_dir: args.get("data-dir").map(std::path::PathBuf::from),
         ..EngineConfig::default()
     };
-    let server = Server::bind(addr, QueryEngine::new(cfg))?;
-    // Tests and scripts parse this line to learn the ephemeral port.
+    let data_dir = cfg.data_dir.clone();
+    let server = Server::bind(addr, QueryEngine::open(cfg)?)?;
+    // Tests and scripts parse this line to learn the ephemeral port; it
+    // must stay the first line printed.
     println!("listening on {}", server.local_addr()?);
+    if let Some(dir) = &data_dir {
+        println!("data dir: {} (snapshots + WAL recovery enabled)", dir.display());
+    }
     server.run()?;
     println!("server stopped");
     Ok(())
@@ -417,14 +430,18 @@ fn cmd_query(args: &Args) -> CliResult {
             client.ping()?;
             println!("pong");
         }
+        "save" => {
+            let snapshots = client.save()?;
+            println!("saved {snapshots} snapshot(s)");
+        }
         "shutdown" => {
             client.shutdown()?;
             println!("server shutting down");
         }
         other => {
             return Err(format!(
-                "unknown --cmd {other:?} (load|append|motifs|sets|discords|stats|ping|shutdown)"
-            )
+            "unknown --cmd {other:?} (load|append|motifs|sets|discords|stats|ping|save|shutdown)"
+        )
             .into())
         }
     }
@@ -512,7 +529,7 @@ fn cmd_stats(args: &Args) -> CliResult {
 /// and exits non-zero on any divergence — the CI smoke tier invokes
 /// `valmod check --smoke --seed 42`.
 fn cmd_check(args: &Args) -> CliResult {
-    args.reject_unknown(&["smoke", "seed", "cases", "probes", "no-faults"])?;
+    args.reject_unknown(&["smoke", "seed", "cases", "probes", "no-faults", "no-recovery"])?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let mut config = valmod_check::CheckConfig::smoke(seed);
     if !args.switch("smoke") {
@@ -524,6 +541,9 @@ fn cmd_check(args: &Args) -> CliResult {
     config.lb_probes_per_case = args.parsed_or("probes", config.lb_probes_per_case)?;
     if args.switch("no-faults") {
         config.run_faults = false;
+    }
+    if args.switch("no-recovery") {
+        config.run_recovery = false;
     }
     let report = valmod_check::run(&config);
     println!("{report}");

@@ -343,6 +343,103 @@ fn serve_and_query_round_trip() {
 }
 
 #[test]
+fn serve_survives_a_hard_kill_with_data_dir() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Child, Stdio};
+
+    let dir = tmp_dir("crash_restart");
+    let data_dir = dir.join("store");
+    let base = dir.join("base.csv");
+    let extra_a = dir.join("extra_a.csv");
+    let extra_b = dir.join("extra_b.csv");
+    for (path, n, seed) in [(&base, "1000", "7"), (&extra_a, "80", "8"), (&extra_b, "60", "9")] {
+        assert!(run(&[
+            "generate",
+            "--dataset",
+            "ecg",
+            "--n",
+            n,
+            "--seed",
+            seed,
+            "--output",
+            path.to_str().unwrap()
+        ])
+        .status
+        .success());
+    }
+
+    // Keeps the stdout pipe open for the server's lifetime — dropping it
+    // would turn the server's own status prints into broken-pipe panics.
+    type ServerLines = std::io::Lines<BufReader<std::process::ChildStdout>>;
+    let spawn_server = || -> (Child, String, ServerLines) {
+        let mut server = Command::new(bin())
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--data-dir",
+                data_dir.to_str().unwrap(),
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("server spawns");
+        let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+        let banner = lines.next().expect("server announces its address").unwrap();
+        let addr = banner.strip_prefix("listening on ").expect("banner format").to_string();
+        (server, addr, lines)
+    };
+    // The query payload line carries a per-run "compute_ms"; only the
+    // trailing "body" is expected to be stable across the restart.
+    let body_of = |out: &str| -> String {
+        let line = out.lines().find(|l| l.starts_with('{')).expect("payload line");
+        let at = line.find("\"body\":").expect("payload has a body");
+        line[at..].to_string()
+    };
+
+    // Generation 1: LOAD + two APPENDs (acknowledged → fsynced in the WAL),
+    // one variable-length query for the reference answer... then SIGKILL.
+    let (mut server, addr, _gen1_lines) = spawn_server();
+    let query = |addr: &str, args: &[&str]| {
+        let mut full = vec!["query", "--addr", addr];
+        full.extend_from_slice(args);
+        run(&full)
+    };
+    let loaded =
+        query(&addr, &["--cmd", "load", "--name", "ecg", "--input", base.to_str().unwrap()]);
+    assert!(loaded.status.success(), "{}", stderr(&loaded));
+    for extra in [&extra_a, &extra_b] {
+        let appended =
+            query(&addr, &["--cmd", "append", "--name", "ecg", "--input", extra.to_str().unwrap()]);
+        assert!(appended.status.success(), "{}", stderr(&appended));
+    }
+    let before = query(&addr, &["--cmd", "motifs", "--name", "ecg", "--min", "24", "--max", "36"]);
+    assert!(before.status.success(), "{}", stderr(&before));
+    server.kill().expect("hard kill");
+    server.wait().expect("killed server reaped");
+
+    // Generation 2: the appends were never snapshotted, so startup replays
+    // them from the WAL — version, length, and query body all come back.
+    let (mut server, addr, _gen2_lines) = spawn_server();
+    let stats = query(&addr, &["--cmd", "stats"]);
+    assert!(stats.status.success(), "{}", stderr(&stats));
+    let stats_out = stdout(&stats);
+    assert!(stats_out.contains("\"version\":3"), "{stats_out}");
+    assert!(stats_out.contains("\"len\":1140"), "{stats_out}");
+    let after = query(&addr, &["--cmd", "motifs", "--name", "ecg", "--min", "24", "--max", "36"]);
+    assert!(after.status.success(), "{}", stderr(&after));
+    assert_eq!(
+        body_of(&stdout(&after)),
+        body_of(&stdout(&before)),
+        "recovered store must answer queries identically"
+    );
+    let shutdown = query(&addr, &["--cmd", "shutdown"]);
+    assert!(shutdown.status.success(), "{}", stderr(&shutdown));
+    assert!(server.wait().expect("server exits").success());
+}
+
+#[test]
 fn help_prints_usage() {
     let help = run(&["help"]);
     assert!(help.status.success());

@@ -110,6 +110,120 @@ pub fn read_text(reader: impl BufRead) -> Result<Series> {
     parse_text(&text)
 }
 
+/// FNV-1a 64-bit hash — the workspace's checksum for binary file formats.
+///
+/// Not cryptographic: it detects torn writes and bit rot, which is all a
+/// crash-recovery checksum needs, and it is dependency-free and byte-order
+/// independent.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes `bytes` to `path` atomically: the payload goes to a temp file in
+/// the same directory, is fsynced, and is then renamed over the target.
+/// Readers therefore only ever observe the old complete file or the new
+/// complete file — never a torn intermediate state.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| DataError::InvalidParameter(format!("bad path {}", path.display())))?;
+    // Process-id suffix keeps concurrent writers from clobbering each
+    // other's temp files (last rename still wins, atomically).
+    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(DataError::Io(e));
+    }
+    // Persist the rename itself (directory entry) where the platform
+    // allows a directory to be opened for sync; ignore the failure on
+    // platforms that do not.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Little-endian binary encoding/decoding helpers shared by the workspace's
+/// binary file formats (snapshot and WAL files in the serve layer).
+pub mod codec {
+    /// Appends a `u32` in little-endian byte order.
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian byte order.
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` in little-endian byte order (bit-preserving).
+    pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A bounds-checked forward reader over a byte slice. Every read
+    /// returns `None` instead of panicking when the slice is exhausted,
+    /// which is exactly the behaviour torn-tail recovery needs.
+    #[derive(Debug, Clone)]
+    pub struct ByteCursor<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> ByteCursor<'a> {
+        /// A cursor at the start of `bytes`.
+        pub fn new(bytes: &'a [u8]) -> Self {
+            ByteCursor { bytes, pos: 0 }
+        }
+
+        /// Current byte offset from the start.
+        pub fn pos(&self) -> usize {
+            self.pos
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.bytes.len() - self.pos
+        }
+
+        /// Reads `n` raw bytes.
+        pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+            let end = self.pos.checked_add(n)?;
+            let slice = self.bytes.get(self.pos..end)?;
+            self.pos = end;
+            Some(slice)
+        }
+
+        /// Reads a little-endian `u32`.
+        pub fn read_u32(&mut self) -> Option<u32> {
+            self.take(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        }
+
+        /// Reads a little-endian `u64`.
+        pub fn read_u64(&mut self) -> Option<u64> {
+            self.take(8)
+                .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        }
+
+        /// Reads a little-endian `f64` (bit-preserving).
+        pub fn read_f64(&mut self) -> Option<f64> {
+            self.read_u64().map(f64::from_bits)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +316,51 @@ mod tests {
         let cursor = std::io::Cursor::new("7.5\n8.5\n");
         let s = read_text(cursor).unwrap();
         assert_eq!(s.values(), &[7.5, 8.5]);
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        // A single flipped bit changes the hash.
+        assert_ne!(fnv1a64(b"foobar"), fnv1a64(b"foobas"));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("valmod_io_test_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer payload");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+    }
+
+    #[test]
+    fn codec_round_trips_and_bounds_checks() {
+        use super::codec::{put_f64, put_u32, put_u64, ByteCursor};
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::MIN_POSITIVE);
+        let mut c = ByteCursor::new(&buf);
+        assert_eq!(c.read_u32(), Some(0xdead_beef));
+        assert_eq!(c.read_u64(), Some(u64::MAX - 7));
+        // Bit-preserving: -0.0 must come back as -0.0, not 0.0.
+        assert_eq!(c.read_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(c.read_f64(), Some(f64::MIN_POSITIVE));
+        assert_eq!(c.remaining(), 0);
+        assert_eq!(c.read_u32(), None, "reads past the end return None");
+        assert_eq!(c.pos(), buf.len(), "failed reads do not advance");
     }
 }

@@ -82,7 +82,7 @@ impl ResultCache {
     /// cached (the query still succeeds — the cache only ever trades
     /// memory for recomputation, never correctness).
     pub fn insert(&mut self, key: CacheKey, value: Arc<Value>) {
-        let bytes = key.series.len() + key.query.len() + value.encode().len();
+        let bytes = entry_bytes(&key, &value);
         if bytes > self.budget {
             return;
         }
@@ -144,6 +144,14 @@ impl ResultCache {
     }
 }
 
+/// Bytes one entry charges against the budget: every key component —
+/// including the fixed-width `version` — plus the encoded result. The
+/// version's 8 bytes used to be dropped from the sum, slowly understating
+/// `used` relative to real footprint on version-heavy workloads.
+fn entry_bytes(key: &CacheKey, value: &Value) -> usize {
+    key.series.len() + std::mem::size_of_val(&key.version) + key.query.len() + value.encode().len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,7 +180,7 @@ mod tests {
     #[test]
     fn lru_eviction_respects_recency_and_budget() {
         // Budget sized for two payloads; inserting a third evicts the LRU.
-        let one = key("a", 1, "q1").series.len() + 2 + payload(8).encode().len();
+        let one = entry_bytes(&key("a", 1, "q1"), &payload(8));
         let mut cache = ResultCache::new(2 * one + 4);
         cache.insert(key("a", 1, "q1"), payload(8));
         cache.insert(key("a", 1, "q2"), payload(8));
@@ -220,5 +228,56 @@ mod tests {
         let mut cache = ResultCache::new(0);
         cache.insert(key("a", 1, "q"), payload(1));
         assert!(cache.get(&key("a", 1, "q")).is_none());
+    }
+
+    #[test]
+    fn entry_bytes_counts_every_key_component() {
+        let k = key("ab", 7, "qqq");
+        let v = payload(3);
+        // series (2) + version (8) + query (3) + encoded value.
+        assert_eq!(entry_bytes(&k, &v), 2 + 8 + 3 + v.encode().len());
+    }
+
+    mod accounting_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// After any randomized insert / replace / invalidate sequence,
+            /// the tracked byte total equals the sum recomputed from the
+            /// live entries, and never exceeds the budget.
+            #[test]
+            fn used_bytes_equals_recomputed_sum(
+                ops in prop::collection::vec(
+                    (0usize..4, 0usize..3, 0u64..3, 0usize..3, 1usize..20),
+                    1..120,
+                ),
+                budget in 64usize..2048,
+            ) {
+                let series = ["a", "bb", "ccc"];
+                let queries = ["q", "motifs l=16", "profile l_min=8 l_max=64"];
+                let mut cache = ResultCache::new(budget);
+                for (op, s, version, q, size) in ops {
+                    let k = key(series[s], version, queries[q]);
+                    match op {
+                        // Insert and replace exercise the same path; the
+                        // randomized key means some inserts land on live
+                        // entries (replace) and some do not.
+                        0 | 1 => cache.insert(k, payload(size)),
+                        2 => { cache.get(&k); }
+                        _ => cache.invalidate_series(series[s]),
+                    }
+                    let mut recomputed = 0usize;
+                    for (k, e) in &cache.map {
+                        prop_assert_eq!(e.bytes, entry_bytes(k, &e.value));
+                        recomputed += e.bytes;
+                    }
+                    prop_assert_eq!(cache.used_bytes(), recomputed);
+                    prop_assert!(cache.used_bytes() <= budget);
+                }
+            }
+        }
     }
 }

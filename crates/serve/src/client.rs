@@ -106,6 +106,16 @@ impl Client {
         self.request(&Request::Sleep { ms, deadline })
     }
 
+    /// `SAVE`: flushes every series to a fresh snapshot. Returns the
+    /// number of snapshots written (0 when the server is not durable).
+    pub fn save(&mut self) -> ServeResult<usize> {
+        let resp = self.request(&Request::Save)?;
+        resp.result
+            .get("snapshots")
+            .and_then(Value::as_usize)
+            .ok_or_else(|| ServeError::Protocol("response missing \"snapshots\"".into()))
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> ServeResult<()> {
         self.request(&Request::Shutdown).map(|_| ())

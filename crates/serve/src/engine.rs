@@ -19,6 +19,7 @@
 //! Workers compute on an `Arc` snapshot of the batch view, so long queries
 //! never hold the store lock while appends land.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
@@ -52,6 +53,13 @@ pub struct EngineConfig {
     pub kernel_threads: usize,
     /// Deadline applied when a request does not carry its own.
     pub default_deadline: Duration,
+    /// Directory for snapshots + WALs. `None` keeps the store in memory
+    /// (a restart loses everything); `Some` makes every load/append
+    /// durable and recovers the directory's contents on startup.
+    pub data_dir: Option<PathBuf>,
+    /// Per-series WAL size past which an append folds the log into a
+    /// fresh snapshot. Ignored without `data_dir`.
+    pub wal_compact_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +70,8 @@ impl Default for EngineConfig {
             cache_bytes: 16 << 20,
             kernel_threads: 1,
             default_deadline: Duration::from_secs(30),
+            data_dir: None,
+            wal_compact_bytes: crate::persist::DEFAULT_WAL_COMPACT_BYTES,
         }
     }
 }
@@ -181,8 +191,16 @@ pub struct QueryEngine {
 }
 
 impl QueryEngine {
-    /// Starts an engine with its worker pool.
+    /// Starts an engine with its worker pool. Infallible for in-memory
+    /// configurations; panics if `data_dir` is set and opening/recovering
+    /// it fails — use [`QueryEngine::open`] to handle that error.
     pub fn new(cfg: EngineConfig) -> Self {
+        QueryEngine::open(cfg).expect("open data_dir")
+    }
+
+    /// Starts an engine with its worker pool, opening (and recovering)
+    /// the configured `data_dir` when one is set.
+    pub fn open(cfg: EngineConfig) -> ServeResult<Self> {
         let cfg = EngineConfig {
             workers: cfg.workers.max(1),
             queue_depth: cfg.queue_depth.max(1),
@@ -196,10 +214,14 @@ impl QueryEngine {
         let registry = Registry::new();
         valmod_core::instrument::register_probe_histograms(&registry);
         let recorder = SharedRecorder::from(registry.clone());
+        let store = match &cfg.data_dir {
+            Some(dir) => SeriesStore::open(dir, cfg.wal_compact_bytes, &recorder)?,
+            None => SeriesStore::new(),
+        };
         let shared = Arc::new(Shared {
             cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
             cfg,
-            store: RwLock::new(SeriesStore::new()),
+            store: RwLock::new(store),
             counters: EngineCounters::default(),
             registry,
             recorder,
@@ -216,7 +238,7 @@ impl QueryEngine {
                     .expect("spawn worker thread")
             })
             .collect();
-        QueryEngine { shared, sender: Mutex::new(Some(tx)), workers: Mutex::new(workers) }
+        Ok(QueryEngine { shared, sender: Mutex::new(Some(tx)), workers: Mutex::new(workers) })
     }
 
     /// Loads (or with `replace` overwrites) a named series, seeding hot
@@ -231,27 +253,36 @@ impl QueryEngine {
     ) -> ServeResult<(u64, usize)> {
         self.reject_if_shutting_down()?;
         let mut store = self.shared.store.write().expect("store lock");
-        let entry = store.load(name, values, hot_lengths, policy, replace)?;
+        let entry =
+            store.load(name, values, hot_lengths, policy, replace, &self.shared.recorder)?;
         let out = (entry.version(), entry.len());
         drop(store);
-        // A replace resets the version counter to 1, which old entries may
-        // collide with — purge the name unconditionally.
+        // The monotonic version counter already keeps old cache entries
+        // from aliasing the new generation; purging the name just frees
+        // budget that dead entries would otherwise pin until eviction.
         self.shared.cache.lock().expect("cache lock").invalidate_series(name);
         Ok(out)
     }
 
-    /// Appends samples to a named series: bumps its version, extends hot
-    /// profiles, and purges the series' cache entries. Returns
-    /// `(version, len)`.
+    /// Appends samples to a named series: WAL-logs the batch first (when
+    /// durable), bumps its version, extends hot profiles, and purges the
+    /// series' cache entries. Returns `(version, len)`.
     pub fn append(&self, name: &str, samples: &[f64]) -> ServeResult<(u64, usize)> {
         self.reject_if_shutting_down()?;
         let mut store = self.shared.store.write().expect("store lock");
-        let entry = store.get_mut(name)?;
-        let version = entry.append(samples)?;
-        let len = entry.len();
+        let version = store.append(name, samples, &self.shared.recorder)?;
+        let len = store.get(name)?.len();
         drop(store);
         self.shared.cache.lock().expect("cache lock").invalidate_series(name);
         Ok((version, len))
+    }
+
+    /// Snapshots every series to disk, resetting the WALs (the `SAVE`
+    /// command). Returns the number of snapshots written — 0 when the
+    /// engine has no `data_dir` (durability is simply off, not an error).
+    pub fn persist(&self) -> ServeResult<usize> {
+        let store = self.shared.store.read().expect("store lock");
+        store.persist_all(&self.shared.recorder)
     }
 
     /// Runs a query: O(1) on a cache hit, otherwise scheduled on the
@@ -328,6 +359,14 @@ impl QueryEngine {
                 ])
             })
             .collect();
+        let persist_v = Value::obj(vec![
+            ("enabled", Value::Bool(store.is_durable())),
+            (
+                "data_dir",
+                store.data_dir().map_or(Value::Null, |d| Value::str(d.display().to_string())),
+            ),
+            ("recovery_skipped", store.recovery_skipped().len().into()),
+        ]);
         drop(store);
         let cache = self.shared.cache.lock().expect("cache lock");
         let cs = cache.stats();
@@ -357,6 +396,7 @@ impl QueryEngine {
                 ]),
             ),
             ("cache", cache_v),
+            ("persist", persist_v),
             ("series", Value::Arr(series)),
             ("obs", snapshot_value(&self.shared.registry.snapshot())),
         ])
@@ -364,11 +404,16 @@ impl QueryEngine {
 
     /// Begins shutdown: new work is rejected with
     /// [`ServeError::ShuttingDown`]; already-queued jobs still complete.
+    /// Durable engines flush a final round of snapshots — best-effort,
+    /// because every acknowledged append is already fsynced in its WAL, so
+    /// a failure here costs restart time (replay), never data.
     pub fn shutdown(&self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // Dropping the sender disconnects the queue once drained, which
-        // ends every worker loop.
+        // ends every worker loop. Appends are rejected from this point, so
+        // the flush below observes the final store state.
         self.sender.lock().expect("sender lock").take();
+        let _ = self.persist();
     }
 
     /// Waits for the worker pool to drain and exit ([`QueryEngine::shutdown`]
@@ -611,8 +656,7 @@ mod tests {
             workers,
             queue_depth: queue,
             cache_bytes: cache,
-            kernel_threads: 1,
-            default_deadline: Duration::from_secs(30),
+            ..EngineConfig::default()
         })
     }
 
@@ -775,6 +819,76 @@ mod tests {
         assert!(matches!(err, ServeError::UnknownSeries(_)));
         eng.shutdown();
         eng.join();
+    }
+
+    #[test]
+    fn late_insert_from_replaced_generation_cannot_serve_stale() {
+        // Regression for the stale-cache race. Interleaving: a query is
+        // admitted and snapshots (values, version) under the store lock;
+        // a LOAD-with-replace lands and purges the series' cache entries;
+        // the worker then finishes against the OLD snapshot and inserts
+        // its result *after* the purge. When replace reset the version to
+        // 1, that late entry aliased the new generation's first version
+        // and was served stale. The monotonic counter makes the alias
+        // structurally impossible.
+        let noop = SharedRecorder::noop();
+        let mut store = SeriesStore::new();
+        let mut cache = ResultCache::new(1 << 20);
+        store.load("a", random_walk(200, 5), &[], ExclusionPolicy::HALF, false, &noop).unwrap();
+        let admitted_version = store.get("a").unwrap().version();
+        // Replace + purge land mid-compute.
+        store.load("a", random_walk(200, 6), &[], ExclusionPolicy::HALF, true, &noop).unwrap();
+        cache.invalidate_series("a");
+        // The worker's late insert, keyed by the old generation's version.
+        let stale = CacheKey { series: "a".into(), version: admitted_version, query: "q".into() };
+        cache.insert(stale, Arc::new(Value::str("stale result")));
+        // A fresh query probes with the new generation's current version.
+        let fresh = CacheKey {
+            series: "a".into(),
+            version: store.get("a").unwrap().version(),
+            query: "q".into(),
+        };
+        assert!(
+            cache.get(&fresh).is_none(),
+            "a replaced generation's cache entry must never alias the new generation"
+        );
+    }
+
+    #[test]
+    fn durable_engine_recovers_after_hard_drop() {
+        let dir =
+            std::env::temp_dir().join(format!("valmod_engine_recover_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg =
+            EngineConfig { workers: 1, data_dir: Some(dir.clone()), ..EngineConfig::default() };
+        let (values, _) = plant_motif(900, 32, 2, 0.001, 29);
+        let cold = {
+            let eng = QueryEngine::new(cfg.clone());
+            eng.load("s", values[..800].to_vec(), &[], ExclusionPolicy::HALF, false).unwrap();
+            eng.append("s", &values[800..]).unwrap();
+            let cold = eng.query(motif_spec("s", 24, 32)).unwrap();
+            assert!(!cold.cached);
+            cold
+            // Dropped without shutdown(): no flush — recovery must come
+            // from the load-time snapshot plus the WAL-logged append.
+        };
+        let eng = QueryEngine::new(cfg);
+        let stats = eng.stats();
+        let persist = stats.get("persist").unwrap();
+        assert_eq!(persist.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(persist.get("recovery_skipped").unwrap().as_usize(), Some(0));
+        let s = &stats.get("series").unwrap().as_arr().unwrap()[0];
+        assert_eq!(s.get("len").unwrap().as_usize(), Some(900));
+        assert_eq!(s.get("version").unwrap().as_usize(), Some(2));
+        // Both sides cold-compute from bit-identical samples, so the
+        // result bodies are byte-identical.
+        let warm = eng.query(motif_spec("s", 24, 32)).unwrap();
+        assert!(!warm.cached, "restart starts with an empty cache");
+        assert_eq!(warm.payload.get("body"), cold.payload.get("body"));
+        assert_eq!(warm.payload.get("version"), cold.payload.get("version"));
+        eng.shutdown();
+        eng.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

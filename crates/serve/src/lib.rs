@@ -12,6 +12,10 @@
 //! * [`store::SeriesStore`] — named series with monotonically versioned
 //!   append ingestion; batch state rebuilt lazily, hot fixed lengths kept
 //!   live through [`valmod_mp::StreamingProfile`] at `O(n)` per point;
+//! * [`persist::Persistence`] — optional durability: per-series
+//!   checksummed snapshots (temp-file + atomic rename) plus an
+//!   append-only WAL that is fsynced *before* each batch applies, with
+//!   crash recovery that truncates torn tails instead of erroring;
 //! * [`cache::ResultCache`] — LRU result cache with byte-budget
 //!   accounting, keyed by `(name, version, canonical query)` so stale
 //!   hits are structurally impossible;
@@ -56,6 +60,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod error;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod store;
@@ -65,7 +70,14 @@ pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::Client;
 pub use engine::{EngineConfig, QueryEngine, QueryKind, QueryOutcome, QuerySpec};
 pub use error::{ServeError, ServeResult};
+pub use persist::{
+    Persistence, RecoveredSeries, Recovery, SnapshotMeta, DEFAULT_WAL_COMPACT_BYTES,
+};
 pub use protocol::{Request, Response, MAX_DEADLINE_MS, MAX_SLEEP_MS};
 pub use server::{ConnectionCount, Server, DEFAULT_MAX_LINE_BYTES};
 pub use store::{SeriesStore, StoredSeries};
 pub use value::Value;
+
+// Re-exported so durable-store callers (e.g. `valmod-check`'s recovery
+// oracle) can pass a recorder without depending on `valmod-obs` directly.
+pub use valmod_obs::SharedRecorder;

@@ -5,7 +5,7 @@
 //! ```text
 //! request  := { "cmd": <cmd>, ...fields }
 //! cmd      := "load" | "append" | "motifs" | "sets" | "discords"
-//!           | "stats" | "ping" | "sleep" | "shutdown"
+//!           | "stats" | "ping" | "sleep" | "save" | "shutdown"
 //!
 //! load     := name, values: [f64...], hot?: [usize...], replace?: bool
 //! append   := name, values: [f64...]
@@ -13,6 +13,7 @@
 //! sets     := name, min, max, k? (10), radius? (3.0), p?, excl?, deadline_ms?
 //! discords := name, min, max, top? (3), p?, excl?, deadline_ms?
 //! sleep    := ms, deadline_ms?          (diagnostics: occupies a worker)
+//! save     := no fields                 (flush snapshots; 0 when not durable)
 //! stats / ping / shutdown := no fields
 //!
 //! response := { "ok": true, "cached"?: bool, "result": <payload> }
@@ -71,6 +72,8 @@ pub enum Request {
         /// Optional deadline.
         deadline: Option<Duration>,
     },
+    /// Flush every series to a fresh snapshot (durable engines).
+    Save,
     /// Graceful shutdown.
     Shutdown,
 }
@@ -90,7 +93,7 @@ impl Request {
             "sets" => &["cmd", "name", "min", "max", "k", "radius", "p", "excl", "deadline_ms"],
             "discords" => &["cmd", "name", "min", "max", "top", "p", "excl", "deadline_ms"],
             "sleep" => &["cmd", "ms", "deadline_ms"],
-            "stats" | "ping" | "shutdown" => &["cmd"],
+            "stats" | "ping" | "save" | "shutdown" => &["cmd"],
             other => return Err(ServeError::Protocol(format!("unknown command {other:?}"))),
         };
         for (k, _) in fields {
@@ -148,6 +151,7 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
+            "save" => Ok(Request::Save),
             "shutdown" => Ok(Request::Shutdown),
             _ => unreachable!("cmd already validated"),
         }
@@ -209,6 +213,7 @@ impl Request {
             }
             Request::Stats => Value::obj(vec![("cmd", Value::str("stats"))]),
             Request::Ping => Value::obj(vec![("cmd", Value::str("ping"))]),
+            Request::Save => Value::obj(vec![("cmd", Value::str("save"))]),
             Request::Shutdown => Value::obj(vec![("cmd", Value::str("shutdown"))]),
         }
     }
@@ -396,6 +401,7 @@ mod tests {
         assert!(matches!(parse(r#"{"cmd":"stats"}"#), Ok(Request::Stats)));
         assert!(matches!(parse(r#"{"cmd":"ping"}"#), Ok(Request::Ping)));
         assert!(matches!(parse(r#"{"cmd":"sleep","ms":5}"#), Ok(Request::Sleep { ms: 5, .. })));
+        assert!(matches!(parse(r#"{"cmd":"save"}"#), Ok(Request::Save)));
         assert!(matches!(parse(r#"{"cmd":"shutdown"}"#), Ok(Request::Shutdown)));
     }
 
@@ -423,6 +429,7 @@ mod tests {
             r#"{"cmd":"motifs","name":"s","min":16,"max":32,"typo":1}"#,
             r#"{"cmd":"sets","name":"s","min":16,"max":32,"radius":-1}"#,
             r#"{"cmd":"stats","name":"s"}"#,
+            r#"{"cmd":"save","name":"s"}"#,
         ] {
             assert!(parse(bad).is_err(), "should reject {bad}");
         }
@@ -472,6 +479,7 @@ mod tests {
             r#"{"cmd":"discords","name":"s","min":16,"max":32,"excl":"1/4"}"#,
             r#"{"cmd":"sleep","ms":5}"#,
             r#"{"cmd":"stats"}"#,
+            r#"{"cmd":"save"}"#,
             r#"{"cmd":"shutdown"}"#,
         ] {
             let req = parse(line).unwrap();

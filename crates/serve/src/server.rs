@@ -286,6 +286,12 @@ fn dispatch(engine: &QueryEngine, line: &str) -> (Value, bool) {
         },
         Request::Stats => (response_ok(engine.stats(), None), false),
         Request::Ping => (response_ok(Value::str("pong"), None), false),
+        Request::Save => (
+            result_response(
+                engine.persist().map(|snapshots| Value::obj(vec![("snapshots", snapshots.into())])),
+            ),
+            false,
+        ),
         Request::Shutdown => (response_ok(Value::str("shutting down"), None), true),
     }
 }

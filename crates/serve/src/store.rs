@@ -2,24 +2,40 @@
 //!
 //! Each stored series carries a **version** that increments on every
 //! append; result-cache keys embed the version, so a query result can
-//! never be served against data it was not computed from. Batch state
-//! (the [`ProfiledSeries`] with its O(1) rolling statistics) is rebuilt
-//! lazily — at most once per version — while **hot lengths** keep a
-//! [`StreamingProfile`] live across appends at `O(n)` per point, so a
-//! fixed-length motif monitor never pays a batch recomputation.
+//! never be served against data it was not computed from. The counter is
+//! **monotonic across replaces**: reloading a series under an existing
+//! name continues from the previous version rather than resetting to 1,
+//! so a cache entry keyed by an old generation can never alias a key from
+//! the new one. Batch state (the [`ProfiledSeries`] with its O(1) rolling
+//! statistics) is rebuilt lazily — at most once per version — while
+//! **hot lengths** keep a [`StreamingProfile`] live across appends at
+//! `O(n)` per point, so a fixed-length motif monitor never pays a batch
+//! recomputation.
+//!
+//! A store opened with [`SeriesStore::open`] is **durable**: loads and
+//! WAL-compaction points write checksummed snapshots, every append batch
+//! is logged (and fsynced) to a per-series WAL *before* it is applied in
+//! memory, and reopening the same directory replays the log over the
+//! latest snapshot — see [`crate::persist`] for formats and the
+//! truncation policy.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
+use valmod_obs::SharedRecorder;
 
 use crate::error::{ServeError, ServeResult};
+use crate::persist::{Persistence, SnapshotMeta};
 
 /// One named series with its versioned derived state.
 #[derive(Debug)]
 pub struct StoredSeries {
     values: Vec<f64>,
     version: u64,
+    /// Policy the hot profiles were seeded with (recorded in snapshots).
+    policy: ExclusionPolicy,
     /// Lazily (re)built batch view; `None` whenever `values` has changed
     /// since the last build. `Arc` so workers can compute without holding
     /// the store lock.
@@ -29,9 +45,15 @@ pub struct StoredSeries {
 }
 
 impl StoredSeries {
-    fn new(values: Vec<f64>, hot_lengths: &[usize], policy: ExclusionPolicy) -> ServeResult<Self> {
+    fn new(
+        values: Vec<f64>,
+        hot_lengths: &[usize],
+        policy: ExclusionPolicy,
+        version: u64,
+    ) -> ServeResult<Self> {
         validate_samples(&values, 0)?;
-        let mut series = StoredSeries { values, version: 1, profiled: None, hot: HashMap::new() };
+        let mut series =
+            StoredSeries { values, version, policy, profiled: None, hot: HashMap::new() };
         for &l in hot_lengths {
             series.track(l, policy)?;
         }
@@ -48,7 +70,8 @@ impl StoredSeries {
         self.values.is_empty()
     }
 
-    /// Current version (1 after load, +1 per append batch).
+    /// Current version (+1 per append batch; a replace continues the
+    /// previous generation's counter instead of resetting).
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -56,6 +79,11 @@ impl StoredSeries {
     /// The raw samples.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// The exclusion policy hot profiles are seeded with.
+    pub fn policy(&self) -> ExclusionPolicy {
+        self.policy
     }
 
     /// Registers a hot length: seeds a streaming profile from the current
@@ -109,6 +137,10 @@ impl StoredSeries {
         }
         Ok((Arc::clone(self.profiled.as_ref().expect("just built")), self.version))
     }
+
+    fn snapshot_meta(&self) -> SnapshotMeta {
+        SnapshotMeta { version: self.version, policy: self.policy, hot_lengths: self.hot_lengths() }
+    }
 }
 
 fn validate_samples(samples: &[f64], base_index: usize) -> ServeResult<()> {
@@ -118,21 +150,69 @@ fn validate_samples(samples: &[f64], base_index: usize) -> ServeResult<()> {
     Ok(())
 }
 
-/// All series held by one engine, addressed by name.
+/// All series held by one engine, addressed by name. Optionally durable:
+/// see [`SeriesStore::open`].
 #[derive(Debug, Default)]
 pub struct SeriesStore {
     map: HashMap<String, StoredSeries>,
+    persist: Option<Persistence>,
+    /// `(file, why)` entries from recovery that were skipped rather than
+    /// loaded (corrupt snapshot, orphan WAL). Empty for in-memory stores.
+    skipped: Vec<(String, String)>,
 }
 
 impl SeriesStore {
-    /// An empty store.
+    /// An empty, in-memory (non-durable) store.
     pub fn new() -> Self {
         SeriesStore::default()
     }
 
+    /// Opens a durable store over `dir`, recovering every series found
+    /// there: latest snapshot + WAL replay, with torn or corrupt WAL tails
+    /// truncated rather than fatal (see [`crate::persist`]). `recorder`
+    /// receives the recovery counters (`serve.wal.replayed_batches`,
+    /// `serve.recovery.truncated_tails`); pass
+    /// [`SharedRecorder::noop()`] when not observing.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        compact_bytes: u64,
+        recorder: &SharedRecorder,
+    ) -> ServeResult<Self> {
+        let persist = Persistence::open(dir.as_ref(), compact_bytes)?;
+        let recovery = persist.recover()?;
+        let mut map = HashMap::with_capacity(recovery.series.len());
+        for rec in recovery.series {
+            recorder.add("serve.wal.replayed_batches", rec.replayed_batches);
+            if rec.truncated_tail {
+                recorder.add("serve.recovery.truncated_tails", 1);
+            }
+            let series = StoredSeries::new(rec.values, &rec.hot_lengths, rec.policy, rec.version)?;
+            map.insert(rec.name, series);
+        }
+        Ok(SeriesStore { map, persist: Some(persist), skipped: recovery.skipped })
+    }
+
+    /// Whether the store persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// The data directory, when durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.persist.as_ref().map(Persistence::dir)
+    }
+
+    /// Files recovery skipped as unrecoverable, as `(file, why)` pairs.
+    pub fn recovery_skipped(&self) -> &[(String, String)] {
+        &self.skipped
+    }
+
     /// Loads a series under `name`. Fails with [`ServeError::SeriesExists`]
-    /// unless `replace` is set; a replace resets the version to 1 (callers
-    /// must invalidate any cache entries for the name).
+    /// unless `replace` is set. A replace **continues** the previous
+    /// generation's version counter (old version + 1), so result-cache keys
+    /// from the replaced generation can never collide with the new one.
+    /// Durable stores write a fresh snapshot (and reset the WAL) before
+    /// returning. Records `serve.snapshot.writes` on `recorder`.
     pub fn load(
         &mut self,
         name: &str,
@@ -140,6 +220,7 @@ impl SeriesStore {
         hot_lengths: &[usize],
         policy: ExclusionPolicy,
         replace: bool,
+        recorder: &SharedRecorder,
     ) -> ServeResult<&StoredSeries> {
         if name.is_empty() {
             return Err(ServeError::Protocol("series name must be non-empty".into()));
@@ -147,9 +228,62 @@ impl SeriesStore {
         if !replace && self.map.contains_key(name) {
             return Err(ServeError::SeriesExists(name.to_string()));
         }
-        let series = StoredSeries::new(values, hot_lengths, policy)?;
+        let version = self.map.get(name).map_or(1, |prev| prev.version() + 1);
+        let series = StoredSeries::new(values, hot_lengths, policy, version)?;
+        if let Some(p) = &self.persist {
+            p.write_snapshot(name, &series.snapshot_meta(), series.values())?;
+            recorder.add("serve.snapshot.writes", 1);
+        }
         self.map.insert(name.to_string(), series);
         Ok(self.map.get(name).expect("just inserted"))
+    }
+
+    /// Appends a batch to the series under `name`, write-ahead logging it
+    /// first when durable: the record is on disk (fsynced) before any
+    /// in-memory state changes, so an acknowledged append survives a crash
+    /// at any later point. Past the compaction threshold the WAL is folded
+    /// into a fresh snapshot. Records `serve.wal.appends` /
+    /// `serve.snapshot.writes` on `recorder`. Returns the new version.
+    pub fn append(
+        &mut self,
+        name: &str,
+        samples: &[f64],
+        recorder: &SharedRecorder,
+    ) -> ServeResult<u64> {
+        let series =
+            self.map.get_mut(name).ok_or_else(|| ServeError::UnknownSeries(name.to_string()))?;
+        if samples.is_empty() {
+            return Err(ServeError::InvalidParameter("append requires at least one sample".into()));
+        }
+        // Validate before logging so a rejected batch never reaches the WAL.
+        validate_samples(samples, series.len())?;
+        if let Some(p) = &self.persist {
+            p.log_append(name, series.version() + 1, samples)?;
+            recorder.add("serve.wal.appends", 1);
+        }
+        let version = series.append(samples)?;
+        if let Some(p) = &self.persist {
+            if p.wal_bytes(name) > p.compact_bytes() {
+                p.write_snapshot(name, &series.snapshot_meta(), series.values())?;
+                recorder.add("serve.snapshot.writes", 1);
+            }
+        }
+        Ok(version)
+    }
+
+    /// Snapshots every series to disk (and resets its WAL), bounding
+    /// restart time. No-op returning 0 for in-memory stores; otherwise
+    /// returns the number of snapshots written. Records
+    /// `serve.snapshot.writes` on `recorder`.
+    pub fn persist_all(&self, recorder: &SharedRecorder) -> ServeResult<usize> {
+        let Some(p) = &self.persist else { return Ok(0) };
+        let mut written = 0;
+        for (name, series) in &self.map {
+            p.write_snapshot(name, &series.snapshot_meta(), series.values())?;
+            written += 1;
+        }
+        recorder.add("serve.snapshot.writes", written as u64);
+        Ok(written)
     }
 
     /// The series under `name`.
@@ -186,42 +320,78 @@ mod tests {
     use valmod_data::generators::random_walk;
     use valmod_mp::stomp::stomp;
 
+    fn noop() -> SharedRecorder {
+        SharedRecorder::noop()
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("valmod_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn load_append_versions() {
         let mut store = SeriesStore::new();
         let values = random_walk(200, 5);
-        store.load("a", values.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+        store.load("a", values.clone(), &[], ExclusionPolicy::HALF, false, &noop()).unwrap();
         assert_eq!(store.get("a").unwrap().version(), 1);
-        assert!(store.load("a", values.clone(), &[], ExclusionPolicy::HALF, false).is_err());
-        store.load("a", values, &[], ExclusionPolicy::HALF, true).unwrap();
-        assert_eq!(store.get("a").unwrap().version(), 1);
+        assert!(store
+            .load("a", values.clone(), &[], ExclusionPolicy::HALF, false, &noop())
+            .is_err());
 
-        let v = store.get_mut("a").unwrap().append(&[1.0, 2.0]).unwrap();
+        let v = store.append("a", &[1.0, 2.0], &noop()).unwrap();
         assert_eq!(v, 2);
         assert_eq!(store.get("a").unwrap().len(), 202);
         assert!(store.get("missing").is_err());
+        assert!(store.append("missing", &[1.0], &noop()).is_err());
+    }
+
+    #[test]
+    fn replace_continues_the_version_counter() {
+        // Regression: replace used to reset the version to 1, so a query
+        // admitted against the old generation could insert a cache entry
+        // under `(name, version=1, cfg)` that the new generation's first
+        // version would then serve stale. The counter must be monotonic.
+        let mut store = SeriesStore::new();
+        store.load("a", random_walk(200, 5), &[], ExclusionPolicy::HALF, false, &noop()).unwrap();
+        store.append("a", &[1.0], &noop()).unwrap();
+        store.append("a", &[2.0], &noop()).unwrap();
+        assert_eq!(store.get("a").unwrap().version(), 3);
+
+        store.load("a", random_walk(150, 9), &[], ExclusionPolicy::HALF, true, &noop()).unwrap();
+        assert_eq!(
+            store.get("a").unwrap().version(),
+            4,
+            "replace must continue the version counter, not reset it"
+        );
+        // And every later generation stays ahead of anything seen before.
+        store.load("a", random_walk(150, 2), &[], ExclusionPolicy::HALF, true, &noop()).unwrap();
+        assert_eq!(store.get("a").unwrap().version(), 5);
     }
 
     #[test]
     fn append_is_atomic_under_bad_input() {
         let mut store = SeriesStore::new();
-        store.load("a", random_walk(120, 6), &[16], ExclusionPolicy::HALF, false).unwrap();
-        let s = store.get_mut("a").unwrap();
-        let err = s.append(&[1.0, f64::NAN]).unwrap_err();
+        store.load("a", random_walk(120, 6), &[16], ExclusionPolicy::HALF, false, &noop()).unwrap();
+        let err = store.append("a", &[1.0, f64::NAN], &noop()).unwrap_err();
         assert!(matches!(err, ServeError::NonFinite { index: 121 }));
+        let s = store.get("a").unwrap();
         assert_eq!(s.version(), 1);
         assert_eq!(s.len(), 120);
         assert_eq!(s.hot_profile(16).unwrap().len(), 120);
-        assert!(s.append(&[]).is_err());
-        assert_eq!(s.version(), 1);
+        assert!(store.append("a", &[], &noop()).is_err());
+        assert_eq!(store.get("a").unwrap().version(), 1);
     }
 
     #[test]
     fn hot_profile_tracks_appends_and_matches_batch() {
         let series = random_walk(300, 7);
         let mut store = SeriesStore::new();
-        store.load("a", series[..200].to_vec(), &[20], ExclusionPolicy::HALF, false).unwrap();
-        store.get_mut("a").unwrap().append(&series[200..]).unwrap();
+        store
+            .load("a", series[..200].to_vec(), &[20], ExclusionPolicy::HALF, false, &noop())
+            .unwrap();
+        store.append("a", &series[200..], &noop()).unwrap();
 
         let entry = store.get("a").unwrap();
         assert_eq!(entry.hot_lengths(), vec![20]);
@@ -238,7 +408,7 @@ mod tests {
     #[test]
     fn profiled_is_cached_per_version() {
         let mut store = SeriesStore::new();
-        store.load("a", random_walk(150, 8), &[], ExclusionPolicy::HALF, false).unwrap();
+        store.load("a", random_walk(150, 8), &[], ExclusionPolicy::HALF, false, &noop()).unwrap();
         let s = store.get_mut("a").unwrap();
         let (p1, v1) = s.profiled().unwrap();
         let (p2, v2) = s.profiled().unwrap();
@@ -249,5 +419,79 @@ mod tests {
         assert!(!Arc::ptr_eq(&p1, &p3));
         assert_eq!(v3, 2);
         assert_eq!(p3.len(), 151);
+    }
+
+    #[test]
+    fn durable_store_round_trips_bit_for_bit() {
+        let dir = tmp_dir("roundtrip");
+        let series = random_walk(256, 11);
+        {
+            let mut store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
+            assert!(store.is_durable());
+            assert!(store.is_empty());
+            store
+                .load("s", series[..200].to_vec(), &[16], ExclusionPolicy::HALF, false, &noop())
+                .unwrap();
+            store.append("s", &series[200..230], &noop()).unwrap();
+            store.append("s", &series[230..], &noop()).unwrap();
+        }
+        let store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
+        assert!(store.recovery_skipped().is_empty());
+        let s = store.get("s").unwrap();
+        assert_eq!(s.version(), 3);
+        assert_eq!(s.len(), series.len());
+        for (a, b) in s.values().iter().zip(&series) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(s.hot_lengths(), vec![16]);
+        assert_eq!(s.policy(), ExclusionPolicy::HALF);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_replace_survives_restart_with_monotonic_version() {
+        let dir = tmp_dir("replace");
+        {
+            let mut store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
+            store
+                .load("s", random_walk(128, 3), &[], ExclusionPolicy::HALF, false, &noop())
+                .unwrap();
+            store.append("s", &[1.0], &noop()).unwrap();
+            store
+                .load("s", random_walk(64, 4), &[], ExclusionPolicy::QUARTER, true, &noop())
+                .unwrap();
+        }
+        let store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
+        let s = store.get("s").unwrap();
+        assert_eq!(s.version(), 3, "recovered version continues past the replaced generation");
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.policy(), ExclusionPolicy::QUARTER);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_compaction_threshold_folds_wal_into_snapshots() {
+        let dir = tmp_dir("compact");
+        {
+            // 1-byte threshold: every append compacts.
+            let mut store = SeriesStore::open(&dir, 1, &noop()).unwrap();
+            store
+                .load("s", random_walk(150, 5), &[], ExclusionPolicy::HALF, false, &noop())
+                .unwrap();
+            for i in 0..5 {
+                store.append("s", &[i as f64], &noop()).unwrap();
+            }
+        }
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let entry = entry.unwrap();
+            if entry.path().extension().is_some_and(|e| e == "wal") {
+                assert_eq!(entry.metadata().unwrap().len(), 0, "WAL should be compacted away");
+            }
+        }
+        let store = SeriesStore::open(&dir, 1, &noop()).unwrap();
+        let s = store.get("s").unwrap();
+        assert_eq!(s.version(), 6);
+        assert_eq!(s.len(), 155);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

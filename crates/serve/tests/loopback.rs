@@ -23,8 +23,8 @@ fn full_protocol_roundtrip() {
         workers: 2,
         queue_depth: 8,
         cache_bytes: 1 << 20,
-        kernel_threads: 1,
         default_deadline: Duration::from_secs(60),
+        ..EngineConfig::default()
     });
     let mut client = Client::connect(addr).unwrap();
     client.ping().unwrap();
@@ -140,8 +140,8 @@ fn full_queue_answers_busy_over_tcp() {
         workers: 1,
         queue_depth: 1,
         cache_bytes: 0,
-        kernel_threads: 1,
         default_deadline: Duration::from_secs(60),
+        ..EngineConfig::default()
     });
     // Occupy the single worker from one connection...
     let sleeper = std::thread::spawn(move || {
@@ -175,4 +175,52 @@ fn full_queue_answers_busy_over_tcp() {
     let mut shut = Client::connect(addr).unwrap();
     shut.request(&Request::Shutdown).unwrap();
     server.join().expect("clean shutdown after shedding load");
+}
+
+#[test]
+fn durable_server_recovers_series_across_restart() {
+    let dir = std::env::temp_dir().join(format!("valmod_loopback_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = EngineConfig {
+        workers: 1,
+        queue_depth: 8,
+        cache_bytes: 1 << 20,
+        data_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    };
+    let (values, _) = plant_motif(1_000, 32, 2, 0.001, 31);
+    let (head, tail) = values.split_at(900);
+
+    // First server generation: ingest, SAVE, query, graceful shutdown.
+    let (addr, server) = start_server(cfg.clone());
+    let mut client = Client::connect(addr).unwrap();
+    client.load("sensor", head.to_vec(), vec![], false).unwrap();
+    client.append("sensor", tail[..60].to_vec()).unwrap();
+    assert_eq!(client.save().unwrap(), 1, "one series, one snapshot");
+    client.append("sensor", tail[60..].to_vec()).unwrap();
+    // Variable-length query: cold-computed on both sides of the restart.
+    let before = client.motifs("sensor", 24, 40, 3).unwrap();
+    client.shutdown().unwrap();
+    server.join().expect("first generation exits cleanly");
+
+    // Second generation over the same directory: the series is back —
+    // version, length, and a byte-identical query body.
+    let (addr, server) = start_server(cfg);
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("persist").unwrap().get("enabled").unwrap().as_bool(), Some(true));
+    let series = stats.get("series").unwrap().as_arr().unwrap();
+    assert_eq!(series.len(), 1);
+    assert_eq!(series[0].get("version").unwrap().as_usize(), Some(3));
+    assert_eq!(series[0].get("len").unwrap().as_usize(), Some(1_000));
+    let after = client.motifs("sensor", 24, 40, 3).unwrap();
+    assert_eq!(after.cached, Some(false), "the cache does not survive a restart");
+    assert_eq!(
+        after.result.get("body"),
+        before.result.get("body"),
+        "recovered data must answer queries identically"
+    );
+    client.shutdown().unwrap();
+    server.join().expect("second generation exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
 }

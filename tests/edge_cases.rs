@@ -214,6 +214,78 @@ fn regression_text_loader_rejects_inf_and_nan_tokens() {
 }
 
 #[test]
+fn regression_hot_profile_tiny_appends_across_the_boundary_match_one_extend() {
+    // PR 6: a hot profile fed tiny appends (1–3 samples) that straddle the
+    // hot-length boundary must end bit-for-bit identical to one extend over
+    // the same samples — the streaming recurrence must not depend on how
+    // the stream is chunked. The first chunks complete no window at all
+    // (seed 20, ℓ = 16: the profile grows only once 16 new rows exist),
+    // which is exactly where partial-window bookkeeping used to be fragile.
+    let l = 16;
+    let values = random_walk(140, 63);
+    let (seed, rest) = values.split_at(20);
+    let mut chunked = valmod_mp::StreamingProfile::new(seed, l, ExclusionPolicy::HALF).unwrap();
+    let mut single = valmod_mp::StreamingProfile::new(seed, l, ExclusionPolicy::HALF).unwrap();
+    let (mut offset, mut size) = (0, 1);
+    while offset < rest.len() {
+        let end = (offset + size).min(rest.len());
+        chunked.extend(rest[offset..end].iter().copied()).unwrap();
+        offset = end;
+        size = size % 3 + 1; // 1, 2, 3, 1, 2, 3, ...
+    }
+    single.extend(rest.iter().copied()).unwrap();
+    let (c, s) = (chunked.profile(), single.profile());
+    assert_eq!(c.mp.len(), s.mp.len());
+    assert_eq!(c.mp.len(), values.len() - l + 1, "profile must cover every window");
+    for i in 0..c.mp.len() {
+        assert_eq!(
+            c.mp[i].to_bits(),
+            s.mp[i].to_bits(),
+            "row {i}: chunked appends drifted from a single extend"
+        );
+        assert_eq!(c.ip[i], s.ip[i], "row {i}: neighbour offsets diverged");
+    }
+    // And both agree with a batch recompute over the final series to
+    // numerical tolerance (the streaming pipeline centres on the seed mean,
+    // so bit-identity with batch is not expected).
+    let ps = ProfiledSeries::from_values(&values).unwrap();
+    let batch = valmod_mp::stomp(&ps, l, ExclusionPolicy::HALF).unwrap();
+    for i in 0..batch.len() {
+        assert_eq!(c.mp[i].is_finite(), batch.mp[i].is_finite(), "row {i}");
+        if batch.mp[i].is_finite() {
+            assert!(
+                (c.mp[i] - batch.mp[i]).abs() < 1e-6,
+                "row {i}: streamed {} vs batch {}",
+                c.mp[i],
+                batch.mp[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn regression_hot_length_longer_than_the_series_fails_cleanly() {
+    // PR 6 companion: seeding a hot profile needs at least one complete
+    // window. A shorter series must be a clean error at every layer — the
+    // raw streaming profile, and a store LOAD, which must reject the whole
+    // request without registering the series.
+    let short = random_walk(10, 4);
+    assert!(valmod_mp::StreamingProfile::new(&short, 16, ExclusionPolicy::HALF).is_err());
+    let recorder = valmod_serve::SharedRecorder::noop();
+    let mut store = valmod_serve::SeriesStore::new();
+    assert!(store
+        .load("tiny", short.clone(), &[16], ExclusionPolicy::HALF, false, &recorder)
+        .is_err());
+    assert!(store.get("tiny").is_err(), "a failed load must not register the series");
+    // The same hot length is fine once the series can seed a profile, and
+    // the profile then grows with appends as usual.
+    store.load("tiny", random_walk(24, 4), &[16], ExclusionPolicy::HALF, false, &recorder).unwrap();
+    store.append("tiny", &short, &recorder).unwrap();
+    let hot = store.get("tiny").unwrap().hot_profile(16).unwrap();
+    assert_eq!(hot.profile().mp.len(), 24 + 10 - 16 + 1);
+}
+
+#[test]
 fn single_sample_step_range_is_consistent_with_wide_ranges() {
     // Splitting [20, 26] into [20,23] + [24,26] gives the same per-length
     // answers as one run.
