@@ -22,13 +22,15 @@ use valmod_mp::diagonal::stomp_diagonal_ws;
 use valmod_mp::stomp::stomp_row;
 use valmod_mp::workspace::Workspace;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
+use valmod_obs::SharedRecorder;
 
 /// One timed comparison of the pinned suite.
 #[derive(Debug, Clone)]
 pub struct BenchEntry {
     /// Stable identifier, e.g. `stomp/n16384/l256`.
     pub name: String,
-    /// Entry family: `stomp`, `compute_mp`, `valmod`, or `streaming`.
+    /// Entry family: `stomp`, `compute_mp`, `valmod`, `streaming`, or
+    /// `cluster`.
     pub kind: &'static str,
     /// Series size in points.
     pub n: usize,
@@ -263,6 +265,49 @@ pub fn run_suite(smoke: bool) -> RegressionReport {
         });
     }
 
+    // --- Cluster scaling: the same STOMP case dispatched across 1/2/4
+    // in-process workers over loopback TCP. The 1-worker time is the
+    // baseline for the multi-worker entries, so the speedup column reads
+    // directly as scaling efficiency. Series shipping (`load_job`) is
+    // inside the timed region — the number is end-to-end job latency.
+    let (cn, cl) = if smoke { (2_048, 64) } else { (131_072, 256) };
+    {
+        use valmod_cluster::{
+            run_distributed, spawn_local_workers, CoordinatorConfig, JobSpec, WorkerConfig,
+        };
+        let values = random_walk(cn, SEED);
+        let mut one_worker_ms = None;
+        for w in [1usize, 2, 4] {
+            let workers = spawn_local_workers(w, WorkerConfig::default()).unwrap();
+            let addrs: Vec<String> = workers.iter().map(|x| x.addr()).collect();
+            let cfg =
+                CoordinatorConfig { parts_per_length: 2 * w, ..CoordinatorConfig::default() };
+            let iters = if smoke { 2 } else { 1 };
+            let mut sink = 0usize;
+            let ms = median_ms(iters, || {
+                let spec = JobSpec::new("bench", values.clone(), cl, cl);
+                let run = run_distributed(&spec, &addrs, &cfg, &SharedRecorder::noop()).unwrap();
+                sink += std::hint::black_box(run.output.profiles.len());
+            });
+            std::hint::black_box(sink);
+            for worker in workers {
+                worker.shutdown();
+            }
+            if w == 1 {
+                one_worker_ms = Some(ms);
+            }
+            entries.push(BenchEntry {
+                name: format!("cluster/n{cn}/l{cl}/w{w}"),
+                kind: "cluster",
+                n: cn,
+                l: cl,
+                iters,
+                baseline_ms: if w == 1 { None } else { one_worker_ms },
+                current_ms: ms,
+            });
+        }
+    }
+
     RegressionReport { smoke, entries }
 }
 
@@ -278,6 +323,7 @@ mod tests {
         assert!(kinds.contains(&"compute_mp"));
         assert!(kinds.contains(&"valmod"));
         assert!(kinds.contains(&"streaming"));
+        assert!(kinds.contains(&"cluster"));
         for e in &report.entries {
             assert!(e.current_ms > 0.0, "{}: non-positive timing", e.name);
             if let Some(b) = e.baseline_ms {

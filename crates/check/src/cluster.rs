@@ -1,0 +1,195 @@
+//! The distributed-discovery oracle: every scenario runs a real
+//! coordinator against real loopback workers and diffs the merged output
+//! against [`valmod_cluster::run_local`] — the same partition plan
+//! executed in process — demanding **bit identity** (`to_bits` on every
+//! profile slot, plus a byte-for-byte canonical body).
+//!
+//! The matrix covers partition shapes (shards per length × worker
+//! counts), a worker SIGKILLed mid-shard (connection dropped without a
+//! reply), a straggler hanging past the per-shard deadline, and a
+//! version-incompatible worker — the job must complete through
+//! redispatch, bit-identically, as long as one healthy worker lives.
+
+use std::time::Duration;
+
+use valmod_cluster::{
+    run_distributed, run_local, CoordinatorConfig, Fault, JobSpec, LocalWorker, WorkerConfig,
+};
+use valmod_obs::{Registry, SharedRecorder};
+use valmod_serve::Timeouts;
+
+/// Outcome of the distributed-vs-local matrix.
+#[derive(Debug, Default)]
+pub struct ClusterReport {
+    /// Scenario names that ran clean.
+    pub passed: Vec<String>,
+    /// `(scenario, what went wrong)` for the rest.
+    pub failed: Vec<(String, String)>,
+}
+
+impl ClusterReport {
+    /// True when every scenario passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    fn record(&mut self, name: &str, result: Result<(), String>) {
+        match result {
+            Ok(()) => self.passed.push(name.to_string()),
+            Err(why) => self.failed.push((name.to_string(), why)),
+        }
+    }
+}
+
+fn job(seed: u64) -> JobSpec {
+    let (values, _) = valmod_data::generators::plant_motif(360, 22, 2, 0.001, seed);
+    JobSpec::new(format!("check-{seed}"), values, 16, 22)
+}
+
+fn config(parts: usize, shard_timeout: Duration) -> CoordinatorConfig {
+    CoordinatorConfig {
+        parts_per_length: parts,
+        shard_timeout,
+        connect: Timeouts::new().with_connect(Duration::from_secs(2)).with_retries(1),
+        ..CoordinatorConfig::default()
+    }
+}
+
+/// Runs a distributed job against `workers` and demands bit identity with
+/// the local reference.
+fn diff_distributed(
+    spec: &JobSpec,
+    workers: &[LocalWorker],
+    cfg: &CoordinatorConfig,
+    recorder: &SharedRecorder,
+) -> Result<(), String> {
+    let reference = run_local(spec, 1, &SharedRecorder::noop())
+        .map_err(|e| format!("local reference failed: {e}"))?;
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr()).collect();
+    let run = run_distributed(spec, &addrs, cfg, recorder)
+        .map_err(|e| format!("distributed run failed: {e}"))?;
+    if !run.output.bits_equal(&reference) {
+        return Err("distributed output diverges from the local run at the bit level".into());
+    }
+    if run.output.body().encode() != reference.body().encode() {
+        return Err("distributed body is not byte-identical to the local body".into());
+    }
+    Ok(())
+}
+
+/// Runs the full scenario matrix with the given master seed.
+pub fn run_cluster_matrix(seed: u64) -> ClusterReport {
+    let mut report = ClusterReport::default();
+
+    // Partition-shape sweep: shards per length × worker counts. Every
+    // combination must merge to the same bits as the unsharded local run.
+    for (i, (worker_count, parts)) in [(1usize, 1usize), (2, 3), (3, 7)].into_iter().enumerate() {
+        let name = format!("shape_w{worker_count}_p{parts}");
+        let result = (|| {
+            let spec = job(seed.wrapping_add(i as u64));
+            let workers = spawn(worker_count, WorkerConfig::default())?;
+            diff_distributed(
+                &spec,
+                &workers,
+                &config(parts, Duration::from_secs(20)),
+                &SharedRecorder::noop(),
+            )?;
+            shutdown(workers);
+            Ok(())
+        })();
+        report.record(&name, result);
+    }
+
+    // A worker that dies mid-shard (drops the connection without replying,
+    // the wire-level shape of SIGKILL): the job must complete through
+    // redispatch and stay bit-identical.
+    report.record("kill_mid_shard", {
+        (|| {
+            let spec = job(seed.wrapping_add(100));
+            let killer = LocalWorker::spawn(WorkerConfig {
+                fault: Some(Fault::CloseAfter { after: 1 }),
+                ..WorkerConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            let healthy =
+                LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
+            let registry = Registry::new();
+            diff_distributed(
+                &spec,
+                &[killer, healthy],
+                &config(4, Duration::from_secs(20)),
+                &SharedRecorder::from(registry.clone()),
+            )?;
+            if registry.snapshot().counter("cluster.shards.redispatched").unwrap_or(0) == 0 {
+                return Err("job completed but nothing was redispatched".into());
+            }
+            Ok(())
+        })()
+    });
+
+    // A straggler that hangs past the per-shard deadline: the timeout must
+    // fire, the worker must be declared dead, and survivors finish the job.
+    report.record("hang_past_deadline", {
+        (|| {
+            let spec = job(seed.wrapping_add(200));
+            let straggler = LocalWorker::spawn(WorkerConfig {
+                fault: Some(Fault::HangAfter { after: 1, stall: Duration::from_secs(2) }),
+                ..WorkerConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            let healthy =
+                LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
+            diff_distributed(
+                &spec,
+                &[straggler, healthy],
+                &config(3, Duration::from_millis(300)),
+                &SharedRecorder::noop(),
+            )
+        })()
+    });
+
+    // A version-incompatible worker must be excluded at the handshake
+    // without poisoning the job.
+    report.record("version_mismatch_excluded", {
+        (|| {
+            let spec = job(seed.wrapping_add(300));
+            let stale = LocalWorker::spawn(WorkerConfig {
+                advertise_version: Some(u64::MAX),
+                ..WorkerConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            let healthy =
+                LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
+            diff_distributed(
+                &spec,
+                &[stale, healthy],
+                &config(2, Duration::from_secs(20)),
+                &SharedRecorder::noop(),
+            )
+        })()
+    });
+
+    report
+}
+
+fn spawn(count: usize, config: WorkerConfig) -> Result<Vec<LocalWorker>, String> {
+    valmod_cluster::spawn_local_workers(count, config).map_err(|e| e.to_string())
+}
+
+fn shutdown(workers: Vec<LocalWorker>) {
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_matrix_runs_clean() {
+        let report = run_cluster_matrix(42);
+        assert!(report.all_passed(), "failures: {:?}", report.failed);
+        assert!(report.passed.len() >= 6, "ran: {:?}", report.passed);
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`faults`] — truncated frames, oversized lines, malformed JSON,
 //!   mid-`APPEND` disconnects, hostile numeric fields, and deadline expiry
 //!   replayed against a real loopback server;
+//! * [`cluster`] — the distributed-discovery matrix: coordinator/worker
+//!   runs over real loopback TCP diffed bit-for-bit against the local
+//!   executor, across partition shapes and under SIGKILLed, hung, and
+//!   version-incompatible workers;
 //! * [`recovery`] — kill-point crash injection against the durable store:
 //!   WALs truncated before / mid / after a record and bit-flipped
 //!   checksums, asserting the reopened store is bit-identical to replaying
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod faults;
 pub mod generators;
 pub mod oracles;
@@ -40,6 +45,7 @@ pub mod shrink;
 
 use std::fmt;
 
+pub use cluster::{run_cluster_matrix, ClusterReport};
 pub use faults::{run_fault_matrix, FaultReport};
 pub use generators::{generate_case, Case, Family};
 pub use oracles::{run_case, CaseOutcome, Divergence};
@@ -60,6 +66,8 @@ pub struct CheckConfig {
     pub run_faults: bool,
     /// Whether to run the crash-recovery kill-point matrix.
     pub run_recovery: bool,
+    /// Whether to run the distributed-discovery (cluster) matrix.
+    pub run_cluster: bool,
 }
 
 impl CheckConfig {
@@ -72,6 +80,7 @@ impl CheckConfig {
             lb_probes_per_case: 24,
             run_faults: true,
             run_recovery: true,
+            run_cluster: true,
         }
     }
 }
@@ -98,6 +107,8 @@ pub struct CheckReport {
     pub faults: Option<FaultReport>,
     /// The crash-recovery outcome (`None` when skipped).
     pub recovery: Option<RecoveryReport>,
+    /// The distributed-discovery outcome (`None` when skipped).
+    pub cluster: Option<ClusterReport>,
 }
 
 impl CheckReport {
@@ -107,6 +118,7 @@ impl CheckReport {
         self.divergences.is_empty()
             && self.faults.as_ref().is_none_or(FaultReport::all_passed)
             && self.recovery.as_ref().is_none_or(RecoveryReport::all_passed)
+            && self.cluster.as_ref().is_none_or(ClusterReport::all_passed)
     }
 }
 
@@ -140,6 +152,15 @@ impl fmt::Display for CheckReport {
                 writeln!(f, "recovery: {} passed, {} failed", rr.passed.len(), rr.failed.len())?;
                 for (name, why) in &rr.failed {
                     writeln!(f, "  RECOVERY [{name}] {why}")?;
+                }
+            }
+        }
+        match &self.cluster {
+            None => writeln!(f, "cluster: skipped")?,
+            Some(cr) => {
+                writeln!(f, "cluster: {} passed, {} failed", cr.passed.len(), cr.failed.len())?;
+                for (name, why) in &cr.failed {
+                    writeln!(f, "  CLUSTER [{name}] {why}")?;
                 }
             }
         }
@@ -184,6 +205,9 @@ pub fn run(config: &CheckConfig) -> CheckReport {
     if config.run_recovery {
         report.recovery = Some(run_recovery_matrix(config.seed));
     }
+    if config.run_cluster {
+        report.cluster = Some(run_cluster_matrix(config.seed));
+    }
     report
 }
 
@@ -199,6 +223,7 @@ mod tests {
             lb_probes_per_case: 16,
             run_faults: false,
             run_recovery: false,
+            run_cluster: false,
         };
         let a = run(&config);
         assert!(a.clean(), "{a}");
@@ -216,6 +241,7 @@ mod tests {
             lb_probes_per_case: 4,
             run_faults: false,
             run_recovery: false,
+            run_cluster: false,
         };
         let text = run(&config).to_string();
         assert!(text.contains("differential: 2 cases"));

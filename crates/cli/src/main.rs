@@ -54,6 +54,8 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args),
         "check" => cmd_check(&args),
         "bench" => cmd_bench(&args),
+        "cluster-worker" => cmd_cluster_worker(&args),
+        "cluster-run" => cmd_cluster_run(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -94,8 +96,12 @@ USAGE:
                    [--deadline-ms <n>]
   valmod stats     [--addr <host:port>] [--raw]
   valmod check     [--smoke] [--seed <s>] [--cases <n>] [--probes <n>] [--no-faults]
-                   [--no-recovery]
+                   [--no-recovery] [--no-cluster]
   valmod bench     [--json] [--smoke] [--out <file>]
+  valmod cluster-worker [--addr <host:port>]
+  valmod cluster-run    --workers <h:p,h:p,...> --input <file> --min <len> --max <len>
+                        [--top <k>] [--parts <n>] [--timeout-ms <n>] [--job <id>]
+                        [--json] [--local]
   valmod help
 
 Input: text (one value per line; `#` comments; commas/whitespace) or raw
@@ -121,6 +127,13 @@ lower-bound admissibility invariant, a serve fault-injection matrix, and
 a crash-recovery kill-point matrix against the durable store. `--smoke`
 is the CI preset; without it a longer sweep runs. Exits non-zero on any
 divergence.
+
+`cluster-worker` runs one stateless shard-compute worker; `cluster-run`
+partitions the ℓmin..ℓmax sweep into (length x diagonal-range) shards,
+dispatches them across the worker pool with health checks, per-shard
+deadlines, and redispatch from dead workers, and merges the partials
+bit-identically to a single-node run. `--local` computes the same job in
+process — its `--json` body is byte-comparable with a distributed run's.
 
 `bench` runs the pinned kernel-regression suite (row kernel vs the
 diagonal-blocked kernel over identical inputs, plus VALMOD and streaming
@@ -529,7 +542,7 @@ fn cmd_stats(args: &Args) -> CliResult {
 /// and exits non-zero on any divergence — the CI smoke tier invokes
 /// `valmod check --smoke --seed 42`.
 fn cmd_check(args: &Args) -> CliResult {
-    args.reject_unknown(&["smoke", "seed", "cases", "probes", "no-faults", "no-recovery"])?;
+    args.reject_unknown(&["smoke", "seed", "cases", "probes", "no-faults", "no-recovery", "no-cluster"])?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let mut config = valmod_check::CheckConfig::smoke(seed);
     if !args.switch("smoke") {
@@ -544,6 +557,9 @@ fn cmd_check(args: &Args) -> CliResult {
     }
     if args.switch("no-recovery") {
         config.run_recovery = false;
+    }
+    if args.switch("no-cluster") {
+        config.run_cluster = false;
     }
     let report = valmod_check::run(&config);
     println!("{report}");
@@ -573,6 +589,121 @@ fn cmd_bench(args: &Args) -> CliResult {
     } else {
         print!("{}", report.table());
         println!("snapshot written to {out}");
+    }
+    Ok(())
+}
+
+/// `valmod cluster-worker`: one stateless shard-compute worker. The
+/// coordinator ships the series with `load_job`, so a worker needs no
+/// input of its own and can be pointed at any job.
+fn cmd_cluster_worker(args: &Args) -> CliResult {
+    args.reject_unknown(&["addr"])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let worker = valmod_cluster::Worker::bind(
+        addr,
+        valmod_cluster::WorkerConfig::default(),
+        valmod_obs::SharedRecorder::from(valmod_obs::Registry::new()),
+    )?;
+    // Tests and scripts parse this line to learn the ephemeral port; it
+    // must stay the first line printed.
+    println!("listening on {}", worker.local_addr()?);
+    worker.run()?;
+    println!("worker stopped");
+    Ok(())
+}
+
+/// `valmod cluster-run`: the coordinator. Builds the (length x
+/// diagonal-range) partition plan, dispatches shards across the pool, and
+/// merges partials bit-identically to a local run. `--local` executes the
+/// same job in process, so its `--json` body is the byte-for-byte oracle
+/// a distributed body is diffed against.
+fn cmd_cluster_run(args: &Args) -> CliResult {
+    args.reject_unknown(&[
+        "workers",
+        "input",
+        "min",
+        "max",
+        "top",
+        "parts",
+        "timeout-ms",
+        "job",
+        "json",
+        "local",
+    ])?;
+    let series = load(args)?;
+    let mut spec = valmod_cluster::JobSpec::new(
+        args.get("job").unwrap_or("cli"),
+        series.values().to_vec(),
+        args.require_parsed("min")?,
+        args.require_parsed("max")?,
+    );
+    spec.top = args.parsed_or("top", 5)?;
+    let parts: usize = args.parsed_or("parts", 0)?;
+
+    let registry = valmod_obs::Registry::new();
+    let recorder = valmod_obs::SharedRecorder::from(registry.clone());
+    let output = if args.switch("local") {
+        valmod_cluster::run_local(&spec, parts.max(1), &recorder)?
+    } else {
+        let workers: Vec<String> = args
+            .require("workers")?
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        let cfg = valmod_cluster::CoordinatorConfig {
+            parts_per_length: parts,
+            shard_timeout: std::time::Duration::from_millis(args.parsed_or("timeout-ms", 60_000)?),
+            ..valmod_cluster::CoordinatorConfig::default()
+        };
+        let run = valmod_cluster::run_distributed(&spec, &workers, &cfg, &recorder)?;
+        // Worker accounting goes to stderr so `--json` stdout stays a pure
+        // body that can be byte-diffed against a `--local` run.
+        for report in &run.workers {
+            if let Some(reason) = &report.rejected {
+                eprintln!("worker {}: rejected ({reason})", report.addr);
+            } else {
+                eprintln!(
+                    "worker {}: {} shard(s){}",
+                    report.addr,
+                    report.shards_done,
+                    if report.died { ", died mid-job" } else { "" }
+                );
+            }
+        }
+        let snap = registry.snapshot();
+        let counter = |key: &str| snap.counter(key).unwrap_or(0);
+        eprintln!(
+            "shards: {} dispatched, {} retried, {} redispatched",
+            counter("cluster.shards.dispatched"),
+            counter("cluster.shards.retried"),
+            counter("cluster.shards.redispatched")
+        );
+        run.output
+    };
+
+    if args.switch("json") {
+        println!("{}", output.body().encode());
+        return Ok(());
+    }
+    println!(
+        "merged {} per-length profiles over {} points (lengths {}..={})",
+        output.profiles.len(),
+        output.n,
+        output.l_min,
+        output.l_max
+    );
+    for (rank, m) in output.motifs.iter().enumerate() {
+        println!(
+            "  #{:<2} offsets ({:>7}, {:>7})  length {:>5}  dist {:>9.4}  norm {:>8.4}",
+            rank + 1,
+            m.a,
+            m.b,
+            m.l,
+            m.dist,
+            m.norm_dist()
+        );
     }
     Ok(())
 }

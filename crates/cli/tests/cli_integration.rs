@@ -440,6 +440,89 @@ fn serve_survives_a_hard_kill_with_data_dir() {
 }
 
 #[test]
+fn cluster_run_matches_local_and_survives_a_worker_kill() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Child, Stdio};
+
+    let dir = tmp_dir("cluster");
+    let data = dir.join("ecg.csv");
+    assert!(run(&[
+        "generate",
+        "--dataset",
+        "ecg",
+        "--n",
+        "1600",
+        "--seed",
+        "21",
+        "--output",
+        data.to_str().unwrap()
+    ])
+    .status
+    .success());
+
+    let spawn_worker = || -> (Child, String) {
+        let mut worker = Command::new(bin())
+            .args(["cluster-worker", "--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("worker spawns");
+        let mut lines = BufReader::new(worker.stdout.take().unwrap()).lines();
+        let banner = lines.next().expect("worker announces its address").unwrap();
+        let addr = banner.strip_prefix("listening on ").expect("banner format").to_string();
+        (worker, addr)
+    };
+    let job = |extra: &[&str]| -> Vec<String> {
+        ["cluster-run", "--input", data.to_str().unwrap(), "--min", "32", "--max", "40", "--json"]
+            .iter()
+            .copied()
+            .chain(extra.iter().copied())
+            .map(String::from)
+            .collect()
+    };
+    let run_job = |extra: &[&str]| -> Output {
+        Command::new(bin()).args(job(extra)).output().expect("binary runs")
+    };
+
+    // The in-process reference body every distributed run must match
+    // byte for byte (partition shape provably does not change the bits).
+    let local = run_job(&["--local"]);
+    assert!(local.status.success(), "{}", stderr(&local));
+    let reference = stdout(&local);
+    assert!(reference.starts_with('{'), "{reference}");
+
+    // Healthy pool of two real worker processes.
+    let (mut w1, addr1) = spawn_worker();
+    let (mut w2, addr2) = spawn_worker();
+    let pool = format!("{addr1},{addr2}");
+    let healthy = run_job(&["--workers", &pool, "--parts", "6"]);
+    assert!(healthy.status.success(), "{}", stderr(&healthy));
+    assert_eq!(stdout(&healthy), reference, "distributed body must equal the local body");
+
+    // Same pool, but worker 1 is SIGKILLed shortly after dispatch begins:
+    // its shards must be redispatched to worker 2 and the job still
+    // completes with the identical body.
+    let coordinator = Command::new(bin())
+        .args(job(&["--workers", &pool, "--parts", "6", "--timeout-ms", "5000"]))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("coordinator spawns");
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    w1.kill().expect("hard kill");
+    w1.wait().expect("killed worker reaped");
+    let survived = coordinator.wait_with_output().expect("coordinator exits");
+    assert!(survived.status.success(), "{}", String::from_utf8_lossy(&survived.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&survived.stdout),
+        reference,
+        "job must complete bit-identically with one worker killed mid-job"
+    );
+
+    w2.kill().expect("worker 2 stops");
+    w2.wait().expect("worker 2 reaped");
+}
+
+#[test]
 fn help_prints_usage() {
     let help = run(&["help"]);
     assert!(help.status.success());

@@ -1,0 +1,351 @@
+//! The coordinator: validates a worker pool, dispatches plan shards, and
+//! merges partial profiles into a result bit-identical to a local run.
+//!
+//! ## Fault model
+//!
+//! * **Incompatible worker** — the `hello` handshake happens before any
+//!   work is dispatched; a version mismatch or missing `cluster`
+//!   capability excludes the worker with a clean error (never a mid-job
+//!   parse failure). The job proceeds if at least one worker validates.
+//! * **Transient failure** — an I/O error or per-shard deadline expiry
+//!   drops the connection; the same worker thread retries with the
+//!   client's jittered backoff, re-shipping the series if the worker
+//!   restarted (`unknown_series`).
+//! * **Dead worker** — after `worker_attempts` consecutive failures the
+//!   worker is declared dead and its in-flight shard goes back on the
+//!   shared queue for survivors. A job completes as long as one validated
+//!   worker lives.
+//!
+//! ## Exactly-once *merging* without exactly-once *execution*
+//!
+//! Redispatch means a shard can be computed twice (the first worker may
+//! have died after the compute but before the reply). The merge is a
+//! slot-wise lexicographic `(distance, index)` min — associative,
+//! commutative, and idempotent — so duplicate partials change nothing:
+//! at-least-once execution yields exactly-once semantics by algebra, not
+//! by bookkeeping.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use valmod_data::error::{Result, ValmodError};
+use valmod_mp::MatrixProfile;
+use valmod_obs::{Recorder, SharedRecorder};
+use valmod_serve::{Client, Response, ServeError, Timeouts};
+
+use crate::job::{empty_profiles, merge_wire_partial, JobOutput, JobSpec};
+use crate::plan::{Plan, Shard};
+use crate::wire::{decode_partial, ClusterRequest};
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Diagonal ranges per length (0 = one per worker).
+    pub parts_per_length: usize,
+    /// Per-shard deadline: if a worker has not answered a `work` within
+    /// this window it is treated as failed (hung workers trip this).
+    pub shard_timeout: Duration,
+    /// Connect/backoff policy for worker connections (its read timeout is
+    /// overridden by `shard_timeout`).
+    pub connect: Timeouts,
+    /// Consecutive failures before a worker is declared dead and its shard
+    /// is redispatched to survivors.
+    pub worker_attempts: u32,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            parts_per_length: 0,
+            shard_timeout: Duration::from_secs(60),
+            connect: Timeouts::new()
+                .with_connect(Duration::from_secs(2))
+                .with_retries(2),
+            worker_attempts: 2,
+        }
+    }
+}
+
+/// How one worker fared over the whole job (for logs and tests).
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The worker's address.
+    pub addr: String,
+    /// Shards successfully computed by this worker.
+    pub shards_done: usize,
+    /// Whether the worker was excluded by the `hello` handshake.
+    pub rejected: Option<String>,
+    /// Whether the worker died mid-job.
+    pub died: bool,
+}
+
+/// A distributed run's result plus per-worker accounting.
+#[derive(Debug)]
+pub struct DistributedRun {
+    /// The merged output (bit-identical to a local run of the same spec).
+    pub output: JobOutput,
+    /// Per-worker outcomes, in input order.
+    pub workers: Vec<WorkerReport>,
+}
+
+struct MergeState {
+    profiles: Vec<MatrixProfile>,
+    completed: HashSet<Shard>,
+}
+
+struct SharedState {
+    pending: Mutex<VecDeque<Shard>>,
+    merged: Mutex<MergeState>,
+    total: usize,
+}
+
+impl SharedState {
+    fn done(&self) -> bool {
+        self.merged.lock().expect("merge lock").completed.len() == self.total
+    }
+}
+
+/// Runs `spec` across `workers` (each a `host:port` string), returning the
+/// merged output and per-worker accounting. Fails only if no worker passes
+/// the handshake or every validated worker dies before the plan finishes.
+pub fn run_distributed(
+    spec: &JobSpec,
+    workers: &[String],
+    cfg: &CoordinatorConfig,
+    recorder: &SharedRecorder,
+) -> Result<DistributedRun> {
+    if workers.is_empty() {
+        return Err(ValmodError::InvalidParameter("no workers given".into()));
+    }
+    let parts = if cfg.parts_per_length == 0 { workers.len() } else { cfg.parts_per_length };
+    let plan = Plan::build(spec.values.len(), spec.l_min, spec.l_max, spec.policy, parts)?;
+
+    // Phase 1: validate the pool. A version mismatch or a missing
+    // `cluster` capability is a clean, permanent rejection.
+    let mut reports: Vec<WorkerReport> = workers
+        .iter()
+        .map(|addr| WorkerReport {
+            addr: addr.clone(),
+            shards_done: 0,
+            rejected: None,
+            died: false,
+        })
+        .collect();
+    let mut validated: Vec<usize> = Vec::new();
+    for (idx, addr) in workers.iter().enumerate() {
+        match validate_worker(addr, idx, cfg) {
+            Ok(()) => validated.push(idx),
+            Err(e) => {
+                recorder.add("cluster.workers.rejected", 1);
+                reports[idx].rejected = Some(e.to_string());
+            }
+        }
+    }
+    if validated.is_empty() {
+        let detail = reports
+            .iter()
+            .filter_map(|r| r.rejected.as_ref().map(|e| format!("{}: {e}", r.addr)))
+            .collect::<Vec<_>>()
+            .join("; ");
+        return Err(ValmodError::InvalidParameter(format!("no compatible workers ({detail})")));
+    }
+
+    // Phase 2: dispatch. One thread per validated worker pulls from the
+    // shared queue; dead workers requeue their in-flight shard.
+    let shared = SharedState {
+        pending: Mutex::new(plan.shards.iter().copied().collect()),
+        merged: Mutex::new(MergeState { profiles: empty_profiles(spec), completed: HashSet::new() }),
+        total: plan.len(),
+    };
+    let outcomes: Vec<(usize, usize, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = validated
+            .iter()
+            .map(|&idx| {
+                let addr = workers[idx].clone();
+                let shared = &shared;
+                scope.spawn(move || {
+                    let done = worker_loop(&addr, idx, spec, cfg, shared, recorder);
+                    (idx, done.0, done.1)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("coordinator worker thread")).collect()
+    });
+    for (idx, shards_done, died) in outcomes {
+        reports[idx].shards_done = shards_done;
+        reports[idx].died = died;
+    }
+
+    let merged = shared.merged.into_inner().expect("merge lock");
+    if merged.completed.len() != shared.total {
+        return Err(ValmodError::InvalidParameter(format!(
+            "job incomplete: {}/{} shards merged — every validated worker died",
+            merged.completed.len(),
+            shared.total
+        )));
+    }
+
+    // Best-effort cleanup: evict the job from surviving workers.
+    for report in reports.iter().filter(|r| r.rejected.is_none() && !r.died) {
+        let _ = drop_job(&report.addr, &spec.job_id, cfg);
+    }
+
+    let output = JobOutput::from_profiles(spec, merged.profiles)?;
+    Ok(DistributedRun { output, workers: reports })
+}
+
+fn client_timeouts(cfg: &CoordinatorConfig, idx: usize) -> Timeouts {
+    let mut t = cfg.connect.clone().with_read(cfg.shard_timeout);
+    // Decorrelate the retry storms of distinct worker threads.
+    t.jitter_seed ^= 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx as u64 + 1);
+    t
+}
+
+fn validate_worker(addr: &str, idx: usize, cfg: &CoordinatorConfig) -> Result<()> {
+    let mut client = Client::connect_with(addr, &client_timeouts(cfg, idx))?;
+    let caps = client.hello(&["coordinator"])?;
+    if !caps.iter().any(|c| c == "cluster") {
+        return Err(ValmodError::InvalidParameter(format!(
+            "worker {addr} lacks the \"cluster\" capability (offers {caps:?})"
+        )));
+    }
+    // Health check: a validated worker must answer PING promptly.
+    roundtrip(&mut client, &ClusterRequest::Ping)?;
+    Ok(())
+}
+
+fn drop_job(addr: &str, job: &str, cfg: &CoordinatorConfig) -> Result<()> {
+    let timeouts = cfg.connect.clone().with_read(Duration::from_secs(2));
+    let mut client = Client::connect_with(addr, &timeouts)?;
+    roundtrip(&mut client, &ClusterRequest::DropJob { job: job.to_string() })?;
+    Ok(())
+}
+
+fn roundtrip(client: &mut Client, request: &ClusterRequest) -> Result<Response> {
+    client.roundtrip_value(&request.to_value())
+}
+
+/// Runs one worker's dispatch loop; returns `(shards_done, died)`.
+fn worker_loop(
+    addr: &str,
+    idx: usize,
+    spec: &JobSpec,
+    cfg: &CoordinatorConfig,
+    shared: &SharedState,
+    recorder: &SharedRecorder,
+) -> (usize, bool) {
+    let timeouts = client_timeouts(cfg, idx);
+    let hist_key = format!("cluster.worker.w{idx}.shard_us");
+    let mut conn: Option<Client> = None;
+    let mut loaded = false;
+    let mut failures = 0u32;
+    let mut shards_done = 0usize;
+
+    'outer: while !shared.done() {
+        let shard = shared.pending.lock().expect("pending lock").pop_front();
+        let Some(shard) = shard else {
+            // Queue empty but the job is not done: another worker holds the
+            // remaining shards in flight. Stay available in case it dies.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+
+        // Work on `shard` until merged or this worker is declared dead.
+        loop {
+            if conn.is_none() {
+                match Client::connect_with(addr, &timeouts) {
+                    Ok(mut c) => match c.hello(&["coordinator"]) {
+                        Ok(_) => {
+                            conn = Some(c);
+                            loaded = false;
+                        }
+                        Err(_) => failures += 1,
+                    },
+                    Err(_) => failures += 1,
+                }
+                if conn.is_none() {
+                    if failures > cfg.worker_attempts {
+                        requeue(shared, shard, recorder);
+                        return (shards_done, true);
+                    }
+                    continue;
+                }
+            }
+            if !loaded {
+                let load = ClusterRequest::LoadJob {
+                    job: spec.job_id.clone(),
+                    values: spec.values.clone(),
+                    policy: spec.policy,
+                };
+                match roundtrip(conn.as_mut().expect("connection just established"), &load) {
+                    Ok(_) => loaded = true,
+                    Err(_) => {
+                        conn = None;
+                        failures += 1;
+                        if failures > cfg.worker_attempts {
+                            requeue(shared, shard, recorder);
+                            return (shards_done, true);
+                        }
+                        continue;
+                    }
+                }
+            }
+            recorder.add("cluster.shards.dispatched", 1);
+            let started = Instant::now();
+            let work = ClusterRequest::Work { job: spec.job_id.clone(), shard };
+            match roundtrip(conn.as_mut().expect("loaded connection"), &work) {
+                Ok(response) => {
+                    if recorder.enabled() {
+                        recorder.observe(&hist_key, started.elapsed().as_micros() as f64);
+                    }
+                    match decode_partial(&response.result) {
+                        Ok((got, mp, ip)) if got == shard => {
+                            let mut merged = shared.merged.lock().expect("merge lock");
+                            if merge_wire_partial(&mut merged.profiles, spec.l_min, got.l, &mp, &ip)
+                                .is_err()
+                            {
+                                // A malformed partial is a worker bug, not a
+                                // transient fault: declare the worker dead.
+                                drop(merged);
+                                requeue(shared, shard, recorder);
+                                return (shards_done, true);
+                            }
+                            merged.completed.insert(shard);
+                            failures = 0;
+                            shards_done += 1;
+                            continue 'outer;
+                        }
+                        _ => {
+                            requeue(shared, shard, recorder);
+                            return (shards_done, true);
+                        }
+                    }
+                }
+                Err(ServeError::UnknownSeries(_)) => {
+                    // The worker restarted and lost the job: re-ship it.
+                    recorder.add("cluster.shards.retried", 1);
+                    loaded = false;
+                    continue;
+                }
+                Err(_) => {
+                    // I/O error or shard deadline: reconnect and retry here,
+                    // then give the shard to survivors.
+                    recorder.add("cluster.shards.retried", 1);
+                    conn = None;
+                    failures += 1;
+                    if failures > cfg.worker_attempts {
+                        requeue(shared, shard, recorder);
+                        return (shards_done, true);
+                    }
+                }
+            }
+        }
+    }
+    (shards_done, false)
+}
+
+fn requeue(shared: &SharedState, shard: Shard, recorder: &SharedRecorder) {
+    recorder.add("cluster.shards.redispatched", 1);
+    shared.pending.lock().expect("pending lock").push_back(shard);
+}

@@ -1,0 +1,306 @@
+//! Job specification, the deterministic output body, and the local
+//! (in-process) executor that distributed runs are held bit-identical to.
+//!
+//! A cluster job computes the **exact** per-length STOMP profile for every
+//! ℓ in `[l_min, l_max]` (sharded by diagonal range), folds them into a
+//! VALMP in ascending-length order, and extracts the top variable-length
+//! motifs. This is the paper's exhaustive baseline shape rather than the
+//! single-node LB-pruned VALMOD walk — the LB walk's sub-MP passes are
+//! sequentially dependent on state harvested at ℓ_min and cannot be
+//! partitioned without changing bits, whereas exact per-length profiles
+//! merge bit-identically from any shard partition.
+
+use valmod_core::ranking::top_variable_length_motifs;
+use valmod_core::valmp::Valmp;
+use valmod_data::error::{Result, ValmodError};
+use valmod_data::io::fnv1a64;
+use valmod_mp::motif::MotifPair;
+use valmod_mp::{
+    lex_update, merge_partial, stomp_diagonal_range_ws, ExclusionPolicy, MatrixProfile,
+    ProfiledSeries, Workspace,
+};
+use valmod_obs::{Recorder, SharedRecorder};
+use valmod_serve::Value;
+
+use crate::plan::Plan;
+
+/// What to compute, over which series.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job identifier (scopes worker-side series caches; not part of the
+    /// output body, so two runs of the same data compare byte-for-byte).
+    pub job_id: String,
+    /// The raw series.
+    pub values: Vec<f64>,
+    /// Shortest subsequence length.
+    pub l_min: usize,
+    /// Longest subsequence length.
+    pub l_max: usize,
+    /// Exclusion policy applied at every length.
+    pub policy: ExclusionPolicy,
+    /// How many ranked motifs to report.
+    pub top: usize,
+}
+
+impl JobSpec {
+    /// A spec with the defaults the CLI uses (`HALF` exclusion, top 5).
+    pub fn new(job_id: impl Into<String>, values: Vec<f64>, l_min: usize, l_max: usize) -> JobSpec {
+        JobSpec {
+            job_id: job_id.into(),
+            values,
+            l_min,
+            l_max,
+            policy: ExclusionPolicy::HALF,
+            top: 5,
+        }
+    }
+}
+
+/// The merged result of one job: every per-length profile plus the derived
+/// VALMP ranking.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// Series length.
+    pub n: usize,
+    /// Length range the job covered.
+    pub l_min: usize,
+    /// Longest length.
+    pub l_max: usize,
+    /// Exclusion policy used.
+    pub policy: ExclusionPolicy,
+    /// Exact per-length profiles, ascending length.
+    pub profiles: Vec<MatrixProfile>,
+    /// Top ranked variable-length motifs (overlap-suppressed).
+    pub motifs: Vec<MotifPair>,
+    /// The single best variable-length pair, if any slot is finite.
+    pub best: Option<MotifPair>,
+}
+
+impl JobOutput {
+    /// Derives the VALMP fold and motif ranking from merged per-length
+    /// profiles (which must be ascending in `l` and cover
+    /// `l_min..=l_max`).
+    pub fn from_profiles(spec: &JobSpec, profiles: Vec<MatrixProfile>) -> Result<JobOutput> {
+        let expected = spec.l_max - spec.l_min + 1;
+        if profiles.len() != expected {
+            return Err(ValmodError::InvalidParameter(format!(
+                "expected {expected} per-length profiles, got {}",
+                profiles.len()
+            )));
+        }
+        let ndp = spec.values.len() - spec.l_min + 1;
+        let mut valmp = Valmp::new(ndp);
+        for (i, profile) in profiles.iter().enumerate() {
+            let l = spec.l_min + i;
+            if profile.l != l {
+                return Err(ValmodError::InvalidParameter(format!(
+                    "profile {i} has length {}, expected {l}",
+                    profile.l
+                )));
+            }
+            valmp.update(&profile.mp, &profile.ip, l);
+        }
+        let motifs = top_variable_length_motifs(&valmp, spec.top, spec.policy);
+        let best = valmp.best_pair();
+        Ok(JobOutput {
+            n: spec.values.len(),
+            l_min: spec.l_min,
+            l_max: spec.l_max,
+            policy: spec.policy,
+            profiles,
+            motifs,
+            best,
+        })
+    }
+
+    /// The canonical response body. Deterministic in the profile bits: the
+    /// ranked motif list rides alongside a per-length FNV-1a digest over
+    /// every `mp` bit pattern and `ip` index, so a byte-for-byte diff of
+    /// two bodies is as strong as comparing the full profiles.
+    pub fn body(&self) -> Value {
+        let pol = self.policy.reduced();
+        let lengths = self
+            .profiles
+            .iter()
+            .map(|p| {
+                Value::obj(vec![
+                    ("l", p.l.into()),
+                    ("finite", p.mp.iter().filter(|d| d.is_finite()).count().into()),
+                    ("fnv", Value::str(format!("{:016x}", profile_fnv(p)))),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("n", self.n.into()),
+            ("l_min", self.l_min.into()),
+            ("l_max", self.l_max.into()),
+            ("excl", Value::str(format!("{}/{}", pol.num(), pol.den()))),
+            ("lengths", Value::Arr(lengths)),
+            ("motifs", Value::Arr(self.motifs.iter().map(pair_value).collect())),
+            ("best", self.best.as_ref().map_or(Value::Null, pair_value)),
+        ])
+    }
+
+    /// Bitwise equality over every per-length profile (`to_bits` on each
+    /// distance, exact on each index) plus the derived ranking.
+    pub fn bits_equal(&self, other: &JobOutput) -> bool {
+        self.n == other.n
+            && self.profiles.len() == other.profiles.len()
+            && self.profiles.iter().zip(&other.profiles).all(|(a, b)| {
+                a.l == b.l
+                    && a.mp.len() == b.mp.len()
+                    && a.mp.iter().zip(&b.mp).all(|(x, y)| x.to_bits() == y.to_bits())
+                    && a.ip == b.ip
+            })
+            && self.body().encode() == other.body().encode()
+    }
+}
+
+fn pair_value(pair: &MotifPair) -> Value {
+    Value::obj(vec![
+        ("a", pair.a.into()),
+        ("b", pair.b.into()),
+        ("l", pair.l.into()),
+        ("dist", Value::Num(pair.dist)),
+        ("norm_dist", Value::Num(pair.norm_dist())),
+    ])
+}
+
+/// FNV-1a digest over a profile's exact bit content.
+fn profile_fnv(p: &MatrixProfile) -> u64 {
+    let mut bytes = Vec::with_capacity(p.mp.len() * 16);
+    for (&d, &j) in p.mp.iter().zip(&p.ip) {
+        bytes.extend_from_slice(&d.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&(j as u64).to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Executes the *same plan* a distributed run would use, in process:
+/// every shard computed with [`stomp_diagonal_range_ws`] and min-merged
+/// with [`merge_partial`]. This is the byte-for-byte reference the check
+/// oracle and the CI smoke test diff distributed bodies against.
+pub fn run_local(
+    spec: &JobSpec,
+    parts_per_length: usize,
+    recorder: &SharedRecorder,
+) -> Result<JobOutput> {
+    let plan = Plan::build(spec.values.len(), spec.l_min, spec.l_max, spec.policy, parts_per_length)?;
+    let ps = ProfiledSeries::from_values(&spec.values)?;
+    let mut ws = Workspace::new();
+    let mut profiles = empty_profiles(spec);
+    for shard in &plan.shards {
+        let partial =
+            stomp_diagonal_range_ws(&ps, shard.l, spec.policy, (shard.k_start, shard.k_end), &mut ws)?;
+        merge_partial(&mut profiles[shard.l - spec.l_min], &partial);
+        if recorder.enabled() {
+            recorder.add("cluster.local.shards", 1);
+        }
+    }
+    JobOutput::from_profiles(spec, profiles)
+}
+
+/// One all-infinite profile per length in the spec's range — the identity
+/// element every shard partial merges into.
+pub(crate) fn empty_profiles(spec: &JobSpec) -> Vec<MatrixProfile> {
+    (spec.l_min..=spec.l_max)
+        .map(|l| {
+            let ndp = spec.values.len() - l + 1;
+            MatrixProfile {
+                l,
+                mp: vec![f64::INFINITY; ndp],
+                ip: vec![usize::MAX; ndp],
+                exclusion_radius: spec.policy.radius(l),
+            }
+        })
+        .collect()
+}
+
+/// Merges one decoded wire partial into the right per-length profile.
+pub(crate) fn merge_wire_partial(
+    profiles: &mut [MatrixProfile],
+    l_min: usize,
+    l: usize,
+    mp: &[f64],
+    ip: &[usize],
+) -> Result<()> {
+    let idx = l
+        .checked_sub(l_min)
+        .filter(|&i| i < profiles.len())
+        .ok_or_else(|| ValmodError::InvalidParameter(format!("partial for out-of-range l={l}")))?;
+    let dst = &mut profiles[idx];
+    if mp.len() != dst.mp.len() || ip.len() != dst.ip.len() {
+        return Err(ValmodError::InvalidParameter(format!(
+            "partial for l={l} has {} slots, expected {}",
+            mp.len(),
+            dst.mp.len()
+        )));
+    }
+    for i in 0..mp.len() {
+        lex_update(&mut dst.mp[i], &mut dst.ip[i], mp[i], ip[i]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::plant_motif;
+    use valmod_mp::stomp::stomp;
+
+    fn spec() -> JobSpec {
+        let (values, _) = plant_motif(600, 24, 2, 0.001, 11);
+        JobSpec::new("t", values, 16, 28)
+    }
+
+    #[test]
+    fn local_run_matches_unsharded_stomp_per_length() {
+        let spec = spec();
+        let out = run_local(&spec, 3, &SharedRecorder::noop()).unwrap();
+        let ps = ProfiledSeries::from_values(&spec.values).unwrap();
+        for profile in &out.profiles {
+            let oracle = stomp(&ps, profile.l, spec.policy).unwrap();
+            for i in 0..oracle.len() {
+                assert_eq!(profile.mp[i].to_bits(), oracle.mp[i].to_bits(), "l={} i={i}", profile.l);
+                assert_eq!(profile.ip[i], oracle.ip[i], "l={} i={i}", profile.l);
+            }
+        }
+        assert!(!out.motifs.is_empty(), "planted motif must rank");
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn partition_shape_does_not_change_the_body() {
+        let spec = spec();
+        let reference = run_local(&spec, 1, &SharedRecorder::noop()).unwrap();
+        for parts in [2usize, 5, 16] {
+            let out = run_local(&spec, parts, &SharedRecorder::noop()).unwrap();
+            assert!(out.bits_equal(&reference), "parts={parts}");
+            assert_eq!(out.body().encode(), reference.body().encode(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn body_digest_is_sensitive_to_profile_bits() {
+        let spec = spec();
+        let out = run_local(&spec, 2, &SharedRecorder::noop()).unwrap();
+        let mut tweaked = out.clone();
+        // Flip one mantissa bit in one slot of one profile.
+        let slot = tweaked.profiles[0].mp.iter().position(|d| d.is_finite()).unwrap();
+        let bits = tweaked.profiles[0].mp[slot].to_bits() ^ 1;
+        tweaked.profiles[0].mp[slot] = f64::from_bits(bits);
+        assert_ne!(out.body().encode(), tweaked.body().encode());
+        assert!(!out.bits_equal(&tweaked));
+    }
+
+    #[test]
+    fn from_profiles_rejects_wrong_shapes() {
+        let spec = spec();
+        let mut profiles = empty_profiles(&spec);
+        profiles.pop();
+        assert!(JobOutput::from_profiles(&spec, profiles).is_err());
+        let mut profiles = empty_profiles(&spec);
+        profiles[0].l += 1;
+        assert!(JobOutput::from_profiles(&spec, profiles).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! The partition plan: how one variable-length discovery job splits into
+//! independently computable shards.
+//!
+//! Two axes of parallelism compose:
+//!
+//! * **By length** — the per-length STOMP profiles of the ℓmin..ℓmax sweep
+//!   are independent until the VALMP fold, so every length is its own set
+//!   of shards.
+//! * **By diagonal range within one length** — [`diagonal_chunks`] splits
+//!   the diagonals of one STOMP pass into cell-balanced contiguous ranges,
+//!   exactly the partition the in-process parallel kernel uses; each range
+//!   yields a full-length *partial* profile whose untouched slots stay at
+//!   `(∞, usize::MAX)`.
+//!
+//! Because the lexicographic `(distance, index)` min that merges partials
+//! is associative, commutative, and idempotent, the plan needs no ordering
+//! or exactly-once guarantees: any execution that computes every shard *at
+//! least once* merges to the same bits as a local run.
+
+use valmod_core::validate::validate_length_range;
+use valmod_data::error::Result;
+use valmod_mp::diagonal_chunks;
+use valmod_mp::ExclusionPolicy;
+
+/// One unit of distributed work: the partial profile of diagonals
+/// `[k_start, k_end)` at subsequence length `l`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    /// Subsequence length of this STOMP pass.
+    pub l: usize,
+    /// First diagonal (inclusive).
+    pub k_start: usize,
+    /// One past the last diagonal.
+    pub k_end: usize,
+}
+
+/// The full partition plan for one job.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Series length the plan was built for.
+    pub n: usize,
+    /// Shards in dispatch order (ascending length, then ascending range).
+    pub shards: Vec<Shard>,
+}
+
+impl Plan {
+    /// Builds the plan for a series of `n` samples over `[l_min, l_max]`,
+    /// splitting each length into at most `parts_per_length` diagonal
+    /// ranges (clamped to ≥ 1; lengths whose exclusion zone covers every
+    /// diagonal contribute no shards — their profile is all-infinite).
+    pub fn build(
+        n: usize,
+        l_min: usize,
+        l_max: usize,
+        policy: ExclusionPolicy,
+        parts_per_length: usize,
+    ) -> Result<Plan> {
+        validate_length_range(n, l_min, l_max)?;
+        let parts = parts_per_length.max(1);
+        let mut shards = Vec::new();
+        for l in l_min..=l_max {
+            let ndp = n - l + 1;
+            let radius = policy.radius(l);
+            for (k_start, k_end) in diagonal_chunks(ndp, radius, parts) {
+                shards.push(Shard { l, k_start, k_end });
+            }
+        }
+        Ok(Plan { n, shards })
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan has no shards (every length fully excluded).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_every_diagonal_of_every_length_exactly_once() {
+        let plan = Plan::build(300, 16, 24, ExclusionPolicy::HALF, 3).unwrap();
+        for l in 16..=24 {
+            let ndp = 300 - l + 1;
+            let radius = ExclusionPolicy::HALF.radius(l);
+            let ranges: Vec<_> = plan
+                .shards
+                .iter()
+                .filter(|s| s.l == l)
+                .map(|s| (s.k_start, s.k_end))
+                .collect();
+            let mut next = radius;
+            for &(s, e) in &ranges {
+                assert_eq!(s, next, "l={l}");
+                assert!(e > s);
+                next = e;
+            }
+            assert_eq!(next, ndp, "l={l}");
+        }
+    }
+
+    #[test]
+    fn parts_clamp_and_degenerate_lengths() {
+        // parts=0 clamps to 1: one shard per length.
+        let plan = Plan::build(100, 10, 12, ExclusionPolicy::HALF, 0).unwrap();
+        assert_eq!(plan.len(), 3);
+        // A length whose exclusion zone covers everything contributes none.
+        let tight = Plan::build(12, 10, 10, ExclusionPolicy::HALF, 2).unwrap();
+        assert!(tight.is_empty());
+        // Inverted ranges are validation errors, not empty plans.
+        assert!(Plan::build(100, 20, 10, ExclusionPolicy::HALF, 2).is_err());
+    }
+}

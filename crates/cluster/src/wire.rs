@@ -1,0 +1,321 @@
+//! The cluster wire protocol — the same line-delimited JSON framing as
+//! `valmod-serve` (one request object per line, one response per line, the
+//! exact-f64 [`Value`] encoding), with worker-specific commands:
+//!
+//! ```text
+//! cmd      := "hello" | "ping" | "load_job" | "work" | "drop_job" | "shutdown"
+//!
+//! hello    := version, capabilities?: [str...]   (shared with valmod-serve)
+//! load_job := job, values: [f64...], excl?: "num/den"
+//! work     := job, l, k_start, k_end
+//! drop_job := job
+//!
+//! work result := { "l", "k_start", "k_end", "mp": [num|null...], "ip": [num|null...] }
+//! ```
+//!
+//! `mp` encodes `+∞` (no neighbour seen in this range) as `null` and finite
+//! distances through the shortest-round-trip `f64` rendering, so a partial
+//! profile survives the wire **bit-exactly**; `ip` encodes `usize::MAX` as
+//! `null`. A `work` for a job the worker does not hold answers the stable
+//! error kind `unknown_series` — the coordinator reacts by re-sending
+//! `load_job` (this is how a restarted worker rejoins mid-job).
+
+use valmod_mp::ExclusionPolicy;
+use valmod_serve::{ServeError, ServeResult, Value};
+
+use crate::plan::Shard;
+
+/// Capabilities a cluster worker advertises in its `hello` response.
+pub const WORKER_CAPABILITIES: &[&str] = &["cluster", "stomp-range"];
+
+/// A parsed worker-bound request.
+#[derive(Debug, Clone)]
+pub enum ClusterRequest {
+    /// Version/capability handshake (same shape as the serve protocol).
+    Hello {
+        /// Protocol version the peer speaks.
+        version: u64,
+        /// Capability strings the peer offers.
+        capabilities: Vec<String>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Ship the series for a job; the worker caches its profiled form.
+    LoadJob {
+        /// Job identifier (scopes the cached series).
+        job: String,
+        /// The raw samples.
+        values: Vec<f64>,
+        /// Exclusion policy for every shard of this job.
+        policy: ExclusionPolicy,
+    },
+    /// Compute the partial profile of one shard.
+    Work {
+        /// Job identifier.
+        job: String,
+        /// The shard to compute.
+        shard: Shard,
+    },
+    /// Forget a job's cached series.
+    DropJob {
+        /// Job identifier.
+        job: String,
+    },
+    /// Stop the worker process.
+    Shutdown,
+}
+
+impl ClusterRequest {
+    /// The stable wire name of this command.
+    pub fn cmd_name(&self) -> &'static str {
+        match self {
+            ClusterRequest::Hello { .. } => "hello",
+            ClusterRequest::Ping => "ping",
+            ClusterRequest::LoadJob { .. } => "load_job",
+            ClusterRequest::Work { .. } => "work",
+            ClusterRequest::DropJob { .. } => "drop_job",
+            ClusterRequest::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses one request tree, rejecting unknown commands and fields.
+    pub fn from_value(v: &Value) -> ServeResult<ClusterRequest> {
+        let fields = match v {
+            Value::Obj(fields) => fields,
+            _ => return Err(ServeError::Protocol("request must be an object".into())),
+        };
+        let cmd = require_str(v, "cmd")?;
+        let known: &[&str] = match cmd {
+            "hello" => &["cmd", "version", "capabilities"],
+            "ping" | "shutdown" => &["cmd"],
+            "load_job" => &["cmd", "job", "values", "excl"],
+            "work" => &["cmd", "job", "l", "k_start", "k_end"],
+            "drop_job" => &["cmd", "job"],
+            other => return Err(ServeError::Protocol(format!("unknown command {other:?}"))),
+        };
+        for (k, _) in fields {
+            if !known.contains(&k.as_str()) {
+                return Err(ServeError::Protocol(format!("unknown field {k:?} for {cmd:?}")));
+            }
+        }
+        match cmd {
+            "hello" => Ok(ClusterRequest::Hello {
+                version: v
+                    .get("version")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad_field("version", "a non-negative integer"))?,
+                capabilities: match v.get("capabilities") {
+                    None => Vec::new(),
+                    Some(c) => c
+                        .as_arr()
+                        .and_then(|a| {
+                            a.iter().map(|x| x.as_str().map(str::to_string)).collect()
+                        })
+                        .ok_or_else(|| bad_field("capabilities", "an array of strings"))?,
+                },
+            }),
+            "ping" => Ok(ClusterRequest::Ping),
+            "load_job" => Ok(ClusterRequest::LoadJob {
+                job: require_str(v, "job")?.to_string(),
+                values: {
+                    let arr = v
+                        .get("values")
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| bad_field("values", "an array"))?;
+                    arr.iter()
+                        .map(|x| x.as_f64().filter(|f| f.is_finite()))
+                        .collect::<Option<Vec<f64>>>()
+                        .ok_or_else(|| bad_field("values", "an array of finite numbers"))?
+                },
+                policy: match v.get("excl") {
+                    None => ExclusionPolicy::HALF,
+                    Some(e) => parse_policy(
+                        e.as_str().ok_or_else(|| bad_field("excl", "a \"num/den\" string"))?,
+                    )?,
+                },
+            }),
+            "work" => Ok(ClusterRequest::Work {
+                job: require_str(v, "job")?.to_string(),
+                shard: Shard {
+                    l: require_usize(v, "l")?,
+                    k_start: require_usize(v, "k_start")?,
+                    k_end: require_usize(v, "k_end")?,
+                },
+            }),
+            "drop_job" => Ok(ClusterRequest::DropJob { job: require_str(v, "job")?.to_string() }),
+            "shutdown" => Ok(ClusterRequest::Shutdown),
+            _ => unreachable!("cmd already validated"),
+        }
+    }
+
+    /// Encodes this request as a wire tree (the coordinator side).
+    pub fn to_value(&self) -> Value {
+        match self {
+            ClusterRequest::Hello { version, capabilities } => Value::obj(vec![
+                ("cmd", Value::str("hello")),
+                ("version", (*version).into()),
+                ("capabilities", Value::Arr(capabilities.iter().map(Value::str).collect())),
+            ]),
+            ClusterRequest::Ping => Value::obj(vec![("cmd", Value::str("ping"))]),
+            ClusterRequest::LoadJob { job, values, policy } => {
+                let mut fields = vec![
+                    ("cmd", Value::str("load_job")),
+                    ("job", Value::str(job)),
+                    ("values", Value::Arr(values.iter().map(|&x| Value::Num(x)).collect())),
+                ];
+                let pol = policy.reduced();
+                if pol != ExclusionPolicy::HALF {
+                    fields.push(("excl", Value::str(format!("{}/{}", pol.num(), pol.den()))));
+                }
+                Value::obj(fields)
+            }
+            ClusterRequest::Work { job, shard } => Value::obj(vec![
+                ("cmd", Value::str("work")),
+                ("job", Value::str(job)),
+                ("l", shard.l.into()),
+                ("k_start", shard.k_start.into()),
+                ("k_end", shard.k_end.into()),
+            ]),
+            ClusterRequest::DropJob { job } => {
+                Value::obj(vec![("cmd", Value::str("drop_job")), ("job", Value::str(job))])
+            }
+            ClusterRequest::Shutdown => Value::obj(vec![("cmd", Value::str("shutdown"))]),
+        }
+    }
+}
+
+/// Encodes one computed partial profile as a `work` result payload.
+/// `+∞`/`usize::MAX` slots (never touched by this shard's range) become
+/// `null`; finite distances round-trip bit-exactly through the shortest
+/// `f64` rendering.
+pub fn encode_partial(shard: &Shard, mp: &[f64], ip: &[usize]) -> Value {
+    Value::obj(vec![
+        ("l", shard.l.into()),
+        ("k_start", shard.k_start.into()),
+        ("k_end", shard.k_end.into()),
+        (
+            "mp",
+            Value::Arr(
+                mp.iter()
+                    .map(|&d| if d.is_finite() { Value::Num(d) } else { Value::Null })
+                    .collect(),
+            ),
+        ),
+        (
+            "ip",
+            Value::Arr(
+                ip.iter()
+                    .map(|&j| if j == usize::MAX { Value::Null } else { Value::from(j) })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a `work` result payload back into `(shard, mp, ip)`.
+pub fn decode_partial(v: &Value) -> ServeResult<(Shard, Vec<f64>, Vec<usize>)> {
+    let shard = Shard {
+        l: require_usize(v, "l")?,
+        k_start: require_usize(v, "k_start")?,
+        k_end: require_usize(v, "k_end")?,
+    };
+    let mp_arr = v.get("mp").and_then(Value::as_arr).ok_or_else(|| bad_field("mp", "an array"))?;
+    let ip_arr = v.get("ip").and_then(Value::as_arr).ok_or_else(|| bad_field("ip", "an array"))?;
+    if mp_arr.len() != ip_arr.len() {
+        return Err(ServeError::Protocol("partial mp/ip length mismatch".into()));
+    }
+    let mp = mp_arr
+        .iter()
+        .map(|x| match x {
+            Value::Null => Some(f64::INFINITY),
+            other => other.as_f64().filter(|f| f.is_finite()),
+        })
+        .collect::<Option<Vec<f64>>>()
+        .ok_or_else(|| bad_field("mp", "numbers or nulls"))?;
+    let ip = ip_arr
+        .iter()
+        .map(|x| match x {
+            Value::Null => Some(usize::MAX),
+            other => other.as_usize(),
+        })
+        .collect::<Option<Vec<usize>>>()
+        .ok_or_else(|| bad_field("ip", "non-negative integers or nulls"))?;
+    Ok((shard, mp, ip))
+}
+
+fn bad_field(key: &str, expected: &str) -> ServeError {
+    ServeError::Protocol(format!("field {key:?} must be {expected}"))
+}
+
+fn require_str<'a>(v: &'a Value, key: &str) -> ServeResult<&'a str> {
+    v.get(key).and_then(Value::as_str).ok_or_else(|| bad_field(key, "a string"))
+}
+
+fn require_usize(v: &Value, key: &str) -> ServeResult<usize> {
+    v.get(key).and_then(Value::as_usize).ok_or_else(|| bad_field(key, "a non-negative integer"))
+}
+
+fn parse_policy(s: &str) -> ServeResult<ExclusionPolicy> {
+    let (num, den) = s
+        .split_once('/')
+        .and_then(|(n, d)| Some((n.trim().parse().ok()?, d.trim().parse().ok()?)))
+        .filter(|&(_, d): &(usize, usize)| d > 0)
+        .ok_or_else(|| bad_field("excl", "\"num/den\" with den > 0"))?;
+    Ok(ExclusionPolicy::new(num, den))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_to_value() {
+        let reqs = vec![
+            ClusterRequest::Hello { version: 1, capabilities: vec!["cluster".into()] },
+            ClusterRequest::Ping,
+            ClusterRequest::LoadJob {
+                job: "j1".into(),
+                values: vec![1.0, -2.5, 0.125],
+                policy: ExclusionPolicy::QUARTER,
+            },
+            ClusterRequest::Work { job: "j1".into(), shard: Shard { l: 16, k_start: 8, k_end: 40 } },
+            ClusterRequest::DropJob { job: "j1".into() },
+            ClusterRequest::Shutdown,
+        ];
+        for req in reqs {
+            let encoded = req.to_value().encode();
+            let rereq = ClusterRequest::from_value(&Value::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(format!("{req:?}"), format!("{rereq:?}"), "roundtrip of {encoded}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            r#"[1]"#,
+            r#"{"cmd":"warp"}"#,
+            r#"{"cmd":"work","job":"j"}"#,
+            r#"{"cmd":"work","job":"j","l":8,"k_start":0,"k_end":4,"typo":1}"#,
+            r#"{"cmd":"load_job","job":"j","values":[1,"x"]}"#,
+            r#"{"cmd":"load_job","job":"j","values":[1],"excl":"1/0"}"#,
+            r#"{"cmd":"hello"}"#,
+        ] {
+            let parsed = Value::parse(bad).unwrap();
+            assert!(ClusterRequest::from_value(&parsed).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn partials_roundtrip_bit_exactly_with_nulls() {
+        let shard = Shard { l: 12, k_start: 6, k_end: 20 };
+        let mp = vec![0.1 + 0.2, f64::INFINITY, 1.0 / 3.0, 2.0_f64.sqrt()];
+        let ip = vec![3, usize::MAX, 0, 2];
+        let encoded = encode_partial(&shard, &mp, &ip).encode();
+        let (reshard, remp, reip) = decode_partial(&Value::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(reshard, shard);
+        assert_eq!(reip, ip);
+        for (a, b) in mp.iter().zip(&remp) {
+            assert_eq!(a.to_bits(), b.to_bits(), "wire must preserve every bit");
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The cluster worker: a small line-protocol TCP server that caches one
+//! profiled series per job and answers `work` requests with diagonal-range
+//! partial profiles.
+//!
+//! A worker is deliberately stateless beyond its job cache — if it crashes
+//! and restarts, the coordinator's `unknown_series` handling re-ships the
+//! series and the shard is recomputed; the idempotent merge makes the
+//! duplicate harmless. The optional [`Fault`] plan injects protocol-level
+//! failures (abrupt close ≈ SIGKILL, pre-reply hangs ≈ stragglers) for the
+//! check oracle and the integration tests.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use valmod_mp::{stomp_diagonal_range_ws, ExclusionPolicy, ProfiledSeries, Workspace};
+use valmod_obs::{Recorder, SharedRecorder};
+use valmod_serve::protocol::{hello_result, response_err, response_ok};
+use valmod_serve::{
+    read_bounded_line, LineRead, ServeError, ServeResult, Value, DEFAULT_MAX_LINE_BYTES,
+};
+
+use crate::wire::{encode_partial, ClusterRequest, WORKER_CAPABILITIES};
+
+/// A deliberate failure mode for fault-matrix testing.
+#[derive(Debug, Clone, Copy)]
+pub enum Fault {
+    /// Close the connection without replying once `after` `work` commands
+    /// have completed — the protocol-level shape of a SIGKILL mid-shard.
+    CloseAfter {
+        /// Number of successful `work` replies before the drop.
+        after: usize,
+    },
+    /// Sleep before replying to every `work` past the first `after` — a
+    /// straggler that trips the coordinator's per-shard deadline.
+    HangAfter {
+        /// Number of prompt `work` replies before hanging starts.
+        after: usize,
+        /// How long each hung reply stalls.
+        stall: Duration,
+    },
+}
+
+/// Worker construction options.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Per-request line cap (shared default with `valmod-serve`).
+    pub max_line_bytes: usize,
+    /// Optional injected failure mode.
+    pub fault: Option<Fault>,
+    /// Protocol version to advertise in `hello` (tests use a wrong one to
+    /// exercise coordinator-side rejection). `None` = this build's version.
+    pub advertise_version: Option<u64>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig { max_line_bytes: DEFAULT_MAX_LINE_BYTES, fault: None, advertise_version: None }
+    }
+}
+
+/// Shared worker state: the per-job series cache and fault accounting.
+struct WorkerState {
+    jobs: Mutex<HashMap<String, Arc<Job>>>,
+    config: WorkerConfig,
+    recorder: SharedRecorder,
+    work_done: AtomicUsize,
+}
+
+struct Job {
+    ps: ProfiledSeries,
+    policy: ExclusionPolicy,
+}
+
+/// A bound-but-not-yet-running cluster worker.
+pub struct Worker {
+    listener: TcpListener,
+    state: Arc<WorkerState>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Worker {
+    /// Binds to `addr` (port 0 for ephemeral).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: WorkerConfig,
+        recorder: SharedRecorder,
+    ) -> ServeResult<Worker> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Worker {
+            listener,
+            state: Arc::new(WorkerState {
+                jobs: Mutex::new(HashMap::new()),
+                config,
+                recorder,
+                work_done: AtomicUsize::new(0),
+            }),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> ServeResult<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serves until a `shutdown` command arrives.
+    pub fn run(self) -> ServeResult<()> {
+        let addr = self.local_addr()?;
+        let mut handlers = Vec::new();
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(ServeError::Io(e));
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let state = Arc::clone(&self.state);
+            let stop = Arc::clone(&self.stop);
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, state, &stop, addr);
+            }));
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: Arc<WorkerState>,
+    stop: &AtomicBool,
+    worker_addr: SocketAddr,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // One workspace per connection: FFT plans and buffers are reused across
+    // every shard this coordinator connection dispatches.
+    let mut ws = Workspace::new();
+    loop {
+        let line = match read_bounded_line(&mut reader, state.config.max_line_bytes) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Eof) | Err(_) => return,
+            Ok(LineRead::TooLong) => {
+                let err = ServeError::Protocol("request line exceeds the line limit".into());
+                let _ = write_line(&mut writer, response_err(&err));
+                return;
+            }
+            Ok(LineRead::NotUtf8) => {
+                let err = ServeError::Protocol("request line is not valid UTF-8".into());
+                let _ = write_line(&mut writer, response_err(&err));
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Value::parse(&line).and_then(|v| ClusterRequest::from_value(&v)) {
+            Ok(req) => req,
+            Err(e) => {
+                if !write_line(&mut writer, response_err(&e)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.recorder.enabled() {
+            state.recorder.add(&format!("cluster.worker.cmd.{}", request.cmd_name()), 1);
+        }
+        let shutdown = matches!(request, ClusterRequest::Shutdown);
+        match execute(&state, request, &mut ws) {
+            Outcome::Reply(response) => {
+                if !write_line(&mut writer, response) {
+                    return;
+                }
+            }
+            Outcome::Drop => {
+                // Injected fault: vanish without a reply, like a kill -9.
+                if let Ok(s) = writer.try_clone() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(worker_addr);
+            return;
+        }
+    }
+}
+
+enum Outcome {
+    Reply(Value),
+    Drop,
+}
+
+fn execute(state: &WorkerState, request: ClusterRequest, ws: &mut Workspace) -> Outcome {
+    match request {
+        ClusterRequest::Hello { .. } => {
+            let version = state
+                .config
+                .advertise_version
+                .unwrap_or(valmod_serve::PROTOCOL_VERSION);
+            // Same payload shape as `hello_result`, with an overridable
+            // version for the incompatibility tests.
+            let mut v = hello_result(WORKER_CAPABILITIES);
+            if let Value::Obj(fields) = &mut v {
+                for (k, val) in fields.iter_mut() {
+                    if k == "version" {
+                        *val = version.into();
+                    }
+                }
+            }
+            Outcome::Reply(response_ok(v, None))
+        }
+        ClusterRequest::Ping => Outcome::Reply(response_ok(Value::str("pong"), None)),
+        ClusterRequest::LoadJob { job, values, policy } => {
+            let ps = match ProfiledSeries::from_values(&values) {
+                Ok(ps) => ps,
+                Err(e) => return Outcome::Reply(response_err(&e)),
+            };
+            let len = values.len();
+            state
+                .jobs
+                .lock()
+                .expect("jobs lock")
+                .insert(job.clone(), Arc::new(Job { ps, policy }));
+            Outcome::Reply(response_ok(
+                Value::obj(vec![("job", Value::str(&job)), ("len", len.into())]),
+                None,
+            ))
+        }
+        ClusterRequest::Work { job, shard } => {
+            let entry = state.jobs.lock().expect("jobs lock").get(&job).cloned();
+            let Some(entry) = entry else {
+                // Stable kind the coordinator reacts to by re-sending the job.
+                return Outcome::Reply(response_err(&ServeError::UnknownSeries(job)));
+            };
+            let partial = match stomp_diagonal_range_ws(
+                &entry.ps,
+                shard.l,
+                entry.policy,
+                (shard.k_start, shard.k_end),
+                ws,
+            ) {
+                Ok(p) => p,
+                Err(e) => return Outcome::Reply(response_err(&e)),
+            };
+            let done = state.work_done.fetch_add(1, Ordering::SeqCst) + 1;
+            match state.config.fault {
+                Some(Fault::CloseAfter { after }) if done > after => return Outcome::Drop,
+                Some(Fault::HangAfter { after, stall }) if done > after => {
+                    std::thread::sleep(stall);
+                }
+                _ => {}
+            }
+            if state.recorder.enabled() {
+                state.recorder.add("cluster.worker.shards_computed", 1);
+            }
+            Outcome::Reply(response_ok(encode_partial(&shard, &partial.mp, &partial.ip), None))
+        }
+        ClusterRequest::DropJob { job } => {
+            let dropped = state.jobs.lock().expect("jobs lock").remove(&job).is_some();
+            Outcome::Reply(response_ok(Value::obj(vec![("dropped", Value::Bool(dropped))]), None))
+        }
+        ClusterRequest::Shutdown => Outcome::Reply(response_ok(Value::str("shutting down"), None)),
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: Value) -> bool {
+    let mut encoded = response.encode();
+    encoded.push('\n');
+    writer.write_all(encoded.as_bytes()).is_ok() && writer.flush().is_ok()
+}
+
+/// A worker running on a background thread of *this* process — the shape
+/// the bench scaling scenario, the check oracle, and the tests use.
+pub struct LocalWorker {
+    addr: SocketAddr,
+    handle: Option<std::thread::JoinHandle<ServeResult<()>>>,
+}
+
+impl LocalWorker {
+    /// Binds an ephemeral-port worker and runs it on a new thread.
+    pub fn spawn(config: WorkerConfig) -> ServeResult<LocalWorker> {
+        let worker = Worker::bind("127.0.0.1:0", config, SharedRecorder::noop())?;
+        let addr = worker.local_addr()?;
+        let handle = std::thread::spawn(move || worker.run());
+        Ok(LocalWorker { addr, handle: Some(handle) })
+    }
+
+    /// The worker's address, as a `host:port` string for the coordinator.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Sends `shutdown` and joins the worker thread.
+    pub fn shutdown(mut self) {
+        let _ = send_shutdown(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LocalWorker {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = send_shutdown(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+fn send_shutdown(addr: SocketAddr) -> ServeResult<()> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(b"{\"cmd\":\"shutdown\"}\n")?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Spawns `count` in-process workers with the same config.
+pub fn spawn_local_workers(count: usize, config: WorkerConfig) -> ServeResult<Vec<LocalWorker>> {
+    (0..count).map(|_| LocalWorker::spawn(config.clone())).collect()
+}

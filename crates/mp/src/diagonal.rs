@@ -252,6 +252,65 @@ fn diagonal_range_minfold(
     }
 }
 
+/// Computes the *partial* matrix profile contributed by diagonals
+/// `[k_start, k_end)` alone: a full-length `(mp, ip)` pair where slots never
+/// touched by this range stay at `(∞, usize::MAX)`. The range must lie within
+/// `[policy.radius(l), ndp]` — out-of-range bounds are clamped, an empty
+/// range yields the all-infinite profile.
+///
+/// This is the unit of distributed work: min-merging the partials of any
+/// family of ranges that covers `[radius, ndp)` (overlaps and duplicates
+/// included — the lexicographic min is idempotent) with [`merge_partial`]
+/// reproduces [`stomp_diagonal_ws`] bit for bit.
+pub fn stomp_diagonal_range_ws(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    (k_start, k_end): (usize, usize),
+    ws: &mut Workspace,
+) -> Result<MatrixProfile> {
+    let ndp = prepare_seeds(ps, l, ws)?;
+    ws.note_use();
+    let block = ws.block();
+    let t = ps.centered();
+    let radius = policy.radius(l);
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    let (k_start, k_end) = (k_start.clamp(radius, ndp), k_end.clamp(radius, ndp));
+    if k_start < k_end {
+        let Workspace { qt_first, means, stds, .. } = ws;
+        diagonal_range_minfold(
+            t,
+            l,
+            ndp,
+            qt_first,
+            means,
+            stds,
+            (k_start, k_end),
+            block,
+            &mut mp,
+            &mut ip,
+        );
+    }
+    Ok(MatrixProfile { l, mp, ip, exclusion_radius: radius })
+}
+
+/// Lexicographically min-merges the partial profile `src` into `dst`
+/// slot-by-slot. Because [`lex_update`] is associative, commutative, and
+/// idempotent, merging any multiset of partials whose ranges cover the
+/// diagonal span — in any order, with duplicates — yields the same bits as
+/// the sequential kernel.
+///
+/// # Panics
+/// If the two profiles have different lengths or subsequence lengths.
+pub fn merge_partial(dst: &mut MatrixProfile, src: &MatrixProfile) {
+    assert_eq!(dst.l, src.l, "merge_partial: subsequence length mismatch");
+    assert_eq!(dst.len(), src.len(), "merge_partial: profile length mismatch");
+    for i in 0..src.len() {
+        lex_update(&mut dst.mp[i], &mut dst.ip[i], src.mp[i], src.ip[i]);
+    }
+}
+
 /// The parallel diagonal-blocked matrix profile: diagonals are partitioned
 /// into cell-balanced contiguous ranges, each worker min-folds into its own
 /// full-length profile, and the per-worker profiles merge lexicographically.
@@ -406,6 +465,67 @@ mod tests {
                 assert!(c <= 2 * mean + (ndp as u64), "chunk {c} vs mean {mean}");
             }
         }
+    }
+
+    #[test]
+    fn range_partials_merge_bit_identically_for_any_partition() {
+        let ps = ProfiledSeries::from_values(&random_walk(320, 9)).unwrap();
+        let l = 20usize;
+        let policy = ExclusionPolicy::HALF;
+        let full = stomp_row(&ps, l, policy).unwrap();
+        let ndp = full.len();
+        let radius = policy.radius(l);
+        for parts in [1usize, 2, 3, 5, 11] {
+            let chunks = diagonal_chunks(ndp, radius, parts);
+            let mut ws = Workspace::new();
+            let mut merged = MatrixProfile {
+                l,
+                mp: vec![f64::INFINITY; ndp],
+                ip: vec![usize::MAX; ndp],
+                exclusion_radius: radius,
+            };
+            // Merge in reverse order to exercise commutativity.
+            for &range in chunks.iter().rev() {
+                let partial = stomp_diagonal_range_ws(&ps, l, policy, range, &mut ws).unwrap();
+                merge_partial(&mut merged, &partial);
+            }
+            assert_profiles_bit_identical(&merged, &full, &format!("parts={parts}"));
+        }
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_ranges_are_harmless() {
+        let ps = ProfiledSeries::from_values(&random_walk(200, 5)).unwrap();
+        let l = 16usize;
+        let policy = ExclusionPolicy::HALF;
+        let full = stomp_row(&ps, l, policy).unwrap();
+        let ndp = full.len();
+        let radius = policy.radius(l);
+        let mid = radius + (ndp - radius) / 2;
+        let mut ws = Workspace::new();
+        let mut merged = MatrixProfile {
+            l,
+            mp: vec![f64::INFINITY; ndp],
+            ip: vec![usize::MAX; ndp],
+            exclusion_radius: radius,
+        };
+        // First half twice (a redispatched shard), overlapping second half.
+        for range in [(radius, mid), (radius, mid), (mid.saturating_sub(3), ndp)] {
+            let partial = stomp_diagonal_range_ws(&ps, l, policy, range, &mut ws).unwrap();
+            merge_partial(&mut merged, &partial);
+        }
+        assert_profiles_bit_identical(&merged, &full, "dup+overlap");
+    }
+
+    #[test]
+    fn empty_and_clamped_ranges_yield_infinite_partials() {
+        let ps = ProfiledSeries::from_values(&random_walk(100, 1)).unwrap();
+        let mut ws = Workspace::new();
+        let p = stomp_diagonal_range_ws(&ps, 10, ExclusionPolicy::HALF, (7, 7), &mut ws).unwrap();
+        assert!(p.mp.iter().all(|d| d.is_infinite()));
+        // A range entirely below the radius clamps to empty.
+        let q = stomp_diagonal_range_ws(&ps, 10, ExclusionPolicy::HALF, (0, 2), &mut ws).unwrap();
+        assert!(q.mp.iter().all(|d| d.is_infinite()));
     }
 
     #[test]

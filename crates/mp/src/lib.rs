@@ -48,7 +48,10 @@ pub mod streaming;
 pub mod workspace;
 
 pub use context::ProfiledSeries;
-pub use diagonal::{diagonal_cells, lex_update, stomp_diagonal_parallel_ws, stomp_diagonal_ws};
+pub use diagonal::{
+    diagonal_cells, diagonal_chunks, lex_update, merge_partial, stomp_diagonal_parallel_ws,
+    stomp_diagonal_range_ws, stomp_diagonal_ws,
+};
 pub use discord::{top_discords, Discord};
 pub use distance::{dist_from_qt, length_normalize, zdist_naive};
 pub use distance_profile::{mass, self_distance_profile};

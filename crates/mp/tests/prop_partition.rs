@@ -1,0 +1,79 @@
+//! Property-based tests for the partitioned-merge algebra the cluster
+//! layer rests on: computing a STOMP pass as diagonal-range partials and
+//! min-merging them must be **bit-identical** to the unpartitioned pass,
+//! for *arbitrary* partitions — any cut points, any merge order, with
+//! duplicated and overlapping ranges thrown in.
+
+use proptest::prelude::*;
+use valmod_data::generators::{random_walk, sine_mixture};
+use valmod_data::rng::Xoshiro256;
+use valmod_mp::stomp::stomp;
+use valmod_mp::{merge_partial, stomp_diagonal_range_ws, ExclusionPolicy, ProfiledSeries, Workspace};
+
+fn make_series(kind: u8, n: usize, seed: u64) -> Vec<f64> {
+    match kind % 2 {
+        0 => random_walk(n, seed),
+        _ => sine_mixture(n, &[(0.03, 1.0), (0.011, 0.4)], 0.2, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_partitions_merge_bit_identically(
+        kind in 0u8..2,
+        seed in 0u64..500,
+        l in 8usize..24,
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..6),
+        order_seed in 0u64..1000,
+        dup_on in 0u8..2,
+        dup_at in 0.0f64..1.0,
+    ) {
+        let series = make_series(kind, 240, seed);
+        let ps = ProfiledSeries::from_values(&series).unwrap();
+        let policy = ExclusionPolicy::HALF;
+        let reference = stomp(&ps, l, policy).unwrap();
+        let ndp = reference.len();
+        let radius = reference.exclusion_radius.min(ndp);
+
+        // Arbitrary cut points over the diagonal index space [radius, ndp].
+        let mut ks: Vec<usize> = cuts
+            .iter()
+            .map(|f| radius + ((ndp - radius) as f64 * f) as usize)
+            .collect();
+        ks.push(radius);
+        ks.push(ndp);
+        ks.sort_unstable();
+        ks.dedup();
+        let mut ranges: Vec<(usize, usize)> = ks.windows(2).map(|w| (w[0], w[1])).collect();
+        // Optionally duplicate one range: the merge is idempotent, so a
+        // shard computed twice (redispatch!) must change nothing.
+        if dup_on == 1 && !ranges.is_empty() {
+            let i = (((ranges.len() - 1) as f64) * dup_at) as usize;
+            ranges.push(ranges[i]);
+        }
+        // Merge in an arbitrary order: the fold is commutative.
+        let mut rng = Xoshiro256::seed_from_u64(order_seed);
+        rng.shuffle(&mut ranges);
+
+        // Identity element: an empty range yields an all-infinite partial.
+        let mut ws = Workspace::new();
+        let mut merged = stomp_diagonal_range_ws(&ps, l, policy, (0, 0), &mut ws).unwrap();
+        for &(k_start, k_end) in &ranges {
+            let partial =
+                stomp_diagonal_range_ws(&ps, l, policy, (k_start, k_end), &mut ws).unwrap();
+            merge_partial(&mut merged, &partial);
+        }
+
+        for i in 0..ndp {
+            prop_assert_eq!(
+                merged.mp[i].to_bits(),
+                reference.mp[i].to_bits(),
+                "slot {} differs: {} vs {} (ranges {:?})",
+                i, merged.mp[i], reference.mp[i], ranges
+            );
+            prop_assert_eq!(merged.ip[i], reference.ip[i], "index {} differs", i);
+        }
+    }
+}

@@ -6,10 +6,96 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use valmod_data::rng::Xoshiro256;
+
 use crate::engine::{QueryKind, QuerySpec};
 use crate::error::{ServeError, ServeResult};
-use crate::protocol::{Request, Response};
+use crate::protocol::{check_hello, Request, Response, PROTOCOL_VERSION};
 use crate::value::Value;
+
+/// Connection behaviour for [`Client::connect_with`]: per-attempt timeouts
+/// plus a bounded, jittered-backoff retry loop. The default (`Timeouts::new`)
+/// keeps today's behaviour — block forever, no retries — so existing callers
+/// are unchanged; [`Timeouts::fast`] is a sensible interactive profile.
+#[derive(Debug, Clone)]
+pub struct Timeouts {
+    /// Cap on one TCP connect attempt (`None` = OS default, can be minutes).
+    pub connect: Option<Duration>,
+    /// Cap on waiting for one response line (`None` = block forever).
+    pub read: Option<Duration>,
+    /// Extra connection attempts after the first fails (0 = single shot).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for Timeouts {
+    fn default() -> Self {
+        Timeouts::new()
+    }
+}
+
+impl Timeouts {
+    /// No timeouts, no retries — the historical blocking behaviour.
+    pub fn new() -> Timeouts {
+        Timeouts {
+            connect: None,
+            read: None,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x5eed,
+        }
+    }
+
+    /// An interactive profile: 2 s connect, 30 s read, 3 retries.
+    pub fn fast() -> Timeouts {
+        Timeouts {
+            connect: Some(Duration::from_secs(2)),
+            read: Some(Duration::from_secs(30)),
+            retries: 3,
+            ..Timeouts::new()
+        }
+    }
+
+    /// Builder: connect-attempt timeout.
+    pub fn with_connect(mut self, d: Duration) -> Self {
+        self.connect = Some(d);
+        self
+    }
+
+    /// Builder: per-response read timeout.
+    pub fn with_read(mut self, d: Duration) -> Self {
+        self.read = Some(d);
+        self
+    }
+
+    /// Builder: number of retry attempts after the first connect fails.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Builder: jitter seed (distinct peers should use distinct seeds so
+    /// their retry storms decorrelate).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The jittered, exponentially growing sleep before retry `attempt`
+    /// (0-based): `min(cap, backoff · 2^attempt)` scaled by a uniform factor
+    /// in `[0.5, 1.0)` drawn from the seeded generator.
+    fn backoff_for(&self, attempt: u32, rng: &mut Xoshiro256) -> Duration {
+        let base = self.backoff.as_secs_f64() * (1u64 << attempt.min(20)) as f64;
+        let capped = base.min(self.backoff_cap.as_secs_f64());
+        Duration::from_secs_f64(capped * rng.uniform(0.5, 1.0))
+    }
+}
 
 /// A connected client.
 pub struct Client {
@@ -18,10 +104,74 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with no timeouts (blocks until the OS
+    /// gives up). Interactive callers and anything talking across a real
+    /// network should prefer [`Client::connect_with`] / [`Client::with_timeouts`].
     pub fn connect(addr: impl ToSocketAddrs) -> ServeResult<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, &Timeouts::new())
+    }
+
+    /// Connects with per-attempt timeouts — shorthand for
+    /// [`Client::connect_with`] over a default retry policy.
+    pub fn with_timeouts(
+        addr: impl ToSocketAddrs,
+        connect: Duration,
+        read: Duration,
+    ) -> ServeResult<Client> {
+        Client::connect_with(addr, &Timeouts::new().with_connect(connect).with_read(read))
+    }
+
+    /// Connects under `timeouts`: each attempt bounds the TCP connect (per
+    /// resolved address), failures back off exponentially with deterministic
+    /// jitter, and after `retries` extra attempts the last error surfaces.
+    /// The read timeout sticks to the connection: a later dead peer turns
+    /// into a `WouldBlock`/`TimedOut` I/O error instead of a hang.
+    pub fn connect_with(addr: impl ToSocketAddrs, timeouts: &Timeouts) -> ServeResult<Client> {
+        let mut rng = Xoshiro256::seed_from_u64(timeouts.jitter_seed);
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect_once(&addr, timeouts) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if attempt >= timeouts.retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(timeouts.backoff_for(attempt, &mut rng));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn connect_once(addr: &impl ToSocketAddrs, timeouts: &Timeouts) -> ServeResult<Client> {
+        let stream = match timeouts.connect {
+            None => TcpStream::connect(addr)?,
+            Some(limit) => {
+                // `connect_timeout` needs concrete socket addresses; try each
+                // resolution in turn, keeping the last error.
+                let mut last: Option<std::io::Error> = None;
+                let mut connected = None;
+                for sock in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sock, limit) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to no socket addresses",
+                        )
+                    })
+                })?
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeouts.read)?;
         let writer = stream.try_clone()?;
         Ok(Client { reader: BufReader::new(stream), writer })
     }
@@ -101,6 +251,18 @@ impl Client {
         self.request(&Request::Ping).map(|_| ())
     }
 
+    /// `HELLO` handshake: announces this build's protocol version and
+    /// `capabilities`, returns the server's capability list, and fails with
+    /// a clean protocol error if the versions disagree.
+    pub fn hello(&mut self, capabilities: &[&str]) -> ServeResult<Vec<String>> {
+        let resp = self.request(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            capabilities: capabilities.iter().map(|c| c.to_string()).collect(),
+        })?;
+        let (_, caps) = check_hello(&resp.result)?;
+        Ok(caps)
+    }
+
     /// Diagnostics sleep (occupies one server worker).
     pub fn sleep(&mut self, ms: u64, deadline: Option<Duration>) -> ServeResult<Response> {
         self.request(&Request::Sleep { ms, deadline })
@@ -119,6 +281,54 @@ impl Client {
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> ServeResult<()> {
         self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_jitters_and_caps() {
+        let t = Timeouts::new().with_jitter_seed(7);
+        let mut rng = Xoshiro256::seed_from_u64(t.jitter_seed);
+        let mut prev_upper = Duration::ZERO;
+        for attempt in 0..6 {
+            let d = t.backoff_for(attempt, &mut rng);
+            let nominal = t.backoff.as_secs_f64() * (1u64 << attempt) as f64;
+            let upper = nominal.min(t.backoff_cap.as_secs_f64());
+            assert!(d.as_secs_f64() >= upper * 0.5 - 1e-9, "attempt {attempt}: {d:?}");
+            assert!(d.as_secs_f64() < upper + 1e-9, "attempt {attempt}: {d:?}");
+            assert!(d <= t.backoff_cap);
+            prev_upper = prev_upper.max(d);
+        }
+        // Determinism: the same seed reproduces the same schedule.
+        let mut a = Xoshiro256::seed_from_u64(3);
+        let mut b = Xoshiro256::seed_from_u64(3);
+        for attempt in 0..4 {
+            assert_eq!(t.backoff_for(attempt, &mut a), t.backoff_for(attempt, &mut b));
+        }
+    }
+
+    #[test]
+    fn bounded_retries_surface_the_connect_error() {
+        // Bind-then-drop leaves a port that refuses connections immediately.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let t = Timeouts::new()
+            .with_connect(Duration::from_millis(200))
+            .with_retries(2)
+            .with_jitter_seed(1);
+        let started = std::time::Instant::now();
+        let err = match Client::connect_with(("127.0.0.1", port), &t) {
+            Ok(_) => panic!("connect to a closed port should fail"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ServeError::Io(_)), "got {err:?}");
+        // 2 retries with ≤50·2^a ms backoff: well under 5 s even loaded.
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 }
 

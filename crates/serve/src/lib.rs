@@ -67,14 +67,16 @@ pub mod store;
 pub mod value;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use client::Client;
+pub use client::{Client, Timeouts};
 pub use engine::{EngineConfig, QueryEngine, QueryKind, QueryOutcome, QuerySpec};
 pub use error::{ServeError, ServeResult};
 pub use persist::{
     Persistence, RecoveredSeries, Recovery, SnapshotMeta, DEFAULT_WAL_COMPACT_BYTES,
 };
-pub use protocol::{Request, Response, MAX_DEADLINE_MS, MAX_SLEEP_MS};
-pub use server::{ConnectionCount, Server, DEFAULT_MAX_LINE_BYTES};
+pub use protocol::{
+    check_hello, hello_result, Request, Response, MAX_DEADLINE_MS, MAX_SLEEP_MS, PROTOCOL_VERSION,
+};
+pub use server::{read_bounded_line, ConnectionCount, LineRead, Server, DEFAULT_MAX_LINE_BYTES};
 pub use store::{SeriesStore, StoredSeries};
 pub use value::Value;
 

@@ -5,7 +5,7 @@
 //! ```text
 //! request  := { "cmd": <cmd>, ...fields }
 //! cmd      := "load" | "append" | "motifs" | "sets" | "discords"
-//!           | "stats" | "ping" | "sleep" | "save" | "shutdown"
+//!           | "stats" | "ping" | "sleep" | "save" | "shutdown" | "hello"
 //!
 //! load     := name, values: [f64...], hot?: [usize...], replace?: bool
 //! append   := name, values: [f64...]
@@ -13,6 +13,7 @@
 //! sets     := name, min, max, k? (10), radius? (3.0), p?, excl?, deadline_ms?
 //! discords := name, min, max, top? (3), p?, excl?, deadline_ms?
 //! sleep    := ms, deadline_ms?          (diagnostics: occupies a worker)
+//! hello    := version, capabilities?: [str...]   (version/capability handshake)
 //! save     := no fields                 (flush snapshots; 0 when not durable)
 //! stats / ping / shutdown := no fields
 //!
@@ -29,6 +30,11 @@ use valmod_mp::ExclusionPolicy;
 use crate::engine::{QueryKind, QuerySpec};
 use crate::error::{ServeError, ServeResult};
 use crate::value::Value;
+
+/// The protocol version this build speaks. Bumped on any wire-incompatible
+/// change; the `hello` handshake lets a peer discover a mismatch *before* a
+/// mid-job parse failure.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Longest accepted `sleep` — the diagnostic occupies a real worker thread,
 /// so an unbounded `ms` is a one-request denial of service.
@@ -76,9 +82,36 @@ pub enum Request {
     Save,
     /// Graceful shutdown.
     Shutdown,
+    /// Version/capability handshake: the peer announces what it speaks, the
+    /// server answers with its own version and capability list.
+    Hello {
+        /// Protocol version the peer speaks.
+        version: u64,
+        /// Capability strings the peer offers (informational).
+        capabilities: Vec<String>,
+    },
 }
 
 impl Request {
+    /// The stable wire name of this command (the `"cmd"` field), used to key
+    /// per-command metrics.
+    pub fn cmd_name(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Append { .. } => "append",
+            Request::Query(spec) => match spec.kind {
+                QueryKind::Motifs { .. } => "motifs",
+                QueryKind::Sets { .. } => "sets",
+                QueryKind::Discords { .. } => "discords",
+            },
+            Request::Stats => "stats",
+            Request::Ping => "ping",
+            Request::Sleep { .. } => "sleep",
+            Request::Save => "save",
+            Request::Shutdown => "shutdown",
+            Request::Hello { .. } => "hello",
+        }
+    }
     /// Parses one request tree.
     pub fn from_value(v: &Value) -> ServeResult<Request> {
         let fields = match v {
@@ -93,6 +126,7 @@ impl Request {
             "sets" => &["cmd", "name", "min", "max", "k", "radius", "p", "excl", "deadline_ms"],
             "discords" => &["cmd", "name", "min", "max", "top", "p", "excl", "deadline_ms"],
             "sleep" => &["cmd", "ms", "deadline_ms"],
+            "hello" => &["cmd", "version", "capabilities"],
             "stats" | "ping" | "save" | "shutdown" => &["cmd"],
             other => return Err(ServeError::Protocol(format!("unknown command {other:?}"))),
         };
@@ -148,6 +182,13 @@ impl Request {
             "sleep" => Ok(Request::Sleep {
                 ms: require_u64_capped(v, "ms", MAX_SLEEP_MS)?,
                 deadline: deadline_ms(v)?,
+            }),
+            "hello" => Ok(Request::Hello {
+                version: require_u64_capped(v, "version", u64::MAX)?,
+                capabilities: match v.get("capabilities") {
+                    None => Vec::new(),
+                    Some(c) => string_list(c, "capabilities")?,
+                },
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
@@ -215,8 +256,44 @@ impl Request {
             Request::Ping => Value::obj(vec![("cmd", Value::str("ping"))]),
             Request::Save => Value::obj(vec![("cmd", Value::str("save"))]),
             Request::Shutdown => Value::obj(vec![("cmd", Value::str("shutdown"))]),
+            Request::Hello { version, capabilities } => Value::obj(vec![
+                ("cmd", Value::str("hello")),
+                ("version", (*version).into()),
+                (
+                    "capabilities",
+                    Value::Arr(capabilities.iter().map(|c| Value::str(c)).collect()),
+                ),
+            ]),
         }
     }
+}
+
+/// The server-side payload answering a `hello`: this build's protocol
+/// version and capability strings.
+pub fn hello_result(capabilities: &[&str]) -> Value {
+    Value::obj(vec![
+        ("version", PROTOCOL_VERSION.into()),
+        ("capabilities", Value::Arr(capabilities.iter().map(|c| Value::str(*c)).collect())),
+    ])
+}
+
+/// Decodes a `hello` response payload into `(version, capabilities)` and
+/// rejects a version mismatch with a clean error naming both sides.
+pub fn check_hello(result: &Value) -> ServeResult<(u64, Vec<String>)> {
+    let version = result
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServeError::Protocol("hello response missing \"version\"".into()))?;
+    let capabilities = match result.get("capabilities") {
+        None => Vec::new(),
+        Some(c) => string_list(c, "capabilities")?,
+    };
+    if version != PROTOCOL_VERSION {
+        return Err(ServeError::Protocol(format!(
+            "protocol version mismatch: peer speaks v{version}, this build speaks v{PROTOCOL_VERSION}"
+        )));
+    }
+    Ok((version, capabilities))
 }
 
 /// Builds a success response line.
@@ -322,6 +399,14 @@ fn samples(v: &Value, key: &str) -> ServeResult<Vec<f64>> {
         .ok_or_else(|| bad_field(key, "an array of finite numbers"))
 }
 
+fn string_list(v: &Value, key: &str) -> ServeResult<Vec<String>> {
+    let arr = v.as_arr().ok_or_else(|| bad_field(key, "an array"))?;
+    arr.iter()
+        .map(|x| x.as_str().map(str::to_string))
+        .collect::<Option<Vec<String>>>()
+        .ok_or_else(|| bad_field(key, "an array of strings"))
+}
+
 fn usize_list(v: &Value, key: &str) -> ServeResult<Vec<usize>> {
     let arr = v.as_arr().ok_or_else(|| bad_field(key, "an array"))?;
     arr.iter()
@@ -403,6 +488,30 @@ mod tests {
         assert!(matches!(parse(r#"{"cmd":"sleep","ms":5}"#), Ok(Request::Sleep { ms: 5, .. })));
         assert!(matches!(parse(r#"{"cmd":"save"}"#), Ok(Request::Save)));
         assert!(matches!(parse(r#"{"cmd":"shutdown"}"#), Ok(Request::Shutdown)));
+    }
+
+    #[test]
+    fn hello_parses_roundtrips_and_negotiates() {
+        let req = parse(r#"{"cmd":"hello","version":1,"capabilities":["serve"]}"#).unwrap();
+        let Request::Hello { version, ref capabilities } = req else { panic!("expected hello") };
+        assert_eq!(version, 1);
+        assert_eq!(capabilities, &["serve".to_string()]);
+        assert_eq!(req.cmd_name(), "hello");
+        let rereq = Request::from_value(&req.to_value()).unwrap();
+        assert_eq!(format!("{req:?}"), format!("{rereq:?}"));
+        // capabilities is optional; non-string capabilities are rejected.
+        assert!(matches!(parse(r#"{"cmd":"hello","version":3}"#), Ok(Request::Hello { .. })));
+        assert!(parse(r#"{"cmd":"hello","version":1,"capabilities":[2]}"#).is_err());
+        assert!(parse(r#"{"cmd":"hello"}"#).is_err());
+
+        // A matching version passes negotiation, a mismatch is a clean error.
+        let (v, caps) = check_hello(&hello_result(&["serve", "cluster"])).unwrap();
+        assert_eq!(v, PROTOCOL_VERSION);
+        assert_eq!(caps, vec!["serve".to_string(), "cluster".to_string()]);
+        let stale = Value::obj(vec![("version", (PROTOCOL_VERSION + 1).into())]);
+        let err = check_hello(&stale).unwrap_err();
+        assert!(err.to_string().contains("version mismatch"), "{err}");
+        assert!(check_hello(&Value::obj(vec![])).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::engine::QueryEngine;
 use crate::error::{ServeError, ServeResult};
-use crate::protocol::{response_err, response_ok, Request};
+use crate::protocol::{hello_result, response_err, response_ok, Request};
 use crate::value::Value;
 
 /// Default cap on one request line. Large enough for a multi-million-sample
@@ -107,15 +107,19 @@ impl Server {
             }
             let id = next_id.fetch_add(1, Ordering::Relaxed);
             if let Ok(clone) = stream.try_clone() {
-                self.connections.lock().expect("connections lock").insert(id, clone);
+                let mut conns = self.connections.lock().expect("connections lock");
+                conns.insert(id, clone);
+                self.engine.registry().gauge("serve.conn.active").set(conns.len() as f64);
             }
             let engine = Arc::clone(&self.engine);
             let stop = Arc::clone(&self.stop);
             let connections = Arc::clone(&self.connections);
             let max_line = self.max_line_bytes;
             handlers.push(std::thread::spawn(move || {
-                handle_connection(stream, engine, &stop, addr, max_line);
-                connections.lock().expect("connections lock").remove(&id);
+                handle_connection(stream, Arc::clone(&engine), &stop, addr, max_line);
+                let mut conns = connections.lock().expect("connections lock");
+                conns.remove(&id);
+                engine.registry().gauge("serve.conn.active").set(conns.len() as f64);
             }));
             handlers.retain(|h| !h.is_finished());
         }
@@ -134,7 +138,7 @@ impl Server {
 }
 
 /// One bounded attempt to read a request line.
-enum LineRead {
+pub enum LineRead {
     /// Clean EOF before any bytes of a new line.
     Eof,
     /// A complete line (newline stripped by the caller's trim).
@@ -147,8 +151,9 @@ enum LineRead {
 
 /// Reads one `\n`-terminated line, buffering at most `max` bytes. Unlike
 /// `BufReader::read_line`, a hostile client sending an endless newline-free
-/// stream costs O(`max`) memory, not O(stream).
-fn read_bounded_line(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+/// stream costs O(`max`) memory, not O(stream). Public so other line-protocol
+/// servers (the cluster worker) share the same bounded framing.
+pub fn read_bounded_line(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
     let mut buf: Vec<u8> = Vec::new();
     loop {
         let (used, terminated) = {
@@ -241,11 +246,25 @@ fn write_response(writer: &mut TcpStream, engine: &QueryEngine, response: Value)
 }
 
 /// Handles one request line; the bool asks the caller to begin shutdown.
+/// Each successfully parsed command records its wall-clock latency into a
+/// per-command histogram (`serve.cmd.<cmd>_us`).
 fn dispatch(engine: &QueryEngine, line: &str) -> (Value, bool) {
     let request = match Value::parse(line).and_then(|v| Request::from_value(&v)) {
         Ok(req) => req,
         Err(e) => return (response_err(&e), false),
     };
+    let cmd = request.cmd_name();
+    let started = std::time::Instant::now();
+    let outcome = execute(engine, request);
+    engine
+        .registry()
+        .histogram(&format!("serve.cmd.{cmd}_us"))
+        .record(started.elapsed().as_micros() as f64);
+    outcome
+}
+
+/// Executes one parsed request against the engine.
+fn execute(engine: &QueryEngine, request: Request) -> (Value, bool) {
     match request {
         Request::Load { name, values, hot, replace } => {
             let policy = valmod_mp::ExclusionPolicy::HALF;
@@ -293,6 +312,7 @@ fn dispatch(engine: &QueryEngine, line: &str) -> (Value, bool) {
             false,
         ),
         Request::Shutdown => (response_ok(Value::str("shutting down"), None), true),
+        Request::Hello { .. } => (response_ok(hello_result(&["serve"]), None), false),
     }
 }
 

@@ -26,8 +26,13 @@ fn full_protocol_roundtrip() {
         default_deadline: Duration::from_secs(60),
         ..EngineConfig::default()
     });
-    let mut client = Client::connect(addr).unwrap();
+    let mut client =
+        Client::with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(120)).unwrap();
     client.ping().unwrap();
+
+    // HELLO negotiates the protocol version and reports capabilities.
+    let caps = client.hello(&["test-driver"]).unwrap();
+    assert!(caps.contains(&"serve".to_string()), "server capabilities: {caps:?}");
 
     // LOAD with a hot length, keeping a holdout tail for APPEND.
     let (values, _) = plant_motif(1_200, 32, 2, 0.001, 23);
@@ -119,6 +124,25 @@ fn full_protocol_roundtrip() {
     let wait = obs.get("serve.queue.wait_us").expect("queue wait histogram");
     assert!(wait.get("count").and_then(Value::as_usize).unwrap_or(0) > 0);
     assert!(wait.get("sum").unwrap().as_f64().unwrap() > 0.0);
+
+    // A second STATS: per-command latencies are recorded after a command
+    // finishes, so the first snapshot cannot contain its own stats timing.
+    let stats = client.stats().unwrap();
+    let obs = stats.get("obs").expect("obs snapshot");
+
+    // Connection gauge: this client is connected right now.
+    let active = obs.get("serve.conn.active").expect("connection gauge");
+    assert!(active.as_f64().unwrap() >= 1.0, "one client is live, gauge says {active:?}");
+    // Per-command latency histograms, keyed by cmd.
+    for cmd in ["ping", "hello", "load", "append", "motifs", "sets", "discords", "stats"] {
+        let hist = obs
+            .get(&format!("serve.cmd.{cmd}_us"))
+            .unwrap_or_else(|| panic!("missing per-command histogram for {cmd:?}"));
+        assert!(
+            hist.get("count").and_then(Value::as_usize).unwrap_or(0) > 0,
+            "histogram for {cmd:?} must be nonzero"
+        );
+    }
 
     // Unknown series and malformed lines answer errors without dropping
     // the connection.
