@@ -30,15 +30,30 @@ fn bench_engine_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_query");
     group.sample_size(10);
 
-    // Cold: cache disabled, every query runs the full VALMOD kernel behind
-    // the queue — queue + snapshot + compute + encode.
-    let cold = QueryEngine::new(EngineConfig { cache_bytes: 0, ..EngineConfig::default() });
+    // Cold: result and fragment caches disabled, every query runs the full
+    // VALMOD kernel behind the queue — queue + snapshot + compute + encode.
+    let cold = QueryEngine::new(
+        EngineConfig::builder().cache_bytes(0).fragment_cache_bytes(0).build().unwrap(),
+    );
     cold.load("ecg", series.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
     group.bench_function("cold", |b| b.iter(|| black_box(cold.query(spec("ecg")).unwrap())));
 
+    // Planned: result cache off but fragments warm, so each query is a
+    // planner composition over cached per-length fragments.
+    let planned = QueryEngine::new(EngineConfig::builder().cache_bytes(0).build().unwrap());
+    planned.load("ecg", series.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+    planned.query(spec("ecg")).unwrap(); // prime the fragment cache
+    group.bench_function("planned", |b| {
+        b.iter(|| {
+            let out = planned.query(spec("ecg")).unwrap();
+            debug_assert!(!out.cached);
+            black_box(out)
+        })
+    });
+
     // Cached: the same query answered from the result cache at admission,
     // without consuming a queue slot.
-    let cached = QueryEngine::new(EngineConfig::default());
+    let cached = QueryEngine::new(EngineConfig::builder().build().unwrap());
     cached.load("ecg", series.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
     let warm = cached.query(spec("ecg")).unwrap();
     assert!(!warm.cached);
@@ -53,6 +68,8 @@ fn bench_engine_query(c: &mut Criterion) {
     group.finish();
     cold.shutdown();
     cold.join();
+    planned.shutdown();
+    planned.join();
     cached.shutdown();
     cached.join();
 }

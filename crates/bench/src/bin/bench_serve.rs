@@ -62,7 +62,7 @@ fn main() {
     report.headline(&format!("serve layer: cold vs cached latency over loopback TCP (n={N})"));
 
     let engine =
-        QueryEngine::new(EngineConfig { workers: 4, queue_depth: 64, ..EngineConfig::default() });
+        QueryEngine::new(EngineConfig::builder().workers(4).queue_depth(64).build().unwrap());
     let server = Server::bind("127.0.0.1:0", engine).expect("bind ephemeral port");
     let addr = server.local_addr().unwrap();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));

@@ -29,8 +29,8 @@ use valmod_obs::SharedRecorder;
 pub struct BenchEntry {
     /// Stable identifier, e.g. `stomp/n16384/l256`.
     pub name: String,
-    /// Entry family: `stomp`, `compute_mp`, `valmod`, `streaming`, or
-    /// `cluster`.
+    /// Entry family: `stomp`, `compute_mp`, `valmod`, `streaming`,
+    /// `cluster`, or `planner`.
     pub kind: &'static str,
     /// Series size in points.
     pub n: usize,
@@ -280,8 +280,7 @@ pub fn run_suite(smoke: bool) -> RegressionReport {
         for w in [1usize, 2, 4] {
             let workers = spawn_local_workers(w, WorkerConfig::default()).unwrap();
             let addrs: Vec<String> = workers.iter().map(|x| x.addr()).collect();
-            let cfg =
-                CoordinatorConfig { parts_per_length: 2 * w, ..CoordinatorConfig::default() };
+            let cfg = CoordinatorConfig { parts_per_length: 2 * w, ..CoordinatorConfig::default() };
             let iters = if smoke { 2 } else { 1 };
             let mut sink = 0usize;
             let ms = median_ms(iters, || {
@@ -308,6 +307,82 @@ pub fn run_suite(smoke: bool) -> RegressionReport {
         }
     }
 
+    // --- Serve query planner: a warm overlapping-range sweep composed from
+    // the fragment cache vs the same sweep on an engine with a zero
+    // fragment budget (every query a full recompute). Both engines run with
+    // the result cache off, so the column isolates fragment reuse. The
+    // warm engine is primed outside the timed region. ---
+    let (pn, plo, phi, pp) = if smoke { (2_048, 24, 48, 8) } else { (8_192, 64, 96, 50) };
+    {
+        use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+        let engine = |fragment_bytes: usize| {
+            QueryEngine::new(
+                EngineConfig::builder()
+                    .workers(1)
+                    .queue_depth(32)
+                    .cache_bytes(0)
+                    .fragment_cache_bytes(fragment_bytes)
+                    .default_deadline(std::time::Duration::from_secs(600))
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let spec = |kind: QueryKind| QuerySpec {
+            series: "bench".into(),
+            kind,
+            l_min: plo,
+            l_max: phi,
+            p: pp,
+            policy: ExclusionPolicy::HALF,
+            deadline: None,
+        };
+        // Motifs and discords with varying ranking knobs all share one
+        // fragment key, so the whole sweep reuses the primed fragments.
+        let sweep = [
+            QueryKind::Motifs { top: 3 },
+            QueryKind::Discords { top: 2 },
+            QueryKind::Motifs { top: 5 },
+            QueryKind::Discords { top: 4 },
+        ];
+        let values = random_walk(pn, SEED);
+        let iters = if smoke { 2 } else { 1 };
+        let mut sink = 0usize;
+
+        let warm = engine(64 << 20);
+        warm.load("bench", values.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+        warm.query(spec(QueryKind::Motifs { top: 3 })).unwrap(); // prime
+        let warm_ms = median_ms(iters, || {
+            for kind in sweep.clone() {
+                let out = warm.query(spec(kind)).unwrap();
+                sink += std::hint::black_box(out.payload.encode().len());
+            }
+        });
+        warm.shutdown();
+        warm.join();
+
+        let cold = engine(0);
+        cold.load("bench", values, &[], ExclusionPolicy::HALF, false).unwrap();
+        let cold_ms = median_ms(iters, || {
+            for kind in sweep.clone() {
+                let out = cold.query(spec(kind)).unwrap();
+                sink += std::hint::black_box(out.payload.encode().len());
+            }
+        });
+        cold.shutdown();
+        cold.join();
+
+        std::hint::black_box(sink);
+        entries.push(BenchEntry {
+            name: format!("planner/n{pn}/l{plo}..{phi}/sweep{}", sweep.len()),
+            kind: "planner",
+            n: pn,
+            l: plo,
+            iters,
+            baseline_ms: Some(cold_ms),
+            current_ms: warm_ms,
+        });
+    }
+
     RegressionReport { smoke, entries }
 }
 
@@ -324,6 +399,7 @@ mod tests {
         assert!(kinds.contains(&"valmod"));
         assert!(kinds.contains(&"streaming"));
         assert!(kinds.contains(&"cluster"));
+        assert!(kinds.contains(&"planner"));
         for e in &report.entries {
             assert!(e.current_ms > 0.0, "{}: non-positive timing", e.name);
             if let Some(b) = e.baseline_ms {

@@ -111,8 +111,7 @@ pub fn run_cluster_matrix(seed: u64) -> ClusterReport {
                 ..WorkerConfig::default()
             })
             .map_err(|e| e.to_string())?;
-            let healthy =
-                LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
+            let healthy = LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
             let registry = Registry::new();
             diff_distributed(
                 &spec,
@@ -137,8 +136,7 @@ pub fn run_cluster_matrix(seed: u64) -> ClusterReport {
                 ..WorkerConfig::default()
             })
             .map_err(|e| e.to_string())?;
-            let healthy =
-                LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
+            let healthy = LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
             diff_distributed(
                 &spec,
                 &[straggler, healthy],
@@ -158,8 +156,7 @@ pub fn run_cluster_matrix(seed: u64) -> ClusterReport {
                 ..WorkerConfig::default()
             })
             .map_err(|e| e.to_string())?;
-            let healthy =
-                LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
+            let healthy = LocalWorker::spawn(WorkerConfig::default()).map_err(|e| e.to_string())?;
             diff_distributed(
                 &spec,
                 &[stale, healthy],

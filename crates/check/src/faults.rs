@@ -92,7 +92,8 @@ fn expect_error_reply(reply: Option<String>, kind: &str) -> Result<(), String> {
 pub fn run_fault_matrix() -> FaultReport {
     let mut report = FaultReport::default();
 
-    let engine = QueryEngine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+    let engine =
+        QueryEngine::new(EngineConfig::builder().workers(1).build().expect("static engine config"));
     let server = match Server::bind("127.0.0.1:0", engine) {
         Ok(s) => s.with_max_line_bytes(FAULT_LINE_CAP),
         Err(e) => {
@@ -116,7 +117,7 @@ pub fn run_fault_matrix() -> FaultReport {
         .map_err(|e| format!("setup connect: {e}"))
         .and_then(|mut c| c.load("s", seeded, vec![], false).map_err(|e| format!("load: {e}")));
     let baseline_version = match setup {
-        Ok((version, _)) => version,
+        Ok(ack) => ack.version,
         Err(why) => {
             report.record("setup", Err(why));
             return report;
@@ -166,9 +167,10 @@ pub fn run_fault_matrix() -> FaultReport {
             .and_then(|_| expect_alive(addr))
             .and_then(|()| {
                 let mut client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
-                let (version, len) = client
+                let ack = client
                     .append("s", vec![5.0])
                     .map_err(|e| format!("append after fault: {e}"))?;
+                let (version, len) = (ack.version, ack.len);
                 if version != baseline_version + 1 {
                     return Err(format!(
                         "version counter corrupted: expected {}, got {version}",

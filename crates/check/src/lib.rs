@@ -27,7 +27,11 @@
 //! * [`recovery`] — kill-point crash injection against the durable store:
 //!   WALs truncated before / mid / after a record and bit-flipped
 //!   checksums, asserting the reopened store is bit-identical to replaying
-//!   the surviving prefix and answers `MOTIFS` like a cold batch run.
+//!   the surviving prefix and answers `MOTIFS` like a cold batch run;
+//! * [`planner`] — the serve query planner probed differentially:
+//!   fragment-composed and single-flight-coalesced answers diffed
+//!   byte-for-byte against independent cold computes, and appends shown to
+//!   purge every cached fragment.
 //!
 //! Failing cases are [`shrink()`](shrink::shrink)-minimised before being reported, so a
 //! divergence arrives as a few dozen samples and a single length — ready to
@@ -40,6 +44,7 @@ pub mod cluster;
 pub mod faults;
 pub mod generators;
 pub mod oracles;
+pub mod planner;
 pub mod recovery;
 pub mod shrink;
 
@@ -49,6 +54,7 @@ pub use cluster::{run_cluster_matrix, ClusterReport};
 pub use faults::{run_fault_matrix, FaultReport};
 pub use generators::{generate_case, Case, Family};
 pub use oracles::{run_case, CaseOutcome, Divergence};
+pub use planner::{run_planner_matrix, PlannerReport};
 pub use recovery::{run_recovery_matrix, RecoveryReport};
 pub use shrink::shrink;
 
@@ -68,11 +74,14 @@ pub struct CheckConfig {
     pub run_recovery: bool,
     /// Whether to run the distributed-discovery (cluster) matrix.
     pub run_cluster: bool,
+    /// Whether to run the query-planner oracle matrix (fragment reuse and
+    /// single-flight coalescing vs independent cold computes).
+    pub run_planner: bool,
 }
 
 impl CheckConfig {
     /// The CI smoke preset: ≥ 200 cases, ≥ 1000 admissibility probes,
-    /// fault and recovery matrices on.
+    /// fault, recovery, cluster, and planner matrices on.
     pub fn smoke(seed: u64) -> Self {
         CheckConfig {
             seed,
@@ -81,6 +90,7 @@ impl CheckConfig {
             run_faults: true,
             run_recovery: true,
             run_cluster: true,
+            run_planner: true,
         }
     }
 }
@@ -109,6 +119,8 @@ pub struct CheckReport {
     pub recovery: Option<RecoveryReport>,
     /// The distributed-discovery outcome (`None` when skipped).
     pub cluster: Option<ClusterReport>,
+    /// The query-planner oracle outcome (`None` when skipped).
+    pub planner: Option<PlannerReport>,
 }
 
 impl CheckReport {
@@ -119,6 +131,7 @@ impl CheckReport {
             && self.faults.as_ref().is_none_or(FaultReport::all_passed)
             && self.recovery.as_ref().is_none_or(RecoveryReport::all_passed)
             && self.cluster.as_ref().is_none_or(ClusterReport::all_passed)
+            && self.planner.as_ref().is_none_or(PlannerReport::all_passed)
     }
 }
 
@@ -161,6 +174,15 @@ impl fmt::Display for CheckReport {
                 writeln!(f, "cluster: {} passed, {} failed", cr.passed.len(), cr.failed.len())?;
                 for (name, why) in &cr.failed {
                     writeln!(f, "  CLUSTER [{name}] {why}")?;
+                }
+            }
+        }
+        match &self.planner {
+            None => writeln!(f, "planner: skipped")?,
+            Some(pr) => {
+                writeln!(f, "planner: {} passed, {} failed", pr.passed.len(), pr.failed.len())?;
+                for (name, why) in &pr.failed {
+                    writeln!(f, "  PLANNER [{name}] {why}")?;
                 }
             }
         }
@@ -208,6 +230,9 @@ pub fn run(config: &CheckConfig) -> CheckReport {
     if config.run_cluster {
         report.cluster = Some(run_cluster_matrix(config.seed));
     }
+    if config.run_planner {
+        report.planner = Some(run_planner_matrix(config.seed));
+    }
     report
 }
 
@@ -224,6 +249,7 @@ mod tests {
             run_faults: false,
             run_recovery: false,
             run_cluster: false,
+            run_planner: false,
         };
         let a = run(&config);
         assert!(a.clean(), "{a}");
@@ -242,10 +268,12 @@ mod tests {
             run_faults: false,
             run_recovery: false,
             run_cluster: false,
+            run_planner: false,
         };
         let text = run(&config).to_string();
         assert!(text.contains("differential: 2 cases"));
         assert!(text.contains("recovery: skipped"));
+        assert!(text.contains("planner: skipped"));
         assert!(text.contains("verdict:"));
     }
 }

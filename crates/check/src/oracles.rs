@@ -297,7 +297,7 @@ pub fn check_serve_cached_vs_cold(case: &Case) -> Option<Divergence> {
         policy: ExclusionPolicy::HALF,
         deadline: None,
     };
-    let config = EngineConfig { workers: 1, ..EngineConfig::default() };
+    let config = EngineConfig::builder().workers(1).build().expect("static engine config");
 
     let run_pair = |name: &str| -> Result<(Value, Value, bool, bool), String> {
         let engine = QueryEngine::new(config.clone());

@@ -1,0 +1,277 @@
+//! The query-planner oracle matrix: differential evidence that the serve
+//! layer's fragment cache and single-flight coalescing are pure plumbing.
+//!
+//! Three scenarios, each seeded and deterministic:
+//!
+//! * **overlap-byte-identity** — a sequence of overlapping variable-length
+//!   MOTIFS and DISCORDS queries on a warm, fragment-reusing engine (result
+//!   cache off so every query reaches the planner) is compared byte-for-byte
+//!   against independent cold engines with a zero fragment budget;
+//! * **coalesce-single-compute** — N identical concurrent queries must be
+//!   answered by exactly one compute, the followers carrying the coalesced
+//!   marker and the leader's bytes;
+//! * **append-invalidates-fragments** — an APPEND purges the series' cached
+//!   fragments, and the recomputed answer again matches a cold engine.
+
+use std::time::{Duration, Instant};
+
+use valmod_mp::ExclusionPolicy;
+use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+use valmod_serve::Value;
+
+/// Outcome of the planner oracle matrix.
+#[derive(Debug, Default)]
+pub struct PlannerReport {
+    /// Scenario names that ran clean.
+    pub passed: Vec<String>,
+    /// `(scenario, what went wrong)` for the rest.
+    pub failed: Vec<(String, String)>,
+}
+
+impl PlannerReport {
+    /// True when every scenario passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    fn record(&mut self, name: &str, result: Result<(), String>) {
+        match result {
+            Ok(()) => self.passed.push(name.to_string()),
+            Err(why) => self.failed.push((name.to_string(), why)),
+        }
+    }
+}
+
+/// An engine whose result cache is off (every query reaches the planner)
+/// but whose fragment cache is live.
+fn warm_engine(workers: usize) -> Result<QueryEngine, String> {
+    let cfg = EngineConfig::builder()
+        .workers(workers)
+        .queue_depth(16)
+        .cache_bytes(0)
+        .fragment_cache_bytes(8 << 20)
+        .default_deadline(Duration::from_secs(300))
+        .build()
+        .map_err(|e| format!("warm engine config: {e}"))?;
+    Ok(QueryEngine::new(cfg))
+}
+
+/// The oracle: no result cache, no fragment budget — every query is an
+/// independent cold compute.
+fn cold_engine() -> Result<QueryEngine, String> {
+    let cfg = EngineConfig::builder()
+        .workers(1)
+        .queue_depth(16)
+        .cache_bytes(0)
+        .fragment_cache_bytes(0)
+        .default_deadline(Duration::from_secs(300))
+        .build()
+        .map_err(|e| format!("cold engine config: {e}"))?;
+    Ok(QueryEngine::new(cfg))
+}
+
+fn spec(kind: QueryKind, l_min: usize, l_max: usize) -> QuerySpec {
+    QuerySpec {
+        series: "s".into(),
+        kind,
+        l_min,
+        l_max,
+        p: 5,
+        policy: ExclusionPolicy::HALF,
+        deadline: None,
+    }
+}
+
+fn body_of(payload: &Value) -> Result<String, String> {
+    payload.get("body").map(Value::encode).ok_or_else(|| "payload missing \"body\"".to_string())
+}
+
+/// Computes `spec` on a fresh cold engine and returns the encoded body.
+fn cold_body(values: &[f64], s: QuerySpec) -> Result<String, String> {
+    let engine = cold_engine()?;
+    let result = (|| {
+        engine
+            .load("s", values.to_vec(), &[], ExclusionPolicy::HALF, false)
+            .map_err(|e| format!("cold load: {e}"))?;
+        let out = engine.query(s).map_err(|e| format!("cold query: {e}"))?;
+        body_of(&out.payload)
+    })();
+    engine.shutdown();
+    engine.join();
+    result
+}
+
+fn planner_stat(stats: &Value, key: &str) -> Result<usize, String> {
+    stats
+        .get("planner")
+        .and_then(|p| p.get(key))
+        .and_then(Value::as_usize)
+        .ok_or_else(|| format!("STATS missing planner.{key}"))
+}
+
+/// Overlapping ranges on one warm engine vs independent cold engines.
+fn overlap_byte_identity(seed: u64) -> Result<(), String> {
+    let (values, _) = valmod_data::generators::plant_motif(700, 24, 2, 0.001, seed);
+    let ranges: [(QueryKind, usize, usize); 5] = [
+        (QueryKind::Motifs { top: 3 }, 16, 40),
+        (QueryKind::Motifs { top: 3 }, 24, 48),
+        (QueryKind::Discords { top: 2 }, 16, 40),
+        (QueryKind::Motifs { top: 3 }, 32, 56),
+        (QueryKind::Discords { top: 2 }, 20, 52),
+    ];
+    let engine = warm_engine(1)?;
+    let result = (|| {
+        engine
+            .load("s", values.clone(), &[], ExclusionPolicy::HALF, false)
+            .map_err(|e| format!("warm load: {e}"))?;
+        for (kind, lo, hi) in &ranges {
+            let q = || spec(kind.clone(), *lo, *hi);
+            let out = engine.query(q()).map_err(|e| format!("warm query: {e}"))?;
+            let warm = body_of(&out.payload)?;
+            let cold = cold_body(&values, q())?;
+            if warm != cold {
+                return Err(format!(
+                    "warm planner body diverges from cold at {kind:?} l in [{lo}, {hi}]: \
+                     {warm} vs {cold}"
+                ));
+            }
+        }
+        // The sequence overlaps heavily; the fragment cache must have
+        // actually been exercised, or the scenario proves nothing.
+        let stats = engine.stats();
+        if planner_stat(&stats, "fragment_hits")? == 0 {
+            return Err("overlapping ranges produced zero fragment hits".into());
+        }
+        Ok(())
+    })();
+    engine.shutdown();
+    engine.join();
+    result
+}
+
+/// N identical concurrent queries coalesce into one compute whose bytes
+/// every follower receives.
+fn coalesce_single_compute(seed: u64) -> Result<(), String> {
+    const FOLLOWERS: usize = 3;
+    let (values, _) = valmod_data::generators::plant_motif(1_400, 32, 2, 0.001, seed);
+    let engine = std::sync::Arc::new(warm_engine(2)?);
+    let result = (|| {
+        engine
+            .load("s", values, &[], ExclusionPolicy::HALF, false)
+            .map_err(|e| format!("load: {e}"))?;
+        let leader = {
+            let engine = std::sync::Arc::clone(&engine);
+            std::thread::spawn(move || engine.query(spec(QueryKind::Motifs { top: 3 }, 16, 40)))
+        };
+        // Wait for the leader's flight to register before firing followers,
+        // so they deterministically attach to it.
+        let t0 = Instant::now();
+        loop {
+            if planner_stat(&engine.stats(), "inflight")? >= 1 {
+                break;
+            }
+            if t0.elapsed() > Duration::from_secs(60) {
+                return Err("leader flight never registered".into());
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let followers: Vec<_> = (0..FOLLOWERS)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                std::thread::spawn(move || engine.query(spec(QueryKind::Motifs { top: 3 }, 16, 40)))
+            })
+            .collect();
+        let lead = leader
+            .join()
+            .map_err(|_| "leader thread panicked".to_string())?
+            .map_err(|e| format!("leader query: {e}"))?;
+        if lead.cached || lead.coalesced {
+            return Err("leader must be a genuine cold compute".into());
+        }
+        for follower in followers {
+            let out = follower
+                .join()
+                .map_err(|_| "follower thread panicked".to_string())?
+                .map_err(|e| format!("follower query: {e}"))?;
+            if !out.coalesced {
+                return Err("follower missing the coalesced marker".into());
+            }
+            if out.payload.encode() != lead.payload.encode() {
+                return Err("follower bytes diverge from the leader".into());
+            }
+        }
+        let stats = engine.stats();
+        let engine_stats = stats.get("engine").ok_or("STATS missing engine section")?;
+        let computed = engine_stats.get("computed").and_then(Value::as_usize).unwrap_or(0);
+        let coalesced = engine_stats.get("coalesced").and_then(Value::as_usize).unwrap_or(0);
+        if computed != 1 {
+            return Err(format!("expected exactly 1 compute, saw {computed}"));
+        }
+        if coalesced != FOLLOWERS {
+            return Err(format!("expected {FOLLOWERS} coalesced queries, saw {coalesced}"));
+        }
+        Ok(())
+    })();
+    engine.shutdown();
+    engine.join();
+    result
+}
+
+/// APPEND purges fragments; the recomputed answer matches a cold engine
+/// loaded with the appended data.
+fn append_invalidates_fragments(seed: u64) -> Result<(), String> {
+    let (values, _) = valmod_data::generators::plant_motif(700, 24, 2, 0.001, seed);
+    let (head, tail) = values.split_at(650);
+    let s = || spec(QueryKind::Motifs { top: 3 }, 16, 40);
+    let engine = warm_engine(1)?;
+    let result = (|| {
+        engine
+            .load("s", head.to_vec(), &[], ExclusionPolicy::HALF, false)
+            .map_err(|e| format!("load: {e}"))?;
+        engine.query(s()).map_err(|e| format!("pre-append query: {e}"))?;
+        if planner_stat(&engine.stats(), "fragment_entries")? == 0 {
+            return Err("query left no fragments to invalidate".into());
+        }
+        engine.append("s", tail).map_err(|e| format!("append: {e}"))?;
+        let stats = engine.stats();
+        if planner_stat(&stats, "fragment_entries")? != 0 {
+            return Err("append left stale fragments in the cache".into());
+        }
+        if planner_stat(&stats, "fragment_invalidated")? == 0 {
+            return Err("append did not count invalidated fragments".into());
+        }
+        let out = engine.query(s()).map_err(|e| format!("post-append query: {e}"))?;
+        let warm = body_of(&out.payload)?;
+        let cold = cold_body(&values, s())?;
+        if warm != cold {
+            return Err(format!(
+                "post-append body diverges from a cold run on the full series: {warm} vs {cold}"
+            ));
+        }
+        Ok(())
+    })();
+    engine.shutdown();
+    engine.join();
+    result
+}
+
+/// Runs every planner scenario and reports.
+pub fn run_planner_matrix(seed: u64) -> PlannerReport {
+    let mut report = PlannerReport::default();
+    report.record("overlap-byte-identity", overlap_byte_identity(seed ^ 0x706c_616e));
+    report.record("coalesce-single-compute", coalesce_single_compute(seed ^ 0x636f_616c));
+    report.record("append-invalidates-fragments", append_invalidates_fragments(seed ^ 0x6672_6167));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_planner_matrix_passes() {
+        let report = run_planner_matrix(42);
+        assert!(report.all_passed(), "failed scenarios: {:?}", report.failed);
+        assert_eq!(report.passed.len(), 3);
+    }
+}

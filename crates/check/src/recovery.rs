@@ -237,12 +237,12 @@ fn motifs_match_cold(dir: &Path, reference: &[f64]) -> Result<(), String> {
         deadline: None,
     };
     let recovered_body = {
-        let engine = QueryEngine::open(EngineConfig {
-            workers: 1,
-            data_dir: Some(PathBuf::from(dir)),
-            ..EngineConfig::default()
-        })
-        .map_err(|e| format!("open durable engine: {e}"))?;
+        let config = EngineConfig::builder()
+            .workers(1)
+            .data_dir(dir)
+            .build()
+            .map_err(|e| format!("engine config: {e}"))?;
+        let engine = QueryEngine::open(config).map_err(|e| format!("open durable engine: {e}"))?;
         let out = engine.query(spec.clone()).map_err(|e| format!("post-recovery query: {e}"))?;
         let body = body_of(&out.payload)?;
         engine.shutdown();
@@ -250,7 +250,9 @@ fn motifs_match_cold(dir: &Path, reference: &[f64]) -> Result<(), String> {
         body
     };
     let cold_body = {
-        let engine = QueryEngine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let engine = QueryEngine::new(
+            EngineConfig::builder().workers(1).build().expect("static engine config"),
+        );
         engine
             .load("s", reference.to_vec(), &[], ExclusionPolicy::HALF, false)
             .map_err(|e| format!("cold load: {e}"))?;

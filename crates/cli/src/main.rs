@@ -88,7 +88,7 @@ USAGE:
   valmod hint      --input <file> [--top <k>] [--min-period <n>]
   valmod generate  --dataset <ecg|emg|gap|astro|eeg> --n <points> [--seed <s>] --output <file>
   valmod serve     [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache-mb <n>]
-                   [--threads <t>] [--data-dir <dir>]
+                   [--fragment-cache-mb <n>] [--threads <t>] [--data-dir <dir>]
   valmod query     --addr <host:port>
                    --cmd <load|append|motifs|sets|discords|stats|ping|save|shutdown>
                    [--name <series>] [--input <file>] [--hot <l1,l2>] [--replace]
@@ -96,7 +96,7 @@ USAGE:
                    [--deadline-ms <n>]
   valmod stats     [--addr <host:port>] [--raw]
   valmod check     [--smoke] [--seed <s>] [--cases <n>] [--probes <n>] [--no-faults]
-                   [--no-recovery] [--no-cluster]
+                   [--no-recovery] [--no-cluster] [--no-planner]
   valmod bench     [--json] [--smoke] [--out <file>]
   valmod cluster-worker [--addr <host:port>]
   valmod cluster-run    --workers <h:p,h:p,...> --input <file> --min <len> --max <len>
@@ -111,7 +111,10 @@ little-endian f64 for `.bin`/`.f64` extensions.
 1 (default) is sequential, 0 uses every available core.
 
 `serve` keeps named series resident, answers repeated queries from an LRU
-result cache, and accepts live APPEND ingestion; `query` is its client.
+result cache, plans variable-length queries over a per-length fragment
+cache (`--fragment-cache-mb`, 0 disables), coalesces identical concurrent
+queries into one compute, and accepts live APPEND ingestion; `query` is
+its client.
 With `--data-dir` the store is durable: loads write checksummed snapshots,
 every append is WAL-logged (fsynced) before it applies, and a restart
 recovers the directory — replaying the log over the latest snapshot and
@@ -123,10 +126,11 @@ and latency histograms from every layer — in a human-readable table
 `check` runs the seeded differential-correctness harness (valmod-check):
 adversarial series through VALMOD-vs-STOMP, parallel-vs-sequential,
 streaming-vs-batch, and serve cached-vs-cold oracles, the Eq. 2
-lower-bound admissibility invariant, a serve fault-injection matrix, and
-a crash-recovery kill-point matrix against the durable store. `--smoke`
-is the CI preset; without it a longer sweep runs. Exits non-zero on any
-divergence.
+lower-bound admissibility invariant, a serve fault-injection matrix, a
+crash-recovery kill-point matrix against the durable store, and a query
+planner matrix (fragment-composed and coalesced answers vs independent
+cold computes; `--no-planner` skips it). `--smoke` is the CI preset;
+without it a longer sweep runs. Exits non-zero on any divergence.
 
 `cluster-worker` runs one stateless shard-compute worker; `cluster-run`
 partitions the ℓmin..ℓmax sweep into (length x diagonal-range) shards,
@@ -355,16 +359,26 @@ fn cmd_hint(args: &Args) -> CliResult {
 }
 
 fn cmd_serve(args: &Args) -> CliResult {
-    args.reject_unknown(&["addr", "workers", "queue", "cache-mb", "threads", "data-dir"])?;
+    args.reject_unknown(&[
+        "addr",
+        "workers",
+        "queue",
+        "cache-mb",
+        "fragment-cache-mb",
+        "threads",
+        "data-dir",
+    ])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
-    let cfg = EngineConfig {
-        workers: args.parsed_or("workers", 2)?,
-        queue_depth: args.parsed_or("queue", 32)?,
-        cache_bytes: args.parsed_or::<usize>("cache-mb", 16)? << 20,
-        kernel_threads: args.parsed_or("threads", 1)?,
-        data_dir: args.get("data-dir").map(std::path::PathBuf::from),
-        ..EngineConfig::default()
-    };
+    let mut builder = EngineConfig::builder()
+        .workers(args.parsed_or("workers", 2)?)
+        .queue_depth(args.parsed_or("queue", 32)?)
+        .cache_bytes(args.parsed_or::<usize>("cache-mb", 16)? << 20)
+        .fragment_cache_bytes(args.parsed_or::<usize>("fragment-cache-mb", 16)? << 20)
+        .kernel_threads(args.parsed_or("threads", 1)?);
+    if let Some(dir) = args.get("data-dir") {
+        builder = builder.data_dir(dir);
+    }
+    let cfg = builder.build()?;
     let data_dir = cfg.data_dir.clone();
     let server = Server::bind(addr, QueryEngine::open(cfg)?)?;
     // Tests and scripts parse this line to learn the ephemeral port; it
@@ -401,14 +415,14 @@ fn cmd_query(args: &Args) -> CliResult {
             let name = args.require("name")?;
             let values = load(args)?.values().to_vec();
             let hot = parse_hot_lengths(args)?;
-            let (version, len) = client.load(name, values, hot, args.switch("replace"))?;
-            println!("loaded {name}: version {version}, {len} points");
+            let ack = client.load(name, values, hot, args.switch("replace"))?;
+            println!("loaded {name}: version {}, {} points", ack.version, ack.len);
         }
         "append" => {
             let name = args.require("name")?;
             let values = load(args)?.values().to_vec();
-            let (version, len) = client.append(name, values)?;
-            println!("appended to {name}: version {version}, {len} points");
+            let ack = client.append(name, values)?;
+            println!("appended to {name}: version {}, {} points", ack.version, ack.len);
         }
         cmd @ ("motifs" | "sets" | "discords") => {
             let kind = match cmd {
@@ -436,6 +450,9 @@ fn cmd_query(args: &Args) -> CliResult {
             };
             let resp = client.query(spec)?;
             println!("cached: {}", resp.cached.unwrap_or(false));
+            if resp.coalesced {
+                println!("coalesced: true");
+            }
             println!("{}", resp.result.encode());
         }
         "stats" => println!("{}", client.stats()?.encode()),
@@ -444,8 +461,8 @@ fn cmd_query(args: &Args) -> CliResult {
             println!("pong");
         }
         "save" => {
-            let snapshots = client.save()?;
-            println!("saved {snapshots} snapshot(s)");
+            let saved = client.save()?;
+            println!("saved {} snapshot(s)", saved.snapshots);
         }
         "shutdown" => {
             client.shutdown()?;
@@ -542,7 +559,16 @@ fn cmd_stats(args: &Args) -> CliResult {
 /// and exits non-zero on any divergence — the CI smoke tier invokes
 /// `valmod check --smoke --seed 42`.
 fn cmd_check(args: &Args) -> CliResult {
-    args.reject_unknown(&["smoke", "seed", "cases", "probes", "no-faults", "no-recovery", "no-cluster"])?;
+    args.reject_unknown(&[
+        "smoke",
+        "seed",
+        "cases",
+        "probes",
+        "no-faults",
+        "no-recovery",
+        "no-cluster",
+        "no-planner",
+    ])?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let mut config = valmod_check::CheckConfig::smoke(seed);
     if !args.switch("smoke") {
@@ -560,6 +586,9 @@ fn cmd_check(args: &Args) -> CliResult {
     }
     if args.switch("no-cluster") {
         config.run_cluster = false;
+    }
+    if args.switch("no-planner") {
+        config.run_planner = false;
     }
     let report = valmod_check::run(&config);
     println!("{report}");

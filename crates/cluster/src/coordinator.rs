@@ -59,9 +59,7 @@ impl Default for CoordinatorConfig {
         CoordinatorConfig {
             parts_per_length: 0,
             shard_timeout: Duration::from_secs(60),
-            connect: Timeouts::new()
-                .with_connect(Duration::from_secs(2))
-                .with_retries(2),
+            connect: Timeouts::new().with_connect(Duration::from_secs(2)).with_retries(2),
             worker_attempts: 2,
         }
     }
@@ -155,7 +153,10 @@ pub fn run_distributed(
     // shared queue; dead workers requeue their in-flight shard.
     let shared = SharedState {
         pending: Mutex::new(plan.shards.iter().copied().collect()),
-        merged: Mutex::new(MergeState { profiles: empty_profiles(spec), completed: HashSet::new() }),
+        merged: Mutex::new(MergeState {
+            profiles: empty_profiles(spec),
+            completed: HashSet::new(),
+        }),
         total: plan.len(),
     };
     let outcomes: Vec<(usize, usize, bool)> = std::thread::scope(|scope| {

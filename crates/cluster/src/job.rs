@@ -185,13 +185,19 @@ pub fn run_local(
     parts_per_length: usize,
     recorder: &SharedRecorder,
 ) -> Result<JobOutput> {
-    let plan = Plan::build(spec.values.len(), spec.l_min, spec.l_max, spec.policy, parts_per_length)?;
+    let plan =
+        Plan::build(spec.values.len(), spec.l_min, spec.l_max, spec.policy, parts_per_length)?;
     let ps = ProfiledSeries::from_values(&spec.values)?;
     let mut ws = Workspace::new();
     let mut profiles = empty_profiles(spec);
     for shard in &plan.shards {
-        let partial =
-            stomp_diagonal_range_ws(&ps, shard.l, spec.policy, (shard.k_start, shard.k_end), &mut ws)?;
+        let partial = stomp_diagonal_range_ws(
+            &ps,
+            shard.l,
+            spec.policy,
+            (shard.k_start, shard.k_end),
+            &mut ws,
+        )?;
         merge_partial(&mut profiles[shard.l - spec.l_min], &partial);
         if recorder.enabled() {
             recorder.add("cluster.local.shards", 1);
@@ -261,7 +267,12 @@ mod tests {
         for profile in &out.profiles {
             let oracle = stomp(&ps, profile.l, spec.policy).unwrap();
             for i in 0..oracle.len() {
-                assert_eq!(profile.mp[i].to_bits(), oracle.mp[i].to_bits(), "l={} i={i}", profile.l);
+                assert_eq!(
+                    profile.mp[i].to_bits(),
+                    oracle.mp[i].to_bits(),
+                    "l={} i={i}",
+                    profile.l
+                );
                 assert_eq!(profile.ip[i], oracle.ip[i], "l={} i={i}", profile.l);
             }
         }

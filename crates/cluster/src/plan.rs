@@ -89,12 +89,8 @@ mod tests {
         for l in 16..=24 {
             let ndp = 300 - l + 1;
             let radius = ExclusionPolicy::HALF.radius(l);
-            let ranges: Vec<_> = plan
-                .shards
-                .iter()
-                .filter(|s| s.l == l)
-                .map(|s| (s.k_start, s.k_end))
-                .collect();
+            let ranges: Vec<_> =
+                plan.shards.iter().filter(|s| s.l == l).map(|s| (s.k_start, s.k_end)).collect();
             let mut next = radius;
             for &(s, e) in &ranges {
                 assert_eq!(s, next, "l={l}");

@@ -108,9 +108,7 @@ impl ClusterRequest {
                     None => Vec::new(),
                     Some(c) => c
                         .as_arr()
-                        .and_then(|a| {
-                            a.iter().map(|x| x.as_str().map(str::to_string)).collect()
-                        })
+                        .and_then(|a| a.iter().map(|x| x.as_str().map(str::to_string)).collect())
                         .ok_or_else(|| bad_field("capabilities", "an array of strings"))?,
                 },
             }),
@@ -278,7 +276,10 @@ mod tests {
                 values: vec![1.0, -2.5, 0.125],
                 policy: ExclusionPolicy::QUARTER,
             },
-            ClusterRequest::Work { job: "j1".into(), shard: Shard { l: 16, k_start: 8, k_end: 40 } },
+            ClusterRequest::Work {
+                job: "j1".into(),
+                shard: Shard { l: 16, k_start: 8, k_end: 40 },
+            },
             ClusterRequest::DropJob { job: "j1".into() },
             ClusterRequest::Shutdown,
         ];

@@ -58,7 +58,11 @@ pub struct WorkerConfig {
 
 impl Default for WorkerConfig {
     fn default() -> Self {
-        WorkerConfig { max_line_bytes: DEFAULT_MAX_LINE_BYTES, fault: None, advertise_version: None }
+        WorkerConfig {
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            fault: None,
+            advertise_version: None,
+        }
     }
 }
 
@@ -213,10 +217,7 @@ enum Outcome {
 fn execute(state: &WorkerState, request: ClusterRequest, ws: &mut Workspace) -> Outcome {
     match request {
         ClusterRequest::Hello { .. } => {
-            let version = state
-                .config
-                .advertise_version
-                .unwrap_or(valmod_serve::PROTOCOL_VERSION);
+            let version = state.config.advertise_version.unwrap_or(valmod_serve::PROTOCOL_VERSION);
             // Same payload shape as `hello_result`, with an overridable
             // version for the incompatibility tests.
             let mut v = hello_result(WORKER_CAPABILITIES);
@@ -236,11 +237,7 @@ fn execute(state: &WorkerState, request: ClusterRequest, ws: &mut Workspace) -> 
                 Err(e) => return Outcome::Reply(response_err(&e)),
             };
             let len = values.len();
-            state
-                .jobs
-                .lock()
-                .expect("jobs lock")
-                .insert(job.clone(), Arc::new(Job { ps, policy }));
+            state.jobs.lock().expect("jobs lock").insert(job.clone(), Arc::new(Job { ps, policy }));
             Outcome::Reply(response_ok(
                 Value::obj(vec![("job", Value::str(&job)), ("len", len.into())]),
                 None,

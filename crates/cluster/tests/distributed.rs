@@ -25,9 +25,7 @@ fn spec(n: usize, l_min: usize, l_max: usize, seed: u64) -> JobSpec {
 fn fast_config() -> CoordinatorConfig {
     CoordinatorConfig {
         shard_timeout: Duration::from_secs(20),
-        connect: Timeouts::new()
-            .with_connect(Duration::from_secs(2))
-            .with_retries(1),
+        connect: Timeouts::new().with_connect(Duration::from_secs(2)).with_retries(1),
         ..CoordinatorConfig::default()
     }
 }
@@ -136,8 +134,7 @@ fn incompatible_workers_are_rejected_at_the_handshake() {
     let registry = Registry::new();
     let recorder = SharedRecorder::from(registry.clone());
     let cfg = fast_config();
-    let run =
-        run_distributed(&spec, &[stale.addr(), healthy.addr()], &cfg, &recorder).unwrap();
+    let run = run_distributed(&spec, &[stale.addr(), healthy.addr()], &cfg, &recorder).unwrap();
     assert!(run.output.bits_equal(&reference));
     let rejection = run.workers[0].rejected.as_ref().expect("stale worker rejected");
     assert!(rejection.contains("version mismatch"), "got {rejection}");
@@ -160,9 +157,13 @@ fn a_plain_serve_server_is_rejected_for_missing_capability() {
     let handle = std::thread::spawn(move || server.run());
 
     let spec = spec(200, 16, 17, 17);
-    let err =
-        run_distributed(&spec, &[addr.clone()], &fast_config(), &SharedRecorder::noop())
-            .unwrap_err();
+    let err = run_distributed(
+        &spec,
+        std::slice::from_ref(&addr),
+        &fast_config(),
+        &SharedRecorder::noop(),
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("no compatible workers"), "got {err}");
     assert!(err.to_string().contains("cluster"), "rejection should name the capability: {err}");
 
@@ -175,10 +176,9 @@ fn a_plain_serve_server_is_rejected_for_missing_capability() {
 fn unknown_job_answers_the_stable_error_kind() {
     let worker = LocalWorker::spawn(WorkerConfig::default()).unwrap();
     let mut client = valmod_serve::Client::connect(worker.addr()).unwrap();
-    let work = valmod_serve::Value::parse(
-        r#"{"cmd":"work","job":"ghost","l":16,"k_start":8,"k_end":10}"#,
-    )
-    .unwrap();
+    let work =
+        valmod_serve::Value::parse(r#"{"cmd":"work","job":"ghost","l":16,"k_start":8,"k_end":10}"#)
+            .unwrap();
     let err = client.roundtrip_value(&work).unwrap_err();
     assert!(
         matches!(err, valmod_serve::ServeError::UnknownSeries(_)),

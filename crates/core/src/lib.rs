@@ -101,16 +101,19 @@ pub use sub_mp::{
     compute_sub_mp_threaded_with_ws, SubMpResult,
 };
 pub use validate::{validate_length_range, validate_valmod_params};
-#[allow(deprecated)]
-pub use valmod::{valmod, valmod_on};
-pub use valmod::{LengthMethod, LengthReport, Valmod, ValmodConfig, ValmodOutput};
+pub use valmod::{
+    compose_output, LengthMethod, LengthProfile, LengthReport, Valmod, ValmodConfig, ValmodOutput,
+};
 pub use valmp::Valmp;
 
 /// One-stop imports for running VALMOD: the [`Valmod`] builder and its
 /// configuration/output types, the observability handles it accepts, and
 /// the `Series` input type.
 pub mod prelude {
-    pub use crate::valmod::{LengthMethod, LengthReport, Valmod, ValmodConfig, ValmodOutput};
+    pub use crate::valmod::{
+        compose_output, LengthMethod, LengthProfile, LengthReport, Valmod, ValmodConfig,
+        ValmodOutput,
+    };
     pub use valmod_data::series::Series;
     pub use valmod_obs::{Recorder, Registry, SharedRecorder};
 }

@@ -16,6 +16,7 @@ use valmod_mp::workspace::Workspace;
 
 use crate::compute_mp::compute_matrix_profile_with_ws;
 use crate::pairs::BestKPairs;
+use crate::profile::PartialProfile;
 use crate::sub_mp::compute_sub_mp_threaded_with_ws;
 use crate::valmp::Valmp;
 
@@ -163,6 +164,59 @@ pub enum LengthMethod {
     Fallback,
 }
 
+/// The full per-length artifact of one length in a VALMOD run: the
+/// (sub-)matrix profile row minima and nearest-neighbour indices at length
+/// `l`, plus the accounting that [`LengthReport`] summarises.
+///
+/// This is the unit of reuse for variable-length query planning: fragments
+/// for a contiguous ascending length range recompose into a [`ValmodOutput`]
+/// via [`compose_output`], and a fragment is a pure function of
+/// (series, anchor length, `l`, `p`, exclusion policy) — see
+/// [`Valmod::run_lengths_on`].
+#[derive(Debug, Clone)]
+pub struct LengthProfile {
+    /// Subsequence length.
+    pub l: usize,
+    /// Row minima (`⊥` encoded as a non-finite value for rows the lower
+    /// bounds could not certify).
+    pub mp: Vec<f64>,
+    /// Nearest-neighbour index per row (`usize::MAX` when unknown).
+    pub ip: Vec<usize>,
+    /// How this length was resolved.
+    pub method: LengthMethod,
+    /// The motif pair of this length (`None` when every pair is excluded).
+    pub motif: Option<MotifPair>,
+    /// Non-⊥ entries of `mp`.
+    pub known_entries: usize,
+    /// Rows certified valid by the lower bound.
+    pub valid_rows: usize,
+    /// Rows left unknown in the first pass.
+    pub nonvalid_rows: usize,
+    /// Rows recomputed by the last-chance pass.
+    pub recomputed_rows: usize,
+}
+
+impl LengthProfile {
+    /// The summary form kept in [`ValmodOutput::per_length`].
+    pub fn report(&self) -> LengthReport {
+        LengthReport {
+            l: self.l,
+            method: self.method,
+            motif: self.motif,
+            known_entries: self.known_entries,
+            valid_rows: self.valid_rows,
+            nonvalid_rows: self.nonvalid_rows,
+            recomputed_rows: self.recomputed_rows,
+        }
+    }
+
+    /// An estimate of the heap bytes this fragment holds (for cache
+    /// byte-budget accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.mp.len() * std::mem::size_of::<f64>() + self.ip.len() * std::mem::size_of::<usize>()
+    }
+}
+
 /// Per-length instrumentation (drives the paper's Figs. 9 and 14).
 #[derive(Debug, Clone)]
 pub struct LengthReport {
@@ -210,8 +264,7 @@ impl ValmodOutput {
 /// The unified entry point for a VALMOD run: a builder over
 /// [`ValmodConfig`] plus an optional [`SharedRecorder`] for observability.
 ///
-/// This is the one public way to run the algorithm; the free functions
-/// [`valmod`] and [`valmod_on`] are deprecated shims over it.
+/// This is the one public way to run the algorithm.
 ///
 /// ```
 /// use valmod_core::{Valmod, ValmodOutput};
@@ -288,19 +341,67 @@ impl Valmod {
     pub fn run_on(&self, ps: &ProfiledSeries) -> Result<ValmodOutput> {
         run_valmod(ps, &self.config, &self.recorder)
     }
+
+    /// Computes the per-length [`LengthProfile`] fragments for the
+    /// sub-range `[l_lo, l_hi]`, ignoring the builder's own length range
+    /// but keeping its `p`, exclusion policy, threads, and recorder.
+    ///
+    /// The run anchors a fresh full profile at `l_lo` and advances length
+    /// by length to `l_hi`, exactly as [`Valmod::run_on`] does for its own
+    /// range — so a fragment is a pure function of
+    /// (series, `l_lo`, `l`, `p`, policy), independent of `l_hi` and of any
+    /// other fragments. This is the resumable entry point the serve-layer
+    /// query planner uses: it caches fragments keyed by their anchor and
+    /// recomposes overlapping variable-length queries with
+    /// [`compose_output`].
+    pub fn run_lengths_on(
+        &self,
+        ps: &ProfiledSeries,
+        l_lo: usize,
+        l_hi: usize,
+    ) -> Result<Vec<LengthProfile>> {
+        let mut cfg = self.config.clone();
+        cfg.l_min = l_lo;
+        cfg.l_max = l_hi;
+        cfg.validate_for(ps.len())?;
+        let recorder = &self.recorder;
+        let _span = valmod_obs::span!(recorder, "core.valmod.segment_us");
+        let mut out = Vec::with_capacity(l_hi - l_lo + 1);
+        drive_lengths(ps, &cfg, recorder, |lp, _| out.push(lp))?;
+        Ok(out)
+    }
 }
 
-/// Runs VALMOD (paper Algorithm 1) on a series.
-#[deprecated(note = "use the `Valmod` builder: `Valmod::from_config(config.clone()).run(series)`")]
-pub fn valmod(series: &Series, config: &ValmodConfig) -> Result<ValmodOutput> {
-    let ps = ProfiledSeries::new(series);
-    run_valmod(&ps, config, &SharedRecorder::noop())
-}
-
-/// Runs VALMOD on an already-prepared [`ProfiledSeries`].
-#[deprecated(note = "use the `Valmod` builder: `Valmod::from_config(config.clone()).run_on(ps)`")]
-pub fn valmod_on(ps: &ProfiledSeries, config: &ValmodConfig) -> Result<ValmodOutput> {
-    run_valmod(ps, config, &SharedRecorder::noop())
+/// Recomposes a [`ValmodOutput`] from per-length fragments covering a
+/// contiguous, ascending length range (the first fragment must be the
+/// smallest length and hold the full `ndp(ℓ_min)` rows).
+///
+/// [`Valmp::update`] folds per-slot minima one length at a time, so feeding
+/// it the same per-length profiles — whether freshly computed or replayed
+/// from a fragment cache — produces a bit-identical VALMP. `best_pairs` is
+/// always `None`: top-K pair tracking needs the live partial profiles at
+/// offer time and cannot be reconstructed from fragments.
+pub fn compose_output<'a, I>(fragments: I) -> Result<ValmodOutput>
+where
+    I: IntoIterator<Item = &'a LengthProfile>,
+{
+    let mut iter = fragments.into_iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| ValmodError::InvalidParameter("compose_output: no fragments".into()))?;
+    let mut valmp = Valmp::new(first.mp.len());
+    let mut per_length = Vec::new();
+    for (expected, lp) in (first.l..).zip(std::iter::once(first).chain(iter)) {
+        if lp.l != expected {
+            return Err(ValmodError::InvalidParameter(format!(
+                "compose_output: fragments must be contiguous ascending lengths; expected {expected}, got {}",
+                lp.l
+            )));
+        }
+        valmp.update(&lp.mp, &lp.ip, lp.l);
+        per_length.push(lp.report());
+    }
+    Ok(ValmodOutput { valmp, per_length, best_pairs: None })
 }
 
 /// The driver loop shared by every public entry point.
@@ -311,15 +412,41 @@ fn run_valmod(
 ) -> Result<ValmodOutput> {
     config.validate_for(ps.len())?;
     let _span = valmod_obs::span!(recorder, "core.valmod.run_us");
-    let policy = config.policy;
-    ps.require_pairs(config.l_max)?;
     let ndp_min = ps.num_subsequences(config.l_min);
 
     let mut valmp = Valmp::new(ndp_min);
     let mut tracker = (config.track_pairs > 0).then(|| BestKPairs::new(config.track_pairs));
     let mut per_length = Vec::with_capacity(config.l_max - config.l_min + 1);
 
-    // One workspace for the whole run: the anchor profile, every fallback
+    drive_lengths(ps, config, recorder, |lp, partials| {
+        let improved = valmp.update(&lp.mp, &lp.ip, lp.l);
+        if let Some(t) = tracker.as_mut() {
+            for &i in &improved {
+                t.offer(ps, i, lp.ip[i], lp.mp[i], lp.l, partials);
+            }
+        }
+        per_length.push(lp.report());
+    })?;
+
+    Ok(ValmodOutput { valmp, per_length, best_pairs: tracker })
+}
+
+/// The length walk of Algorithm 1: anchor a full profile at
+/// `config.l_min`, then `ComputeSubMP` per subsequent length with the full
+/// recomputation fallback. Each resolved length is handed to `visit`
+/// together with the partial profiles live at that point (which top-K pair
+/// tracking needs). Both [`run_valmod`] and [`Valmod::run_lengths_on`] are
+/// thin folds over this walk.
+fn drive_lengths(
+    ps: &ProfiledSeries,
+    config: &ValmodConfig,
+    recorder: &SharedRecorder,
+    mut visit: impl FnMut(LengthProfile, &[PartialProfile]),
+) -> Result<()> {
+    let policy = config.policy;
+    ps.require_pairs(config.l_max)?;
+
+    // One workspace for the whole walk: the anchor profile, every fallback
     // recomputation, and every last-chance refinement share its FFT plan
     // cache and scratch buffers, so each transform size is planned once for
     // the entire length range.
@@ -337,21 +464,23 @@ fn run_valmod(
         recorder,
         &mut ws,
     )?;
-    let improved = valmp.update(&state.profile.mp, &state.profile.ip, config.l_min);
-    if let Some(t) = tracker.as_mut() {
-        for &i in &improved {
-            t.offer(ps, i, state.profile.ip[i], state.profile.mp[i], config.l_min, &state.partials);
-        }
-    }
-    per_length.push(LengthReport {
-        l: config.l_min,
-        method: LengthMethod::FullProfile,
-        motif: state.profile.motif_pair().map(|(a, b, d)| MotifPair::new(a, b, config.l_min, d)),
-        known_entries: state.profile.len(),
-        valid_rows: state.profile.len(),
-        nonvalid_rows: 0,
-        recomputed_rows: 0,
-    });
+    visit(
+        LengthProfile {
+            l: config.l_min,
+            mp: state.profile.mp.clone(),
+            ip: state.profile.ip.clone(),
+            method: LengthMethod::FullProfile,
+            motif: state
+                .profile
+                .motif_pair()
+                .map(|(a, b, d)| MotifPair::new(a, b, config.l_min, d)),
+            known_entries: state.profile.len(),
+            valid_rows: state.profile.len(),
+            nonvalid_rows: 0,
+            recomputed_rows: 0,
+        },
+        &state.partials,
+    );
 
     // Lengths ℓ_min+1 ..= ℓ_max (Algorithm 1, lines 7–16).
     for l in (config.l_min + 1)..=config.l_max {
@@ -402,25 +531,24 @@ fn run_valmod(
             mp_vals = state.profile.mp.clone();
             ip_vals = state.profile.ip.clone();
         }
-        let improved = valmp.update(&mp_vals, &ip_vals, l);
-        if let Some(t) = tracker.as_mut() {
-            for &i in &improved {
-                t.offer(ps, i, ip_vals[i], mp_vals[i], l, &state.partials);
-            }
-        }
         let motif = best_finite(&mp_vals, &ip_vals).map(|(a, b, d)| MotifPair::new(a, b, l, d));
-        per_length.push(LengthReport {
-            l,
-            method,
-            motif,
-            known_entries: known,
-            valid_rows: valid,
-            nonvalid_rows: nonvalid,
-            recomputed_rows: recomputed,
-        });
+        visit(
+            LengthProfile {
+                l,
+                mp: mp_vals,
+                ip: ip_vals,
+                method,
+                motif,
+                known_entries: known,
+                valid_rows: valid,
+                nonvalid_rows: nonvalid,
+                recomputed_rows: recomputed,
+            },
+            &state.partials,
+        );
     }
 
-    Ok(ValmodOutput { valmp, per_length, best_pairs: tracker })
+    Ok(())
 }
 
 fn best_finite(mp: &[f64], ip: &[usize]) -> Option<(usize, usize, f64)> {
@@ -660,21 +788,76 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_match_the_builder() {
-        let series = Series::new(random_walk(250, 113)).unwrap();
-        let cfg = ValmodConfig::new(16, 22).with_p(4);
-        let via_builder = Valmod::from_config(cfg.clone()).run(&series).unwrap();
-        let via_shim = valmod(&series, &cfg).unwrap();
+    fn composing_one_segment_is_bit_identical_to_a_full_run() {
+        let series = Series::new(random_walk(350, 113)).unwrap();
         let ps = ProfiledSeries::new(&series);
-        let via_on = valmod_on(&ps, &cfg).unwrap();
-        for (a, b) in via_builder.per_length.iter().zip(&via_shim.per_length) {
+        let runner = Valmod::new(16, 30).p(4);
+        let full = runner.run_on(&ps).unwrap();
+        let fragments = runner.run_lengths_on(&ps, 16, 30).unwrap();
+        assert_eq!(fragments.len(), 15);
+        assert_eq!(fragments[0].method, LengthMethod::FullProfile);
+        let composed = compose_output(fragments.iter()).unwrap();
+        assert_eq!(composed.per_length.len(), full.per_length.len());
+        for (a, b) in full.per_length.iter().zip(&composed.per_length) {
             assert_eq!(a.l, b.l);
+            assert_eq!(a.method, b.method, "l={}", a.l);
             assert_eq!(a.motif.map(|m| m.dist.to_bits()), b.motif.map(|m| m.dist.to_bits()));
         }
-        for (a, b) in via_builder.per_length.iter().zip(&via_on.per_length) {
-            assert_eq!(a.motif.map(|m| m.dist.to_bits()), b.motif.map(|m| m.dist.to_bits()));
+        for (x, y) in full.valmp.norm_distances.iter().zip(&composed.valmp.norm_distances) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
+        for (x, y) in full.valmp.indices.iter().zip(&composed.valmp.indices) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn run_lengths_on_ignores_the_builders_own_range() {
+        // The builder's [l_min, l_max] is irrelevant to the segment entry
+        // point; only p / policy / threads carry over.
+        let series = Series::new(random_walk(300, 117)).unwrap();
+        let ps = ProfiledSeries::new(&series);
+        let a = Valmod::new(8, 64).p(4).run_lengths_on(&ps, 20, 24).unwrap();
+        let b = Valmod::new(20, 24).p(4).run_lengths_on(&ps, 20, 24).unwrap();
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.l, y.l);
+            assert_eq!(
+                x.mp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y.mp.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(x.ip, y.ip);
+        }
+    }
+
+    #[test]
+    fn segments_are_anchor_pure_functions() {
+        // A fragment depends on its anchor and length only, never on how far
+        // the segment ran: [20, 24] and [20, 30] agree on lengths 20..=24.
+        let series = Series::new(random_walk(280, 119)).unwrap();
+        let ps = ProfiledSeries::new(&series);
+        let runner = Valmod::new(16, 32).p(4);
+        let short = runner.run_lengths_on(&ps, 20, 24).unwrap();
+        let long = runner.run_lengths_on(&ps, 20, 30).unwrap();
+        for (s, l) in short.iter().zip(&long) {
+            assert_eq!(s.l, l.l);
+            assert_eq!(
+                s.mp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                l.mp.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(s.ip, l.ip);
+        }
+    }
+
+    #[test]
+    fn compose_rejects_gaps_and_emptiness() {
+        let series = Series::new(random_walk(200, 123)).unwrap();
+        let ps = ProfiledSeries::new(&series);
+        let runner = Valmod::new(16, 20).p(4);
+        let frags = runner.run_lengths_on(&ps, 16, 20).unwrap();
+        assert!(compose_output(std::iter::empty()).is_err());
+        let gappy: Vec<&LengthProfile> = vec![&frags[0], &frags[2]];
+        assert!(compose_output(gappy).is_err());
     }
 
     #[test]

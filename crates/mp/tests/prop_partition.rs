@@ -8,7 +8,9 @@ use proptest::prelude::*;
 use valmod_data::generators::{random_walk, sine_mixture};
 use valmod_data::rng::Xoshiro256;
 use valmod_mp::stomp::stomp;
-use valmod_mp::{merge_partial, stomp_diagonal_range_ws, ExclusionPolicy, ProfiledSeries, Workspace};
+use valmod_mp::{
+    merge_partial, stomp_diagonal_range_ws, ExclusionPolicy, ProfiledSeries, Workspace,
+};
 
 fn make_series(kind: u8, n: usize, seed: u64) -> Vec<f64> {
     match kind % 2 {

@@ -1,6 +1,12 @@
 //! A small blocking client for the line protocol (used by `valmod query`
 //! and the integration tests; also the reference for writing clients in
 //! other languages — any JSON library plus a TCP socket suffices).
+//!
+//! Query and ingestion helpers return the **typed shapes** from
+//! [`crate::response`] — the same definitions the server encodes with —
+//! so callers compare fields instead of string-matching raw JSON. The
+//! raw escape hatches ([`Client::roundtrip_value`], [`Client::query`])
+//! remain for byte-level comparisons and protocol tests.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -11,6 +17,9 @@ use valmod_data::rng::Xoshiro256;
 use crate::engine::{QueryKind, QuerySpec};
 use crate::error::{ServeError, ServeResult};
 use crate::protocol::{check_hello, Request, Response, PROTOCOL_VERSION};
+use crate::response::{
+    Ack, BodyShape, DiscordsBody, MotifsBody, QueryReply, SaveAck, SetsBody, StatsReply,
+};
 use crate::value::Value;
 
 /// Connection behaviour for [`Client::connect_with`]: per-attempt timeouts
@@ -198,28 +207,47 @@ impl Client {
         self.roundtrip_value(&request.to_value())
     }
 
-    /// `LOAD`: stores a series, returning `(version, len)`.
+    /// `LOAD`: stores a series, returning the typed acknowledgement.
     pub fn load(
         &mut self,
         name: &str,
         values: Vec<f64>,
         hot: Vec<usize>,
         replace: bool,
-    ) -> ServeResult<(u64, usize)> {
+    ) -> ServeResult<Ack> {
         let resp = self.request(&Request::Load { name: name.to_string(), values, hot, replace })?;
-        version_len(&resp.result)
+        Ack::from_value(&resp.result)
     }
 
-    /// `APPEND`: extends a series, returning `(version, len)`.
-    pub fn append(&mut self, name: &str, values: Vec<f64>) -> ServeResult<(u64, usize)> {
+    /// `APPEND`: extends a series, returning the typed acknowledgement.
+    pub fn append(&mut self, name: &str, values: Vec<f64>) -> ServeResult<Ack> {
         let resp = self.request(&Request::Append { name: name.to_string(), values })?;
-        version_len(&resp.result)
+        Ack::from_value(&resp.result)
     }
 
-    /// A motif/sets/discords query; the response carries the payload and
-    /// the cache marker.
+    /// A motif/sets/discords query; the raw response carries the payload
+    /// and the cache/coalescing markers (escape hatch for byte-level
+    /// comparisons — typed callers use [`Client::motifs`] and friends).
     pub fn query(&mut self, spec: QuerySpec) -> ServeResult<Response> {
         self.request(&Request::Query(spec))
+    }
+
+    /// A query decoded into a typed reply.
+    pub fn query_typed<B: BodyShape>(&mut self, spec: QuerySpec) -> ServeResult<QueryReply<B>> {
+        let resp = self.query(spec)?;
+        QueryReply::from_response(&resp)
+    }
+
+    fn query_spec(name: &str, kind: QueryKind, l_min: usize, l_max: usize) -> QuerySpec {
+        QuerySpec {
+            series: name.to_string(),
+            kind,
+            l_min,
+            l_max,
+            p: 50,
+            policy: valmod_mp::ExclusionPolicy::HALF,
+            deadline: None,
+        }
     }
 
     /// Convenience: top-k motifs over `[l_min, l_max]` with defaults.
@@ -229,21 +257,41 @@ impl Client {
         l_min: usize,
         l_max: usize,
         top: usize,
-    ) -> ServeResult<Response> {
-        self.query(QuerySpec {
-            series: name.to_string(),
-            kind: QueryKind::Motifs { top },
-            l_min,
-            l_max,
-            p: 50,
-            policy: valmod_mp::ExclusionPolicy::HALF,
-            deadline: None,
-        })
+    ) -> ServeResult<QueryReply<MotifsBody>> {
+        self.query_typed(Self::query_spec(name, QueryKind::Motifs { top }, l_min, l_max))
     }
 
-    /// `STATS` snapshot.
+    /// Convenience: top-k discords over `[l_min, l_max]` with defaults.
+    pub fn discords(
+        &mut self,
+        name: &str,
+        l_min: usize,
+        l_max: usize,
+        top: usize,
+    ) -> ServeResult<QueryReply<DiscordsBody>> {
+        self.query_typed(Self::query_spec(name, QueryKind::Discords { top }, l_min, l_max))
+    }
+
+    /// Convenience: motif sets over `[l_min, l_max]` with defaults.
+    pub fn sets(
+        &mut self,
+        name: &str,
+        l_min: usize,
+        l_max: usize,
+        k: usize,
+        radius: f64,
+    ) -> ServeResult<QueryReply<SetsBody>> {
+        self.query_typed(Self::query_spec(name, QueryKind::Sets { k, radius }, l_min, l_max))
+    }
+
+    /// `STATS` snapshot (raw tree).
     pub fn stats(&mut self) -> ServeResult<Value> {
         Ok(self.request(&Request::Stats)?.result)
+    }
+
+    /// `STATS` decoded into the typed counters plus the raw tree.
+    pub fn stats_typed(&mut self) -> ServeResult<StatsReply> {
+        StatsReply::from_value(&self.stats()?)
     }
 
     /// Liveness probe.
@@ -268,14 +316,11 @@ impl Client {
         self.request(&Request::Sleep { ms, deadline })
     }
 
-    /// `SAVE`: flushes every series to a fresh snapshot. Returns the
-    /// number of snapshots written (0 when the server is not durable).
-    pub fn save(&mut self) -> ServeResult<usize> {
+    /// `SAVE`: flushes every series to a fresh snapshot. The typed ack
+    /// reports 0 snapshots when the server is not durable.
+    pub fn save(&mut self) -> ServeResult<SaveAck> {
         let resp = self.request(&Request::Save)?;
-        resp.result
-            .get("snapshots")
-            .and_then(Value::as_usize)
-            .ok_or_else(|| ServeError::Protocol("response missing \"snapshots\"".into()))
+        SaveAck::from_value(&resp.result)
     }
 
     /// Asks the server to shut down gracefully.
@@ -330,16 +375,4 @@ mod tests {
         // 2 retries with ≤50·2^a ms backoff: well under 5 s even loaded.
         assert!(started.elapsed() < Duration::from_secs(5));
     }
-}
-
-fn version_len(result: &Value) -> ServeResult<(u64, usize)> {
-    let version = result
-        .get("version")
-        .and_then(Value::as_usize)
-        .ok_or_else(|| ServeError::Protocol("response missing \"version\"".into()))?;
-    let len = result
-        .get("len")
-        .and_then(Value::as_usize)
-        .ok_or_else(|| ServeError::Protocol("response missing \"len\"".into()))?;
-    Ok((version as u64, len))
 }

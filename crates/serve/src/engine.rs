@@ -18,11 +18,24 @@
 //!
 //! Workers compute on an `Arc` snapshot of the batch view, so long queries
 //! never hold the store lock while appends land.
+//!
+//! ## Query planning
+//!
+//! Admission additionally **coalesces** identical concurrent queries: the
+//! first request under a cache key becomes the *leader* and submits one
+//! job; every later identical request arriving while that job is in
+//! flight attaches to it and receives the same payload when it lands
+//! (`coalesced: true`, counted in `serve.query.coalesced`). Cold
+//! computes themselves run through the [`crate::planner`], which
+//! decomposes the length range into segments whose per-length fragments
+//! are cached in a [`crate::fragment::FragmentCache`] and recomposed —
+//! so overlapping ranges share work across requests, bit-identically.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -31,11 +44,15 @@ use valmod_core::{
     ValmodConfig,
 };
 use valmod_mp::motif::top_motifs;
-use valmod_mp::{ExclusionPolicy, MatrixProfile, MotifPair, ProfiledSeries};
+use valmod_mp::{ExclusionPolicy, MatrixProfile, ProfiledSeries};
 use valmod_obs::{MetricSnapshot, Recorder, Registry, SharedRecorder, Snapshot};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::{ServeError, ServeResult};
+use crate::fragment::FragmentCache;
+use crate::response::{
+    BodyShape, DiscordHit, DiscordsBody, MotifHit, MotifsBody, SetEntry, SetsBody,
+};
 use crate::store::SeriesStore;
 use crate::value::Value;
 
@@ -48,6 +65,9 @@ pub struct EngineConfig {
     pub queue_depth: usize,
     /// Result-cache byte budget (0 disables caching).
     pub cache_bytes: usize,
+    /// Planner fragment-cache byte budget (0 disables fragment reuse;
+    /// the planner then recomputes every segment).
+    pub fragment_cache_bytes: usize,
     /// `ValmodConfig::threads` used inside each query's kernels
     /// (1 = sequential, 0 = all cores).
     pub kernel_threads: usize,
@@ -60,6 +80,9 @@ pub struct EngineConfig {
     /// Per-series WAL size past which an append folds the log into a
     /// fresh snapshot. Ignored without `data_dir`.
     pub wal_compact_bytes: u64,
+    /// Longest request line the TCP front end accepts (the server reads
+    /// this from the engine it wraps).
+    pub max_line_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -68,11 +91,108 @@ impl Default for EngineConfig {
             workers: 2,
             queue_depth: 32,
             cache_bytes: 16 << 20,
+            fragment_cache_bytes: 16 << 20,
             kernel_threads: 1,
             default_deadline: Duration::from_secs(30),
             data_dir: None,
             wal_compact_bytes: crate::persist::DEFAULT_WAL_COMPACT_BYTES,
+            max_line_bytes: crate::server::DEFAULT_MAX_LINE_BYTES,
         }
+    }
+}
+
+impl EngineConfig {
+    /// A builder over the defaults, with validation at
+    /// [`EngineConfigBuilder::build`] — the one construction path call
+    /// sites should use.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { cfg: EngineConfig::default() }
+    }
+}
+
+/// Builds an [`EngineConfig`], validating the combination once at
+/// [`EngineConfigBuilder::build`] instead of clamping silently at every
+/// call site.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Worker threads executing queries (≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Bounded queue depth between admission and the workers (≥ 1).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Result-cache byte budget (0 disables result caching).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.cache_bytes = bytes;
+        self
+    }
+
+    /// Planner fragment-cache byte budget (0 disables fragment reuse).
+    pub fn fragment_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.fragment_cache_bytes = bytes;
+        self
+    }
+
+    /// Kernel threads per query (1 = sequential, 0 = all cores).
+    pub fn kernel_threads(mut self, threads: usize) -> Self {
+        self.cfg.kernel_threads = threads;
+        self
+    }
+
+    /// Deadline applied when a request does not carry its own (> 0).
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.cfg.default_deadline = deadline;
+        self
+    }
+
+    /// Directory for snapshots + WALs (durability on).
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Per-series WAL size that triggers snapshot compaction.
+    pub fn wal_compact_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.wal_compact_bytes = bytes;
+        self
+    }
+
+    /// Longest request line the TCP front end accepts (≥ 1024).
+    pub fn max_line_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.max_line_bytes = bytes;
+        self
+    }
+
+    /// Validates the combination and returns the config.
+    pub fn build(self) -> ServeResult<EngineConfig> {
+        let cfg = self.cfg;
+        if cfg.workers == 0 {
+            return Err(ServeError::InvalidParameter("engine requires workers >= 1".into()));
+        }
+        if cfg.queue_depth == 0 {
+            return Err(ServeError::InvalidParameter("engine requires queue_depth >= 1".into()));
+        }
+        if cfg.default_deadline.is_zero() {
+            return Err(ServeError::InvalidParameter(
+                "engine requires a non-zero default_deadline".into(),
+            ));
+        }
+        if cfg.max_line_bytes < 1024 {
+            return Err(ServeError::InvalidParameter(
+                "engine requires max_line_bytes >= 1024 (one request must fit)".into(),
+            ));
+        }
+        Ok(cfg)
     }
 }
 
@@ -148,6 +268,48 @@ pub struct QueryOutcome {
     pub payload: Arc<Value>,
     /// Whether the payload came from the result cache.
     pub cached: bool,
+    /// Whether this request attached to another request's in-flight
+    /// compute instead of submitting its own job.
+    pub coalesced: bool,
+}
+
+/// One in-flight computation under a cache key. The leader publishes its
+/// payload (or a cloned error) here; followers block on the condvar with
+/// their own deadlines.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<Option<ServeResult<Arc<Value>>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn publish(&self, result: ServeResult<Arc<Value>>) {
+        *self.done.lock().expect("flight lock") = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// [`ServeError`] intentionally carries a live `io::Error` and is not
+/// `Clone`; coalescing needs to hand one leader failure to many
+/// followers, so this reconstructs an equivalent error per recipient.
+fn clone_error(e: &ServeError) -> ServeError {
+    match e {
+        ServeError::Io(io) => ServeError::Io(std::io::Error::new(io.kind(), io.to_string())),
+        ServeError::Parse { line, token } => {
+            ServeError::Parse { line: *line, token: token.clone() }
+        }
+        ServeError::NonFinite { index } => ServeError::NonFinite { index: *index },
+        ServeError::TooShort { len, required } => {
+            ServeError::TooShort { len: *len, required: *required }
+        }
+        ServeError::InvalidParameter(msg) => ServeError::InvalidParameter(msg.clone()),
+        ServeError::Busy => ServeError::Busy,
+        ServeError::DeadlineExceeded => ServeError::DeadlineExceeded,
+        ServeError::ShuttingDown => ServeError::ShuttingDown,
+        ServeError::UnknownSeries(name) => ServeError::UnknownSeries(name.clone()),
+        ServeError::SeriesExists(name) => ServeError::SeriesExists(name.clone()),
+        ServeError::Protocol(msg) => ServeError::Protocol(msg.clone()),
+    }
 }
 
 enum Work {
@@ -168,6 +330,7 @@ struct Job {
 struct EngineCounters {
     queries: AtomicU64,
     computed: AtomicU64,
+    coalesced: AtomicU64,
     served_hot: AtomicU64,
     busy_rejections: AtomicU64,
     deadline_misses: AtomicU64,
@@ -177,6 +340,8 @@ struct Shared {
     cfg: EngineConfig,
     store: RwLock<SeriesStore>,
     cache: Mutex<ResultCache>,
+    fragments: Mutex<FragmentCache>,
+    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
     counters: EngineCounters,
     registry: Registry,
     recorder: SharedRecorder,
@@ -220,6 +385,8 @@ impl QueryEngine {
         };
         let shared = Arc::new(Shared {
             cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
+            fragments: Mutex::new(FragmentCache::new(cfg.fragment_cache_bytes)),
+            flights: Mutex::new(HashMap::new()),
             cfg,
             store: RwLock::new(store),
             counters: EngineCounters::default(),
@@ -261,6 +428,7 @@ impl QueryEngine {
         // from aliasing the new generation; purging the name just frees
         // budget that dead entries would otherwise pin until eviction.
         self.shared.cache.lock().expect("cache lock").invalidate_series(name);
+        self.shared.fragments.lock().expect("fragment cache lock").invalidate_series(name);
         Ok(out)
     }
 
@@ -274,6 +442,7 @@ impl QueryEngine {
         let len = store.get(name)?.len();
         drop(store);
         self.shared.cache.lock().expect("cache lock").invalidate_series(name);
+        self.shared.fragments.lock().expect("fragment cache lock").invalidate_series(name);
         Ok((version, len))
     }
 
@@ -285,8 +454,9 @@ impl QueryEngine {
         store.persist_all(&self.shared.recorder)
     }
 
-    /// Runs a query: O(1) on a cache hit, otherwise scheduled on the
-    /// worker pool behind the bounded queue.
+    /// Runs a query: O(1) on a cache hit; attached to an identical
+    /// in-flight computation when one exists (single-flight coalescing);
+    /// otherwise scheduled on the worker pool behind the bounded queue.
     pub fn query(&self, spec: QuerySpec) -> ServeResult<QueryOutcome> {
         self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
         self.reject_if_shutting_down()?;
@@ -296,11 +466,70 @@ impl QueryEngine {
         let key = CacheKey { series: spec.series.clone(), version, query: spec.query_key() };
         if let Some(payload) = self.shared.cache.lock().expect("cache lock").get(&key) {
             self.shared.recorder.add("serve.cache.hit", 1);
-            return Ok(QueryOutcome { payload, cached: true });
+            return Ok(QueryOutcome { payload, cached: true, coalesced: false });
         }
         self.shared.recorder.add("serve.cache.miss", 1);
         let deadline = Instant::now() + spec.deadline.unwrap_or(self.shared.cfg.default_deadline);
-        self.submit(Work::Query(spec), deadline)
+        // Single-flight: exactly one request per cache key becomes the
+        // leader and submits a job; identical requests arriving while it
+        // is in flight wait for its payload instead of queueing.
+        let leader_flight = {
+            let mut flights = self.shared.flights.lock().expect("flights lock");
+            if let Some(flight) = flights.get(&key) {
+                let flight = Arc::clone(flight);
+                drop(flights);
+                return self.wait_on_flight(&flight, deadline);
+            }
+            let flight = Arc::new(Flight::default());
+            flights.insert(key.clone(), Arc::clone(&flight));
+            self.shared.registry.gauge("serve.flights.inflight").set(flights.len() as f64);
+            flight
+        };
+        let result = self.submit(Work::Query(spec), deadline);
+        // Retire the flight before publishing: requests arriving from here
+        // on probe the result cache (the worker filled it before replying)
+        // or lead a fresh flight; the followers already attached get the
+        // leader's payload — or its failure, cloned per recipient, so they
+        // fail fast instead of timing out.
+        {
+            let mut flights = self.shared.flights.lock().expect("flights lock");
+            flights.remove(&key);
+            self.shared.registry.gauge("serve.flights.inflight").set(flights.len() as f64);
+        }
+        leader_flight.publish(match &result {
+            Ok(outcome) => Ok(Arc::clone(&outcome.payload)),
+            Err(e) => Err(clone_error(e)),
+        });
+        result
+    }
+
+    /// Blocks a follower on `flight` until the leader publishes or the
+    /// follower's own deadline passes.
+    fn wait_on_flight(&self, flight: &Flight, deadline: Instant) -> ServeResult<QueryOutcome> {
+        let mut done = flight.done.lock().expect("flight lock");
+        loop {
+            match &*done {
+                Some(Ok(payload)) => {
+                    self.shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    self.shared.recorder.add("serve.query.coalesced", 1);
+                    return Ok(QueryOutcome {
+                        payload: Arc::clone(payload),
+                        cached: false,
+                        coalesced: true,
+                    });
+                }
+                Some(Err(e)) => return Err(clone_error(e)),
+                None => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.shared.counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                self.shared.recorder.add("serve.queue.shed_deadline", 1);
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let (guard, _) = flight.cv.wait_timeout(done, deadline - now).expect("flight lock");
+            done = guard;
+        }
     }
 
     /// Diagnostics: occupies one worker for `ms` milliseconds through the
@@ -330,6 +559,12 @@ impl QueryEngine {
             }
         }
         reply_rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// The configuration this engine runs with (after startup clamping).
+    /// The TCP front end reads its line limit from here.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.cfg
     }
 
     /// The engine's metric registry. Front ends may record their own
@@ -380,6 +615,19 @@ impl QueryEngine {
             ("invalidated", cs.invalidated.into()),
         ]);
         drop(cache);
+        let fragments = self.shared.fragments.lock().expect("fragment cache lock");
+        let fs = fragments.stats();
+        let planner_v = Value::obj(vec![
+            ("fragment_entries", fragments.len().into()),
+            ("fragment_used_bytes", fragments.used_bytes().into()),
+            ("fragment_budget_bytes", fragments.budget_bytes().into()),
+            ("fragment_hits", fs.hits.into()),
+            ("fragment_misses", fs.misses.into()),
+            ("fragment_evictions", fs.evictions.into()),
+            ("fragment_invalidated", fs.invalidated.into()),
+            ("inflight", self.shared.flights.lock().expect("flights lock").len().into()),
+        ]);
+        drop(fragments);
         let c = &self.shared.counters;
         Value::obj(vec![
             (
@@ -387,6 +635,7 @@ impl QueryEngine {
                 Value::obj(vec![
                     ("queries", c.queries.load(Ordering::Relaxed).into()),
                     ("computed", c.computed.load(Ordering::Relaxed).into()),
+                    ("coalesced", c.coalesced.load(Ordering::Relaxed).into()),
                     ("served_hot", c.served_hot.load(Ordering::Relaxed).into()),
                     ("busy_rejections", c.busy_rejections.load(Ordering::Relaxed).into()),
                     ("deadline_misses", c.deadline_misses.load(Ordering::Relaxed).into()),
@@ -396,6 +645,7 @@ impl QueryEngine {
                 ]),
             ),
             ("cache", cache_v),
+            ("planner", planner_v),
             ("persist", persist_v),
             ("series", Value::Arr(series)),
             ("obs", snapshot_value(&self.shared.registry.snapshot())),
@@ -461,6 +711,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
                 Ok(QueryOutcome {
                     payload: Arc::new(Value::obj(vec![("slept_ms", (*ms).into())])),
                     cached: false,
+                    coalesced: false,
                 })
             }
             Work::Query(spec) => execute_query(&shared, spec),
@@ -499,12 +750,12 @@ fn execute_query(shared: &Shared, spec: &QuerySpec) -> ServeResult<QueryOutcome>
     let key = CacheKey { series: spec.series.clone(), version, query: spec.query_key() };
     if let Some(payload) = shared.cache.lock().expect("cache lock").get(&key) {
         shared.recorder.add("serve.cache.hit", 1);
-        return Ok(QueryOutcome { payload, cached: true });
+        return Ok(QueryOutcome { payload, cached: true, coalesced: false });
     }
     let started = Instant::now();
     let body = {
         let _span = valmod_obs::span!(&shared.recorder, "serve.compute_us");
-        compute_payload(shared, spec, &ps, hot)?
+        compute_payload(shared, spec, &ps, version, hot)?
     };
     let payload = Arc::new(Value::obj(vec![
         ("series", Value::str(&spec.series)),
@@ -514,17 +765,32 @@ fn execute_query(shared: &Shared, spec: &QuerySpec) -> ServeResult<QueryOutcome>
     ]));
     shared.counters.computed.fetch_add(1, Ordering::Relaxed);
     shared.cache.lock().expect("cache lock").insert(key, Arc::clone(&payload));
-    Ok(QueryOutcome { payload, cached: false })
+    Ok(QueryOutcome { payload, cached: false, coalesced: false })
 }
 
 fn compute_payload(
     shared: &Shared,
     spec: &QuerySpec,
     ps: &ProfiledSeries,
+    version: u64,
     hot: Option<MatrixProfile>,
 ) -> ServeResult<Value> {
     let cfg = spec.valmod_config(shared.cfg.kernel_threads);
     let runner = Valmod::from_config(cfg.clone()).recorder(shared.recorder.clone());
+    // VALMP-shaped queries run through the planner: the length range is
+    // decomposed into grid segments whose per-length fragments are cached
+    // and recomposed, so overlapping ranges share work across requests.
+    let planned = |runner: &Valmod| {
+        crate::planner::execute_plan(
+            ps,
+            &spec.series,
+            version,
+            runner,
+            &shared.fragments,
+            &shared.recorder,
+            (spec.l_min, spec.l_max),
+        )
+    };
     match spec.kind {
         QueryKind::Motifs { top } => {
             // Fixed-length queries at a registered hot length skip the
@@ -535,14 +801,15 @@ fn compute_payload(
                     (top_motifs(&profile, top), "hot")
                 }
                 None => {
-                    let out = runner.run_on(ps)?;
+                    let (out, _) = planned(&runner)?;
                     (top_variable_length_motifs(&out.valmp, top, cfg.policy), "cold")
                 }
             };
-            Ok(Value::obj(vec![
-                ("motifs", Value::Arr(motifs.iter().map(motif_value).collect())),
-                ("source", Value::str(source)),
-            ]))
+            Ok(MotifsBody {
+                motifs: motifs.iter().map(MotifHit::from_pair).collect(),
+                source: source.into(),
+            }
+            .to_value())
         }
         QueryKind::Sets { k, radius } => {
             if k == 0 {
@@ -550,47 +817,45 @@ fn compute_payload(
                     "sets require k >= 1 tracked pairs".into(),
                 ));
             }
+            // Sets bypass the planner: the best-K pair tracker must see
+            // every candidate at offer time, which composition over cached
+            // fragments cannot replay.
             let out = runner.run_on(ps)?;
             let tracker = out.best_pairs.ok_or_else(|| {
                 ServeError::InvalidParameter("pair tracking produced no candidates".into())
             })?;
             let (sets, set_stats) = compute_var_length_motif_sets(ps, &tracker, radius, cfg.policy);
-            let sets_v: Vec<Value> = sets
-                .iter()
-                .map(|s| {
-                    let mut offsets: Vec<usize> = s.members.iter().map(|m| m.offset).collect();
-                    offsets.sort_unstable();
-                    Value::obj(vec![
-                        ("l", s.l.into()),
-                        ("pair", Value::Arr(vec![s.pair.0.into(), s.pair.1.into()])),
-                        ("pair_dist", s.pair_dist.into()),
-                        ("radius", s.radius.into()),
-                        ("frequency", s.frequency().into()),
-                        ("offsets", Value::Arr(offsets.into_iter().map(Value::from).collect())),
-                    ])
-                })
-                .collect();
-            Ok(Value::obj(vec![
-                ("sets", Value::Arr(sets_v)),
-                ("served_from_snapshots", set_stats.served_from_snapshots.into()),
-                ("recomputed_profiles", set_stats.recomputed_profiles.into()),
-            ]))
+            Ok(SetsBody {
+                sets: sets
+                    .iter()
+                    .map(|s| {
+                        let mut offsets: Vec<usize> = s.members.iter().map(|m| m.offset).collect();
+                        offsets.sort_unstable();
+                        SetEntry {
+                            l: s.l,
+                            pair: s.pair,
+                            pair_dist: s.pair_dist,
+                            radius: s.radius,
+                            frequency: s.frequency(),
+                            offsets,
+                        }
+                    })
+                    .collect(),
+                served_from_snapshots: set_stats.served_from_snapshots,
+                recomputed_profiles: set_stats.recomputed_profiles,
+            }
+            .to_value())
         }
         QueryKind::Discords { top } => {
-            let out = runner.run_on(ps)?;
+            let (out, _) = planned(&runner)?;
             let discords = variable_length_discords(&out.valmp, top, cfg.policy);
-            let arr: Vec<Value> = discords
-                .iter()
-                .map(|d| {
-                    Value::obj(vec![
-                        ("offset", d.offset.into()),
-                        ("l", d.l.into()),
-                        ("nn", d.nn.into()),
-                        ("score", d.score.into()),
-                    ])
-                })
-                .collect();
-            Ok(Value::obj(vec![("discords", Value::Arr(arr))]))
+            Ok(DiscordsBody {
+                discords: discords
+                    .iter()
+                    .map(|d| DiscordHit { offset: d.offset, l: d.l, nn: d.nn, score: d.score })
+                    .collect(),
+            }
+            .to_value())
         }
     }
 }
@@ -630,16 +895,6 @@ fn snapshot_value(snapshot: &Snapshot) -> Value {
     Value::Obj(fields)
 }
 
-fn motif_value(m: &MotifPair) -> Value {
-    Value::obj(vec![
-        ("a", m.a.into()),
-        ("b", m.b.into()),
-        ("l", m.l.into()),
-        ("dist", m.dist.into()),
-        ("norm_dist", m.norm_dist().into()),
-    ])
-}
-
 impl std::fmt::Debug for QueryEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryEngine").field("cfg", &self.shared.cfg).finish_non_exhaustive()
@@ -652,12 +907,14 @@ mod tests {
     use valmod_data::generators::{plant_motif, random_walk};
 
     fn engine(workers: usize, queue: usize, cache: usize) -> QueryEngine {
-        QueryEngine::new(EngineConfig {
-            workers,
-            queue_depth: queue,
-            cache_bytes: cache,
-            ..EngineConfig::default()
-        })
+        QueryEngine::new(
+            EngineConfig::builder()
+                .workers(workers)
+                .queue_depth(queue)
+                .cache_bytes(cache)
+                .build()
+                .unwrap(),
+        )
     }
 
     fn motif_spec(series: &str, l_min: usize, l_max: usize) -> QuerySpec {
@@ -859,8 +1116,7 @@ mod tests {
         let dir =
             std::env::temp_dir().join(format!("valmod_engine_recover_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cfg =
-            EngineConfig { workers: 1, data_dir: Some(dir.clone()), ..EngineConfig::default() };
+        let cfg = EngineConfig::builder().workers(1).data_dir(dir.clone()).build().unwrap();
         let (values, _) = plant_motif(900, 32, 2, 0.001, 29);
         let cold = {
             let eng = QueryEngine::new(cfg.clone());
@@ -889,6 +1145,109 @@ mod tests {
         eng.shutdown();
         eng.join();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_builder_validates_at_build_time() {
+        let err = EngineConfig::builder().workers(0).build().unwrap_err();
+        assert!(matches!(err, ServeError::InvalidParameter(_)), "got {err:?}");
+        assert!(EngineConfig::builder().queue_depth(0).build().is_err());
+        assert!(EngineConfig::builder().default_deadline(Duration::ZERO).build().is_err());
+        assert!(EngineConfig::builder().max_line_bytes(16).build().is_err());
+        let cfg = EngineConfig::builder()
+            .workers(3)
+            .queue_depth(7)
+            .cache_bytes(1 << 20)
+            .fragment_cache_bytes(2 << 20)
+            .kernel_threads(2)
+            .default_deadline(Duration::from_secs(5))
+            .wal_compact_bytes(1 << 16)
+            .max_line_bytes(1 << 20)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.workers, cfg.queue_depth), (3, 7));
+        assert_eq!(cfg.fragment_cache_bytes, 2 << 20);
+        assert_eq!(cfg.max_line_bytes, 1 << 20);
+        assert!(cfg.data_dir.is_none());
+    }
+
+    #[test]
+    fn identical_concurrent_queries_coalesce_into_one_compute() {
+        let eng = Arc::new(engine(2, 8, 1 << 20));
+        let (values, _) = plant_motif(1_600, 32, 2, 0.001, 31);
+        eng.load("s", values, &[], ExclusionPolicy::HALF, false).unwrap();
+
+        // Leader: admitted first, registers the flight before submitting.
+        let leader = {
+            let eng = Arc::clone(&eng);
+            std::thread::spawn(move || eng.query(motif_spec("s", 16, 40)))
+        };
+        // Wait until the flight is registered (admission-time, so this is
+        // long before the compute finishes), then attach followers.
+        loop {
+            let stats = eng.stats();
+            let inflight =
+                stats.get("planner").unwrap().get("inflight").unwrap().as_usize().unwrap();
+            if inflight == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let eng = Arc::clone(&eng);
+                std::thread::spawn(move || eng.query(motif_spec("s", 16, 40)))
+            })
+            .collect();
+        let lead = leader.join().unwrap().unwrap();
+        assert!(!lead.cached && !lead.coalesced);
+        for f in followers {
+            let out = f.join().unwrap().unwrap();
+            assert!(out.coalesced, "follower must attach to the in-flight compute");
+            assert!(!out.cached);
+            assert_eq!(out.payload.as_ref(), lead.payload.as_ref(), "same payload, byte for byte");
+        }
+        let stats = eng.stats();
+        let engine_v = stats.get("engine").unwrap();
+        assert_eq!(engine_v.get("computed").unwrap().as_usize(), Some(1), "exactly one compute");
+        assert_eq!(engine_v.get("coalesced").unwrap().as_usize(), Some(3));
+        let obs = stats.get("obs").unwrap();
+        assert_eq!(obs.get("serve.query.coalesced").unwrap().as_usize(), Some(3));
+        assert_eq!(stats.get("planner").unwrap().get("inflight").unwrap().as_usize(), Some(0));
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn overlapping_ranges_reuse_fragments_and_appends_purge_them() {
+        // Result cache off: every query reaches the planner; only the
+        // fragment cache can save work.
+        let eng = QueryEngine::new(
+            EngineConfig::builder().workers(1).queue_depth(8).cache_bytes(0).build().unwrap(),
+        );
+        let (values, _) = plant_motif(700, 24, 2, 0.001, 37);
+        eng.load("s", values, &[], ExclusionPolicy::HALF, false).unwrap();
+        eng.query(motif_spec("s", 16, 40)).unwrap();
+        let planner = |stats: &Value, key: &str| {
+            stats.get("planner").unwrap().get(key).unwrap().as_usize().unwrap()
+        };
+        let stats = eng.stats();
+        assert!(planner(&stats, "fragment_entries") > 0);
+        assert_eq!(planner(&stats, "fragment_hits"), 0);
+        // A different query kind over the same range reuses the fragments
+        // (the knobs key excludes ranking parameters).
+        let mut spec = motif_spec("s", 16, 40);
+        spec.kind = QueryKind::Discords { top: 2 };
+        eng.query(spec).unwrap();
+        let stats = eng.stats();
+        assert!(planner(&stats, "fragment_hits") > 0, "discords reuse the motifs' fragments");
+        // Appends purge the series' fragments eagerly.
+        eng.append("s", &[0.5, 0.25]).unwrap();
+        let stats = eng.stats();
+        assert_eq!(planner(&stats, "fragment_entries"), 0);
+        assert!(planner(&stats, "fragment_invalidated") > 0);
+        eng.shutdown();
+        eng.join();
     }
 
     #[test]

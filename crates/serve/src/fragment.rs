@@ -1,0 +1,282 @@
+//! The per-length profile fragment cache behind the query planner.
+//!
+//! Where the result cache ([`crate::cache`]) stores *finished query
+//! bodies* keyed by the whole request, this cache stores the reusable
+//! intermediate: one [`LengthProfile`] per subsequence length, keyed by
+//! `(series, version, anchor, ℓ, knobs)`. The **anchor** is the length at
+//! which the producing segment computed its full matrix profile before
+//! advancing via `ComputeSubMP` — a fragment is a pure function of that
+//! tuple (see [`valmod_core::Valmod::run_lengths_on`]), so replaying it is
+//! bit-identical to recomputing it, for any client and any query shape.
+//!
+//! `knobs` canonicalises the result-affecting per-length parameters (`p`
+//! and the reduced exclusion policy); ranking parameters (`top`, `k`,
+//! `radius`) are deliberately excluded, so a MOTIFS and a DISCORDS query
+//! over the same range share fragments. Versioned keys make stale hits
+//! structurally impossible, exactly as in the result cache, and
+//! append/replace additionally purge a series' fragments eagerly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use valmod_core::LengthProfile;
+
+/// Fragment key: series identity + data version + producing anchor +
+/// length + canonical per-length knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FragmentKey {
+    /// Series name.
+    pub series: String,
+    /// Series version the fragment was computed against.
+    pub version: u64,
+    /// Anchor length of the producing segment (where the full profile ran).
+    pub anchor: usize,
+    /// Subsequence length of this fragment.
+    pub l: usize,
+    /// Canonical per-length knobs, e.g. `p=50;excl=1/2`.
+    pub knobs: String,
+}
+
+#[derive(Debug)]
+struct Entry {
+    fragment: Arc<LengthProfile>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Counters exposed through `STATS` (`planner` section).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FragmentCacheStats {
+    /// Per-length lookups satisfied from a cached fragment.
+    pub hits: u64,
+    /// Per-length lookups that forced a segment recompute.
+    pub misses: u64,
+    /// Fragments evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Fragments purged by series invalidation (append/replace).
+    pub invalidated: u64,
+}
+
+/// An LRU cache of per-length profile fragments, bounded by approximate
+/// bytes (the dominant cost is the `mp`/`ip` vectors, ~16 bytes per row).
+#[derive(Debug)]
+pub struct FragmentCache {
+    budget: usize,
+    used: usize,
+    tick: u64,
+    map: HashMap<FragmentKey, Entry>,
+    stats: FragmentCacheStats,
+}
+
+impl FragmentCache {
+    /// A cache bounded by `budget` bytes (0 disables fragment reuse — the
+    /// planner then recomputes every segment, which is always correct).
+    pub fn new(budget: usize) -> Self {
+        FragmentCache {
+            budget,
+            used: 0,
+            tick: 0,
+            map: HashMap::new(),
+            stats: FragmentCacheStats::default(),
+        }
+    }
+
+    /// All-or-nothing lookup of one planned segment: the fragments for
+    /// every length `anchor..=hi` under the same `(series, version,
+    /// anchor, knobs)`. Returns `None` — counting one miss per absent
+    /// length — unless **every** length is present, because a partially
+    /// cached segment is recomputed whole from its anchor (the advance
+    /// chain is only valid from the anchor's full profile).
+    pub fn get_segment(
+        &mut self,
+        series: &str,
+        version: u64,
+        anchor: usize,
+        hi: usize,
+        knobs: &str,
+    ) -> Option<Vec<Arc<LengthProfile>>> {
+        let key = |l: usize| FragmentKey {
+            series: series.into(),
+            version,
+            anchor,
+            l,
+            knobs: knobs.into(),
+        };
+        let missing = (anchor..=hi).filter(|&l| !self.map.contains_key(&key(l))).count() as u64;
+        if missing > 0 {
+            self.stats.misses += missing;
+            return None;
+        }
+        self.tick += 1;
+        let mut out = Vec::with_capacity(hi - anchor + 1);
+        for l in anchor..=hi {
+            let entry = self.map.get_mut(&key(l)).expect("all lengths present");
+            entry.last_used = self.tick;
+            self.stats.hits += 1;
+            out.push(Arc::clone(&entry.fragment));
+        }
+        Some(out)
+    }
+
+    /// Inserts a fragment, evicting least-recently-used fragments until the
+    /// budget holds. A fragment larger than the whole budget is simply not
+    /// cached — the planner only ever trades memory for recomputation,
+    /// never correctness.
+    pub fn insert(&mut self, key: FragmentKey, fragment: Arc<LengthProfile>) {
+        let bytes = entry_bytes(&key, &fragment);
+        if bytes > self.budget {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.used -= old.bytes;
+        }
+        self.used += bytes;
+        self.map.insert(key, Entry { fragment, bytes, last_used: self.tick });
+        while self.used > self.budget {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("used > budget implies non-empty");
+            let e = self.map.remove(&lru).expect("key just observed");
+            self.used -= e.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Drops every fragment for `series`, any version (append/replace).
+    pub fn invalidate_series(&mut self, series: &str) {
+        let stale: Vec<FragmentKey> =
+            self.map.keys().filter(|k| k.series == series).cloned().collect();
+        for key in stale {
+            let e = self.map.remove(&key).expect("key just observed");
+            self.used -= e.bytes;
+            self.stats.invalidated += 1;
+        }
+    }
+
+    /// Live fragment count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently accounted against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FragmentCacheStats {
+        self.stats
+    }
+}
+
+/// Bytes one fragment charges against the budget: the key's variable parts
+/// plus the profile's heap footprint.
+fn entry_bytes(key: &FragmentKey, fragment: &LengthProfile) -> usize {
+    key.series.len()
+        + std::mem::size_of_val(&key.version)
+        + std::mem::size_of_val(&key.anchor)
+        + std::mem::size_of_val(&key.l)
+        + key.knobs.len()
+        + fragment.heap_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_core::LengthMethod;
+
+    fn fragment(l: usize, rows: usize) -> Arc<LengthProfile> {
+        Arc::new(LengthProfile {
+            l,
+            mp: vec![1.0; rows],
+            ip: vec![0; rows],
+            method: LengthMethod::FullProfile,
+            motif: None,
+            known_entries: rows,
+            valid_rows: rows,
+            nonvalid_rows: 0,
+            recomputed_rows: 0,
+        })
+    }
+
+    fn key(series: &str, version: u64, anchor: usize, l: usize) -> FragmentKey {
+        FragmentKey { series: series.into(), version, anchor, l, knobs: "p=8;excl=1/2".into() }
+    }
+
+    fn fill_segment(cache: &mut FragmentCache, anchor: usize, hi: usize) {
+        for l in anchor..=hi {
+            cache.insert(key("s", 1, anchor, l), fragment(l, 32));
+        }
+    }
+
+    #[test]
+    fn segment_lookup_is_all_or_nothing() {
+        let mut cache = FragmentCache::new(1 << 20);
+        fill_segment(&mut cache, 16, 20);
+        let seg = cache.get_segment("s", 1, 16, 20, "p=8;excl=1/2").unwrap();
+        assert_eq!(seg.len(), 5);
+        assert_eq!(seg[0].l, 16);
+        assert_eq!(seg[4].l, 20);
+        // One length short of the asked range: the whole lookup misses.
+        assert!(cache.get_segment("s", 1, 16, 21, "p=8;excl=1/2").is_none());
+        let s = cache.stats();
+        assert_eq!(s.hits, 5);
+        assert_eq!(s.misses, 1, "only the absent length counts as a miss");
+    }
+
+    #[test]
+    fn keys_split_on_version_anchor_and_knobs() {
+        let mut cache = FragmentCache::new(1 << 20);
+        fill_segment(&mut cache, 16, 18);
+        assert!(cache.get_segment("s", 2, 16, 18, "p=8;excl=1/2").is_none());
+        assert!(cache.get_segment("s", 1, 17, 18, "p=8;excl=1/2").is_none());
+        assert!(cache.get_segment("s", 1, 16, 18, "p=50;excl=1/2").is_none());
+        assert!(cache.get_segment("s", 1, 16, 18, "p=8;excl=1/2").is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        let one = entry_bytes(&key("s", 1, 16, 16), &fragment(16, 32));
+        let mut cache = FragmentCache::new(2 * one + 8);
+        cache.insert(key("s", 1, 16, 16), fragment(16, 32));
+        cache.insert(key("s", 1, 16, 17), fragment(17, 32));
+        // Refresh 16, insert a third: 17 is the LRU.
+        assert!(cache.get_segment("s", 1, 16, 16, "p=8;excl=1/2").is_some());
+        cache.insert(key("s", 1, 16, 18), fragment(18, 32));
+        assert!(cache.get_segment("s", 1, 17, 17, "p=8;excl=1/2").is_none());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn invalidation_and_zero_budget() {
+        let mut cache = FragmentCache::new(0);
+        cache.insert(key("s", 1, 16, 16), fragment(16, 8));
+        assert!(cache.is_empty(), "zero budget disables fragment reuse");
+        let mut cache = FragmentCache::new(1 << 20);
+        fill_segment(&mut cache, 16, 18);
+        cache.insert(key("t", 1, 16, 16), fragment(16, 8));
+        cache.invalidate_series("s");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().invalidated, 3);
+        assert_eq!(
+            cache.used_bytes(),
+            entry_bytes(&key("t", 1, 16, 16), &fragment(16, 8)),
+            "accounting survives invalidation"
+        );
+    }
+}

@@ -19,8 +19,13 @@
 //! * [`cache::ResultCache`] — LRU result cache with byte-budget
 //!   accounting, keyed by `(name, version, canonical query)` so stale
 //!   hits are structurally impossible;
+//! * [`planner`] + [`fragment::FragmentCache`] — the query planner:
+//!   variable-length requests decompose into grid-aligned segments whose
+//!   per-length profile fragments are cached and recomposed, so
+//!   overlapping length ranges share work bit-identically;
 //! * [`engine::QueryEngine`] — a worker pool behind a bounded queue with
-//!   per-request deadlines; overload degrades to explicit `busy` errors;
+//!   per-request deadlines and single-flight coalescing of identical
+//!   concurrent queries; overload degrades to explicit `busy` errors;
 //! * [`protocol`] + [`value`] — a hand-rolled line-delimited JSON-ish
 //!   wire format (the build is fully offline: no serde, no tokio);
 //! * [`server::Server`] / [`client::Client`] — the `std::net` TCP front
@@ -60,21 +65,32 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod error;
+pub mod fragment;
 pub mod persist;
+pub mod planner;
 pub mod protocol;
+pub mod response;
 pub mod server;
 pub mod store;
 pub mod value;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::{Client, Timeouts};
-pub use engine::{EngineConfig, QueryEngine, QueryKind, QueryOutcome, QuerySpec};
+pub use engine::{
+    EngineConfig, EngineConfigBuilder, QueryEngine, QueryKind, QueryOutcome, QuerySpec,
+};
 pub use error::{ServeError, ServeResult};
+pub use fragment::{FragmentCache, FragmentCacheStats, FragmentKey};
 pub use persist::{
     Persistence, RecoveredSeries, Recovery, SnapshotMeta, DEFAULT_WAL_COMPACT_BYTES,
 };
+pub use planner::{block_of, plan_segments, PlanStats, Segment};
 pub use protocol::{
     check_hello, hello_result, Request, Response, MAX_DEADLINE_MS, MAX_SLEEP_MS, PROTOCOL_VERSION,
+};
+pub use response::{
+    Ack, BodyShape, DiscordHit, DiscordsBody, MotifHit, MotifsBody, QueryReply, SaveAck, SetEntry,
+    SetsBody, StatsReply,
 };
 pub use server::{read_bounded_line, ConnectionCount, LineRead, Server, DEFAULT_MAX_LINE_BYTES};
 pub use store::{SeriesStore, StoredSeries};

@@ -1,0 +1,254 @@
+//! The variable-length query planner: decomposes a `[ℓ_min, ℓ_max]`
+//! request into per-length fragment fetches plus residual segments, and
+//! recomposes the final [`ValmodOutput`] from the fragments.
+//!
+//! ## Segment grid
+//!
+//! Fragments are shareable across queries only when different queries
+//! produce *the same* fragment, and a fragment depends on the anchor
+//! length its segment computed the full profile at. The planner therefore
+//! aligns every segment after the first to a **canonical block grid**,
+//! fixed once for all queries: blocks start at ℓ = 1 and each block's
+//! width is `max(4, lo/2)` — `[1,4] [5,8] [9,12] [13,18] [19,27] [28,41]
+//! [42,62] …`, widths growing geometrically (ratio → 1.5) so the
+//! sub-MP advance chains stay short relative to their anchor and the
+//! paper's lower-bound certification keeps working well.
+//!
+//! The **first** segment is the exception: it anchors at the query's own
+//! ℓ_min (covering up to the end of ℓ_min's block), so the composed
+//! VALMP's ℓ_min layer is a *complete* full profile — exactly what
+//! Algorithm 1 guarantees — and a single-length query degenerates to one
+//! full-profile segment, identical to the unplanned path.
+//!
+//! ## Determinism
+//!
+//! The plan is a pure function of `(ℓ_min, ℓ_max)`, and each fragment is a
+//! pure function of `(series, version, anchor, ℓ, p, policy)` — see
+//! [`valmod_core::Valmod::run_lengths_on`]. Replaying cached fragments
+//! therefore composes a byte-identical body to recomputing every segment,
+//! which is what the `valmod check` planner oracle proves under mixed
+//! overlapping ranges.
+
+use std::sync::{Arc, Mutex};
+
+use valmod_core::{compose_output, Valmod, ValmodOutput};
+use valmod_mp::ProfiledSeries;
+use valmod_obs::{Recorder, SharedRecorder};
+
+use crate::error::ServeResult;
+use crate::fragment::{FragmentCache, FragmentKey};
+
+/// One planned segment: a full profile at `anchor` advanced to `hi`
+/// (inclusive). The first segment of a plan anchors at the query's ℓ_min;
+/// every later segment anchors at a canonical block start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Anchor length (full-profile computation).
+    pub anchor: usize,
+    /// Last length of the segment (inclusive).
+    pub hi: usize,
+}
+
+/// The canonical block `[lo, hi]` containing length `l` (`l ≥ 1`).
+pub fn block_of(l: usize) -> (usize, usize) {
+    let mut lo = 1usize;
+    loop {
+        let width = (lo / 2).max(4);
+        let hi = lo + width - 1;
+        if l <= hi {
+            return (lo, hi);
+        }
+        lo = hi + 1;
+    }
+}
+
+/// Decomposes `[l_min, l_max]` (inclusive, `l_min ≤ l_max`) into segments:
+/// the first anchored at `l_min` to the end of its block, the rest aligned
+/// to the canonical grid, all clipped to `l_max`.
+pub fn plan_segments(l_min: usize, l_max: usize) -> Vec<Segment> {
+    let (_, first_hi) = block_of(l_min);
+    let mut segments = vec![Segment { anchor: l_min, hi: first_hi.min(l_max) }];
+    let mut lo = first_hi + 1;
+    while lo <= l_max {
+        let (block_lo, block_hi) = block_of(lo);
+        debug_assert_eq!(block_lo, lo, "grid walk must land on block starts");
+        segments.push(Segment { anchor: lo, hi: block_hi.min(l_max) });
+        lo = block_hi + 1;
+    }
+    segments
+}
+
+/// What one planned execution did (folded into `STATS` and obs counters).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PlanStats {
+    /// Segments in the plan.
+    pub segments: usize,
+    /// Segments served whole from the fragment cache.
+    pub segments_reused: usize,
+    /// Per-length fragments served from the cache.
+    pub fragments_cached: usize,
+    /// Per-length fragments computed by this execution.
+    pub fragments_computed: usize,
+}
+
+/// Executes a plan for the inclusive `lengths = (l_min, l_max)` range:
+/// fetches each segment from the fragment cache or computes it via `runner`
+/// (caching the result), then composes the fragments into a
+/// [`ValmodOutput`]. `runner` supplies the per-length knobs (`p`, policy,
+/// threads) and the recorder.
+pub fn execute_plan(
+    ps: &ProfiledSeries,
+    series: &str,
+    version: u64,
+    runner: &Valmod,
+    fragments: &Mutex<FragmentCache>,
+    recorder: &SharedRecorder,
+    lengths: (usize, usize),
+) -> ServeResult<(ValmodOutput, PlanStats)> {
+    let (l_min, l_max) = lengths;
+    // Validate up front, exactly as the unplanned path does, so degenerate
+    // ranges never reach the cache or the grid walk.
+    let mut cfg = runner.config().clone();
+    cfg.l_min = l_min;
+    cfg.l_max = l_max;
+    cfg.validate_for(ps.len())?;
+    let _span = valmod_obs::span!(recorder, "serve.planner.plan_us");
+
+    let policy = cfg.policy.reduced();
+    let knobs = format!("p={};excl={}/{}", cfg.p, policy.num(), policy.den());
+    let segments = plan_segments(l_min, l_max);
+    let mut stats = PlanStats { segments: segments.len(), ..PlanStats::default() };
+    let mut plan_fragments = Vec::with_capacity(l_max - l_min + 1);
+
+    for seg in &segments {
+        let cached = fragments
+            .lock()
+            .expect("fragment cache lock")
+            .get_segment(series, version, seg.anchor, seg.hi, &knobs);
+        match cached {
+            Some(frags) => {
+                stats.segments_reused += 1;
+                stats.fragments_cached += frags.len();
+                recorder.add("serve.fragment.hit", frags.len() as u64);
+                plan_fragments.extend(frags);
+            }
+            None => {
+                let computed = runner.run_lengths_on(ps, seg.anchor, seg.hi)?;
+                stats.fragments_computed += computed.len();
+                recorder.add("serve.fragment.miss", computed.len() as u64);
+                let mut cache = fragments.lock().expect("fragment cache lock");
+                for lp in computed {
+                    let key = FragmentKey {
+                        series: series.into(),
+                        version,
+                        anchor: seg.anchor,
+                        l: lp.l,
+                        knobs: knobs.clone(),
+                    };
+                    let lp = Arc::new(lp);
+                    cache.insert(key, Arc::clone(&lp));
+                    plan_fragments.push(lp);
+                }
+            }
+        }
+    }
+    recorder.add("serve.planner.segments_reused", stats.segments_reused as u64);
+    recorder
+        .add("serve.planner.segments_computed", (stats.segments - stats.segments_reused) as u64);
+
+    let output = compose_output(plan_fragments.iter().map(|a| a.as_ref()))?;
+    Ok((output, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valmod_data::generators::random_walk;
+    use valmod_data::series::Series;
+
+    #[test]
+    fn the_grid_tiles_the_lengths_without_gaps() {
+        let mut expected_lo = 1usize;
+        for _ in 0..40 {
+            let (lo, hi) = block_of(expected_lo);
+            assert_eq!(lo, expected_lo);
+            assert!(hi >= lo);
+            // Widths grow, but never faster than +50% of the block start.
+            assert_eq!(hi - lo + 1, (lo / 2).max(4));
+            expected_lo = hi + 1;
+        }
+        // Every length maps into exactly the block that contains it.
+        for l in 1..2000 {
+            let (lo, hi) = block_of(l);
+            assert!(lo <= l && l <= hi, "l={l} outside its block [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn plans_cover_the_range_contiguously() {
+        for (l_min, l_max) in [(1, 1), (16, 16), (16, 48), (100, 400), (7, 300), (41, 42)] {
+            let segments = plan_segments(l_min, l_max);
+            assert_eq!(segments[0].anchor, l_min, "first segment anchors at the query's ℓ_min");
+            let mut next = l_min;
+            for seg in &segments {
+                assert_eq!(seg.anchor, next, "[{l_min},{l_max}]: gap before {seg:?}");
+                assert!(seg.hi >= seg.anchor);
+                next = seg.hi + 1;
+            }
+            assert_eq!(next, l_max + 1, "[{l_min},{l_max}] not fully covered");
+            // Every non-first segment is grid-aligned (shareable).
+            for seg in &segments[1..] {
+                assert_eq!(block_of(seg.anchor).0, seg.anchor);
+            }
+        }
+    }
+
+    #[test]
+    fn single_length_queries_are_one_full_profile_segment() {
+        for l in [1, 16, 32, 100, 473] {
+            assert_eq!(plan_segments(l, l), vec![Segment { anchor: l, hi: l }]);
+        }
+    }
+
+    #[test]
+    fn warm_plans_replay_bit_identically_and_hit_the_cache() {
+        let series = Series::new(random_walk(400, 77)).unwrap();
+        let ps = ProfiledSeries::new(&series);
+        let runner = Valmod::new(1, 1).p(4);
+        let fragments = Mutex::new(FragmentCache::new(1 << 20));
+        let recorder = SharedRecorder::noop();
+        let (cold, s1) =
+            execute_plan(&ps, "s", 1, &runner, &fragments, &recorder, (16, 40)).unwrap();
+        assert_eq!(s1.segments_reused, 0);
+        assert!(s1.fragments_computed > 0);
+        let (warm, s2) =
+            execute_plan(&ps, "s", 1, &runner, &fragments, &recorder, (16, 40)).unwrap();
+        assert_eq!(s2.segments_reused, s2.segments, "identical query reuses every segment");
+        assert_eq!(s2.fragments_computed, 0);
+        for (a, b) in cold.valmp.norm_distances.iter().zip(&warm.valmp.norm_distances) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(cold.valmp.indices, warm.valmp.indices);
+        // An overlapping wider range reuses the grid-aligned interior but
+        // recomputes its own ℓ_min-anchored head segment.
+        let (_, s3) = execute_plan(&ps, "s", 1, &runner, &fragments, &recorder, (20, 40)).unwrap();
+        assert!(s3.segments_reused > 0, "grid segments must be shared across queries");
+        assert!(s3.fragments_computed > 0, "the head segment anchors at the new ℓ_min");
+    }
+
+    #[test]
+    fn degenerate_ranges_are_rejected_before_touching_the_cache() {
+        let series = Series::new(random_walk(60, 3)).unwrap();
+        let ps = ProfiledSeries::new(&series);
+        let runner = Valmod::new(1, 1).p(4);
+        let fragments = Mutex::new(FragmentCache::new(1 << 20));
+        let recorder = SharedRecorder::noop();
+        for (lo, hi) in [(0, 8), (20, 10), (16, 600)] {
+            assert!(
+                execute_plan(&ps, "s", 1, &runner, &fragments, &recorder, (lo, hi)).is_err(),
+                "[{lo},{hi}] must be rejected"
+            );
+        }
+        assert!(fragments.lock().unwrap().is_empty());
+    }
+}

@@ -17,11 +17,13 @@
 //! save     := no fields                 (flush snapshots; 0 when not durable)
 //! stats / ping / shutdown := no fields
 //!
-//! response := { "ok": true, "cached"?: bool, "result": <payload> }
+//! response := { "ok": true, "cached"?: bool, "coalesced"?: true, "result": <payload> }
 //!           | { "ok": false, "error": { "kind": <kind>, "message": <str> } }
 //! ```
 //!
-//! Unknown fields are rejected (typo safety, mirroring the CLI parser).
+//! Unknown *request* fields are rejected (typo safety, mirroring the CLI
+//! parser); unknown *response* fields are tolerated, so additive markers
+//! like `"coalesced"` do not bump the protocol version.
 
 use std::time::Duration;
 
@@ -259,10 +261,7 @@ impl Request {
             Request::Hello { version, capabilities } => Value::obj(vec![
                 ("cmd", Value::str("hello")),
                 ("version", (*version).into()),
-                (
-                    "capabilities",
-                    Value::Arr(capabilities.iter().map(|c| Value::str(c)).collect()),
-                ),
+                ("capabilities", Value::Arr(capabilities.iter().map(Value::str).collect())),
             ]),
         }
     }
@@ -298,9 +297,18 @@ pub fn check_hello(result: &Value) -> ServeResult<(u64, Vec<String>)> {
 
 /// Builds a success response line.
 pub fn response_ok(result: Value, cached: Option<bool>) -> Value {
+    response_query(result, cached, false)
+}
+
+/// Builds a success response line for a query, carrying the coalescing
+/// marker when set (`"coalesced"` is additive: absent means `false`).
+pub fn response_query(result: Value, cached: Option<bool>, coalesced: bool) -> Value {
     let mut fields = vec![("ok", Value::Bool(true))];
     if let Some(c) = cached {
         fields.push(("cached", Value::Bool(c)));
+    }
+    if coalesced {
+        fields.push(("coalesced", Value::Bool(true)));
     }
     fields.push(("result", result));
     Value::obj(fields)
@@ -327,6 +335,9 @@ pub struct Response {
     pub result: Value,
     /// The `"cached"` marker, when the command reports one.
     pub cached: Option<bool>,
+    /// The `"coalesced"` marker: this reply rode another request's
+    /// in-flight compute. Absent on the wire means `false`.
+    pub coalesced: bool,
 }
 
 impl Response {
@@ -338,6 +349,7 @@ impl Response {
             Some(true) => Ok(Response {
                 result: v.get("result").cloned().unwrap_or(Value::Null),
                 cached: v.get("cached").and_then(Value::as_bool),
+                coalesced: v.get("coalesced").and_then(Value::as_bool).unwrap_or(false),
             }),
             Some(false) => {
                 let kind = v
@@ -604,6 +616,11 @@ mod tests {
         let resp = Response::from_value(&ok).unwrap();
         assert_eq!(resp.cached, Some(true));
         assert_eq!(resp.result.get("x").unwrap().as_usize(), Some(1));
+        assert!(!resp.coalesced, "absent marker decodes as false");
+
+        let co = response_query(Value::Null, Some(false), true);
+        assert!(co.encode().contains(r#""coalesced":true"#));
+        assert!(Response::from_value(&co).unwrap().coalesced);
 
         let err = response_err(&ServeError::Busy);
         assert!(matches!(Response::from_value(&err), Err(ServeError::Busy)));

@@ -18,7 +18,8 @@ use std::sync::{Arc, Mutex};
 
 use crate::engine::QueryEngine;
 use crate::error::{ServeError, ServeResult};
-use crate::protocol::{hello_result, response_err, response_ok, Request};
+use crate::protocol::{hello_result, response_err, response_ok, response_query, Request};
+use crate::response::{Ack, SaveAck};
 use crate::value::Value;
 
 /// Default cap on one request line. Large enough for a multi-million-sample
@@ -53,14 +54,17 @@ pub struct Server {
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) around an engine.
+    /// The per-request line cap comes from the engine's
+    /// [`crate::engine::EngineConfig::max_line_bytes`].
     pub fn bind(addr: impl ToSocketAddrs, engine: QueryEngine) -> ServeResult<Server> {
         let listener = TcpListener::bind(addr)?;
+        let max_line_bytes = engine.config().max_line_bytes;
         Ok(Server {
             listener,
             engine: Arc::new(engine),
             stop: Arc::new(AtomicBool::new(false)),
             connections: Arc::new(Mutex::new(HashMap::new())),
-            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            max_line_bytes,
         })
     }
 
@@ -269,32 +273,31 @@ fn execute(engine: &QueryEngine, request: Request) -> (Value, bool) {
         Request::Load { name, values, hot, replace } => {
             let policy = valmod_mp::ExclusionPolicy::HALF;
             (
-                result_response(engine.load(&name, values, &hot, policy, replace).map(
-                    |(version, len)| {
-                        Value::obj(vec![
-                            ("name", Value::str(&name)),
-                            ("version", version.into()),
-                            ("len", len.into()),
-                        ])
-                    },
-                )),
+                result_response(
+                    engine
+                        .load(&name, values, &hot, policy, replace)
+                        .map(|(version, len)| Ack { name, version, len }.to_value()),
+                ),
                 false,
             )
         }
         Request::Append { name, values } => (
-            result_response(engine.append(&name, &values).map(|(version, len)| {
-                Value::obj(vec![
-                    ("name", Value::str(&name)),
-                    ("version", version.into()),
-                    ("len", len.into()),
-                ])
-            })),
+            result_response(
+                engine
+                    .append(&name, &values)
+                    .map(|(version, len)| Ack { name, version, len }.to_value()),
+            ),
             false,
         ),
         Request::Query(spec) => match engine.query(spec) {
-            Ok(outcome) => {
-                (response_ok(outcome.payload.as_ref().clone(), Some(outcome.cached)), false)
-            }
+            Ok(outcome) => (
+                response_query(
+                    outcome.payload.as_ref().clone(),
+                    Some(outcome.cached),
+                    outcome.coalesced,
+                ),
+                false,
+            ),
             Err(e) => (response_err(&e), false),
         },
         Request::Sleep { ms, deadline } => match engine.sleep(ms, deadline) {
@@ -306,9 +309,7 @@ fn execute(engine: &QueryEngine, request: Request) -> (Value, bool) {
         Request::Stats => (response_ok(engine.stats(), None), false),
         Request::Ping => (response_ok(Value::str("pong"), None), false),
         Request::Save => (
-            result_response(
-                engine.persist().map(|snapshots| Value::obj(vec![("snapshots", snapshots.into())])),
-            ),
+            result_response(engine.persist().map(|snapshots| SaveAck { snapshots }.to_value())),
             false,
         ),
         Request::Shutdown => (response_ok(Value::str("shutting down"), None), true),

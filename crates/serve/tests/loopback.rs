@@ -1,7 +1,7 @@
 //! Loopback integration test: a real server on an ephemeral port, driven
 //! through real TCP sockets, proving the acceptance criteria end to end —
-//! cache-identical results, append-driven invalidation, busy-not-panic
-//! under a full queue, and clean shutdown.
+//! cache-identical results, append-driven invalidation, single-flight
+//! coalescing, busy-not-panic under a full queue, and clean shutdown.
 
 use std::net::TcpStream;
 use std::time::Duration;
@@ -19,13 +19,15 @@ fn start_server(cfg: EngineConfig) -> (std::net::SocketAddr, std::thread::JoinHa
 
 #[test]
 fn full_protocol_roundtrip() {
-    let (addr, server) = start_server(EngineConfig {
-        workers: 2,
-        queue_depth: 8,
-        cache_bytes: 1 << 20,
-        default_deadline: Duration::from_secs(60),
-        ..EngineConfig::default()
-    });
+    let (addr, server) = start_server(
+        EngineConfig::builder()
+            .workers(2)
+            .queue_depth(8)
+            .cache_bytes(1 << 20)
+            .default_deadline(Duration::from_secs(60))
+            .build()
+            .unwrap(),
+    );
     let mut client =
         Client::with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(120)).unwrap();
     client.ping().unwrap();
@@ -37,48 +39,45 @@ fn full_protocol_roundtrip() {
     // LOAD with a hot length, keeping a holdout tail for APPEND.
     let (values, _) = plant_motif(1_200, 32, 2, 0.001, 23);
     let (head, tail) = values.split_at(1_000);
-    let (version, len) = client.load("sensor", head.to_vec(), vec![32], false).unwrap();
-    assert_eq!((version, len), (1, 1_000));
+    let ack = client.load("sensor", head.to_vec(), vec![32], false).unwrap();
+    assert_eq!((ack.name.as_str(), ack.version, ack.len), ("sensor", 1, 1_000));
     // Reloading without replace is an explicit error, not a clobber.
     let err = client.load("sensor", head.to_vec(), vec![], false).unwrap_err();
     assert!(matches!(err, ServeError::SeriesExists(_)), "got {err:?}");
 
-    // Cold query, then cached query: byte-identical results.
+    // Cold query, then cached query: identical typed bodies.
     let cold = client.motifs("sensor", 24, 40, 3).unwrap();
-    assert_eq!(cold.cached, Some(false));
+    assert!(!cold.cached && !cold.coalesced);
     let warm = client.motifs("sensor", 24, 40, 3).unwrap();
-    assert_eq!(warm.cached, Some(true));
-    assert_eq!(cold.result, warm.result, "cached result must be identical to the cold one");
-    let motifs = cold.result.get("body").unwrap().get("motifs").unwrap().as_arr().unwrap();
-    assert!(!motifs.is_empty());
+    assert!(warm.cached);
+    assert_eq!(cold.body, warm.body, "cached result must be identical to the cold one");
+    assert_eq!(cold.version, warm.version);
+    assert!(!cold.body.motifs.is_empty());
+    assert_eq!(cold.body.source, "cold");
+    assert!(cold.body.motifs.iter().all(|m| (24..=40).contains(&m.l)));
 
     // APPEND bumps the version and invalidates the cached entry.
-    let (version, len) = client.append("sensor", tail.to_vec()).unwrap();
-    assert_eq!((version, len), (2, 1_200));
+    let ack = client.append("sensor", tail.to_vec()).unwrap();
+    assert_eq!((ack.version, ack.len), (2, 1_200));
     let after = client.motifs("sensor", 24, 40, 3).unwrap();
-    assert_eq!(after.cached, Some(false), "append must invalidate stale cache entries");
-    assert_eq!(after.result.get("version").unwrap().as_usize(), Some(2));
+    assert!(!after.cached, "append must invalidate stale cache entries");
+    assert_eq!(after.version, 2);
     // ...and the recomputed result is itself cached again.
-    assert_eq!(client.motifs("sensor", 24, 40, 3).unwrap().cached, Some(true));
+    assert!(client.motifs("sensor", 24, 40, 3).unwrap().cached);
 
     // The hot fixed-length path stayed live across the append.
     let hot = client.motifs("sensor", 32, 32, 1).unwrap();
-    assert_eq!(hot.result.get("body").unwrap().get("source").unwrap().as_str(), Some("hot"));
+    assert_eq!(hot.body.source, "hot");
 
-    // Sets and discords answer over the same connection.
-    let sets = client
-        .roundtrip_value(
-            &Value::parse(r#"{"cmd":"sets","name":"sensor","min":30,"max":34,"k":3,"p":8}"#)
-                .unwrap(),
-        )
-        .unwrap();
-    assert!(!sets.result.get("body").unwrap().get("sets").unwrap().as_arr().unwrap().is_empty());
-    let discords = client
-        .roundtrip_value(
-            &Value::parse(r#"{"cmd":"discords","name":"sensor","min":30,"max":34,"p":8}"#).unwrap(),
-        )
-        .unwrap();
-    assert!(discords.result.get("body").unwrap().get("discords").unwrap().as_arr().is_some());
+    // Sets and discords answer over the same connection, typed.
+    let sets = client.sets("sensor", 30, 34, 3, 3.0).unwrap();
+    assert!(!sets.body.sets.is_empty());
+    for s in &sets.body.sets {
+        assert_eq!(s.frequency, s.offsets.len());
+        assert!(s.radius >= s.pair_dist);
+    }
+    let discords = client.discords("sensor", 30, 34, 3).unwrap();
+    assert!(discords.body.discords.iter().all(|d| (30..=34).contains(&d.l)));
 
     // A workload that defeats the lower bounds (random walk + noisy sine
     // tail, tiny p) to drive the engine through the full-recompute
@@ -159,14 +158,84 @@ fn full_protocol_roundtrip() {
 }
 
 #[test]
-fn full_queue_answers_busy_over_tcp() {
-    let (addr, server) = start_server(EngineConfig {
-        workers: 1,
-        queue_depth: 1,
-        cache_bytes: 0,
-        default_deadline: Duration::from_secs(60),
-        ..EngineConfig::default()
+fn identical_concurrent_queries_coalesce_over_tcp() {
+    let (addr, server) = start_server(
+        EngineConfig::builder()
+            .workers(2)
+            .queue_depth(8)
+            .cache_bytes(1 << 20)
+            .default_deadline(Duration::from_secs(300))
+            .build()
+            .unwrap(),
+    );
+    let mut client =
+        Client::with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(300)).unwrap();
+    let (values, _) = plant_motif(1_600, 32, 2, 0.001, 41);
+    client.load("s", values, vec![], false).unwrap();
+
+    // Fire the leader, then wait until its flight is registered before
+    // firing the followers, so they deterministically attach to it.
+    let leader = std::thread::spawn(move || {
+        let mut c =
+            Client::with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(300)).unwrap();
+        c.motifs("s", 16, 40, 3).unwrap()
     });
+    let t0 = std::time::Instant::now();
+    loop {
+        let stats = client.stats().unwrap();
+        let inflight = stats
+            .get("planner")
+            .and_then(|p| p.get("inflight"))
+            .and_then(Value::as_usize)
+            .unwrap_or(0);
+        if inflight >= 1 {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(60), "leader flight never registered");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let followers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c =
+                    Client::with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(300))
+                        .unwrap();
+                c.motifs("s", 16, 40, 3).unwrap()
+            })
+        })
+        .collect();
+
+    let lead = leader.join().unwrap();
+    assert!(!lead.cached && !lead.coalesced);
+    for follower in followers {
+        let reply = follower.join().unwrap();
+        assert!(reply.coalesced, "follower must carry the coalesced marker");
+        assert!(!reply.cached);
+        assert_eq!(reply.body, lead.body, "coalesced replies must match the leader");
+        assert_eq!(reply.version, lead.version);
+    }
+
+    let stats = client.stats_typed().unwrap();
+    assert_eq!(stats.computed, 1, "one compute serves all four queries");
+    assert_eq!(stats.coalesced, 3, "three followers attached to the flight");
+    let obs = stats.raw.get("obs").expect("obs snapshot");
+    assert_eq!(obs.get("serve.query.coalesced").and_then(Value::as_usize), Some(3));
+
+    client.shutdown().unwrap();
+    server.join().expect("clean shutdown after coalescing");
+}
+
+#[test]
+fn full_queue_answers_busy_over_tcp() {
+    let (addr, server) = start_server(
+        EngineConfig::builder()
+            .workers(1)
+            .queue_depth(1)
+            .cache_bytes(0)
+            .default_deadline(Duration::from_secs(60))
+            .build()
+            .unwrap(),
+    );
     // Occupy the single worker from one connection...
     let sleeper = std::thread::spawn(move || {
         let mut c = Client::connect(addr).unwrap();
@@ -205,25 +274,36 @@ fn full_queue_answers_busy_over_tcp() {
 fn durable_server_recovers_series_across_restart() {
     let dir = std::env::temp_dir().join(format!("valmod_loopback_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let cfg = EngineConfig {
-        workers: 1,
-        queue_depth: 8,
-        cache_bytes: 1 << 20,
-        data_dir: Some(dir.clone()),
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder()
+        .workers(1)
+        .queue_depth(8)
+        .cache_bytes(1 << 20)
+        .data_dir(dir.clone())
+        .build()
+        .unwrap();
     let (values, _) = plant_motif(1_000, 32, 2, 0.001, 31);
     let (head, tail) = values.split_at(900);
+    // Byte-identity matters across the restart, so drive this query through
+    // the raw escape hatch and compare the encoded bodies verbatim.
+    let spec = || QuerySpec {
+        series: "sensor".into(),
+        kind: QueryKind::Motifs { top: 3 },
+        l_min: 24,
+        l_max: 40,
+        p: 50,
+        policy: valmod_mp::ExclusionPolicy::HALF,
+        deadline: None,
+    };
 
     // First server generation: ingest, SAVE, query, graceful shutdown.
     let (addr, server) = start_server(cfg.clone());
     let mut client = Client::connect(addr).unwrap();
     client.load("sensor", head.to_vec(), vec![], false).unwrap();
     client.append("sensor", tail[..60].to_vec()).unwrap();
-    assert_eq!(client.save().unwrap(), 1, "one series, one snapshot");
+    assert_eq!(client.save().unwrap().snapshots, 1, "one series, one snapshot");
     client.append("sensor", tail[60..].to_vec()).unwrap();
     // Variable-length query: cold-computed on both sides of the restart.
-    let before = client.motifs("sensor", 24, 40, 3).unwrap();
+    let before = client.query(spec()).unwrap();
     client.shutdown().unwrap();
     server.join().expect("first generation exits cleanly");
 
@@ -237,7 +317,7 @@ fn durable_server_recovers_series_across_restart() {
     assert_eq!(series.len(), 1);
     assert_eq!(series[0].get("version").unwrap().as_usize(), Some(3));
     assert_eq!(series[0].get("len").unwrap().as_usize(), Some(1_000));
-    let after = client.motifs("sensor", 24, 40, 3).unwrap();
+    let after = client.query(spec()).unwrap();
     assert_eq!(after.cached, Some(false), "the cache does not survive a restart");
     assert_eq!(
         after.result.get("body"),

@@ -1,0 +1,99 @@
+//! Property tests for the query planner: however a sequence of overlapping
+//! variable-length queries is decomposed into cached fragments and residual
+//! segments, the composed payload must be byte-identical to a cold run on a
+//! planner-less engine.
+
+use proptest::prelude::*;
+use valmod_data::generators::{plant_motif, random_walk};
+use valmod_mp::ExclusionPolicy;
+use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+
+/// An engine with the fragment cache live and the result cache disabled, so
+/// every query exercises the planner's fragment reuse path rather than the
+/// whole-payload cache.
+fn warm_engine() -> QueryEngine {
+    QueryEngine::new(
+        EngineConfig::builder()
+            .workers(1)
+            .queue_depth(16)
+            .cache_bytes(0)
+            .fragment_cache_bytes(8 << 20)
+            .default_deadline(std::time::Duration::from_secs(300))
+            .build()
+            .unwrap(),
+    )
+}
+
+/// A reference engine with no fragment budget and no result cache: every
+/// query is an independent cold compute.
+fn cold_engine() -> QueryEngine {
+    QueryEngine::new(
+        EngineConfig::builder()
+            .workers(1)
+            .queue_depth(16)
+            .cache_bytes(0)
+            .fragment_cache_bytes(0)
+            .default_deadline(std::time::Duration::from_secs(300))
+            .build()
+            .unwrap(),
+    )
+}
+
+fn spec(kind: u8, lo: usize, hi: usize) -> QuerySpec {
+    QuerySpec {
+        series: "s".into(),
+        kind: if kind.is_multiple_of(2) {
+            QueryKind::Motifs { top: 3 }
+        } else {
+            QueryKind::Discords { top: 2 }
+        },
+        l_min: lo,
+        l_max: hi,
+        p: 5,
+        policy: ExclusionPolicy::HALF,
+        deadline: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random sequences of overlapping length ranges, alternating motif and
+    /// discord queries, answer byte-identically on a fragment-reusing warm
+    /// engine and on independent cold engines.
+    #[test]
+    fn planned_queries_match_cold_runs(
+        series_kind in 0u8..2,
+        seed in 0u64..200,
+        queries in proptest::collection::vec((0u8..2, 8usize..40, 0usize..24), 2..5),
+    ) {
+        let values = match series_kind {
+            0 => random_walk(260, seed),
+            _ => plant_motif(260, 24, 2, 0.001, seed).0,
+        };
+        let warm = warm_engine();
+        warm.load("s", values.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+
+        for &(kind, lo, span) in &queries {
+            let hi = (lo + span).min(64);
+            let got = warm.query(spec(kind, lo, hi)).unwrap();
+            prop_assert!(!got.cached);
+
+            // A fresh engine with no caches at all is the oracle.
+            let cold = cold_engine();
+            cold.load("s", values.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+            let want = cold.query(spec(kind, lo, hi)).unwrap();
+            // compute_ms is wall-clock and may differ; everything the query
+            // answers with — the body — must match byte for byte.
+            prop_assert_eq!(
+                got.payload.get("body").unwrap().encode(),
+                want.payload.get("body").unwrap().encode(),
+                "warm planner output diverged from a cold run for kind={} l in [{}, {}]",
+                kind, lo, hi
+            );
+            prop_assert_eq!(got.payload.get("version"), want.payload.get("version"));
+            cold.shutdown();
+        }
+        warm.shutdown();
+    }
+}
