@@ -30,7 +30,7 @@ pub struct BenchEntry {
     /// Stable identifier, e.g. `stomp/n16384/l256`.
     pub name: String,
     /// Entry family: `stomp`, `compute_mp`, `valmod`, `streaming`,
-    /// `cluster`, or `planner`.
+    /// `cluster`, `planner`, or `append`.
     pub kind: &'static str,
     /// Series size in points.
     pub n: usize,
@@ -250,7 +250,7 @@ pub fn run_suite(smoke: bool) -> RegressionReport {
         let mut sink = 0.0f64;
         let append_ms = median_ms(iters, || {
             let mut sp = StreamingProfile::new(&values[..sn], sl, ExclusionPolicy::HALF).unwrap();
-            sp.extend(values[sn..].iter().copied()).unwrap();
+            sp.extend(&values[sn..]).unwrap();
             sink += std::hint::black_box(sp.profile().mp[0]);
         });
         std::hint::black_box(sink);
@@ -383,6 +383,78 @@ pub fn run_suite(smoke: bool) -> RegressionReport {
         });
     }
 
+    // --- Incremental append→query: a warm engine whose parked fragment
+    // states are lazily extended over each APPEND batch vs a zero-budget
+    // engine that recomputes from scratch. Single-length queries so the
+    // revival is pure tail extension (O(k·n)) against a cold O(n²) STOMP;
+    // both engines replay the same LOAD + APPEND schedule, and the append
+    // itself sits inside the timed region on both sides. ---
+    let (an, al, ak) = if smoke { (2_048, 32, 64) } else { (8_192, 64, 128) };
+    {
+        use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+        let engine = |fragment_bytes: usize| {
+            QueryEngine::new(
+                EngineConfig::builder()
+                    .workers(1)
+                    .queue_depth(32)
+                    .cache_bytes(0)
+                    .fragment_cache_bytes(fragment_bytes)
+                    .default_deadline(std::time::Duration::from_secs(600))
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let spec = || QuerySpec {
+            series: "bench".into(),
+            kind: QueryKind::Motifs { top: 3 },
+            l_min: al,
+            l_max: al,
+            p: 5,
+            policy: ExclusionPolicy::HALF,
+            deadline: None,
+        };
+        let iters = if smoke { 3 } else { 2 };
+        let values = random_walk(an + ak * iters, SEED);
+        let mut sink = 0usize;
+
+        let warm = engine(64 << 20);
+        warm.load("bench", values[..an].to_vec(), &[], ExclusionPolicy::HALF, false).unwrap();
+        warm.query(spec()).unwrap(); // prime: parks the segment state
+        let mut warm_n = an;
+        let warm_ms = median_ms(iters, || {
+            warm.append("bench", &values[warm_n..warm_n + ak]).unwrap();
+            warm_n += ak;
+            let out = warm.query(spec()).unwrap();
+            sink += std::hint::black_box(out.payload.encode().len());
+        });
+        warm.shutdown();
+        warm.join();
+
+        let cold = engine(0);
+        cold.load("bench", values[..an].to_vec(), &[], ExclusionPolicy::HALF, false).unwrap();
+        cold.query(spec()).unwrap(); // symmetric first compute
+        let mut cold_n = an;
+        let cold_ms = median_ms(iters, || {
+            cold.append("bench", &values[cold_n..cold_n + ak]).unwrap();
+            cold_n += ak;
+            let out = cold.query(spec()).unwrap();
+            sink += std::hint::black_box(out.payload.encode().len());
+        });
+        cold.shutdown();
+        cold.join();
+
+        std::hint::black_box(sink);
+        entries.push(BenchEntry {
+            name: format!("append/n{an}/l{al}/k{ak}"),
+            kind: "append",
+            n: an,
+            l: al,
+            iters,
+            baseline_ms: Some(cold_ms),
+            current_ms: warm_ms,
+        });
+    }
+
     RegressionReport { smoke, entries }
 }
 
@@ -400,6 +472,7 @@ mod tests {
         assert!(kinds.contains(&"streaming"));
         assert!(kinds.contains(&"cluster"));
         assert!(kinds.contains(&"planner"));
+        assert!(kinds.contains(&"append"));
         for e in &report.entries {
             assert!(e.current_ms > 0.0, "{}: non-positive timing", e.name);
             if let Some(b) = e.baseline_ms {

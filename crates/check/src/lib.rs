@@ -31,7 +31,11 @@
 //! * [`planner`] — the serve query planner probed differentially:
 //!   fragment-composed and single-flight-coalesced answers diffed
 //!   byte-for-byte against independent cold computes, and appends shown to
-//!   purge every cached fragment.
+//!   park fragments that the next query lazily extends, bit-identically;
+//! * [`extend`] — the incremental-extension machinery under randomized
+//!   append schedules: batched streaming appends vs the per-sample loop,
+//!   tail-extended per-length profiles vs cold STOMP, and warm engines vs
+//!   cold same-history replays, all `to_bits`-exact.
 //!
 //! Failing cases are [`shrink()`](shrink::shrink)-minimised before being reported, so a
 //! divergence arrives as a few dozen samples and a single length — ready to
@@ -41,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod extend;
 pub mod faults;
 pub mod generators;
 pub mod oracles;
@@ -51,6 +56,7 @@ pub mod shrink;
 use std::fmt;
 
 pub use cluster::{run_cluster_matrix, ClusterReport};
+pub use extend::{run_extend_matrix, ExtendReport};
 pub use faults::{run_fault_matrix, FaultReport};
 pub use generators::{generate_case, Case, Family};
 pub use oracles::{run_case, CaseOutcome, Divergence};
@@ -77,6 +83,11 @@ pub struct CheckConfig {
     /// Whether to run the query-planner oracle matrix (fragment reuse and
     /// single-flight coalescing vs independent cold computes).
     pub run_planner: bool,
+    /// Whether to run the incremental-extension oracle matrix (batched
+    /// streaming appends, tail-extended profiles, and lazily revived
+    /// fragments vs cold same-history recomputes, under randomized append
+    /// schedules).
+    pub run_extend: bool,
 }
 
 impl CheckConfig {
@@ -91,6 +102,7 @@ impl CheckConfig {
             run_recovery: true,
             run_cluster: true,
             run_planner: true,
+            run_extend: true,
         }
     }
 }
@@ -121,6 +133,8 @@ pub struct CheckReport {
     pub cluster: Option<ClusterReport>,
     /// The query-planner oracle outcome (`None` when skipped).
     pub planner: Option<PlannerReport>,
+    /// The incremental-extension oracle outcome (`None` when skipped).
+    pub extend: Option<ExtendReport>,
 }
 
 impl CheckReport {
@@ -132,6 +146,7 @@ impl CheckReport {
             && self.recovery.as_ref().is_none_or(RecoveryReport::all_passed)
             && self.cluster.as_ref().is_none_or(ClusterReport::all_passed)
             && self.planner.as_ref().is_none_or(PlannerReport::all_passed)
+            && self.extend.as_ref().is_none_or(ExtendReport::all_passed)
     }
 }
 
@@ -186,6 +201,15 @@ impl fmt::Display for CheckReport {
                 }
             }
         }
+        match &self.extend {
+            None => writeln!(f, "extend: skipped")?,
+            Some(er) => {
+                writeln!(f, "extend: {} passed, {} failed", er.passed.len(), er.failed.len())?;
+                for (name, why) in &er.failed {
+                    writeln!(f, "  EXTEND [{name}] {why}")?;
+                }
+            }
+        }
         write!(f, "verdict: {}", if self.clean() { "CLEAN" } else { "DIVERGED" })
     }
 }
@@ -233,6 +257,9 @@ pub fn run(config: &CheckConfig) -> CheckReport {
     if config.run_planner {
         report.planner = Some(run_planner_matrix(config.seed));
     }
+    if config.run_extend {
+        report.extend = Some(run_extend_matrix(config.seed));
+    }
     report
 }
 
@@ -250,6 +277,7 @@ mod tests {
             run_recovery: false,
             run_cluster: false,
             run_planner: false,
+            run_extend: false,
         };
         let a = run(&config);
         assert!(a.clean(), "{a}");
@@ -269,11 +297,13 @@ mod tests {
             run_recovery: false,
             run_cluster: false,
             run_planner: false,
+            run_extend: false,
         };
         let text = run(&config).to_string();
         assert!(text.contains("differential: 2 cases"));
         assert!(text.contains("recovery: skipped"));
         assert!(text.contains("planner: skipped"));
+        assert!(text.contains("extend: skipped"));
         assert!(text.contains("verdict:"));
     }
 }

@@ -246,7 +246,7 @@ pub fn check_streaming_vs_batch(case: &Case) -> Option<Divergence> {
             Ok(s) => s,
             Err(e) => return Some(diverge(case, "streaming-vs-batch", format!("seed: {e}"))),
         };
-    if let Err(e) = streaming.extend(case.values[seed_len..].iter().copied()) {
+    if let Err(e) = streaming.extend(&case.values[seed_len..]) {
         return Some(diverge(case, "streaming-vs-batch", format!("append: {e}")));
     }
     let streamed = streaming.profile();

@@ -13,8 +13,9 @@
 //!   surviving prefix of batches (a fully-synced APPEND is never lost,
 //!   a half-written one is cleanly dropped);
 //! * the version counter and hot lengths match the reference;
-//! * a post-recovery `MOTIFS` answer is byte-identical to a cold batch
-//!   computation over the same samples.
+//! * a post-recovery `MOTIFS` answer is byte-identical to a cold engine
+//!   replaying the same ingestion history (the stats frame is pinned at
+//!   LOAD time, so the replay — not a one-shot LOAD — is the oracle).
 //!
 //! Everything derives from the run's seed, so `valmod check --seed 42`
 //! reproduces the same matrix bit-for-bit.
@@ -223,7 +224,11 @@ fn run_scenario(base: &Path, dir: &Path, kill: &KillPoint, samples: &[f64]) -> R
 }
 
 /// Asserts a durable engine over `dir` answers a variable-length MOTIFS
-/// query byte-identically to an in-memory engine loaded with `reference`.
+/// query byte-identically to an in-memory engine that replays the same
+/// ingestion history (LOAD of the base prefix, then the surviving APPEND
+/// batches). The history matters: a series' stats frame is pinned at LOAD
+/// time, so a one-shot LOAD of the full samples would sit in a different
+/// frame than the recovered store and could differ in the last float bit.
 /// The length range straddles the hot length but is not fixed, so both
 /// sides cold-compute from their samples.
 fn motifs_match_cold(dir: &Path, reference: &[f64]) -> Result<(), String> {
@@ -253,9 +258,21 @@ fn motifs_match_cold(dir: &Path, reference: &[f64]) -> Result<(), String> {
         let engine = QueryEngine::new(
             EngineConfig::builder().workers(1).build().expect("static engine config"),
         );
+        let base = reference.len().min(BASE_LEN);
         engine
-            .load("s", reference.to_vec(), &[], ExclusionPolicy::HALF, false)
+            .load("s", reference[..base].to_vec(), &[], ExclusionPolicy::HALF, false)
             .map_err(|e| format!("cold load: {e}"))?;
+        let mut offset = base;
+        for size in BATCH_SIZES {
+            if offset >= reference.len() {
+                break;
+            }
+            let end = (offset + size).min(reference.len());
+            engine
+                .append("s", &reference[offset..end])
+                .map_err(|e| format!("cold replay append at {offset}: {e}"))?;
+            offset = end;
+        }
         let out = engine.query(spec).map_err(|e| format!("cold query: {e}"))?;
         let body = body_of(&out.payload)?;
         engine.shutdown();

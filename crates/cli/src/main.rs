@@ -96,7 +96,7 @@ USAGE:
                    [--deadline-ms <n>]
   valmod stats     [--addr <host:port>] [--raw]
   valmod check     [--smoke] [--seed <s>] [--cases <n>] [--probes <n>] [--no-faults]
-                   [--no-recovery] [--no-cluster] [--no-planner]
+                   [--no-recovery] [--no-cluster] [--no-planner] [--no-extend]
   valmod bench     [--json] [--smoke] [--out <file>]
   valmod cluster-worker [--addr <host:port>]
   valmod cluster-run    --workers <h:p,h:p,...> --input <file> --min <len> --max <len>
@@ -129,8 +129,11 @@ streaming-vs-batch, and serve cached-vs-cold oracles, the Eq. 2
 lower-bound admissibility invariant, a serve fault-injection matrix, a
 crash-recovery kill-point matrix against the durable store, and a query
 planner matrix (fragment-composed and coalesced answers vs independent
-cold computes; `--no-planner` skips it). `--smoke` is the CI preset;
-without it a longer sweep runs. Exits non-zero on any divergence.
+cold computes; `--no-planner` skips it), and an incremental-extension
+matrix (batched streaming appends, tail-extended profiles, and lazily
+revived fragments vs cold same-history replays under randomized append
+schedules; `--no-extend` skips it). `--smoke` is the CI preset; without
+it a longer sweep runs. Exits non-zero on any divergence.
 
 `cluster-worker` runs one stateless shard-compute worker; `cluster-run`
 partitions the ℓmin..ℓmax sweep into (length x diagonal-range) shards,
@@ -568,6 +571,7 @@ fn cmd_check(args: &Args) -> CliResult {
         "no-recovery",
         "no-cluster",
         "no-planner",
+        "no-extend",
     ])?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let mut config = valmod_check::CheckConfig::smoke(seed);
@@ -589,6 +593,9 @@ fn cmd_check(args: &Args) -> CliResult {
     }
     if args.switch("no-planner") {
         config.run_planner = false;
+    }
+    if args.switch("no-extend") {
+        config.run_extend = false;
     }
     let report = valmod_check::run(&config);
     println!("{report}");

@@ -343,6 +343,78 @@ fn serve_and_query_round_trip() {
 }
 
 #[test]
+fn serve_runs_with_zero_cache_budgets() {
+    // Regression: `--cache-mb 0` / `--fragment-cache-mb 0` must mean
+    // "disabled" — every query recomputes, nothing evict-loops, appends
+    // and repeat queries keep working.
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = tmp_dir("serve_zero");
+    let data = dir.join("ecg.csv");
+    assert!(run(&[
+        "generate",
+        "--dataset",
+        "ecg",
+        "--n",
+        "600",
+        "--seed",
+        "11",
+        "--output",
+        data.to_str().unwrap()
+    ])
+    .status
+    .success());
+
+    let mut server = Command::new(bin())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--cache-mb",
+            "0",
+            "--fragment-cache-mb",
+            "0",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("server announces its address").unwrap();
+    let addr = banner.strip_prefix("listening on ").expect("banner format").to_string();
+
+    let query = |args: &[&str]| {
+        let mut full = vec!["query", "--addr", addr.as_str()];
+        full.extend_from_slice(args);
+        run(&full)
+    };
+
+    let loaded = query(&["--cmd", "load", "--name", "w", "--input", data.to_str().unwrap()]);
+    assert!(loaded.status.success(), "{}", stderr(&loaded));
+
+    for _ in 0..2 {
+        let out = query(&["--cmd", "motifs", "--name", "w", "--min", "24", "--max", "28"]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert!(
+            stdout(&out).contains("cached: false"),
+            "zero budget must never serve a cached result: {}",
+            stdout(&out)
+        );
+    }
+
+    let stats = query(&["--cmd", "stats"]);
+    assert!(stats.status.success());
+    let raw = stdout(&stats);
+    assert!(raw.contains("\"used_bytes\":0"), "disabled caches must hold nothing: {raw}");
+
+    let shutdown = query(&["--cmd", "shutdown"]);
+    assert!(shutdown.status.success(), "{}", stderr(&shutdown));
+    assert!(server.wait().expect("server exits").success());
+}
+
+#[test]
 fn serve_survives_a_hard_kill_with_data_dir() {
     use std::io::{BufRead, BufReader};
     use std::process::{Child, Stdio};

@@ -41,7 +41,7 @@ pub struct MpWithProfiles {
 /// to key 0 (LB 0, unconditionally admissible), because the analytic bound's
 /// derivation assumes both σ > 0.
 #[inline]
-fn key_for_pair(dist: f64, l: usize, owner_flat: bool, neighbor_flat: bool) -> f64 {
+pub(crate) fn key_for_pair(dist: f64, l: usize, owner_flat: bool, neighbor_flat: bool) -> f64 {
     if owner_flat || neighbor_flat {
         return 0.0;
     }
@@ -118,6 +118,44 @@ pub fn compute_matrix_profile_ws(
         profile: MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) },
         partials,
     })
+}
+
+/// [`compute_matrix_profile_ws`] plus a captured
+/// [`TailState`](valmod_mp::extend::TailState): the same fused diagonal
+/// harvest, additionally recording the distance matrix's last-column QT
+/// values so the whole result — profile *and* partial profiles — can later
+/// be extended under appends (`SegmentState` in [`crate::valmod`]) instead
+/// of recomputed. Output is bit-identical to [`compute_matrix_profile_ws`];
+/// the capture only reads QT values the traversal produces anyway.
+pub fn compute_matrix_profile_capture_ws(
+    ps: &ProfiledSeries,
+    l: usize,
+    p: usize,
+    policy: ExclusionPolicy,
+    ws: &mut Workspace,
+) -> Result<(MpWithProfiles, valmod_mp::extend::TailState)> {
+    let ndp = ps.require_pairs(l)?;
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    let mut partials: Vec<PartialProfile> =
+        (0..ndp).map(|j| PartialProfile::new(j, l, ps.std(j, l), p)).collect();
+    let flats: Vec<bool> = (0..ndp).map(|i| is_flat(ps.std(i, l), ps.mean_c(i, l))).collect();
+    let tail = valmod_mp::extend::capture_cells(ps, l, policy, ws, |i, j, q, d| {
+        lex_update(&mut mp[i], &mut ip[i], d, j);
+        lex_update(&mut mp[j], &mut ip[j], d, i);
+        if d.is_finite() {
+            let key = key_for_pair(d, l, flats[i], flats[j]);
+            partials[i].offer(DpEntry { neighbor: j, qt: q, dist: d, lb_key: key });
+            partials[j].offer(DpEntry { neighbor: i, qt: q, dist: d, lb_key: key });
+        }
+    })?;
+    Ok((
+        MpWithProfiles {
+            profile: MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) },
+            partials,
+        },
+        tail,
+    ))
 }
 
 /// Multi-threaded [`compute_matrix_profile`]: rows are split into contiguous
@@ -202,15 +240,64 @@ pub fn compute_matrix_profile_with_ws(
     ws: &mut Workspace,
 ) -> Result<MpWithProfiles> {
     let _span = valmod_obs::span!(recorder, "core.mp.full_profile_us");
-    let (hits0, misses0, reused) =
-        (ws.plan_cache().hits(), ws.plan_cache().misses(), ws.uses() > 0);
+    let baseline = PassBaseline::take(ws);
     let out = if threads == 1 {
         compute_matrix_profile_ws(ps, l, p, policy, ws)?
     } else {
         compute_matrix_profile_parallel(ps, l, p, policy, threads)?
     };
-    if recorder.enabled() {
-        let ndp = out.profile.len();
+    baseline.record(recorder, out.profile.len(), l, policy, threads, ws);
+    Ok(out)
+}
+
+/// The instrumented capturing entry point (sequential only — the captured
+/// tail continues the fused diagonal kernel's exact chains, which the
+/// chunked parallel kernel does not produce). Accounting matches
+/// [`compute_matrix_profile_with_ws`] at `threads == 1`.
+pub fn compute_matrix_profile_capture_with_ws(
+    ps: &ProfiledSeries,
+    l: usize,
+    p: usize,
+    policy: ExclusionPolicy,
+    recorder: &SharedRecorder,
+    ws: &mut Workspace,
+) -> Result<(MpWithProfiles, valmod_mp::extend::TailState)> {
+    let _span = valmod_obs::span!(recorder, "core.mp.full_profile_us");
+    let baseline = PassBaseline::take(ws);
+    let (out, tail) = compute_matrix_profile_capture_ws(ps, l, p, policy, ws)?;
+    baseline.record(recorder, out.profile.len(), l, policy, 1, ws);
+    Ok((out, tail))
+}
+
+/// Pre-pass workspace snapshot, turned into the per-pass accounting shared
+/// by the plain and capturing entry points.
+struct PassBaseline {
+    hits0: u64,
+    misses0: u64,
+    reused: bool,
+}
+
+impl PassBaseline {
+    fn take(ws: &Workspace) -> Self {
+        PassBaseline {
+            hits0: ws.plan_cache().hits(),
+            misses0: ws.plan_cache().misses(),
+            reused: ws.uses() > 0,
+        }
+    }
+
+    fn record(
+        self,
+        recorder: &SharedRecorder,
+        ndp: usize,
+        l: usize,
+        policy: ExclusionPolicy,
+        threads: usize,
+        ws: &Workspace,
+    ) {
+        if !recorder.enabled() {
+            return;
+        }
         let chunks = if threads == 1 { 1 } else { row_chunks(ndp, threads).len() };
         recorder.add("core.mp.full_profiles", 1);
         recorder.add("mp.mass.calls", chunks as u64);
@@ -220,14 +307,13 @@ pub fn compute_matrix_profile_with_ws(
                 "mp.diag.blocks",
                 valmod_mp::diagonal::block_count(ndp, policy.radius(l), ws.block()),
             );
-            if reused {
+            if self.reused {
                 recorder.add("mp.workspace.reuses", 1);
             }
-            recorder.add("fft.plan_cache.hits", ws.plan_cache().hits() - hits0);
-            recorder.add("fft.plan_cache.misses", ws.plan_cache().misses() - misses0);
+            recorder.add("fft.plan_cache.hits", ws.plan_cache().hits() - self.hits0);
+            recorder.add("fft.plan_cache.misses", ws.plan_cache().misses() - self.misses0);
         }
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -340,14 +426,41 @@ mod tests {
     fn workspace_reuse_does_not_change_the_harvest() {
         let ps = ProfiledSeries::from_values(&random_walk(300, 71)).unwrap();
         let mut ws = Workspace::new();
-        // Lengths above the FFT threshold, so the plan cache is exercised.
         for l in [40usize, 41, 64, 40] {
             let reused =
                 compute_matrix_profile_ws(&ps, l, 4, ExclusionPolicy::HALF, &mut ws).unwrap();
             let fresh = compute_matrix_profile(&ps, l, 4, ExclusionPolicy::HALF).unwrap();
             assert_harvests_bit_identical(&reused, &fresh, &format!("l={l}"));
         }
-        assert!(ws.plan_cache().hits() > 0, "repeated lengths must hit the plan cache");
+        // Since the direct-seeding rewrite the fused diagonal harvest does no
+        // FFT work at all — its seeds must stay prefix-stable under appends.
+        assert_eq!(
+            ws.plan_cache().hits() + ws.plan_cache().misses(),
+            0,
+            "diagonal harvest must not touch the FFT plan cache"
+        );
+    }
+
+    #[test]
+    fn capturing_variant_is_bit_identical_and_extension_ready() {
+        let series = random_walk(360, 73);
+        let base = ProfiledSeries::from_values(&series[..300]).unwrap();
+        let mut ws = Workspace::new();
+        let (captured, mut tail) =
+            compute_matrix_profile_capture_ws(&base, 18, 4, ExclusionPolicy::HALF, &mut ws)
+                .unwrap();
+        let plain = compute_matrix_profile(&base, 18, 4, ExclusionPolicy::HALF).unwrap();
+        assert_harvests_bit_identical(&captured, &plain, "capture");
+        // The captured tail really is the extension entry point: growing the
+        // series through it reproduces a cold profile bit for bit.
+        let grown = ProfiledSeries::with_offset(&series, base.offset()).unwrap();
+        let mut profile = captured.profile.clone();
+        valmod_mp::extend::extend_profile(&mut profile, &mut tail, &grown).unwrap();
+        let cold = stomp(&grown, 18, ExclusionPolicy::HALF).unwrap();
+        for i in 0..cold.len() {
+            assert_eq!(profile.mp[i].to_bits(), cold.mp[i].to_bits(), "mp[{i}]");
+            assert_eq!(profile.ip[i], cold.ip[i], "ip[{i}]");
+        }
     }
 
     #[test]

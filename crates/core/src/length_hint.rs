@@ -5,7 +5,7 @@
 //! the user still supplies the range `[ℓ_min, ℓ_max]`. This module closes
 //! the loop: it detects the dominant periodicities of the series from its
 //! (FFT-computed) circular autocorrelation and turns them into candidate
-//! length ranges to hand to [`crate::valmod::valmod`].
+//! length ranges to hand to [`crate::valmod::Valmod`].
 //!
 //! This is a pragmatic helper, not part of the paper's algorithms; it is
 //! deterministic and cheap (`O(n log n)`).

@@ -88,8 +88,10 @@ pub mod valmp;
 
 pub use complete_profiles::{complete_profiles, CompletionStats};
 pub use compute_mp::{
-    compute_matrix_profile, compute_matrix_profile_parallel, compute_matrix_profile_with,
-    compute_matrix_profile_with_ws, compute_matrix_profile_ws, MpWithProfiles,
+    compute_matrix_profile, compute_matrix_profile_capture_with_ws,
+    compute_matrix_profile_capture_ws, compute_matrix_profile_parallel,
+    compute_matrix_profile_with, compute_matrix_profile_with_ws, compute_matrix_profile_ws,
+    MpWithProfiles,
 };
 pub use discords::{variable_length_discords, VariableLengthDiscord};
 pub use length_hint::{suggest_length_ranges, LengthHint};
@@ -102,7 +104,8 @@ pub use sub_mp::{
 };
 pub use validate::{validate_length_range, validate_valmod_params};
 pub use valmod::{
-    compose_output, LengthMethod, LengthProfile, LengthReport, Valmod, ValmodConfig, ValmodOutput,
+    compose_output, LengthMethod, LengthProfile, LengthReport, SegmentState, Valmod, ValmodConfig,
+    ValmodOutput,
 };
 pub use valmp::Valmp;
 

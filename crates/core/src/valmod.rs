@@ -7,16 +7,22 @@
 
 use valmod_data::error::{Result, ValmodError};
 use valmod_data::series::Series;
+use valmod_mp::diagonal::lex_update;
+use valmod_mp::distance::is_flat;
 use valmod_mp::exclusion::ExclusionPolicy;
+use valmod_mp::extend::{extend_cells, TailState};
 use valmod_mp::motif::MotifPair;
 use valmod_mp::ProfiledSeries;
 use valmod_obs::{Recorder, SharedRecorder};
 
 use valmod_mp::workspace::Workspace;
 
-use crate::compute_mp::compute_matrix_profile_with_ws;
+use crate::compute_mp::{
+    compute_matrix_profile_capture_with_ws, compute_matrix_profile_with_ws, key_for_pair,
+    MpWithProfiles,
+};
 use crate::pairs::BestKPairs;
-use crate::profile::PartialProfile;
+use crate::profile::{DpEntry, PartialProfile};
 use crate::sub_mp::compute_sub_mp_threaded_with_ws;
 use crate::valmp::Valmp;
 
@@ -370,6 +376,176 @@ impl Valmod {
         drive_lengths(ps, &cfg, recorder, |lp, _| out.push(lp))?;
         Ok(out)
     }
+
+    /// [`Valmod::run_lengths_on`] that additionally returns the
+    /// [`SegmentState`] of the segment — the anchor artifacts that let the
+    /// same fragments be *replayed* later ([`SegmentState::replay`]) and
+    /// *extended* under appends ([`SegmentState::extend`]) instead of
+    /// recomputed. The fragments are bit-identical to
+    /// [`Valmod::run_lengths_on`]'s.
+    ///
+    /// Capture requires the sequential fused kernel (`threads == 1`): the
+    /// chunked parallel kernel does not produce the diagonal chains the
+    /// tail continues. With any other thread count this falls back to the
+    /// plain walk and returns `None` for the state.
+    pub fn run_lengths_capturing(
+        &self,
+        ps: &ProfiledSeries,
+        l_lo: usize,
+        l_hi: usize,
+    ) -> Result<(Vec<LengthProfile>, Option<SegmentState>)> {
+        let mut cfg = self.config.clone();
+        cfg.l_min = l_lo;
+        cfg.l_max = l_hi;
+        cfg.validate_for(ps.len())?;
+        let recorder = &self.recorder;
+        let _span = valmod_obs::span!(recorder, "core.valmod.segment_us");
+        let mut out = Vec::with_capacity(l_hi - l_lo + 1);
+        if cfg.threads != 1 {
+            drive_lengths(ps, &cfg, recorder, |lp, _| out.push(lp))?;
+            return Ok((out, None));
+        }
+        ps.require_pairs(cfg.l_max)?;
+        let mut ws = Workspace::new();
+        let (state, tail) =
+            compute_matrix_profile_capture_with_ws(ps, l_lo, cfg.p, cfg.policy, recorder, &mut ws)?;
+        let seg = SegmentState { config: cfg, n: ps.len(), state, tail };
+        out.push(anchor_profile(&seg.state, l_lo));
+        let mut walk = seg.state.clone();
+        advance_walk(ps, &seg.config, recorder, &mut ws, &mut walk, &mut |lp, _| out.push(lp))?;
+        Ok((out, Some(seg)))
+    }
+}
+
+/// The cached artifacts of one anchor segment: the pre-advance anchor
+/// profile, its harvested partial profiles, and the diagonal tail
+/// ([`TailState`]) of the fused kernel that produced them.
+///
+/// A `SegmentState` makes a segment *resumable* in two directions:
+///
+/// * [`SegmentState::replay`] reruns the `ComputeSubMP` length walk from the
+///   cached anchor to any `l_hi` the series supports — bit-identical to
+///   [`Valmod::run_lengths_on`], minus the `O(n²)` anchor cost.
+/// * [`SegmentState::extend`] advances the anchor artifacts over appended
+///   samples in `O(k·n)`: the profile grows through the captured tail
+///   (bit-identical to a cold anchor, see [`valmod_mp::extend`]), and every
+///   new cell is offered to the partial profiles exactly as the cold fused
+///   harvest would. New offers can only displace old entries the cold run
+///   would also have displaced — the heap keeps the `p` smallest-key entries
+///   under a strict total order, independent of offer order — so a
+///   subsequent replay equals a cold run over the grown series bit for bit
+///   (`valmod-check`'s `extend` oracle holds this under randomized append
+///   schedules).
+#[derive(Debug, Clone)]
+pub struct SegmentState {
+    /// The segment's configuration at capture time (`l_min` is the anchor;
+    /// `l_max` is advisory — replay chooses its own `l_hi`).
+    config: ValmodConfig,
+    /// Samples covered so far.
+    n: usize,
+    /// Pre-advance anchor artifacts (profile + `listDP`).
+    state: MpWithProfiles,
+    /// The diagonal chain heads the extension continues from.
+    tail: TailState,
+}
+
+impl SegmentState {
+    /// The anchor length the segment's fragments are keyed by.
+    #[inline]
+    pub fn anchor(&self) -> usize {
+        self.config.l_min
+    }
+
+    /// Number of samples the state currently covers.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Approximate heap bytes held (for cache byte-budget accounting).
+    pub fn heap_bytes(&self) -> usize {
+        let profile = self.state.profile.mp.len() * std::mem::size_of::<f64>()
+            + self.state.profile.ip.len() * std::mem::size_of::<usize>();
+        let partials: usize = self
+            .state
+            .partials
+            .iter()
+            .map(|p| {
+                std::mem::size_of::<PartialProfile>()
+                    + p.capacity() * std::mem::size_of::<DpEntry>()
+            })
+            .sum();
+        profile + partials + self.tail.heap_bytes()
+    }
+
+    /// Advances the anchor artifacts over the appended tail of `ps` in
+    /// `O(k·n)`. `ps` must be the grown series profiled with the same pinned
+    /// offset the segment was captured under; a rejected series leaves the
+    /// state untouched.
+    pub fn extend(&mut self, ps: &ProfiledSeries, recorder: &SharedRecorder) -> Result<()> {
+        let (old_ndp, new_ndp) = self.tail.check_grow(ps)?;
+        if old_ndp == new_ndp && ps.len() == self.n {
+            return Ok(());
+        }
+        let _span = valmod_obs::span!(recorder, "core.valmod.extend_us");
+        if recorder.enabled() {
+            recorder.add("core.valmod.extends", 1);
+        }
+        let (l, p) = (self.config.l_min, self.config.p);
+        let profile = &mut self.state.profile;
+        profile.mp.resize(new_ndp, f64::INFINITY);
+        profile.ip.resize(new_ndp, usize::MAX);
+        let partials = &mut self.state.partials;
+        partials.reserve(new_ndp - old_ndp);
+        for r in old_ndp..new_ndp {
+            partials.push(PartialProfile::new(r, l, ps.std(r, l), p));
+        }
+        let flats: Vec<bool> =
+            (0..new_ndp).map(|i| is_flat(ps.std(i, l), ps.mean_c(i, l))).collect();
+        let (mp, ip) = (&mut profile.mp, &mut profile.ip);
+        extend_cells(&mut self.tail, ps, |i, j, q, d| {
+            lex_update(&mut mp[i], &mut ip[i], d, j);
+            lex_update(&mut mp[j], &mut ip[j], d, i);
+            if d.is_finite() {
+                let key = key_for_pair(d, l, flats[i], flats[j]);
+                partials[i].offer(DpEntry { neighbor: j, qt: q, dist: d, lb_key: key });
+                partials[j].offer(DpEntry { neighbor: i, qt: q, dist: d, lb_key: key });
+            }
+        })?;
+        self.n = ps.len();
+        Ok(())
+    }
+
+    /// Replays the segment's length walk from the cached anchor up to
+    /// `l_hi` (inclusive), bit-identical to
+    /// [`Valmod::run_lengths_on`]`(ps, anchor, l_hi)` over the same series —
+    /// including the full-recompute fallback on lengths the lower bounds
+    /// cannot certify. `ps` must cover exactly the samples the state does
+    /// (extend first after an append).
+    pub fn replay(
+        &self,
+        ps: &ProfiledSeries,
+        l_hi: usize,
+        recorder: &SharedRecorder,
+    ) -> Result<Vec<LengthProfile>> {
+        if ps.len() != self.n {
+            return Err(ValmodError::InvalidParameter(format!(
+                "segment replay: state covers {} samples but the series has {} (extend first)",
+                self.n,
+                ps.len()
+            )));
+        }
+        let mut cfg = self.config.clone();
+        cfg.l_max = l_hi;
+        cfg.validate_for(ps.len())?;
+        let _span = valmod_obs::span!(recorder, "core.valmod.segment_us");
+        let mut out = Vec::with_capacity(l_hi - cfg.l_min + 1);
+        out.push(anchor_profile(&self.state, cfg.l_min));
+        let mut ws = Workspace::new();
+        let mut walk = self.state.clone();
+        advance_walk(ps, &cfg, recorder, &mut ws, &mut walk, &mut |lp, _| out.push(lp))?;
+        Ok(out)
+    }
 }
 
 /// Recomposes a [`ValmodOutput`] from per-length fragments covering a
@@ -443,7 +619,6 @@ fn drive_lengths(
     recorder: &SharedRecorder,
     mut visit: impl FnMut(LengthProfile, &[PartialProfile]),
 ) -> Result<()> {
-    let policy = config.policy;
     ps.require_pairs(config.l_max)?;
 
     // One workspace for the whole walk: the anchor profile, every fallback
@@ -459,30 +634,45 @@ fn drive_lengths(
         ps,
         config.l_min,
         config.p,
-        policy,
+        config.policy,
         config.threads,
         recorder,
         &mut ws,
     )?;
-    visit(
-        LengthProfile {
-            l: config.l_min,
-            mp: state.profile.mp.clone(),
-            ip: state.profile.ip.clone(),
-            method: LengthMethod::FullProfile,
-            motif: state
-                .profile
-                .motif_pair()
-                .map(|(a, b, d)| MotifPair::new(a, b, config.l_min, d)),
-            known_entries: state.profile.len(),
-            valid_rows: state.profile.len(),
-            nonvalid_rows: 0,
-            recomputed_rows: 0,
-        },
-        &state.partials,
-    );
+    visit(anchor_profile(&state, config.l_min), &state.partials);
+    advance_walk(ps, config, recorder, &mut ws, &mut state, &mut visit)
+}
 
-    // Lengths ℓ_min+1 ..= ℓ_max (Algorithm 1, lines 7–16).
+/// The anchor's [`LengthProfile`] — emitted identically by the cold walk
+/// ([`drive_lengths`]) and by [`SegmentState::replay`], which is what makes
+/// replayed fragments bit-identical to freshly computed ones.
+fn anchor_profile(state: &MpWithProfiles, l_min: usize) -> LengthProfile {
+    LengthProfile {
+        l: l_min,
+        mp: state.profile.mp.clone(),
+        ip: state.profile.ip.clone(),
+        method: LengthMethod::FullProfile,
+        motif: state.profile.motif_pair().map(|(a, b, d)| MotifPair::new(a, b, l_min, d)),
+        known_entries: state.profile.len(),
+        valid_rows: state.profile.len(),
+        nonvalid_rows: 0,
+        recomputed_rows: 0,
+    }
+}
+
+/// Lengths `ℓ_min+1 ..= ℓ_max` of Algorithm 1 (lines 7–16): `ComputeSubMP`
+/// per length with the full-recompute fallback. Shared verbatim by the cold
+/// walk and segment replay; `state` holds the live anchor artifacts and is
+/// mutated by the advances (and replaced entirely by a fallback).
+fn advance_walk(
+    ps: &ProfiledSeries,
+    config: &ValmodConfig,
+    recorder: &SharedRecorder,
+    ws: &mut Workspace,
+    state: &mut MpWithProfiles,
+    visit: &mut impl FnMut(LengthProfile, &[PartialProfile]),
+) -> Result<()> {
+    let policy = config.policy;
     for l in (config.l_min + 1)..=config.l_max {
         let res = compute_sub_mp_threaded_with_ws(
             ps,
@@ -491,7 +681,7 @@ fn drive_lengths(
             policy,
             config.threads,
             recorder,
-            &mut ws,
+            ws,
         );
         let (mp_vals, ip_vals, method, known, valid, nonvalid, recomputed);
         if res.found_motif {
@@ -514,14 +704,14 @@ fn drive_lengths(
             if recorder.enabled() {
                 recorder.add("core.lb.fallback", 1);
             }
-            state = compute_matrix_profile_with_ws(
+            *state = compute_matrix_profile_with_ws(
                 ps,
                 l,
                 config.p,
                 policy,
                 config.threads,
                 recorder,
-                &mut ws,
+                ws,
             )?;
             method = LengthMethod::Fallback;
             known = state.profile.len();
@@ -893,6 +1083,135 @@ mod tests {
         // The whole run was timed once, every advance step once.
         assert_eq!(snap.histogram("core.valmod.run_us").unwrap().count, 1);
         assert_eq!(snap.histogram("core.submp.advance_us").unwrap().count, 48 - 16);
+    }
+
+    fn assert_fragments_bit_identical(a: &[LengthProfile], b: &[LengthProfile], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: fragment count");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.l, y.l, "{what}");
+            assert_eq!(x.method, y.method, "{what} l={}", x.l);
+            assert_eq!(
+                x.mp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y.mp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{what} l={}",
+                x.l
+            );
+            assert_eq!(x.ip, y.ip, "{what} l={}", x.l);
+            assert_eq!(
+                x.motif.map(|m| (m.a, m.b, m.dist.to_bits())),
+                y.motif.map(|m| (m.a, m.b, m.dist.to_bits())),
+                "{what} l={}",
+                x.l
+            );
+            assert_eq!(
+                (x.known_entries, x.valid_rows, x.nonvalid_rows, x.recomputed_rows),
+                (y.known_entries, y.valid_rows, y.nonvalid_rows, y.recomputed_rows),
+                "{what} l={}",
+                x.l
+            );
+        }
+    }
+
+    /// Fallback-rich construction shared by the replay tests.
+    fn fallback_rich_series(n: usize) -> Vec<f64> {
+        let mut values = random_walk(n - 200, 1);
+        values.extend_from_slice(&valmod_data::generators::sine_mixture(
+            200,
+            &[(0.1, 3.0)],
+            0.4,
+            2,
+        ));
+        values
+    }
+
+    #[test]
+    fn capturing_matches_run_lengths_and_replays_bit_identically() {
+        let values = fallback_rich_series(700);
+        let ps = ProfiledSeries::from_values(&values).unwrap();
+        let runner = Valmod::new(1, 2).p(3); // own range ignored
+        let plain = runner.run_lengths_on(&ps, 16, 44).unwrap();
+        let (captured, seg) = runner.run_lengths_capturing(&ps, 16, 44).unwrap();
+        assert_fragments_bit_identical(&captured, &plain, "capture pass");
+        let seg = seg.expect("threads=1 must capture");
+        assert_eq!(seg.anchor(), 16);
+        assert_eq!(seg.n(), 700);
+        assert!(seg.heap_bytes() > 0);
+        // Replay to the same hi, a smaller hi, and a larger hi — all
+        // bit-identical to fresh runs (fragments are anchor-pure).
+        for hi in [44usize, 20, 16, 52] {
+            let replayed = seg.replay(&ps, hi, &SharedRecorder::noop()).unwrap();
+            let fresh = runner.run_lengths_on(&ps, 16, hi).unwrap();
+            assert_fragments_bit_identical(&replayed, &fresh, &format!("replay hi={hi}"));
+        }
+    }
+
+    #[test]
+    fn multi_threaded_capture_degrades_to_none() {
+        let ps = ProfiledSeries::from_values(&random_walk(300, 131)).unwrap();
+        let runner = Valmod::new(16, 24).p(4).threads(2);
+        let (frags, seg) = runner.run_lengths_capturing(&ps, 16, 24).unwrap();
+        assert!(seg.is_none(), "parallel kernel has no replayable tail");
+        let fresh = runner.run_lengths_on(&ps, 16, 24).unwrap();
+        assert_fragments_bit_identical(&frags, &fresh, "parallel fallback");
+    }
+
+    #[test]
+    fn extended_segment_replays_bit_identically_to_cold() {
+        // The tentpole property: capture on a prefix, append in randomized
+        // batches, extend the segment, and every replay must equal a cold
+        // same-history run (pinned offset) bit for bit — including lengths
+        // resolved through the fallback branch.
+        let values = fallback_rich_series(760);
+        let schedule = [7usize, 32, 1, 40];
+        let base_n = 760 - schedule.iter().sum::<usize>();
+        let base = ProfiledSeries::from_values(&values[..base_n]).unwrap();
+        let offset = base.offset();
+        let runner = Valmod::new(1, 2).p(3);
+        let (_, seg) = runner.run_lengths_capturing(&base, 16, 44).unwrap();
+        let mut seg = seg.unwrap();
+        let recorder = SharedRecorder::noop();
+        let mut n = base_n;
+        for &k in &schedule {
+            n += k;
+            let grown = ProfiledSeries::with_offset(&values[..n], offset).unwrap();
+            seg.extend(&grown, &recorder).unwrap();
+            assert_eq!(seg.n(), n);
+            let replayed = seg.replay(&grown, 44, &recorder).unwrap();
+            let cold = runner.run_lengths_on(&grown, 16, 44).unwrap();
+            assert_fragments_bit_identical(&replayed, &cold, &format!("n={n}"));
+        }
+        // At least one replayed length must have exercised the fallback for
+        // the test to mean anything.
+        let replayed = seg
+            .replay(&ProfiledSeries::with_offset(&values, offset).unwrap(), 44, &recorder)
+            .unwrap();
+        assert!(
+            replayed.iter().any(|lp| lp.method == LengthMethod::Fallback),
+            "construction no longer reaches the fallback branch"
+        );
+    }
+
+    #[test]
+    fn extend_rejects_mismatched_series_and_stays_intact() {
+        let values = random_walk(400, 137);
+        let base = ProfiledSeries::from_values(&values[..320]).unwrap();
+        let runner = Valmod::new(1, 2).p(4);
+        let (_, seg) = runner.run_lengths_capturing(&base, 16, 24).unwrap();
+        let mut seg = seg.unwrap();
+        let recorder = SharedRecorder::noop();
+        // Drifted frame (series profiled by its own mean) is refused…
+        let drifted = ProfiledSeries::from_values(&values).unwrap();
+        assert!(seg.extend(&drifted, &recorder).is_err());
+        // …and the state still replays correctly afterwards.
+        let replayed = seg.replay(&base, 24, &recorder).unwrap();
+        let fresh = runner.run_lengths_on(&base, 16, 24).unwrap();
+        assert_fragments_bit_identical(&replayed, &fresh, "post-rejection");
+        // Replay on a series the state does not cover is refused.
+        let grown = ProfiledSeries::with_offset(&values, base.offset()).unwrap();
+        assert!(seg.replay(&grown, 24, &recorder).is_err());
+        // Zero-sample extend is a no-op.
+        seg.extend(&base, &recorder).unwrap();
+        assert_eq!(seg.n(), 320);
     }
 
     #[test]

@@ -32,10 +32,23 @@ pub struct RollingStats {
 }
 
 impl RollingStats {
-    /// Builds the prefix sums for `series`.
+    /// Builds the prefix sums for `series`, centring by its global mean.
     pub fn new(series: &[f64]) -> Self {
         let n = series.len();
         let offset = if n == 0 { 0.0 } else { neumaier_sum(series.iter().copied()) / n as f64 };
+        Self::with_offset(series, offset)
+    }
+
+    /// Builds the prefix sums for `series` centred by an explicit `offset`
+    /// instead of the series' own mean.
+    ///
+    /// Incremental ingestion needs this: a series that grows by appends must
+    /// keep the offset pinned at its load-time value, so the prefix sums over
+    /// the original samples — and every distance derived from them — stay
+    /// bit-identical after the append (the left-to-right compensated
+    /// accumulation makes each `prefix[i]` depend only on samples before `i`).
+    pub fn with_offset(series: &[f64], offset: f64) -> Self {
+        let n = series.len();
         let mut prefix = Vec::with_capacity(n + 1);
         let mut prefix_sq = Vec::with_capacity(n + 1);
         prefix.push(0.0);
@@ -277,6 +290,28 @@ mod tests {
         // 1 + 1e100 + 1 - 1e100 = 2, naive f64 gives 0.
         let values = [1.0, 1e100, 1.0, -1e100];
         assert_eq!(neumaier_sum(values), 2.0);
+    }
+
+    #[test]
+    fn pinned_offset_makes_prefixes_stable_under_append() {
+        let series: Vec<f64> = (0..300).map(|i| (i as f64 * 0.13).sin() * 7.0 + 2.0).collect();
+        let base = RollingStats::new(&series[..200]);
+        let grown = RollingStats::with_offset(&series, base.offset());
+        // Every statistic over the original 200 samples is bit-identical.
+        for &l in &[1usize, 5, 32] {
+            for i in (0..=200 - l).step_by(7) {
+                assert_eq!(base.mean(i, l).to_bits(), grown.mean(i, l).to_bits(), "mean {i} {l}");
+                assert_eq!(
+                    base.std_dev(i, l).to_bits(),
+                    grown.std_dev(i, l).to_bits(),
+                    "std {i} {l}"
+                );
+                assert_eq!(base.centered_sum(i, l).to_bits(), grown.centered_sum(i, l).to_bits());
+            }
+        }
+        // And `new` is exactly `with_offset` at the derived mean.
+        let derived = neumaier_sum(series[..200].iter().copied()) / 200.0;
+        assert_eq!(base.offset().to_bits(), derived.to_bits());
     }
 
     #[test]

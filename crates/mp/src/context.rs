@@ -31,6 +31,21 @@ impl ProfiledSeries {
         Ok(ProfiledSeries::new(&series))
     }
 
+    /// Prepares `values` centred by an explicit `offset` instead of the
+    /// series' own mean.
+    ///
+    /// This is the frame a growing series must be profiled in: pinning the
+    /// offset at its load-time value keeps the centred samples — and every
+    /// dot product and statistic over the original prefix — bit-identical
+    /// after an append, which is what makes incremental tail extension of
+    /// cached profiles exact (see `valmod_mp::extend`).
+    pub fn with_offset(values: &[f64], offset: f64) -> Result<Self> {
+        let series = Series::new(values.to_vec())?;
+        let stats = RollingStats::with_offset(series.values(), offset);
+        let centered = series.values().iter().map(|&v| v - offset).collect();
+        Ok(ProfiledSeries { centered, stats })
+    }
+
     /// Number of samples.
     #[inline]
     pub fn len(&self) -> usize {
@@ -125,5 +140,21 @@ mod tests {
     #[test]
     fn from_values_rejects_nan() {
         assert!(ProfiledSeries::from_values(&[1.0, f64::NAN]).is_err());
+        assert!(ProfiledSeries::with_offset(&[1.0, f64::NAN], 0.0).is_err());
+    }
+
+    #[test]
+    fn pinned_offset_keeps_the_centred_prefix_stable() {
+        let values: Vec<f64> = (0..120).map(|i| (i as f64 * 0.31).cos() * 3.0 + 1.5).collect();
+        let base = ProfiledSeries::from_values(&values[..80]).unwrap();
+        let grown = ProfiledSeries::with_offset(&values, base.offset()).unwrap();
+        assert_eq!(grown.len(), 120);
+        for i in 0..80 {
+            assert_eq!(base.centered()[i].to_bits(), grown.centered()[i].to_bits(), "sample {i}");
+        }
+        for &(i, l) in &[(0usize, 8usize), (30, 16), (60, 20)] {
+            assert_eq!(base.mean_c(i, l).to_bits(), grown.mean_c(i, l).to_bits());
+            assert_eq!(base.std(i, l).to_bits(), grown.std(i, l).to_bits());
+        }
     }
 }

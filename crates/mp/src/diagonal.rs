@@ -10,7 +10,7 @@
 //! * On diagonal `k`, cell `(i, i+k)` follows from cell `(i−1, i+k−1)` by the
 //!   same `O(1)` recurrence STOMP uses along a row — so a block of `B`
 //!   diagonals needs only `B` in-flight QT values (seeded from the one
-//!   FFT-computed first row) plus a sliding window of the series and
+//!   directly-summed first row) plus a sliding window of the series and
 //!   statistics: everything the inner loop touches stays in L1/L2.
 //! * Each unordered pair `(i, j)` is visited exactly once (the matrix is
 //!   symmetric), halving the arithmetic of the row kernel, and the
@@ -20,8 +20,8 @@
 //!
 //! ## Bit-identity with the row kernel
 //!
-//! The QT value of any cell chains back to the FFT first row through the
-//! exact same left-associated update expression in both kernels (for the
+//! The QT value of any cell chains back to the direct-sum first row through
+//! the exact same left-associated update expression in both kernels (for the
 //! lower triangle the two factor orders of each product are swapped, and
 //! IEEE-754 multiplication commutes), and `dist_from_qt` is bitwise
 //! symmetric in its two subsequences. Min-updates break distance ties
@@ -54,14 +54,23 @@ pub fn lex_update(mp: &mut f64, ip: &mut usize, d: f64, j: usize) {
     }
 }
 
-/// Fills the workspace seeds for one kernel call: the FFT first row
-/// (`qt_first[k] = ⟨T_0, T_k⟩`) via the cached plans, and the per-offset
+/// Fills the workspace seeds for one kernel call: the direct-summation first
+/// row (`qt_first[k] = ⟨T_0, T_k⟩`, see
+/// [`seed_qt`](crate::distance_profile::seed_qt)) and the per-offset
 /// statistics. Returns `ndp`.
+///
+/// The seeds are deliberately *not* FFT-computed: an FFT sliding dot product
+/// is bit-sensitive to the transform size and therefore to `n`, while the
+/// direct sum for diagonal `k` reads only `t[..l]` and `t[k..k+l]` — so a
+/// series that grows by appends keeps every existing seed, which is what lets
+/// the tail-extension path (`crate::extend`) continue the diagonal chains
+/// bit-identically. The `O(nℓ)` seed cost is negligible against the `O(n²)`
+/// traversal.
 fn prepare_seeds(ps: &ProfiledSeries, l: usize, ws: &mut Workspace) -> Result<usize> {
     let ndp = ps.require_pairs(l)?;
     let t = ps.centered();
-    let Workspace { plans, qt_first, means, stds, .. } = ws;
-    plans.sliding_dot_product_into(&t[0..l], t, qt_first);
+    let Workspace { qt_first, means, stds, .. } = ws;
+    crate::distance_profile::seed_qt_row_into(t, l, ndp, qt_first);
     debug_assert_eq!(qt_first.len(), ndp);
     means.clear();
     means.extend((0..ndp).map(|i| ps.mean_c(i, l)));
@@ -416,7 +425,9 @@ mod tests {
             assert_profiles_bit_identical(&reused, &fresh, &format!("l={l}"));
         }
         assert!(ws.uses() > 1);
-        assert!(ws.plan_cache().hits() > 0, "reused lengths must hit the plan cache");
+        // Direct seeding keeps the blocked kernel off the FFT entirely; the
+        // plan cache is reserved for MASS/refinement paths.
+        assert_eq!(ws.plan_cache().hits() + ws.plan_cache().misses(), 0);
     }
 
     #[test]

@@ -18,6 +18,28 @@ pub fn self_qt(ps: &ProfiledSeries, i: usize, l: usize) -> Vec<f64> {
     sliding_dot_product(query, ps.centered())
 }
 
+/// One first-row seed `⟨T_0, T_j⟩` by direct left-to-right summation.
+///
+/// This is THE seed expression of both STOMP kernels and the tail-extension
+/// path (`crate::extend`): unlike an FFT sliding dot product — whose bits
+/// depend on the transform size and therefore on `n` — a direct sum over the
+/// first `l` samples depends only on `t[..l]` and `t[j..j+l]`, so growing the
+/// series never changes the seed of an existing diagonal. Every cell of the
+/// distance matrix chains from these seeds through the same recurrence, which
+/// is what makes incremental extension bit-identical to a cold recompute.
+#[inline]
+pub fn seed_qt(t: &[f64], j: usize, l: usize) -> f64 {
+    t[..l].iter().zip(&t[j..j + l]).map(|(&a, &b)| a * b).sum()
+}
+
+/// Fills `out` with the full first row of seeds `qt[j] = ⟨T_0, T_j⟩` for
+/// `j ∈ [0, ndp)`, by direct summation (see [`seed_qt`]).
+pub fn seed_qt_row_into(t: &[f64], l: usize, ndp: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(ndp);
+    out.extend((0..ndp).map(|j| seed_qt(t, j, l)));
+}
+
 /// Fills `out` with the distance profile of `T_{i,ℓ}` given its precomputed
 /// dot-product vector `qt`. Entries inside the exclusion zone become `+∞`.
 pub fn dp_from_qt_into(
@@ -187,6 +209,27 @@ mod tests {
         assert_eq!(profile_min(&[f64::INFINITY, 3.0, 1.0, f64::INFINITY]), Some((2, 1.0)));
         assert_eq!(profile_min(&[f64::INFINITY, f64::INFINITY]), None);
         assert_eq!(profile_min(&[]), None);
+    }
+
+    #[test]
+    fn direct_seeds_are_prefix_stable_and_close_to_fft() {
+        let series = random_walk(400, 9);
+        let ps_small = ProfiledSeries::from_values(&series[..300]).unwrap();
+        let ps_big = ProfiledSeries::with_offset(&series, ps_small.offset()).unwrap();
+        let l = 24;
+        let fft = self_qt(&ps_small, 0, l);
+        for (j, &row_qt) in fft.iter().enumerate().take(ps_small.num_subsequences(l)) {
+            let small = seed_qt(ps_small.centered(), j, l);
+            let big = seed_qt(ps_big.centered(), j, l);
+            // Growing the series cannot move a direct seed by a single bit…
+            assert_eq!(small.to_bits(), big.to_bits(), "j={j}");
+            // …and the seed agrees with the FFT row to rounding.
+            assert!((small - row_qt).abs() < 1e-6 * small.abs().max(1.0), "j={j}");
+        }
+        let mut row = Vec::new();
+        seed_qt_row_into(ps_big.centered(), l, ps_big.num_subsequences(l), &mut row);
+        assert_eq!(row.len(), ps_big.num_subsequences(l));
+        assert_eq!(row[5].to_bits(), seed_qt(ps_big.centered(), 5, l).to_bits());
     }
 
     #[test]

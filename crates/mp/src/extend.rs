@@ -1,0 +1,336 @@
+//! Incremental tail extension of matrix profiles.
+//!
+//! A growing series invalidates nothing about the distance matrix it already
+//! paid for: appending `k` samples adds `k` new columns (and rows, by
+//! symmetry) and leaves every existing cell untouched — *provided the series
+//! is profiled in a pinned frame* ([`ProfiledSeries::with_offset`]), so the
+//! centred samples and rolling statistics over the original prefix do not
+//! move. This module turns that observation into an exact `O(k·n)` update:
+//!
+//! * [`stomp_with_tail`] computes a cold profile and captures a
+//!   [`TailState`] — the in-flight QT values of the matrix's last column,
+//!   which every still-growing diagonal chains through.
+//! * [`extend_profile`] walks the new columns with the *same* recurrence,
+//!   seed expression, and distance call as the diagonal kernel
+//!   ([`crate::diagonal`]), min-folding new cells into the old profile with
+//!   [`lex_update`].
+//!
+//! ## Why the result is bit-identical to a cold recompute
+//!
+//! Both kernels chain every cell `(i, j)` from the direct-sum seed
+//! `⟨T_0, T_{j−i}⟩` ([`seed_qt`]) along its diagonal, one left-associated
+//! update per step. The extension continues those exact chains from the
+//! stored last-column values, so each new cell's QT — and therefore its
+//! distance — carries the same bits a cold run over `n + k` samples would
+//! produce. The lexicographic `(distance, index)` min-fold is associative,
+//! commutative, and idempotent, so folding the new cells into the old
+//! profile equals folding all cells from scratch. The `extend` oracle in
+//! `valmod-check` holds this to `to_bits` equality under randomized append
+//! schedules.
+
+use valmod_data::error::{DataError, Result};
+
+use crate::context::ProfiledSeries;
+use crate::diagonal::{diagonal_cells, lex_update};
+use crate::distance::dist_from_qt;
+use crate::distance_profile::seed_qt;
+use crate::exclusion::ExclusionPolicy;
+use crate::matrix_profile::MatrixProfile;
+use crate::workspace::Workspace;
+
+/// The resumable tail of a matrix-profile computation at one length: the
+/// QT values of the last column of the distance matrix, which are exactly
+/// the chain heads every diagonal needs to keep growing.
+#[derive(Debug, Clone)]
+pub struct TailState {
+    l: usize,
+    radius: usize,
+    n: usize,
+    offset_bits: u64,
+    /// `qt[i] = ⟨T_{i,ℓ}, T_{ndp−1,ℓ}⟩` for `i ∈ [0, ndp−1−radius]`
+    /// (centred domain) — the last computed cell of diagonal `ndp−1−i`.
+    qt: Vec<f64>,
+}
+
+impl TailState {
+    /// Subsequence length the state describes.
+    #[inline]
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Number of samples the state has been advanced to.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exclusion radius baked into the traversal.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Approximate heap bytes held (for cache byte-budget accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.qt.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Validates that `ps` is a grown version of the series this state was
+    /// captured on — same pinned offset, no fewer samples — without
+    /// advancing anything. Returns `(old_ndp, new_ndp)`. Callers that fold
+    /// extension cells into their own structures should call this *before*
+    /// resizing those structures, so a rejected series leaves them intact.
+    pub fn check_grow(&self, ps: &ProfiledSeries) -> Result<(usize, usize)> {
+        self.check(ps)
+    }
+
+    fn check(&self, ps: &ProfiledSeries) -> Result<(usize, usize)> {
+        if ps.offset().to_bits() != self.offset_bits {
+            return Err(DataError::InvalidParameter(
+                "tail extension requires the pinned profiling offset of the original series".into(),
+            ));
+        }
+        if ps.len() < self.n {
+            return Err(DataError::InvalidParameter(format!(
+                "tail extension cannot shrink a series ({} -> {} samples)",
+                self.n,
+                ps.len()
+            )));
+        }
+        Ok((self.n - self.l + 1, ps.len() - self.l + 1))
+    }
+}
+
+/// [`crate::stomp::stomp`] plus a captured [`TailState`]: the cold half of
+/// the incremental pipeline. Bit-identical profile to the plain kernel (the
+/// capture only *reads* QT values the traversal produces anyway).
+pub fn stomp_with_tail(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+) -> Result<(MatrixProfile, TailState)> {
+    let mut ws = Workspace::new();
+    stomp_with_tail_ws(ps, l, policy, &mut ws)
+}
+
+/// [`stomp_with_tail`] over a caller-held [`Workspace`].
+pub fn stomp_with_tail_ws(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    ws: &mut Workspace,
+) -> Result<(MatrixProfile, TailState)> {
+    let ndp = ps.require_pairs(l)?;
+    let mut mp = vec![f64::INFINITY; ndp];
+    let mut ip = vec![usize::MAX; ndp];
+    let state = capture_cells(ps, l, policy, ws, |i, j, _q, d| {
+        lex_update(&mut mp[i], &mut ip[i], d, j);
+        lex_update(&mut mp[j], &mut ip[j], d, i);
+    })?;
+    Ok((MatrixProfile { l, mp, ip, exclusion_radius: policy.radius(l) }, state))
+}
+
+/// Runs the cold diagonal traversal, streaming every cell `(i, j, qt, dist)`
+/// to `visit` exactly as [`diagonal_cells`] does, while capturing the
+/// [`TailState`] — the QT values of the matrix's last column. This lets
+/// callers with richer per-cell folds (e.g. `valmod-core`'s fused
+/// lower-bound harvest) become extension-ready without a second pass.
+pub fn capture_cells<F>(
+    ps: &ProfiledSeries,
+    l: usize,
+    policy: ExclusionPolicy,
+    ws: &mut Workspace,
+    mut visit: F,
+) -> Result<TailState>
+where
+    F: FnMut(usize, usize, f64, f64),
+{
+    let ndp = ps.require_pairs(l)?;
+    let radius = policy.radius(l);
+    let mut last = vec![0.0f64; ndp.saturating_sub(radius)];
+    diagonal_cells(ps, l, &policy, ws, |i, j, q, d| {
+        visit(i, j, q, d);
+        if j == ndp - 1 {
+            // The final cell of diagonal ndp−1−i: the chain head a future
+            // extension continues from.
+            last[i] = q;
+        }
+    })?;
+    Ok(TailState { l, radius, n: ps.len(), offset_bits: ps.offset().to_bits(), qt: last })
+}
+
+/// Streams every cell the series growth added — `(i, j, qt, dist)` with
+/// `j ≥ old_ndp`, `j − i ≥ radius` — to `visit`, advancing the state to
+/// `ps.len()` samples. Cells arrive column by column (ascending `j`, then
+/// ascending `i`), each exactly once. Returns `(old_ndp, new_ndp)`.
+///
+/// `ps` must be the grown series profiled with the *same pinned offset* the
+/// state was captured under; anything else is rejected. This is the shared
+/// walk under [`extend_profile`] and the anchor-segment extension in
+/// `valmod-core` (which additionally harvests the new cells into its
+/// partial profiles).
+pub fn extend_cells<F>(
+    state: &mut TailState,
+    ps: &ProfiledSeries,
+    mut visit: F,
+) -> Result<(usize, usize)>
+where
+    F: FnMut(usize, usize, f64, f64),
+{
+    let (old_ndp, new_ndp) = state.check(ps)?;
+    let (l, radius) = (state.l, state.radius);
+    let t = ps.centered();
+    for r in old_ndp..new_ndp {
+        let Some(imax) = r.checked_sub(radius) else { continue };
+        // Column r chains cell (i, r) from cell (i−1, r−1) of the previous
+        // column — update in place, descending, exactly the diagonal-step
+        // expression of the blocked kernel (same association, same operand
+        // order), then seed the new diagonal r at row 0 directly.
+        state.qt.resize(imax + 1, 0.0);
+        for i in (1..=imax).rev() {
+            state.qt[i] = state.qt[i - 1] - t[i - 1] * t[r - 1] + t[i + l - 1] * t[r + l - 1];
+        }
+        state.qt[0] = seed_qt(t, r, l);
+        let (mean_r, std_r) = (ps.mean_c(r, l), ps.std(r, l));
+        for (i, &q) in state.qt.iter().enumerate() {
+            let d = dist_from_qt(q, l, ps.mean_c(i, l), ps.std(i, l), mean_r, std_r);
+            visit(i, r, q, d);
+        }
+    }
+    state.n = ps.len();
+    Ok((old_ndp, new_ndp))
+}
+
+/// Extends a cached per-length profile over the state's `n` samples to cover
+/// all of `ps` — `O(k·n)` for `k` appended samples, bit-identical (`to_bits`)
+/// to recomputing the profile cold over the grown series.
+pub fn extend_profile(
+    profile: &mut MatrixProfile,
+    state: &mut TailState,
+    ps: &ProfiledSeries,
+) -> Result<()> {
+    if profile.l != state.l {
+        return Err(DataError::InvalidParameter(format!(
+            "tail extension length mismatch: profile l={}, state l={}",
+            profile.l, state.l
+        )));
+    }
+    let (old_ndp, new_ndp) = state.check(ps)?;
+    if profile.len() != old_ndp {
+        return Err(DataError::InvalidParameter(format!(
+            "tail extension row mismatch: profile has {} rows, state covers {old_ndp}",
+            profile.len()
+        )));
+    }
+    profile.mp.resize(new_ndp, f64::INFINITY);
+    profile.ip.resize(new_ndp, usize::MAX);
+    let (mp, ip) = (&mut profile.mp, &mut profile.ip);
+    extend_cells(state, ps, |i, j, _q, d| {
+        lex_update(&mut mp[i], &mut ip[i], d, j);
+        lex_update(&mut mp[j], &mut ip[j], d, i);
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stomp::stomp;
+    use valmod_data::generators::{plant_motif, random_walk};
+
+    fn assert_bits(a: &MatrixProfile, b: &MatrixProfile, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for i in 0..a.len() {
+            assert_eq!(a.mp[i].to_bits(), b.mp[i].to_bits(), "{what}: mp[{i}]");
+            assert_eq!(a.ip[i], b.ip[i], "{what}: ip[{i}]");
+        }
+    }
+
+    #[test]
+    fn capture_does_not_change_the_profile() {
+        let ps = ProfiledSeries::from_values(&random_walk(300, 11)).unwrap();
+        for l in [8usize, 20] {
+            let plain = stomp(&ps, l, ExclusionPolicy::HALF).unwrap();
+            let (captured, state) = stomp_with_tail(&ps, l, ExclusionPolicy::HALF).unwrap();
+            assert_bits(&captured, &plain, &format!("l={l}"));
+            assert_eq!(state.n(), 300);
+            assert_eq!(state.l(), l);
+        }
+    }
+
+    #[test]
+    fn extension_is_bit_identical_to_cold_stomp_across_schedules() {
+        let series = random_walk(420, 23);
+        for schedule in [vec![1usize, 1, 1], vec![7, 40, 1, 52], vec![120]] {
+            let base_n = 420 - schedule.iter().sum::<usize>();
+            let base = ProfiledSeries::from_values(&series[..base_n]).unwrap();
+            let offset = base.offset();
+            let (mut profile, mut state) =
+                stomp_with_tail(&base, 16, ExclusionPolicy::HALF).unwrap();
+            let mut n = base_n;
+            for &k in &schedule {
+                n += k;
+                let grown = ProfiledSeries::with_offset(&series[..n], offset).unwrap();
+                extend_profile(&mut profile, &mut state, &grown).unwrap();
+                let cold = stomp(&grown, 16, ExclusionPolicy::HALF).unwrap();
+                assert_bits(&profile, &cold, &format!("schedule {schedule:?} at n={n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn extension_works_on_structured_data_and_other_policies() {
+        let (series, _) = plant_motif(600, 48, 3, 0.02, 31);
+        let base = ProfiledSeries::from_values(&series[..500]).unwrap();
+        let (mut profile, mut state) =
+            stomp_with_tail(&base, 48, ExclusionPolicy::QUARTER).unwrap();
+        let grown = ProfiledSeries::with_offset(&series, base.offset()).unwrap();
+        extend_profile(&mut profile, &mut state, &grown).unwrap();
+        let cold = stomp(&grown, 48, ExclusionPolicy::QUARTER).unwrap();
+        assert_bits(&profile, &cold, "planted/quarter");
+    }
+
+    #[test]
+    fn zero_sample_extension_is_a_no_op() {
+        let ps = ProfiledSeries::from_values(&random_walk(200, 3)).unwrap();
+        let (mut profile, mut state) = stomp_with_tail(&ps, 12, ExclusionPolicy::HALF).unwrap();
+        let before = profile.clone();
+        extend_profile(&mut profile, &mut state, &ps).unwrap();
+        assert_bits(&profile, &before, "no-op");
+        assert_eq!(state.n(), 200);
+    }
+
+    #[test]
+    fn nearly_all_excluded_series_grows_into_validity() {
+        // 12 samples at ℓ=10: every pair trivial (all-∞ profile). Growing to
+        // 40 samples must introduce the first finite entries, identically to
+        // a cold run.
+        let series = random_walk(40, 7);
+        let base = ProfiledSeries::from_values(&series[..12]).unwrap();
+        let (mut profile, mut state) = stomp_with_tail(&base, 10, ExclusionPolicy::HALF).unwrap();
+        assert!(profile.mp.iter().all(|d| d.is_infinite()));
+        let grown = ProfiledSeries::with_offset(&series, base.offset()).unwrap();
+        extend_profile(&mut profile, &mut state, &grown).unwrap();
+        let cold = stomp(&grown, 10, ExclusionPolicy::HALF).unwrap();
+        assert_bits(&profile, &cold, "grown into validity");
+        assert!(profile.mp.iter().any(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn mismatched_frames_and_shrinking_are_rejected() {
+        let series = random_walk(260, 9);
+        let base = ProfiledSeries::from_values(&series[..200]).unwrap();
+        let (mut profile, mut state) = stomp_with_tail(&base, 16, ExclusionPolicy::HALF).unwrap();
+        // A grown series profiled in its own (drifted) frame is refused.
+        let drifted = ProfiledSeries::from_values(&series).unwrap();
+        assert!(extend_profile(&mut profile, &mut state, &drifted).is_err());
+        // So is a shorter series.
+        let short = ProfiledSeries::with_offset(&series[..150], base.offset()).unwrap();
+        assert!(extend_profile(&mut profile, &mut state, &short).is_err());
+        // And a length-mismatched profile.
+        let (mut other, _) = stomp_with_tail(&base, 20, ExclusionPolicy::HALF).unwrap();
+        let grown = ProfiledSeries::with_offset(&series, base.offset()).unwrap();
+        assert!(extend_profile(&mut other, &mut state, &grown).is_err());
+    }
+}

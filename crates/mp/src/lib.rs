@@ -38,6 +38,7 @@ pub mod discord;
 pub mod distance;
 pub mod distance_profile;
 pub mod exclusion;
+pub mod extend;
 pub mod join;
 pub mod matrix_profile;
 pub mod motif;
@@ -56,6 +57,9 @@ pub use discord::{top_discords, Discord};
 pub use distance::{dist_from_qt, length_normalize, zdist_naive};
 pub use distance_profile::{mass, self_distance_profile};
 pub use exclusion::ExclusionPolicy;
+pub use extend::{
+    capture_cells, extend_cells, extend_profile, stomp_with_tail, stomp_with_tail_ws, TailState,
+};
 pub use join::{ab_join, closest_cross_pair};
 pub use matrix_profile::MatrixProfile;
 pub use motif::{top_motifs, MotifPair};

@@ -13,13 +13,13 @@
 use valmod_data::error::Result;
 
 use crate::context::ProfiledSeries;
-use crate::distance_profile::{dp_from_qt_into, profile_min, self_qt};
+use crate::distance_profile::{dp_from_qt_into, profile_min};
 use crate::exclusion::ExclusionPolicy;
 use crate::matrix_profile::MatrixProfile;
 
 /// Streams the rows of the all-pairs distance matrix: row `i` is the
-/// distance profile of `T_{i,ℓ}`, produced in `O(n)` after an `O(n log n)`
-/// first row.
+/// distance profile of `T_{i,ℓ}`, produced in `O(n)` after an `O(nℓ)`
+/// directly-summed first row.
 #[derive(Debug)]
 pub struct StompDriver<'a> {
     ps: &'a ProfiledSeries,
@@ -35,11 +35,14 @@ pub struct StompDriver<'a> {
 }
 
 impl<'a> StompDriver<'a> {
-    /// Prepares a driver; computes the first-row dot products via FFT.
+    /// Prepares a driver; computes the first-row dot products by direct
+    /// summation — the same prefix-stable seeds the diagonal kernel uses
+    /// ([`crate::distance_profile::seed_qt`]), so the two kernels keep
+    /// chaining every cell from bit-identical starting points.
     pub fn new(ps: &'a ProfiledSeries, l: usize, policy: ExclusionPolicy) -> Result<Self> {
         let ndp = ps.require_pairs(l)?;
-        let qt_first = self_qt(ps, 0, l);
-        debug_assert_eq!(qt_first.len(), ndp);
+        let mut qt_first = Vec::new();
+        crate::distance_profile::seed_qt_row_into(ps.centered(), l, ndp, &mut qt_first);
         Ok(StompDriver { ps, l, policy, ndp, qt: qt_first.clone(), qt_first, next_row: 0 })
     }
 

@@ -163,10 +163,19 @@ impl StreamingProfile {
         if !raw.is_finite() {
             return Err(DataError::NonFinite { index: self.values.len() });
         }
-        let _span = valmod_obs::span!(&self.recorder, "mp.streaming.append_us");
-        if self.recorder.enabled() {
-            self.recorder.add("mp.streaming.appends", 1);
+        let recorder = self.recorder.clone();
+        let _span = valmod_obs::span!(&recorder, "mp.streaming.append_us");
+        if recorder.enabled() {
+            recorder.add("mp.streaming.appends", 1);
         }
+        self.append_unchecked(raw);
+        Ok(())
+    }
+
+    /// The `O(n)` profile update for one already-validated sample — shared
+    /// by [`append`](Self::append) and [`extend`](Self::extend) so the two
+    /// produce bit-identical profiles; instrumentation lives in the callers.
+    fn append_unchecked(&mut self, raw: f64) {
         let v = raw - self.offset;
         let extends = self.values.last().is_some_and(|&prev| prev == v);
         self.values.push(v);
@@ -220,20 +229,34 @@ impl StreamingProfile {
         self.mp[new] = best;
         self.ip[new] = arg;
         self.qt_scratch = std::mem::replace(&mut self.last_qt, qt);
-        Ok(())
     }
 
     /// Appends a batch of samples, all-or-nothing: the batch is validated
     /// up front, so a non-finite sample rejects the whole call and leaves
     /// the profile exactly as it was (callers that mirror the stream into
     /// other state never desynchronise).
-    pub fn extend(&mut self, samples: impl IntoIterator<Item = f64>) -> Result<()> {
-        let batch: Vec<f64> = samples.into_iter().collect();
-        if let Some(bad) = batch.iter().position(|v| !v.is_finite()) {
+    ///
+    /// The resulting profile is bit-identical to `k` individual
+    /// [`append`](Self::append) calls, but the batch is instrumented as ONE
+    /// unit: one `mp.streaming.extend_us` span and one
+    /// `mp.streaming.batch_extends` count per call (plus `k` on
+    /// `mp.streaming.appends`), so per-append observability cost does not
+    /// scale with the batch size.
+    pub fn extend(&mut self, samples: &[f64]) -> Result<()> {
+        if let Some(bad) = samples.iter().position(|v| !v.is_finite()) {
             return Err(DataError::NonFinite { index: self.values.len() + bad });
         }
-        for s in batch {
-            self.append(s)?;
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let recorder = self.recorder.clone();
+        let _span = valmod_obs::span!(&recorder, "mp.streaming.extend_us");
+        if recorder.enabled() {
+            recorder.add("mp.streaming.batch_extends", 1);
+            recorder.add("mp.streaming.appends", samples.len() as u64);
+        }
+        for &s in samples {
+            self.append_unchecked(s);
         }
         Ok(())
     }
@@ -247,7 +270,7 @@ mod tests {
     fn check_equals_batch(series: &[f64], seed_len: usize, l: usize) {
         let mut stream = StreamingProfile::new(&series[..seed_len], l, ExclusionPolicy::HALF)
             .expect("seed profile");
-        stream.extend(series[seed_len..].iter().copied()).unwrap();
+        stream.extend(&series[seed_len..]).unwrap();
         let streamed = stream.profile();
 
         // Batch oracle over the whole series. The streaming profile centres
@@ -289,7 +312,7 @@ mod tests {
         let cut = planted.offsets[1].saturating_sub(10);
         let mut stream =
             StreamingProfile::new(&series[..cut.max(100)], 40, ExclusionPolicy::HALF).unwrap();
-        stream.extend(series[cut.max(100)..].iter().copied()).unwrap();
+        stream.extend(&series[cut.max(100)..]).unwrap();
         let profile = stream.profile();
         let (a, b, d) = profile.motif_pair().unwrap();
         assert!(d < 1.0, "planted motif distance {d}");
@@ -308,17 +331,46 @@ mod tests {
     }
 
     #[test]
-    fn recorder_sees_appends() {
+    fn recorder_sees_appends_and_batches() {
         let reg = valmod_obs::Registry::new();
         let series = random_walk(100, 87);
         let mut stream = StreamingProfile::new(&series, 10, ExclusionPolicy::HALF)
             .unwrap()
             .with_recorder(SharedRecorder::from(reg.clone()));
-        stream.extend([0.5, 1.5, -0.5]).unwrap();
+        stream.extend(&[0.5, 1.5, -0.5]).unwrap();
         assert!(stream.append(f64::NAN).is_err());
         let snap = reg.snapshot();
         assert_eq!(snap.counter("mp.streaming.appends"), Some(3), "rejected appends not counted");
-        assert_eq!(snap.histogram("mp.streaming.append_us").unwrap().count, 3);
+        assert_eq!(snap.counter("mp.streaming.batch_extends"), Some(1));
+        // One span per *batch*, not per sample — per-append observability
+        // cost must not scale with the batch size.
+        assert_eq!(snap.histogram("mp.streaming.extend_us").unwrap().count, 1);
+        assert_eq!(snap.histogram("mp.streaming.append_us").map(|h| h.count).unwrap_or(0), 0);
+
+        stream.append(2.5).unwrap();
+        stream.extend(&[]).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("mp.streaming.appends"), Some(4));
+        assert_eq!(snap.counter("mp.streaming.batch_extends"), Some(1), "empty batch not counted");
+        assert_eq!(snap.histogram("mp.streaming.append_us").unwrap().count, 1);
+        assert_eq!(snap.histogram("mp.streaming.extend_us").unwrap().count, 1);
+    }
+
+    #[test]
+    fn batched_extend_is_bit_identical_to_per_sample_appends() {
+        let series = random_walk(220, 91);
+        let mut batched = StreamingProfile::new(&series[..140], 12, ExclusionPolicy::HALF).unwrap();
+        let mut one_by_one = batched.clone();
+        batched.extend(&series[140..]).unwrap();
+        for &s in &series[140..] {
+            one_by_one.append(s).unwrap();
+        }
+        let (a, b) = (batched.profile(), one_by_one.profile());
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.mp[i].to_bits(), b.mp[i].to_bits(), "row {i}");
+            assert_eq!(a.ip[i], b.ip[i], "row {i}");
+        }
     }
 
     #[test]
@@ -326,10 +378,10 @@ mod tests {
         let series = random_walk(100, 85);
         let mut stream = StreamingProfile::new(&series, 10, ExclusionPolicy::HALF).unwrap();
         let before = stream.len();
-        let err = stream.extend([1.0, 2.0, f64::INFINITY, 3.0]).unwrap_err();
+        let err = stream.extend(&[1.0, 2.0, f64::INFINITY, 3.0]).unwrap_err();
         assert!(matches!(err, DataError::NonFinite { index } if index == before + 2));
         assert_eq!(stream.len(), before, "a rejected batch must not apply partially");
-        stream.extend([1.0, 2.0, 3.0]).unwrap();
+        stream.extend(&[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(stream.len(), before + 3);
         assert_eq!(stream.subsequence_len(), 10);
         assert_eq!(stream.policy(), ExclusionPolicy::HALF);

@@ -20,7 +20,7 @@ fn make_series(kind: u8, n: usize, seed: u64) -> Vec<f64> {
 /// structure.
 fn assert_stream_equals_batch(series: &[f64], seed_len: usize, l: usize, policy: ExclusionPolicy) {
     let mut stream = StreamingProfile::new(&series[..seed_len], l, policy).expect("seed profile");
-    stream.extend(series[seed_len..].iter().copied()).expect("appends");
+    stream.extend(&series[seed_len..]).expect("appends");
     let streamed = stream.profile();
 
     let ps = ProfiledSeries::from_values(series).unwrap();

@@ -434,7 +434,12 @@ impl QueryEngine {
 
     /// Appends samples to a named series: WAL-logs the batch first (when
     /// durable), bumps its version, extends hot profiles, and purges the
-    /// series' cache entries. Returns `(version, len)`.
+    /// series' *result*-cache entries. Fragments are deliberately **not**
+    /// purged: the version bump already makes them unservable (their key
+    /// carries the old watermark), and the planner revives their parked
+    /// segment states by extending over the appended tail on the next
+    /// query — `O(k·n)` instead of a cold `O(n²)` recompute — collecting
+    /// the stale fragments lazily. Returns `(version, len)`.
     pub fn append(&self, name: &str, samples: &[f64]) -> ServeResult<(u64, usize)> {
         self.reject_if_shutting_down()?;
         let mut store = self.shared.store.write().expect("store lock");
@@ -442,7 +447,6 @@ impl QueryEngine {
         let len = store.get(name)?.len();
         drop(store);
         self.shared.cache.lock().expect("cache lock").invalidate_series(name);
-        self.shared.fragments.lock().expect("fragment cache lock").invalidate_series(name);
         Ok((version, len))
     }
 
@@ -625,6 +629,8 @@ impl QueryEngine {
             ("fragment_misses", fs.misses.into()),
             ("fragment_evictions", fs.evictions.into()),
             ("fragment_invalidated", fs.invalidated.into()),
+            ("fragments_extended", fs.extended.into()),
+            ("parked_states", fragments.state_count().into()),
             ("inflight", self.shared.flights.lock().expect("flights lock").len().into()),
         ]);
         drop(fragments);
@@ -852,7 +858,14 @@ fn compute_payload(
             Ok(DiscordsBody {
                 discords: discords
                     .iter()
-                    .map(|d| DiscordHit { offset: d.offset, l: d.l, nn: d.nn, score: d.score })
+                    .map(|d| DiscordHit {
+                        offset: d.offset,
+                        l: d.l,
+                        // The VALMP ⊥ sentinel must never cross the wire as
+                        // a number; null is the wire form of "no match".
+                        nn: (d.nn != usize::MAX).then_some(d.nn),
+                        score: d.score,
+                    })
                     .collect(),
             }
             .to_value())
@@ -1070,6 +1083,38 @@ mod tests {
     }
 
     #[test]
+    fn bottom_slots_never_leak_the_sentinel_onto_the_wire() {
+        // A 51-sample series at l = 32 has 20 offsets; HALF exclusion
+        // (radius 16) leaves the middle offsets with no admissible
+        // neighbour, so their VALMP slots stay at the ⊥ sentinel
+        // (usize::MAX index, length 0).
+        let values = random_walk(51, 29);
+        let out = Valmod::from_config(ValmodConfig::new(32, 32).with_p(4))
+            .run(&valmod_data::series::Series::new(values.clone()).unwrap())
+            .unwrap();
+        assert!(
+            out.valmp.norm_distances.iter().any(|d| !d.is_finite()),
+            "the series must actually produce ⊥ slots for this regression to bite"
+        );
+
+        let eng = engine(1, 8, 1 << 20);
+        eng.load("s", values, &[], ExclusionPolicy::HALF, false).unwrap();
+        let mut spec = motif_spec("s", 32, 32);
+        spec.kind = QueryKind::Discords { top: 8 };
+        let reply = eng.query(spec).unwrap();
+        let encoded = reply.payload.encode();
+        assert!(
+            !encoded.contains("18446744073709551615"),
+            "⊥ must never cross the wire as usize::MAX: {encoded}"
+        );
+        // The body still parses back through the typed decoder.
+        let body = reply.payload.get("body").expect("reply carries a body");
+        DiscordsBody::from_value(body).expect("discords body round-trips");
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
     fn unknown_series_fails_fast() {
         let eng = engine(1, 2, 1024);
         let err = eng.query(motif_spec("ghost", 16, 20)).unwrap_err();
@@ -1219,7 +1264,7 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_ranges_reuse_fragments_and_appends_purge_them() {
+    fn overlapping_ranges_reuse_fragments_and_appends_extend_them() {
         // Result cache off: every query reaches the planner; only the
         // fragment cache can save work.
         let eng = QueryEngine::new(
@@ -1232,8 +1277,10 @@ mod tests {
             stats.get("planner").unwrap().get(key).unwrap().as_usize().unwrap()
         };
         let stats = eng.stats();
-        assert!(planner(&stats, "fragment_entries") > 0);
+        let cold_entries = planner(&stats, "fragment_entries");
+        assert!(cold_entries > 0);
         assert_eq!(planner(&stats, "fragment_hits"), 0);
+        assert!(planner(&stats, "parked_states") > 0, "cold segments park their states");
         // A different query kind over the same range reuses the fragments
         // (the knobs key excludes ranking parameters).
         let mut spec = motif_spec("s", 16, 40);
@@ -1241,11 +1288,23 @@ mod tests {
         eng.query(spec).unwrap();
         let stats = eng.stats();
         assert!(planner(&stats, "fragment_hits") > 0, "discords reuse the motifs' fragments");
-        // Appends purge the series' fragments eagerly.
+        // An append does NOT purge: the stale fragments linger (their
+        // version watermark makes them unservable) until the next query
+        // lazily collects them and revives the parked states by extension.
         eng.append("s", &[0.5, 0.25]).unwrap();
         let stats = eng.stats();
+        assert_eq!(planner(&stats, "fragment_entries"), cold_entries, "append must not purge");
+        assert_eq!(planner(&stats, "fragments_extended"), 0);
+        eng.query(motif_spec("s", 16, 40)).unwrap();
+        let stats = eng.stats();
+        assert!(planner(&stats, "fragment_invalidated") > 0, "stale fragments lazily collected");
+        assert!(planner(&stats, "fragments_extended") > 0, "states were extended, not recomputed");
+        assert_eq!(planner(&stats, "fragment_entries"), cold_entries, "fresh-version fragments");
+        // A replace rewrites history: everything is purged, states included.
+        eng.load("s", random_walk(300, 5), &[], ExclusionPolicy::HALF, true).unwrap();
+        let stats = eng.stats();
         assert_eq!(planner(&stats, "fragment_entries"), 0);
-        assert!(planner(&stats, "fragment_invalidated") > 0);
+        assert_eq!(planner(&stats, "parked_states"), 0);
         eng.shutdown();
         eng.join();
     }

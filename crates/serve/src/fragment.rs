@@ -13,13 +13,29 @@
 //! and the reduced exclusion policy); ranking parameters (`top`, `k`,
 //! `radius`) are deliberately excluded, so a MOTIFS and a DISCORDS query
 //! over the same range share fragments. Versioned keys make stale hits
-//! structurally impossible, exactly as in the result cache, and
-//! append/replace additionally purge a series' fragments eagerly.
+//! structurally impossible, exactly as in the result cache.
+//!
+//! ## Incremental extension across appends
+//!
+//! An `APPEND` does **not** purge this cache. Fragments keyed by the old
+//! version simply stop matching (their version is the staleness
+//! watermark); they are garbage-collected lazily by
+//! [`FragmentCache::invalidate_stale`] on the next planner touch. What
+//! makes the old work *reusable* rather than merely dead is the second
+//! map: each computed segment also parks its [`SegmentState`] — the
+//! advance-ready capture of its anchor profile and top-`p` partials —
+//! keyed by `(series, anchor, knobs)` **without** a version. On the next
+//! query the planner takes the state, extends it over the appended tail
+//! (`O(k·n)` instead of `O(n²)`), replays it, and re-inserts fragments
+//! under the new version — bit-identical to a cold recompute, as
+//! `valmod-check`'s extension oracle enforces. Only a `LOAD` (replace)
+//! purges both maps, because a replace rewrites history instead of
+//! growing it. Both maps share one byte budget and one LRU clock.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use valmod_core::LengthProfile;
+use valmod_core::{LengthProfile, SegmentState};
 
 /// Fragment key: series identity + data version + producing anchor +
 /// length + canonical per-length knobs.
@@ -37,9 +53,30 @@ pub struct FragmentKey {
     pub knobs: String,
 }
 
+/// Key of a parked [`SegmentState`]: no version — the state is *advanced*
+/// across versions (extended over appended samples) rather than invalidated
+/// by them. Its internal sample count is the watermark that tells the
+/// planner how far behind the series it is.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateKey {
+    /// Series name.
+    pub series: String,
+    /// Anchor length of the captured segment.
+    pub anchor: usize,
+    /// Canonical per-length knobs, e.g. `p=50;excl=1/2`.
+    pub knobs: String,
+}
+
 #[derive(Debug)]
 struct Entry {
     fragment: Arc<LengthProfile>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct StateEntry {
+    state: SegmentState,
     bytes: usize,
     last_used: u64,
 }
@@ -51,10 +88,14 @@ pub struct FragmentCacheStats {
     pub hits: u64,
     /// Per-length lookups that forced a segment recompute.
     pub misses: u64,
-    /// Fragments evicted to stay within the byte budget.
+    /// Fragments and parked states evicted to stay within the byte budget.
     pub evictions: u64,
-    /// Fragments purged by series invalidation (append/replace).
+    /// Fragments purged by invalidation: eagerly on replace, lazily (old
+    /// versions garbage-collected on the next planner touch) on append.
     pub invalidated: u64,
+    /// Parked segment states extended in place over appended samples
+    /// instead of recomputing the segment from scratch.
+    pub extended: u64,
 }
 
 /// An LRU cache of per-length profile fragments, bounded by approximate
@@ -65,6 +106,7 @@ pub struct FragmentCache {
     used: usize,
     tick: u64,
     map: HashMap<FragmentKey, Entry>,
+    states: HashMap<StateKey, StateEntry>,
     stats: FragmentCacheStats,
 }
 
@@ -77,6 +119,7 @@ impl FragmentCache {
             used: 0,
             tick: 0,
             map: HashMap::new(),
+            states: HashMap::new(),
             stats: FragmentCacheStats::default(),
         }
     }
@@ -133,20 +176,82 @@ impl FragmentCache {
         }
         self.used += bytes;
         self.map.insert(key, Entry { fragment, bytes, last_used: self.tick });
+        self.evict_to_budget();
+    }
+
+    /// Takes the parked segment state under `(series, anchor, knobs)` out
+    /// of the cache, if any, transferring ownership (and its bytes) to the
+    /// caller — the planner extends/replays it, then returns it via
+    /// [`FragmentCache::put_state`].
+    pub fn take_state(&mut self, series: &str, anchor: usize, knobs: &str) -> Option<SegmentState> {
+        let key = StateKey { series: series.into(), anchor, knobs: knobs.into() };
+        let entry = self.states.remove(&key)?;
+        self.used -= entry.bytes;
+        Some(entry.state)
+    }
+
+    /// Parks a segment state for future extension. Replaces any previous
+    /// state under the same key; a state larger than the whole budget is
+    /// dropped (the planner then recomputes, which is always correct).
+    pub fn put_state(&mut self, series: &str, anchor: usize, knobs: &str, state: SegmentState) {
+        let key = StateKey { series: series.into(), anchor, knobs: knobs.into() };
+        let bytes = state_bytes(&key, &state);
+        if bytes > self.budget {
+            if let Some(old) = self.states.remove(&key) {
+                self.used -= old.bytes;
+            }
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.states.remove(&key) {
+            self.used -= old.bytes;
+        }
+        self.used += bytes;
+        self.states.insert(key, StateEntry { state, bytes, last_used: self.tick });
+        self.evict_to_budget();
+    }
+
+    /// Notes one in-place extension (surfaced through `STATS`).
+    pub fn note_extended(&mut self) {
+        self.stats.extended += 1;
+    }
+
+    /// Evicts least-recently-used entries — fragments and parked states
+    /// compete under one clock — until the budget holds.
+    fn evict_to_budget(&mut self) {
         while self.used > self.budget {
-            let lru = self
+            let frag_lru = self
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("used > budget implies non-empty");
-            let e = self.map.remove(&lru).expect("key just observed");
-            self.used -= e.bytes;
+                .map(|(k, e)| (k.clone(), e.last_used));
+            let state_lru = self
+                .states
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (k.clone(), e.last_used));
+            let evict_fragment = match (&frag_lru, &state_lru) {
+                (Some((_, f)), Some((_, s))) => f <= s,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("used > budget implies non-empty"),
+            };
+            if evict_fragment {
+                let (key, _) = frag_lru.expect("checked above");
+                let e = self.map.remove(&key).expect("key just observed");
+                self.used -= e.bytes;
+            } else {
+                let (key, _) = state_lru.expect("checked above");
+                let e = self.states.remove(&key).expect("key just observed");
+                self.used -= e.bytes;
+            }
             self.stats.evictions += 1;
         }
     }
 
-    /// Drops every fragment for `series`, any version (append/replace).
+    /// Drops every fragment **and** parked state for `series`, any
+    /// version. This is the replace/`LOAD` path: a replace rewrites the
+    /// series' history, so nothing computed against it can be extended.
     pub fn invalidate_series(&mut self, series: &str) {
         let stale: Vec<FragmentKey> =
             self.map.keys().filter(|k| k.series == series).cloned().collect();
@@ -155,16 +260,47 @@ impl FragmentCache {
             self.used -= e.bytes;
             self.stats.invalidated += 1;
         }
+        let stale: Vec<StateKey> =
+            self.states.keys().filter(|k| k.series == series).cloned().collect();
+        for key in stale {
+            let e = self.states.remove(&key).expect("key just observed");
+            self.used -= e.bytes;
+        }
     }
 
-    /// Live fragment count.
+    /// Garbage-collects fragments for `series` whose version watermark is
+    /// behind `current_version` — the lazy-append path. Parked states are
+    /// deliberately kept: they are what the stale fragments get *extended
+    /// from*. Returns the number of fragments collected.
+    pub fn invalidate_stale(&mut self, series: &str, current_version: u64) -> usize {
+        let stale: Vec<FragmentKey> = self
+            .map
+            .keys()
+            .filter(|k| k.series == series && k.version < current_version)
+            .cloned()
+            .collect();
+        let count = stale.len();
+        for key in stale {
+            let e = self.map.remove(&key).expect("key just observed");
+            self.used -= e.bytes;
+            self.stats.invalidated += 1;
+        }
+        count
+    }
+
+    /// Live fragment count (parked states not included).
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
-    /// Whether the cache is empty.
+    /// Number of parked segment states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the cache holds neither fragments nor parked states.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.is_empty() && self.states.is_empty()
     }
 
     /// Bytes currently accounted against the budget.
@@ -194,10 +330,19 @@ fn entry_bytes(key: &FragmentKey, fragment: &LengthProfile) -> usize {
         + fragment.heap_bytes()
 }
 
+/// Bytes one parked state charges: key plus the state's heap footprint
+/// (anchor profile, top-`p` partials, and the qt tail).
+fn state_bytes(key: &StateKey, state: &SegmentState) -> usize {
+    key.series.len() + std::mem::size_of_val(&key.anchor) + key.knobs.len() + state.heap_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use valmod_core::LengthMethod;
+    use valmod_core::{LengthMethod, Valmod};
+    use valmod_data::generators::random_walk;
+    use valmod_mp::ProfiledSeries;
+    use valmod_obs::SharedRecorder;
 
     fn fragment(l: usize, rows: usize) -> Arc<LengthProfile> {
         Arc::new(LengthProfile {
@@ -262,6 +407,120 @@ mod tests {
         assert!(cache.used_bytes() <= cache.budget_bytes());
     }
 
+    /// A real advance-ready state over the first `n` samples of a fixed
+    /// 240-sample walk, so tests can grow the series afterwards in the
+    /// state's pinned frame.
+    fn captured_state(n: usize, anchor: usize) -> (SegmentState, Vec<f64>) {
+        let series = random_walk(240, 3);
+        let ps = ProfiledSeries::from_values(&series[..n]).unwrap();
+        let (_, state) =
+            Valmod::new(anchor, anchor + 2).run_lengths_capturing(&ps, anchor, anchor + 2).unwrap();
+        (state.expect("single-threaded runs capture"), series)
+    }
+
+    #[test]
+    fn parked_states_round_trip_with_exact_accounting() {
+        let mut cache = FragmentCache::new(1 << 20);
+        let (state, _) = captured_state(80, 8);
+        let skey = StateKey { series: "s".into(), anchor: 8, knobs: "p=50;excl=1/2".into() };
+        let bytes = state_bytes(&skey, &state);
+        cache.put_state("s", 8, "p=50;excl=1/2", state);
+        assert_eq!(cache.state_count(), 1);
+        assert_eq!(cache.used_bytes(), bytes);
+
+        let taken = cache.take_state("s", 8, "p=50;excl=1/2").expect("parked above");
+        assert_eq!(cache.used_bytes(), 0, "take transfers the bytes to the caller");
+        assert!(cache.take_state("s", 8, "p=50;excl=1/2").is_none());
+        assert_eq!(taken.anchor(), 8);
+        assert_eq!(taken.n(), 80);
+    }
+
+    #[test]
+    fn extending_a_state_changes_its_bytes_and_accounting_follows() {
+        let mut cache = FragmentCache::new(1 << 20);
+        let (state, series) = captured_state(80, 8);
+        let offset = {
+            let ps = ProfiledSeries::from_values(&series[..80]).unwrap();
+            ps.offset()
+        };
+        cache.put_state("s", 8, "p=50;excl=1/2", state);
+        let before = cache.used_bytes();
+
+        let mut state = cache.take_state("s", 8, "p=50;excl=1/2").unwrap();
+        let grown = ProfiledSeries::with_offset(&series[..140], offset).unwrap();
+        state.extend(&grown, &SharedRecorder::noop()).unwrap();
+        cache.put_state("s", 8, "p=50;excl=1/2", state);
+        cache.note_extended();
+
+        assert!(cache.used_bytes() > before, "an extended state must charge its grown size");
+        let skey = StateKey { series: "s".into(), anchor: 8, knobs: "p=50;excl=1/2".into() };
+        let entry = cache.states.get(&skey).unwrap();
+        assert_eq!(entry.bytes, state_bytes(&skey, &entry.state));
+        assert_eq!(cache.used_bytes(), entry.bytes);
+        assert_eq!(cache.stats().extended, 1);
+    }
+
+    #[test]
+    fn append_staleness_is_collected_lazily_but_states_survive() {
+        let mut cache = FragmentCache::new(1 << 20);
+        fill_segment(&mut cache, 16, 18); // version 1 fragments
+        cache.insert(key("s", 2, 16, 16), fragment(16, 32));
+        let (state, _) = captured_state(80, 8);
+        cache.put_state("s", 8, "p=8;excl=1/2", state);
+
+        let collected = cache.invalidate_stale("s", 2);
+        assert_eq!(collected, 3, "only the version-1 fragments are behind the watermark");
+        assert_eq!(cache.len(), 1, "the current-version fragment survives");
+        assert_eq!(cache.state_count(), 1, "states are what stale fragments extend from");
+        assert_eq!(cache.stats().invalidated, 3);
+        assert_eq!(cache.invalidate_stale("s", 2), 0, "idempotent at the same watermark");
+
+        // A replace purges states too: nothing survives a rewritten history.
+        cache.invalidate_series("s");
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_and_zero_budget_states_are_rejected_cleanly() {
+        let (state, _) = captured_state(80, 8);
+        let mut cache = FragmentCache::new(0);
+        cache.put_state("s", 8, "p=50;excl=1/2", state.clone());
+        assert!(cache.is_empty(), "zero budget disables state parking");
+        assert_eq!(cache.used_bytes(), 0);
+
+        // A budget smaller than the state: parking is refused, and the
+        // refusal also drops any stale previous state under the key rather
+        // than leaving it to be served later.
+        let skey = StateKey { series: "s".into(), anchor: 8, knobs: "p=50;excl=1/2".into() };
+        let mut cache = FragmentCache::new(state_bytes(&skey, &state) + 64);
+        cache.put_state("s", 8, "p=50;excl=1/2", state.clone());
+        assert_eq!(cache.state_count(), 1);
+        let (bigger, _) = captured_state(200, 8);
+        cache.put_state("s", 8, "p=50;excl=1/2", bigger);
+        assert!(cache.is_empty(), "oversized replacement drops the stale state too");
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn fragments_and_states_compete_under_one_lru_clock() {
+        let (state, _) = captured_state(80, 8);
+        let skey = StateKey { series: "s".into(), anchor: 8, knobs: "p=8;excl=1/2".into() };
+        let sbytes = state_bytes(&skey, &state);
+        let fbytes = entry_bytes(&key("s", 1, 16, 16), &fragment(16, 32));
+        // Room for the state plus one fragment, not two.
+        let mut cache = FragmentCache::new(sbytes + fbytes + fbytes / 2);
+        cache.put_state("s", 8, "p=8;excl=1/2", state);
+        cache.insert(key("s", 1, 16, 16), fragment(16, 32));
+        assert_eq!(cache.stats().evictions, 0);
+        // The state is the LRU; a second fragment evicts it, not fragment 16.
+        cache.insert(key("s", 1, 16, 17), fragment(17, 32));
+        assert_eq!(cache.state_count(), 0, "oldest entry goes first, whichever map holds it");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+    }
+
     #[test]
     fn invalidation_and_zero_budget() {
         let mut cache = FragmentCache::new(0);
@@ -278,5 +537,82 @@ mod tests {
             entry_bytes(&key("t", 1, 16, 16), &fragment(16, 8)),
             "accounting survives invalidation"
         );
+    }
+
+    mod accounting_props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+        use valmod_core::ValmodConfig;
+
+        /// Three advance-ready states of different sizes (tiny `p` keeps
+        /// them cheap); swapping them under one key models an in-place
+        /// extension changing an entry's byte footprint.
+        fn states() -> &'static Vec<SegmentState> {
+            static STATES: OnceLock<Vec<SegmentState>> = OnceLock::new();
+            STATES.get_or_init(|| {
+                let series = random_walk(160, 9);
+                [40usize, 70, 100]
+                    .iter()
+                    .map(|&n| {
+                        let ps = ProfiledSeries::from_values(&series[..n]).unwrap();
+                        let mut cfg = ValmodConfig::new(8, 10);
+                        cfg.p = 2;
+                        let (_, state) =
+                            Valmod::from_config(cfg).run_lengths_capturing(&ps, 8, 10).unwrap();
+                        state.expect("single-threaded runs capture")
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// After any randomized sequence of fragment inserts, state
+            /// park/take cycles (including size-changing replacements, the
+            /// shape an in-place extension produces), lazy staleness GC,
+            /// and full invalidation, the tracked byte total equals the
+            /// sum recomputed from both live maps and never exceeds the
+            /// budget.
+            #[test]
+            fn used_bytes_equals_recomputed_sum_across_both_maps(
+                ops in prop::collection::vec(
+                    (0usize..7, 0usize..2, 1u64..4, 0usize..2, 0usize..3),
+                    1..100,
+                ),
+                budget in 1024usize..32768,
+            ) {
+                let series = ["a", "bb"];
+                let anchors = [8usize, 16];
+                let mut cache = FragmentCache::new(budget);
+                for (op, s, version, a, size) in ops {
+                    let name = series[s];
+                    let anchor = anchors[a];
+                    match op {
+                        0 | 1 => cache.insert(
+                            key(name, version, anchor, anchor + size),
+                            fragment(anchor + size, 16 * (size + 1)),
+                        ),
+                        2 => { cache.get_segment(name, version, anchor, anchor + 2, "p=8;excl=1/2"); }
+                        3 => cache.put_state(name, anchor, "p=8;excl=1/2", states()[size].clone()),
+                        4 => { cache.take_state(name, anchor, "p=8;excl=1/2"); }
+                        5 => { cache.invalidate_stale(name, version); }
+                        _ => cache.invalidate_series(name),
+                    }
+                    let mut recomputed = 0usize;
+                    for (k, e) in &cache.map {
+                        prop_assert_eq!(e.bytes, entry_bytes(k, &e.fragment));
+                        recomputed += e.bytes;
+                    }
+                    for (k, e) in &cache.states {
+                        prop_assert_eq!(e.bytes, state_bytes(k, &e.state));
+                        recomputed += e.bytes;
+                    }
+                    prop_assert_eq!(cache.used_bytes(), recomputed);
+                    prop_assert!(cache.used_bytes() <= budget);
+                }
+            }
+        }
     }
 }

@@ -15,11 +15,19 @@
 //! ## Record layouts (all integers little-endian)
 //!
 //! ```text
-//! snapshot := magic "VMSNAP1\n" | fmt u32 (=1) | series_version u64
+//! snapshot := magic "VMSNAP1\n" | fmt u32 (=2) | series_version u64
 //!           | policy_num u32 | policy_den u32
+//!           | base_offset f64
 //!           | hot_count u32 | hot_length u64 × hot_count
 //!           | sample_count u64 | sample f64 × sample_count
 //!           | fnv1a64(everything above) u64
+//! ```
+//!
+//! Format 1 snapshots (no `base_offset` field) are still decoded; their
+//! centring offset is re-derived as the mean of the snapshot samples,
+//! which is exactly what a format-1 build computed on every rebuild.
+//!
+//! ```text
 //!
 //! wal      := record*
 //! record   := magic "VWAL" | post_apply_version u64 | sample_count u32
@@ -56,8 +64,9 @@ use crate::error::{ServeError, ServeResult};
 /// Leading bytes of a snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"VMSNAP1\n";
 
-/// Snapshot format version this build writes and understands.
-pub const SNAPSHOT_FORMAT: u32 = 1;
+/// Snapshot format version this build writes. Format 1 (which lacked the
+/// pinned centring offset) is still decoded — see the module docs.
+pub const SNAPSHOT_FORMAT: u32 = 2;
 
 /// Leading bytes of every WAL record.
 pub const WAL_RECORD_MAGIC: &[u8; 4] = b"VWAL";
@@ -75,6 +84,10 @@ pub struct SnapshotMeta {
     pub policy: ExclusionPolicy,
     /// Hot lengths to re-seed streaming profiles at on recovery.
     pub hot_lengths: Vec<usize>,
+    /// Centring offset the series' batch views are pinned to (the mean of
+    /// the samples at load time). Persisting it keeps extended fragments
+    /// bit-identical across restarts.
+    pub base_offset: f64,
 }
 
 /// One series reconstructed by [`Persistence::recover`].
@@ -90,6 +103,9 @@ pub struct RecoveredSeries {
     pub policy: ExclusionPolicy,
     /// Hot lengths to re-seed.
     pub hot_lengths: Vec<usize>,
+    /// Pinned centring offset recovered from the snapshot (or re-derived
+    /// from its samples for format-1 snapshots).
+    pub base_offset: f64,
     /// WAL batches replayed on top of the snapshot.
     pub replayed_batches: u64,
     /// Whether a torn/corrupt WAL tail was truncated during recovery.
@@ -260,6 +276,7 @@ impl Persistence {
             version,
             policy: meta.policy,
             hot_lengths: meta.hot_lengths,
+            base_offset: meta.base_offset,
             replayed_batches: replayed,
             truncated_tail: truncated,
         })
@@ -274,6 +291,7 @@ pub fn encode_snapshot(meta: &SnapshotMeta, values: &[f64]) -> Vec<u8> {
     put_u64(&mut out, meta.version);
     put_u32(&mut out, meta.policy.num() as u32);
     put_u32(&mut out, meta.policy.den() as u32);
+    put_f64(&mut out, meta.base_offset);
     put_u32(&mut out, meta.hot_lengths.len() as u32);
     for &l in &meta.hot_lengths {
         put_u64(&mut out, l as u64);
@@ -299,7 +317,11 @@ pub fn decode_snapshot(bytes: &[u8]) -> Option<(SnapshotMeta, Vec<f64>)> {
         return None;
     }
     let mut c = ByteCursor::new(body);
-    if c.take(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC || c.read_u32()? != SNAPSHOT_FORMAT {
+    if c.take(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let format = c.read_u32()?;
+    if format == 0 || format > SNAPSHOT_FORMAT {
         return None;
     }
     let version = c.read_u64()?;
@@ -308,6 +330,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Option<(SnapshotMeta, Vec<f64>)> {
     if den == 0 {
         return None;
     }
+    let stored_offset = if format >= 2 { Some(c.read_f64()?) } else { None };
     let hot_count = c.read_u32()? as usize;
     // Each hot length is 8 bytes; an absurd count cannot fit in the body.
     if hot_count > c.remaining() / 8 {
@@ -325,7 +348,20 @@ pub fn decode_snapshot(bytes: &[u8]) -> Option<(SnapshotMeta, Vec<f64>)> {
     for _ in 0..count {
         values.push(c.read_f64()?);
     }
-    Some((SnapshotMeta { version, policy: ExclusionPolicy::new(num, den), hot_lengths }, values))
+    // Format-1 snapshots carried no pinned offset: a format-1 build centred
+    // every rebuild at the current mean, so the mean of the snapshot samples
+    // is exactly the frame that build was using at snapshot time.
+    let base_offset = stored_offset.unwrap_or_else(|| {
+        if values.is_empty() {
+            0.0
+        } else {
+            valmod_data::stats::neumaier_sum(values.iter().copied()) / values.len() as f64
+        }
+    });
+    Some((
+        SnapshotMeta { version, policy: ExclusionPolicy::new(num, den), hot_lengths, base_offset },
+        values,
+    ))
 }
 
 /// Encodes one WAL record (checksum included).
@@ -417,7 +453,12 @@ mod tests {
     }
 
     fn meta(version: u64, hot: &[usize]) -> SnapshotMeta {
-        SnapshotMeta { version, policy: ExclusionPolicy::HALF, hot_lengths: hot.to_vec() }
+        SnapshotMeta {
+            version,
+            policy: ExclusionPolicy::HALF,
+            hot_lengths: hot.to_vec(),
+            base_offset: 0.25,
+        }
     }
 
     #[test]
@@ -429,10 +470,49 @@ mod tests {
         assert_eq!(back_meta.version, 7);
         assert_eq!(back_meta.hot_lengths, vec![16, 32]);
         assert_eq!(back_meta.policy, ExclusionPolicy::HALF);
+        assert_eq!(back_meta.base_offset.to_bits(), 0.25f64.to_bits());
         assert_eq!(back_values.len(), values.len());
         for (a, b) in back_values.iter().zip(&values) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn format_1_snapshots_decode_with_a_derived_offset() {
+        // A pre-offset (format 1) snapshot: same layout minus the
+        // base_offset field. Decoding must still succeed and pin the frame
+        // at the mean of the snapshot samples — the frame a format-1 build
+        // was actually centring in at snapshot time.
+        let values = [3.0f64, 5.0, 10.0];
+        let mut body = Vec::new();
+        body.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut body, 1);
+        put_u64(&mut body, 9);
+        put_u32(&mut body, 1);
+        put_u32(&mut body, 2);
+        put_u32(&mut body, 1);
+        put_u64(&mut body, 16);
+        put_u64(&mut body, values.len() as u64);
+        for &v in &values {
+            put_f64(&mut body, v);
+        }
+        let checksum = fnv1a64(&body);
+        put_u64(&mut body, checksum);
+
+        let (meta, back) = decode_snapshot(&body).expect("format 1 must still decode");
+        assert_eq!(meta.version, 9);
+        assert_eq!(meta.hot_lengths, vec![16]);
+        assert_eq!(back, values);
+        assert_eq!(meta.base_offset.to_bits(), 6.0f64.to_bits());
+
+        // Unknown future formats are rejected rather than misparsed.
+        let mut future = Vec::new();
+        future.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut future, SNAPSHOT_FORMAT + 1);
+        let mut bytes = future.clone();
+        let checksum = fnv1a64(&bytes);
+        put_u64(&mut bytes, checksum);
+        assert!(decode_snapshot(&bytes).is_none());
     }
 
     #[test]

@@ -28,6 +28,21 @@
 //! therefore composes a byte-identical body to recomputing every segment,
 //! which is what the `valmod check` planner oracle proves under mixed
 //! overlapping ranges.
+//!
+//! ## Lazy revalidation after APPEND
+//!
+//! An append bumps the series version, so every cached fragment stops
+//! matching — but nothing is purged. On the next touch the planner first
+//! garbage-collects the stale-watermarked fragments, then revives each
+//! missed segment from its parked [`SegmentState`](valmod_core::SegmentState):
+//! extend over the
+//! appended tail (`O(k·n)`), replay, re-insert under the new version.
+//! Extension is bit-identical to a cold recompute (the `valmod check`
+//! extension oracle proves it), so revival is invisible to results —
+//! only to latency. The ordering matters: staleness is judged against
+//! the version captured *with* the batch view, so a concurrent append
+//! can at worst leave extra stale entries for the next touch, never
+//! serve them.
 
 use std::sync::{Arc, Mutex};
 
@@ -120,6 +135,12 @@ pub fn execute_plan(
     let mut stats = PlanStats { segments: segments.len(), ..PlanStats::default() };
     let mut plan_fragments = Vec::with_capacity(l_max - l_min + 1);
 
+    // Lazy GC: fragments watermarked with an older version are dead (their
+    // version can never be queried again) but were deliberately not purged
+    // at append time — collect them now, on the query path that owns the
+    // cache lock anyway.
+    fragments.lock().expect("fragment cache lock").invalidate_stale(series, version);
+
     for seg in &segments {
         let cached = fragments
             .lock()
@@ -133,7 +154,8 @@ pub fn execute_plan(
                 plan_fragments.extend(frags);
             }
             None => {
-                let computed = runner.run_lengths_on(ps, seg.anchor, seg.hi)?;
+                let computed =
+                    revive_or_compute(ps, series, seg, runner, fragments, recorder, &knobs)?;
                 stats.fragments_computed += computed.len();
                 recorder.add("serve.fragment.miss", computed.len() as u64);
                 let mut cache = fragments.lock().expect("fragment cache lock");
@@ -158,6 +180,55 @@ pub fn execute_plan(
 
     let output = compose_output(plan_fragments.iter().map(|a| a.as_ref()))?;
     Ok((output, stats))
+}
+
+/// Produces one segment's fragments on a cache miss: revive the parked
+/// [`SegmentState`] if one exists — extending it over any appended tail
+/// first — and only fall back to a cold `O(n²)` segment run when there is
+/// no state (or it cannot serve this series' current shape). Cold runs
+/// capture a fresh state so the *next* append finds something to extend.
+fn revive_or_compute(
+    ps: &ProfiledSeries,
+    series: &str,
+    seg: &Segment,
+    runner: &Valmod,
+    fragments: &Mutex<FragmentCache>,
+    recorder: &SharedRecorder,
+    knobs: &str,
+) -> ServeResult<Vec<valmod_core::LengthProfile>> {
+    let parked =
+        fragments.lock().expect("fragment cache lock").take_state(series, seg.anchor, knobs);
+    if let Some(mut state) = parked {
+        let current = if state.n() < ps.len() {
+            let _span = valmod_obs::span!(recorder, "serve.fragment.revalidate_us");
+            match state.extend(ps, recorder) {
+                Ok(()) => {
+                    recorder.add("serve.fragment.extended", 1);
+                    fragments.lock().expect("fragment cache lock").note_extended();
+                    true
+                }
+                // A frame mismatch can only mean the state predates a
+                // replace that somehow escaped the purge; recompute.
+                Err(_) => false,
+            }
+        } else {
+            state.n() == ps.len()
+        };
+        if current {
+            if let Ok(out) = state.replay(ps, seg.hi, recorder) {
+                fragments
+                    .lock()
+                    .expect("fragment cache lock")
+                    .put_state(series, seg.anchor, knobs, state);
+                return Ok(out);
+            }
+        }
+    }
+    let (out, captured) = runner.run_lengths_capturing(ps, seg.anchor, seg.hi)?;
+    if let Some(state) = captured {
+        fragments.lock().expect("fragment cache lock").put_state(series, seg.anchor, knobs, state);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -234,6 +305,50 @@ mod tests {
         let (_, s3) = execute_plan(&ps, "s", 1, &runner, &fragments, &recorder, (20, 40)).unwrap();
         assert!(s3.segments_reused > 0, "grid segments must be shared across queries");
         assert!(s3.fragments_computed > 0, "the head segment anchors at the new ℓ_min");
+    }
+
+    #[test]
+    fn appended_series_extends_parked_states_instead_of_recomputing() {
+        let series = random_walk(460, 77);
+        let base = ProfiledSeries::from_values(&series[..400]).unwrap();
+        let runner = Valmod::new(1, 1).p(4);
+        let fragments = Mutex::new(FragmentCache::new(1 << 22));
+        let recorder = SharedRecorder::noop();
+        let (_, s1) =
+            execute_plan(&base, "s", 1, &runner, &fragments, &recorder, (16, 40)).unwrap();
+        assert!(s1.fragments_computed > 0);
+        let parked = fragments.lock().unwrap().state_count();
+        assert_eq!(parked, s1.segments, "every cold segment parks its state");
+
+        // "Append": the same series grown by 60 samples in the pinned
+        // frame, at the bumped version. Fragments all miss (old
+        // watermark), but every segment revives from its parked state.
+        let grown = ProfiledSeries::with_offset(&series, base.offset()).unwrap();
+        let (warm, s2) =
+            execute_plan(&grown, "s", 2, &runner, &fragments, &recorder, (16, 40)).unwrap();
+        assert_eq!(s2.segments_reused, 0, "version bump misses every fragment");
+        let cache = fragments.lock().unwrap();
+        assert_eq!(cache.stats().extended, s2.segments as u64, "each segment extended in place");
+        assert!(cache.stats().invalidated > 0, "stale fragments were lazily collected");
+        drop(cache);
+
+        // Revival must be invisible in the body: bit-identical to cold
+        // segment runs over the same grown series.
+        let mut cold_frags = Vec::new();
+        for seg in plan_segments(16, 40) {
+            cold_frags.extend(runner.run_lengths_on(&grown, seg.anchor, seg.hi).unwrap());
+        }
+        let cold = compose_output(cold_frags.iter()).unwrap();
+        assert_eq!(warm.valmp.indices, cold.valmp.indices);
+        assert_eq!(warm.valmp.lengths, cold.valmp.lengths);
+        for (a, b) in warm.valmp.norm_distances.iter().zip(&cold.valmp.norm_distances) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // And the revived fragments are cached: the same query is now warm.
+        let (_, s3) =
+            execute_plan(&grown, "s", 2, &runner, &fragments, &recorder, (16, 40)).unwrap();
+        assert_eq!(s3.segments_reused, s3.segments);
     }
 
     #[test]

@@ -112,8 +112,10 @@ pub struct DiscordHit {
     pub offset: usize,
     /// Subsequence length.
     pub l: usize,
-    /// Nearest-neighbour offset.
-    pub nn: usize,
+    /// Nearest-neighbour offset. `None` means the offset has no finite
+    /// match (the VALMP ⊥ sentinel) — encoded as `null` on the wire, never
+    /// as the sentinel's in-memory `usize::MAX` representation.
+    pub nn: Option<usize>,
     /// Length-normalised nearest-neighbour distance (higher = more anomalous).
     pub score: f64,
 }
@@ -123,16 +125,20 @@ impl DiscordHit {
         Value::obj(vec![
             ("offset", self.offset.into()),
             ("l", self.l.into()),
-            ("nn", self.nn.into()),
+            ("nn", self.nn.map_or(Value::Null, Value::from)),
             ("score", self.score.into()),
         ])
     }
 
     fn from_value(v: &Value) -> ServeResult<Self> {
+        let nn = match v.get("nn").ok_or_else(|| missing("\"nn\""))? {
+            Value::Null => None,
+            other => Some(other.as_usize().ok_or_else(|| missing("an integer or null \"nn\""))?),
+        };
         Ok(DiscordHit {
             offset: get_usize(v, "offset")?,
             l: get_usize(v, "l")?,
-            nn: get_usize(v, "nn")?,
+            nn,
             score: get_f64(v, "score")?,
         })
     }
@@ -411,9 +417,17 @@ mod tests {
 
     #[test]
     fn discord_and_set_bodies_roundtrip() {
-        let d =
-            DiscordsBody { discords: vec![DiscordHit { offset: 7, l: 16, nn: 80, score: 1.5 }] };
+        let d = DiscordsBody {
+            discords: vec![
+                DiscordHit { offset: 7, l: 16, nn: Some(80), score: 1.5 },
+                DiscordHit { offset: 99, l: 16, nn: None, score: 2.5 },
+            ],
+        };
         assert_eq!(DiscordsBody::from_value(&d.to_value()).unwrap(), d);
+        // ⊥ crosses the wire as null, never as usize::MAX's decimal form.
+        let encoded = d.to_value().encode();
+        assert!(encoded.contains(r#""nn":null"#));
+        assert!(!encoded.contains("18446744073709551615"));
         let s = SetsBody {
             sets: vec![SetEntry {
                 l: 24,

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
+use valmod_data::stats::neumaier_sum;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
 use valmod_obs::SharedRecorder;
 
@@ -36,6 +37,12 @@ pub struct StoredSeries {
     version: u64,
     /// Policy the hot profiles were seeded with (recorded in snapshots).
     policy: ExclusionPolicy,
+    /// Centring offset **pinned at load time** (the mean of the loaded
+    /// samples). Every batch view is built in this frame, so statistics and
+    /// dot products over the original prefix stay bit-identical across
+    /// appends — the property that makes incremental extension of cached
+    /// fragments exact. Persisted in snapshots; a replace re-derives it.
+    base_offset: f64,
     /// Lazily (re)built batch view; `None` whenever `values` has changed
     /// since the last build. `Arc` so workers can compute without holding
     /// the store lock.
@@ -50,10 +57,17 @@ impl StoredSeries {
         hot_lengths: &[usize],
         policy: ExclusionPolicy,
         version: u64,
+        base_offset: f64,
     ) -> ServeResult<Self> {
         validate_samples(&values, 0)?;
-        let mut series =
-            StoredSeries { values, version, policy, profiled: None, hot: HashMap::new() };
+        let mut series = StoredSeries {
+            values,
+            version,
+            policy,
+            base_offset,
+            profiled: None,
+            hot: HashMap::new(),
+        };
         for &l in hot_lengths {
             series.track(l, policy)?;
         }
@@ -84,6 +98,11 @@ impl StoredSeries {
     /// The exclusion policy hot profiles are seeded with.
     pub fn policy(&self) -> ExclusionPolicy {
         self.policy
+    }
+
+    /// The load-time centring offset every batch view is pinned to.
+    pub fn base_offset(&self) -> f64 {
+        self.base_offset
     }
 
     /// Registers a hot length: seeds a streaming profile from the current
@@ -119,7 +138,7 @@ impl StoredSeries {
         }
         validate_samples(samples, self.values.len())?;
         for sp in self.hot.values_mut() {
-            sp.extend(samples.iter().copied())?;
+            sp.extend(samples)?;
         }
         self.values.extend_from_slice(samples);
         self.version += 1;
@@ -133,13 +152,30 @@ impl StoredSeries {
     /// version.
     pub fn profiled(&mut self) -> ServeResult<(Arc<ProfiledSeries>, u64)> {
         if self.profiled.is_none() {
-            self.profiled = Some(Arc::new(ProfiledSeries::from_values(&self.values)?));
+            self.profiled =
+                Some(Arc::new(ProfiledSeries::with_offset(&self.values, self.base_offset)?));
         }
         Ok((Arc::clone(self.profiled.as_ref().expect("just built")), self.version))
     }
 
     fn snapshot_meta(&self) -> SnapshotMeta {
-        SnapshotMeta { version: self.version, policy: self.policy, hot_lengths: self.hot_lengths() }
+        SnapshotMeta {
+            version: self.version,
+            policy: self.policy,
+            hot_lengths: self.hot_lengths(),
+            base_offset: self.base_offset,
+        }
+    }
+}
+
+/// The centring offset a fresh load pins: the mean of the loaded samples,
+/// computed exactly as `RollingStats::new` derives it, so a freshly loaded
+/// series profiles bit-identically to the un-pinned batch path.
+fn derive_offset(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        neumaier_sum(values.iter().copied()) / values.len() as f64
     }
 }
 
@@ -186,7 +222,13 @@ impl SeriesStore {
             if rec.truncated_tail {
                 recorder.add("serve.recovery.truncated_tails", 1);
             }
-            let series = StoredSeries::new(rec.values, &rec.hot_lengths, rec.policy, rec.version)?;
+            let series = StoredSeries::new(
+                rec.values,
+                &rec.hot_lengths,
+                rec.policy,
+                rec.version,
+                rec.base_offset,
+            )?;
             map.insert(rec.name, series);
         }
         Ok(SeriesStore { map, persist: Some(persist), skipped: recovery.skipped })
@@ -229,7 +271,8 @@ impl SeriesStore {
             return Err(ServeError::SeriesExists(name.to_string()));
         }
         let version = self.map.get(name).map_or(1, |prev| prev.version() + 1);
-        let series = StoredSeries::new(values, hot_lengths, policy, version)?;
+        let base_offset = derive_offset(&values);
+        let series = StoredSeries::new(values, hot_lengths, policy, version, base_offset)?;
         if let Some(p) = &self.persist {
             p.write_snapshot(name, &series.snapshot_meta(), series.values())?;
             recorder.add("serve.snapshot.writes", 1);

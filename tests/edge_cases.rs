@@ -190,7 +190,7 @@ fn regression_streaming_extreme_amplitude_matches_batch() {
     let values: Vec<f64> = random_walk(240, 31).iter().map(|x| 1e9 + x * 1e9).collect();
     let mut streaming =
         valmod_mp::StreamingProfile::new(&values[..120], 10, ExclusionPolicy::HALF).unwrap();
-    streaming.extend(values[120..].iter().copied()).unwrap();
+    streaming.extend(&values[120..]).unwrap();
     let streamed = streaming.profile();
     let ps = ProfiledSeries::from_values(&values).unwrap();
     let batch = valmod_mp::stomp(&ps, 10, ExclusionPolicy::HALF).unwrap();
@@ -229,11 +229,11 @@ fn regression_hot_profile_tiny_appends_across_the_boundary_match_one_extend() {
     let (mut offset, mut size) = (0, 1);
     while offset < rest.len() {
         let end = (offset + size).min(rest.len());
-        chunked.extend(rest[offset..end].iter().copied()).unwrap();
+        chunked.extend(&rest[offset..end]).unwrap();
         offset = end;
         size = size % 3 + 1; // 1, 2, 3, 1, 2, 3, ...
     }
-    single.extend(rest.iter().copied()).unwrap();
+    single.extend(rest).unwrap();
     let (c, s) = (chunked.profile(), single.profile());
     assert_eq!(c.mp.len(), s.mp.len());
     assert_eq!(c.mp.len(), values.len() - l + 1, "profile must cover every window");
