@@ -30,7 +30,7 @@ pub struct BenchEntry {
     /// Stable identifier, e.g. `stomp/n16384/l256`.
     pub name: String,
     /// Entry family: `stomp`, `compute_mp`, `valmod`, `streaming`,
-    /// `cluster`, `planner`, or `append`.
+    /// `cluster`, `planner`, `append`, or `serve_mixed`.
     pub kind: &'static str,
     /// Series size in points.
     pub n: usize,
@@ -455,6 +455,122 @@ pub fn run_suite(smoke: bool) -> RegressionReport {
         });
     }
 
+    // --- Sharded serve engine under a mixed concurrent workload: four
+    // independent per-series op streams (hot fixed-length MOTIFS,
+    // single-length DISCORDS, APPEND batches, STATS probes, each op
+    // followed by a short client think-time) executed by one client
+    // thread running the streams back to back vs four threads running
+    // one stream each. The series carry a hot length and the engine is
+    // primed outside the timed region, so the timed ops are the live
+    // steady state — hot-profile answers, cache hits, O(k·n) streaming
+    // appends, and single-length fragment revivals, not initial O(n²)
+    // colds (those serialise on any worker pool and would drown the
+    // concurrency signal on a small host). Total work is identical on
+    // both sides; the speedup column is the concurrency win of the
+    // striped store — think-times alone overlap, so four threads must
+    // land at or above 1.0x even on a single core. ---
+    let (mn, ml, mops) = if smoke { (2_048, 32, 20) } else { (8_192, 64, 20) };
+    {
+        use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+
+        fn mixed_spec(name: &str, kind: QueryKind, ml: usize) -> QuerySpec {
+            QuerySpec {
+                series: name.into(),
+                kind,
+                l_min: ml,
+                l_max: ml,
+                p: 8,
+                policy: ExclusionPolicy::HALF,
+                deadline: None,
+            }
+        }
+
+        fn mixed_stream(engine: &QueryEngine, stream: usize, ml: usize, mops: usize) {
+            let name = format!("s{stream}");
+            let tail = random_walk(mops * 16, SEED + 500 + stream as u64);
+            for j in 0..mops {
+                match j % 5 {
+                    4 => {
+                        engine.append(&name, &tail[j * 16..(j + 1) * 16]).unwrap();
+                    }
+                    3 => {
+                        std::hint::black_box(engine.stats());
+                    }
+                    rest => {
+                        let kind = if rest == 2 {
+                            QueryKind::Discords { top: 2 }
+                        } else {
+                            QueryKind::Motifs { top: 3 }
+                        };
+                        engine.query(mixed_spec(&name, kind, ml)).unwrap();
+                    }
+                }
+                // Client round-trip think-time: the part of a real mixed
+                // workload that trivially overlaps across threads.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+
+        let run = |threads: usize| -> f64 {
+            // Budgets are per-stripe after the split (DEFAULT_STRIPES = 8),
+            // so they must hold a full-size series' parked fragment state
+            // per stripe — a starved stripe silently degrades every
+            // post-append query to a cold recompute and drowns the
+            // concurrency signal in kernel time.
+            let engine = std::sync::Arc::new(QueryEngine::new(
+                EngineConfig::builder()
+                    .workers(4)
+                    .queue_depth(64)
+                    .cache_bytes(64 << 20)
+                    .fragment_cache_bytes(64 << 20)
+                    .default_deadline(std::time::Duration::from_secs(600))
+                    .build()
+                    .unwrap(),
+            ));
+            for s in 0..4 {
+                let name = format!("s{s}");
+                let values = random_walk(mn, SEED + s as u64);
+                engine.load(&name, values, &[ml], ExclusionPolicy::HALF, false).unwrap();
+                // Prime the discord shape: the timed streams then pay a
+                // single-length fragment revival after each append, never
+                // the initial cold compute.
+                engine.query(mixed_spec(&name, QueryKind::Discords { top: 2 }, ml)).unwrap();
+            }
+            let start = Instant::now();
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let engine = std::sync::Arc::clone(&engine);
+                    std::thread::spawn(move || {
+                        let mut s = t;
+                        while s < 4 {
+                            mixed_stream(&engine, s, ml, mops);
+                            s += threads;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            engine.shutdown();
+            engine.join();
+            ms
+        };
+
+        let one_ms = run(1);
+        let four_ms = run(4);
+        entries.push(BenchEntry {
+            name: format!("serve_mixed/n{mn}/series4/threads{{1,4}}"),
+            kind: "serve_mixed",
+            n: mn,
+            l: ml,
+            iters: 1,
+            baseline_ms: Some(one_ms),
+            current_ms: four_ms,
+        });
+    }
+
     RegressionReport { smoke, entries }
 }
 
@@ -473,6 +589,7 @@ mod tests {
         assert!(kinds.contains(&"cluster"));
         assert!(kinds.contains(&"planner"));
         assert!(kinds.contains(&"append"));
+        assert!(kinds.contains(&"serve_mixed"));
         for e in &report.entries {
             assert!(e.current_ms > 0.0, "{}: non-positive timing", e.name);
             if let Some(b) = e.baseline_ms {

@@ -35,7 +35,12 @@
 //! * [`extend`] — the incremental-extension machinery under randomized
 //!   append schedules: batched streaming appends vs the per-sample loop,
 //!   tail-extended per-length profiles vs cold STOMP, and warm engines vs
-//!   cold same-history replays, all `to_bits`-exact.
+//!   cold same-history replays, all `to_bits`-exact;
+//! * [`stress`] — the sharded engine under real thread contention: N
+//!   client threads driving seeded mixed LOAD/APPEND/MOTIFS/DISCORDS/
+//!   SAVE/STATS schedules, with per-thread version monotonicity, merged
+//!   version contiguity, and byte-identical replies vs a cold
+//!   single-threaded engine replaying each series' linearized history.
 //!
 //! Failing cases are [`shrink()`](shrink::shrink)-minimised before being reported, so a
 //! divergence arrives as a few dozen samples and a single length — ready to
@@ -52,6 +57,7 @@ pub mod oracles;
 pub mod planner;
 pub mod recovery;
 pub mod shrink;
+pub mod stress;
 
 use std::fmt;
 
@@ -63,6 +69,7 @@ pub use oracles::{run_case, CaseOutcome, Divergence};
 pub use planner::{run_planner_matrix, PlannerReport};
 pub use recovery::{run_recovery_matrix, RecoveryReport};
 pub use shrink::shrink;
+pub use stress::{run_stress_matrix, StressReport};
 
 /// Configuration of one `valmod check` run.
 #[derive(Debug, Clone)]
@@ -88,6 +95,13 @@ pub struct CheckConfig {
     /// fragments vs cold same-history recomputes, under randomized append
     /// schedules).
     pub run_extend: bool,
+    /// Whether to run the concurrent stress oracle (sharded engine under
+    /// N client threads vs cold linearized replays).
+    pub run_stress: bool,
+    /// Client thread count for the stress oracle. 0 runs the default
+    /// ladder (1 thread × 8 schedules, then 4 threads × 64 schedules);
+    /// any other value runs exactly that thread count.
+    pub stress_threads: usize,
 }
 
 impl CheckConfig {
@@ -103,6 +117,8 @@ impl CheckConfig {
             run_cluster: true,
             run_planner: true,
             run_extend: true,
+            run_stress: true,
+            stress_threads: 0,
         }
     }
 }
@@ -135,6 +151,8 @@ pub struct CheckReport {
     pub planner: Option<PlannerReport>,
     /// The incremental-extension oracle outcome (`None` when skipped).
     pub extend: Option<ExtendReport>,
+    /// The concurrent stress-oracle outcome (`None` when skipped).
+    pub stress: Option<StressReport>,
 }
 
 impl CheckReport {
@@ -147,6 +165,7 @@ impl CheckReport {
             && self.cluster.as_ref().is_none_or(ClusterReport::all_passed)
             && self.planner.as_ref().is_none_or(PlannerReport::all_passed)
             && self.extend.as_ref().is_none_or(ExtendReport::all_passed)
+            && self.stress.as_ref().is_none_or(StressReport::all_passed)
     }
 }
 
@@ -210,6 +229,15 @@ impl fmt::Display for CheckReport {
                 }
             }
         }
+        match &self.stress {
+            None => writeln!(f, "stress: skipped")?,
+            Some(sr) => {
+                writeln!(f, "stress: {} passed, {} failed", sr.passed.len(), sr.failed.len())?;
+                for (name, why) in &sr.failed {
+                    writeln!(f, "  STRESS [{name}] {why}")?;
+                }
+            }
+        }
         write!(f, "verdict: {}", if self.clean() { "CLEAN" } else { "DIVERGED" })
     }
 }
@@ -260,6 +288,9 @@ pub fn run(config: &CheckConfig) -> CheckReport {
     if config.run_extend {
         report.extend = Some(run_extend_matrix(config.seed));
     }
+    if config.run_stress {
+        report.stress = Some(run_stress_matrix(config.seed, config.stress_threads));
+    }
     report
 }
 
@@ -278,6 +309,8 @@ mod tests {
             run_cluster: false,
             run_planner: false,
             run_extend: false,
+            run_stress: false,
+            stress_threads: 0,
         };
         let a = run(&config);
         assert!(a.clean(), "{a}");
@@ -298,12 +331,15 @@ mod tests {
             run_cluster: false,
             run_planner: false,
             run_extend: false,
+            run_stress: false,
+            stress_threads: 0,
         };
         let text = run(&config).to_string();
         assert!(text.contains("differential: 2 cases"));
         assert!(text.contains("recovery: skipped"));
         assert!(text.contains("planner: skipped"));
         assert!(text.contains("extend: skipped"));
+        assert!(text.contains("stress: skipped"));
         assert!(text.contains("verdict:"));
     }
 }

@@ -162,7 +162,7 @@ pub fn run_recovery_matrix(seed: u64) -> RecoveryReport {
 /// one hot length, then the `BATCH_SIZES` appends, all WAL-logged.
 fn build_reference_dir(dir: &Path, samples: &[f64]) -> Result<(), String> {
     let noop = SharedRecorder::noop();
-    let mut store = SeriesStore::open(dir, u64::MAX, &noop)
+    let store = SeriesStore::open(dir, u64::MAX, &noop)
         .map_err(|e| format!("open reference store: {e}"))?;
     store
         .load("s", samples[..BASE_LEN].to_vec(), &[HOT_LENGTH], ExclusionPolicy::HALF, false, &noop)
@@ -190,7 +190,8 @@ fn run_scenario(base: &Path, dir: &Path, kill: &KillPoint, samples: &[f64]) -> R
     if !store.recovery_skipped().is_empty() {
         return Err(format!("recovery skipped files: {:?}", store.recovery_skipped()));
     }
-    let recovered = store.get("s").map_err(|e| format!("series missing after recovery: {e}"))?;
+    let slot = store.get("s").map_err(|e| format!("series missing after recovery: {e}"))?;
+    let recovered = slot.read();
 
     let surviving = kill.surviving_batches();
     let expected_len = BASE_LEN + BATCH_SIZES[..surviving].iter().sum::<usize>();
@@ -215,6 +216,7 @@ fn run_scenario(base: &Path, dir: &Path, kill: &KillPoint, samples: &[f64]) -> R
             return Err(format!("sample {i} differs after recovery: {a} vs {b}"));
         }
     }
+    drop(recovered);
     drop(store);
 
     // A fully-synced final batch (clean restart) and the deepest
@@ -306,13 +308,13 @@ fn recover_twice(base: &Path, root: &Path, samples: &[f64]) -> Result<(), String
     let first = {
         let store =
             SeriesStore::open(&dir, u64::MAX, &noop).map_err(|e| format!("first open: {e}"))?;
-        store.get("s").map_err(|e| e.to_string())?.values().to_vec()
+        store.get("s").map_err(|e| e.to_string())?.read().values().to_vec()
     };
     let wal_after_first = std::fs::metadata(&wal).map_err(|e| format!("stat WAL: {e}"))?.len();
     let second = {
         let store =
             SeriesStore::open(&dir, u64::MAX, &noop).map_err(|e| format!("second open: {e}"))?;
-        store.get("s").map_err(|e| e.to_string())?.values().to_vec()
+        store.get("s").map_err(|e| e.to_string())?.read().values().to_vec()
     };
     let wal_after_second = std::fs::metadata(&wal).map_err(|e| format!("stat WAL: {e}"))?.len();
     if first.len() != second.len()

@@ -1,0 +1,480 @@
+//! The concurrent stress oracle: deterministic evidence that the sharded
+//! serve engine is linearizable per series under real thread contention.
+//!
+//! Each schedule boots one sharded [`QueryEngine`] and drives it from N
+//! in-process client threads, every thread walking its own seeded mix of
+//! APPEND / MOTIFS / DISCORDS / SAVE / STATS (and occasional
+//! LOAD-replace) operations. Every observation is logged as an event
+//! carrying the engine-reported `(series, version)` — the acked version
+//! for ingests, the payload version plus the encoded body for query
+//! replies. After the threads join, three properties are asserted:
+//!
+//! * **per-thread monotonicity** — in any one thread's program order, the
+//!   versions observed for a series never go backwards (an ack for v
+//!   followed by a reply computed against v−1 would be a real-time
+//!   linearizability violation);
+//! * **version contiguity** — merging every thread's ingest acks per
+//!   series yields exactly `1..=max`, each version once: concurrent
+//!   appends and replaces can neither skip a version nor collide on one
+//!   (the regression the store's `retired`-generation protocol exists to
+//!   prevent);
+//! * **replay identity** — a cold, zero-cache, single-threaded engine
+//!   replays each series' linearized LOAD + APPEND prefix version by
+//!   version (the same replay discipline as the [`crate::extend`]
+//!   oracles), and every recorded reply body must be **byte-identical**
+//!   to the cold answer at its version. Caching, coalescing, fragment
+//!   reuse, and striped locking must all be invisible on the wire.
+//!
+//! Every operation must also *succeed*: a `Busy` or `DeadlineExceeded`
+//! under a generous queue and deadline is reported as a failure, which is
+//! how a hung coalesced follower (the leader-death regression) would
+//! surface here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use valmod_data::rng::Xoshiro256;
+use valmod_mp::ExclusionPolicy;
+use valmod_serve::engine::{EngineConfig, QueryEngine, QueryKind, QuerySpec};
+use valmod_serve::Value;
+
+/// The fixed series roster every schedule runs against.
+const SERIES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Operations each client thread performs per schedule.
+const OPS_PER_THREAD: usize = 8;
+
+/// Outcome of the stress matrix.
+#[derive(Debug, Default)]
+pub struct StressReport {
+    /// Rung names (`mixed-threads-N`) that ran clean.
+    pub passed: Vec<String>,
+    /// `(rung, what went wrong)` for the rest.
+    pub failed: Vec<(String, String)>,
+}
+
+impl StressReport {
+    /// True when every rung passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    fn record(&mut self, name: &str, result: Result<(), String>) {
+        match result {
+            Ok(()) => self.passed.push(name.to_string()),
+            Err(why) => self.failed.push((name.to_string(), why)),
+        }
+    }
+}
+
+/// One observed fact about the engine, in a thread's program order.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A LOAD or APPEND ack: the engine assigned `version` to this
+    /// mutation, whose samples are `values`.
+    Ingest { series: usize, version: u64, values: Vec<f64>, replace: bool },
+    /// A query reply: computed against `version`, body encoded as
+    /// `body` bytes.
+    Reply { series: usize, version: u64, spec: usize, body: String },
+}
+
+impl Event {
+    fn series_version(&self) -> (usize, u64) {
+        match self {
+            Event::Ingest { series, version, .. } | Event::Reply { series, version, .. } => {
+                (*series, *version)
+            }
+        }
+    }
+}
+
+/// The query roster, by id — small length ranges so a schedule's worth of
+/// cold computes stays fast while still crossing the planner's grid.
+fn spec_of(id: usize, series: &str) -> QuerySpec {
+    let (kind, l_min, l_max) = match id {
+        0 => (QueryKind::Motifs { top: 3 }, 16, 24),
+        1 => (QueryKind::Discords { top: 2 }, 16, 20),
+        _ => (QueryKind::Motifs { top: 2 }, 20, 28),
+    };
+    QuerySpec {
+        series: series.into(),
+        kind,
+        l_min,
+        l_max,
+        p: 5,
+        policy: ExclusionPolicy::HALF,
+        deadline: None,
+    }
+}
+
+const SPEC_COUNT: usize = 3;
+
+/// A random-walk series drawn from the schedule's own rng (no shared
+/// generator state across threads).
+fn walk(rng: &mut Xoshiro256, n: usize) -> Vec<f64> {
+    let mut x = 0.0;
+    (0..n)
+        .map(|_| {
+            x += rng.uniform(-1.0, 1.0);
+            x
+        })
+        .collect()
+}
+
+fn payload_version_and_body(payload: &Value) -> Result<(u64, String), String> {
+    let version = payload
+        .get("version")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| "reply payload missing \"version\"".to_string())? as u64;
+    let body = payload
+        .get("body")
+        .map(Value::encode)
+        .ok_or_else(|| "reply payload missing \"body\"".to_string())?;
+    Ok((version, body))
+}
+
+/// One client thread's life: `OPS_PER_THREAD` seeded operations, every
+/// observation logged. Any engine error fails the schedule — with a
+/// 120-second deadline and a deep queue, `Busy`/`DeadlineExceeded` can
+/// only mean a scheduling bug (e.g. a follower stuck on a dead flight).
+fn client_thread(engine: &QueryEngine, seed: u64, thread_id: usize) -> Result<Vec<Event>, String> {
+    let mut rng = Xoshiro256::seed_from_u64(
+        seed ^ (thread_id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let mut log = Vec::new();
+    for op in 0..OPS_PER_THREAD {
+        let series = rng.uniform_usize(0, SERIES.len());
+        let name = SERIES[series];
+        let ctx = |what: &str, e: &dyn std::fmt::Display| {
+            format!("thread {thread_id} op {op}: {what} on {name}: {e}")
+        };
+        match rng.uniform_usize(0, 8) {
+            0..=3 => {
+                let spec = rng.uniform_usize(0, SPEC_COUNT);
+                let out = engine.query(spec_of(spec, name)).map_err(|e| ctx("query", &e))?;
+                let (version, body) = payload_version_and_body(&out.payload)?;
+                log.push(Event::Reply { series, version, spec, body });
+            }
+            4 | 5 => {
+                let k = rng.uniform_usize(1, 25);
+                let batch: Vec<f64> = (0..k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let (version, _) = engine.append(name, &batch).map_err(|e| ctx("append", &e))?;
+                log.push(Event::Ingest { series, version, values: batch, replace: false });
+            }
+            6 => {
+                if rng.uniform_usize(0, 4) == 0 {
+                    // Replace: rewrite the series under concurrent traffic.
+                    let n = rng.uniform_usize(180, 260);
+                    let values = walk(&mut rng, n);
+                    let (version, _) = engine
+                        .load(name, values.clone(), &[], ExclusionPolicy::HALF, true)
+                        .map_err(|e| ctx("replace", &e))?;
+                    log.push(Event::Ingest { series, version, values, replace: true });
+                } else {
+                    engine.persist().map_err(|e| ctx("save", &e))?;
+                }
+            }
+            _ => {
+                let stats = engine.stats();
+                if stats.get("engine").and_then(|e| e.get("stripes")).is_none() {
+                    return Err(format!(
+                        "thread {thread_id} op {op}: STATS missing engine.stripes"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(log)
+}
+
+/// Versions must never go backwards within one thread's program order,
+/// and the merged per-series ingest acks must be exactly `1..=max`.
+fn verify_versions(logs: &[Vec<Event>]) -> Result<(), String> {
+    for (t, log) in logs.iter().enumerate() {
+        let mut last = [0u64; SERIES.len()];
+        for ev in log {
+            let (s, v) = ev.series_version();
+            if v < last[s] {
+                return Err(format!(
+                    "thread {t}: {} version went backwards: observed {v} after {}",
+                    SERIES[s], last[s]
+                ));
+            }
+            last[s] = v;
+        }
+    }
+    for (s, name) in SERIES.iter().enumerate() {
+        let mut versions: Vec<u64> = logs
+            .iter()
+            .flatten()
+            .filter_map(|ev| match ev {
+                Event::Ingest { series, version, .. } if *series == s => Some(*version),
+                _ => None,
+            })
+            .collect();
+        versions.sort_unstable();
+        for (i, v) in versions.iter().enumerate() {
+            let expected = i as u64 + 1;
+            if *v != expected {
+                return Err(format!(
+                    "{name}: ingest versions not contiguous: expected {expected}, \
+                     found {v} (all: {versions:?})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays each series' linearized ingest history on a cold zero-cache
+/// single-threaded engine, answering every recorded reply at its version
+/// and requiring byte identity.
+fn verify_replay(logs: &[Vec<Event>]) -> Result<(), String> {
+    for (s, &name) in SERIES.iter().enumerate() {
+        let mut ingests: Vec<&Event> = logs
+            .iter()
+            .flatten()
+            .filter(|ev| matches!(ev, Event::Ingest { series, .. } if *series == s))
+            .collect();
+        ingests.sort_by_key(|ev| ev.series_version().1);
+        // (version, spec) → every body observed for that pair; the cold
+        // engine answers each pair once.
+        let mut replies: HashMap<(u64, usize), Vec<&String>> = HashMap::new();
+        for ev in logs.iter().flatten() {
+            if let Event::Reply { series, version, spec, body } = ev {
+                if *series == s {
+                    replies.entry((*version, *spec)).or_default().push(body);
+                }
+            }
+        }
+        let cold = QueryEngine::new(
+            EngineConfig::builder()
+                .workers(1)
+                .queue_depth(16)
+                .cache_bytes(0)
+                .fragment_cache_bytes(0)
+                .default_deadline(Duration::from_secs(300))
+                .build()
+                .map_err(|e| format!("cold engine config: {e}"))?,
+        );
+        let result = (|| {
+            for ev in &ingests {
+                let Event::Ingest { version, values, replace, .. } = ev else { unreachable!() };
+                let acked = if *replace || *version == 1 {
+                    cold.load(name, values.clone(), &[], ExclusionPolicy::HALF, *version > 1)
+                        .map_err(|e| format!("{name}: cold load v{version}: {e}"))?
+                        .0
+                } else {
+                    cold.append(name, values)
+                        .map_err(|e| format!("{name}: cold append v{version}: {e}"))?
+                        .0
+                };
+                if acked != *version {
+                    return Err(format!(
+                        "{name}: linearized replay desynced: cold engine acked v{acked} \
+                         where the stressed engine acked v{version}"
+                    ));
+                }
+                for spec in 0..SPEC_COUNT {
+                    let Some(bodies) = replies.get(&(*version, spec)) else { continue };
+                    let out = cold
+                        .query(spec_of(spec, name))
+                        .map_err(|e| format!("{name}: cold query v{version}: {e}"))?;
+                    let (cold_version, cold_body) = payload_version_and_body(&out.payload)?;
+                    if cold_version != *version {
+                        return Err(format!(
+                            "{name}: cold replay answered v{cold_version} at v{version}"
+                        ));
+                    }
+                    for body in bodies {
+                        if *body != &cold_body {
+                            return Err(format!(
+                                "{name}: reply diverges from cold linearized replay at \
+                                 v{version} spec {spec}: {body} vs {cold_body}"
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })();
+        cold.shutdown();
+        cold.join();
+        result?;
+    }
+    Ok(())
+}
+
+/// Runs one schedule: boot engine, initial loads, N client threads, join,
+/// verify. Every 8th schedule runs durable (snapshots + WAL under a temp
+/// dir) so SAVE and the per-series WAL ordering are stressed too.
+fn run_schedule(seed: u64, threads: usize, schedule: usize) -> Result<(), String> {
+    let master =
+        seed ^ (schedule as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d) ^ ((threads as u64) << 48);
+    let mut rng = Xoshiro256::seed_from_u64(master);
+    let durable = schedule % 8 == 7;
+    let dir = durable.then(|| {
+        std::env::temp_dir().join(format!(
+            "valmod_stress_{}_{}_{threads}_{schedule}",
+            std::process::id(),
+            seed
+        ))
+    });
+    if let Some(d) = &dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let mut builder = EngineConfig::builder()
+        .workers(threads)
+        .queue_depth(256)
+        .cache_bytes(1 << 20)
+        .fragment_cache_bytes(1 << 20)
+        .default_deadline(Duration::from_secs(120));
+    if let Some(d) = &dir {
+        builder = builder.data_dir(d.clone());
+    }
+    let engine = Arc::new(
+        QueryEngine::open(builder.build().map_err(|e| format!("engine config: {e}"))?)
+            .map_err(|e| format!("engine open: {e}"))?,
+    );
+    let mut logs: Vec<Vec<Event>> = Vec::with_capacity(threads + 1);
+    // The initial loads are their own "thread" in the linearized record.
+    let mut setup = Vec::with_capacity(SERIES.len());
+    for (i, name) in SERIES.iter().enumerate() {
+        let n = rng.uniform_usize(200, 320);
+        let values = walk(&mut rng, n);
+        let (version, _) = engine
+            .load(name, values.clone(), &[], ExclusionPolicy::HALF, false)
+            .map_err(|e| format!("initial load of {name}: {e}"))?;
+        setup.push(Event::Ingest { series: i, version, values, replace: false });
+    }
+    logs.push(setup);
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || client_thread(&engine, master, t))
+        })
+        .collect();
+    let mut first_err: Option<String> = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(log)) => logs.push(log),
+            Ok(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                first_err.get_or_insert_with(|| "client thread panicked".to_string());
+            }
+        }
+    }
+    engine.shutdown();
+    engine.join();
+    if let Some(d) = &dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    if let Some(e) = first_err {
+        return Err(format!("schedule {schedule}: {e}"));
+    }
+    verify_versions(&logs).map_err(|e| format!("schedule {schedule}: {e}"))?;
+    verify_replay(&logs).map_err(|e| format!("schedule {schedule}: {e}"))
+}
+
+fn run_rung(seed: u64, threads: usize, schedules: usize) -> Result<(), String> {
+    for schedule in 0..schedules {
+        run_schedule(seed, threads, schedule)?;
+    }
+    Ok(())
+}
+
+/// Runs the stress matrix. `threads == 0` runs the default ladder — 8
+/// single-threaded schedules (the sequential baseline the oracle itself
+/// must pass) plus 64 four-threaded schedules (the concurrency proof the
+/// acceptance bar asks for). Any other value runs one rung at exactly
+/// that thread count: 8 schedules single-threaded, 64 otherwise.
+pub fn run_stress_matrix(seed: u64, threads: usize) -> StressReport {
+    let rungs: Vec<(usize, usize)> = match threads {
+        0 => vec![(1, 8), (4, 64)],
+        1 => vec![(1, 8)],
+        t => vec![(t, 64)],
+    };
+    let mut report = StressReport::default();
+    for (t, schedules) in rungs {
+        report.record(&format!("mixed-threads-{t}x{schedules}"), run_rung(seed, t, schedules));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_tiny_concurrent_rung_is_clean() {
+        // Small enough for a debug-build unit test; the full ladder runs
+        // under `valmod check` in release.
+        run_rung(42, 2, 2).unwrap();
+    }
+
+    #[test]
+    fn verify_versions_rejects_a_gap_and_a_collision() {
+        let ingest =
+            |series, version| Event::Ingest { series, version, values: vec![0.0], replace: false };
+        // Contiguous: fine.
+        assert!(verify_versions(&[vec![ingest(0, 1), ingest(0, 2)]]).is_ok());
+        // Gap: 1 then 3.
+        let gap = verify_versions(&[vec![ingest(0, 1), ingest(0, 3)]]);
+        assert!(gap.is_err(), "gap must be rejected");
+        // Collision: two acks for version 2 (the replace/append race).
+        let collision = verify_versions(&[vec![ingest(0, 1), ingest(0, 2)], vec![ingest(0, 2)]]);
+        assert!(collision.is_err(), "version collision must be rejected");
+    }
+
+    #[test]
+    fn verify_versions_rejects_backwards_observations() {
+        let reply =
+            |series, version| Event::Reply { series, version, spec: 0, body: String::new() };
+        let ok = verify_versions(&[vec![reply(0, 1), reply(0, 2), reply(1, 1)]]);
+        assert!(ok.is_ok());
+        // Same thread sees v2 then v1 on one series: linearizability bug.
+        let backwards = verify_versions(&[vec![reply(0, 2), reply(0, 1)]]);
+        assert!(backwards.is_err());
+        // Across threads, no order is implied.
+        let cross = verify_versions(&[vec![reply(0, 2)], vec![reply(0, 1)]]);
+        assert!(cross.is_ok());
+    }
+
+    #[test]
+    fn replay_catches_a_corrupted_body() {
+        // Run a real single-threaded schedule, then tamper with one reply
+        // body and assert the replay oracle notices.
+        let master = 77u64;
+        let engine = QueryEngine::new(
+            EngineConfig::builder()
+                .workers(1)
+                .queue_depth(16)
+                .cache_bytes(0)
+                .fragment_cache_bytes(0)
+                .default_deadline(Duration::from_secs(120))
+                .build()
+                .unwrap(),
+        );
+        let mut rng = Xoshiro256::seed_from_u64(master);
+        let values = walk(&mut rng, 240);
+        let (v, _) =
+            engine.load(SERIES[0], values.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+        let out = engine.query(spec_of(0, SERIES[0])).unwrap();
+        let (rv, body) = payload_version_and_body(&out.payload).unwrap();
+        engine.shutdown();
+        engine.join();
+        let honest = vec![vec![
+            Event::Ingest { series: 0, version: v, values, replace: false },
+            Event::Reply { series: 0, version: rv, spec: 0, body: body.clone() },
+        ]];
+        assert!(verify_replay(&honest).is_ok(), "honest log must replay clean");
+        let mut tampered = honest.clone();
+        if let Event::Reply { body, .. } = &mut tampered[0][1] {
+            body.push('!');
+        }
+        assert!(verify_replay(&tampered).is_err(), "tampered body must diverge");
+    }
+}

@@ -88,7 +88,8 @@ USAGE:
   valmod hint      --input <file> [--top <k>] [--min-period <n>]
   valmod generate  --dataset <ecg|emg|gap|astro|eeg> --n <points> [--seed <s>] --output <file>
   valmod serve     [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache-mb <n>]
-                   [--fragment-cache-mb <n>] [--threads <t>] [--data-dir <dir>]
+                   [--fragment-cache-mb <n>] [--threads <t>] [--stripes <n>]
+                   [--data-dir <dir>]
   valmod query     --addr <host:port>
                    --cmd <load|append|motifs|sets|discords|stats|ping|save|shutdown>
                    [--name <series>] [--input <file>] [--hot <l1,l2>] [--replace]
@@ -97,6 +98,7 @@ USAGE:
   valmod stats     [--addr <host:port>] [--raw]
   valmod check     [--smoke] [--seed <s>] [--cases <n>] [--probes <n>] [--no-faults]
                    [--no-recovery] [--no-cluster] [--no-planner] [--no-extend]
+                   [--no-stress] [--stress-threads <t>]
   valmod bench     [--json] [--smoke] [--out <file>]
   valmod cluster-worker [--addr <host:port>]
   valmod cluster-run    --workers <h:p,h:p,...> --input <file> --min <len> --max <len>
@@ -114,7 +116,9 @@ little-endian f64 for `.bin`/`.f64` extensions.
 result cache, plans variable-length queries over a per-length fragment
 cache (`--fragment-cache-mb`, 0 disables), coalesces identical concurrent
 queries into one compute, and accepts live APPEND ingestion; `query` is
-its client.
+its client. The store and both caches are sharded into `--stripes`
+lock stripes (default 8) so requests for unrelated series never contend
+on a shared lock.
 With `--data-dir` the store is durable: loads write checksummed snapshots,
 every append is WAL-logged (fsynced) before it applies, and a restart
 recovers the directory — replaying the log over the latest snapshot and
@@ -132,8 +136,13 @@ planner matrix (fragment-composed and coalesced answers vs independent
 cold computes; `--no-planner` skips it), and an incremental-extension
 matrix (batched streaming appends, tail-extended profiles, and lazily
 revived fragments vs cold same-history replays under randomized append
-schedules; `--no-extend` skips it). `--smoke` is the CI preset; without
-it a longer sweep runs. Exits non-zero on any divergence.
+schedules; `--no-extend` skips it), and a concurrent stress oracle
+(seeded multi-threaded LOAD/APPEND/query/SAVE/STATS schedules replayed
+against a cold single-threaded engine, asserting version monotonicity
+and byte-identical replies; `--no-stress` skips it, `--stress-threads`
+pins the client-thread count — 0 runs the 1-and-4-thread ladder).
+`--smoke` is the CI preset; without it a longer sweep runs. Exits
+non-zero on any divergence.
 
 `cluster-worker` runs one stateless shard-compute worker; `cluster-run`
 partitions the ℓmin..ℓmax sweep into (length x diagonal-range) shards,
@@ -369,6 +378,7 @@ fn cmd_serve(args: &Args) -> CliResult {
         "cache-mb",
         "fragment-cache-mb",
         "threads",
+        "stripes",
         "data-dir",
     ])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
@@ -377,7 +387,8 @@ fn cmd_serve(args: &Args) -> CliResult {
         .queue_depth(args.parsed_or("queue", 32)?)
         .cache_bytes(args.parsed_or::<usize>("cache-mb", 16)? << 20)
         .fragment_cache_bytes(args.parsed_or::<usize>("fragment-cache-mb", 16)? << 20)
-        .kernel_threads(args.parsed_or("threads", 1)?);
+        .kernel_threads(args.parsed_or("threads", 1)?)
+        .stripes(args.parsed_or("stripes", valmod_serve::DEFAULT_STRIPES)?);
     if let Some(dir) = args.get("data-dir") {
         builder = builder.data_dir(dir);
     }
@@ -572,6 +583,8 @@ fn cmd_check(args: &Args) -> CliResult {
         "no-cluster",
         "no-planner",
         "no-extend",
+        "no-stress",
+        "stress-threads",
     ])?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let mut config = valmod_check::CheckConfig::smoke(seed);
@@ -597,6 +610,10 @@ fn cmd_check(args: &Args) -> CliResult {
     if args.switch("no-extend") {
         config.run_extend = false;
     }
+    if args.switch("no-stress") {
+        config.run_stress = false;
+    }
+    config.stress_threads = args.parsed_or("stress-threads", config.stress_threads)?;
     let report = valmod_check::run(&config);
     println!("{report}");
     if report.clean() {

@@ -178,6 +178,29 @@ impl Gauge {
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Raise the gauge to `value` if it is higher than the current
+    /// reading (a lock-free running maximum — used for high-water marks
+    /// like the peak number of concurrently active computes). Loses races
+    /// only to strictly larger values, so the recorded peak never goes
+    /// down. NaN is ignored.
+    pub fn set_max(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let mut current = self.0.load(Ordering::Relaxed);
+        while value > f64::from_bits(current) {
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -195,6 +218,22 @@ mod tests {
         reg.counter("a.b").add(2);
         clone.counter("a.b").incr();
         assert_eq!(reg.counter("a.b").get(), 3);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_running_maximum() {
+        let reg = Registry::new();
+        let g = reg.gauge("peak");
+        g.set_max(2.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.0);
+        g.set_max(3.5);
+        assert_eq!(g.get(), 3.5);
+        g.set_max(f64::NAN);
+        assert_eq!(g.get(), 3.5);
+        // A plain set still overwrites (it is a gauge first).
+        g.set(0.5);
+        assert_eq!(g.get(), 0.5);
     }
 
     #[test]

@@ -278,6 +278,74 @@ mod tests {
                     prop_assert!(cache.used_bytes() <= budget);
                 }
             }
+
+            /// The striped form of the invariant: a total budget split
+            /// across per-stripe caches (as the engine does), mutated
+            /// concurrently from several threads with every op routed to
+            /// its series' stripe. Whatever the interleaving, each
+            /// stripe's tracked total must equal its recomputed sum and
+            /// stay within its slice of the budget — and the slices must
+            /// sum to exactly the configured total.
+            #[test]
+            fn striped_accounting_survives_concurrent_mutation(
+                per_thread_ops in prop::collection::vec(
+                    prop::collection::vec(
+                        (0usize..4, 0usize..6, 0u64..3, 0usize..3, 1usize..24),
+                        1..60,
+                    ),
+                    2..5,
+                ),
+                total_budget in 256usize..4096,
+            ) {
+                use std::sync::{Arc, Mutex};
+
+                const STRIPES: usize = 4;
+                const SERIES: [&str; 6] = ["a", "bb", "ccc", "dddd", "e5", "f6"];
+                const QUERIES: [&str; 3] = ["q", "motifs l=16", "discords l_min=8 l_max=64"];
+                let budgets = crate::engine::split_budget(total_budget, STRIPES);
+                prop_assert_eq!(budgets.iter().sum::<usize>(), total_budget);
+                let caches: Arc<Vec<Mutex<ResultCache>>> = Arc::new(
+                    budgets.iter().map(|b| Mutex::new(ResultCache::new(*b))).collect(),
+                );
+                let threads: Vec<_> = per_thread_ops
+                    .into_iter()
+                    .map(|ops| {
+                        let caches = Arc::clone(&caches);
+                        std::thread::spawn(move || {
+                            for (op, s, version, q, size) in ops {
+                                let name = SERIES[s];
+                                let stripe = crate::store::stripe_of(name, STRIPES);
+                                let mut cache = caches[stripe].lock().unwrap();
+                                let k = key(name, version, QUERIES[q]);
+                                match op {
+                                    0 | 1 => cache.insert(k, payload(size)),
+                                    2 => { cache.get(&k); }
+                                    _ => cache.invalidate_series(name),
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().expect("stripe mutator thread");
+                }
+                for (i, cache) in caches.iter().enumerate() {
+                    let cache = cache.lock().unwrap();
+                    let mut recomputed = 0usize;
+                    for (k, e) in &cache.map {
+                        prop_assert_eq!(e.bytes, entry_bytes(k, &e.value));
+                        recomputed += e.bytes;
+                    }
+                    prop_assert_eq!(cache.used_bytes(), recomputed);
+                    prop_assert!(
+                        cache.used_bytes() <= budgets[i],
+                        "stripe {} over budget: {} > {}",
+                        i,
+                        cache.used_bytes(),
+                        budgets[i]
+                    );
+                }
+            }
         }
     }
 }

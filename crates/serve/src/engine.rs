@@ -1,12 +1,26 @@
 //! The embeddable query engine: store + cache + worker-pool scheduler.
 //!
+//! ## Sharding
+//!
+//! Engine state is **striped**: series names hash into
+//! [`crate::store::stripe_of`] buckets, and each stripe owns its slice of
+//! every shared structure — the store's map (see [`crate::store`]), a
+//! result-cache LRU, a fragment-cache LRU, and a single-flight table —
+//! with per-stripe byte budgets that [`split_budget`] carves out of the
+//! configured totals. Requests against different series therefore never
+//! contend on a common lock; an APPEND on series A cannot delay a MOTIFS
+//! on series B, and `STATS` assembles its series inventory from lock-free
+//! atomic mirrors. Lock order is store stripe map → per-series lock →
+//! leaf cache/flight mutexes, never the other way.
+//!
 //! ## Scheduling model
 //!
-//! Ingestion (`load`/`append`) runs on the calling thread under the store
-//! write lock — it is O(n·hot lengths) and must be strictly ordered with
-//! the version counter. Queries are **admitted** on the calling thread
-//! (cache probe, so cache hits are O(1) and never consume a queue slot)
-//! and **executed** on a fixed worker pool behind a bounded queue:
+//! Ingestion (`load`/`append`) runs on the calling thread under the owning
+//! series' write lock — it is O(n·hot lengths) and must be strictly
+//! ordered with that series' version counter. Queries are **admitted** on
+//! the calling thread (cache probe, so cache hits are O(1) and never
+//! consume a queue slot) and **executed** on a fixed worker pool behind a
+//! bounded queue:
 //!
 //! * queue full → [`ServeError::Busy`] immediately (load shedding, never a
 //!   panic and never an unbounded backlog);
@@ -35,7 +49,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -53,8 +67,18 @@ use crate::fragment::FragmentCache;
 use crate::response::{
     BodyShape, DiscordHit, DiscordsBody, MotifHit, MotifsBody, SetEntry, SetsBody,
 };
-use crate::store::SeriesStore;
+use crate::store::{SeriesStore, DEFAULT_STRIPES};
 use crate::value::Value;
+
+/// Splits a byte budget across `shards` stripes such that the parts sum
+/// to exactly `total` (the first `total % shards` stripes get one extra
+/// byte). Used for the per-stripe result/fragment cache budgets.
+pub fn split_budget(total: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let base = total / shards;
+    let rem = total % shards;
+    (0..shards).map(|i| base + usize::from(i < rem)).collect()
+}
 
 /// Sizing and behaviour knobs for a [`QueryEngine`].
 #[derive(Debug, Clone)]
@@ -63,7 +87,11 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Bounded queue depth between admission and the workers (≥ 1).
     pub queue_depth: usize,
-    /// Result-cache byte budget (0 disables caching).
+    /// Stripes the store/cache/flight state is sharded across (≥ 1).
+    /// More stripes mean less lock contention between series that happen
+    /// to hash together; 1 degenerates to the old single-lock layout.
+    pub stripes: usize,
+    /// Result-cache byte budget, split across stripes (0 disables caching).
     pub cache_bytes: usize,
     /// Planner fragment-cache byte budget (0 disables fragment reuse;
     /// the planner then recomputes every segment).
@@ -90,6 +118,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 2,
             queue_depth: 32,
+            stripes: DEFAULT_STRIPES,
             cache_bytes: 16 << 20,
             fragment_cache_bytes: 16 << 20,
             kernel_threads: 1,
@@ -128,6 +157,12 @@ impl EngineConfigBuilder {
     /// Bounded queue depth between admission and the workers (≥ 1).
     pub fn queue_depth(mut self, depth: usize) -> Self {
         self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Stripes the store/cache/flight state is sharded across (≥ 1).
+    pub fn stripes(mut self, stripes: usize) -> Self {
+        self.cfg.stripes = stripes;
         self
     }
 
@@ -181,6 +216,9 @@ impl EngineConfigBuilder {
         }
         if cfg.queue_depth == 0 {
             return Err(ServeError::InvalidParameter("engine requires queue_depth >= 1".into()));
+        }
+        if cfg.stripes == 0 {
+            return Err(ServeError::InvalidParameter("engine requires stripes >= 1".into()));
         }
         if cfg.default_deadline.is_zero() {
             return Err(ServeError::InvalidParameter(
@@ -289,6 +327,91 @@ impl Flight {
     }
 }
 
+/// Owns a leader's registered [`Flight`]: the leader calls
+/// [`FlightGuard::complete`] with its result on the normal path, and the
+/// `Drop` impl is the safety net — if the leader thread dies (panics,
+/// unwinds early) while the flight is still open, the guard retires it
+/// and publishes [`ServeError::Busy`], so coalesced followers fail fast
+/// instead of waiting out their full deadlines on a flight nobody will
+/// ever finish.
+struct FlightGuard {
+    shared: Arc<Shared>,
+    stripe: usize,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    done: bool,
+}
+
+impl FlightGuard {
+    /// Removes the flight from its stripe's table so later identical
+    /// requests probe the cache or lead a fresh flight.
+    fn retire(&self) {
+        let shard = &self.shared.shards[self.stripe];
+        let removed = shard.flights.lock().expect("flights lock").remove(&self.key).is_some();
+        if removed {
+            self.shared.counters.inflight_flights.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.shared
+            .registry
+            .gauge("serve.flights.inflight")
+            .set(self.shared.counters.inflight_flights.load(Ordering::Relaxed) as f64);
+    }
+
+    /// Normal-path completion: retire the flight, then hand the leader's
+    /// result to every attached follower (errors cloned per recipient).
+    fn complete(mut self, result: &ServeResult<QueryOutcome>) {
+        self.retire();
+        self.flight.publish(match result {
+            Ok(outcome) => Ok(Arc::clone(&outcome.payload)),
+            Err(e) => Err(clone_error(e)),
+        });
+        self.done = true;
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // The leader died without publishing. Unblock the followers.
+        self.retire();
+        self.flight.publish(Err(ServeError::Busy));
+    }
+}
+
+/// RAII span over one cold compute: maintains the `active_computes`
+/// counter and CAS-maxes `peak_computes`, the engine's proof that
+/// different-stripe computes genuinely overlap in time.
+struct ComputeSpan<'a>(&'a Shared);
+
+impl<'a> ComputeSpan<'a> {
+    fn enter(shared: &'a Shared) -> Self {
+        let c = &shared.counters;
+        let active = c.active_computes.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut peak = c.peak_computes.load(Ordering::Relaxed);
+        while active > peak {
+            match c.peak_computes.compare_exchange_weak(
+                peak,
+                active,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => peak = seen,
+            }
+        }
+        shared.registry.gauge("serve.compute.peak_active").set_max(active as f64);
+        ComputeSpan(shared)
+    }
+}
+
+impl Drop for ComputeSpan<'_> {
+    fn drop(&mut self) {
+        self.0.counters.active_computes.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// [`ServeError`] intentionally carries a live `io::Error` and is not
 /// `Clone`; coalescing needs to hand one leader failure to many
 /// followers, so this reconstructs an equivalent error per recipient.
@@ -334,18 +457,38 @@ struct EngineCounters {
     served_hot: AtomicU64,
     busy_rejections: AtomicU64,
     deadline_misses: AtomicU64,
+    /// Open single-flight entries across all stripes (STATS reads this
+    /// instead of walking the per-stripe tables).
+    inflight_flights: AtomicU64,
+    /// Cold computes currently inside their [`ComputeSpan`].
+    active_computes: AtomicU64,
+    /// High-water mark of `active_computes` — > 1 proves computes overlap.
+    peak_computes: AtomicU64,
+}
+
+/// One stripe's slice of the engine-level shared state. A series' shard
+/// index always equals its store stripe index, so a request touches
+/// exactly one shard end to end.
+struct Shard {
+    cache: Mutex<ResultCache>,
+    fragments: Mutex<FragmentCache>,
+    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
 }
 
 struct Shared {
     cfg: EngineConfig,
-    store: RwLock<SeriesStore>,
-    cache: Mutex<ResultCache>,
-    fragments: Mutex<FragmentCache>,
-    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    store: SeriesStore,
+    shards: Box<[Shard]>,
     counters: EngineCounters,
     registry: Registry,
     recorder: SharedRecorder,
     shutting_down: AtomicBool,
+}
+
+impl Shared {
+    fn shard_for(&self, series: &str) -> &Shard {
+        &self.shards[self.store.stripe_index(series)]
+    }
 }
 
 /// The resident query engine (embeddable; the TCP server is one front end).
@@ -369,6 +512,7 @@ impl QueryEngine {
         let cfg = EngineConfig {
             workers: cfg.workers.max(1),
             queue_depth: cfg.queue_depth.max(1),
+            stripes: cfg.stripes.max(1),
             ..cfg
         };
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
@@ -380,15 +524,27 @@ impl QueryEngine {
         valmod_core::instrument::register_probe_histograms(&registry);
         let recorder = SharedRecorder::from(registry.clone());
         let store = match &cfg.data_dir {
-            Some(dir) => SeriesStore::open(dir, cfg.wal_compact_bytes, &recorder)?,
-            None => SeriesStore::new(),
+            Some(dir) => {
+                SeriesStore::open_with_stripes(dir, cfg.wal_compact_bytes, cfg.stripes, &recorder)?
+            }
+            None => SeriesStore::with_stripes(cfg.stripes),
         };
+        // Per-stripe caches: the budgets sum to exactly the configured
+        // totals, so operators reason about one number while stripes never
+        // share a lock.
+        let shards: Box<[Shard]> = split_budget(cfg.cache_bytes, cfg.stripes)
+            .into_iter()
+            .zip(split_budget(cfg.fragment_cache_bytes, cfg.stripes))
+            .map(|(cache_budget, fragment_budget)| Shard {
+                cache: Mutex::new(ResultCache::new(cache_budget)),
+                fragments: Mutex::new(FragmentCache::new(fragment_budget)),
+                flights: Mutex::new(HashMap::new()),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
-            fragments: Mutex::new(FragmentCache::new(cfg.fragment_cache_bytes)),
-            flights: Mutex::new(HashMap::new()),
             cfg,
-            store: RwLock::new(store),
+            store,
+            shards,
             counters: EngineCounters::default(),
             registry,
             recorder,
@@ -419,16 +575,21 @@ impl QueryEngine {
         replace: bool,
     ) -> ServeResult<(u64, usize)> {
         self.reject_if_shutting_down()?;
-        let mut store = self.shared.store.write().expect("store lock");
-        let entry =
-            store.load(name, values, hot_lengths, policy, replace, &self.shared.recorder)?;
-        let out = (entry.version(), entry.len());
-        drop(store);
+        let out = self.shared.store.load(
+            name,
+            values,
+            hot_lengths,
+            policy,
+            replace,
+            &self.shared.recorder,
+        )?;
         // The monotonic version counter already keeps old cache entries
         // from aliasing the new generation; purging the name just frees
         // budget that dead entries would otherwise pin until eviction.
-        self.shared.cache.lock().expect("cache lock").invalidate_series(name);
-        self.shared.fragments.lock().expect("fragment cache lock").invalidate_series(name);
+        // Only the series' own stripe is touched.
+        let shard = self.shared.shard_for(name);
+        shard.cache.lock().expect("cache lock").invalidate_series(name);
+        shard.fragments.lock().expect("fragment cache lock").invalidate_series(name);
         Ok(out)
     }
 
@@ -439,23 +600,23 @@ impl QueryEngine {
     /// carries the old watermark), and the planner revives their parked
     /// segment states by extending over the appended tail on the next
     /// query — `O(k·n)` instead of a cold `O(n²)` recompute — collecting
-    /// the stale fragments lazily. Returns `(version, len)`.
+    /// the stale fragments lazily. The whole operation is a critical
+    /// section of **this series only** — queries and appends on other
+    /// series proceed in parallel. Returns `(version, len)`.
     pub fn append(&self, name: &str, samples: &[f64]) -> ServeResult<(u64, usize)> {
         self.reject_if_shutting_down()?;
-        let mut store = self.shared.store.write().expect("store lock");
-        let version = store.append(name, samples, &self.shared.recorder)?;
-        let len = store.get(name)?.len();
-        drop(store);
-        self.shared.cache.lock().expect("cache lock").invalidate_series(name);
-        Ok((version, len))
+        let out = self.shared.store.append(name, samples, &self.shared.recorder)?;
+        self.shared.shard_for(name).cache.lock().expect("cache lock").invalidate_series(name);
+        Ok(out)
     }
 
     /// Snapshots every series to disk, resetting the WALs (the `SAVE`
-    /// command). Returns the number of snapshots written — 0 when the
-    /// engine has no `data_dir` (durability is simply off, not an error).
+    /// command). Each series is flushed under its own write lock — a
+    /// sequence of per-series critical sections, never a global pause.
+    /// Returns the number of snapshots written — 0 when the engine has no
+    /// `data_dir` (durability is simply off, not an error).
     pub fn persist(&self) -> ServeResult<usize> {
-        let store = self.shared.store.read().expect("store lock");
-        store.persist_all(&self.shared.recorder)
+        self.shared.store.persist_all(&self.shared.recorder)
     }
 
     /// Runs a query: O(1) on a cache hit; attached to an identical
@@ -464,21 +625,25 @@ impl QueryEngine {
     pub fn query(&self, spec: QuerySpec) -> ServeResult<QueryOutcome> {
         self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
         self.reject_if_shutting_down()?;
-        // Admission-time cache probe against the current version. Unknown
-        // names also fail fast here instead of occupying a queue slot.
-        let version = self.shared.store.read().expect("store lock").get(&spec.series)?.version();
+        // Admission-time cache probe against the current version, read
+        // from the slot's lock-free mirror — admission never waits behind
+        // a mutation, not even on the same series. Unknown names also fail
+        // fast here instead of occupying a queue slot.
+        let version = self.shared.store.get(&spec.series)?.version();
+        let stripe = self.shared.store.stripe_index(&spec.series);
+        let shard = &self.shared.shards[stripe];
         let key = CacheKey { series: spec.series.clone(), version, query: spec.query_key() };
-        if let Some(payload) = self.shared.cache.lock().expect("cache lock").get(&key) {
+        if let Some(payload) = shard.cache.lock().expect("cache lock").get(&key) {
             self.shared.recorder.add("serve.cache.hit", 1);
             return Ok(QueryOutcome { payload, cached: true, coalesced: false });
         }
         self.shared.recorder.add("serve.cache.miss", 1);
         let deadline = Instant::now() + spec.deadline.unwrap_or(self.shared.cfg.default_deadline);
-        // Single-flight: exactly one request per cache key becomes the
-        // leader and submits a job; identical requests arriving while it
-        // is in flight wait for its payload instead of queueing.
-        let leader_flight = {
-            let mut flights = self.shared.flights.lock().expect("flights lock");
+        // Single-flight, per stripe: exactly one request per cache key
+        // becomes the leader and submits a job; identical requests arriving
+        // while it is in flight wait for its payload instead of queueing.
+        let guard = {
+            let mut flights = shard.flights.lock().expect("flights lock");
             if let Some(flight) = flights.get(&key) {
                 let flight = Arc::clone(flight);
                 drop(flights);
@@ -486,24 +651,20 @@ impl QueryEngine {
             }
             let flight = Arc::new(Flight::default());
             flights.insert(key.clone(), Arc::clone(&flight));
-            self.shared.registry.gauge("serve.flights.inflight").set(flights.len() as f64);
-            flight
+            drop(flights);
+            let inflight = self.shared.counters.inflight_flights.fetch_add(1, Ordering::Relaxed);
+            self.shared.registry.gauge("serve.flights.inflight").set((inflight + 1) as f64);
+            FlightGuard { shared: Arc::clone(&self.shared), stripe, key, flight, done: false }
         };
         let result = self.submit(Work::Query(spec), deadline);
-        // Retire the flight before publishing: requests arriving from here
-        // on probe the result cache (the worker filled it before replying)
-        // or lead a fresh flight; the followers already attached get the
-        // leader's payload — or its failure, cloned per recipient, so they
-        // fail fast instead of timing out.
-        {
-            let mut flights = self.shared.flights.lock().expect("flights lock");
-            flights.remove(&key);
-            self.shared.registry.gauge("serve.flights.inflight").set(flights.len() as f64);
-        }
-        leader_flight.publish(match &result {
-            Ok(outcome) => Ok(Arc::clone(&outcome.payload)),
-            Err(e) => Err(clone_error(e)),
-        });
+        // Retire the flight before publishing (both inside `complete`):
+        // requests arriving from here on probe the result cache (the
+        // worker filled it before replying) or lead a fresh flight; the
+        // followers already attached get the leader's payload — or its
+        // failure, cloned per recipient, so they fail fast instead of
+        // timing out. If this thread dies before reaching here, the
+        // guard's Drop publishes `Busy` so no follower hangs.
+        guard.complete(&result);
         result
     }
 
@@ -578,22 +739,26 @@ impl QueryEngine {
         &self.shared.registry
     }
 
-    /// A `STATS` snapshot: engine counters, cache accounting, per-series
-    /// inventory, and the scheduler configuration.
+    /// A `STATS` snapshot: engine counters, cache accounting (aggregated
+    /// and per stripe), per-series inventory, and the scheduler
+    /// configuration. Assembled without stopping the world: counters are
+    /// atomics, the series section reads each slot's lock-free mirrors
+    /// (never a series lock — a slow append cannot stall STATS), and the
+    /// per-stripe cache mutexes are taken one stripe at a time.
     pub fn stats(&self) -> Value {
-        let store = self.shared.store.read().expect("store lock");
+        let store = &self.shared.store;
         let series: Vec<Value> = store
             .names()
             .into_iter()
             .map(|name| {
-                let s = store.get(name).expect("name from listing");
+                let slot = store.get(&name).expect("name from listing");
                 Value::obj(vec![
                     ("name", Value::str(name)),
-                    ("len", s.len().into()),
-                    ("version", s.version().into()),
+                    ("len", slot.len().into()),
+                    ("version", slot.version().into()),
                     (
                         "hot_lengths",
-                        Value::Arr(s.hot_lengths().into_iter().map(Value::from).collect()),
+                        Value::Arr(slot.hot_lengths().iter().copied().map(Value::from).collect()),
                     ),
                 ])
             })
@@ -606,35 +771,70 @@ impl QueryEngine {
             ),
             ("recovery_skipped", store.recovery_skipped().len().into()),
         ]);
-        drop(store);
-        let cache = self.shared.cache.lock().expect("cache lock");
-        let cs = cache.stats();
+        // Aggregate the striped caches; expose per-stripe accounting so a
+        // hot stripe is visible, not averaged away.
+        let mut per_stripe = Vec::with_capacity(self.shared.shards.len());
+        let (mut entries, mut used, mut budget) = (0usize, 0usize, 0usize);
+        let (mut hits, mut misses, mut evictions, mut invalidated) = (0u64, 0u64, 0u64, 0u64);
+        for (i, shard) in self.shared.shards.iter().enumerate() {
+            let cache = shard.cache.lock().expect("cache lock");
+            let cs = cache.stats();
+            entries += cache.len();
+            used += cache.used_bytes();
+            budget += cache.budget_bytes();
+            hits += cs.hits;
+            misses += cs.misses;
+            evictions += cs.evictions;
+            invalidated += cs.invalidated;
+            per_stripe.push(Value::obj(vec![
+                ("stripe", i.into()),
+                ("entries", cache.len().into()),
+                ("used_bytes", cache.used_bytes().into()),
+                ("budget_bytes", cache.budget_bytes().into()),
+                ("hits", cs.hits.into()),
+                ("misses", cs.misses.into()),
+            ]));
+        }
         let cache_v = Value::obj(vec![
-            ("entries", cache.len().into()),
-            ("used_bytes", cache.used_bytes().into()),
-            ("budget_bytes", cache.budget_bytes().into()),
-            ("hits", cs.hits.into()),
-            ("misses", cs.misses.into()),
-            ("evictions", cs.evictions.into()),
-            ("invalidated", cs.invalidated.into()),
+            ("entries", entries.into()),
+            ("used_bytes", used.into()),
+            ("budget_bytes", budget.into()),
+            ("hits", hits.into()),
+            ("misses", misses.into()),
+            ("evictions", evictions.into()),
+            ("invalidated", invalidated.into()),
+            ("per_stripe", Value::Arr(per_stripe)),
         ]);
-        drop(cache);
-        let fragments = self.shared.fragments.lock().expect("fragment cache lock");
-        let fs = fragments.stats();
-        let planner_v = Value::obj(vec![
-            ("fragment_entries", fragments.len().into()),
-            ("fragment_used_bytes", fragments.used_bytes().into()),
-            ("fragment_budget_bytes", fragments.budget_bytes().into()),
-            ("fragment_hits", fs.hits.into()),
-            ("fragment_misses", fs.misses.into()),
-            ("fragment_evictions", fs.evictions.into()),
-            ("fragment_invalidated", fs.invalidated.into()),
-            ("fragments_extended", fs.extended.into()),
-            ("parked_states", fragments.state_count().into()),
-            ("inflight", self.shared.flights.lock().expect("flights lock").len().into()),
-        ]);
-        drop(fragments);
+        let (mut f_entries, mut f_used, mut f_budget, mut parked) =
+            (0usize, 0usize, 0usize, 0usize);
+        let (mut f_hits, mut f_misses, mut f_evictions, mut f_invalidated, mut f_extended) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for shard in self.shared.shards.iter() {
+            let fragments = shard.fragments.lock().expect("fragment cache lock");
+            let fs = fragments.stats();
+            f_entries += fragments.len();
+            f_used += fragments.used_bytes();
+            f_budget += fragments.budget_bytes();
+            parked += fragments.state_count();
+            f_hits += fs.hits;
+            f_misses += fs.misses;
+            f_evictions += fs.evictions;
+            f_invalidated += fs.invalidated;
+            f_extended += fs.extended;
+        }
         let c = &self.shared.counters;
+        let planner_v = Value::obj(vec![
+            ("fragment_entries", f_entries.into()),
+            ("fragment_used_bytes", f_used.into()),
+            ("fragment_budget_bytes", f_budget.into()),
+            ("fragment_hits", f_hits.into()),
+            ("fragment_misses", f_misses.into()),
+            ("fragment_evictions", f_evictions.into()),
+            ("fragment_invalidated", f_invalidated.into()),
+            ("fragments_extended", f_extended.into()),
+            ("parked_states", parked.into()),
+            ("inflight", c.inflight_flights.load(Ordering::Relaxed).into()),
+        ]);
         Value::obj(vec![
             (
                 "engine",
@@ -645,6 +845,9 @@ impl QueryEngine {
                     ("served_hot", c.served_hot.load(Ordering::Relaxed).into()),
                     ("busy_rejections", c.busy_rejections.load(Ordering::Relaxed).into()),
                     ("deadline_misses", c.deadline_misses.load(Ordering::Relaxed).into()),
+                    ("active_computes", c.active_computes.load(Ordering::Relaxed).into()),
+                    ("peak_computes", c.peak_computes.load(Ordering::Relaxed).into()),
+                    ("stripes", self.shared.cfg.stripes.into()),
                     ("workers", self.shared.cfg.workers.into()),
                     ("queue_depth", self.shared.cfg.queue_depth.into()),
                     ("kernel_threads", self.shared.cfg.kernel_threads.into()),
@@ -737,10 +940,12 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
 }
 
 fn execute_query(shared: &Shared, spec: &QuerySpec) -> ServeResult<QueryOutcome> {
-    // Snapshot (batch view, version, optional hot profile) atomically.
+    // Snapshot (batch view, version, optional hot profile) atomically,
+    // under the owning series' lock only — computes on other series and
+    // the whole admission path stay unaffected.
+    let slot = shared.store.get(&spec.series)?;
     let (ps, version, hot) = {
-        let mut store = shared.store.write().expect("store lock");
-        let entry = store.get_mut(&spec.series)?;
+        let mut entry = slot.write();
         let hot = match spec.kind {
             QueryKind::Motifs { .. } if spec.l_min == spec.l_max => entry
                 .hot_profile(spec.l_min)
@@ -753,15 +958,17 @@ fn execute_query(shared: &Shared, spec: &QuerySpec) -> ServeResult<QueryOutcome>
     };
     // The version may have advanced past the admission-time probe; another
     // worker may also have filled the entry meanwhile. Re-probe.
+    let shard = shared.shard_for(&spec.series);
     let key = CacheKey { series: spec.series.clone(), version, query: spec.query_key() };
-    if let Some(payload) = shared.cache.lock().expect("cache lock").get(&key) {
+    if let Some(payload) = shard.cache.lock().expect("cache lock").get(&key) {
         shared.recorder.add("serve.cache.hit", 1);
         return Ok(QueryOutcome { payload, cached: true, coalesced: false });
     }
     let started = Instant::now();
     let body = {
+        let _active = ComputeSpan::enter(shared);
         let _span = valmod_obs::span!(&shared.recorder, "serve.compute_us");
-        compute_payload(shared, spec, &ps, version, hot)?
+        compute_payload(shared, shard, spec, &ps, version, hot)?
     };
     let payload = Arc::new(Value::obj(vec![
         ("series", Value::str(&spec.series)),
@@ -770,12 +977,13 @@ fn execute_query(shared: &Shared, spec: &QuerySpec) -> ServeResult<QueryOutcome>
         ("body", body),
     ]));
     shared.counters.computed.fetch_add(1, Ordering::Relaxed);
-    shared.cache.lock().expect("cache lock").insert(key, Arc::clone(&payload));
+    shard.cache.lock().expect("cache lock").insert(key, Arc::clone(&payload));
     Ok(QueryOutcome { payload, cached: false, coalesced: false })
 }
 
 fn compute_payload(
     shared: &Shared,
+    shard: &Shard,
     spec: &QuerySpec,
     ps: &ProfiledSeries,
     version: u64,
@@ -785,14 +993,15 @@ fn compute_payload(
     let runner = Valmod::from_config(cfg.clone()).recorder(shared.recorder.clone());
     // VALMP-shaped queries run through the planner: the length range is
     // decomposed into grid segments whose per-length fragments are cached
-    // and recomposed, so overlapping ranges share work across requests.
+    // in the series' own stripe and recomposed, so overlapping ranges
+    // share work across requests.
     let planned = |runner: &Valmod| {
         crate::planner::execute_plan(
             ps,
             &spec.series,
             version,
             runner,
-            &shared.fragments,
+            &shard.fragments,
             &shared.recorder,
             (spec.l_min, spec.l_max),
         )
@@ -1134,7 +1343,7 @@ mod tests {
         // and was served stale. The monotonic counter makes the alias
         // structurally impossible.
         let noop = SharedRecorder::noop();
-        let mut store = SeriesStore::new();
+        let store = SeriesStore::new();
         let mut cache = ResultCache::new(1 << 20);
         store.load("a", random_walk(200, 5), &[], ExclusionPolicy::HALF, false, &noop).unwrap();
         let admitted_version = store.get("a").unwrap().version();
@@ -1305,6 +1514,149 @@ mod tests {
         let stats = eng.stats();
         assert_eq!(planner(&stats, "fragment_entries"), 0);
         assert_eq!(planner(&stats, "parked_states"), 0);
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn split_budget_sums_exactly_and_spreads_the_remainder() {
+        assert_eq!(split_budget(0, 8).iter().sum::<usize>(), 0);
+        assert_eq!(split_budget(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_budget(16 << 20, 8).iter().sum::<usize>(), 16 << 20);
+        assert_eq!(split_budget(7, 16).iter().sum::<usize>(), 7);
+        assert_eq!(split_budget(5, 1), vec![5]);
+        // Degenerate stripe count is clamped, never a division by zero.
+        assert_eq!(split_budget(5, 0), vec![5]);
+    }
+
+    #[test]
+    fn leader_death_completes_followers_with_busy_not_a_hang() {
+        // Regression: if the leader thread dies while owning a Flight,
+        // attached followers used to wait out their full deadlines. The
+        // FlightGuard's Drop must retire the flight and publish Busy.
+        let eng = Arc::new(engine(1, 8, 1 << 20));
+        eng.load("s", random_walk(300, 41), &[], ExclusionPolicy::HALF, false).unwrap();
+        let spec = motif_spec("s", 16, 20);
+        let key = CacheKey { series: "s".into(), version: 1, query: spec.query_key() };
+        let stripe = eng.shared.store.stripe_index("s");
+        let flight = Arc::new(Flight::default());
+        eng.shared.shards[stripe].flights.lock().unwrap().insert(key.clone(), Arc::clone(&flight));
+        eng.shared.counters.inflight_flights.fetch_add(1, Ordering::Relaxed);
+        let guard =
+            FlightGuard { shared: Arc::clone(&eng.shared), stripe, key, flight, done: false };
+        // Follower attaches while the doomed leader still owns the flight.
+        let follower = {
+            let eng = Arc::clone(&eng);
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                (eng.query(spec), started.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100)); // follower is waiting
+        let leader = std::thread::spawn(move || {
+            // Silence the default panic hook for this intentional death so
+            // the test log stays clean; restore it right after. The guard
+            // moves into the dying closure, so the unwind drops it — the
+            // exact path a worker panic takes.
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let _owns = guard;
+                panic!("leader dies mid-compute");
+            }))
+            .is_err();
+            std::panic::set_hook(prev);
+            assert!(unwound);
+        });
+        leader.join().unwrap();
+        let (result, waited) = follower.join().unwrap();
+        assert!(matches!(result, Err(ServeError::Busy)), "got {result:?}");
+        assert!(
+            waited < Duration::from_secs(20),
+            "follower must fail fast, not burn its deadline: waited {waited:?}"
+        );
+        assert_eq!(eng.shared.counters.inflight_flights.load(Ordering::Relaxed), 0);
+        // The engine still works afterwards.
+        assert!(eng.query(motif_spec("s", 16, 20)).is_ok());
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn different_stripe_queries_compute_in_parallel() {
+        // Two series in provably different stripes, two workers: their
+        // cold computes must overlap in time, witnessed by the peak of the
+        // active-compute counter (and the obs gauge it mirrors).
+        let eng = Arc::new(engine(2, 8, 1 << 20));
+        let names: Vec<String> = {
+            let a = "alpha".to_string();
+            let b = (0..)
+                .map(|i| format!("beta{i}"))
+                .find(|n| {
+                    crate::store::stripe_of(n, eng.shared.cfg.stripes)
+                        != crate::store::stripe_of("alpha", eng.shared.cfg.stripes)
+                })
+                .unwrap();
+            vec![a, b]
+        };
+        let (values, _) = plant_motif(1_500, 32, 2, 0.001, 43);
+        for name in &names {
+            eng.load(name, values.clone(), &[], ExclusionPolicy::HALF, false).unwrap();
+        }
+        let threads: Vec<_> = names
+            .iter()
+            .map(|name| {
+                let eng = Arc::clone(&eng);
+                let name = name.clone();
+                std::thread::spawn(move || eng.query(motif_spec(&name, 16, 40)).map(|_| ()))
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap().unwrap();
+        }
+        let stats = eng.stats();
+        let engine_v = stats.get("engine").unwrap();
+        assert_eq!(engine_v.get("computed").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            engine_v.get("peak_computes").unwrap().as_usize(),
+            Some(2),
+            "different-stripe computes must overlap"
+        );
+        assert_eq!(engine_v.get("active_computes").unwrap().as_usize(), Some(0));
+        let obs = stats.get("obs").unwrap();
+        assert_eq!(obs.get("serve.compute.peak_active").unwrap().as_f64(), Some(2.0));
+        eng.shutdown();
+        eng.join();
+    }
+
+    #[test]
+    fn held_series_lock_blocks_neither_other_series_nor_stats() {
+        // The deterministic form of APPEND/MOTIFS isolation: hold series
+        // A's write lock (what a slow append amounts to) and prove that a
+        // query on series B and a STATS snapshot both still complete. The
+        // old single-RwLock store deadlocked here by construction.
+        let eng = Arc::new(engine(2, 8, 1 << 20));
+        eng.load("a", random_walk(400, 3), &[], ExclusionPolicy::HALF, false).unwrap();
+        eng.load("b", random_walk(400, 5), &[], ExclusionPolicy::HALF, false).unwrap();
+        let slot_a = eng.shared.store.get("a").unwrap();
+        let held = slot_a.write();
+        let (done_tx, done_rx) = mpsc::sync_channel(2);
+        for _ in 0..1 {
+            let eng = Arc::clone(&eng);
+            let done = done_tx.clone();
+            std::thread::spawn(move || {
+                let query = eng.query(motif_spec("b", 16, 24)).map(|_| ());
+                let stats = eng.stats();
+                assert!(stats.get("series").is_some());
+                let _ = done.send(query);
+            });
+        }
+        let outcome = done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("series B and STATS must not block behind series A's lock");
+        outcome.unwrap();
+        drop(held);
         eng.shutdown();
         eng.join();
     }

@@ -77,7 +77,8 @@ pub mod value;
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::{Client, Timeouts};
 pub use engine::{
-    EngineConfig, EngineConfigBuilder, QueryEngine, QueryKind, QueryOutcome, QuerySpec,
+    split_budget, EngineConfig, EngineConfigBuilder, QueryEngine, QueryKind, QueryOutcome,
+    QuerySpec,
 };
 pub use error::{ServeError, ServeResult};
 pub use fragment::{FragmentCache, FragmentCacheStats, FragmentKey};
@@ -93,7 +94,7 @@ pub use response::{
     SetsBody, StatsReply,
 };
 pub use server::{read_bounded_line, ConnectionCount, LineRead, Server, DEFAULT_MAX_LINE_BYTES};
-pub use store::{SeriesStore, StoredSeries};
+pub use store::{stripe_of, SeriesSlot, SeriesStore, StoredSeries, DEFAULT_STRIPES};
 pub use value::Value;
 
 // Re-exported so durable-store callers (e.g. `valmod-check`'s recovery

@@ -1,4 +1,4 @@
-//! The named, versioned series store.
+//! The named, versioned, **striped** series store.
 //!
 //! Each stored series carries a **version** that increments on every
 //! append; result-cache keys embed the version, so a query result can
@@ -12,16 +12,43 @@
 //! `O(n)` per point, so a fixed-length motif monitor never pays a batch
 //! recomputation.
 //!
+//! ## Sharding
+//!
+//! The store is a hand-rolled striped map: series names hash into
+//! [`stripe_of`] buckets, each bucket holding its own
+//! `RwLock<HashMap<name, Arc<SeriesSlot>>>`, and every slot wraps its
+//! [`StoredSeries`] in a **per-series** `RwLock`. Operations on different
+//! series therefore never contend on a common lock — an APPEND on series
+//! A cannot block a query on series B — and every method takes `&self`,
+//! so the engine holds no outer lock at all. Lock order is strictly
+//! stripe map → series lock; nothing is ever acquired in the other
+//! direction.
+//!
+//! A slot additionally mirrors its `(version, len)` into atomics
+//! (maintained by the store-level `load`/`append` paths), so `STATS` and
+//! query admission read them without touching any series lock — a slow
+//! append never stops the world.
+//!
+//! A replace must not race an in-flight append into a version collision:
+//! the new generation's version is derived while holding the **old**
+//! generation's write lock, the old slot is marked *retired* under that
+//! same lock, and appenders re-check the flag after acquiring their write
+//! lock — an appender that lost the race retries its lookup and lands on
+//! the new generation.
+//!
 //! A store opened with [`SeriesStore::open`] is **durable**: loads and
 //! WAL-compaction points write checksummed snapshots, every append batch
 //! is logged (and fsynced) to a per-series WAL *before* it is applied in
 //! memory, and reopening the same directory replays the log over the
 //! latest snapshot — see [`crate::persist`] for formats and the
-//! truncation policy.
+//! truncation policy. All persistence calls happen under the owning
+//! series' write lock, which preserves the WAL-before-apply ordering
+//! per series exactly as the single-lock store did.
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use valmod_data::stats::neumaier_sum;
 use valmod_mp::{ExclusionPolicy, ProfiledSeries, StreamingProfile};
@@ -29,6 +56,21 @@ use valmod_obs::SharedRecorder;
 
 use crate::error::{ServeError, ServeResult};
 use crate::persist::{Persistence, SnapshotMeta};
+
+/// Default stripe count for stores built without an explicit choice.
+pub const DEFAULT_STRIPES: usize = 8;
+
+/// The stripe a series name hashes into (FNV-1a over the name). Public so
+/// the engine's per-stripe caches and the tests agree with the store on
+/// placement.
+pub fn stripe_of(name: &str, stripes: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % stripes.max(1) as u64) as usize
+}
 
 /// One named series with its versioned derived state.
 #[derive(Debug)]
@@ -49,6 +91,10 @@ pub struct StoredSeries {
     profiled: Option<Arc<ProfiledSeries>>,
     /// Live fixed-length profiles, extended incrementally on append.
     hot: HashMap<usize, StreamingProfile>,
+    /// Set (under this series' write lock) when a replace supersedes this
+    /// generation; an appender that acquires the write lock afterwards
+    /// must retry its lookup instead of bumping a dead generation.
+    retired: bool,
 }
 
 impl StoredSeries {
@@ -67,6 +113,7 @@ impl StoredSeries {
             base_offset,
             profiled: None,
             hot: HashMap::new(),
+            retired: false,
         };
         for &l in hot_lengths {
             series.track(l, policy)?;
@@ -88,6 +135,11 @@ impl StoredSeries {
     /// previous generation's counter instead of resetting).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Whether a replace has superseded this generation.
+    pub fn retired(&self) -> bool {
+        self.retired
     }
 
     /// The raw samples.
@@ -168,6 +220,69 @@ impl StoredSeries {
     }
 }
 
+/// One map entry: the per-series lock plus lock-free `(version, len)`
+/// mirrors so `STATS` and admission probes never wait behind a mutation.
+/// The mirrors are maintained by [`SeriesStore::load`] /
+/// [`SeriesStore::append`]; mutating the inner [`StoredSeries`] directly
+/// bypasses them.
+#[derive(Debug)]
+pub struct SeriesSlot {
+    series: RwLock<StoredSeries>,
+    version: AtomicU64,
+    len: AtomicUsize,
+    /// Hot lengths are fixed at load time for a generation (a replace
+    /// swaps the whole slot), so STATS reads them without a lock.
+    hot_lengths: Vec<usize>,
+}
+
+impl SeriesSlot {
+    fn new(series: StoredSeries) -> Self {
+        SeriesSlot {
+            version: AtomicU64::new(series.version()),
+            len: AtomicUsize::new(series.len()),
+            hot_lengths: series.hot_lengths(),
+            series: RwLock::new(series),
+        }
+    }
+
+    /// Shared access to the series (readers of values / hot profiles).
+    pub fn read(&self) -> RwLockReadGuard<'_, StoredSeries> {
+        self.series.read().expect("series lock")
+    }
+
+    /// Exclusive access to the series (append, batch-view build).
+    pub fn write(&self) -> RwLockWriteGuard<'_, StoredSeries> {
+        self.series.write().expect("series lock")
+    }
+
+    /// Lock-free version mirror (exact after any store-level mutation).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Lock-free length mirror.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the mirrored length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The generation's hot lengths, sorted (fixed at load time).
+    pub fn hot_lengths(&self) -> &[usize] {
+        &self.hot_lengths
+    }
+
+    /// Publishes a mutation into the lock-free mirrors. Called under the
+    /// series write lock, so mirror order matches version order.
+    fn note_mutation(&self, version: u64, len: usize) {
+        self.len.store(len, Ordering::Release);
+        self.version.store(version, Ordering::Release);
+    }
+}
+
 /// The centring offset a fresh load pins: the mean of the loaded samples,
 /// computed exactly as `RollingStats::new` derives it, so a freshly loaded
 /// series profiles bit-identically to the un-pinned batch path.
@@ -186,21 +301,53 @@ fn validate_samples(samples: &[f64], base_index: usize) -> ServeResult<()> {
     Ok(())
 }
 
-/// All series held by one engine, addressed by name. Optionally durable:
-/// see [`SeriesStore::open`].
 #[derive(Debug, Default)]
+struct Stripe {
+    map: RwLock<HashMap<String, Arc<SeriesSlot>>>,
+}
+
+/// All series held by one engine, addressed by name, sharded across
+/// [`stripe_of`] buckets. Every method takes `&self`; mutual exclusion is
+/// per series (plus a short stripe-map lock for lookups and replaces).
+/// Optionally durable: see [`SeriesStore::open`].
+#[derive(Debug)]
 pub struct SeriesStore {
-    map: HashMap<String, StoredSeries>,
+    stripes: Box<[Stripe]>,
     persist: Option<Persistence>,
     /// `(file, why)` entries from recovery that were skipped rather than
     /// loaded (corrupt snapshot, orphan WAL). Empty for in-memory stores.
     skipped: Vec<(String, String)>,
 }
 
+impl Default for SeriesStore {
+    fn default() -> Self {
+        SeriesStore::with_stripes(DEFAULT_STRIPES)
+    }
+}
+
+fn make_stripes(stripes: usize) -> Box<[Stripe]> {
+    (0..stripes.max(1)).map(|_| Stripe::default()).collect()
+}
+
 impl SeriesStore {
-    /// An empty, in-memory (non-durable) store.
+    /// An empty, in-memory (non-durable) store with [`DEFAULT_STRIPES`].
     pub fn new() -> Self {
         SeriesStore::default()
+    }
+
+    /// An empty, in-memory store with an explicit stripe count (≥ 1).
+    pub fn with_stripes(stripes: usize) -> Self {
+        SeriesStore { stripes: make_stripes(stripes), persist: None, skipped: Vec::new() }
+    }
+
+    /// Opens a durable store over `dir` with [`DEFAULT_STRIPES`]; see
+    /// [`SeriesStore::open_with_stripes`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        compact_bytes: u64,
+        recorder: &SharedRecorder,
+    ) -> ServeResult<Self> {
+        SeriesStore::open_with_stripes(dir, compact_bytes, DEFAULT_STRIPES, recorder)
     }
 
     /// Opens a durable store over `dir`, recovering every series found
@@ -209,14 +356,19 @@ impl SeriesStore {
     /// receives the recovery counters (`serve.wal.replayed_batches`,
     /// `serve.recovery.truncated_tails`); pass
     /// [`SharedRecorder::noop()`] when not observing.
-    pub fn open(
+    pub fn open_with_stripes(
         dir: impl AsRef<Path>,
         compact_bytes: u64,
+        stripes: usize,
         recorder: &SharedRecorder,
     ) -> ServeResult<Self> {
         let persist = Persistence::open(dir.as_ref(), compact_bytes)?;
         let recovery = persist.recover()?;
-        let mut map = HashMap::with_capacity(recovery.series.len());
+        let store = SeriesStore {
+            stripes: make_stripes(stripes),
+            persist: Some(persist),
+            skipped: recovery.skipped,
+        };
         for rec in recovery.series {
             recorder.add("serve.wal.replayed_batches", rec.replayed_batches);
             if rec.truncated_tail {
@@ -229,9 +381,24 @@ impl SeriesStore {
                 rec.version,
                 rec.base_offset,
             )?;
-            map.insert(rec.name, series);
+            let stripe = &store.stripes[store.stripe_index(&rec.name)];
+            stripe
+                .map
+                .write()
+                .expect("stripe lock")
+                .insert(rec.name, Arc::new(SeriesSlot::new(series)));
         }
-        Ok(SeriesStore { map, persist: Some(persist), skipped: recovery.skipped })
+        Ok(store)
+    }
+
+    /// Number of stripes in the table.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe `name` hashes into.
+    pub fn stripe_index(&self, name: &str) -> usize {
+        stripe_of(name, self.stripes.len())
     }
 
     /// Whether the store persists to disk.
@@ -251,107 +418,154 @@ impl SeriesStore {
 
     /// Loads a series under `name`. Fails with [`ServeError::SeriesExists`]
     /// unless `replace` is set. A replace **continues** the previous
-    /// generation's version counter (old version + 1), so result-cache keys
-    /// from the replaced generation can never collide with the new one.
-    /// Durable stores write a fresh snapshot (and reset the WAL) before
-    /// returning. Records `serve.snapshot.writes` on `recorder`.
+    /// generation's version counter (old version + 1) — derived under the
+    /// old generation's write lock, which is also where the old slot is
+    /// retired, so a racing append can neither bump past the new version
+    /// nor resurrect the dead generation. Durable stores write a fresh
+    /// snapshot (and reset the WAL) before the swap becomes visible.
+    /// Records `serve.snapshot.writes` on `recorder`. Returns
+    /// `(version, len)`.
     pub fn load(
-        &mut self,
+        &self,
         name: &str,
         values: Vec<f64>,
         hot_lengths: &[usize],
         policy: ExclusionPolicy,
         replace: bool,
         recorder: &SharedRecorder,
-    ) -> ServeResult<&StoredSeries> {
+    ) -> ServeResult<(u64, usize)> {
         if name.is_empty() {
             return Err(ServeError::Protocol("series name must be non-empty".into()));
         }
-        if !replace && self.map.contains_key(name) {
+        let stripe = &self.stripes[self.stripe_index(name)];
+        let mut map = stripe.map.write().expect("stripe lock");
+        let previous = map.get(name).cloned();
+        if previous.is_some() && !replace {
             return Err(ServeError::SeriesExists(name.to_string()));
         }
-        let version = self.map.get(name).map_or(1, |prev| prev.version() + 1);
+        // Hold the old generation's write lock across the swap: its version
+        // is the replace's baseline, and no append may land in between.
+        let mut old_guard = previous.as_ref().map(|slot| slot.write());
+        let version = old_guard.as_ref().map_or(1, |old| old.version() + 1);
         let base_offset = derive_offset(&values);
         let series = StoredSeries::new(values, hot_lengths, policy, version, base_offset)?;
         if let Some(p) = &self.persist {
             p.write_snapshot(name, &series.snapshot_meta(), series.values())?;
             recorder.add("serve.snapshot.writes", 1);
         }
-        self.map.insert(name.to_string(), series);
-        Ok(self.map.get(name).expect("just inserted"))
+        if let Some(old) = old_guard.as_mut() {
+            old.retired = true;
+        }
+        let len = series.len();
+        map.insert(name.to_string(), Arc::new(SeriesSlot::new(series)));
+        Ok((version, len))
     }
 
     /// Appends a batch to the series under `name`, write-ahead logging it
     /// first when durable: the record is on disk (fsynced) before any
     /// in-memory state changes, so an acknowledged append survives a crash
-    /// at any later point. Past the compaction threshold the WAL is folded
-    /// into a fresh snapshot. Records `serve.wal.appends` /
-    /// `serve.snapshot.writes` on `recorder`. Returns the new version.
+    /// at any later point. The whole sequence runs under the **series'**
+    /// write lock only — appends to other series proceed in parallel.
+    /// Past the compaction threshold the WAL is folded into a fresh
+    /// snapshot. Records `serve.wal.appends` / `serve.snapshot.writes` on
+    /// `recorder`. Returns `(version, len)`.
     pub fn append(
-        &mut self,
+        &self,
         name: &str,
         samples: &[f64],
         recorder: &SharedRecorder,
-    ) -> ServeResult<u64> {
-        let series =
-            self.map.get_mut(name).ok_or_else(|| ServeError::UnknownSeries(name.to_string()))?;
+    ) -> ServeResult<(u64, usize)> {
         if samples.is_empty() {
             return Err(ServeError::InvalidParameter("append requires at least one sample".into()));
         }
-        // Validate before logging so a rejected batch never reaches the WAL.
-        validate_samples(samples, series.len())?;
-        if let Some(p) = &self.persist {
-            p.log_append(name, series.version() + 1, samples)?;
-            recorder.add("serve.wal.appends", 1);
-        }
-        let version = series.append(samples)?;
-        if let Some(p) = &self.persist {
-            if p.wal_bytes(name) > p.compact_bytes() {
-                p.write_snapshot(name, &series.snapshot_meta(), series.values())?;
-                recorder.add("serve.snapshot.writes", 1);
+        loop {
+            let slot = self.get(name)?;
+            let mut series = slot.write();
+            if series.retired() {
+                // A replace swapped the slot between lookup and lock; the
+                // next lookup lands on the new generation.
+                continue;
             }
+            // Validate before logging so a rejected batch never reaches the WAL.
+            validate_samples(samples, series.len())?;
+            if let Some(p) = &self.persist {
+                p.log_append(name, series.version() + 1, samples)?;
+                recorder.add("serve.wal.appends", 1);
+            }
+            let version = series.append(samples)?;
+            let len = series.len();
+            if let Some(p) = &self.persist {
+                if p.wal_bytes(name) > p.compact_bytes() {
+                    p.write_snapshot(name, &series.snapshot_meta(), series.values())?;
+                    recorder.add("serve.snapshot.writes", 1);
+                }
+            }
+            slot.note_mutation(version, len);
+            return Ok((version, len));
         }
-        Ok(version)
     }
 
     /// Snapshots every series to disk (and resets its WAL), bounding
-    /// restart time. No-op returning 0 for in-memory stores; otherwise
-    /// returns the number of snapshots written. Records
-    /// `serve.snapshot.writes` on `recorder`.
+    /// restart time. Each series is snapshotted under its own write lock —
+    /// a per-series critical section, never a global pause. No-op
+    /// returning 0 for in-memory stores; otherwise returns the number of
+    /// snapshots written. Records `serve.snapshot.writes` on `recorder`.
     pub fn persist_all(&self, recorder: &SharedRecorder) -> ServeResult<usize> {
         let Some(p) = &self.persist else { return Ok(0) };
-        let mut written = 0;
-        for (name, series) in &self.map {
-            p.write_snapshot(name, &series.snapshot_meta(), series.values())?;
-            written += 1;
+        let mut written = 0usize;
+        for stripe in self.stripes.iter() {
+            let slots: Vec<(String, Arc<SeriesSlot>)> = stripe
+                .map
+                .read()
+                .expect("stripe lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect();
+            for (name, slot) in slots {
+                let series = slot.write();
+                if series.retired() {
+                    // Replaced since the listing; the new generation wrote
+                    // its own snapshot at load time.
+                    continue;
+                }
+                p.write_snapshot(&name, &series.snapshot_meta(), series.values())?;
+                written += 1;
+            }
         }
         recorder.add("serve.snapshot.writes", written as u64);
         Ok(written)
     }
 
-    /// The series under `name`.
-    pub fn get(&self, name: &str) -> ServeResult<&StoredSeries> {
-        self.map.get(name).ok_or_else(|| ServeError::UnknownSeries(name.to_string()))
-    }
-
-    /// Mutable access to the series under `name`.
-    pub fn get_mut(&mut self, name: &str) -> ServeResult<&mut StoredSeries> {
-        self.map.get_mut(name).ok_or_else(|| ServeError::UnknownSeries(name.to_string()))
+    /// The slot under `name` (clone of the shared handle; lock its series
+    /// via [`SeriesSlot::read`] / [`SeriesSlot::write`]).
+    pub fn get(&self, name: &str) -> ServeResult<Arc<SeriesSlot>> {
+        let stripe = &self.stripes[self.stripe_index(name)];
+        stripe
+            .map
+            .read()
+            .expect("stripe lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownSeries(name.to_string()))
     }
 
     /// Number of stored series.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.stripes.iter().map(|s| s.map.read().expect("stripe lock").len()).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     /// Names in sorted order (stable STATS output).
-    pub fn names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.map.keys().map(String::as_str).collect();
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.map.read().expect("stripe lock").keys().cloned().collect::<Vec<_>>())
+            .collect();
         names.sort_unstable();
         names
     }
@@ -375,7 +589,7 @@ mod tests {
 
     #[test]
     fn load_append_versions() {
-        let mut store = SeriesStore::new();
+        let store = SeriesStore::new();
         let values = random_walk(200, 5);
         store.load("a", values.clone(), &[], ExclusionPolicy::HALF, false, &noop()).unwrap();
         assert_eq!(store.get("a").unwrap().version(), 1);
@@ -383,8 +597,8 @@ mod tests {
             .load("a", values.clone(), &[], ExclusionPolicy::HALF, false, &noop())
             .is_err());
 
-        let v = store.append("a", &[1.0, 2.0], &noop()).unwrap();
-        assert_eq!(v, 2);
+        let (v, len) = store.append("a", &[1.0, 2.0], &noop()).unwrap();
+        assert_eq!((v, len), (2, 202));
         assert_eq!(store.get("a").unwrap().len(), 202);
         assert!(store.get("missing").is_err());
         assert!(store.append("missing", &[1.0], &noop()).is_err());
@@ -396,7 +610,7 @@ mod tests {
         // admitted against the old generation could insert a cache entry
         // under `(name, version=1, cfg)` that the new generation's first
         // version would then serve stale. The counter must be monotonic.
-        let mut store = SeriesStore::new();
+        let store = SeriesStore::new();
         store.load("a", random_walk(200, 5), &[], ExclusionPolicy::HALF, false, &noop()).unwrap();
         store.append("a", &[1.0], &noop()).unwrap();
         store.append("a", &[2.0], &noop()).unwrap();
@@ -414,15 +628,32 @@ mod tests {
     }
 
     #[test]
+    fn replace_retires_the_old_generation() {
+        let store = SeriesStore::new();
+        store.load("a", random_walk(120, 5), &[], ExclusionPolicy::HALF, false, &noop()).unwrap();
+        let old = store.get("a").unwrap();
+        store.load("a", random_walk(90, 7), &[], ExclusionPolicy::HALF, true, &noop()).unwrap();
+        assert!(old.read().retired(), "the replaced slot must be marked retired");
+        assert!(!store.get("a").unwrap().read().retired());
+        // An append through the store lands on the live generation even if
+        // a stale handle is still around.
+        let (v, _) = store.append("a", &[0.5], &noop()).unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(old.read().version(), 1, "the dead generation never advances");
+    }
+
+    #[test]
     fn append_is_atomic_under_bad_input() {
-        let mut store = SeriesStore::new();
+        let store = SeriesStore::new();
         store.load("a", random_walk(120, 6), &[16], ExclusionPolicy::HALF, false, &noop()).unwrap();
         let err = store.append("a", &[1.0, f64::NAN], &noop()).unwrap_err();
         assert!(matches!(err, ServeError::NonFinite { index: 121 }));
-        let s = store.get("a").unwrap();
+        let slot = store.get("a").unwrap();
+        let s = slot.read();
         assert_eq!(s.version(), 1);
         assert_eq!(s.len(), 120);
         assert_eq!(s.hot_profile(16).unwrap().len(), 120);
+        drop(s);
         assert!(store.append("a", &[], &noop()).is_err());
         assert_eq!(store.get("a").unwrap().version(), 1);
     }
@@ -430,14 +661,15 @@ mod tests {
     #[test]
     fn hot_profile_tracks_appends_and_matches_batch() {
         let series = random_walk(300, 7);
-        let mut store = SeriesStore::new();
+        let store = SeriesStore::new();
         store
             .load("a", series[..200].to_vec(), &[20], ExclusionPolicy::HALF, false, &noop())
             .unwrap();
         store.append("a", &series[200..], &noop()).unwrap();
 
-        let entry = store.get("a").unwrap();
-        assert_eq!(entry.hot_lengths(), vec![20]);
+        let slot = store.get("a").unwrap();
+        assert_eq!(slot.hot_lengths(), &[20]);
+        let entry = slot.read();
         let hot = entry.hot_profile(20).unwrap().profile();
         let ps = ProfiledSeries::from_values(&series).unwrap();
         let batch = stomp(&ps, 20, ExclusionPolicy::HALF).unwrap();
@@ -450,9 +682,10 @@ mod tests {
 
     #[test]
     fn profiled_is_cached_per_version() {
-        let mut store = SeriesStore::new();
+        let store = SeriesStore::new();
         store.load("a", random_walk(150, 8), &[], ExclusionPolicy::HALF, false, &noop()).unwrap();
-        let s = store.get_mut("a").unwrap();
+        let slot = store.get("a").unwrap();
+        let mut s = slot.write();
         let (p1, v1) = s.profiled().unwrap();
         let (p2, v2) = s.profiled().unwrap();
         assert!(Arc::ptr_eq(&p1, &p2));
@@ -465,11 +698,69 @@ mod tests {
     }
 
     #[test]
+    fn slot_mirrors_track_store_level_mutations_lock_free() {
+        let store = SeriesStore::new();
+        store.load("a", random_walk(100, 3), &[], ExclusionPolicy::HALF, false, &noop()).unwrap();
+        let slot = store.get("a").unwrap();
+        assert_eq!((slot.version(), slot.len()), (1, 100));
+        store.append("a", &[1.0, 2.0, 3.0], &noop()).unwrap();
+        assert_eq!((slot.version(), slot.len()), (2, 103));
+        // The mirrors agree with the locked truth.
+        let s = slot.read();
+        assert_eq!((s.version(), s.len()), (2, 103));
+    }
+
+    #[test]
+    fn names_are_striped_but_listed_sorted() {
+        let store = SeriesStore::with_stripes(4);
+        for name in ["zeta", "alpha", "mid", "beta"] {
+            store
+                .load(name, random_walk(64, 1), &[], ExclusionPolicy::HALF, false, &noop())
+                .unwrap();
+        }
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.names(), vec!["alpha", "beta", "mid", "zeta"]);
+        for name in ["zeta", "alpha", "mid", "beta"] {
+            assert!(store.stripe_index(name) < store.stripe_count());
+            assert_eq!(store.stripe_index(name), stripe_of(name, 4));
+        }
+    }
+
+    #[test]
+    fn concurrent_appends_to_distinct_series_stay_isolated() {
+        let store = Arc::new(SeriesStore::with_stripes(4));
+        for name in ["a", "b", "c", "d"] {
+            store
+                .load(name, random_walk(50, 11), &[], ExclusionPolicy::HALF, false, &noop())
+                .unwrap();
+        }
+        let handles: Vec<_> = ["a", "b", "c", "d"]
+            .into_iter()
+            .map(|name| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        store.append(name, &[i as f64], &noop()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for name in ["a", "b", "c", "d"] {
+            let slot = store.get(name).unwrap();
+            assert_eq!(slot.version(), 51);
+            assert_eq!(slot.len(), 100);
+        }
+    }
+
+    #[test]
     fn durable_store_round_trips_bit_for_bit() {
         let dir = tmp_dir("roundtrip");
         let series = random_walk(256, 11);
         {
-            let mut store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
+            let store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
             assert!(store.is_durable());
             assert!(store.is_empty());
             store
@@ -480,7 +771,8 @@ mod tests {
         }
         let store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
         assert!(store.recovery_skipped().is_empty());
-        let s = store.get("s").unwrap();
+        let slot = store.get("s").unwrap();
+        let s = slot.read();
         assert_eq!(s.version(), 3);
         assert_eq!(s.len(), series.len());
         for (a, b) in s.values().iter().zip(&series) {
@@ -488,6 +780,7 @@ mod tests {
         }
         assert_eq!(s.hot_lengths(), vec![16]);
         assert_eq!(s.policy(), ExclusionPolicy::HALF);
+        drop(s);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -495,7 +788,7 @@ mod tests {
     fn durable_replace_survives_restart_with_monotonic_version() {
         let dir = tmp_dir("replace");
         {
-            let mut store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
+            let store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
             store
                 .load("s", random_walk(128, 3), &[], ExclusionPolicy::HALF, false, &noop())
                 .unwrap();
@@ -505,10 +798,12 @@ mod tests {
                 .unwrap();
         }
         let store = SeriesStore::open(&dir, 4 << 20, &noop()).unwrap();
-        let s = store.get("s").unwrap();
+        let slot = store.get("s").unwrap();
+        let s = slot.read();
         assert_eq!(s.version(), 3, "recovered version continues past the replaced generation");
         assert_eq!(s.len(), 64);
         assert_eq!(s.policy(), ExclusionPolicy::QUARTER);
+        drop(s);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -517,7 +812,7 @@ mod tests {
         let dir = tmp_dir("compact");
         {
             // 1-byte threshold: every append compacts.
-            let mut store = SeriesStore::open(&dir, 1, &noop()).unwrap();
+            let store = SeriesStore::open(&dir, 1, &noop()).unwrap();
             store
                 .load("s", random_walk(150, 5), &[], ExclusionPolicy::HALF, false, &noop())
                 .unwrap();
@@ -532,9 +827,9 @@ mod tests {
             }
         }
         let store = SeriesStore::open(&dir, 1, &noop()).unwrap();
-        let s = store.get("s").unwrap();
-        assert_eq!(s.version(), 6);
-        assert_eq!(s.len(), 155);
+        let slot = store.get("s").unwrap();
+        assert_eq!(slot.read().version(), 6);
+        assert_eq!(slot.read().len(), 155);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -328,3 +328,70 @@ fn durable_server_recovers_series_across_restart() {
     server.join().expect("second generation exits cleanly");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn append_on_one_series_does_not_block_queries_on_another() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let (addr, server) = start_server(
+        EngineConfig::builder()
+            .workers(2)
+            .queue_depth(8)
+            .cache_bytes(1 << 20)
+            .default_deadline(Duration::from_secs(300))
+            .build()
+            .unwrap(),
+    );
+    let mut client =
+        Client::with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(300)).unwrap();
+
+    // Series A is deliberately slow to ingest: three hot lengths mean every
+    // appended point streams through three live profiles, so a large APPEND
+    // holds A's series write lock for a long stretch. Under the old global
+    // store lock that stretch stalled every other request; under striping it
+    // must stall nothing but A.
+    let slow = valmod_data::generators::random_walk(16_000, 7);
+    client.load("slow_a", slow, vec![32, 64, 128], false).unwrap();
+    let (fast, _) = plant_motif(1_200, 32, 2, 0.001, 19);
+    client.load("fast_b", fast, vec![], false).unwrap();
+
+    // The overlap is timing-dependent, so escalate the batch size until the
+    // cold MOTIFS on B demonstrably finishes while A's APPEND is still
+    // running. A's history also grows every round, making each retry slower.
+    for round in 0..4u32 {
+        let batch = valmod_data::generators::random_walk(4_000 << round, 100 + u64::from(round));
+        let append_done = Arc::new(AtomicBool::new(false));
+        let appender = {
+            let done = Arc::clone(&append_done);
+            std::thread::spawn(move || {
+                let mut c =
+                    Client::with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(300))
+                        .unwrap();
+                let ack = c.append("slow_a", batch).unwrap();
+                done.store(true, Ordering::SeqCst);
+                ack
+            })
+        };
+        // Head start so the APPEND is provably in flight when B's query lands.
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        // A fresh l-range each round keeps the query a cold compute.
+        let reply = client.motifs("fast_b", 16, 40 + round as usize * 4, 3).unwrap();
+        let latency = t0.elapsed();
+        let overlapped = !append_done.load(Ordering::SeqCst);
+        let ack = appender.join().unwrap();
+        assert_eq!(ack.name, "slow_a");
+        assert!(
+            latency < Duration::from_secs(60),
+            "query on an unrelated series took {latency:?} during an APPEND"
+        );
+        if overlapped {
+            assert!(!reply.body.motifs.is_empty());
+            client.shutdown().unwrap();
+            server.join().expect("clean shutdown after the isolation proof");
+            return;
+        }
+    }
+    panic!("APPEND on slow_a finished before the query on fast_b in every round");
+}

@@ -272,7 +272,7 @@ fn regression_hot_length_longer_than_the_series_fails_cleanly() {
     let short = random_walk(10, 4);
     assert!(valmod_mp::StreamingProfile::new(&short, 16, ExclusionPolicy::HALF).is_err());
     let recorder = valmod_serve::SharedRecorder::noop();
-    let mut store = valmod_serve::SeriesStore::new();
+    let store = valmod_serve::SeriesStore::new();
     assert!(store
         .load("tiny", short.clone(), &[16], ExclusionPolicy::HALF, false, &recorder)
         .is_err());
@@ -281,7 +281,9 @@ fn regression_hot_length_longer_than_the_series_fails_cleanly() {
     // the profile then grows with appends as usual.
     store.load("tiny", random_walk(24, 4), &[16], ExclusionPolicy::HALF, false, &recorder).unwrap();
     store.append("tiny", &short, &recorder).unwrap();
-    let hot = store.get("tiny").unwrap().hot_profile(16).unwrap();
+    let slot = store.get("tiny").unwrap();
+    let series = slot.read();
+    let hot = series.hot_profile(16).unwrap();
     assert_eq!(hot.profile().mp.len(), 24 + 10 - 16 + 1);
 }
 
